@@ -1,0 +1,19 @@
+//! Downstream applications of DeepXplore-generated tests (§7.3 of the
+//! paper).
+//!
+//! Two applications are demonstrated:
+//!
+//! - [`augment`]: retraining a model on its own error-inducing inputs,
+//!   auto-labelled by **majority vote** among the models under test — no
+//!   manual labelling, unlike adversarial retraining (Figure 10).
+//! - [`pollution`]: detecting training-data pollution attacks by tracing
+//!   error-inducing inputs back to their most structurally similar (SSIM)
+//!   training samples (the 95.6%-detection experiment).
+
+#![warn(missing_docs)]
+
+pub mod augment;
+pub mod pollution;
+
+pub use augment::{majority_vote, retrain_with_eval, RetrainOutcome};
+pub use pollution::rank_suspects;

@@ -1,0 +1,65 @@
+//! Criterion micro-benchmarks of the engine primitives DeepXplore leans
+//! on: forward passes, parameter backprop, and the joint input gradient.
+//!
+//! Not a paper table — a sanity harness for the substrate's performance
+//! (the paper's analog is its §8 note that gradient computation takes
+//! ~120ms per ImageNet image on a GTX 1070).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dx_models::arch;
+use dx_nn::Network;
+use dx_tensor::{rng, Tensor};
+
+fn trained_ish(mut net: Network, seed: u64) -> Network {
+    net.init_weights(&mut rng::rng(seed));
+    net
+}
+
+fn bench_forward(c: &mut Criterion) {
+    let lenet = trained_ish(arch::lenet5(), 1);
+    let x = rng::uniform(&mut rng::rng(2), &[1, 1, 28, 28], 0.0, 1.0);
+    c.bench_function("lenet5_forward", |b| b.iter(|| lenet.forward(&x)));
+
+    let dave = trained_ish(arch::dave_orig(), 3);
+    let frame = rng::uniform(&mut rng::rng(4), &[1, 1, 32, 64], 0.0, 1.0);
+    c.bench_function("dave_orig_forward", |b| b.iter(|| dave.forward(&frame)));
+}
+
+fn bench_backward(c: &mut Criterion) {
+    let lenet = trained_ish(arch::lenet5(), 5);
+    let x = rng::uniform(&mut rng::rng(6), &[4, 1, 28, 28], 0.0, 1.0);
+    c.bench_function("lenet5_backward_params_b4", |b| {
+        b.iter(|| {
+            let pass = lenet.forward(&x);
+            let grad = Tensor::ones(pass.output().shape());
+            lenet.backward_params(&pass, &grad)
+        })
+    });
+}
+
+fn bench_input_gradient(c: &mut Criterion) {
+    let lenet = trained_ish(arch::lenet5(), 7);
+    let x = rng::uniform(&mut rng::rng(8), &[1, 1, 28, 28], 0.0, 1.0);
+    c.bench_function("lenet5_class_input_gradient", |b| {
+        b.iter(|| {
+            let pass = lenet.forward(&x);
+            lenet.class_score_input_gradient(&pass, 3)
+        })
+    });
+
+    let vgg = trained_ish(arch::vgg_mini_16(), 9);
+    let img = rng::uniform(&mut rng::rng(10), &[1, 3, 32, 32], 0.0, 1.0);
+    c.bench_function("vgg_mini16_class_input_gradient", |b| {
+        b.iter(|| {
+            let pass = vgg.forward(&img);
+            vgg.class_score_input_gradient(&pass, 0)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_forward, bench_backward, bench_input_gradient
+}
+criterion_main!(benches);

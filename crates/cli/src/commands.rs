@@ -1,0 +1,273 @@
+//! Subcommand implementations.
+
+use std::error::Error;
+use std::path::PathBuf;
+
+use deepxplore::generator::Generator;
+use deepxplore::hyper::NeuronPick;
+use deepxplore::{Constraint, Hyperparams};
+use dx_coverage::{CoverageConfig, CoverageTracker};
+use dx_models::{DatasetKind, Scale, Zoo, ZooConfig};
+use dx_nn::util::gather_rows;
+use dx_tensor::{rng, Image};
+
+use crate::args::Args;
+
+/// Help text for `deepxplore help`.
+pub const HELP: &str = "\
+deepxplore — automated whitebox testing of deep learning systems (SOSP 2017)
+
+USAGE:
+    deepxplore <command> [options]
+
+COMMANDS:
+    models      Show the fifteen-model zoo with neuron counts and accuracy.
+    train       Train (or load) zoo models, warming the weight cache.
+    generate    Grow difference-inducing inputs for a dataset's model trio.
+    coverage    Measure neuron coverage of test inputs on a model.
+    help        Show this message.
+
+COMMON OPTIONS:
+    --dataset <mnist|imagenet|driving|pdf|drebin|all>   (default: mnist)
+    --full                 Use bench-scale datasets/training (default: test scale).
+
+GENERATE OPTIONS:
+    --seeds <N>            Seed inputs to grow from (default: 50).
+    --constraint <domain|lighting|single-rect|multi-rects|clip>
+                           `domain` picks the dataset's §6.2 constraint (default).
+    --lambda1 <x> --lambda2 <x> --step <x> --max-iters <N>
+                           Algorithm 1 hyperparameters (defaults: Table 2).
+    --pick <random|nearest> obj2 neuron selection (default: random).
+    --out <dir>            Write seed/diff images (image datasets) to <dir>.
+    --save-images          Shorthand for --out dx-out.
+    --preexisting          Count seeds the models already disagree on.
+    --rng <seed>           Generator RNG seed (default: 42).
+
+COVERAGE OPTIONS:
+    --model <id>           Model id (default: the dataset's C1).
+    --inputs <N>           Random test inputs to measure (default: 100).
+    --threshold <t>        Activation threshold (default: 0.25, scaled).
+";
+
+type CmdResult = Result<(), Box<dyn Error>>;
+
+fn zoo_for(args: &Args) -> Zoo {
+    let scale = if args.has("full") { Scale::Full } else { Scale::Test };
+    Zoo::new(ZooConfig::new(scale))
+}
+
+fn dataset_kinds(args: &Args) -> Result<Vec<DatasetKind>, Box<dyn Error>> {
+    match args.get_or("dataset", "mnist") {
+        "all" => Ok(DatasetKind::ALL.to_vec()),
+        "mnist" => Ok(vec![DatasetKind::Mnist]),
+        "imagenet" => Ok(vec![DatasetKind::Imagenet]),
+        "driving" => Ok(vec![DatasetKind::Driving]),
+        "pdf" => Ok(vec![DatasetKind::Pdf]),
+        "drebin" => Ok(vec![DatasetKind::Drebin]),
+        other => Err(format!("unknown dataset `{other}`").into()),
+    }
+}
+
+fn trio_ids(kind: DatasetKind) -> [&'static str; 3] {
+    match kind {
+        DatasetKind::Mnist => ["MNI_C1", "MNI_C2", "MNI_C3"],
+        DatasetKind::Imagenet => ["IMG_C1", "IMG_C2", "IMG_C3"],
+        DatasetKind::Driving => ["DRV_C1", "DRV_C2", "DRV_C3"],
+        DatasetKind::Pdf => ["PDF_C1", "PDF_C2", "PDF_C3"],
+        DatasetKind::Drebin => ["APP_C1", "APP_C2", "APP_C3"],
+    }
+}
+
+/// `deepxplore models`.
+pub fn models(args: &Args) -> CmdResult {
+    let mut zoo = zoo_for(args);
+    println!(
+        "{:<8} {:<22} {:>9} {:>10} {:>12} {:>10}",
+        "id", "architecture", "#neurons", "params", "fwd MFLOPs", "accuracy"
+    );
+    for kind in dataset_kinds(args)? {
+        for id in trio_ids(kind) {
+            let spec = dx_models::SPECS.iter().find(|s| s.id == id).expect("known id");
+            let net = zoo.model(id);
+            let neurons = CoverageTracker::for_network(&net, CoverageConfig::default()).total();
+            let mflops = dx_nn::cost::forward_cost(&net).flops() as f64 / 1e6;
+            println!(
+                "{:<8} {:<22} {:>9} {:>10} {:>12.2} {:>9.2}%",
+                id,
+                spec.arch,
+                neurons,
+                net.param_count(),
+                mflops,
+                100.0 * zoo.accuracy(id)
+            );
+        }
+    }
+    Ok(())
+}
+
+/// `deepxplore train`.
+pub fn train(args: &Args) -> CmdResult {
+    let mut zoo = zoo_for(args);
+    for kind in dataset_kinds(args)? {
+        for id in trio_ids(kind) {
+            let _ = zoo.model(id);
+            println!("{id}: ready (accuracy {:.2}%)", 100.0 * zoo.accuracy(id));
+        }
+    }
+    println!("weight cache: {}", zoo.config().cache_dir.display());
+    Ok(())
+}
+
+fn constraint_for(args: &Args, kind: DatasetKind, ds: &dx_datasets::Dataset) -> Result<Constraint, Box<dyn Error>> {
+    let domain_default = match kind {
+        DatasetKind::Mnist | DatasetKind::Imagenet | DatasetKind::Driving => Constraint::Lighting,
+        DatasetKind::Pdf => Constraint::PdfFeatures {
+            scale: ds.feature_scale.as_ref().expect("pdf scales").data().to_vec(),
+        },
+        DatasetKind::Drebin => Constraint::DrebinManifest {
+            manifest_mask: ds.manifest_mask.clone().expect("drebin mask"),
+        },
+    };
+    match args.get_or("constraint", "domain") {
+        "domain" => Ok(domain_default),
+        "lighting" => Ok(Constraint::Lighting),
+        "clip" => Ok(Constraint::Clip),
+        "single-rect" => {
+            let shape = ds.sample_shape();
+            if shape.len() != 3 {
+                return Err("single-rect applies to image datasets only".into());
+            }
+            Ok(Constraint::SingleRect { h: shape[1] / 4, w: shape[2] / 4 })
+        }
+        "multi-rects" => Ok(Constraint::MultiRects { size: 3, count: 5 }),
+        other => Err(format!("unknown constraint `{other}`").into()),
+    }
+}
+
+/// `deepxplore generate`.
+pub fn generate(args: &Args) -> CmdResult {
+    let kinds = dataset_kinds(args)?;
+    if kinds.len() != 1 {
+        return Err("generate needs a single --dataset".into());
+    }
+    let kind = kinds[0];
+    let mut zoo = zoo_for(args);
+    let models = zoo.trio(kind);
+    let ds = zoo.dataset(kind).clone();
+    let constraint = constraint_for(args, kind, &ds)?;
+
+    let base = match kind {
+        DatasetKind::Pdf => Hyperparams::pdf_defaults(),
+        DatasetKind::Drebin => Hyperparams::drebin_defaults(),
+        _ => Hyperparams::image_defaults(),
+    };
+    let hp = Hyperparams {
+        lambda1: args.get_num("lambda1", base.lambda1)?,
+        lambda2: args.get_num("lambda2", base.lambda2)?,
+        step: args.get_num("step", base.step)?,
+        max_iters: args.get_num("max-iters", base.max_iters)?,
+        count_preexisting: args.has("preexisting"),
+        neuron_pick: match args.get_or("pick", "random") {
+            "random" => NeuronPick::Random,
+            "nearest" => NeuronPick::Nearest,
+            other => return Err(format!("unknown pick strategy `{other}`").into()),
+        },
+        ..base
+    };
+    let task = match kind {
+        DatasetKind::Driving => deepxplore::generator::TaskKind::Regression {
+            direction_threshold: dx_datasets::driving::STEER_DIRECTION_THRESHOLD,
+        },
+        _ => deepxplore::generator::TaskKind::Classification,
+    };
+    let n_seeds: usize = args.get_num("seeds", 50)?;
+    let rng_seed: u64 = args.get_num("rng", 42)?;
+
+    let mut gen = Generator::new(
+        models,
+        task,
+        hp,
+        constraint,
+        CoverageConfig::scaled(0.25),
+        rng_seed,
+    );
+    let mut r = rng::rng(rng_seed ^ 0x5eed);
+    let picks = rng::sample_without_replacement(&mut r, ds.test_len(), n_seeds.min(ds.test_len()));
+    let seeds = gather_rows(&ds.test_x, &picks);
+    let result = gen.run(&seeds);
+    println!(
+        "{} differences from {} seeds in {:.1?} ({} iterations); coverage {:.1}%",
+        result.stats.differences_found,
+        result.stats.seeds_tried,
+        result.stats.elapsed,
+        result.stats.total_iterations,
+        100.0 * gen.mean_coverage()
+    );
+    for (i, t) in result.tests.iter().enumerate().take(10) {
+        println!(
+            "  #{i}: seed {} -> {:?} after {} iters (target model {})",
+            t.seed_index, t.predictions, t.iterations, t.target_model
+        );
+    }
+
+    let out_dir: Option<PathBuf> = if args.has("save-images") {
+        Some(PathBuf::from("dx-out"))
+    } else {
+        args.get("out").map(PathBuf::from)
+    };
+    if let Some(dir) = out_dir {
+        if ds.sample_shape().len() == 3 {
+            std::fs::create_dir_all(&dir)?;
+            for (i, t) in result.tests.iter().enumerate() {
+                let shape = ds.sample_shape().to_vec();
+                let ext = if shape[0] >= 3 { "ppm" } else { "pgm" };
+                let seed_img = Image::from_tensor(gather_rows(&seeds, &[t.seed_index]).reshape(&shape));
+                let gen_img = Image::from_tensor(t.input.reshape(&shape));
+                seed_img.save(&dir.join(format!("{}_{i}_seed.{ext}", kind.id())))?;
+                gen_img.save(&dir.join(format!("{}_{i}_diff.{ext}", kind.id())))?;
+            }
+            println!("images written to {}", dir.display());
+        } else {
+            println!("--out ignored: {} is not an image dataset", kind.id());
+        }
+    }
+    Ok(())
+}
+
+/// `deepxplore coverage`.
+pub fn coverage(args: &Args) -> CmdResult {
+    let kinds = dataset_kinds(args)?;
+    if kinds.len() != 1 {
+        return Err("coverage needs a single --dataset".into());
+    }
+    let kind = kinds[0];
+    let mut zoo = zoo_for(args);
+    let default_model = trio_ids(kind)[0];
+    let id = args.get_or("model", default_model);
+    let net = zoo.model(id);
+    let ds = zoo.dataset(kind).clone();
+    let n: usize = args.get_num("inputs", 100)?;
+    let t: f32 = args.get_num("threshold", 0.25)?;
+    let mut tracker = CoverageTracker::for_network(&net, CoverageConfig::scaled(t));
+    let mut r = rng::rng(7);
+    let picks = rng::sample_without_replacement(&mut r, ds.test_len(), n.min(ds.test_len()));
+    let mut curve = Vec::new();
+    for (i, &p) in picks.iter().enumerate() {
+        tracker.update(&net.forward(&gather_rows(&ds.test_x, &[p])));
+        if (i + 1) % (n / 10).max(1) == 0 {
+            curve.push((i + 1, tracker.coverage()));
+        }
+    }
+    println!(
+        "{id}: {} / {} neurons covered ({:.1}%) by {} inputs at t = {t}",
+        tracker.covered_count(),
+        tracker.total(),
+        100.0 * tracker.coverage(),
+        picks.len()
+    );
+    println!("saturation curve:");
+    for (k, c) in curve {
+        println!("  {k:>5} inputs: {:>5.1}%", 100.0 * c);
+    }
+    Ok(())
+}

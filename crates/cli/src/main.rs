@@ -1,0 +1,43 @@
+//! `deepxplore` — the command-line front end of deepxplore-rs.
+//!
+//! ```text
+//! deepxplore models   [--full]                  show the zoo (Table 1 style)
+//! deepxplore train    [--dataset X] [--full]    train / warm the weight cache
+//! deepxplore generate --dataset X [options]     grow difference-inducing inputs
+//! deepxplore coverage --dataset X [options]     measure neuron coverage
+//! deepxplore help                               this text
+//! ```
+
+mod args;
+mod commands;
+
+use args::Args;
+
+const SWITCHES: &[&str] = &["full", "save-images", "preexisting"];
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match Args::parse(&argv, SWITCHES) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("run `deepxplore help` for usage");
+            std::process::exit(2);
+        }
+    };
+    let result = match parsed.command.as_str() {
+        "models" => commands::models(&parsed),
+        "train" => commands::train(&parsed),
+        "generate" => commands::generate(&parsed),
+        "coverage" => commands::coverage(&parsed),
+        "help" | "--help" | "-h" => {
+            print!("{}", commands::HELP);
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand `{other}`; run `deepxplore help`").into()),
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,165 @@
+//! The two baselines the paper compares against (§7.2, Figures 9–10):
+//! random test selection and FGSM adversarial examples.
+
+use dx_nn::network::Network;
+use dx_nn::util::gather_rows;
+use dx_tensor::{rng, Tensor};
+
+/// Randomly selects `n` inputs from a batched pool — the paper's "random
+/// selection from the original test set" baseline.
+///
+/// # Panics
+///
+/// Panics if `n` exceeds the pool size.
+pub fn random_selection(pool: &Tensor, n: usize, seed: u64) -> Tensor {
+    let total = pool.shape()[0];
+    let mut r = rng::rng(seed);
+    let idx = rng::sample_without_replacement(&mut r, total, n);
+    gather_rows(pool, &idx)
+}
+
+/// Fast gradient sign method (Goodfellow et al. 2015) against a classifier:
+/// one `ε`-step that *lowers* the true-class probability, clipped to
+/// `[0, 1]`.
+///
+/// This is the adversarial baseline of the paper's Figure 9/10 comparison
+/// ([26] in the paper).
+pub fn fgsm_classifier(model: &Network, x: &Tensor, label: usize, epsilon: f32) -> Tensor {
+    let pass = model.forward(x);
+    // Ascend -log p_label ⇔ descend p_label: seed the output with -1 at the
+    // label (maximizing the *negative* class score is the attack).
+    let grad = model.class_score_input_gradient(&pass, label);
+    let mut adv = x.clone();
+    for (v, g) in adv.data_mut().iter_mut().zip(grad.data().iter()) {
+        // Move against the class gradient.
+        *v = (*v - epsilon * g.signum()).clamp(0.0, 1.0);
+    }
+    adv
+}
+
+/// FGSM against a scalar regressor: one `ε`-step that pushes the output
+/// away from its current value (sign chosen to increase the prediction's
+/// magnitude of change), clipped to `[0, 1]`.
+pub fn fgsm_regressor(model: &Network, x: &Tensor, epsilon: f32) -> Tensor {
+    let pass = model.forward(x);
+    let mut seed = Tensor::zeros(pass.output().shape());
+    seed.data_mut().fill(1.0);
+    let grad = model.input_gradient(&pass, &[(model.num_layers(), seed)]);
+    let mut adv = x.clone();
+    for (v, g) in adv.data_mut().iter_mut().zip(grad.data().iter()) {
+        *v = (*v + epsilon * g.signum()).clamp(0.0, 1.0);
+    }
+    adv
+}
+
+/// Generates one FGSM adversarial input per pool row against `model`
+/// (classification), using the model's own predictions as labels — no
+/// manual labelling, matching how the baseline is run in the paper's
+/// coverage comparison.
+pub fn fgsm_batch(model: &Network, pool: &Tensor, epsilon: f32) -> Tensor {
+    let n = pool.shape()[0];
+    let mut out = Tensor::zeros(pool.shape());
+    let row_len: usize = pool.shape()[1..].iter().product();
+    for i in 0..n {
+        let x = gather_rows(pool, &[i]);
+        let label = model.predict_classes(&x)[0];
+        let adv = fgsm_classifier(model, &x, label, epsilon);
+        out.data_mut()[i * row_len..(i + 1) * row_len].copy_from_slice(adv.data());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dx_nn::layer::Layer;
+    use dx_nn::train::{train_classifier, TrainConfig};
+    use dx_nn::Optimizer;
+
+    fn trained_classifier(seed: u64) -> (Network, Tensor, Vec<usize>) {
+        let mut r = rng::rng(seed);
+        let x = rng::uniform(&mut r, &[200, 4], 0.0, 1.0);
+        let labels: Vec<usize> = (0..200)
+            .map(|i| usize::from(x.at(&[i, 0]) + x.at(&[i, 1]) > 1.0))
+            .collect();
+        let mut net = Network::new(
+            &[4],
+            vec![Layer::dense(4, 12), Layer::relu(), Layer::dense(12, 2), Layer::softmax()],
+        );
+        net.init_weights(&mut r);
+        let cfg = TrainConfig { epochs: 25, batch_size: 16, seed, shuffle: true };
+        train_classifier(&mut net, &x, &labels, &cfg, &mut Optimizer::adam(0.02));
+        (net, x, labels)
+    }
+
+    #[test]
+    fn random_selection_draws_from_pool() {
+        let pool = rng::uniform(&mut rng::rng(0), &[20, 3], 0.0, 1.0);
+        let sel = random_selection(&pool, 5, 1);
+        assert_eq!(sel.shape(), &[5, 3]);
+        // Every selected row exists in the pool.
+        for i in 0..5 {
+            let r = &sel.data()[i * 3..(i + 1) * 3];
+            let found = (0..20).any(|j| &pool.data()[j * 3..(j + 1) * 3] == r);
+            assert!(found);
+        }
+    }
+
+    #[test]
+    fn random_selection_is_deterministic() {
+        let pool = rng::uniform(&mut rng::rng(2), &[30, 2], 0.0, 1.0);
+        assert_eq!(random_selection(&pool, 10, 3), random_selection(&pool, 10, 3));
+    }
+
+    #[test]
+    fn fgsm_lowers_true_class_probability() {
+        let (net, x, labels) = trained_classifier(5);
+        let mut lowered = 0;
+        let mut tried = 0;
+        for i in (0..40).step_by(4) {
+            let xi = gather_rows(&x, &[i]);
+            let before = net.output(&xi).at(&[0, labels[i]]);
+            let adv = fgsm_classifier(&net, &xi, labels[i], 0.15);
+            let after = net.output(&adv).at(&[0, labels[i]]);
+            tried += 1;
+            if after < before {
+                lowered += 1;
+            }
+        }
+        assert!(
+            lowered * 10 >= tried * 8,
+            "FGSM lowered confidence on only {lowered}/{tried} inputs"
+        );
+    }
+
+    #[test]
+    fn fgsm_stays_in_unit_box() {
+        let (net, x, labels) = trained_classifier(6);
+        let xi = gather_rows(&x, &[0]);
+        let adv = fgsm_classifier(&net, &xi, labels[0], 0.5);
+        assert!(adv.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn fgsm_batch_shapes() {
+        let (net, x, _) = trained_classifier(7);
+        let pool = gather_rows(&x, &[0, 1, 2]);
+        let advs = fgsm_batch(&net, &pool, 0.1);
+        assert_eq!(advs.shape(), pool.shape());
+        assert_ne!(advs, pool);
+    }
+
+    #[test]
+    fn fgsm_regressor_moves_output_up() {
+        let mut net = Network::new(
+            &[3],
+            vec![Layer::dense(3, 8), Layer::tanh(), Layer::dense(8, 1), Layer::tanh()],
+        );
+        net.init_weights(&mut rng::rng(8));
+        let x = rng::uniform(&mut rng::rng(9), &[1, 3], 0.3, 0.7);
+        let before = net.output(&x).data()[0];
+        let adv = fgsm_regressor(&net, &x, 0.2);
+        let after = net.output(&adv).data()[0];
+        assert!(after >= before, "ascent step decreased the output");
+    }
+}

@@ -1,0 +1,400 @@
+//! Domain-specific constraints (§6.2).
+//!
+//! A constraint owns the *whole* update rule: given the current input, the
+//! joint-objective gradient and the step size, it produces the next input,
+//! guaranteeing domain validity by construction (the paper's rule-based
+//! method — the seed satisfies the constraints, and every step preserves
+//! them).
+
+use dx_tensor::Tensor;
+
+/// A domain-specific input constraint.
+#[derive(Clone, Debug)]
+pub enum Constraint {
+    /// Plain gradient ascent clipped to the `[0, 1]` box — the
+    /// unconstrained baseline.
+    Clip,
+    /// Lighting (§6.2 image constraint 1): every pixel moves by the same
+    /// amount, brighter or darker according to the sign of the mean
+    /// gradient. Content is untouched; only global illumination changes.
+    Lighting,
+    /// Occlusion by a single `h`×`w` rectangle (§6.2 image constraint 2):
+    /// only the window with the largest absolute gradient mass is modified,
+    /// simulating a blocked camera region.
+    SingleRect {
+        /// Rectangle height in pixels.
+        h: usize,
+        /// Rectangle width in pixels.
+        w: usize,
+    },
+    /// Occlusion by multiple tiny black rectangles (§6.2 image constraint
+    /// 3): up to `count` grid-aligned `size`×`size` patches may only
+    /// *darken* (patches whose mean gradient is positive are zeroed),
+    /// simulating dirt on the lens.
+    MultiRects {
+        /// Patch side in pixels.
+        size: usize,
+        /// Maximum number of patches modified per step.
+        count: usize,
+    },
+    /// Drebin constraint: only *add* (0 → 1) features that live in the
+    /// Android manifest; one feature — the eligible one with the largest
+    /// positive gradient — flips per step, so app code is never touched
+    /// and functionality is preserved.
+    DrebinManifest {
+        /// Which features are manifest features.
+        manifest_mask: Vec<bool>,
+    },
+    /// Contagio/VirusTotal constraint: features are integers in
+    /// `[0, scale_i]`; the model consumes `x_i = raw_i / scale_i`, and each
+    /// step rounds to whole raw units (the paper rounds gradients to
+    /// integers for discrete features).
+    PdfFeatures {
+        /// Per-feature scale (maximum raw value).
+        scale: Vec<f32>,
+    },
+}
+
+impl Constraint {
+    /// Short name used in logs and bench output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Constraint::Clip => "clip",
+            Constraint::Lighting => "lighting",
+            Constraint::SingleRect { .. } => "single_rect",
+            Constraint::MultiRects { .. } => "multi_rects",
+            Constraint::DrebinManifest { .. } => "drebin_manifest",
+            Constraint::PdfFeatures { .. } => "pdf_features",
+        }
+    }
+
+    /// Applies one constrained gradient-ascent step and returns the next
+    /// input (batched, same shape as `x`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes are inconsistent with the constraint's metadata.
+    #[allow(clippy::needless_range_loop)] // Loops co-index x, grad and masks.
+    pub fn step(&self, x: &Tensor, grad: &Tensor, s: f32) -> Tensor {
+        assert_eq!(
+            x.shape(),
+            grad.shape(),
+            "constraint step: input {:?} vs gradient {:?}",
+            x.shape(),
+            grad.shape()
+        );
+        match self {
+            Constraint::Clip => {
+                let mut next = x.clone();
+                next.add_scaled(grad, s);
+                next.clamp(0.0, 1.0)
+            }
+            Constraint::Lighting => {
+                let direction = if grad.mean() >= 0.0 { 1.0 } else { -1.0 };
+                x.map(|v| (v + s * direction).clamp(0.0, 1.0))
+            }
+            Constraint::SingleRect { h, w } => {
+                let (win_y, win_x) = best_window(grad, *h, *w);
+                let mut next = x.clone();
+                apply_window(&mut next, grad, s, win_y, *h, win_x, *w);
+                next.clamp(0.0, 1.0)
+            }
+            Constraint::MultiRects { size, count } => {
+                // Selected patches darken uniformly (the "tiny black
+                // rectangles" of §6.2): the original implementation replaces
+                // a kept patch's gradient with -1, so the patch moves toward
+                // black as a block rather than following per-pixel signs.
+                let mut next = x.clone();
+                for (py, px) in darkening_patches(grad, *size, *count) {
+                    darken_window(&mut next, s, py, *size, px, *size);
+                }
+                next.clamp(0.0, 1.0)
+            }
+            Constraint::DrebinManifest { manifest_mask } => {
+                assert_eq!(
+                    manifest_mask.len(),
+                    x.len(),
+                    "manifest mask covers {} features, input has {}",
+                    manifest_mask.len(),
+                    x.len()
+                );
+                let mut best: Option<(usize, f32)> = None;
+                for i in 0..x.len() {
+                    let eligible = manifest_mask[i] && x.data()[i] < 0.5 && grad.data()[i] > 0.0;
+                    if eligible && best.is_none_or(|(_, g)| grad.data()[i] > g) {
+                        best = Some((i, grad.data()[i]));
+                    }
+                }
+                let mut next = x.clone();
+                if let Some((i, _)) = best {
+                    next.data_mut()[i] = 1.0;
+                }
+                next
+            }
+            Constraint::PdfFeatures { scale } => {
+                assert_eq!(
+                    scale.len(),
+                    x.len(),
+                    "scale covers {} features, input has {}",
+                    scale.len(),
+                    x.len()
+                );
+                let mut next = x.clone();
+                let mut changed = false;
+                for i in 0..x.len() {
+                    let raw = x.data()[i] * scale[i];
+                    let delta_raw = s * grad.data()[i] * scale[i];
+                    let new_raw = (raw + delta_raw).round().clamp(0.0, scale[i]);
+                    if (new_raw - raw.round()).abs() >= 1.0 {
+                        next.data_mut()[i] = new_raw / scale[i];
+                        changed = true;
+                    }
+                }
+                if !changed {
+                    // The scaled gradient rounded away everywhere: take a
+                    // single whole-unit step on the steepest feature so the
+                    // integer hill climb still makes progress.
+                    let mut best = 0;
+                    for i in 1..x.len() {
+                        if grad.data()[i].abs() > grad.data()[best].abs() {
+                            best = i;
+                        }
+                    }
+                    let raw = x.data()[best] * scale[best];
+                    let new_raw =
+                        (raw + grad.data()[best].signum()).round().clamp(0.0, scale[best]);
+                    next.data_mut()[best] = new_raw / scale[best];
+                }
+                next
+            }
+        }
+    }
+}
+
+/// Finds the `h`×`w` window (over all channels) with the largest absolute
+/// gradient sum, scanning with stride 2 for speed.
+fn best_window(grad: &Tensor, h: usize, w: usize) -> (usize, usize) {
+    assert_eq!(grad.rank(), 4, "image constraints expect [1, C, H, W], got {:?}", grad.shape());
+    let (c, ih, iw) = (grad.shape()[1], grad.shape()[2], grad.shape()[3]);
+    assert!(h <= ih && w <= iw, "window {h}x{w} exceeds image {ih}x{iw}");
+    let mut best = (0usize, 0usize);
+    let mut best_mass = f32::NEG_INFINITY;
+    let mut y = 0;
+    while y + h <= ih {
+        let mut x = 0;
+        while x + w <= iw {
+            let mut mass = 0.0;
+            for ch in 0..c {
+                for yy in y..y + h {
+                    for xx in x..x + w {
+                        mass += grad.at(&[0, ch, yy, xx]).abs();
+                    }
+                }
+            }
+            if mass > best_mass {
+                best_mass = mass;
+                best = (y, x);
+            }
+            x += 2;
+        }
+        y += 2;
+    }
+    best
+}
+
+/// Adds `s · grad` inside a window, all channels.
+fn apply_window(x: &mut Tensor, grad: &Tensor, s: f32, y: usize, h: usize, x0: usize, w: usize) {
+    let (c, ih, iw) = (x.shape()[1], x.shape()[2], x.shape()[3]);
+    for ch in 0..c {
+        for yy in y..(y + h).min(ih) {
+            for xx in x0..(x0 + w).min(iw) {
+                let off = ((ch * ih) + yy) * iw + xx;
+                x.data_mut()[off] += s * grad.data()[off];
+            }
+        }
+    }
+}
+
+/// Subtracts `s` uniformly inside a window, all channels (block darkening).
+fn darken_window(x: &mut Tensor, s: f32, y: usize, h: usize, x0: usize, w: usize) {
+    let (c, ih, iw) = (x.shape()[1], x.shape()[2], x.shape()[3]);
+    for ch in 0..c {
+        for yy in y..(y + h).min(ih) {
+            for xx in x0..(x0 + w).min(iw) {
+                let off = ((ch * ih) + yy) * iw + xx;
+                x.data_mut()[off] -= s;
+            }
+        }
+    }
+}
+
+/// Grid-aligned `size`×`size` patches whose mean gradient is negative
+/// (darkening only), most negative first, at most `count`.
+fn darkening_patches(grad: &Tensor, size: usize, count: usize) -> Vec<(usize, usize)> {
+    assert_eq!(grad.rank(), 4, "image constraints expect [1, C, H, W], got {:?}", grad.shape());
+    let (c, ih, iw) = (grad.shape()[1], grad.shape()[2], grad.shape()[3]);
+    let mut patches: Vec<(f32, usize, usize)> = Vec::new();
+    let mut y = 0;
+    while y + size <= ih {
+        let mut x = 0;
+        while x + size <= iw {
+            let mut mean = 0.0;
+            for ch in 0..c {
+                for yy in y..y + size {
+                    for xx in x..x + size {
+                        mean += grad.at(&[0, ch, yy, xx]);
+                    }
+                }
+            }
+            mean /= (c * size * size) as f32;
+            if mean < 0.0 {
+                patches.push((mean, y, x));
+            }
+            x += size;
+        }
+        y += size;
+    }
+    patches.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("gradient means are finite"));
+    patches.into_iter().take(count).map(|(_, y, x)| (y, x)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dx_tensor::rng;
+
+    #[test]
+    fn clip_stays_in_box() {
+        let x = Tensor::full(&[1, 4], 0.9);
+        let g = Tensor::ones(&[1, 4]);
+        let next = Constraint::Clip.step(&x, &g, 0.5);
+        assert!(next.data().iter().all(|&v| v <= 1.0));
+    }
+
+    #[test]
+    fn lighting_moves_all_pixels_equally() {
+        let x = rng::uniform(&mut rng::rng(0), &[1, 1, 4, 4], 0.3, 0.7);
+        let mut g = Tensor::zeros(&[1, 1, 4, 4]);
+        g.data_mut()[5] = 1.0; // Positive mean — brighten.
+        let next = Constraint::Lighting.step(&x, &g, 0.1);
+        for i in 0..x.len() {
+            assert!((next.data()[i] - x.data()[i] - 0.1).abs() < 1e-6);
+        }
+        // Negative mean — darken.
+        let g = Tensor::full(&[1, 1, 4, 4], -0.2);
+        let next = Constraint::Lighting.step(&x, &g, 0.1);
+        for i in 0..x.len() {
+            assert!((x.data()[i] - next.data()[i] - 0.1).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn single_rect_modifies_only_one_window() {
+        let x = Tensor::full(&[1, 1, 8, 8], 0.5);
+        let mut g = Tensor::zeros(&[1, 1, 8, 8]);
+        // Strong gradient in the lower-right corner.
+        for y in 5..8 {
+            for xx in 5..8 {
+                g.set(&[0, 0, y, xx], 1.0);
+            }
+        }
+        let next = Constraint::SingleRect { h: 3, w: 3 }.step(&x, &g, 0.2);
+        let changed: Vec<usize> = (0..64)
+            .filter(|&i| (next.data()[i] - x.data()[i]).abs() > 1e-6)
+            .collect();
+        assert!(!changed.is_empty());
+        assert!(changed.len() <= 9, "changed {} pixels", changed.len());
+        // All changes confined to the bottom-right region.
+        for &i in &changed {
+            let (y, xx) = (i / 8, i % 8);
+            assert!(y >= 4 && xx >= 4, "unexpected change at ({y}, {xx})");
+        }
+    }
+
+    #[test]
+    fn multi_rects_only_darken() {
+        let x = Tensor::full(&[1, 1, 8, 8], 0.5);
+        let mut g = rng::uniform(&mut rng::rng(1), &[1, 1, 8, 8], -1.0, 1.0);
+        // Force one patch to be strongly negative.
+        for y in 0..2 {
+            for xx in 0..2 {
+                g.set(&[0, 0, y, xx], -1.0);
+            }
+        }
+        let next = Constraint::MultiRects { size: 2, count: 3 }.step(&x, &g, 0.2);
+        for i in 0..64 {
+            assert!(
+                next.data()[i] <= x.data()[i] + 1e-6,
+                "multi-rects must never brighten (pixel {i})"
+            );
+        }
+        assert!(next.data().iter().zip(x.data()).any(|(a, b)| a < b));
+    }
+
+    #[test]
+    fn drebin_flips_exactly_one_manifest_feature() {
+        let x = Tensor::zeros(&[1, 6]);
+        let g = Tensor::from_vec(vec![0.1, 0.9, 0.5, -0.3, 0.8, 0.7], &[1, 6]);
+        let mask = vec![true, true, true, false, false, false];
+        let c = Constraint::DrebinManifest { manifest_mask: mask };
+        let next = c.step(&x, &g, 1.0);
+        // Feature 1 has the largest positive gradient among manifest slots.
+        assert_eq!(next.data(), &[0.0, 1.0, 0.0, 0.0, 0.0, 0.0]);
+        // A second step flips the next best (feature 2).
+        let next2 = c.step(&next, &g, 1.0);
+        assert_eq!(next2.data(), &[0.0, 1.0, 1.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn drebin_never_removes_features() {
+        let x = Tensor::from_vec(vec![1.0, 1.0, 0.0], &[1, 3]);
+        let g = Tensor::from_vec(vec![-5.0, -5.0, -5.0], &[1, 3]);
+        let c = Constraint::DrebinManifest { manifest_mask: vec![true; 3] };
+        let next = c.step(&x, &g, 1.0);
+        assert_eq!(next.data(), x.data(), "negative gradients must not delete features");
+    }
+
+    #[test]
+    fn pdf_steps_are_integral_in_raw_units() {
+        let scale = vec![100.0, 50.0];
+        let x = Tensor::from_vec(vec![0.10, 0.20], &[1, 2]); // Raw 10, 10.
+        let g = Tensor::from_vec(vec![0.9, -0.6], &[1, 2]);
+        let c = Constraint::PdfFeatures { scale: scale.clone() };
+        let next = c.step(&x, &g, 0.1);
+        for (i, &s) in scale.iter().enumerate() {
+            let raw = next.data()[i] * s;
+            assert!((raw - raw.round()).abs() < 1e-3, "feature {i} raw {raw} not integral");
+        }
+        // Feature 0 moved up, feature 1 down.
+        assert!(next.data()[0] > x.data()[0]);
+        assert!(next.data()[1] < x.data()[1]);
+    }
+
+    #[test]
+    fn pdf_fallback_guarantees_progress() {
+        let scale = vec![100.0, 100.0];
+        let x = Tensor::from_vec(vec![0.5, 0.5], &[1, 2]);
+        // Tiny gradients that would round to zero raw movement.
+        let g = Tensor::from_vec(vec![1e-4, 3e-4], &[1, 2]);
+        let c = Constraint::PdfFeatures { scale };
+        let next = c.step(&x, &g, 0.1);
+        assert_ne!(next.data(), x.data(), "fallback must move one feature");
+        // The steeper feature (index 1) moved by exactly one raw unit.
+        assert!((next.data()[1] * 100.0 - 51.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn pdf_respects_bounds() {
+        let scale = vec![10.0];
+        let x = Tensor::from_vec(vec![1.0], &[1, 1]); // Raw 10 == max.
+        let g = Tensor::from_vec(vec![5.0], &[1, 1]);
+        let next = Constraint::PdfFeatures { scale }.step(&x, &g, 1.0);
+        assert!(next.data()[0] <= 1.0);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Constraint::Lighting.name(), "lighting");
+        assert_eq!(Constraint::SingleRect { h: 2, w: 2 }.name(), "single_rect");
+    }
+}

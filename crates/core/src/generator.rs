@@ -1,0 +1,579 @@
+//! Algorithm 1: test-input generation via joint optimization.
+
+use std::time::{Duration, Instant};
+
+use dx_coverage::neuron::injection_for_neuron;
+use dx_coverage::{CoverageConfig, CoverageTracker};
+use dx_nn::network::Network;
+use dx_nn::util::{gather_rows, row};
+use dx_tensor::{rng, Tensor};
+use rand::Rng as _;
+
+use crate::constraints::Constraint;
+use crate::diff::{class_of, differs, value_of, Prediction};
+use crate::hyper::Hyperparams;
+
+/// What the models under test compute.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum TaskKind {
+    /// Softmax classifiers; the oracle compares argmax classes.
+    Classification,
+    /// Scalar regressors (steering); the oracle compares directions with
+    /// the embedded dead-zone threshold.
+    Regression {
+        /// Direction dead zone.
+        direction_threshold: f32,
+    },
+}
+
+/// One generated difference-inducing test.
+#[derive(Clone, Debug)]
+pub struct GeneratedTest {
+    /// Index of the seed input this test was grown from.
+    pub seed_index: usize,
+    /// The difference-inducing input (batched `[1, ...]`).
+    pub input: Tensor,
+    /// Gradient-ascent iterations taken.
+    pub iterations: usize,
+    /// Each model's prediction on the generated input.
+    pub predictions: Vec<Prediction>,
+    /// Which model Algorithm 1 chose to push away (the `j` of Eq. 2).
+    pub target_model: usize,
+}
+
+/// Aggregate statistics of a generation run.
+#[derive(Clone, Debug, Default)]
+pub struct RunStats {
+    /// Seeds consumed (including skipped ones).
+    pub seeds_tried: usize,
+    /// Seeds skipped because the models already disagreed.
+    pub seeds_skipped_preexisting: usize,
+    /// Difference-inducing inputs found.
+    pub differences_found: usize,
+    /// Total gradient-ascent iterations across all seeds.
+    pub total_iterations: usize,
+    /// Wall-clock time of the run.
+    pub elapsed: Duration,
+}
+
+/// Result of a generation run.
+#[derive(Clone, Debug)]
+pub struct GenResult {
+    /// The difference-inducing tests, in discovery order.
+    pub tests: Vec<GeneratedTest>,
+    /// Run statistics.
+    pub stats: RunStats,
+    /// Final per-model neuron coverage.
+    pub coverage: Vec<f32>,
+}
+
+/// The DeepXplore test generator (Algorithm 1).
+///
+/// Holds the models under test, their coverage trackers (`cov_tracker`),
+/// the joint-optimization hyperparameters and the domain constraint; it is
+/// deterministic given its construction seed.
+pub struct Generator {
+    models: Vec<Network>,
+    kind: TaskKind,
+    hp: Hyperparams,
+    constraint: Constraint,
+    trackers: Vec<CoverageTracker>,
+    rng: rng::Rng,
+}
+
+impl Generator {
+    /// Creates a generator over at least two models with identical
+    /// input/output shapes.
+    ///
+    /// # Panics
+    ///
+    /// Panics with fewer than two models or mismatched shapes.
+    pub fn new(
+        models: Vec<Network>,
+        kind: TaskKind,
+        hp: Hyperparams,
+        constraint: Constraint,
+        coverage: CoverageConfig,
+        seed: u64,
+    ) -> Self {
+        assert!(models.len() >= 2, "differential testing needs at least two models");
+        let in_shape = models[0].input_shape().to_vec();
+        let out_shape = models[0].activation_shapes().last().expect("nonempty").clone();
+        for m in &models[1..] {
+            assert_eq!(m.input_shape(), in_shape.as_slice(), "input shapes differ");
+            assert_eq!(
+                m.activation_shapes().last().expect("nonempty"),
+                &out_shape,
+                "output shapes differ"
+            );
+        }
+        let trackers = models
+            .iter()
+            .map(|m| CoverageTracker::for_network(m, coverage))
+            .collect();
+        Self { models, kind, hp, constraint, trackers, rng: rng::rng(seed) }
+    }
+
+    /// Replaces the coverage trackers with ones over an explicit activation
+    /// subset (Table 8 excludes dense layers this way).
+    pub fn with_tracked_activations(mut self, per_model: &[Vec<usize>]) -> Self {
+        assert_eq!(per_model.len(), self.models.len(), "one activation list per model");
+        self.trackers = self
+            .models
+            .iter()
+            .zip(per_model.iter())
+            .map(|(m, acts)| {
+                CoverageTracker::for_activations(m, acts, *self.trackers[0].config())
+            })
+            .collect();
+        self
+    }
+
+    /// The models under test.
+    pub fn models(&self) -> &[Network] {
+        &self.models
+    }
+
+    /// Per-model neuron coverage so far.
+    pub fn coverage(&self) -> Vec<f32> {
+        self.trackers.iter().map(|t| t.coverage()).collect()
+    }
+
+    /// Mean neuron coverage across models.
+    pub fn mean_coverage(&self) -> f32 {
+        let c = self.coverage();
+        c.iter().sum::<f32>() / c.len() as f32
+    }
+
+    /// Predictions of every model on a batched input.
+    pub fn predict_all(&self, x: &Tensor) -> Vec<Prediction> {
+        self.models
+            .iter()
+            .map(|m| {
+                let out = m.output(x);
+                match self.kind {
+                    TaskKind::Classification => class_of(&out),
+                    TaskKind::Regression { .. } => value_of(&out),
+                }
+            })
+            .collect()
+    }
+
+    fn direction_threshold(&self) -> f32 {
+        match self.kind {
+            TaskKind::Classification => 0.0,
+            TaskKind::Regression { direction_threshold } => direction_threshold,
+        }
+    }
+
+    /// Runs Algorithm 1 over a batch of seeds (one cycle), stopping early
+    /// if `desired_coverage` is reached.
+    pub fn run(&mut self, seeds: &Tensor) -> GenResult {
+        let started = Instant::now();
+        let mut stats = RunStats::default();
+        let mut tests = Vec::new();
+        let n = seeds.shape()[0];
+        for i in 0..n {
+            stats.seeds_tried += 1;
+            let seed_x = gather_rows(seeds, &[i]);
+            match self.grow(i, &seed_x, &mut stats) {
+                SeedOutcome::Difference(test) => {
+                    stats.differences_found += 1;
+                    tests.push(test);
+                }
+                SeedOutcome::Preexisting => stats.seeds_skipped_preexisting += 1,
+                SeedOutcome::Exhausted => {}
+            }
+            if let Some(p) = self.hp.desired_coverage {
+                if self.mean_coverage() >= p {
+                    break;
+                }
+            }
+        }
+        stats.elapsed = started.elapsed();
+        GenResult { tests, stats, coverage: self.coverage() }
+    }
+
+    /// Attempts to grow one difference-inducing input from one seed.
+    pub fn generate_from_seed(&mut self, seed_index: usize, seed: &Tensor) -> Option<GeneratedTest> {
+        let mut stats = RunStats::default();
+        match self.grow(seed_index, seed, &mut stats) {
+            SeedOutcome::Difference(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    fn grow(&mut self, seed_index: usize, seed_x: &Tensor, stats: &mut RunStats) -> SeedOutcome {
+        let threshold = self.direction_threshold();
+        let initial = self.predict_all(seed_x);
+        if differs(&initial, threshold) {
+            // The models disagree on the seed itself (Algorithm 1 line 4-5
+            // assumes agreement).
+            if self.hp.count_preexisting {
+                for (m, tracker) in self.models.iter().zip(self.trackers.iter_mut()) {
+                    tracker.update(&m.forward(seed_x));
+                }
+                return SeedOutcome::Difference(GeneratedTest {
+                    seed_index,
+                    input: seed_x.clone(),
+                    iterations: 0,
+                    predictions: initial,
+                    target_model: 0,
+                });
+            }
+            return SeedOutcome::Preexisting;
+        }
+        // The common class c (line 5) / the agreed direction for regression.
+        let c = match initial[0] {
+            Prediction::Class(c) => c,
+            Prediction::Value(_) => 0,
+        };
+        // Line 6: randomly select the model to push away.
+        let j = self.rng.gen_range(0..self.models.len());
+        let mut x = seed_x.clone();
+        for iter in 1..=self.hp.max_iters {
+            stats.total_iterations += 1;
+            let grad = self.joint_gradient(&x, c, j);
+            let next = self.constraint.step(&x, &grad, self.hp.step);
+            if next == x {
+                // The constraint admits no further movement from here.
+                return SeedOutcome::Exhausted;
+            }
+            x = next;
+            let preds = self.predict_all(&x);
+            if differs(&preds, threshold) {
+                // Lines 15-19: record the test and update cov_tracker.
+                for (m, tracker) in self.models.iter().zip(self.trackers.iter_mut()) {
+                    tracker.update(&m.forward(&x));
+                }
+                return SeedOutcome::Difference(GeneratedTest {
+                    seed_index,
+                    input: x,
+                    iterations: iter,
+                    predictions: preds,
+                    target_model: j,
+                });
+            }
+        }
+        SeedOutcome::Exhausted
+    }
+
+    /// The gradient of Equation 3 with respect to the input:
+    /// `∂[(Σ_{k≠j} F_k(x)[c] − λ1·F_j(x)[c]) + λ2·Σ_m f_{n_m}(x)]/∂x`.
+    fn joint_gradient(&mut self, x: &Tensor, c: usize, j: usize) -> Tensor {
+        let mut total = Tensor::zeros(x.shape());
+        for (m, (model, tracker)) in self.models.iter().zip(self.trackers.iter()).enumerate() {
+            let pass = model.forward(x);
+            let mut injections = Vec::with_capacity(2);
+            // obj1 term at the output layer.
+            let out_shape = pass.output().shape().to_vec();
+            let weight = if m == j { -self.hp.lambda1 } else { 1.0 };
+            let mut out_seed = Tensor::zeros(&out_shape);
+            match self.kind {
+                TaskKind::Classification => out_seed.set(&[0, c], weight),
+                TaskKind::Regression { .. } => out_seed.data_mut().fill(weight),
+            }
+            injections.push((model.num_layers(), out_seed));
+            // obj2 term: uncovered neuron(s) per model (line 33; the paper
+            // picks one, `neurons_per_model` generalizes per §4.2).
+            if self.hp.lambda2 != 0.0 {
+                let picked: Vec<_> = match self.hp.neuron_pick {
+                    crate::hyper::NeuronPick::Random => {
+                        tracker.pick_uncovered_k(&mut self.rng, self.hp.neurons_per_model.max(1))
+                    }
+                    crate::hyper::NeuronPick::Nearest => {
+                        tracker.pick_uncovered_nearest(&pass).into_iter().collect()
+                    }
+                };
+                for neuron in picked {
+                    let (idx, seed) =
+                        injection_for_neuron(model, neuron, tracker.config().granularity);
+                    injections.push((idx, seed.scale(self.hp.lambda2)));
+                }
+            }
+            total += &model.input_gradient(&pass, &injections);
+        }
+        total
+    }
+}
+
+enum SeedOutcome {
+    Difference(GeneratedTest),
+    Preexisting,
+    Exhausted,
+}
+
+/// Average iterations to the first difference between exactly two models —
+/// the Table 12 measurement. Returns `None` (the paper's `-`) when no seed
+/// yields a difference within `max_iters`.
+pub fn mean_iterations_to_difference(
+    a: &Network,
+    b: &Network,
+    seeds: &Tensor,
+    hp: Hyperparams,
+    constraint: Constraint,
+    rng_seed: u64,
+) -> Option<f32> {
+    let mut gen = Generator::new(
+        vec![a.clone(), b.clone()],
+        TaskKind::Classification,
+        hp,
+        constraint,
+        CoverageConfig::default(),
+        rng_seed,
+    );
+    let n = seeds.shape()[0];
+    let mut total = 0usize;
+    let mut found = 0usize;
+    for i in 0..n {
+        let seed = gather_rows(seeds, &[i]);
+        if let Some(test) = gen.generate_from_seed(i, &seed) {
+            total += test.iterations;
+            found += 1;
+        }
+    }
+    if found == 0 {
+        None
+    } else {
+        Some(total as f32 / found as f32)
+    }
+}
+
+/// Convenience: unbatched view of a generated test's input.
+pub fn test_input_sample(test: &GeneratedTest) -> Tensor {
+    row(&test.input, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dx_nn::layer::Layer;
+
+    fn mk_classifier(seed: u64) -> Network {
+        let mut n = Network::new(
+            &[20],
+            vec![
+                Layer::dense(20, 16),
+                Layer::relu(),
+                Layer::dense(16, 3),
+                Layer::softmax(),
+            ],
+        );
+        n.init_weights(&mut rng::rng(seed));
+        n
+    }
+
+    /// Three similar-but-different classifiers — the setting differential
+    /// testing assumes (models mostly agree, boundaries differ slightly).
+    fn similar_trio(seed: u64) -> Vec<Network> {
+        let base = mk_classifier(seed);
+        vec![
+            base.clone(),
+            base.perturbed(0.1, seed + 1),
+            base.perturbed(0.1, seed + 2),
+        ]
+    }
+
+    fn mk_regressor(seed: u64) -> Network {
+        let mut n = Network::new(
+            &[20],
+            vec![
+                Layer::dense(20, 12),
+                Layer::tanh(),
+                Layer::dense(12, 1),
+                Layer::tanh(),
+            ],
+        );
+        n.init_weights(&mut rng::rng(seed));
+        n
+    }
+
+    fn default_gen(seeds: u64) -> Generator {
+        Generator::new(
+            similar_trio(1),
+            TaskKind::Classification,
+            Hyperparams { step: 0.2, lambda1: 2.0, max_iters: 100, ..Default::default() },
+            Constraint::Clip,
+            CoverageConfig::default(),
+            seeds,
+        )
+    }
+
+    #[test]
+    fn finds_differences_on_random_models() {
+        let mut g = default_gen(7);
+        let seeds = rng::uniform(&mut rng::rng(4), &[12, 20], 0.2, 0.8);
+        let result = g.run(&seeds);
+        assert!(
+            result.stats.differences_found > 0,
+            "no differences found: {:?}",
+            result.stats
+        );
+        // Every reported test really is a disagreement.
+        for t in &result.tests {
+            assert!(differs(&t.predictions, 0.0));
+            assert!(t.iterations >= 1);
+        }
+    }
+
+    #[test]
+    fn generated_inputs_respect_box_constraint() {
+        let mut g = default_gen(8);
+        let seeds = rng::uniform(&mut rng::rng(5), &[8, 20], 0.2, 0.8);
+        let result = g.run(&seeds);
+        for t in &result.tests {
+            assert!(t.input.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn coverage_grows_during_run() {
+        let mut g = default_gen(9);
+        assert_eq!(g.mean_coverage(), 0.0);
+        let seeds = rng::uniform(&mut rng::rng(6), &[10, 20], 0.2, 0.8);
+        let _ = g.run(&seeds);
+        assert!(g.mean_coverage() > 0.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let seeds = rng::uniform(&mut rng::rng(10), &[6, 20], 0.2, 0.8);
+        let r1 = default_gen(11).run(&seeds);
+        let r2 = default_gen(11).run(&seeds);
+        assert_eq!(r1.stats.differences_found, r2.stats.differences_found);
+        for (a, b) in r1.tests.iter().zip(r2.tests.iter()) {
+            assert_eq!(a.input, b.input);
+            assert_eq!(a.iterations, b.iterations);
+        }
+    }
+
+    #[test]
+    fn desired_coverage_stops_early() {
+        let base = mk_classifier(1);
+        let mut g = Generator::new(
+            vec![base.clone(), base.perturbed(0.08, 2)],
+            TaskKind::Classification,
+            Hyperparams {
+                step: 0.2,
+                lambda1: 2.0,
+                desired_coverage: Some(0.01),
+                ..Default::default()
+            },
+            Constraint::Clip,
+            CoverageConfig::default(),
+            12,
+        );
+        let seeds = rng::uniform(&mut rng::rng(13), &[50, 20], 0.2, 0.8);
+        let result = g.run(&seeds);
+        assert!(result.stats.seeds_tried < 50, "should stop before exhausting seeds");
+        assert!(g.mean_coverage() >= 0.01);
+    }
+
+    #[test]
+    fn regression_task_finds_direction_differences() {
+        let base = mk_regressor(20);
+        let mut g = Generator::new(
+            vec![base.clone(), base.perturbed(0.1, 21)],
+            TaskKind::Regression { direction_threshold: 0.1 },
+            Hyperparams { step: 0.2, max_iters: 120, lambda1: 2.0, ..Default::default() },
+            Constraint::Clip,
+            CoverageConfig::default(),
+            22,
+        );
+        let seeds = rng::uniform(&mut rng::rng(23), &[15, 20], 0.2, 0.8);
+        let result = g.run(&seeds);
+        for t in &result.tests {
+            assert!(differs(&t.predictions, 0.1));
+        }
+        // Untrained tanh regressors centred near zero should be easy to
+        // split in 15 seeds.
+        assert!(result.stats.differences_found > 0, "{:?}", result.stats);
+    }
+
+    #[test]
+    fn identical_models_never_differ() {
+        let m = mk_classifier(30);
+        let mut g = Generator::new(
+            vec![m.clone(), m],
+            TaskKind::Classification,
+            Hyperparams { step: 0.2, max_iters: 10, ..Default::default() },
+            Constraint::Clip,
+            CoverageConfig::default(),
+            31,
+        );
+        let seeds = rng::uniform(&mut rng::rng(32), &[5, 20], 0.2, 0.8);
+        let result = g.run(&seeds);
+        assert_eq!(result.stats.differences_found, 0);
+    }
+
+    #[test]
+    fn lambda2_zero_skips_neuron_objective() {
+        // With λ2 = 0 the run must still work (Table 5's ablation arm).
+        let base = mk_classifier(1);
+        let mut g = Generator::new(
+            vec![base.clone(), base.perturbed(0.08, 2)],
+            TaskKind::Classification,
+            Hyperparams { lambda2: 0.0, step: 0.2, lambda1: 2.0, ..Default::default() },
+            Constraint::Clip,
+            CoverageConfig::default(),
+            33,
+        );
+        let seeds = rng::uniform(&mut rng::rng(34), &[8, 20], 0.2, 0.8);
+        let result = g.run(&seeds);
+        assert!(result.stats.seeds_tried > 0);
+        // Coverage still updates from found differences.
+        let _ = result.coverage;
+    }
+
+    #[test]
+    fn mean_iterations_between_identical_models_is_none() {
+        let m = mk_classifier(40);
+        let seeds = rng::uniform(&mut rng::rng(41), &[4, 20], 0.2, 0.8);
+        let out = mean_iterations_to_difference(
+            &m,
+            &m.clone(),
+            &seeds,
+            Hyperparams { max_iters: 15, step: 0.2, ..Default::default() },
+            Constraint::Clip,
+            42,
+        );
+        assert!(out.is_none());
+    }
+
+    #[test]
+    fn multi_neuron_objective_runs() {
+        // The §4.2 extension: several uncovered neurons jointly maximized.
+        let mut g = Generator::new(
+            similar_trio(60),
+            TaskKind::Classification,
+            Hyperparams {
+                step: 0.2,
+                lambda1: 2.0,
+                neurons_per_model: 4,
+                ..Default::default()
+            },
+            Constraint::Clip,
+            CoverageConfig::default(),
+            61,
+        );
+        let seeds = rng::uniform(&mut rng::rng(62), &[10, 20], 0.2, 0.8);
+        let result = g.run(&seeds);
+        assert!(result.stats.seeds_tried == 10);
+        for t in &result.tests {
+            assert!(differs(&t.predictions, 0.0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two models")]
+    fn single_model_rejected() {
+        Generator::new(
+            vec![mk_classifier(50)],
+            TaskKind::Classification,
+            Hyperparams::default(),
+            Constraint::Clip,
+            CoverageConfig::default(),
+            51,
+        );
+    }
+}

@@ -1,0 +1,143 @@
+//! Property-based tests for the domain constraints — the invariants §6.2
+//! promises must hold for *any* gradient, step size and input.
+
+#![allow(clippy::needless_range_loop)] // Tests co-index several parallel arrays.
+use deepxplore::Constraint;
+use dx_tensor::Tensor;
+use proptest::prelude::*;
+
+/// Strategy: a batched image `[1, 1, 8, 8]` with pixels in `[0, 1]`.
+fn image() -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(0.0f32..1.0, 64)
+        .prop_map(|v| Tensor::from_vec(v, &[1, 1, 8, 8]))
+}
+
+/// Strategy: a gradient of the same shape, any sign.
+fn gradient() -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(-3.0f32..3.0, 64)
+        .prop_map(|v| Tensor::from_vec(v, &[1, 1, 8, 8]))
+}
+
+/// Strategy: a binary feature vector `[1, 24]`.
+fn binary_features() -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(0usize..2, 24)
+        .prop_map(|v| Tensor::from_vec(v.iter().map(|&b| b as f32).collect(), &[1, 24]))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn clip_keeps_unit_box(x in image(), g in gradient(), s in 0.0f32..1.0) {
+        let next = Constraint::Clip.step(&x, &g, s);
+        prop_assert!(next.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn lighting_shift_is_uniform_before_clamp(x in image(), g in gradient(), s in 0.001f32..0.2) {
+        let next = Constraint::Lighting.step(&x, &g, s);
+        // Every pixel's movement is either the common shift or a clamp.
+        let dir = if g.mean() >= 0.0 { 1.0 } else { -1.0 };
+        for i in 0..64 {
+            let want = (x.data()[i] + s * dir).clamp(0.0, 1.0);
+            prop_assert!((next.data()[i] - want).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn single_rect_touches_at_most_window(x in image(), g in gradient(), s in 0.001f32..0.5) {
+        let next = Constraint::SingleRect { h: 3, w: 3 }.step(&x, &g, s);
+        let changed = next
+            .data()
+            .iter()
+            .zip(x.data().iter())
+            .filter(|(a, b)| (**a - **b).abs() > 1e-7)
+            .count();
+        prop_assert!(changed <= 9, "changed {changed} pixels");
+        prop_assert!(next.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn multi_rects_never_brighten(x in image(), g in gradient(), s in 0.001f32..0.5) {
+        let next = Constraint::MultiRects { size: 2, count: 4 }.step(&x, &g, s);
+        for i in 0..64 {
+            prop_assert!(next.data()[i] <= x.data()[i] + 1e-7);
+            prop_assert!(next.data()[i] >= 0.0);
+        }
+    }
+
+    #[test]
+    fn drebin_only_adds_manifest_features(
+        x in binary_features(),
+        g in proptest::collection::vec(-2.0f32..2.0, 24),
+    ) {
+        let grad = Tensor::from_vec(g, &[1, 24]);
+        let mask: Vec<bool> = (0..24).map(|i| i < 12).collect();
+        let c = Constraint::DrebinManifest { manifest_mask: mask.clone() };
+        let next = c.step(&x, &grad, 1.0);
+        let mut flips = 0;
+        for i in 0..24 {
+            let (before, after) = (x.data()[i], next.data()[i]);
+            if (before - after).abs() > 1e-7 {
+                flips += 1;
+                prop_assert!(mask[i], "non-manifest feature {i} changed");
+                prop_assert!(before < 0.5 && after > 0.5, "feature {i} removed");
+                prop_assert!(grad.data()[i] > 0.0, "flip against the gradient");
+            }
+        }
+        prop_assert!(flips <= 1, "more than one feature flipped per step");
+    }
+
+    #[test]
+    fn drebin_is_idempotent_at_saturation(g in proptest::collection::vec(0.1f32..2.0, 24)) {
+        // Once every manifest feature is 1 no step can change anything.
+        let x = Tensor::ones(&[1, 24]);
+        let grad = Tensor::from_vec(g, &[1, 24]);
+        let c = Constraint::DrebinManifest { manifest_mask: vec![true; 24] };
+        prop_assert_eq!(c.step(&x, &grad, 1.0), x);
+    }
+
+    #[test]
+    fn pdf_features_stay_integral_and_bounded(
+        raw in proptest::collection::vec(0i32..50, 16),
+        g in proptest::collection::vec(-2.0f32..2.0, 16),
+        s in 0.01f32..2.0,
+    ) {
+        let scale = vec![50.0f32; 16];
+        let x = Tensor::from_vec(raw.iter().map(|&r| r as f32 / 50.0).collect(), &[1, 16]);
+        let grad = Tensor::from_vec(g, &[1, 16]);
+        let c = Constraint::PdfFeatures { scale: scale.clone() };
+        let next = c.step(&x, &grad, s);
+        for i in 0..16 {
+            let r = next.data()[i] * scale[i];
+            prop_assert!((r - r.round()).abs() < 1e-3, "feature {i} raw {r} not integral");
+            prop_assert!((-1e-4..=50.0 + 1e-4).contains(&r), "feature {i} out of bounds");
+        }
+    }
+
+    #[test]
+    fn pdf_always_makes_progress_under_nonzero_gradient(
+        g in proptest::collection::vec(0.01f32..1.0, 8),
+    ) {
+        // With strictly positive gradients and headroom, some feature must
+        // move (the integer-fallback guarantee).
+        let scale = vec![100.0f32; 8];
+        let x = Tensor::from_vec(vec![0.5; 8], &[1, 8]);
+        let grad = Tensor::from_vec(g, &[1, 8]);
+        let next = Constraint::PdfFeatures { scale }.step(&x, &grad, 0.001);
+        prop_assert_ne!(next.data(), x.data());
+    }
+
+    #[test]
+    fn constraints_preserve_shape(x in image(), g in gradient()) {
+        for c in [
+            Constraint::Clip,
+            Constraint::Lighting,
+            Constraint::SingleRect { h: 2, w: 4 },
+            Constraint::MultiRects { size: 2, count: 2 },
+        ] {
+            let next = c.step(&x, &g, 0.1);
+            prop_assert_eq!(next.shape(), x.shape());
+        }
+    }
+}

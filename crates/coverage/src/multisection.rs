@@ -1,0 +1,244 @@
+//! k-multisection neuron coverage — the finer-grained successor of the
+//! paper's threshold metric.
+//!
+//! DeepXplore's neuron coverage is binary: a neuron is covered once its
+//! output exceeds `t` anywhere. Follow-on work (DeepGauge, Ma et al. 2018
+//! — directly building on this paper) refines it: profile each neuron's
+//! output range `[low, high]` on the training set, split it into `k`
+//! equal sections, and count the fraction of *sections* test inputs have
+//! reached. This catches test suites that hammer one operating point of a
+//! neuron and never explore the rest of its range. We include it as the
+//! natural "future work" extension of the paper's metric.
+
+use dx_nn::network::{ForwardPass, Network};
+
+use crate::neuron::{neuron_count, neuron_values, Granularity};
+
+/// Profiled output range of every tracked neuron.
+#[derive(Clone, Debug)]
+pub struct NeuronProfile {
+    activations: Vec<usize>,
+    granularity: Granularity,
+    low: Vec<f32>,
+    high: Vec<f32>,
+}
+
+impl NeuronProfile {
+    /// Starts an empty profile over the network's coverage layers.
+    pub fn new(net: &Network, granularity: Granularity) -> Self {
+        let activations = net.coverage_activation_indices();
+        let total: usize = activations
+            .iter()
+            .map(|&a| neuron_count(&net.activation_shapes()[a], granularity))
+            .sum();
+        Self {
+            activations,
+            granularity,
+            low: vec![f32::INFINITY; total],
+            high: vec![f32::NEG_INFINITY; total],
+        }
+    }
+
+    /// Extends the ranges with one (batch-size-1) pass — call once per
+    /// training input.
+    pub fn observe(&mut self, pass: &ForwardPass) {
+        let mut base = 0;
+        for &a in &self.activations {
+            let values = neuron_values(pass, a, self.granularity, false);
+            for (j, &v) in values.iter().enumerate() {
+                let i = base + j;
+                self.low[i] = self.low[i].min(v);
+                self.high[i] = self.high[i].max(v);
+            }
+            base += values.len();
+        }
+    }
+
+    /// Number of profiled neurons.
+    pub fn total(&self) -> usize {
+        self.low.len()
+    }
+
+    /// Whether any input has been observed.
+    pub fn is_primed(&self) -> bool {
+        self.low.iter().any(|v| v.is_finite())
+    }
+}
+
+/// k-multisection coverage state over a profiled network.
+#[derive(Clone, Debug)]
+pub struct MultisectionTracker {
+    profile: NeuronProfile,
+    k: usize,
+    /// `total × k` section-hit flags, neuron-major.
+    hit: Vec<bool>,
+}
+
+impl MultisectionTracker {
+    /// Builds a tracker with `k` sections per neuron.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero or the profile saw no inputs.
+    pub fn new(profile: NeuronProfile, k: usize) -> Self {
+        assert!(k > 0, "need at least one section per neuron");
+        assert!(profile.is_primed(), "profile must observe training inputs first");
+        let total = profile.total();
+        Self { profile, k, hit: vec![false; total * k] }
+    }
+
+    /// Sections per neuron.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Folds one (batch-size-1) pass into the hit set; returns how many new
+    /// sections were reached.
+    pub fn update(&mut self, pass: &ForwardPass) -> usize {
+        let mut newly = 0;
+        let mut base = 0;
+        for &a in &self.profile.activations.clone() {
+            let values = neuron_values(pass, a, self.profile.granularity, false);
+            for (j, &v) in values.iter().enumerate() {
+                let i = base + j;
+                let (lo, hi) = (self.profile.low[i], self.profile.high[i]);
+                if !lo.is_finite() || !hi.is_finite() || hi <= lo {
+                    continue; // Unprofiled or constant neuron.
+                }
+                if v < lo || v > hi {
+                    continue; // Outside the profiled range (corner region).
+                }
+                let section = (((v - lo) / (hi - lo)) * self.k as f32)
+                    .floor()
+                    .min((self.k - 1) as f32) as usize;
+                let flag = &mut self.hit[i * self.k + section];
+                if !*flag {
+                    *flag = true;
+                    newly += 1;
+                }
+            }
+            base += values.len();
+        }
+        newly
+    }
+
+    /// Fraction of all neuron-sections reached.
+    pub fn coverage(&self) -> f32 {
+        if self.hit.is_empty() {
+            0.0
+        } else {
+            self.hit.iter().filter(|&&h| h).count() as f32 / self.hit.len() as f32
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dx_nn::layer::Layer;
+    use dx_tensor::rng;
+
+    fn net(seed: u64) -> Network {
+        let mut n = Network::new(
+            &[6],
+            vec![Layer::dense(6, 10), Layer::tanh(), Layer::dense(10, 3), Layer::softmax()],
+        );
+        n.init_weights(&mut rng::rng(seed));
+        n
+    }
+
+    fn primed_profile(n: &Network, inputs: usize, seed: u64) -> NeuronProfile {
+        let mut profile = NeuronProfile::new(n, Granularity::Unit);
+        let mut r = rng::rng(seed);
+        for _ in 0..inputs {
+            let x = rng::uniform(&mut r, &[1, 6], 0.0, 1.0);
+            profile.observe(&n.forward(&x));
+        }
+        profile
+    }
+
+    #[test]
+    fn profile_ranges_are_ordered() {
+        let n = net(0);
+        let p = primed_profile(&n, 20, 1);
+        assert!(p.is_primed());
+        for i in 0..p.total() {
+            assert!(p.low[i] <= p.high[i]);
+        }
+    }
+
+    #[test]
+    fn coverage_grows_and_is_bounded() {
+        let n = net(2);
+        let p = primed_profile(&n, 30, 3);
+        let mut t = MultisectionTracker::new(p, 5);
+        assert_eq!(t.coverage(), 0.0);
+        let mut r = rng::rng(4);
+        let mut last = 0.0;
+        for _ in 0..20 {
+            let x = rng::uniform(&mut r, &[1, 6], 0.0, 1.0);
+            t.update(&n.forward(&x));
+            let c = t.coverage();
+            assert!(c >= last && c <= 1.0);
+            last = c;
+        }
+        assert!(last > 0.0);
+    }
+
+    #[test]
+    fn profiled_inputs_land_inside_sections() {
+        // Replaying the profiling inputs must hit sections (never be
+        // rejected as out of range).
+        let n = net(5);
+        let mut profile = NeuronProfile::new(&n, Granularity::Unit);
+        let mut r = rng::rng(6);
+        let xs: Vec<_> = (0..10)
+            .map(|_| rng::uniform(&mut r, &[1, 6], 0.0, 1.0))
+            .collect();
+        for x in &xs {
+            profile.observe(&n.forward(x));
+        }
+        let mut t = MultisectionTracker::new(profile, 4);
+        let mut total_new = 0;
+        for x in &xs {
+            total_new += t.update(&n.forward(x));
+        }
+        assert!(total_new > 0);
+    }
+
+    #[test]
+    fn k_one_degenerates_to_range_hit() {
+        let n = net(7);
+        let p = primed_profile(&n, 15, 8);
+        let mut t = MultisectionTracker::new(p, 1);
+        let x = rng::uniform(&mut rng::rng(9), &[1, 6], 0.0, 1.0);
+        t.update(&n.forward(&x));
+        // With one section, coverage equals the fraction of neurons whose
+        // replayed value fell inside the profiled range — nonzero here.
+        assert!(t.coverage() > 0.0);
+    }
+
+    #[test]
+    fn finer_sections_are_harder_to_cover() {
+        let n = net(10);
+        let make = |k: usize| {
+            let p = primed_profile(&n, 25, 11);
+            let mut t = MultisectionTracker::new(p, k);
+            let mut r = rng::rng(12);
+            for _ in 0..10 {
+                let x = rng::uniform(&mut r, &[1, 6], 0.0, 1.0);
+                t.update(&n.forward(&x));
+            }
+            t.coverage()
+        };
+        assert!(make(2) >= make(10), "coarser sections should cover faster");
+    }
+
+    #[test]
+    #[should_panic(expected = "observe training inputs")]
+    fn unprimed_profile_rejected() {
+        let n = net(13);
+        let p = NeuronProfile::new(&n, Granularity::Unit);
+        MultisectionTracker::new(p, 4);
+    }
+}

@@ -1,0 +1,166 @@
+//! Operator coverage — the "traditional code coverage" half of Table 6.
+//!
+//! The paper measures Python line coverage of the model's training/testing
+//! code and finds that *ten random inputs reach 100%* while neuron coverage
+//! stays under 34%: the host code of a DNN is a straight-line interpreter,
+//! so exercising it says nothing about the learned rules.
+//!
+//! Our inference engine is Rust, so we instrument it at the natural analog
+//! of lines: operator kernels. Every layer contributes its kernel units
+//! (im2col, matmul, bias add, activation map, window scan, …); a forward
+//! pass executes every unit of every layer unconditionally — which is
+//! precisely the paper's point, reproduced mechanically.
+
+use dx_nn::layer::Layer;
+use dx_nn::network::Network;
+
+/// Operator-kernel units a layer's inference path executes.
+fn layer_units(layer: &Layer) -> Vec<&'static str> {
+    match layer {
+        Layer::Dense(_) => vec!["matmul", "bias_add"],
+        Layer::Conv2d(_) => vec!["im2col", "matmul", "bias_add"],
+        Layer::MaxPool2d(_) => vec!["window_max"],
+        Layer::AvgPool2d(_) => vec!["window_sum", "scale"],
+        Layer::Relu => vec!["relu_map"],
+        Layer::Sigmoid => vec!["sigmoid_map"],
+        Layer::Tanh => vec!["tanh_map"],
+        Layer::Softmax => vec!["row_max", "exp_map", "normalize"],
+        Layer::Flatten => vec!["reshape"],
+        Layer::Dropout(_) => vec!["identity"],
+        Layer::BatchNorm(_) => vec!["normalize", "affine"],
+        // The residual block's own units; its body layers execute within it.
+        Layer::Residual(_) => vec!["skip_add"],
+    }
+}
+
+/// Tracks which operator-kernel units of a network's inference path have
+/// executed.
+#[derive(Clone, Debug)]
+pub struct OpCoverage {
+    units: Vec<String>,
+    executed: Vec<bool>,
+}
+
+impl OpCoverage {
+    /// Builds the unit registry for a network.
+    pub fn for_network(net: &Network) -> Self {
+        let mut units = Vec::new();
+        for (i, layer) in net.layers().iter().enumerate() {
+            for u in layer_units(layer) {
+                units.push(format!("layer{i}:{}:{u}", layer.name()));
+            }
+        }
+        let executed = vec![false; units.len()];
+        Self { units, executed }
+    }
+
+    /// Records one evaluation-mode forward pass: a sequential network runs
+    /// every layer, so every inference unit executes.
+    pub fn record_forward(&mut self) {
+        self.executed.iter_mut().for_each(|e| *e = true);
+    }
+
+    /// Records a hypothetical partial execution (exposed for testing the
+    /// metric itself; real forward passes always execute everything).
+    pub fn record_layers(&mut self, net: &Network, layers: &[usize]) {
+        let mut offset = 0;
+        for (i, layer) in net.layers().iter().enumerate() {
+            let n = layer_units(layer).len();
+            if layers.contains(&i) {
+                for e in &mut self.executed[offset..offset + n] {
+                    *e = true;
+                }
+            }
+            offset += n;
+        }
+    }
+
+    /// Total number of units.
+    pub fn total(&self) -> usize {
+        self.units.len()
+    }
+
+    /// Number of executed units.
+    pub fn executed_count(&self) -> usize {
+        self.executed.iter().filter(|&&e| e).count()
+    }
+
+    /// Coverage in `[0, 1]`.
+    pub fn coverage(&self) -> f32 {
+        if self.units.is_empty() {
+            0.0
+        } else {
+            self.executed_count() as f32 / self.units.len() as f32
+        }
+    }
+
+    /// Names of units never executed.
+    pub fn unexecuted(&self) -> Vec<&str> {
+        self.units
+            .iter()
+            .zip(self.executed.iter())
+            .filter(|(_, &e)| !e)
+            .map(|(u, _)| u.as_str())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dx_tensor::rng;
+
+    fn cnn() -> Network {
+        let mut net = Network::new(
+            &[1, 6, 6],
+            vec![
+                Layer::conv2d(1, 2, 3, 1, 0),
+                Layer::relu(),
+                Layer::maxpool2d(2),
+                Layer::flatten(),
+                Layer::dense(2 * 2 * 2, 3),
+                Layer::softmax(),
+            ],
+        );
+        net.init_weights(&mut rng::rng(0));
+        net
+    }
+
+    #[test]
+    fn registry_covers_all_layers() {
+        let net = cnn();
+        let cov = OpCoverage::for_network(&net);
+        // conv 3 + relu 1 + pool 1 + flatten 1 + dense 2 + softmax 3.
+        assert_eq!(cov.total(), 11);
+        assert_eq!(cov.coverage(), 0.0);
+    }
+
+    #[test]
+    fn single_forward_reaches_full_coverage() {
+        // The paper's Table 6 phenomenon: one input, 100% "code" coverage.
+        let net = cnn();
+        let mut cov = OpCoverage::for_network(&net);
+        cov.record_forward();
+        assert_eq!(cov.coverage(), 1.0);
+        assert!(cov.unexecuted().is_empty());
+    }
+
+    #[test]
+    fn partial_execution_is_partial() {
+        let net = cnn();
+        let mut cov = OpCoverage::for_network(&net);
+        cov.record_layers(&net, &[0, 1]);
+        assert_eq!(cov.executed_count(), 4);
+        assert!(cov.coverage() < 1.0);
+        assert!(!cov.unexecuted().is_empty());
+    }
+
+    #[test]
+    fn unit_names_are_addressable() {
+        let net = cnn();
+        let cov = OpCoverage::for_network(&net);
+        let un = cov.unexecuted();
+        assert!(un.iter().any(|u| u.contains("im2col")));
+        assert!(un.iter().any(|u| u.contains("layer5")));
+    }
+}

@@ -1,0 +1,383 @@
+//! Incremental neuron-coverage tracking (Algorithm 1's `cov_tracker`).
+
+use dx_nn::network::{ForwardPass, Network};
+use dx_tensor::rng::Rng;
+use rand::Rng as _;
+
+use crate::neuron::{neuron_count, neuron_values, Granularity, NeuronId};
+
+/// Configuration of the coverage metric.
+#[derive(Clone, Copy, Debug)]
+pub struct CoverageConfig {
+    /// Activation threshold `t` (§4.1).
+    pub threshold: f32,
+    /// Min-max scale each tracked activation to `[0, 1]` before
+    /// thresholding (§7.1); required when layer output ranges differ.
+    pub scale_per_layer: bool,
+    /// Neuron granularity for convolutional activations.
+    pub granularity: Granularity,
+}
+
+impl Default for CoverageConfig {
+    fn default() -> Self {
+        Self {
+            threshold: 0.0,
+            scale_per_layer: false,
+            granularity: Granularity::ChannelMean,
+        }
+    }
+}
+
+impl CoverageConfig {
+    /// The paper's scaled-coverage setting with the given threshold.
+    pub fn scaled(threshold: f32) -> Self {
+        Self { threshold, scale_per_layer: true, ..Default::default() }
+    }
+}
+
+/// Tracks which neurons of one network have been activated by any input
+/// seen so far.
+#[derive(Clone, Debug)]
+pub struct CoverageTracker {
+    config: CoverageConfig,
+    /// Tracked activation indices, ascending.
+    activations: Vec<usize>,
+    /// Base offset of each tracked activation in the flat covered vector.
+    bases: Vec<usize>,
+    covered: Vec<bool>,
+}
+
+impl CoverageTracker {
+    /// Tracks the network's default coverage layers (post-activation
+    /// outputs; see `Network::coverage_activation_indices`).
+    pub fn for_network(net: &Network, config: CoverageConfig) -> Self {
+        Self::for_activations(net, &net.coverage_activation_indices(), config)
+    }
+
+    /// Tracks an explicit set of activation indices — Table 8 uses this to
+    /// exclude dense layers, whose neurons are very hard to activate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range or the list is unsorted or empty.
+    pub fn for_activations(net: &Network, activations: &[usize], config: CoverageConfig) -> Self {
+        assert!(!activations.is_empty(), "no activations to track");
+        assert!(
+            activations.windows(2).all(|w| w[0] < w[1]),
+            "activation indices must be strictly ascending: {activations:?}"
+        );
+        let shapes = net.activation_shapes();
+        let mut bases = Vec::with_capacity(activations.len());
+        let mut total = 0usize;
+        for &a in activations {
+            assert!(
+                a >= 1 && a < shapes.len(),
+                "activation index {a} out of range 1..{}",
+                shapes.len()
+            );
+            bases.push(total);
+            total += neuron_count(&shapes[a], config.granularity);
+        }
+        Self {
+            config,
+            activations: activations.to_vec(),
+            bases,
+            covered: vec![false; total],
+        }
+    }
+
+    /// The coverage configuration.
+    pub fn config(&self) -> &CoverageConfig {
+        &self.config
+    }
+
+    /// Total number of tracked neurons.
+    pub fn total(&self) -> usize {
+        self.covered.len()
+    }
+
+    /// Number of neurons covered so far.
+    pub fn covered_count(&self) -> usize {
+        self.covered.iter().filter(|&&c| c).count()
+    }
+
+    /// Current neuron coverage in `[0, 1]`.
+    pub fn coverage(&self) -> f32 {
+        if self.covered.is_empty() {
+            0.0
+        } else {
+            self.covered_count() as f32 / self.covered.len() as f32
+        }
+    }
+
+    /// Whether every tracked neuron is covered.
+    pub fn is_full(&self) -> bool {
+        self.covered.iter().all(|&c| c)
+    }
+
+    /// Neurons (flat offsets) activated by a single batch-size-1 pass,
+    /// without updating the tracker.
+    pub fn activated_by(&self, pass: &ForwardPass) -> Vec<usize> {
+        let mut out = Vec::new();
+        for (slot, &a) in self.activations.iter().enumerate() {
+            let values = neuron_values(pass, a, self.config.granularity, self.config.scale_per_layer);
+            let base = self.bases[slot];
+            for (j, &v) in values.iter().enumerate() {
+                if v > self.config.threshold {
+                    out.push(base + j);
+                }
+            }
+        }
+        out
+    }
+
+    /// Folds a pass into the covered set; returns how many neurons were
+    /// newly covered.
+    pub fn update(&mut self, pass: &ForwardPass) -> usize {
+        let mut newly = 0;
+        for flat in self.activated_by(pass) {
+            if !self.covered[flat] {
+                self.covered[flat] = true;
+                newly += 1;
+            }
+        }
+        newly
+    }
+
+    /// Translates a flat offset back to a [`NeuronId`].
+    fn id_of(&self, flat: usize) -> NeuronId {
+        let slot = match self.bases.binary_search(&flat) {
+            Ok(s) => s,
+            Err(s) => s - 1,
+        };
+        NeuronId {
+            activation: self.activations[slot],
+            index: flat - self.bases[slot],
+        }
+    }
+
+    /// All currently uncovered neurons.
+    pub fn uncovered(&self) -> Vec<NeuronId> {
+        self.covered
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| !c)
+            .map(|(i, _)| self.id_of(i))
+            .collect()
+    }
+
+    /// Picks a random uncovered neuron (Algorithm 1 line 33), or `None` when
+    /// coverage is complete.
+    pub fn pick_uncovered(&self, r: &mut Rng) -> Option<NeuronId> {
+        self.pick_uncovered_k(r, 1).into_iter().next()
+    }
+
+    /// Picks up to `k` distinct random uncovered neurons — the paper's
+    /// "jointly maximize multiple neurons simultaneously" extension
+    /// (§4.2); `k = 1` is Algorithm 1 as printed.
+    pub fn pick_uncovered_k(&self, r: &mut Rng, k: usize) -> Vec<NeuronId> {
+        let mut uncovered: Vec<usize> = self
+            .covered
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| !c)
+            .map(|(i, _)| i)
+            .collect();
+        let take = k.min(uncovered.len());
+        // Partial Fisher–Yates: shuffle only the prefix we need.
+        for i in 0..take {
+            let j = r.gen_range(i..uncovered.len());
+            uncovered.swap(i, j);
+        }
+        uncovered[..take].iter().map(|&i| self.id_of(i)).collect()
+    }
+
+    /// Picks the uncovered neuron with the highest value in `pass` — the
+    /// "nearest to activating" strategy used by the neuron-pick ablation.
+    pub fn pick_uncovered_nearest(&self, pass: &ForwardPass) -> Option<NeuronId> {
+        let mut best: Option<(usize, f32)> = None;
+        for (slot, &a) in self.activations.iter().enumerate() {
+            let values = neuron_values(pass, a, self.config.granularity, self.config.scale_per_layer);
+            let base = self.bases[slot];
+            for (j, &v) in values.iter().enumerate() {
+                let flat = base + j;
+                if !self.covered[flat] && best.is_none_or(|(_, bv)| v > bv) {
+                    best = Some((flat, v));
+                }
+            }
+        }
+        best.map(|(flat, _)| self.id_of(flat))
+    }
+
+    /// Resets the covered set.
+    pub fn reset(&mut self) {
+        self.covered.iter_mut().for_each(|c| *c = false);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dx_nn::layer::Layer;
+    use dx_tensor::rng;
+
+    fn cnn(seed: u64) -> Network {
+        let mut net = Network::new(
+            &[1, 6, 6],
+            vec![
+                Layer::conv2d(1, 3, 3, 1, 0),
+                Layer::relu(),
+                Layer::maxpool2d(2),
+                Layer::flatten(),
+                Layer::dense(3 * 2 * 2, 4),
+                Layer::softmax(),
+            ],
+        );
+        net.init_weights(&mut rng::rng(seed));
+        net
+    }
+
+    #[test]
+    fn total_counts_tracked_neurons() {
+        let net = cnn(0);
+        let t = CoverageTracker::for_network(&net, CoverageConfig::default());
+        // relu (3 channels) + pool (3 channels) + softmax (4 units).
+        assert_eq!(t.total(), 10);
+        let unit = CoverageTracker::for_network(
+            &net,
+            CoverageConfig { granularity: Granularity::Unit, ..Default::default() },
+        );
+        // relu 3*4*4 + pool 3*2*2 + softmax 4.
+        assert_eq!(unit.total(), 48 + 12 + 4);
+    }
+
+    #[test]
+    fn update_accumulates_monotonically() {
+        let net = cnn(1);
+        let mut t = CoverageTracker::for_network(&net, CoverageConfig::default());
+        let mut r = rng::rng(2);
+        let mut last = 0.0;
+        for _ in 0..10 {
+            let x = rng::uniform(&mut r, &[1, 1, 6, 6], 0.0, 1.0);
+            let pass = net.forward(&x);
+            t.update(&pass);
+            let c = t.coverage();
+            assert!(c >= last, "coverage must be monotone");
+            last = c;
+        }
+        assert!(last > 0.0);
+    }
+
+    #[test]
+    fn update_returns_newly_covered() {
+        let net = cnn(3);
+        let mut t = CoverageTracker::for_network(&net, CoverageConfig::default());
+        let x = rng::uniform(&mut rng::rng(4), &[1, 1, 6, 6], 0.5, 1.0);
+        let pass = net.forward(&x);
+        let first = t.update(&pass);
+        assert!(first > 0);
+        // The same input covers nothing new.
+        assert_eq!(t.update(&pass), 0);
+    }
+
+    #[test]
+    fn higher_threshold_covers_fewer() {
+        let net = cnn(5);
+        let x = rng::uniform(&mut rng::rng(6), &[1, 1, 6, 6], 0.0, 1.0);
+        let pass = net.forward(&x);
+        let mut low = CoverageTracker::for_network(&net, CoverageConfig::scaled(0.1));
+        let mut high = CoverageTracker::for_network(&net, CoverageConfig::scaled(0.9));
+        low.update(&pass);
+        high.update(&pass);
+        assert!(low.covered_count() >= high.covered_count());
+    }
+
+    #[test]
+    fn uncovered_plus_covered_is_total() {
+        let net = cnn(7);
+        let mut t = CoverageTracker::for_network(&net, CoverageConfig::default());
+        let x = rng::uniform(&mut rng::rng(8), &[1, 1, 6, 6], 0.0, 1.0);
+        t.update(&net.forward(&x));
+        assert_eq!(t.uncovered().len() + t.covered_count(), t.total());
+    }
+
+    #[test]
+    fn pick_uncovered_is_really_uncovered() {
+        let net = cnn(9);
+        let mut t = CoverageTracker::for_network(&net, CoverageConfig::default());
+        let x = rng::uniform(&mut rng::rng(10), &[1, 1, 6, 6], 0.0, 1.0);
+        t.update(&net.forward(&x));
+        let mut r = rng::rng(11);
+        if let Some(id) = t.pick_uncovered(&mut r) {
+            assert!(t.uncovered().contains(&id));
+        } else {
+            assert!(t.is_full());
+        }
+    }
+
+    #[test]
+    fn restricted_activations_shrink_total() {
+        let net = cnn(12);
+        let full = CoverageTracker::for_network(&net, CoverageConfig::default());
+        let conv_only =
+            CoverageTracker::for_activations(&net, &[2, 3], CoverageConfig::default());
+        assert!(conv_only.total() < full.total());
+        assert_eq!(conv_only.total(), 6);
+    }
+
+    #[test]
+    fn nearest_pick_prefers_higher_value() {
+        let net = cnn(13);
+        let t = CoverageTracker::for_network(
+            &net,
+            CoverageConfig { threshold: 10.0, ..Default::default() }, // Nothing covers.
+        );
+        let x = rng::uniform(&mut rng::rng(14), &[1, 1, 6, 6], 0.0, 1.0);
+        let pass = net.forward(&x);
+        let picked = t.pick_uncovered_nearest(&pass).unwrap();
+        // The picked neuron's value must be the global maximum.
+        let mut max_v = f32::NEG_INFINITY;
+        for &a in &[2usize, 3, 6] {
+            let vals = neuron_values(&pass, a, Granularity::ChannelMean, false);
+            for &v in &vals {
+                max_v = max_v.max(v);
+            }
+        }
+        let picked_vals =
+            neuron_values(&pass, picked.activation, Granularity::ChannelMean, false);
+        assert!((picked_vals[picked.index] - max_v).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pick_k_returns_distinct_uncovered() {
+        let net = cnn(20);
+        let t = CoverageTracker::for_network(&net, CoverageConfig::default());
+        let mut r = rng::rng(21);
+        let picks = t.pick_uncovered_k(&mut r, 5);
+        assert_eq!(picks.len(), 5);
+        let mut sorted = picks.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 5, "picks must be distinct: {picks:?}");
+    }
+
+    #[test]
+    fn pick_k_caps_at_remaining() {
+        let net = cnn(22);
+        let t = CoverageTracker::for_network(&net, CoverageConfig::default());
+        let mut r = rng::rng(23);
+        let picks = t.pick_uncovered_k(&mut r, 10_000);
+        assert_eq!(picks.len(), t.total());
+    }
+
+    #[test]
+    fn reset_clears() {
+        let net = cnn(15);
+        let mut t = CoverageTracker::for_network(&net, CoverageConfig::default());
+        let x = rng::uniform(&mut rng::rng(16), &[1, 1, 6, 6], 0.5, 1.0);
+        t.update(&net.forward(&x));
+        assert!(t.covered_count() > 0);
+        t.reset();
+        assert_eq!(t.covered_count(), 0);
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests of coverage-tracker invariants.
+
+use dx_coverage::{CoverageConfig, CoverageTracker, Granularity};
+use dx_nn::layer::Layer;
+use dx_nn::network::Network;
+use dx_tensor::{rng, Tensor};
+use proptest::prelude::*;
+
+fn net(seed: u64) -> Network {
+    let mut n = Network::new(
+        &[1, 6, 6],
+        vec![
+            Layer::conv2d(1, 3, 3, 1, 0),
+            Layer::relu(),
+            Layer::flatten(),
+            Layer::dense(3 * 4 * 4, 5),
+            Layer::softmax(),
+        ],
+    );
+    n.init_weights(&mut rng::rng(seed));
+    n
+}
+
+fn input() -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(0.0f32..1.0, 36)
+        .prop_map(|v| Tensor::from_vec(v, &[1, 1, 6, 6]))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn coverage_is_monotone(inputs in proptest::collection::vec(input(), 1..6)) {
+        let n = net(0);
+        let mut t = CoverageTracker::for_network(&n, CoverageConfig::scaled(0.25));
+        let mut last = 0.0f32;
+        for x in &inputs {
+            t.update(&n.forward(x));
+            let c = t.coverage();
+            prop_assert!(c >= last);
+            last = c;
+        }
+    }
+
+    #[test]
+    fn update_is_idempotent(x in input()) {
+        let n = net(1);
+        let mut t = CoverageTracker::for_network(&n, CoverageConfig::scaled(0.25));
+        let pass = n.forward(&x);
+        let first = t.update(&pass);
+        prop_assert_eq!(t.update(&pass), 0);
+        prop_assert_eq!(t.covered_count(), first);
+    }
+
+    #[test]
+    fn covered_plus_uncovered_is_total(x in input(), threshold in 0.0f32..1.0) {
+        let n = net(2);
+        let mut t = CoverageTracker::for_network(&n, CoverageConfig::scaled(threshold));
+        t.update(&n.forward(&x));
+        prop_assert_eq!(t.covered_count() + t.uncovered().len(), t.total());
+    }
+
+    #[test]
+    fn threshold_monotonicity(x in input(), t1 in 0.0f32..0.5, dt in 0.01f32..0.5) {
+        // Coverage at a higher threshold never exceeds a lower one.
+        let n = net(3);
+        let mut low = CoverageTracker::for_network(&n, CoverageConfig::scaled(t1));
+        let mut high = CoverageTracker::for_network(&n, CoverageConfig::scaled(t1 + dt));
+        let pass = n.forward(&x);
+        low.update(&pass);
+        high.update(&pass);
+        prop_assert!(high.covered_count() <= low.covered_count());
+    }
+
+    #[test]
+    fn unit_granularity_tracks_at_least_as_many(x in input()) {
+        let n = net(4);
+        let channel = CoverageTracker::for_network(&n, CoverageConfig::default());
+        let unit = CoverageTracker::for_network(
+            &n,
+            CoverageConfig { granularity: Granularity::Unit, ..Default::default() },
+        );
+        prop_assert!(unit.total() >= channel.total());
+        let _ = x;
+    }
+
+    #[test]
+    fn activated_by_matches_update(x in input()) {
+        let n = net(5);
+        let mut t = CoverageTracker::for_network(&n, CoverageConfig::scaled(0.5));
+        let pass = n.forward(&x);
+        let activated = t.activated_by(&pass);
+        let newly = t.update(&pass);
+        prop_assert_eq!(activated.len(), newly);
+    }
+}

@@ -1,0 +1,180 @@
+//! The dataset container shared by all five generators.
+
+use dx_tensor::{rng, Tensor};
+
+/// Ground-truth labels: class indices for classifiers, a `[N, O]` tensor for
+/// regressors (the driving dataset's steering angles).
+#[derive(Clone, Debug)]
+pub enum Labels {
+    /// Class indices, one per sample.
+    Classes(Vec<usize>),
+    /// Continuous targets, `[N, O]`.
+    Values(Tensor),
+}
+
+impl Labels {
+    /// Number of labelled samples.
+    pub fn len(&self) -> usize {
+        match self {
+            Labels::Classes(c) => c.len(),
+            Labels::Values(v) => v.shape()[0],
+        }
+    }
+
+    /// Whether there are no labels.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The class labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics for regression labels.
+    pub fn classes(&self) -> &[usize] {
+        match self {
+            Labels::Classes(c) => c,
+            Labels::Values(_) => panic!("labels are regression values, not classes"),
+        }
+    }
+
+    /// The regression targets.
+    ///
+    /// # Panics
+    ///
+    /// Panics for class labels.
+    pub fn values(&self) -> &Tensor {
+        match self {
+            Labels::Values(v) => v,
+            Labels::Classes(_) => panic!("labels are classes, not regression values"),
+        }
+    }
+}
+
+/// A generated dataset with train/test splits and domain metadata.
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    /// Short dataset id (`"mnist"`, `"imagenet"`, …).
+    pub name: String,
+    /// Training inputs, `[N, ...]`.
+    pub train_x: Tensor,
+    /// Training labels.
+    pub train_labels: Labels,
+    /// Test inputs, `[M, ...]`.
+    pub test_x: Tensor,
+    /// Test labels.
+    pub test_labels: Labels,
+    /// Class names for classifiers (empty for regression).
+    pub class_names: Vec<String>,
+    /// Feature names for tabular datasets (empty for images).
+    pub feature_names: Vec<String>,
+    /// Per-feature scale mapping normalized model inputs back to raw
+    /// feature units (tabular datasets; `raw = normalized · scale`).
+    pub feature_scale: Option<Tensor>,
+    /// For Drebin-like data: which features live in the app manifest and may
+    /// therefore be *added* by DeepXplore's constraint (§6.2).
+    pub manifest_mask: Option<Vec<bool>>,
+}
+
+impl Dataset {
+    /// Input shape of one sample (without batch).
+    pub fn sample_shape(&self) -> &[usize] {
+        &self.train_x.shape()[1..]
+    }
+
+    /// Number of training samples.
+    pub fn train_len(&self) -> usize {
+        self.train_x.shape()[0]
+    }
+
+    /// Number of test samples.
+    pub fn test_len(&self) -> usize {
+        self.test_x.shape()[0]
+    }
+}
+
+/// Mislabels a fraction of one class as another — the paper's §7.3
+/// training-data pollution attack (30% of MNIST "9"s relabelled "1").
+///
+/// Returns the polluted labels and the indices that were flipped.
+///
+/// # Panics
+///
+/// Panics unless `0 ≤ fraction ≤ 1`.
+pub fn pollute_labels(
+    labels: &[usize],
+    from_class: usize,
+    to_class: usize,
+    fraction: f32,
+    seed: u64,
+) -> (Vec<usize>, Vec<usize>) {
+    assert!((0.0..=1.0).contains(&fraction), "fraction {fraction} out of range");
+    let candidates: Vec<usize> = labels
+        .iter()
+        .enumerate()
+        .filter(|(_, &l)| l == from_class)
+        .map(|(i, _)| i)
+        .collect();
+    let k = (candidates.len() as f32 * fraction).round() as usize;
+    let mut r = rng::rng(seed);
+    let picked = rng::sample_without_replacement(&mut r, candidates.len(), k);
+    let mut out = labels.to_vec();
+    let mut flipped: Vec<usize> = picked.into_iter().map(|i| candidates[i]).collect();
+    flipped.sort_unstable();
+    for &i in &flipped {
+        out[i] = to_class;
+    }
+    (out, flipped)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_len_both_kinds() {
+        assert_eq!(Labels::Classes(vec![0, 1, 2]).len(), 3);
+        assert_eq!(Labels::Values(Tensor::zeros(&[5, 1])).len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "regression values")]
+    fn classes_accessor_guards() {
+        Labels::Values(Tensor::zeros(&[1, 1])).classes();
+    }
+
+    #[test]
+    fn pollution_flips_requested_fraction() {
+        let labels: Vec<usize> = (0..100).map(|i| i % 10).collect();
+        let (polluted, flipped) = pollute_labels(&labels, 9, 1, 0.3, 42);
+        // 10 nines, 30% -> 3 flips.
+        assert_eq!(flipped.len(), 3);
+        for &i in &flipped {
+            assert_eq!(labels[i], 9);
+            assert_eq!(polluted[i], 1);
+        }
+        // Untouched labels stay put.
+        for i in 0..100 {
+            if !flipped.contains(&i) {
+                assert_eq!(polluted[i], labels[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn pollution_is_deterministic() {
+        let labels: Vec<usize> = (0..50).map(|i| i % 10).collect();
+        let a = pollute_labels(&labels, 9, 1, 0.5, 7);
+        let b = pollute_labels(&labels, 9, 1, 0.5, 7);
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1, b.1);
+    }
+
+    #[test]
+    fn zero_fraction_flips_nothing() {
+        let labels = vec![9, 9, 9];
+        let (polluted, flipped) = pollute_labels(&labels, 9, 1, 0.0, 0);
+        assert!(flipped.is_empty());
+        assert_eq!(polluted, labels);
+    }
+}

@@ -1,0 +1,202 @@
+//! Procedurally rendered road scenes with steering labels (Udacity
+//! self-driving stand-in).
+//!
+//! Each frame is a perspective view of a road whose curvature draws the
+//! centreline left or right; the regression target is the normalized
+//! steering angle a centred car should apply. This preserves the two
+//! properties the paper's driving experiments rely on: a *continuous*
+//! model output (the only regression task in the evaluation) and a natural
+//! left/right disagreement oracle for differential testing.
+
+use dx_tensor::{rng, Image, Tensor};
+use rand::Rng as _;
+
+use crate::common::{Dataset, Labels};
+
+/// Configuration for the driving-scene generator.
+#[derive(Clone, Copy, Debug)]
+pub struct DrivingConfig {
+    /// Training samples.
+    pub n_train: usize,
+    /// Test samples.
+    pub n_test: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Frame height.
+    pub height: usize,
+    /// Frame width.
+    pub width: usize,
+}
+
+impl Default for DrivingConfig {
+    fn default() -> Self {
+        Self { n_train: 2500, n_test: 500, seed: 31, height: 32, width: 64 }
+    }
+}
+
+/// Steering-angle threshold (normalized units) above which two predictions
+/// count as *directionally* different — the paper's "one car turns left,
+/// the other turns right" oracle.
+pub const STEER_DIRECTION_THRESHOLD: f32 = 0.2;
+
+/// Renders one frame for the given curvature in `[-1, 1]` and returns it.
+///
+/// Negative curvature bends the road to the left (negative steering),
+/// positive to the right.
+pub fn render_road(curvature: f32, height: usize, width: usize, r: &mut rng::Rng) -> Tensor {
+    let mut img = Image::new(1, height, width);
+    let horizon = (height as f32 * r.gen_range(0.3..0.42)) as usize;
+    let sky = r.gen_range(0.6..0.85f32);
+    let ground = r.gen_range(0.28..0.42f32);
+    let road = r.gen_range(0.42..0.55f32);
+    let marking = r.gen_range(0.85..1.0f32);
+    // Sky with a slight vertical gradient.
+    for y in 0..horizon {
+        let shade = sky - 0.1 * y as f32 / horizon.max(1) as f32;
+        for x in 0..width {
+            img.put(0, y, x, shade);
+        }
+    }
+    // Ground.
+    for y in horizon..height {
+        for x in 0..width {
+            img.put(0, y, x, ground);
+        }
+    }
+    // Road: for each row below the horizon, a trapezoid slice whose centre
+    // drifts with curvature (quadratic in distance) and whose width grows
+    // towards the camera.
+    let rows = (height - horizon).max(1) as f32;
+    let half_w_near = width as f32 * 0.33;
+    let half_w_far = 1.5f32;
+    let drift = curvature * width as f32 * 0.35;
+    for y in horizon..height {
+        let t = (y - horizon) as f32 / rows; // 0 at horizon, 1 at bottom.
+        let centre = width as f32 / 2.0 + drift * (1.0 - t) * (1.0 - t);
+        let half = half_w_far + (half_w_near - half_w_far) * t;
+        let x0 = (centre - half).max(0.0) as usize;
+        let x1 = ((centre + half) as usize).min(width - 1);
+        for x in x0..=x1 {
+            img.put(0, y, x, road);
+        }
+        // Dashed centre lane marking.
+        if (y - horizon) % 4 < 2 {
+            let cx = centre.round() as i32;
+            if cx >= 0 && (cx as usize) < width {
+                img.put(0, y, cx as usize, marking);
+            }
+        }
+    }
+    // Global illumination jitter and sensor noise.
+    let gain = r.gen_range(0.85..1.15f32);
+    let mut t = img.into_tensor();
+    for v in t.data_mut() {
+        *v = (*v * gain + rng::normal_one(r) * 0.02).clamp(0.0, 1.0);
+    }
+    t
+}
+
+fn generate_split(
+    n: usize,
+    height: usize,
+    width: usize,
+    r: &mut rng::Rng,
+) -> (Tensor, Tensor) {
+    let mut data = Vec::with_capacity(n * height * width);
+    let mut angles = Vec::with_capacity(n);
+    for _ in 0..n {
+        let curvature = r.gen_range(-1.0..1.0f32);
+        let frame = render_road(curvature, height, width, r);
+        data.extend_from_slice(frame.data());
+        // Steering follows curvature with small actuation noise.
+        angles.push((curvature + rng::normal_one(r) * 0.02).clamp(-1.0, 1.0));
+    }
+    (
+        Tensor::from_vec(data, &[n, 1, height, width]),
+        Tensor::from_vec(angles, &[n, 1]),
+    )
+}
+
+/// Generates the driving dataset.
+pub fn generate(cfg: &DrivingConfig) -> Dataset {
+    let mut r = rng::rng(cfg.seed);
+    let (train_x, train_y) = generate_split(cfg.n_train, cfg.height, cfg.width, &mut r);
+    let (test_x, test_y) = generate_split(cfg.n_test, cfg.height, cfg.width, &mut r);
+    Dataset {
+        name: "driving".into(),
+        train_x,
+        train_labels: Labels::Values(train_y),
+        test_x,
+        test_labels: Labels::Values(test_y),
+        class_names: Vec::new(),
+        feature_names: Vec::new(),
+        feature_scale: None,
+        manifest_mask: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_and_ranges() {
+        let ds = generate(&DrivingConfig { n_train: 12, n_test: 6, seed: 0, height: 32, width: 64 });
+        assert_eq!(ds.train_x.shape(), &[12, 1, 32, 64]);
+        assert_eq!(ds.train_labels.values().shape(), &[12, 1]);
+        assert!(ds.train_x.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        assert!(ds
+            .train_labels
+            .values()
+            .data()
+            .iter()
+            .all(|&v| (-1.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn curvature_moves_the_road() {
+        // With identical nuisance draws, opposite curvatures should place
+        // road pixels asymmetrically: left curve lights more left half.
+        let left = render_road(-0.9, 32, 64, &mut rng::rng(7));
+        let right = render_road(0.9, 32, 64, &mut rng::rng(7));
+        let half_mass = |t: &Tensor, lo: usize, hi: usize| -> f32 {
+            let mut acc = 0.0;
+            for y in 8..20 {
+                for x in lo..hi {
+                    acc += t.at(&[0, y, x]);
+                }
+            }
+            acc
+        };
+        let left_mass_l = half_mass(&left, 0, 32);
+        let left_mass_r = half_mass(&left, 32, 64);
+        let right_mass_l = half_mass(&right, 0, 32);
+        let right_mass_r = half_mass(&right, 32, 64);
+        assert!(
+            left_mass_l - left_mass_r > right_mass_l - right_mass_r,
+            "curvature has no geometric effect"
+        );
+    }
+
+    #[test]
+    fn determinism() {
+        let cfg = DrivingConfig { n_train: 5, n_test: 2, seed: 3, height: 32, width: 64 };
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a.train_x, b.train_x);
+        assert_eq!(a.train_labels.values(), b.train_labels.values());
+    }
+
+    #[test]
+    fn frames_have_structure() {
+        let t = render_road(0.0, 32, 64, &mut rng::rng(11));
+        // Sky brighter than ground on average.
+        let sky: f32 = (0..6).flat_map(|y| (0..64).map(move |x| (y, x)))
+            .map(|(y, x)| t.at(&[0, y, x]))
+            .sum::<f32>() / (6.0 * 64.0);
+        let ground: f32 = (26..32).flat_map(|y| (0..8).map(move |x| (y, x)))
+            .map(|(y, x)| t.at(&[0, y, x]))
+            .sum::<f32>() / (6.0 * 8.0);
+        assert!(sky > ground, "sky {sky} should exceed off-road ground {ground}");
+    }
+}

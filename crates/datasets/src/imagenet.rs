@@ -1,0 +1,298 @@
+//! Procedural colour images in ten texture/shape classes (ImageNet stand-in).
+//!
+//! The paper's ImageNet experiments need large multi-layer CNNs over RGB
+//! inputs that were trained on a many-class natural-image task. At laptop
+//! scale we substitute ten procedurally generated visual concepts —
+//! stripes, checkers, disks, rings, triangles, crosses, gradients, blobs and
+//! nested frames — with randomized palettes, geometry and noise. They carry
+//! enough intra-class variation that three differently shaped CNNs learn
+//! similar-but-different decision boundaries, which is all the differential
+//! oracle requires.
+
+use dx_tensor::{rng, Image, Tensor};
+use rand::Rng as _;
+
+use crate::common::{Dataset, Labels};
+
+/// Configuration for the ImageNet-like generator.
+#[derive(Clone, Copy, Debug)]
+pub struct ImagenetConfig {
+    /// Training samples.
+    pub n_train: usize,
+    /// Test samples.
+    pub n_test: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Image side (3 channels, `side`×`side`).
+    pub side: usize,
+}
+
+impl Default for ImagenetConfig {
+    fn default() -> Self {
+        Self { n_train: 2500, n_test: 500, seed: 23, side: 32 }
+    }
+}
+
+/// The ten class names.
+pub const CLASS_NAMES: [&str; 10] = [
+    "stripes_h",
+    "stripes_v",
+    "checker",
+    "disk",
+    "ring",
+    "triangle",
+    "cross",
+    "gradient",
+    "blobs",
+    "frames",
+];
+
+fn random_color(r: &mut rng::Rng) -> [f32; 3] {
+    [
+        r.gen_range(0.1..1.0),
+        r.gen_range(0.1..1.0),
+        r.gen_range(0.1..1.0),
+    ]
+}
+
+fn put_rgb(img: &mut Image, y: usize, x: usize, c: [f32; 3]) {
+    img.put(0, y, x, c[0]);
+    img.put(1, y, x, c[1]);
+    img.put(2, y, x, c[2]);
+}
+
+fn fill_bg(img: &mut Image, c: [f32; 3]) {
+    for y in 0..img.height() {
+        for x in 0..img.width() {
+            put_rgb(img, y, x, c);
+        }
+    }
+}
+
+/// Renders one sample of the given class.
+pub fn render_class(class: usize, side: usize, r: &mut rng::Rng) -> Tensor {
+    let mut img = Image::new(3, side, side);
+    let bg = random_color(r);
+    // Resample the foreground until it contrasts with the background, so
+    // every pattern is actually visible.
+    let fg = loop {
+        let c = random_color(r);
+        let dist: f32 = c.iter().zip(bg.iter()).map(|(a, b)| (a - b).abs()).sum();
+        if dist > 0.6 {
+            break c;
+        }
+    };
+    fill_bg(&mut img, bg);
+    let s = side as f32;
+    match class {
+        0 | 1 => {
+            // Horizontal / vertical stripes.
+            let period = r.gen_range(3..7usize);
+            let phase = r.gen_range(0..period);
+            for y in 0..side {
+                for x in 0..side {
+                    let k = if class == 0 { y } else { x };
+                    if (k + phase) / period % 2 == 0 {
+                        put_rgb(&mut img, y, x, fg);
+                    }
+                }
+            }
+        }
+        2 => {
+            // Checkerboard.
+            let period = r.gen_range(3..8usize);
+            for y in 0..side {
+                for x in 0..side {
+                    if (y / period + x / period) % 2 == 0 {
+                        put_rgb(&mut img, y, x, fg);
+                    }
+                }
+            }
+        }
+        3 | 4 => {
+            // Filled disk / ring.
+            let cy = r.gen_range(0.35..0.65) * s;
+            let cx = r.gen_range(0.35..0.65) * s;
+            let radius = r.gen_range(0.2..0.38) * s;
+            let inner = radius * r.gen_range(0.45..0.7);
+            for y in 0..side {
+                for x in 0..side {
+                    let d = ((y as f32 - cy).powi(2) + (x as f32 - cx).powi(2)).sqrt();
+                    let inside = if class == 3 { d <= radius } else { d <= radius && d >= inner };
+                    if inside {
+                        put_rgb(&mut img, y, x, fg);
+                    }
+                }
+            }
+        }
+        5 => {
+            // Filled triangle via barycentric sign tests.
+            let pts: Vec<(f32, f32)> = (0..3)
+                .map(|_| (r.gen_range(0.1..0.9) * s, r.gen_range(0.1..0.9) * s))
+                .collect();
+            let sign = |p: (f32, f32), a: (f32, f32), b: (f32, f32)| {
+                (p.0 - b.0) * (a.1 - b.1) - (a.0 - b.0) * (p.1 - b.1)
+            };
+            for y in 0..side {
+                for x in 0..side {
+                    let p = (y as f32, x as f32);
+                    let d1 = sign(p, pts[0], pts[1]);
+                    let d2 = sign(p, pts[1], pts[2]);
+                    let d3 = sign(p, pts[2], pts[0]);
+                    let neg = d1 < 0.0 || d2 < 0.0 || d3 < 0.0;
+                    let pos = d1 > 0.0 || d2 > 0.0 || d3 > 0.0;
+                    if !(neg && pos) {
+                        put_rgb(&mut img, y, x, fg);
+                    }
+                }
+            }
+        }
+        6 => {
+            // Cross: two overlapping bars.
+            let cy = (r.gen_range(0.35..0.65) * s) as usize;
+            let cx = (r.gen_range(0.35..0.65) * s) as usize;
+            let arm = (r.gen_range(0.08..0.16) * s).max(1.0) as usize;
+            for y in 0..side {
+                for x in 0..side {
+                    if y.abs_diff(cy) <= arm || x.abs_diff(cx) <= arm {
+                        put_rgb(&mut img, y, x, fg);
+                    }
+                }
+            }
+        }
+        7 => {
+            // Linear gradient between the two colours in a random direction.
+            let theta = r.gen_range(0.0..std::f32::consts::TAU);
+            let (dy, dx) = theta.sin_cos();
+            for y in 0..side {
+                for x in 0..side {
+                    let t = ((y as f32 * dy + x as f32 * dx) / (s * 1.42) + 0.5).clamp(0.0, 1.0);
+                    let c = [
+                        bg[0] + t * (fg[0] - bg[0]),
+                        bg[1] + t * (fg[1] - bg[1]),
+                        bg[2] + t * (fg[2] - bg[2]),
+                    ];
+                    put_rgb(&mut img, y, x, c);
+                }
+            }
+        }
+        8 => {
+            // A handful of small blobs.
+            let count = r.gen_range(5..9usize);
+            for _ in 0..count {
+                let cy = r.gen_range(0.1..0.9) * s;
+                let cx = r.gen_range(0.1..0.9) * s;
+                let radius = r.gen_range(0.05..0.12) * s;
+                for y in 0..side {
+                    for x in 0..side {
+                        let d = ((y as f32 - cy).powi(2) + (x as f32 - cx).powi(2)).sqrt();
+                        if d <= radius {
+                            put_rgb(&mut img, y, x, fg);
+                        }
+                    }
+                }
+            }
+        }
+        9 => {
+            // Concentric square frames.
+            let gap = r.gen_range(3..6usize);
+            let width = r.gen_range(1..3usize);
+            for y in 0..side {
+                for x in 0..side {
+                    let ring = y.min(x).min(side - 1 - y).min(side - 1 - x);
+                    if ring % gap < width {
+                        put_rgb(&mut img, y, x, fg);
+                    }
+                }
+            }
+        }
+        _ => panic!("class {class} out of range"),
+    }
+    let mut t = img.into_tensor();
+    for v in t.data_mut() {
+        *v = (*v + rng::normal_one(r) * 0.02).clamp(0.0, 1.0);
+    }
+    t
+}
+
+fn generate_split(n: usize, side: usize, r: &mut rng::Rng) -> (Tensor, Vec<usize>) {
+    let mut data = Vec::with_capacity(n * 3 * side * side);
+    let mut labels = Vec::with_capacity(n);
+    for _ in 0..n {
+        let class = r.gen_range(0..10usize);
+        let img = render_class(class, side, r);
+        data.extend_from_slice(img.data());
+        labels.push(class);
+    }
+    (Tensor::from_vec(data, &[n, 3, side, side]), labels)
+}
+
+/// Generates the ImageNet-like dataset.
+pub fn generate(cfg: &ImagenetConfig) -> Dataset {
+    let mut r = rng::rng(cfg.seed);
+    let (train_x, train_l) = generate_split(cfg.n_train, cfg.side, &mut r);
+    let (test_x, test_l) = generate_split(cfg.n_test, cfg.side, &mut r);
+    Dataset {
+        name: "imagenet".into(),
+        train_x,
+        train_labels: Labels::Classes(train_l),
+        test_x,
+        test_labels: Labels::Classes(test_l),
+        class_names: CLASS_NAMES.iter().map(|s| s.to_string()).collect(),
+        feature_names: Vec::new(),
+        feature_scale: None,
+        manifest_mask: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_and_ranges() {
+        let ds = generate(&ImagenetConfig { n_train: 20, n_test: 10, seed: 0, side: 32 });
+        assert_eq!(ds.train_x.shape(), &[20, 3, 32, 32]);
+        assert!(ds.train_x.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        assert_eq!(ds.class_names.len(), 10);
+    }
+
+    #[test]
+    fn every_class_renders() {
+        let mut r = rng::rng(1);
+        for c in 0..10 {
+            let t = render_class(c, 32, &mut r);
+            assert_eq!(t.shape(), &[3, 32, 32]);
+            assert!(!t.has_non_finite());
+            // Images are not constant.
+            assert!(t.max() - t.min() > 0.05, "class {c} rendered flat");
+        }
+    }
+
+    #[test]
+    fn determinism() {
+        let cfg = ImagenetConfig { n_train: 6, n_test: 3, seed: 9, side: 32 };
+        assert_eq!(generate(&cfg).train_x, generate(&cfg).train_x);
+    }
+
+    #[test]
+    fn stripes_are_oriented() {
+        // Horizontal stripes: row-wise variance low, column-wise high.
+        let mut r = rng::rng(2);
+        let t = render_class(0, 32, &mut r);
+        let mut row_changes = 0;
+        let mut col_changes = 0;
+        for i in 1..32 {
+            if (t.at(&[0, i, 16]) - t.at(&[0, i - 1, 16])).abs() > 0.2 {
+                col_changes += 1;
+            }
+            if (t.at(&[0, 16, i]) - t.at(&[0, 16, i - 1])).abs() > 0.2 {
+                row_changes += 1;
+            }
+        }
+        assert!(
+            col_changes > row_changes,
+            "horizontal stripes should vary down columns ({col_changes} vs {row_changes})"
+        );
+    }
+}

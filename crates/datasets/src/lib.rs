@@ -1,0 +1,31 @@
+//! Synthetic stand-ins for the five DeepXplore evaluation datasets.
+//!
+//! The paper evaluates on MNIST, ImageNet, the Udacity driving challenge,
+//! Contagio/VirusTotal PDFs and Drebin Android apps — roughly 162 GB of
+//! proprietary or download-gated data. This crate procedurally generates
+//! datasets with the same *shape*: input dimensionality, label semantics,
+//! class structure, feature families and — critically — the domain
+//! constraints DeepXplore's test generation must respect (pixel ranges,
+//! integer PDF features, add-only Android manifest features).
+//!
+//! Every generator is a pure function of its configuration (including the
+//! seed), so any experiment in the workspace replays exactly.
+//!
+//! | Module | Paper dataset | Task |
+//! |---|---|---|
+//! | [`mnist`] | MNIST | 10-class digit images, 1×28×28 |
+//! | [`imagenet`] | ImageNet | 10-class texture/shape images, 3×32×32 |
+//! | [`driving`] | Udacity self-driving | steering-angle regression, 1×32×64 |
+//! | [`pdf`] | Contagio/VirusTotal | malware detection over 135 integer features |
+//! | [`drebin`] | Drebin | malware detection over sparse binary features |
+
+#![warn(missing_docs)]
+
+pub mod common;
+pub mod drebin;
+pub mod driving;
+pub mod imagenet;
+pub mod mnist;
+pub mod pdf;
+
+pub use common::{pollute_labels, Dataset, Labels};

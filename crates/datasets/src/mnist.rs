@@ -1,0 +1,268 @@
+//! Procedurally rendered hand-written-style digits (MNIST stand-in).
+//!
+//! Each digit class is a set of stroke templates in a unit box, rendered
+//! through a randomized affine transform (translation, scale, rotation,
+//! shear), stroke-thickness jitter, a box blur and pixel noise. The result
+//! is a 10-class, 1×28×28 dataset on which the paper's LeNet variants train
+//! to high accuracy yet — like on real MNIST — disagree on corner cases.
+
+use dx_tensor::{rng, Image, Tensor};
+
+use crate::common::{Dataset, Labels};
+
+/// Configuration for the MNIST-like generator.
+#[derive(Clone, Copy, Debug)]
+pub struct MnistConfig {
+    /// Training samples.
+    pub n_train: usize,
+    /// Test samples.
+    pub n_test: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Image side (the paper uses 28).
+    pub side: usize,
+}
+
+impl Default for MnistConfig {
+    fn default() -> Self {
+        Self { n_train: 4000, n_test: 800, seed: 17, side: 28 }
+    }
+}
+
+type Polyline = Vec<(f32, f32)>;
+
+/// Samples `n` points along a quadratic Bézier curve.
+fn bezier(p0: (f32, f32), p1: (f32, f32), p2: (f32, f32), n: usize) -> Polyline {
+    (0..=n)
+        .map(|i| {
+            let t = i as f32 / n as f32;
+            let u = 1.0 - t;
+            (
+                u * u * p0.0 + 2.0 * u * t * p1.0 + t * t * p2.0,
+                u * u * p0.1 + 2.0 * u * t * p1.1 + t * t * p2.1,
+            )
+        })
+        .collect()
+}
+
+/// Samples `n` points along a full ellipse.
+fn ellipse(cx: f32, cy: f32, rx: f32, ry: f32, n: usize) -> Polyline {
+    (0..=n)
+        .map(|i| {
+            let a = std::f32::consts::TAU * i as f32 / n as f32;
+            (cx + rx * a.cos(), cy + ry * a.sin())
+        })
+        .collect()
+}
+
+/// Stroke templates per digit in unit coordinates `(x, y)`, y growing down.
+fn digit_strokes(digit: usize) -> Vec<Polyline> {
+    match digit {
+        0 => vec![ellipse(0.5, 0.5, 0.28, 0.4, 24)],
+        1 => vec![
+            vec![(0.35, 0.25), (0.55, 0.08)],
+            vec![(0.55, 0.08), (0.55, 0.9)],
+            vec![(0.35, 0.9), (0.72, 0.9)],
+        ],
+        2 => vec![
+            bezier((0.22, 0.3), (0.5, -0.08), (0.78, 0.32), 12),
+            bezier((0.78, 0.32), (0.72, 0.6), (0.22, 0.9), 12),
+            vec![(0.22, 0.9), (0.8, 0.9)],
+        ],
+        3 => vec![
+            bezier((0.25, 0.12), (0.85, 0.1), (0.5, 0.48), 12),
+            bezier((0.5, 0.48), (0.95, 0.65), (0.25, 0.88), 12),
+        ],
+        4 => vec![
+            vec![(0.68, 0.08), (0.68, 0.92)],
+            vec![(0.68, 0.08), (0.22, 0.62)],
+            vec![(0.22, 0.62), (0.85, 0.62)],
+        ],
+        5 => vec![
+            vec![(0.75, 0.08), (0.28, 0.08)],
+            vec![(0.28, 0.08), (0.27, 0.45)],
+            bezier((0.27, 0.45), (0.95, 0.5), (0.45, 0.9), 14),
+            vec![(0.45, 0.9), (0.25, 0.82)],
+        ],
+        6 => vec![
+            bezier((0.7, 0.08), (0.25, 0.3), (0.3, 0.62), 12),
+            ellipse(0.5, 0.68, 0.22, 0.22, 20),
+        ],
+        7 => vec![
+            vec![(0.2, 0.1), (0.8, 0.1)],
+            vec![(0.8, 0.1), (0.42, 0.92)],
+        ],
+        8 => vec![
+            ellipse(0.5, 0.3, 0.2, 0.2, 20),
+            ellipse(0.5, 0.7, 0.24, 0.22, 20),
+        ],
+        9 => vec![
+            ellipse(0.5, 0.32, 0.22, 0.22, 20),
+            bezier((0.72, 0.34), (0.74, 0.7), (0.55, 0.92), 10),
+        ],
+        _ => panic!("digit {digit} out of range"),
+    }
+}
+
+/// 3×3 box blur, edge pixels average over the in-bounds neighbourhood.
+fn box_blur(img: &Image) -> Image {
+    let (h, w) = (img.height(), img.width());
+    let mut out = Image::new(1, h, w);
+    for y in 0..h {
+        for x in 0..w {
+            let mut acc = 0.0;
+            let mut cnt = 0.0;
+            for dy in -1i32..=1 {
+                for dx in -1i32..=1 {
+                    let (yy, xx) = (y as i32 + dy, x as i32 + dx);
+                    if yy >= 0 && xx >= 0 && (yy as usize) < h && (xx as usize) < w {
+                        acc += img.get(0, yy as usize, xx as usize);
+                        cnt += 1.0;
+                    }
+                }
+            }
+            out.put(0, y, x, acc / cnt);
+        }
+    }
+    out
+}
+
+/// Renders one digit sample.
+pub fn render_digit(digit: usize, side: usize, r: &mut rng::Rng) -> Tensor {
+    use rand::Rng as _;
+    let mut img = Image::new(1, side, side);
+    let margin = side as f32 * 0.14;
+    let span = side as f32 - 2.0 * margin;
+    let scale = span * r.gen_range(0.85..1.1);
+    let angle: f32 = r.gen_range(-0.18..0.18f32);
+    let shear: f32 = r.gen_range(-0.15..0.15f32);
+    let (tx, ty) = (
+        margin + r.gen_range(-1.5..1.5f32),
+        margin + r.gen_range(-1.5..1.5f32),
+    );
+    let ink = r.gen_range(0.75..1.0f32);
+    let thickness = if r.gen_range(0.0..1.0f32) < 0.6 { 2 } else { 1 };
+    let (sin, cos) = angle.sin_cos();
+    let map = |(x, y): (f32, f32)| -> (i32, i32) {
+        let (cx, cy) = (x - 0.5, y - 0.5);
+        let xr = cx * cos - cy * sin + shear * cy;
+        let yr = cx * sin + cy * cos;
+        (
+            (ty + (yr + 0.5) * scale).round() as i32,
+            (tx + (xr + 0.5) * scale).round() as i32,
+        )
+    };
+    for stroke in digit_strokes(digit) {
+        for pair in stroke.windows(2) {
+            let (y0, x0) = map(pair[0]);
+            let (y1, x1) = map(pair[1]);
+            img.draw_line(y0, x0, y1, x1, thickness, ink);
+        }
+    }
+    let img = box_blur(&img);
+    let mut t = img.into_tensor();
+    for v in t.data_mut() {
+        *v = (*v + rng::normal_one(r) * 0.03).clamp(0.0, 1.0);
+    }
+    t
+}
+
+fn generate_split(n: usize, side: usize, r: &mut rng::Rng) -> (Tensor, Vec<usize>) {
+    use rand::Rng as _;
+    let mut data = Vec::with_capacity(n * side * side);
+    let mut labels = Vec::with_capacity(n);
+    for _ in 0..n {
+        let digit = r.gen_range(0..10usize);
+        let img = render_digit(digit, side, r);
+        data.extend_from_slice(img.data());
+        labels.push(digit);
+    }
+    (Tensor::from_vec(data, &[n, 1, side, side]), labels)
+}
+
+/// Generates the MNIST-like dataset.
+pub fn generate(cfg: &MnistConfig) -> Dataset {
+    let mut r = rng::rng(cfg.seed);
+    let (train_x, train_l) = generate_split(cfg.n_train, cfg.side, &mut r);
+    let (test_x, test_l) = generate_split(cfg.n_test, cfg.side, &mut r);
+    Dataset {
+        name: "mnist".into(),
+        train_x,
+        train_labels: Labels::Classes(train_l),
+        test_x,
+        test_labels: Labels::Classes(test_l),
+        class_names: (0..10).map(|d| d.to_string()).collect(),
+        feature_names: Vec::new(),
+        feature_scale: None,
+        manifest_mask: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_and_ranges() {
+        let ds = generate(&MnistConfig { n_train: 20, n_test: 10, seed: 0, side: 28 });
+        assert_eq!(ds.train_x.shape(), &[20, 1, 28, 28]);
+        assert_eq!(ds.test_x.shape(), &[10, 1, 28, 28]);
+        assert_eq!(ds.train_labels.len(), 20);
+        assert!(ds.train_x.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        assert_eq!(ds.class_names.len(), 10);
+    }
+
+    #[test]
+    fn digits_have_ink() {
+        let mut r = rng::rng(1);
+        for d in 0..10 {
+            let img = render_digit(d, 28, &mut r);
+            let ink: f32 = img.sum();
+            assert!(ink > 5.0, "digit {d} rendered almost empty (ink {ink})");
+        }
+    }
+
+    #[test]
+    fn different_digits_look_different() {
+        // Render each class with the same nuisance draw and check pairwise
+        // distances are substantial.
+        let renders: Vec<Tensor> = (0..10)
+            .map(|d| {
+                let mut r = rng::rng(99);
+                render_digit(d, 28, &mut r)
+            })
+            .collect();
+        for a in 0..10 {
+            for b in (a + 1)..10 {
+                let dist = dx_tensor::metrics::l1_distance(&renders[a], &renders[b]);
+                assert!(dist > 3.0, "digits {a} and {b} nearly identical ({dist})");
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = MnistConfig { n_train: 8, n_test: 4, seed: 5, side: 28 };
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a.train_x, b.train_x);
+        assert_eq!(a.train_labels.classes(), b.train_labels.classes());
+    }
+
+    #[test]
+    fn all_classes_present_in_large_sample() {
+        let ds = generate(&MnistConfig { n_train: 500, n_test: 10, seed: 2, side: 28 });
+        let mut seen = [false; 10];
+        for &l in ds.train_labels.classes() {
+            seen[l] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "some class missing: {seen:?}");
+    }
+
+    #[test]
+    fn small_side_renders_without_panic() {
+        let mut r = rng::rng(3);
+        let img = render_digit(8, 14, &mut r);
+        assert_eq!(img.shape(), &[1, 14, 14]);
+    }
+}

@@ -1,0 +1,79 @@
+//! Property-based tests over the dataset generators: every sample must be
+//! domain-valid for *any* configuration the generators accept.
+
+use dx_datasets::{drebin, driving, imagenet, mnist, pdf, pollute_labels};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn mnist_samples_valid(seed in 0u64..1000, n in 4usize..24) {
+        let ds = mnist::generate(&mnist::MnistConfig { n_train: n, n_test: 4, seed, side: 28 });
+        prop_assert_eq!(ds.train_x.shape(), &[n, 1, 28, 28]);
+        prop_assert!(ds.train_x.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        prop_assert!(ds.train_labels.classes().iter().all(|&l| l < 10));
+        prop_assert!(!ds.train_x.has_non_finite());
+    }
+
+    #[test]
+    fn imagenet_samples_valid(seed in 0u64..1000, n in 4usize..16) {
+        let ds = imagenet::generate(&imagenet::ImagenetConfig { n_train: n, n_test: 4, seed, side: 32 });
+        prop_assert_eq!(ds.train_x.shape(), &[n, 3, 32, 32]);
+        prop_assert!(ds.train_x.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        prop_assert!(ds.train_labels.classes().iter().all(|&l| l < 10));
+    }
+
+    #[test]
+    fn driving_targets_in_range(seed in 0u64..1000, n in 4usize..16) {
+        let ds = driving::generate(&driving::DrivingConfig {
+            n_train: n, n_test: 4, seed, height: 32, width: 64,
+        });
+        prop_assert!(ds.train_x.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        prop_assert!(ds
+            .train_labels
+            .values()
+            .data()
+            .iter()
+            .all(|&v| (-1.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn pdf_features_integral(seed in 0u64..1000, n in 4usize..16) {
+        let ds = pdf::generate(&pdf::PdfConfig {
+            n_train: n, n_test: 4, seed, malicious_fraction: 0.5, label_noise: 0.04,
+        });
+        let scale = ds.feature_scale.as_ref().unwrap();
+        for i in 0..n {
+            for f in 0..pdf::NUM_FEATURES {
+                let raw = ds.train_x.at(&[i, f]) * scale.data()[f];
+                prop_assert!((raw - raw.round()).abs() < 1e-3);
+                prop_assert!(raw >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn drebin_binary_and_masked(seed in 0u64..1000, width in 1usize..4) {
+        let width = width * 400;
+        let ds = drebin::generate(&drebin::DrebinConfig {
+            n_train: 8, n_test: 4, seed, width, malicious_fraction: 0.5, label_noise: 0.04,
+        });
+        prop_assert!(ds.train_x.data().iter().all(|&v| v == 0.0 || v == 1.0));
+        let mask = ds.manifest_mask.as_ref().unwrap();
+        prop_assert_eq!(mask.len(), width);
+        prop_assert_eq!(ds.feature_names.len(), width);
+    }
+
+    #[test]
+    fn pollution_bounds(fraction in 0.0f32..1.0, seed in 0u64..1000) {
+        let labels: Vec<usize> = (0..60).map(|i| i % 10).collect();
+        let (polluted, flipped) = pollute_labels(&labels, 9, 1, fraction, seed);
+        // Never flips more than the population of nines.
+        let nines = labels.iter().filter(|&&l| l == 9).count();
+        prop_assert!(flipped.len() <= nines);
+        // Flipped labels are exactly the difference between the vectors.
+        let diff: Vec<usize> = (0..60).filter(|&i| polluted[i] != labels[i]).collect();
+        prop_assert_eq!(diff, flipped);
+    }
+}

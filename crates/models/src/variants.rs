@@ -1,0 +1,131 @@
+//! Perturbed LeNet-1 variants for the model-similarity experiment
+//! (Table 12).
+//!
+//! The paper asks how similar two DNNs can be before DeepXplore stops
+//! finding difference-inducing inputs, controlling three axes of
+//! difference against a fixed LeNet-1 control: the number of training
+//! samples withheld, the number of extra filters per convolutional layer,
+//! and the number of extra training epochs.
+
+use dx_nn::layer::Layer;
+use dx_nn::network::Network;
+use dx_nn::train::{train_classifier, TrainConfig};
+use dx_nn::Optimizer;
+use dx_nn::util::gather_rows;
+use dx_tensor::{rng, Tensor};
+
+/// LeNet-1 with `extra` additional filters in each convolutional layer
+/// (`extra = 0` is the control architecture).
+pub fn lenet1_wider(extra: usize) -> Network {
+    let c1 = 4 + extra;
+    let c2 = 12 + extra;
+    Network::new(
+        &[1, 28, 28],
+        vec![
+            Layer::conv2d(1, c1, 5, 1, 0),
+            Layer::relu(),
+            Layer::maxpool2d(2),
+            Layer::conv2d(c1, c2, 5, 1, 0),
+            Layer::relu(),
+            Layer::maxpool2d(2),
+            Layer::flatten(),
+            Layer::dense(c2 * 4 * 4, 10),
+            Layer::softmax(),
+        ],
+    )
+}
+
+/// Trains a LeNet-1-family network on the first `n_samples` rows of the
+/// given data for `epochs` epochs; weight initialization and shuffling are
+/// fixed by `seed` so two calls differing only in the controlled axis are
+/// comparable.
+pub fn train_variant(
+    mut net: Network,
+    x: &Tensor,
+    labels: &[usize],
+    n_samples: usize,
+    epochs: usize,
+    seed: u64,
+) -> Network {
+    assert!(n_samples <= x.shape()[0], "not enough data for {n_samples} samples");
+    let idx: Vec<usize> = (0..n_samples).collect();
+    let xs = gather_rows(x, &idx);
+    let ls: Vec<usize> = labels[..n_samples].to_vec();
+    let mut r = rng::rng(seed);
+    net.init_weights(&mut r);
+    let cfg = TrainConfig { epochs, batch_size: 32, seed, shuffle: true };
+    train_classifier(&mut net, &xs, &ls, &cfg, &mut Optimizer::adam(1e-3));
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dx_datasets::mnist;
+
+    #[test]
+    fn wider_variants_have_more_params() {
+        let base = lenet1_wider(0).param_count();
+        let plus2 = lenet1_wider(2).param_count();
+        assert!(plus2 > base);
+    }
+
+    #[test]
+    fn identical_training_yields_identical_weights() {
+        let ds = mnist::generate(&mnist::MnistConfig {
+            n_train: 120,
+            n_test: 10,
+            ..Default::default()
+        });
+        let a = train_variant(
+            lenet1_wider(0),
+            &ds.train_x,
+            ds.train_labels.classes(),
+            100,
+            1,
+            7,
+        );
+        let b = train_variant(
+            lenet1_wider(0),
+            &ds.train_x,
+            ds.train_labels.classes(),
+            100,
+            1,
+            7,
+        );
+        for (pa, pb) in a.params().iter().zip(b.params().iter()) {
+            assert_eq!(pa, pb);
+        }
+    }
+
+    #[test]
+    fn sample_count_changes_weights() {
+        let ds = mnist::generate(&mnist::MnistConfig {
+            n_train: 130,
+            n_test: 10,
+            ..Default::default()
+        });
+        let a = train_variant(
+            lenet1_wider(0),
+            &ds.train_x,
+            ds.train_labels.classes(),
+            100,
+            1,
+            7,
+        );
+        let b = train_variant(
+            lenet1_wider(0),
+            &ds.train_x,
+            ds.train_labels.classes(),
+            128,
+            1,
+            7,
+        );
+        let differs = a
+            .params()
+            .iter()
+            .zip(b.params().iter())
+            .any(|(pa, pb)| pa != pb);
+        assert!(differs, "withholding samples should perturb the weights");
+    }
+}

@@ -1,0 +1,147 @@
+//! Static cost estimation: FLOPs and activation memory per layer.
+//!
+//! DeepXplore's practicality argument (§8) rests on a performance
+//! asymmetry: training a large model takes days, while one forward +
+//! input-gradient computation takes milliseconds. This module makes that
+//! arithmetic inspectable — the CLI and benches can report how much work
+//! one Algorithm 1 iteration costs for each zoo model without running it.
+
+use crate::layer::Layer;
+use crate::network::Network;
+
+/// Static cost of one evaluation-mode forward pass at batch size 1.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Cost {
+    /// Multiply–accumulate operations.
+    pub macs: u64,
+    /// Scalar activation values produced (memory high-water proxy).
+    pub activations: u64,
+}
+
+impl Cost {
+    /// FLOPs under the usual 2-FLOPs-per-MAC convention.
+    pub fn flops(&self) -> u64 {
+        self.macs * 2
+    }
+}
+
+fn numel(shape: &[usize]) -> u64 {
+    shape.iter().map(|&d| d as u64).product()
+}
+
+/// Cost of one layer given its input shape (without batch).
+fn layer_cost(layer: &Layer, in_shape: &[usize], out_shape: &[usize]) -> Cost {
+    let out_n = numel(out_shape);
+    let macs = match layer {
+        Layer::Dense(d) => (d.in_features * d.out_features) as u64,
+        Layer::Conv2d(c) => {
+            // Each output position consumes a full receptive field.
+            let receptive = (c.in_ch * c.kernel * c.kernel) as u64;
+            out_n * receptive
+        }
+        Layer::MaxPool2d(p) => out_n * (p.kernel * p.kernel) as u64,
+        Layer::AvgPool2d(p) => out_n * (p.kernel * p.kernel) as u64,
+        // One transcendental/comparison per element, counted as one MAC.
+        Layer::Relu | Layer::Sigmoid | Layer::Tanh | Layer::Softmax => out_n,
+        Layer::Flatten | Layer::Dropout(_) => 0,
+        Layer::BatchNorm(_) => 2 * out_n, // Normalize + affine.
+        Layer::Residual(r) => {
+            let mut cur = in_shape.to_vec();
+            let mut macs = 0u64;
+            for inner in &r.body {
+                let next = inner.output_shape(&cur);
+                macs += layer_cost(inner, &cur, &next).macs;
+                cur = next;
+            }
+            if let Some(proj) = &r.projection {
+                let proj_out = proj.output_shape(in_shape);
+                macs += numel(&proj_out) * (proj.in_ch) as u64;
+            }
+            macs + out_n // The skip addition.
+        }
+    };
+    Cost { macs, activations: out_n }
+}
+
+/// Estimates the forward cost of a network at batch size 1.
+pub fn forward_cost(net: &Network) -> Cost {
+    let shapes = net.activation_shapes();
+    let mut total = Cost::default();
+    for (i, layer) in net.layers().iter().enumerate() {
+        let c = layer_cost(layer, &shapes[i], &shapes[i + 1]);
+        total.macs += c.macs;
+        total.activations += c.activations;
+    }
+    total
+}
+
+/// Estimates the cost of one DeepXplore joint-gradient iteration for a set
+/// of models: a forward plus an input-backward per model, approximated as
+/// 3× the forward MACs (the standard forward:backward ratio).
+pub fn iteration_cost(models: &[Network]) -> Cost {
+    let mut total = Cost::default();
+    for m in models {
+        let f = forward_cost(m);
+        total.macs += 3 * f.macs;
+        total.activations += 2 * f.activations;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::Layer;
+
+    #[test]
+    fn dense_cost_is_weight_count() {
+        let net = Network::new(&[10], vec![Layer::dense(10, 5)]);
+        let c = forward_cost(&net);
+        assert_eq!(c.macs, 50);
+        assert_eq!(c.activations, 5);
+        assert_eq!(c.flops(), 100);
+    }
+
+    #[test]
+    fn conv_cost_formula() {
+        // 1 -> 4 channels, 5x5 kernel, 28x28 input, valid padding: 24x24 out.
+        let net = Network::new(&[1, 28, 28], vec![Layer::conv2d(1, 4, 5, 1, 0)]);
+        let c = forward_cost(&net);
+        assert_eq!(c.macs, (4 * 24 * 24) as u64 * 25);
+    }
+
+    #[test]
+    fn deeper_networks_cost_more() {
+        let small = Network::new(&[8], vec![Layer::dense(8, 8)]);
+        let big = Network::new(
+            &[8],
+            vec![Layer::dense(8, 64), Layer::relu(), Layer::dense(64, 8)],
+        );
+        assert!(forward_cost(&big).macs > forward_cost(&small).macs);
+    }
+
+    #[test]
+    fn residual_includes_body_and_skip() {
+        let body = vec![Layer::conv2d(2, 2, 3, 1, 1)];
+        let plain = Network::new(&[2, 4, 4], body.clone());
+        let res = Network::new(&[2, 4, 4], vec![Layer::residual(body)]);
+        let plain_macs = forward_cost(&plain).macs;
+        let res_macs = forward_cost(&res).macs;
+        // Residual adds exactly the skip addition (2*4*4 elements).
+        assert_eq!(res_macs, plain_macs + 32);
+    }
+
+    #[test]
+    fn structural_layers_are_free() {
+        let net = Network::new(&[2, 4, 4], vec![Layer::flatten(), Layer::dropout(0.5)]);
+        assert_eq!(forward_cost(&net).macs, 0);
+    }
+
+    #[test]
+    fn iteration_cost_sums_models() {
+        let a = Network::new(&[4], vec![Layer::dense(4, 4)]);
+        let per_model = forward_cost(&a).macs;
+        let c = iteration_cost(&[a.clone(), a]);
+        assert_eq!(c.macs, 2 * 3 * per_model);
+    }
+}

@@ -1,0 +1,93 @@
+//! Weight initialization schemes.
+//!
+//! The zoo uses [`Init::HeNormal`] for ReLU networks and
+//! [`Init::XavierUniform`] for sigmoid/tanh networks, matching the
+//! conventions of the architectures the paper evaluates. `DAVE-NormInit`
+//! (Table 1) differs from `DAVE-Orig` precisely in its initialization,
+//! which is why the scheme is part of the public API.
+
+use dx_tensor::{rng, Tensor};
+
+/// A weight-initialization scheme.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Init {
+    /// All zeros (used for biases).
+    Zeros,
+    /// Uniform on `[-limit, limit]` with `limit = sqrt(6 / (fan_in + fan_out))`.
+    XavierUniform,
+    /// Normal with `std = sqrt(2 / fan_in)` (He et al., for ReLU).
+    HeNormal,
+    /// Normal with `std = sqrt(1 / fan_in)` (LeCun, used by DAVE-NormInit).
+    LecunNormal,
+}
+
+impl Init {
+    /// Samples a tensor of the given shape.
+    ///
+    /// `fan_in`/`fan_out` must be the effective fan of the layer (for conv
+    /// layers, channel count times receptive-field size).
+    pub fn sample(
+        self,
+        r: &mut rng::Rng,
+        shape: &[usize],
+        fan_in: usize,
+        fan_out: usize,
+    ) -> Tensor {
+        match self {
+            Init::Zeros => Tensor::zeros(shape),
+            Init::XavierUniform => {
+                let limit = (6.0 / (fan_in + fan_out) as f32).sqrt();
+                rng::uniform(r, shape, -limit, limit)
+            }
+            Init::HeNormal => {
+                let std = (2.0 / fan_in as f32).sqrt();
+                rng::normal(r, shape, 0.0, std)
+            }
+            Init::LecunNormal => {
+                let std = (1.0 / fan_in as f32).sqrt();
+                rng::normal(r, shape, 0.0, std)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_are_zero() {
+        let t = Init::Zeros.sample(&mut rng::rng(0), &[10], 5, 5);
+        assert!(t.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn xavier_respects_limit() {
+        let t = Init::XavierUniform.sample(&mut rng::rng(1), &[1000], 50, 50);
+        let limit = (6.0f32 / 100.0).sqrt();
+        assert!(t.data().iter().all(|&v| v.abs() <= limit));
+    }
+
+    #[test]
+    fn he_normal_std_is_plausible() {
+        let t = Init::HeNormal.sample(&mut rng::rng(2), &[20000], 8, 8);
+        let std = t.map(|v| v * v).mean().sqrt();
+        let want = (2.0f32 / 8.0).sqrt();
+        assert!((std - want).abs() / want < 0.1, "std {std}, want {want}");
+    }
+
+    #[test]
+    fn lecun_normal_std_is_plausible() {
+        let t = Init::LecunNormal.sample(&mut rng::rng(3), &[20000], 16, 16);
+        let std = t.map(|v| v * v).mean().sqrt();
+        let want = (1.0f32 / 16.0).sqrt();
+        assert!((std - want).abs() / want < 0.1, "std {std}, want {want}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = Init::HeNormal.sample(&mut rng::rng(7), &[32], 4, 4);
+        let b = Init::HeNormal.sample(&mut rng::rng(7), &[32], 4, 4);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,401 @@
+//! 2-D convolution via im2col + matmul.
+
+use dx_tensor::{rng::Rng, Tensor};
+
+use crate::init::Init;
+use crate::layer::Cache;
+
+/// 2-D convolution over `[N, C, H, W]` with square kernels.
+///
+/// The forward pass lowers each sample to an im2col matrix and performs a
+/// single matmul against the `[out_ch, in_ch·k·k]` weight view — the same
+/// strategy the large frameworks use, which keeps the fifteen-model zoo
+/// trainable on a laptop CPU.
+#[derive(Clone, Debug)]
+pub struct Conv2d {
+    /// Kernel weights, `[out_ch, in_ch, k, k]`.
+    pub weight: Tensor,
+    /// Per-output-channel bias, `[out_ch]`.
+    pub bias: Tensor,
+    /// Input channels.
+    pub in_ch: usize,
+    /// Output channels.
+    pub out_ch: usize,
+    /// Square kernel side.
+    pub kernel: usize,
+    /// Stride.
+    pub stride: usize,
+    /// Zero padding on all sides.
+    pub pad: usize,
+    /// Initialization scheme used by [`Conv2d::init_weights`].
+    pub init: Init,
+}
+
+impl Conv2d {
+    /// Creates a convolution with zeroed parameters.
+    pub fn new(
+        in_ch: usize,
+        out_ch: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        init: Init,
+    ) -> Self {
+        assert!(kernel > 0 && stride > 0, "kernel and stride must be positive");
+        Self {
+            weight: Tensor::zeros(&[out_ch, in_ch, kernel, kernel]),
+            bias: Tensor::zeros(&[out_ch]),
+            in_ch,
+            out_ch,
+            kernel,
+            stride,
+            pad,
+            init,
+        }
+    }
+
+    /// Samples fresh weights; biases reset to zero.
+    pub fn init_weights(&mut self, r: &mut Rng) {
+        let fan_in = self.in_ch * self.kernel * self.kernel;
+        let fan_out = self.out_ch * self.kernel * self.kernel;
+        self.weight = self.init.sample(
+            r,
+            &[self.out_ch, self.in_ch, self.kernel, self.kernel],
+            fan_in,
+            fan_out,
+        );
+        self.bias = Tensor::zeros(&[self.out_ch]);
+    }
+
+    fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        let oh = (h + 2 * self.pad).checked_sub(self.kernel).map(|v| v / self.stride + 1);
+        let ow = (w + 2 * self.pad).checked_sub(self.kernel).map(|v| v / self.stride + 1);
+        match (oh, ow) {
+            (Some(oh), Some(ow)) if oh > 0 && ow > 0 => (oh, ow),
+            _ => panic!(
+                "Conv2d k{} s{} p{} cannot consume a {h}x{w} input",
+                self.kernel, self.stride, self.pad
+            ),
+        }
+    }
+
+    /// Output shape (without batch) for shape validation.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the input is `[in_ch, H, W]` with the kernel fitting.
+    pub fn output_shape(&self, in_shape: &[usize]) -> Vec<usize> {
+        assert_eq!(
+            in_shape.len(),
+            3,
+            "Conv2d expects [C, H, W] input, got {in_shape:?}"
+        );
+        assert_eq!(
+            in_shape[0], self.in_ch,
+            "Conv2d expects {} input channels, got shape {in_shape:?}",
+            self.in_ch
+        );
+        let (oh, ow) = self.out_hw(in_shape[1], in_shape[2]);
+        vec![self.out_ch, oh, ow]
+    }
+
+    /// Forward pass over `[N, C, H, W]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatches.
+    pub fn forward(&self, x: &Tensor) -> (Tensor, Cache) {
+        assert_eq!(x.rank(), 4, "Conv2d expects [N, C, H, W], got {:?}", x.shape());
+        let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+        assert_eq!(c, self.in_ch, "Conv2d expects {} channels, got {:?}", self.in_ch, x.shape());
+        let (oh, ow) = self.out_hw(h, w);
+        let k = self.kernel;
+        let rows = c * k * k;
+        let cols = oh * ow;
+        let w_mat = self.weight.reshape(&[self.out_ch, rows]);
+        let mut out = Tensor::zeros(&[n, self.out_ch, oh, ow]);
+        let sample_in = c * h * w;
+        let sample_out = self.out_ch * oh * ow;
+        let mut col_buf = vec![0.0f32; rows * cols];
+        for i in 0..n {
+            let xin = &x.data()[i * sample_in..(i + 1) * sample_in];
+            im2col(xin, c, h, w, k, self.stride, self.pad, oh, ow, &mut col_buf);
+            let cols_t = Tensor::from_vec(col_buf.clone(), &[rows, cols]);
+            let y = w_mat.matmul(&cols_t);
+            let dst = &mut out.data_mut()[i * sample_out..(i + 1) * sample_out];
+            for oc in 0..self.out_ch {
+                let b = self.bias.data()[oc];
+                let src = &y.data()[oc * cols..(oc + 1) * cols];
+                let d = &mut dst[oc * cols..(oc + 1) * cols];
+                for (dv, &sv) in d.iter_mut().zip(src.iter()) {
+                    *dv = sv + b;
+                }
+            }
+        }
+        (out, Cache::Input(x.clone()))
+    }
+
+    /// Backward pass: `(dx, [dW, db])`. The im2col matrix is re-derived from
+    /// the cached input rather than stored, trading a little compute for a
+    /// much smaller forward-pass footprint.
+    pub fn backward(
+        &self,
+        x: &Tensor,
+        grad_out: &Tensor,
+        want_param_grads: bool,
+    ) -> (Tensor, Vec<Tensor>) {
+        let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+        let (oh, ow) = self.out_hw(h, w);
+        assert_eq!(
+            grad_out.shape(),
+            &[n, self.out_ch, oh, ow],
+            "Conv2d backward: grad shape {:?} does not match output",
+            grad_out.shape()
+        );
+        let k = self.kernel;
+        let rows = c * k * k;
+        let cols = oh * ow;
+        let w_mat = self.weight.reshape(&[self.out_ch, rows]);
+        let w_mat_t = w_mat.transpose();
+        let mut dx = Tensor::zeros(x.shape());
+        let mut dw_mat = Tensor::zeros(&[self.out_ch, rows]);
+        let mut db = vec![0.0f32; self.out_ch];
+        let sample_in = c * h * w;
+        let sample_out = self.out_ch * oh * ow;
+        let mut col_buf = vec![0.0f32; rows * cols];
+        for i in 0..n {
+            let g = &grad_out.data()[i * sample_out..(i + 1) * sample_out];
+            let g_mat = Tensor::from_vec(g.to_vec(), &[self.out_ch, cols]);
+            // dCols = W^T · dY, scattered back to input positions.
+            let dcols = w_mat_t.matmul(&g_mat);
+            let dxi = &mut dx.data_mut()[i * sample_in..(i + 1) * sample_in];
+            col2im(dcols.data(), c, h, w, k, self.stride, self.pad, oh, ow, dxi);
+            if want_param_grads {
+                let xin = &x.data()[i * sample_in..(i + 1) * sample_in];
+                im2col(xin, c, h, w, k, self.stride, self.pad, oh, ow, &mut col_buf);
+                let cols_t = Tensor::from_vec(col_buf.clone(), &[rows, cols]);
+                // dW += dY · cols^T.
+                dw_mat += &g_mat.matmul(&cols_t.transpose());
+                for oc in 0..self.out_ch {
+                    db[oc] += g[oc * cols..(oc + 1) * cols].iter().sum::<f32>();
+                }
+            }
+        }
+        if want_param_grads {
+            let dw = dw_mat.reshape(&[self.out_ch, self.in_ch, k, k]);
+            (dx, vec![dw, Tensor::from_vec(db, &[self.out_ch])])
+        } else {
+            (dx, vec![])
+        }
+    }
+}
+
+/// Lowers one `[C, H, W]` sample into an im2col matrix of shape
+/// `[C·k·k, OH·OW]` (row-major into `out`). Out-of-bounds taps are zero.
+#[allow(clippy::too_many_arguments)]
+fn im2col(
+    x: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    k: usize,
+    stride: usize,
+    pad: usize,
+    oh: usize,
+    ow: usize,
+    out: &mut [f32],
+) {
+    let cols = oh * ow;
+    debug_assert_eq!(out.len(), c * k * k * cols);
+    for ch in 0..c {
+        let plane = &x[ch * h * w..(ch + 1) * h * w];
+        for ky in 0..k {
+            for kx in 0..k {
+                let row = (ch * k + ky) * k + kx;
+                let dst = &mut out[row * cols..(row + 1) * cols];
+                for oy in 0..oh {
+                    let iy = (oy * stride + ky) as isize - pad as isize;
+                    let base = oy * ow;
+                    if iy < 0 || iy >= h as isize {
+                        dst[base..base + ow].fill(0.0);
+                        continue;
+                    }
+                    let src_row = &plane[iy as usize * w..(iy as usize + 1) * w];
+                    for ox in 0..ow {
+                        let ix = (ox * stride + kx) as isize - pad as isize;
+                        dst[base + ox] = if ix < 0 || ix >= w as isize {
+                            0.0
+                        } else {
+                            src_row[ix as usize]
+                        };
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Scatter-adds an im2col-shaped gradient back onto the input plane —
+/// the adjoint of [`im2col`].
+#[allow(clippy::too_many_arguments)]
+fn col2im(
+    cols_grad: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    k: usize,
+    stride: usize,
+    pad: usize,
+    oh: usize,
+    ow: usize,
+    out: &mut [f32],
+) {
+    let cols = oh * ow;
+    for ch in 0..c {
+        let plane = &mut out[ch * h * w..(ch + 1) * h * w];
+        for ky in 0..k {
+            for kx in 0..k {
+                let row = (ch * k + ky) * k + kx;
+                let src = &cols_grad[row * cols..(row + 1) * cols];
+                for oy in 0..oh {
+                    let iy = (oy * stride + ky) as isize - pad as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    let base = oy * ow;
+                    let dst_row = &mut plane[iy as usize * w..(iy as usize + 1) * w];
+                    for ox in 0..ow {
+                        let ix = (ox * stride + kx) as isize - pad as isize;
+                        if ix >= 0 && ix < w as isize {
+                            dst_row[ix as usize] += src[base + ox];
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dx_tensor::rng;
+
+    /// Direct (quadruple-loop) convolution used as a test oracle.
+    fn conv_oracle(x: &Tensor, layer: &Conv2d) -> Tensor {
+        let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+        let (oh, ow) = layer.out_hw(h, w);
+        let k = layer.kernel;
+        let mut out = Tensor::zeros(&[n, layer.out_ch, oh, ow]);
+        for i in 0..n {
+            for oc in 0..layer.out_ch {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = layer.bias.data()[oc];
+                        for ic in 0..c {
+                            for ky in 0..k {
+                                for kx in 0..k {
+                                    let iy = (oy * layer.stride + ky) as isize - layer.pad as isize;
+                                    let ix = (ox * layer.stride + kx) as isize - layer.pad as isize;
+                                    if iy >= 0 && ix >= 0 && (iy as usize) < h && (ix as usize) < w {
+                                        acc += x.at(&[i, ic, iy as usize, ix as usize])
+                                            * layer.weight.at(&[oc, ic, ky, kx]);
+                                    }
+                                }
+                            }
+                        }
+                        out.set(&[i, oc, oy, ox], acc);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn random_layer(in_ch: usize, out_ch: usize, k: usize, s: usize, p: usize) -> Conv2d {
+        let mut l = Conv2d::new(in_ch, out_ch, k, s, p, Init::XavierUniform);
+        l.init_weights(&mut rng::rng(42));
+        l.bias = rng::uniform(&mut rng::rng(43), &[out_ch], -0.5, 0.5);
+        l
+    }
+
+    #[test]
+    fn matches_direct_convolution_no_pad() {
+        let layer = random_layer(2, 3, 3, 1, 0);
+        let x = rng::uniform(&mut rng::rng(1), &[2, 2, 6, 6], -1.0, 1.0);
+        let (y, _) = layer.forward(&x);
+        let want = conv_oracle(&x, &layer);
+        assert_eq!(y.shape(), want.shape());
+        for (a, b) in y.data().iter().zip(want.data().iter()) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn matches_direct_convolution_with_pad_and_stride() {
+        let layer = random_layer(3, 4, 3, 2, 1);
+        let x = rng::uniform(&mut rng::rng(2), &[1, 3, 7, 7], -1.0, 1.0);
+        let (y, _) = layer.forward(&x);
+        let want = conv_oracle(&x, &layer);
+        assert_eq!(y.shape(), want.shape());
+        for (a, b) in y.data().iter().zip(want.data().iter()) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn output_shape_formula() {
+        let layer = Conv2d::new(1, 8, 5, 1, 0, Init::HeNormal);
+        assert_eq!(layer.output_shape(&[1, 28, 28]), vec![8, 24, 24]);
+        let strided = Conv2d::new(3, 24, 5, 2, 0, Init::HeNormal);
+        assert_eq!(strided.output_shape(&[3, 66, 200]), vec![24, 31, 98]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot consume")]
+    fn kernel_too_large_panics() {
+        Conv2d::new(1, 1, 9, 1, 0, Init::HeNormal).output_shape(&[1, 4, 4]);
+    }
+
+    #[test]
+    fn identity_kernel_preserves_input() {
+        // A single 1x1 kernel with weight 1 and bias 0 is the identity.
+        let mut layer = Conv2d::new(1, 1, 1, 1, 0, Init::Zeros);
+        layer.weight = Tensor::ones(&[1, 1, 1, 1]);
+        let x = rng::uniform(&mut rng::rng(3), &[2, 1, 4, 4], -1.0, 1.0);
+        let (y, _) = layer.forward(&x);
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn backward_shapes() {
+        let layer = random_layer(2, 3, 3, 1, 1);
+        let x = rng::uniform(&mut rng::rng(4), &[2, 2, 5, 5], -1.0, 1.0);
+        let (y, cache) = layer.forward(&x);
+        let g = Tensor::ones(y.shape());
+        if let Cache::Input(xc) = cache {
+            let (dx, grads) = layer.backward(&xc, &g, true);
+            assert_eq!(dx.shape(), x.shape());
+            assert_eq!(grads[0].shape(), layer.weight.shape());
+            assert_eq!(grads[1].shape(), layer.bias.shape());
+        } else {
+            panic!("wrong cache kind");
+        }
+    }
+
+    #[test]
+    fn bias_gradient_counts_positions() {
+        // With dY = 1 everywhere, db equals the number of output positions.
+        let layer = random_layer(1, 2, 3, 1, 0);
+        let x = rng::uniform(&mut rng::rng(5), &[1, 1, 5, 5], -1.0, 1.0);
+        let (y, cache) = layer.forward(&x);
+        let g = Tensor::ones(y.shape());
+        if let Cache::Input(xc) = cache {
+            let (_, grads) = layer.backward(&xc, &g, true);
+            let positions = (y.shape()[2] * y.shape()[3]) as f32;
+            assert_eq!(grads[1].data(), &[positions, positions]);
+        } else {
+            panic!("wrong cache kind");
+        }
+    }
+}

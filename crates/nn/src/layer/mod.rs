@@ -1,0 +1,466 @@
+//! Layer types and the dispatch enum composing them into networks.
+//!
+//! Layers are plain data (weights + hyperparameters) with pure
+//! `forward`/`backward` methods. Dispatch is a closed `enum` rather than
+//! trait objects: the set of layer types the paper's fifteen models need is
+//! fixed and small, and the enum keeps serialization, shape inference and
+//! exhaustive testing straightforward.
+
+mod activation;
+mod conv;
+mod dense;
+mod norm;
+mod pool;
+mod residual;
+
+pub use activation::{relu_backward, sigmoid_backward, softmax_backward, tanh_backward};
+pub use conv::Conv2d;
+pub use dense::Dense;
+pub use norm::{BatchNorm, Dropout};
+pub use pool::{AvgPool2d, MaxPool2d};
+pub use residual::Residual;
+
+use dx_tensor::{rng::Rng, Tensor};
+
+use crate::init::Init;
+
+/// Values a layer computes during `forward` that its `backward` needs.
+///
+/// Caches are returned by value inside a [`crate::ForwardPass`] so a pass is
+/// immutable and can be differentiated repeatedly (the DeepXplore inner loop
+/// reuses one pass for both objectives).
+#[derive(Clone, Debug)]
+pub enum Cache {
+    /// The layer input (dense and conv layers; conv re-derives im2col).
+    Input(Tensor),
+    /// The layer output (sigmoid, tanh, softmax — their derivative is a
+    /// function of the output).
+    Output(Tensor),
+    /// A 0/1 (or scaled, for dropout) multiplicative mask.
+    Mask(Tensor),
+    /// Flat input offsets of each pooled maximum plus the input shape.
+    ArgMax {
+        /// Flat offset of the maximum within the layer input, per output.
+        indices: Vec<usize>,
+        /// The layer's input shape (batched).
+        in_shape: Vec<usize>,
+    },
+    /// Just the input shape (flatten, average pooling).
+    Shape(Vec<usize>),
+    /// Batch-norm cache.
+    BatchNorm {
+        /// The normalized input `x̂`.
+        xhat: Tensor,
+        /// Per-feature inverse standard deviation.
+        inv_std: Tensor,
+        /// Per-feature reduction count (batch × spatial positions).
+        count: usize,
+        /// Whether the forward pass used batch statistics (training mode).
+        train: bool,
+    },
+    /// Residual-block cache: one cache per body layer plus the projection's.
+    Residual {
+        /// Caches of the body layers, in forward order.
+        inner: Vec<Cache>,
+        /// Cache of the 1×1 projection, when present.
+        proj: Option<Box<Cache>>,
+    },
+    /// Layers that need nothing (identity-like eval dropout).
+    None,
+}
+
+/// One network layer.
+///
+/// Constructors are provided for each variant (e.g. [`Layer::dense`],
+/// [`Layer::conv2d`]); the enum itself is public so downstream code can
+/// inspect architectures (the coverage crate does).
+#[derive(Clone, Debug)]
+pub enum Layer {
+    /// Fully connected affine map over `[N, I] -> [N, O]`.
+    Dense(Dense),
+    /// 2-D convolution over `[N, C, H, W]`.
+    Conv2d(Conv2d),
+    /// Max pooling over non-overlapping (or strided) windows.
+    MaxPool2d(MaxPool2d),
+    /// Average pooling.
+    AvgPool2d(AvgPool2d),
+    /// Rectified linear unit.
+    Relu,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Row-wise softmax over `[N, K]`.
+    Softmax,
+    /// Reshape `[N, C, H, W] -> [N, C·H·W]`.
+    Flatten,
+    /// Inverted dropout (identity at inference).
+    Dropout(Dropout),
+    /// Batch normalization (per feature or per channel).
+    BatchNorm(BatchNorm),
+    /// Residual block `y = body(x) + skip(x)`.
+    Residual(Residual),
+}
+
+impl Layer {
+    /// Fully connected layer with He-normal initialization.
+    pub fn dense(in_features: usize, out_features: usize) -> Self {
+        Layer::Dense(Dense::new(in_features, out_features, Init::HeNormal))
+    }
+
+    /// Fully connected layer with an explicit initialization scheme.
+    pub fn dense_init(in_features: usize, out_features: usize, init: Init) -> Self {
+        Layer::Dense(Dense::new(in_features, out_features, init))
+    }
+
+    /// Convolution with square kernel, He-normal initialization.
+    pub fn conv2d(in_ch: usize, out_ch: usize, kernel: usize, stride: usize, pad: usize) -> Self {
+        Layer::Conv2d(Conv2d::new(in_ch, out_ch, kernel, stride, pad, Init::HeNormal))
+    }
+
+    /// Convolution with an explicit initialization scheme.
+    pub fn conv2d_init(
+        in_ch: usize,
+        out_ch: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        init: Init,
+    ) -> Self {
+        Layer::Conv2d(Conv2d::new(in_ch, out_ch, kernel, stride, pad, init))
+    }
+
+    /// Max pooling with square window `kernel` and stride equal to it.
+    pub fn maxpool2d(kernel: usize) -> Self {
+        Layer::MaxPool2d(MaxPool2d::new(kernel, kernel))
+    }
+
+    /// Average pooling with square window `kernel` and stride equal to it.
+    pub fn avgpool2d(kernel: usize) -> Self {
+        Layer::AvgPool2d(AvgPool2d::new(kernel, kernel))
+    }
+
+    /// ReLU activation.
+    pub fn relu() -> Self {
+        Layer::Relu
+    }
+
+    /// Sigmoid activation.
+    pub fn sigmoid() -> Self {
+        Layer::Sigmoid
+    }
+
+    /// Tanh activation.
+    pub fn tanh() -> Self {
+        Layer::Tanh
+    }
+
+    /// Softmax output layer.
+    pub fn softmax() -> Self {
+        Layer::Softmax
+    }
+
+    /// Flattening layer.
+    pub fn flatten() -> Self {
+        Layer::Flatten
+    }
+
+    /// Dropout with the given drop probability.
+    pub fn dropout(p: f32) -> Self {
+        Layer::Dropout(Dropout::new(p))
+    }
+
+    /// Batch normalization over `features` channels/features.
+    pub fn batch_norm(features: usize) -> Self {
+        Layer::BatchNorm(BatchNorm::new(features))
+    }
+
+    /// Identity-skip residual block.
+    pub fn residual(body: Vec<Layer>) -> Self {
+        Layer::Residual(Residual::new(body))
+    }
+
+    /// Residual block with a 1×1 projection skip for channel/stride changes.
+    pub fn residual_projected(body: Vec<Layer>, projection: Conv2d) -> Self {
+        Layer::Residual(Residual::with_projection(body, projection))
+    }
+
+    /// Short human-readable name (used in `Network::describe`).
+    pub fn name(&self) -> String {
+        match self {
+            Layer::Dense(d) => format!("Dense({}→{})", d.in_features, d.out_features),
+            Layer::Conv2d(c) => format!(
+                "Conv2d({}→{}, k{}, s{}, p{})",
+                c.in_ch, c.out_ch, c.kernel, c.stride, c.pad
+            ),
+            Layer::MaxPool2d(p) => format!("MaxPool2d(k{})", p.kernel),
+            Layer::AvgPool2d(p) => format!("AvgPool2d(k{})", p.kernel),
+            Layer::Relu => "ReLU".into(),
+            Layer::Sigmoid => "Sigmoid".into(),
+            Layer::Tanh => "Tanh".into(),
+            Layer::Softmax => "Softmax".into(),
+            Layer::Flatten => "Flatten".into(),
+            Layer::Dropout(d) => format!("Dropout({})", d.p),
+            Layer::BatchNorm(b) => format!("BatchNorm({})", b.features),
+            Layer::Residual(r) => format!(
+                "Residual({} layers{})",
+                r.body.len(),
+                if r.projection.is_some() { ", projected" } else { "" }
+            ),
+        }
+    }
+
+    /// Whether this layer's output participates in neuron coverage.
+    ///
+    /// Following the original implementation, coverage is read at the
+    /// post-activation output of each computational block: activations,
+    /// pooling layers and the softmax output. Structural layers (flatten,
+    /// dropout) and pre-activation linear outputs do not count.
+    pub fn is_coverage_layer(&self) -> bool {
+        matches!(
+            self,
+            Layer::Relu
+                | Layer::Sigmoid
+                | Layer::Tanh
+                | Layer::Softmax
+                | Layer::MaxPool2d(_)
+                | Layer::AvgPool2d(_)
+                | Layer::Residual(_)
+        )
+    }
+
+    /// Output shape (without the batch dimension) for a given input shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input shape is incompatible with the layer — this is
+    /// how `Network::new` validates an architecture at build time.
+    pub fn output_shape(&self, in_shape: &[usize]) -> Vec<usize> {
+        match self {
+            Layer::Dense(d) => d.output_shape(in_shape),
+            Layer::Conv2d(c) => c.output_shape(in_shape),
+            Layer::MaxPool2d(p) => p.output_shape(in_shape),
+            Layer::AvgPool2d(p) => p.output_shape(in_shape),
+            Layer::BatchNorm(b) => b.output_shape(in_shape),
+            Layer::Residual(r) => r.output_shape(in_shape),
+            Layer::Flatten => {
+                vec![in_shape.iter().product()]
+            }
+            Layer::Relu | Layer::Sigmoid | Layer::Tanh | Layer::Dropout(_) => in_shape.to_vec(),
+            Layer::Softmax => {
+                assert_eq!(
+                    in_shape.len(),
+                    1,
+                    "softmax expects a vector input, got {in_shape:?}"
+                );
+                in_shape.to_vec()
+            }
+        }
+    }
+
+    /// Evaluation-mode forward pass over a batched input.
+    pub fn forward(&self, x: &Tensor) -> (Tensor, Cache) {
+        match self {
+            Layer::Dense(d) => d.forward(x),
+            Layer::Conv2d(c) => c.forward(x),
+            Layer::MaxPool2d(p) => p.forward(x),
+            Layer::AvgPool2d(p) => p.forward(x),
+            Layer::Relu => activation::relu_forward(x),
+            Layer::Sigmoid => activation::sigmoid_forward(x),
+            Layer::Tanh => activation::tanh_forward(x),
+            Layer::Softmax => activation::softmax_forward(x),
+            Layer::Flatten => flatten_forward(x),
+            Layer::Dropout(_) => (x.clone(), Cache::None),
+            Layer::BatchNorm(b) => b.forward_eval(x),
+            Layer::Residual(r) => r.forward(x),
+        }
+    }
+
+    /// Training-mode forward pass; updates batch-norm running statistics and
+    /// samples dropout masks.
+    pub fn forward_train(&mut self, x: &Tensor, r: &mut Rng) -> (Tensor, Cache) {
+        match self {
+            Layer::Dropout(d) => d.forward_train(x, r),
+            Layer::BatchNorm(b) => b.forward_train(x),
+            Layer::Residual(res) => res.forward_train(x, r),
+            other => other.forward(x),
+        }
+    }
+
+    /// Backward pass: returns the gradient with respect to the layer input
+    /// and — when `want_param_grads` — the gradients of the layer parameters
+    /// (in [`Layer::params`] order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cache` does not belong to this layer type.
+    pub fn backward(
+        &self,
+        cache: &Cache,
+        grad_out: &Tensor,
+        want_param_grads: bool,
+    ) -> (Tensor, Vec<Tensor>) {
+        match (self, cache) {
+            (Layer::Dense(d), Cache::Input(x)) => d.backward(x, grad_out, want_param_grads),
+            (Layer::Conv2d(c), Cache::Input(x)) => c.backward(x, grad_out, want_param_grads),
+            (Layer::MaxPool2d(p), Cache::ArgMax { indices, in_shape }) => {
+                (p.backward(indices, in_shape, grad_out), vec![])
+            }
+            (Layer::AvgPool2d(p), Cache::Shape(in_shape)) => {
+                (p.backward(in_shape, grad_out), vec![])
+            }
+            (Layer::Relu, Cache::Mask(mask)) => (relu_backward(mask, grad_out), vec![]),
+            (Layer::Sigmoid, Cache::Output(y)) => (sigmoid_backward(y, grad_out), vec![]),
+            (Layer::Tanh, Cache::Output(y)) => (tanh_backward(y, grad_out), vec![]),
+            (Layer::Softmax, Cache::Output(y)) => (softmax_backward(y, grad_out), vec![]),
+            (Layer::Flatten, Cache::Shape(in_shape)) => (grad_out.reshape(in_shape), vec![]),
+            (Layer::Dropout(_), Cache::None) => (grad_out.clone(), vec![]),
+            (Layer::Dropout(_), Cache::Mask(mask)) => (grad_out.hadamard(mask), vec![]),
+            (Layer::BatchNorm(b), Cache::BatchNorm { xhat, inv_std, count, train }) => {
+                b.backward(xhat, inv_std, *count, *train, grad_out, want_param_grads)
+            }
+            (Layer::Residual(r), Cache::Residual { inner, proj }) => {
+                r.backward(inner, proj.as_deref(), grad_out, want_param_grads)
+            }
+            (layer, cache) => panic!(
+                "cache {cache:?} does not belong to layer {}",
+                layer.name()
+            ),
+        }
+    }
+
+    /// Trainable parameters, in a fixed order.
+    pub fn params(&self) -> Vec<&Tensor> {
+        match self {
+            Layer::Dense(d) => vec![&d.weight, &d.bias],
+            Layer::Conv2d(c) => vec![&c.weight, &c.bias],
+            Layer::BatchNorm(b) => vec![&b.gamma, &b.beta],
+            Layer::Residual(r) => r.params(),
+            _ => vec![],
+        }
+    }
+
+    /// Trainable parameters, mutably.
+    pub fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        match self {
+            Layer::Dense(d) => vec![&mut d.weight, &mut d.bias],
+            Layer::Conv2d(c) => vec![&mut c.weight, &mut c.bias],
+            Layer::BatchNorm(b) => vec![&mut b.gamma, &mut b.beta],
+            Layer::Residual(r) => r.params_mut(),
+            _ => vec![],
+        }
+    }
+
+    /// Non-trainable state tensors (batch-norm running statistics); included
+    /// in serialization but not touched by optimizers.
+    pub fn state(&self) -> Vec<&Tensor> {
+        match self {
+            Layer::BatchNorm(b) => vec![&b.running_mean, &b.running_var],
+            Layer::Residual(r) => r.state(),
+            _ => vec![],
+        }
+    }
+
+    /// Non-trainable state tensors, mutably.
+    pub fn state_mut(&mut self) -> Vec<&mut Tensor> {
+        match self {
+            Layer::BatchNorm(b) => vec![&mut b.running_mean, &mut b.running_var],
+            Layer::Residual(r) => r.state_mut(),
+            _ => vec![],
+        }
+    }
+
+    /// (Re)samples this layer's weights.
+    pub fn init_weights(&mut self, r: &mut Rng) {
+        match self {
+            Layer::Dense(d) => d.init_weights(r),
+            Layer::Conv2d(c) => c.init_weights(r),
+            Layer::BatchNorm(b) => b.reset(),
+            Layer::Residual(res) => res.init_weights(r),
+            _ => {}
+        }
+    }
+}
+
+fn flatten_forward(x: &Tensor) -> (Tensor, Cache) {
+    let n = x.shape()[0];
+    let rest: usize = x.shape()[1..].iter().product();
+    (
+        x.reshape(&[n, rest]),
+        Cache::Shape(x.shape().to_vec()),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dx_tensor::rng;
+
+    #[test]
+    fn names_are_informative() {
+        assert_eq!(Layer::dense(3, 4).name(), "Dense(3→4)");
+        assert_eq!(Layer::conv2d(1, 8, 3, 1, 1).name(), "Conv2d(1→8, k3, s1, p1)");
+        assert_eq!(Layer::relu().name(), "ReLU");
+        assert_eq!(Layer::dropout(0.25).name(), "Dropout(0.25)");
+    }
+
+    #[test]
+    fn coverage_layer_classification() {
+        assert!(Layer::relu().is_coverage_layer());
+        assert!(Layer::softmax().is_coverage_layer());
+        assert!(Layer::maxpool2d(2).is_coverage_layer());
+        assert!(!Layer::dense(2, 2).is_coverage_layer());
+        assert!(!Layer::flatten().is_coverage_layer());
+        assert!(!Layer::dropout(0.5).is_coverage_layer());
+    }
+
+    #[test]
+    fn flatten_round_trip() {
+        let x = rng::uniform(&mut rng::rng(0), &[2, 3, 4, 5], -1.0, 1.0);
+        let layer = Layer::flatten();
+        let (y, cache) = layer.forward(&x);
+        assert_eq!(y.shape(), &[2, 60]);
+        let (gx, grads) = layer.backward(&cache, &y, true);
+        assert_eq!(gx.shape(), x.shape());
+        assert!(grads.is_empty());
+        assert_eq!(gx.data(), x.data());
+    }
+
+    #[test]
+    fn output_shape_chain() {
+        let shape = Layer::conv2d(1, 4, 5, 1, 0).output_shape(&[1, 28, 28]);
+        assert_eq!(shape, vec![4, 24, 24]);
+        let shape = Layer::maxpool2d(2).output_shape(&shape);
+        assert_eq!(shape, vec![4, 12, 12]);
+        let shape = Layer::flatten().output_shape(&shape);
+        assert_eq!(shape, vec![576]);
+        let shape = Layer::dense(576, 10).output_shape(&shape);
+        assert_eq!(shape, vec![10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not belong to layer")]
+    fn mismatched_cache_panics() {
+        let layer = Layer::relu();
+        layer.backward(&Cache::Shape(vec![1]), &Tensor::zeros(&[1, 1]), false);
+    }
+
+    #[test]
+    fn eval_dropout_is_identity() {
+        let x = rng::uniform(&mut rng::rng(1), &[4, 6], -1.0, 1.0);
+        let layer = Layer::dropout(0.9);
+        let (y, _) = layer.forward(&x);
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn stateless_layers_have_no_params() {
+        for layer in [Layer::relu(), Layer::flatten(), Layer::softmax(), Layer::maxpool2d(2)] {
+            assert!(layer.params().is_empty());
+            assert!(layer.state().is_empty());
+        }
+        assert_eq!(Layer::dense(2, 3).params().len(), 2);
+        assert_eq!(Layer::batch_norm(4).params().len(), 2);
+        assert_eq!(Layer::batch_norm(4).state().len(), 2);
+    }
+}

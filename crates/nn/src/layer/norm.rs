@@ -1,0 +1,406 @@
+//! Batch normalization and dropout.
+//!
+//! These two layers are what distinguish the paper's three DAVE self-driving
+//! variants (Table 1): `DAVE-Orig` carries a batch-normalization layer,
+//! `DAVE-NormInit` removes it in favour of normalized initialization, and
+//! `DAVE-Dropout` adds dropout between its final dense layers.
+
+use dx_tensor::{rng::Rng, Tensor};
+use rand::Rng as _;
+
+use crate::layer::Cache;
+
+/// Batch normalization over the channel axis.
+///
+/// Accepts `[N, C, H, W]` (per-channel statistics over batch and space) or
+/// `[N, C]` (per-feature statistics over the batch). Training-mode forward
+/// uses batch statistics and updates running averages; evaluation-mode
+/// forward — the mode DeepXplore differentiates through — uses the frozen
+/// running statistics, making the layer an affine map with a well-defined
+/// input gradient.
+#[derive(Clone, Debug)]
+pub struct BatchNorm {
+    /// Scale, `[C]`.
+    pub gamma: Tensor,
+    /// Shift, `[C]`.
+    pub beta: Tensor,
+    /// Running mean, `[C]` (state, not trained).
+    pub running_mean: Tensor,
+    /// Running variance, `[C]` (state, not trained).
+    pub running_var: Tensor,
+    /// Number of channels/features.
+    pub features: usize,
+    /// Numerical-stability constant.
+    pub eps: f32,
+    /// Exponential-moving-average decay for running statistics.
+    pub momentum: f32,
+}
+
+impl BatchNorm {
+    /// Creates a batch-norm layer with identity affine parameters.
+    pub fn new(features: usize) -> Self {
+        Self {
+            gamma: Tensor::ones(&[features]),
+            beta: Tensor::zeros(&[features]),
+            running_mean: Tensor::zeros(&[features]),
+            running_var: Tensor::ones(&[features]),
+            features,
+            eps: 1e-5,
+            momentum: 0.9,
+        }
+    }
+
+    /// Resets affine parameters and running statistics.
+    pub fn reset(&mut self) {
+        self.gamma = Tensor::ones(&[self.features]);
+        self.beta = Tensor::zeros(&[self.features]);
+        self.running_mean = Tensor::zeros(&[self.features]);
+        self.running_var = Tensor::ones(&[self.features]);
+    }
+
+    /// Output shape (without batch): identity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel axis does not match `features`.
+    pub fn output_shape(&self, in_shape: &[usize]) -> Vec<usize> {
+        assert!(
+            !in_shape.is_empty() && in_shape[0] == self.features,
+            "BatchNorm({}) got input shape {in_shape:?}",
+            self.features
+        );
+        in_shape.to_vec()
+    }
+
+    /// Returns `(channels, count-per-channel, spatial)` for a batched shape.
+    fn geometry(&self, shape: &[usize]) -> (usize, usize, usize) {
+        match shape.len() {
+            2 => {
+                assert_eq!(shape[1], self.features, "BatchNorm features mismatch {shape:?}");
+                (shape[1], shape[0], 1)
+            }
+            4 => {
+                assert_eq!(shape[1], self.features, "BatchNorm channels mismatch {shape:?}");
+                (shape[1], shape[0] * shape[2] * shape[3], shape[2] * shape[3])
+            }
+            _ => panic!("BatchNorm expects [N, C] or [N, C, H, W], got {shape:?}"),
+        }
+    }
+
+    /// Iterates `f(channel, flat_offset)` over every element of a batched
+    /// tensor, channel-major within each sample.
+    fn for_each(shape: &[usize], mut f: impl FnMut(usize, usize)) {
+        if shape.len() == 2 {
+            let (n, c) = (shape[0], shape[1]);
+            for i in 0..n {
+                for ch in 0..c {
+                    f(ch, i * c + ch);
+                }
+            }
+        } else {
+            let (n, c, hw) = (shape[0], shape[1], shape[2] * shape[3]);
+            for i in 0..n {
+                for ch in 0..c {
+                    let base = (i * c + ch) * hw;
+                    for s in 0..hw {
+                        f(ch, base + s);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Training-mode forward: batch statistics + running-average update.
+    pub fn forward_train(&mut self, x: &Tensor) -> (Tensor, Cache) {
+        let (c, count, _) = self.geometry(x.shape());
+        let mut mean = vec![0.0f32; c];
+        Self::for_each(x.shape(), |ch, off| mean[ch] += x.data()[off]);
+        for m in &mut mean {
+            *m /= count as f32;
+        }
+        let mut var = vec![0.0f32; c];
+        Self::for_each(x.shape(), |ch, off| {
+            let d = x.data()[off] - mean[ch];
+            var[ch] += d * d;
+        });
+        for v in &mut var {
+            *v /= count as f32;
+        }
+        let inv_std: Vec<f32> = var.iter().map(|&v| 1.0 / (v + self.eps).sqrt()).collect();
+        let mut xhat = Tensor::zeros(x.shape());
+        let mut y = Tensor::zeros(x.shape());
+        {
+            let xd = x.data();
+            let xh = xhat.data_mut();
+            Self::for_each(x.shape(), |ch, off| {
+                xh[off] = (xd[off] - mean[ch]) * inv_std[ch];
+            });
+            let yd = y.data_mut();
+            Self::for_each(x.shape(), |ch, off| {
+                yd[off] = self.gamma.data()[ch] * xh[off] + self.beta.data()[ch];
+            });
+        }
+        for ch in 0..c {
+            let rm = &mut self.running_mean.data_mut()[ch];
+            *rm = self.momentum * *rm + (1.0 - self.momentum) * mean[ch];
+            let rv = &mut self.running_var.data_mut()[ch];
+            *rv = self.momentum * *rv + (1.0 - self.momentum) * var[ch];
+        }
+        (
+            y,
+            Cache::BatchNorm {
+                xhat,
+                inv_std: Tensor::from_vec(inv_std, &[c]),
+                count,
+                train: true,
+            },
+        )
+    }
+
+    /// Evaluation-mode forward using the frozen running statistics.
+    pub fn forward_eval(&self, x: &Tensor) -> (Tensor, Cache) {
+        let (c, count, _) = self.geometry(x.shape());
+        let inv_std: Vec<f32> = self
+            .running_var
+            .data()
+            .iter()
+            .map(|&v| 1.0 / (v + self.eps).sqrt())
+            .collect();
+        let mut xhat = Tensor::zeros(x.shape());
+        let mut y = Tensor::zeros(x.shape());
+        {
+            let xd = x.data();
+            let xh = xhat.data_mut();
+            let rm = self.running_mean.data();
+            Self::for_each(x.shape(), |ch, off| {
+                xh[off] = (xd[off] - rm[ch]) * inv_std[ch];
+            });
+            let yd = y.data_mut();
+            Self::for_each(x.shape(), |ch, off| {
+                yd[off] = self.gamma.data()[ch] * xh[off] + self.beta.data()[ch];
+            });
+        }
+        (
+            y,
+            Cache::BatchNorm {
+                xhat,
+                inv_std: Tensor::from_vec(inv_std, &[c]),
+                count,
+                train: false,
+            },
+        )
+    }
+
+    /// Backward pass: `(dx, [dgamma, dbeta])`.
+    ///
+    /// In evaluation mode the statistics are constants, so
+    /// `dx = dy · γ · inv_std` exactly; in training mode the full
+    /// batch-statistics Jacobian is applied.
+    pub fn backward(
+        &self,
+        xhat: &Tensor,
+        inv_std: &Tensor,
+        count: usize,
+        train: bool,
+        grad_out: &Tensor,
+        want_param_grads: bool,
+    ) -> (Tensor, Vec<Tensor>) {
+        let c = self.features;
+        let mut dgamma = vec![0.0f32; c];
+        let mut dbeta = vec![0.0f32; c];
+        {
+            let g = grad_out.data();
+            let xh = xhat.data();
+            Self::for_each(grad_out.shape(), |ch, off| {
+                dgamma[ch] += g[off] * xh[off];
+                dbeta[ch] += g[off];
+            });
+        }
+        let mut dx = Tensor::zeros(grad_out.shape());
+        {
+            let g = grad_out.data();
+            let xh = xhat.data();
+            let dxd = dx.data_mut();
+            let m = count as f32;
+            if train {
+                Self::for_each(grad_out.shape(), |ch, off| {
+                    let scale = self.gamma.data()[ch] * inv_std.data()[ch] / m;
+                    dxd[off] = scale * (m * g[off] - xh[off] * dgamma[ch] - dbeta[ch]);
+                });
+            } else {
+                Self::for_each(grad_out.shape(), |ch, off| {
+                    dxd[off] = g[off] * self.gamma.data()[ch] * inv_std.data()[ch];
+                });
+            }
+        }
+        if want_param_grads {
+            (
+                dx,
+                vec![Tensor::from_vec(dgamma, &[c]), Tensor::from_vec(dbeta, &[c])],
+            )
+        } else {
+            (dx, vec![])
+        }
+    }
+}
+
+/// Inverted dropout: at training time each element is zeroed with
+/// probability `p` and survivors are scaled by `1/(1-p)`; at evaluation the
+/// layer is the identity.
+#[derive(Clone, Debug)]
+pub struct Dropout {
+    /// Drop probability in `[0, 1)`.
+    pub p: f32,
+}
+
+impl Dropout {
+    /// Creates a dropout layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ p < 1`.
+    pub fn new(p: f32) -> Self {
+        assert!((0.0..1.0).contains(&p), "dropout probability {p} must be in [0, 1)");
+        Self { p }
+    }
+
+    /// Training-mode forward with a freshly sampled mask.
+    pub fn forward_train(&self, x: &Tensor, r: &mut Rng) -> (Tensor, Cache) {
+        if self.p == 0.0 {
+            return (x.clone(), Cache::None);
+        }
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        let mut mask = Tensor::zeros(x.shape());
+        for v in mask.data_mut() {
+            *v = if r.gen_range(0.0..1.0f32) < keep { scale } else { 0.0 };
+        }
+        (x.hadamard(&mask), Cache::Mask(mask))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dx_tensor::rng;
+
+    #[test]
+    fn train_forward_normalizes_batch() {
+        let mut bn = BatchNorm::new(2);
+        let x = rng::normal(&mut rng::rng(0), &[64, 2], 3.0, 2.0);
+        let (y, _) = bn.forward_train(&x);
+        // Per-feature mean ≈ 0, var ≈ 1.
+        for ch in 0..2 {
+            let vals: Vec<f32> = (0..64).map(|i| y.at(&[i, ch])).collect();
+            let mean: f32 = vals.iter().sum::<f32>() / 64.0;
+            let var: f32 = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 64.0;
+            assert!(mean.abs() < 1e-4, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-3, "var {var}");
+        }
+    }
+
+    #[test]
+    fn running_stats_converge_to_population() {
+        let mut bn = BatchNorm::new(1);
+        let mut r = rng::rng(1);
+        for _ in 0..200 {
+            let x = rng::normal(&mut r, &[32, 1], 5.0, 1.0);
+            bn.forward_train(&x);
+        }
+        assert!((bn.running_mean.data()[0] - 5.0).abs() < 0.2);
+        assert!((bn.running_var.data()[0] - 1.0).abs() < 0.3);
+    }
+
+    #[test]
+    fn eval_uses_running_stats() {
+        let mut bn = BatchNorm::new(1);
+        bn.running_mean = Tensor::from_slice(&[10.0]);
+        bn.running_var = Tensor::from_slice(&[4.0]);
+        let x = Tensor::from_vec(vec![12.0], &[1, 1]);
+        let (y, _) = bn.forward_eval(&x);
+        // (12 - 10) / 2 = 1.
+        assert!((y.data()[0] - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn rank4_statistics_are_per_channel() {
+        let mut bn = BatchNorm::new(2);
+        let mut x = Tensor::zeros(&[2, 2, 2, 2]);
+        // Channel 0 constant 1, channel 1 constant 3 — variance zero, so the
+        // normalized output is zero and y = beta = 0 everywhere.
+        for i in 0..2 {
+            for y_ in 0..2 {
+                for x_ in 0..2 {
+                    x.set(&[i, 0, y_, x_], 1.0);
+                    x.set(&[i, 1, y_, x_], 3.0);
+                }
+            }
+        }
+        let (y, _) = bn.forward_train(&x);
+        assert!(y.data().iter().all(|v| v.abs() < 1e-2));
+    }
+
+    #[test]
+    fn eval_backward_is_affine_scale() {
+        let mut bn = BatchNorm::new(1);
+        bn.gamma = Tensor::from_slice(&[3.0]);
+        bn.running_var = Tensor::from_slice(&[0.25 - 1e-5]);
+        let x = Tensor::from_vec(vec![1.0, 2.0], &[2, 1]);
+        let (_, cache) = bn.forward_eval(&x);
+        if let Cache::BatchNorm { xhat, inv_std, count, train } = cache {
+            let g = Tensor::ones(&[2, 1]);
+            let (dx, grads) = bn.backward(&xhat, &inv_std, count, train, &g, true);
+            // dy * gamma / sqrt(var+eps) = 1 * 3 / 0.5 = 6.
+            assert!(dx.data().iter().all(|v| (v - 6.0).abs() < 1e-3));
+            assert_eq!(grads.len(), 2);
+        } else {
+            panic!("wrong cache kind");
+        }
+    }
+
+    #[test]
+    fn train_backward_annihilates_constant_grad() {
+        // In training mode the normalization removes the batch mean, so a
+        // constant upstream gradient produces (near-)zero input gradient.
+        let mut bn = BatchNorm::new(1);
+        let x = rng::normal(&mut rng::rng(2), &[16, 1], 0.0, 1.0);
+        let (_, cache) = bn.forward_train(&x);
+        if let Cache::BatchNorm { xhat, inv_std, count, train } = cache {
+            let g = Tensor::ones(&[16, 1]);
+            let (dx, _) = bn.backward(&xhat, &inv_std, count, train, &g, false);
+            assert!(dx.data().iter().all(|v| v.abs() < 1e-4));
+        } else {
+            panic!("wrong cache kind");
+        }
+    }
+
+    #[test]
+    fn dropout_eval_identity_train_scales() {
+        let d = Dropout::new(0.5);
+        let x = Tensor::ones(&[1, 1000]);
+        let (y, cache) = d.forward_train(&x, &mut rng::rng(3));
+        if let Cache::Mask(mask) = &cache {
+            // Mask entries are 0 or 2 (1 / keep).
+            assert!(mask.data().iter().all(|&v| v == 0.0 || v == 2.0));
+        } else {
+            panic!("wrong cache kind");
+        }
+        // Expected value preserved within tolerance.
+        assert!((y.mean() - 1.0).abs() < 0.15);
+    }
+
+    #[test]
+    fn dropout_zero_probability_is_identity() {
+        let d = Dropout::new(0.0);
+        let x = rng::uniform(&mut rng::rng(4), &[2, 8], -1.0, 1.0);
+        let (y, cache) = d.forward_train(&x, &mut rng::rng(5));
+        assert_eq!(y, x);
+        assert!(matches!(cache, Cache::None));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0, 1)")]
+    fn dropout_rejects_p_one() {
+        Dropout::new(1.0);
+    }
+}

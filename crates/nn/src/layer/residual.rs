@@ -1,0 +1,288 @@
+//! Residual blocks (He et al. 2016) — `y = f(x) + skip(x)`.
+//!
+//! The paper's ImageNet trio includes ResNet50; skip connections are the
+//! architectural property that distinguishes it from the VGG models, so the
+//! engine supports them as a composite layer: a sequential `body` plus an
+//! optional 1×1 projection on the skip path for channel/stride changes.
+
+use dx_tensor::{rng::Rng, Tensor};
+
+use crate::layer::{Cache, Conv2d, Layer};
+
+/// A residual block: `y = body(x) + skip(x)` where `skip` is the identity
+/// or a 1×1 projection convolution.
+#[derive(Clone, Debug)]
+pub struct Residual {
+    /// The residual function `f`, a sequential layer chain.
+    pub body: Vec<Layer>,
+    /// Optional projection aligning the skip path with the body output
+    /// (needed when the body changes channels or stride).
+    pub projection: Option<Conv2d>,
+}
+
+impl Residual {
+    /// Creates an identity-skip residual block.
+    pub fn new(body: Vec<Layer>) -> Self {
+        assert!(!body.is_empty(), "residual body cannot be empty");
+        Self { body, projection: None }
+    }
+
+    /// Creates a residual block with a 1×1 projection skip.
+    pub fn with_projection(body: Vec<Layer>, projection: Conv2d) -> Self {
+        assert!(!body.is_empty(), "residual body cannot be empty");
+        assert_eq!(projection.kernel, 1, "skip projection must be 1x1");
+        Self { body, projection: Some(projection) }
+    }
+
+    /// Output shape; validates that body and skip paths agree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two paths produce different shapes.
+    pub fn output_shape(&self, in_shape: &[usize]) -> Vec<usize> {
+        let mut cur = in_shape.to_vec();
+        for layer in &self.body {
+            cur = layer.output_shape(&cur);
+        }
+        let skip_shape = match &self.projection {
+            Some(p) => p.output_shape(in_shape),
+            None => in_shape.to_vec(),
+        };
+        assert_eq!(
+            cur, skip_shape,
+            "residual paths disagree: body {cur:?} vs skip {skip_shape:?}"
+        );
+        cur
+    }
+
+    /// Evaluation-mode forward pass.
+    pub fn forward(&self, x: &Tensor) -> (Tensor, Cache) {
+        let mut inner = Vec::with_capacity(self.body.len());
+        let mut cur = x.clone();
+        for layer in &self.body {
+            let (y, cache) = layer.forward(&cur);
+            inner.push(cache);
+            cur = y;
+        }
+        let (skip, proj_cache) = match &self.projection {
+            Some(p) => {
+                let (s, c) = p.forward(x);
+                (s, Some(Box::new(c)))
+            }
+            None => (x.clone(), None),
+        };
+        (
+            &cur + &skip,
+            Cache::Residual { inner, proj: proj_cache },
+        )
+    }
+
+    /// Training-mode forward pass (inner dropout/batch-norm active).
+    pub fn forward_train(&mut self, x: &Tensor, r: &mut Rng) -> (Tensor, Cache) {
+        let mut inner = Vec::with_capacity(self.body.len());
+        let mut cur = x.clone();
+        for layer in &mut self.body {
+            let (y, cache) = layer.forward_train(&cur, r);
+            inner.push(cache);
+            cur = y;
+        }
+        let (skip, proj_cache) = match &self.projection {
+            Some(p) => {
+                let (s, c) = p.forward(x);
+                (s, Some(Box::new(c)))
+            }
+            None => (x.clone(), None),
+        };
+        (
+            &cur + &skip,
+            Cache::Residual { inner, proj: proj_cache },
+        )
+    }
+
+    /// Backward pass: gradients flow through both paths and sum at the
+    /// input. Parameter gradients are body-first then projection, matching
+    /// [`Residual::params`] order.
+    pub fn backward(
+        &self,
+        inner: &[Cache],
+        proj: Option<&Cache>,
+        grad_out: &Tensor,
+        want_param_grads: bool,
+    ) -> (Tensor, Vec<Tensor>) {
+        let mut grad = grad_out.clone();
+        let mut rev_param_grads: Vec<Vec<Tensor>> = Vec::with_capacity(self.body.len());
+        for i in (0..self.body.len()).rev() {
+            let (gin, pg) = self.body[i].backward(&inner[i], &grad, want_param_grads);
+            rev_param_grads.push(pg);
+            grad = gin;
+        }
+        let mut param_grads: Vec<Tensor> = rev_param_grads.into_iter().rev().flatten().collect();
+        let skip_grad = match (&self.projection, proj) {
+            (Some(p), Some(cache)) => {
+                let x = match cache {
+                    Cache::Input(x) => x,
+                    other => panic!("projection cache mismatch: {other:?}"),
+                };
+                let (gin, pg) = p.backward(x, grad_out, want_param_grads);
+                param_grads.extend(pg);
+                gin
+            }
+            (None, None) => grad_out.clone(),
+            _ => panic!("projection/cache presence mismatch"),
+        };
+        (&grad + &skip_grad, param_grads)
+    }
+
+    /// Trainable parameters: body layers in order, then the projection.
+    pub fn params(&self) -> Vec<&Tensor> {
+        let mut p: Vec<&Tensor> = self.body.iter().flat_map(|l| l.params()).collect();
+        if let Some(proj) = &self.projection {
+            p.push(&proj.weight);
+            p.push(&proj.bias);
+        }
+        p
+    }
+
+    /// Trainable parameters, mutably.
+    pub fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        let mut p: Vec<&mut Tensor> =
+            self.body.iter_mut().flat_map(|l| l.params_mut()).collect();
+        if let Some(proj) = &mut self.projection {
+            p.push(&mut proj.weight);
+            p.push(&mut proj.bias);
+        }
+        p
+    }
+
+    /// Non-trainable state (inner batch-norm running statistics).
+    pub fn state(&self) -> Vec<&Tensor> {
+        self.body.iter().flat_map(|l| l.state()).collect()
+    }
+
+    /// Non-trainable state, mutably.
+    pub fn state_mut(&mut self) -> Vec<&mut Tensor> {
+        self.body.iter_mut().flat_map(|l| l.state_mut()).collect()
+    }
+
+    /// (Re)samples all weights in the block.
+    pub fn init_weights(&mut self, r: &mut Rng) {
+        for layer in &mut self.body {
+            layer.init_weights(r);
+        }
+        if let Some(proj) = &mut self.projection {
+            proj.init_weights(r);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::Init;
+    use dx_tensor::rng;
+
+    fn identity_block() -> Residual {
+        Residual::new(vec![
+            Layer::conv2d(2, 2, 3, 1, 1),
+            Layer::tanh(),
+            Layer::conv2d(2, 2, 3, 1, 1),
+        ])
+    }
+
+    #[test]
+    fn zero_body_is_identity() {
+        // With zero weights the body contributes nothing: y = x.
+        let block = identity_block();
+        let x = rng::uniform(&mut rng::rng(0), &[1, 2, 4, 4], -1.0, 1.0);
+        let (y, _) = block.forward(&x);
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn output_shape_validates_paths() {
+        let block = identity_block();
+        assert_eq!(block.output_shape(&[2, 4, 4]), vec![2, 4, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "residual paths disagree")]
+    fn mismatched_paths_panic() {
+        let block = Residual::new(vec![Layer::conv2d(2, 4, 3, 1, 1)]);
+        block.output_shape(&[2, 4, 4]);
+    }
+
+    #[test]
+    fn projection_handles_channel_change() {
+        let body = vec![
+            Layer::conv2d(2, 4, 3, 2, 1),
+            Layer::relu(),
+            Layer::conv2d(4, 4, 3, 1, 1),
+        ];
+        let proj = Conv2d::new(2, 4, 1, 2, 0, Init::HeNormal);
+        let block = Residual::with_projection(body, proj);
+        assert_eq!(block.output_shape(&[2, 8, 8]), vec![4, 4, 4]);
+        let mut block = block;
+        block.init_weights(&mut rng::rng(1));
+        let x = rng::uniform(&mut rng::rng(2), &[2, 2, 8, 8], -1.0, 1.0);
+        let (y, _) = block.forward(&x);
+        assert_eq!(y.shape(), &[2, 4, 4, 4]);
+    }
+
+    #[test]
+    fn backward_sums_both_paths() {
+        // For the identity block with zero weights, dy/dx = I (body grads
+        // are zero through zero conv weights), so dx == grad_out.
+        let block = identity_block();
+        let x = rng::uniform(&mut rng::rng(3), &[1, 2, 4, 4], -1.0, 1.0);
+        let (_, cache) = block.forward(&x);
+        let g = rng::uniform(&mut rng::rng(4), &[1, 2, 4, 4], -1.0, 1.0);
+        if let Cache::Residual { inner, proj } = cache {
+            let (dx, _) = block.backward(&inner, proj.as_deref(), &g, false);
+            assert_eq!(dx, g);
+        } else {
+            panic!("wrong cache kind");
+        }
+    }
+
+    #[test]
+    fn param_order_is_stable() {
+        let mut block = identity_block();
+        block.init_weights(&mut rng::rng(5));
+        let n = block.params().len();
+        assert_eq!(n, 4); // Two convs, weight+bias each.
+        assert_eq!(block.params_mut().len(), n);
+    }
+
+    #[test]
+    fn finite_difference_through_block() {
+        let mut block = Residual::new(vec![
+            Layer::conv2d(1, 1, 3, 1, 1),
+            Layer::tanh(),
+        ]);
+        block.init_weights(&mut rng::rng(6));
+        let x = rng::uniform(&mut rng::rng(7), &[1, 1, 3, 3], -0.5, 0.5);
+        let probe = rng::uniform(&mut rng::rng(8), &[1, 1, 3, 3], -1.0, 1.0);
+        let (_, cache) = block.forward(&x);
+        let (dx, _) = match &cache {
+            Cache::Residual { inner, proj } => block.backward(inner, proj.as_deref(), &probe, false),
+            _ => panic!("wrong cache"),
+        };
+        let f = |x: &Tensor| -> f32 {
+            let (y, _) = block.forward(x);
+            y.hadamard(&probe).sum()
+        };
+        let h = 1e-2;
+        for i in 0..x.len() {
+            let mut plus = x.clone();
+            plus.data_mut()[i] += h;
+            let mut minus = x.clone();
+            minus.data_mut()[i] -= h;
+            let fd = (f(&plus) - f(&minus)) / (2.0 * h);
+            assert!(
+                (fd - dx.data()[i]).abs() < 2e-2,
+                "fd {fd} vs analytic {}",
+                dx.data()[i]
+            );
+        }
+    }
+}

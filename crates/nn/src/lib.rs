@@ -1,0 +1,70 @@
+//! A from-scratch neural-network engine built for whitebox testing.
+//!
+//! This crate is the substrate DeepXplore (SOSP 2017) assumes from
+//! TensorFlow/Keras, rebuilt in safe Rust. It provides exactly the
+//! capabilities the paper's Algorithm 1 needs, and nothing speculative:
+//!
+//! - **Batched forward passes that record every intermediate activation**
+//!   ([`Network::forward`] returns a [`ForwardPass`]), because neuron
+//!   coverage is defined over hidden-layer outputs.
+//! - **Gradients of scalar objectives with respect to the *input***,
+//!   including objectives that touch hidden neurons, via gradient
+//!   *injection* at arbitrary activation indices
+//!   ([`Network::input_gradient`]). This is the transposition the paper
+//!   highlights: backpropagation treats the input as a constant and the
+//!   weights as variables; DeepXplore does the opposite.
+//! - **Conventional training** (parameter gradients + SGD/momentum/Adam)
+//!   so the fifteen-model zoo can be trained from scratch — the paper uses
+//!   pretrained Keras checkpoints we cannot load, so we train equivalents.
+//! - **Byte-stable weight serialization** for the train-once model cache.
+//!
+//! Layout conventions: vectors are `[N, F]`, images are `[N, C, H, W]`.
+//! All math is `f32`.
+//!
+//! # Examples
+//!
+//! Build, train and differentiate a small classifier:
+//!
+//! ```
+//! use dx_nn::layer::Layer;
+//! use dx_nn::{Loss, Network, Optimizer, TrainConfig};
+//! use dx_tensor::{rng, Tensor};
+//!
+//! let mut net = Network::new(
+//!     &[4],
+//!     vec![Layer::dense(4, 8), Layer::relu(), Layer::dense(8, 3), Layer::softmax()],
+//! );
+//! let mut r = rng::rng(0);
+//! let x = rng::uniform(&mut r, &[32, 4], 0.0, 1.0);
+//! let labels: Vec<usize> = (0..32).map(|i| i % 3).collect();
+//! net.init_weights(&mut r);
+//! let cfg = TrainConfig { epochs: 2, batch_size: 8, seed: 0, shuffle: true };
+//! dx_nn::train_classifier(&mut net, &x, &labels, &cfg, &mut Optimizer::sgd(0.1));
+//!
+//! // Gradient of the class-0 probability with respect to the input.
+//! let sample = rng::uniform(&mut r, &[1, 4], 0.0, 1.0);
+//! let pass = net.forward(&sample);
+//! let g = net.class_score_input_gradient(&pass, 0);
+//! assert_eq!(g.shape(), sample.shape());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod init;
+pub mod layer;
+pub mod loss;
+pub mod network;
+pub mod optim;
+pub mod serialize;
+pub mod train;
+pub mod util;
+
+pub use layer::Layer;
+pub use loss::Loss;
+pub use network::{ForwardPass, Network};
+pub use optim::Optimizer;
+pub use train::{
+    evaluate_classifier, evaluate_regressor, train_classifier, train_regressor, TrainConfig,
+    TrainReport,
+};

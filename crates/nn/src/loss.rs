@@ -1,0 +1,138 @@
+//! Loss functions returning `(value, ∂loss/∂output)` pairs.
+
+use dx_tensor::Tensor;
+
+/// Probability floor used when taking logarithms of softmax outputs,
+/// mirroring the epsilon-clipping of the Keras backend the paper built on.
+pub const PROB_EPS: f32 = 1e-7;
+
+/// Which loss a model trains with.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Loss {
+    /// Negative log-likelihood over softmax probabilities (classifiers).
+    Nll,
+    /// Mean squared error (the DAVE steering regressors).
+    Mse,
+}
+
+/// Negative log-likelihood of integer labels given `[N, K]` probabilities.
+///
+/// Returns the mean loss and its gradient with respect to the
+/// probabilities. Probabilities are clipped to [`PROB_EPS`] before the
+/// logarithm, as in Keras.
+///
+/// # Panics
+///
+/// Panics on shape/label mismatches.
+pub fn nll_loss(probs: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+    assert_eq!(probs.rank(), 2, "nll_loss expects [N, K], got {:?}", probs.shape());
+    let (n, k) = (probs.shape()[0], probs.shape()[1]);
+    assert_eq!(labels.len(), n, "nll_loss: {} labels for {} rows", labels.len(), n);
+    let mut grad = Tensor::zeros(&[n, k]);
+    let mut loss = 0.0;
+    for (i, &c) in labels.iter().enumerate() {
+        assert!(c < k, "label {c} out of range for {k} classes");
+        let p = probs.data()[i * k + c].max(PROB_EPS);
+        loss -= p.ln();
+        grad.set(&[i, c], -1.0 / (p * n as f32));
+    }
+    (loss / n as f32, grad)
+}
+
+/// Mean squared error between `[N, O]` predictions and targets.
+///
+/// Returns the mean-over-all-elements loss and its gradient.
+///
+/// # Panics
+///
+/// Panics if the shapes differ.
+pub fn mse_loss(pred: &Tensor, target: &Tensor) -> (f32, Tensor) {
+    assert_eq!(
+        pred.shape(),
+        target.shape(),
+        "mse_loss: shape mismatch {:?} vs {:?}",
+        pred.shape(),
+        target.shape()
+    );
+    let n = pred.len() as f32;
+    let diff = pred - target;
+    let loss = diff.norm_sq() / n;
+    let grad = diff.scale(2.0 / n);
+    (loss, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nll_perfect_prediction_is_near_zero() {
+        let probs = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2]);
+        let (loss, _) = nll_loss(&probs, &[0, 1]);
+        assert!(loss.abs() < 1e-6);
+    }
+
+    #[test]
+    fn nll_wrong_confident_prediction_is_large() {
+        let probs = Tensor::from_vec(vec![0.999, 0.001], &[1, 2]);
+        let (loss, _) = nll_loss(&probs, &[1]);
+        assert!(loss > 5.0);
+    }
+
+    #[test]
+    fn nll_gradient_points_down_on_true_class() {
+        let probs = Tensor::from_vec(vec![0.25, 0.75], &[1, 2]);
+        let (_, grad) = nll_loss(&probs, &[0]);
+        assert!(grad.at(&[0, 0]) < 0.0);
+        assert_eq!(grad.at(&[0, 1]), 0.0);
+    }
+
+    #[test]
+    fn nll_clips_zero_probability() {
+        let probs = Tensor::from_vec(vec![0.0, 1.0], &[1, 2]);
+        let (loss, grad) = nll_loss(&probs, &[0]);
+        assert!(loss.is_finite());
+        assert!(grad.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn mse_known_value_and_grad() {
+        let pred = Tensor::from_vec(vec![1.0, 2.0], &[2, 1]);
+        let target = Tensor::from_vec(vec![0.0, 4.0], &[2, 1]);
+        let (loss, grad) = mse_loss(&pred, &target);
+        // ((1)^2 + (2)^2) / 2 = 2.5.
+        assert!((loss - 2.5).abs() < 1e-6);
+        assert_eq!(grad.data(), &[1.0, -2.0]);
+    }
+
+    #[test]
+    fn mse_zero_at_match() {
+        let t = Tensor::from_vec(vec![3.0, -1.0], &[1, 2]);
+        let (loss, grad) = mse_loss(&t, &t);
+        assert_eq!(loss, 0.0);
+        assert!(grad.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn nll_loss_finite_difference() {
+        // Check the analytic gradient against finite differences.
+        let probs = Tensor::from_vec(vec![0.3, 0.7, 0.6, 0.4], &[2, 2]);
+        let labels = [1usize, 0];
+        let (_, grad) = nll_loss(&probs, &labels);
+        let h = 1e-3;
+        for i in 0..2 {
+            for j in 0..2 {
+                let mut plus = probs.clone();
+                plus.set(&[i, j], probs.at(&[i, j]) + h);
+                let mut minus = probs.clone();
+                minus.set(&[i, j], probs.at(&[i, j]) - h);
+                let fd = (nll_loss(&plus, &labels).0 - nll_loss(&minus, &labels).0) / (2.0 * h);
+                assert!(
+                    (fd - grad.at(&[i, j])).abs() < 1e-2,
+                    "fd {fd} vs analytic {}",
+                    grad.at(&[i, j])
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! First-order optimizers for training the model zoo.
+
+use dx_tensor::Tensor;
+
+/// A gradient-descent optimizer with per-parameter state.
+///
+/// State vectors are allocated lazily on the first [`Optimizer::step`] so an
+/// optimizer can be constructed before the network it trains.
+#[derive(Clone, Debug)]
+pub enum Optimizer {
+    /// Plain stochastic gradient descent.
+    Sgd {
+        /// Learning rate.
+        lr: f32,
+    },
+    /// SGD with classical momentum.
+    Momentum {
+        /// Learning rate.
+        lr: f32,
+        /// Momentum coefficient (typically 0.9).
+        mu: f32,
+        /// Per-parameter velocity.
+        velocity: Vec<Tensor>,
+    },
+    /// Adam (Kingma & Ba, 2015).
+    Adam {
+        /// Learning rate.
+        lr: f32,
+        /// First-moment decay.
+        beta1: f32,
+        /// Second-moment decay.
+        beta2: f32,
+        /// Stability constant.
+        eps: f32,
+        /// Step counter.
+        t: u32,
+        /// First moments.
+        m: Vec<Tensor>,
+        /// Second moments.
+        v: Vec<Tensor>,
+    },
+}
+
+impl Optimizer {
+    /// Plain SGD.
+    pub fn sgd(lr: f32) -> Self {
+        Optimizer::Sgd { lr }
+    }
+
+    /// SGD with momentum 0.9.
+    pub fn momentum(lr: f32) -> Self {
+        Optimizer::Momentum { lr, mu: 0.9, velocity: Vec::new() }
+    }
+
+    /// Adam with the standard β₁ = 0.9, β₂ = 0.999.
+    pub fn adam(lr: f32) -> Self {
+        Optimizer::Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// Applies one update step.
+    ///
+    /// `params` and `grads` must align (same order and shapes on every
+    /// call); this is guaranteed when both come from the same
+    /// [`crate::Network`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on length or shape mismatches.
+    pub fn step(&mut self, params: &mut [&mut Tensor], grads: &[Tensor]) {
+        assert_eq!(
+            params.len(),
+            grads.len(),
+            "optimizer got {} params but {} grads",
+            params.len(),
+            grads.len()
+        );
+        match self {
+            Optimizer::Sgd { lr } => {
+                for (p, g) in params.iter_mut().zip(grads.iter()) {
+                    p.add_scaled(g, -*lr);
+                }
+            }
+            Optimizer::Momentum { lr, mu, velocity } => {
+                if velocity.is_empty() {
+                    *velocity = grads.iter().map(|g| Tensor::zeros(g.shape())).collect();
+                }
+                for ((p, g), v) in params.iter_mut().zip(grads.iter()).zip(velocity.iter_mut()) {
+                    // v = mu*v - lr*g ; p += v.
+                    *v = v.scale(*mu);
+                    v.add_scaled(g, -*lr);
+                    p.add_scaled(v, 1.0);
+                }
+            }
+            Optimizer::Adam { lr, beta1, beta2, eps, t, m, v } => {
+                if m.is_empty() {
+                    *m = grads.iter().map(|g| Tensor::zeros(g.shape())).collect();
+                    *v = grads.iter().map(|g| Tensor::zeros(g.shape())).collect();
+                }
+                *t += 1;
+                let bc1 = 1.0 - beta1.powi(*t as i32);
+                let bc2 = 1.0 - beta2.powi(*t as i32);
+                for ((p, g), (mi, vi)) in params
+                    .iter_mut()
+                    .zip(grads.iter())
+                    .zip(m.iter_mut().zip(v.iter_mut()))
+                {
+                    *mi = mi.scale(*beta1);
+                    mi.add_scaled(g, 1.0 - *beta1);
+                    *vi = vi.scale(*beta2);
+                    let g2 = g.hadamard(g);
+                    vi.add_scaled(&g2, 1.0 - *beta2);
+                    let update = mi.zip(vi, |mh, vh| {
+                        let m_hat = mh / bc1;
+                        let v_hat = vh / bc2;
+                        m_hat / (v_hat.sqrt() + *eps)
+                    });
+                    p.add_scaled(&update, -*lr);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimizes f(p) = (p - 3)² from p = 0 and returns the trajectory end.
+    fn descend(opt: &mut Optimizer, steps: usize) -> f32 {
+        let mut p = Tensor::from_slice(&[0.0]);
+        for _ in 0..steps {
+            let g = Tensor::from_slice(&[2.0 * (p.data()[0] - 3.0)]);
+            let mut refs = [&mut p];
+            opt.step(&mut refs, &[g]);
+        }
+        p.data()[0]
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let end = descend(&mut Optimizer::sgd(0.1), 100);
+        assert!((end - 3.0).abs() < 1e-3, "ended at {end}");
+    }
+
+    #[test]
+    fn momentum_converges_on_quadratic() {
+        let end = descend(&mut Optimizer::momentum(0.02), 200);
+        assert!((end - 3.0).abs() < 1e-2, "ended at {end}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let end = descend(&mut Optimizer::adam(0.1), 400);
+        assert!((end - 3.0).abs() < 1e-2, "ended at {end}");
+    }
+
+    #[test]
+    fn sgd_step_is_exactly_lr_times_grad() {
+        let mut p = Tensor::from_slice(&[1.0, 2.0]);
+        let g = Tensor::from_slice(&[0.5, -0.5]);
+        let mut opt = Optimizer::sgd(0.2);
+        let mut refs = [&mut p];
+        opt.step(&mut refs, &[g]);
+        assert_eq!(p.data(), &[0.9, 2.1]);
+    }
+
+    #[test]
+    fn momentum_accumulates_velocity() {
+        let mut p = Tensor::from_slice(&[0.0]);
+        let g = Tensor::from_slice(&[1.0]);
+        let mut opt = Optimizer::momentum(0.1);
+        for _ in 0..2 {
+            let mut refs = [&mut p];
+            opt.step(&mut refs, std::slice::from_ref(&g));
+        }
+        // Step 1: v = -0.1, p = -0.1. Step 2: v = -0.19, p = -0.29.
+        assert!((p.data()[0] + 0.29).abs() < 1e-6, "p = {}", p.data()[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "grads")]
+    fn mismatched_lengths_panic() {
+        let mut p = Tensor::from_slice(&[0.0]);
+        let mut refs = [&mut p];
+        Optimizer::sgd(0.1).step(&mut refs, &[]);
+    }
+}

@@ -1,0 +1,265 @@
+//! Byte-stable binary weight serialization.
+//!
+//! Format (little-endian):
+//!
+//! ```text
+//! magic  b"DXW1"
+//! u32    tensor count
+//! per tensor:
+//!   u32      rank
+//!   u32[rank] dims
+//!   f32[...] data
+//! ```
+//!
+//! Trainable parameters are written first, then state tensors (batch-norm
+//! running statistics), both in network order. Loading validates every
+//! shape against the target network, so a cache file from a different
+//! architecture is rejected instead of silently misloaded.
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use dx_tensor::Tensor;
+
+use crate::network::Network;
+
+const MAGIC: &[u8; 4] = b"DXW1";
+
+/// Errors from weight (de)serialization.
+#[derive(Debug)]
+pub enum WeightsError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file is not a DXW1 weight file.
+    BadMagic,
+    /// Tensor count or a tensor shape does not match the target network.
+    ShapeMismatch(String),
+}
+
+impl std::fmt::Display for WeightsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WeightsError::Io(e) => write!(f, "weights io error: {e}"),
+            WeightsError::BadMagic => write!(f, "not a DXW1 weight file"),
+            WeightsError::ShapeMismatch(msg) => write!(f, "weight shape mismatch: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WeightsError {}
+
+impl From<io::Error> for WeightsError {
+    fn from(e: io::Error) -> Self {
+        WeightsError::Io(e)
+    }
+}
+
+fn write_tensor(w: &mut impl Write, t: &Tensor) -> io::Result<()> {
+    w.write_all(&(t.rank() as u32).to_le_bytes())?;
+    for &d in t.shape() {
+        w.write_all(&(d as u32).to_le_bytes())?;
+    }
+    for &v in t.data() {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+fn read_tensor(r: &mut impl Read) -> Result<Tensor, WeightsError> {
+    let rank = read_u32(r)? as usize;
+    if rank > 8 {
+        return Err(WeightsError::ShapeMismatch(format!("implausible rank {rank}")));
+    }
+    let mut shape = Vec::with_capacity(rank);
+    for _ in 0..rank {
+        shape.push(read_u32(r)? as usize);
+    }
+    let n: usize = shape.iter().product();
+    let mut data = vec![0.0f32; n];
+    let mut buf = [0u8; 4];
+    for v in &mut data {
+        r.read_exact(&mut buf)?;
+        *v = f32::from_le_bytes(buf);
+    }
+    Ok(Tensor::from_vec(data, &shape))
+}
+
+/// Serializes a network's parameters and state to a writer.
+pub fn write_weights(net: &Network, w: &mut impl Write) -> io::Result<()> {
+    let tensors: Vec<&Tensor> = net.params().into_iter().chain(net.state()).collect();
+    w.write_all(MAGIC)?;
+    w.write_all(&(tensors.len() as u32).to_le_bytes())?;
+    for t in tensors {
+        write_tensor(w, t)?;
+    }
+    Ok(())
+}
+
+/// Deserializes parameters and state into an existing network.
+///
+/// The network must have the exact architecture the file was saved from.
+pub fn read_weights(net: &mut Network, r: &mut impl Read) -> Result<(), WeightsError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(WeightsError::BadMagic);
+    }
+    let count = read_u32(r)? as usize;
+    let expected = net.params().len() + net.state().len();
+    if count != expected {
+        return Err(WeightsError::ShapeMismatch(format!(
+            "file has {count} tensors, network needs {expected}"
+        )));
+    }
+    let mut loaded = Vec::with_capacity(count);
+    for _ in 0..count {
+        loaded.push(read_tensor(r)?);
+    }
+    {
+        let mut targets: Vec<&mut Tensor> = net.params_mut();
+        let n_params = targets.len();
+        for (i, t) in targets.iter_mut().enumerate() {
+            if t.shape() != loaded[i].shape() {
+                return Err(WeightsError::ShapeMismatch(format!(
+                    "param {i}: file {:?} vs network {:?}",
+                    loaded[i].shape(),
+                    t.shape()
+                )));
+            }
+            **t = loaded[i].clone();
+        }
+        let mut states: Vec<&mut Tensor> = net.state_mut();
+        for (j, t) in states.iter_mut().enumerate() {
+            let i = n_params + j;
+            if t.shape() != loaded[i].shape() {
+                return Err(WeightsError::ShapeMismatch(format!(
+                    "state {j}: file {:?} vs network {:?}",
+                    loaded[i].shape(),
+                    t.shape()
+                )));
+            }
+            **t = loaded[i].clone();
+        }
+    }
+    Ok(())
+}
+
+/// Saves weights to a file.
+pub fn save_weights(net: &Network, path: &Path) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    write_weights(net, &mut w)
+}
+
+/// Loads weights from a file.
+pub fn load_weights(net: &mut Network, path: &Path) -> Result<(), WeightsError> {
+    let mut r = BufReader::new(File::open(path)?);
+    read_weights(net, &mut r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::Layer;
+    use dx_tensor::rng;
+
+    fn net_with_bn(seed: u64) -> Network {
+        let mut net = Network::new(
+            &[1, 6, 6],
+            vec![
+                Layer::conv2d(1, 2, 3, 1, 0),
+                Layer::batch_norm(2),
+                Layer::relu(),
+                Layer::flatten(),
+                Layer::dense(2 * 4 * 4, 3),
+                Layer::softmax(),
+            ],
+        );
+        net.init_weights(&mut rng::rng(seed));
+        net
+    }
+
+    #[test]
+    fn round_trip_preserves_outputs() {
+        let mut net = net_with_bn(0);
+        // Touch the running stats so state serialization is exercised.
+        let mut r = rng::rng(1);
+        let xb = rng::uniform(&mut r, &[8, 1, 6, 6], 0.0, 1.0);
+        net.forward_train(&xb, &mut r);
+        let x = rng::uniform(&mut r, &[1, 1, 6, 6], 0.0, 1.0);
+        let want = net.output(&x);
+
+        let mut buf = Vec::new();
+        write_weights(&net, &mut buf).unwrap();
+        let mut other = net_with_bn(99);
+        read_weights(&mut other, &mut buf.as_slice()).unwrap();
+        let got = other.output(&x);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn serialization_is_byte_stable() {
+        let net = net_with_bn(2);
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        write_weights(&net, &mut a).unwrap();
+        write_weights(&net, &mut b).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut net = net_with_bn(3);
+        let buf = b"NOPE\x00\x00\x00\x00".to_vec();
+        match read_weights(&mut net, &mut buf.as_slice()) {
+            Err(WeightsError::BadMagic) => {}
+            other => panic!("expected BadMagic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_architecture_rejected() {
+        let net = net_with_bn(4);
+        let mut buf = Vec::new();
+        write_weights(&net, &mut buf).unwrap();
+        let mut mlp = Network::new(&[4], vec![Layer::dense(4, 2), Layer::softmax()]);
+        match read_weights(&mut mlp, &mut buf.as_slice()) {
+            Err(WeightsError::ShapeMismatch(_)) => {}
+            other => panic!("expected ShapeMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("dx_nn_serialize_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("weights.dxw");
+        let net = net_with_bn(5);
+        save_weights(&net, &path).unwrap();
+        let mut other = net_with_bn(6);
+        load_weights(&mut other, &path).unwrap();
+        for (a, b) in net.params().iter().zip(other.params().iter()) {
+            assert_eq!(a, b);
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn truncated_file_is_io_error() {
+        let net = net_with_bn(7);
+        let mut buf = Vec::new();
+        write_weights(&net, &mut buf).unwrap();
+        buf.truncate(buf.len() / 2);
+        let mut other = net_with_bn(8);
+        match read_weights(&mut other, &mut buf.as_slice()) {
+            Err(WeightsError::Io(_)) => {}
+            other => panic!("expected Io error, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,482 @@
+//! Channel–height–width images over [`Tensor`], raster primitives, and
+//! PGM/PPM encoding.
+//!
+//! The synthetic dataset renderers (`dx-datasets`) draw digits, road scenes
+//! and textures with the primitives here; the constraint gallery bench
+//! (Figure 8 of the paper) uses the encoders to dump seed and
+//! difference-inducing inputs for visual inspection.
+
+use std::io::{self, Write};
+use std::path::Path;
+
+use crate::Tensor;
+
+/// An image stored as a `[channels, height, width]` tensor with values
+/// conventionally in `[0, 1]`.
+///
+/// `Image` owns its tensor; [`Image::into_tensor`] and [`Image::from_tensor`]
+/// convert at zero conceptual cost. Pixel access is `(channel, y, x)`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Image {
+    tensor: Tensor,
+}
+
+impl Image {
+    /// Creates a black image.
+    pub fn new(channels: usize, height: usize, width: usize) -> Self {
+        Self {
+            tensor: Tensor::zeros(&[channels, height, width]),
+        }
+    }
+
+    /// Wraps a `[C, H, W]` tensor as an image.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the tensor is rank-3.
+    pub fn from_tensor(tensor: Tensor) -> Self {
+        assert_eq!(
+            tensor.rank(),
+            3,
+            "images are [C, H, W]; got shape {:?}",
+            tensor.shape()
+        );
+        Self { tensor }
+    }
+
+    /// Returns the underlying tensor.
+    pub fn tensor(&self) -> &Tensor {
+        &self.tensor
+    }
+
+    /// Consumes the image, returning its tensor.
+    pub fn into_tensor(self) -> Tensor {
+        self.tensor
+    }
+
+    /// Number of channels.
+    pub fn channels(&self) -> usize {
+        self.tensor.shape()[0]
+    }
+
+    /// Height in pixels.
+    pub fn height(&self) -> usize {
+        self.tensor.shape()[1]
+    }
+
+    /// Width in pixels.
+    pub fn width(&self) -> usize {
+        self.tensor.shape()[2]
+    }
+
+    /// Reads a pixel.
+    pub fn get(&self, c: usize, y: usize, x: usize) -> f32 {
+        self.tensor.at(&[c, y, x])
+    }
+
+    /// Writes a pixel.
+    pub fn put(&mut self, c: usize, y: usize, x: usize, v: f32) {
+        self.tensor.set(&[c, y, x], v);
+    }
+
+    /// Writes a pixel in every channel (useful for grayscale-style drawing
+    /// on RGB images).
+    pub fn put_all(&mut self, y: usize, x: usize, v: f32) {
+        for c in 0..self.channels() {
+            self.put(c, y, x, v);
+        }
+    }
+
+    /// Fills the whole image with `v`.
+    pub fn fill(&mut self, v: f32) {
+        self.tensor.map_inplace(|_| v);
+    }
+
+    /// Fills the axis-aligned rectangle with corner `(y, x)` and size
+    /// `h`×`w` (clipped to the image) in every channel.
+    pub fn fill_rect(&mut self, y: usize, x: usize, h: usize, w: usize, v: f32) {
+        let (ih, iw) = (self.height(), self.width());
+        for yy in y..(y + h).min(ih) {
+            for xx in x..(x + w).min(iw) {
+                self.put_all(yy, xx, v);
+            }
+        }
+    }
+
+    /// Draws a line from `(y0, x0)` to `(y1, x1)` with the given stroke
+    /// `thickness`, in every channel (Bresenham with a square brush).
+    pub fn draw_line(&mut self, y0: i32, x0: i32, y1: i32, x1: i32, thickness: i32, v: f32) {
+        let (mut y, mut x) = (y0, x0);
+        let dy = (y1 - y0).abs();
+        let dx = (x1 - x0).abs();
+        let sy = if y0 < y1 { 1 } else { -1 };
+        let sx = if x0 < x1 { 1 } else { -1 };
+        let mut err = dx - dy;
+        loop {
+            self.stamp(y, x, thickness, v);
+            if y == y1 && x == x1 {
+                break;
+            }
+            let e2 = 2 * err;
+            if e2 > -dy {
+                err -= dy;
+                x += sx;
+            }
+            if e2 < dx {
+                err += dx;
+                y += sy;
+            }
+        }
+    }
+
+    /// Draws a filled disk of the given `radius` centred at `(cy, cx)`, in
+    /// every channel.
+    pub fn draw_disk(&mut self, cy: i32, cx: i32, radius: i32, v: f32) {
+        for y in (cy - radius)..=(cy + radius) {
+            for x in (cx - radius)..=(cx + radius) {
+                let (dy, dx) = (y - cy, x - cx);
+                if dy * dy + dx * dx <= radius * radius {
+                    self.stamp(y, x, 1, v);
+                }
+            }
+        }
+    }
+
+    /// Stamps a `thickness`×`thickness` square brush at `(y, x)`, ignoring
+    /// out-of-bounds pixels.
+    fn stamp(&mut self, y: i32, x: i32, thickness: i32, v: f32) {
+        let half = thickness / 2;
+        for yy in (y - half)..=(y + half) {
+            for xx in (x - half)..=(x + half) {
+                if yy >= 0 && xx >= 0 && (yy as usize) < self.height() && (xx as usize) < self.width() {
+                    self.put_all(yy as usize, xx as usize, v);
+                }
+            }
+        }
+    }
+
+    /// Adds `delta` to every pixel and clamps to `[0, 1]` — the paper's
+    /// "lighting" transformation applied directly (used by dataset
+    /// augmentation; the DeepXplore lighting *constraint* instead shapes the
+    /// gradient, see `deepxplore::constraints`).
+    pub fn adjust_brightness(&self, delta: f32) -> Self {
+        Self {
+            tensor: self.tensor.map(|v| (v + delta).clamp(0.0, 1.0)),
+        }
+    }
+
+    /// Encodes as binary PGM (P5). Multi-channel images are converted to
+    /// luminance by averaging channels.
+    pub fn to_pgm(&self) -> Vec<u8> {
+        let (h, w) = (self.height(), self.width());
+        let mut out = format!("P5\n{w} {h}\n255\n").into_bytes();
+        for y in 0..h {
+            for x in 0..w {
+                let mut v = 0.0;
+                for c in 0..self.channels() {
+                    v += self.get(c, y, x);
+                }
+                v /= self.channels() as f32;
+                out.push((v.clamp(0.0, 1.0) * 255.0).round() as u8);
+            }
+        }
+        out
+    }
+
+    /// Encodes as binary PPM (P6). Grayscale images replicate their channel;
+    /// images with ≥3 channels use the first three.
+    pub fn to_ppm(&self) -> Vec<u8> {
+        let (h, w) = (self.height(), self.width());
+        let mut out = format!("P6\n{w} {h}\n255\n").into_bytes();
+        for y in 0..h {
+            for x in 0..w {
+                for c in 0..3 {
+                    let ch = if self.channels() >= 3 { c } else { 0 };
+                    let v = self.get(ch, y, x);
+                    out.push((v.clamp(0.0, 1.0) * 255.0).round() as u8);
+                }
+            }
+        }
+        out
+    }
+
+    /// Writes the image to `path` as PGM (single channel) or PPM (colour),
+    /// chosen by channel count.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let bytes = if self.channels() >= 3 {
+            self.to_ppm()
+        } else {
+            self.to_pgm()
+        };
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(&bytes)
+    }
+
+    /// Decodes a binary PGM (P5) or PPM (P6) image into a 1- or 3-channel
+    /// image with values in `[0, 1]`.
+    ///
+    /// Supports the subset this crate writes: binary encodings with a
+    /// `maxval` of at most 255 and `#` comment lines in the header.
+    pub fn decode(bytes: &[u8]) -> io::Result<Self> {
+        let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+        if bytes.len() < 2 {
+            return Err(bad("truncated netpbm header"));
+        }
+        let channels = match &bytes[..2] {
+            b"P5" => 1,
+            b"P6" => 3,
+            _ => return Err(bad("not a binary PGM/PPM file")),
+        };
+        // Parse three whitespace-separated header integers after the magic,
+        // skipping comment lines.
+        let mut pos = 2;
+        let mut fields = [0usize; 3];
+        for field in &mut fields {
+            // Skip whitespace and comments.
+            loop {
+                while pos < bytes.len() && bytes[pos].is_ascii_whitespace() {
+                    pos += 1;
+                }
+                if pos < bytes.len() && bytes[pos] == b'#' {
+                    while pos < bytes.len() && bytes[pos] != b'\n' {
+                        pos += 1;
+                    }
+                } else {
+                    break;
+                }
+            }
+            let start = pos;
+            while pos < bytes.len() && bytes[pos].is_ascii_digit() {
+                pos += 1;
+            }
+            if start == pos {
+                return Err(bad("malformed netpbm header"));
+            }
+            *field = std::str::from_utf8(&bytes[start..pos])
+                .map_err(|_| bad("malformed netpbm header"))?
+                .parse()
+                .map_err(|_| bad("malformed netpbm header"))?;
+        }
+        let (w, h, maxval) = (fields[0], fields[1], fields[2]);
+        if maxval == 0 || maxval > 255 {
+            return Err(bad("unsupported netpbm maxval"));
+        }
+        // Exactly one whitespace byte separates header and raster.
+        if pos >= bytes.len() || !bytes[pos].is_ascii_whitespace() {
+            return Err(bad("missing raster separator"));
+        }
+        pos += 1;
+        let need = w * h * channels;
+        if bytes.len() < pos + need {
+            return Err(bad("truncated raster data"));
+        }
+        let raster = &bytes[pos..pos + need];
+        let mut img = Image::new(channels, h, w);
+        for y in 0..h {
+            for x in 0..w {
+                for c in 0..channels {
+                    let v = raster[(y * w + x) * channels + c] as f32 / maxval as f32;
+                    img.put(c, y, x, v);
+                }
+            }
+        }
+        Ok(img)
+    }
+
+    /// Loads a PGM/PPM image from a file.
+    pub fn load(path: &Path) -> io::Result<Self> {
+        Self::decode(&std::fs::read(path)?)
+    }
+
+    /// Renders the (luminance of the) image as ASCII art, darker pixels as
+    /// denser glyphs — handy in terminal demos and failing-test output.
+    pub fn to_ascii(&self) -> String {
+        const RAMP: &[u8] = b" .:-=+*#%@";
+        let mut s = String::with_capacity((self.width() + 1) * self.height());
+        for y in 0..self.height() {
+            for x in 0..self.width() {
+                let mut v = 0.0;
+                for c in 0..self.channels() {
+                    v += self.get(c, y, x);
+                }
+                v /= self.channels() as f32;
+                let idx = (v.clamp(0.0, 1.0) * (RAMP.len() - 1) as f32).round() as usize;
+                s.push(RAMP[idx] as char);
+            }
+            s.push('\n');
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_dims() {
+        let img = Image::new(3, 4, 5);
+        assert_eq!(img.channels(), 3);
+        assert_eq!(img.height(), 4);
+        assert_eq!(img.width(), 5);
+        assert_eq!(img.tensor().shape(), &[3, 4, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "images are [C, H, W]")]
+    fn from_tensor_rejects_wrong_rank() {
+        Image::from_tensor(Tensor::zeros(&[4, 4]));
+    }
+
+    #[test]
+    fn pixel_round_trip() {
+        let mut img = Image::new(1, 3, 3);
+        img.put(0, 1, 2, 0.7);
+        assert_eq!(img.get(0, 1, 2), 0.7);
+    }
+
+    #[test]
+    fn fill_rect_clips() {
+        let mut img = Image::new(1, 4, 4);
+        img.fill_rect(2, 2, 10, 10, 1.0);
+        assert_eq!(img.get(0, 3, 3), 1.0);
+        assert_eq!(img.get(0, 1, 1), 0.0);
+        let lit = img.tensor().data().iter().filter(|&&v| v == 1.0).count();
+        assert_eq!(lit, 4);
+    }
+
+    #[test]
+    fn line_endpoints_are_drawn() {
+        let mut img = Image::new(1, 8, 8);
+        img.draw_line(0, 0, 7, 7, 1, 1.0);
+        assert_eq!(img.get(0, 0, 0), 1.0);
+        assert_eq!(img.get(0, 7, 7), 1.0);
+        assert_eq!(img.get(0, 3, 3), 1.0);
+    }
+
+    #[test]
+    fn line_ignores_out_of_bounds() {
+        let mut img = Image::new(1, 4, 4);
+        img.draw_line(-2, -2, 6, 6, 3, 1.0);
+        assert_eq!(img.get(0, 0, 0), 1.0);
+    }
+
+    #[test]
+    fn disk_is_roughly_round() {
+        let mut img = Image::new(1, 9, 9);
+        img.draw_disk(4, 4, 3, 1.0);
+        assert_eq!(img.get(0, 4, 4), 1.0);
+        assert_eq!(img.get(0, 4, 7), 1.0);
+        assert_eq!(img.get(0, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn brightness_clamps() {
+        let mut img = Image::new(1, 1, 2);
+        img.put(0, 0, 0, 0.9);
+        img.put(0, 0, 1, 0.1);
+        let up = img.adjust_brightness(0.3);
+        assert_eq!(up.get(0, 0, 0), 1.0);
+        assert!((up.get(0, 0, 1) - 0.4).abs() < 1e-6);
+        let down = img.adjust_brightness(-0.3);
+        assert_eq!(down.get(0, 0, 1), 0.0);
+    }
+
+    #[test]
+    fn pgm_header_and_size() {
+        let img = Image::new(1, 2, 3);
+        let pgm = img.to_pgm();
+        assert!(pgm.starts_with(b"P5\n3 2\n255\n"));
+        assert_eq!(pgm.len(), b"P5\n3 2\n255\n".len() + 6);
+    }
+
+    #[test]
+    fn ppm_header_and_size() {
+        let img = Image::new(3, 2, 2);
+        let ppm = img.to_ppm();
+        assert!(ppm.starts_with(b"P6\n2 2\n255\n"));
+        assert_eq!(ppm.len(), b"P6\n2 2\n255\n".len() + 12);
+    }
+
+    #[test]
+    fn ascii_dimensions() {
+        let img = Image::new(1, 3, 5);
+        let art = img.to_ascii();
+        assert_eq!(art.lines().count(), 3);
+        assert!(art.lines().all(|l| l.len() == 5));
+    }
+
+    #[test]
+    fn save_writes_file() {
+        let dir = std::env::temp_dir().join("dx_tensor_image_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.pgm");
+        Image::new(1, 2, 2).save(&path).unwrap();
+        assert!(path.exists());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn pgm_encode_decode_round_trip() {
+        let mut img = Image::new(1, 3, 4);
+        for y in 0..3 {
+            for x in 0..4 {
+                img.put(0, y, x, (y * 4 + x) as f32 / 11.0);
+            }
+        }
+        let decoded = Image::decode(&img.to_pgm()).unwrap();
+        assert_eq!(decoded.channels(), 1);
+        assert_eq!((decoded.height(), decoded.width()), (3, 4));
+        for y in 0..3 {
+            for x in 0..4 {
+                assert!(
+                    (decoded.get(0, y, x) - img.get(0, y, x)).abs() <= 0.5 / 255.0,
+                    "pixel ({y},{x}) drifted beyond quantization"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ppm_encode_decode_round_trip() {
+        let mut img = Image::new(3, 2, 2);
+        img.put(0, 0, 0, 1.0);
+        img.put(1, 1, 1, 0.5);
+        img.put(2, 0, 1, 0.25);
+        let decoded = Image::decode(&img.to_ppm()).unwrap();
+        assert_eq!(decoded.channels(), 3);
+        assert!((decoded.get(0, 0, 0) - 1.0).abs() < 1.0 / 255.0);
+        assert!((decoded.get(1, 1, 1) - 0.5).abs() < 1.0 / 255.0);
+        assert!((decoded.get(2, 0, 1) - 0.25).abs() < 1.0 / 255.0);
+    }
+
+    #[test]
+    fn decode_handles_comments() {
+        let mut bytes = b"P5\n# a comment\n2 1\n255\n".to_vec();
+        bytes.extend_from_slice(&[0, 255]);
+        let img = Image::decode(&bytes).unwrap();
+        assert_eq!(img.get(0, 0, 0), 0.0);
+        assert_eq!(img.get(0, 0, 1), 1.0);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(Image::decode(b"JPEG nonsense").is_err());
+        assert!(Image::decode(b"P5\n2 2\n255\n\x00").is_err()); // Truncated.
+        assert!(Image::decode(b"P5\n2 2\n70000\n").is_err()); // Bad maxval.
+    }
+
+    #[test]
+    fn file_load_round_trip() {
+        let dir = std::env::temp_dir().join("dx_tensor_image_load");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("rt.pgm");
+        let mut img = Image::new(1, 4, 4);
+        img.draw_disk(2, 2, 1, 0.8);
+        img.save(&path).unwrap();
+        let loaded = Image::load(&path).unwrap();
+        assert_eq!((loaded.height(), loaded.width()), (4, 4));
+        assert!((loaded.get(0, 2, 2) - 0.8).abs() < 1.0 / 255.0);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,41 @@
+//! N-dimensional `f32` tensors and supporting numerics for deepxplore-rs.
+//!
+//! This crate is the lowest layer of the workspace. It provides:
+//!
+//! - [`Tensor`]: a dense, row-major, heap-allocated `f32` tensor with the
+//!   elementwise, linear-algebra and reduction operations the neural-network
+//!   engine (`dx-nn`) is built from.
+//! - [`rng`]: seeded random sampling (uniform, normal, permutations) so every
+//!   experiment in the workspace is reproducible from a single `u64` seed.
+//! - [`image`]: a thin channel-height-width view over [`Tensor`] with raster
+//!   primitives (rectangles, lines, disks) used by the synthetic dataset
+//!   renderers, plus PGM/PPM encoding for inspecting generated tests.
+//! - [`metrics`]: distances (L1/L2/L∞) and structural similarity (SSIM),
+//!   used by the diversity experiment (Table 5 of the paper) and the
+//!   training-data pollution detector (§7.3).
+//!
+//! The design goal is *auditability* over raw speed: everything is plain
+//! safe Rust over contiguous `Vec<f32>` buffers, with shape errors reported
+//! as panics carrying both offending shapes (they are programmer errors, not
+//! runtime conditions).
+//!
+//! # Examples
+//!
+//! ```
+//! use dx_tensor::Tensor;
+//!
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+//! let b = Tensor::eye(2);
+//! let c = a.matmul(&b);
+//! assert_eq!(c.data(), a.data());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod image;
+pub mod metrics;
+pub mod rng;
+pub mod tensor;
+
+pub use image::Image;
+pub use tensor::Tensor;

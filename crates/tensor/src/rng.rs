@@ -1,0 +1,147 @@
+//! Seeded randomness helpers.
+//!
+//! Every stochastic component in the workspace — weight initialization,
+//! dataset synthesis, seed selection, the random neuron pick in
+//! Algorithm 1 — draws from an explicitly seeded [`Rng`] created here, so
+//! any experiment replays bit-for-bit from its `u64` seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng as _, SeedableRng};
+
+use crate::Tensor;
+
+/// The RNG used across the workspace.
+pub type Rng = StdRng;
+
+/// Creates the workspace RNG from a seed.
+pub fn rng(seed: u64) -> Rng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Derives a child seed from a parent seed and a stream id.
+///
+/// Used to give independent streams to e.g. each model in the zoo without
+/// threading RNG state through every API (splitmix64 finalizer).
+pub fn derive_seed(parent: u64, stream: u64) -> u64 {
+    let mut z = parent
+        .wrapping_add(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(stream.wrapping_mul(0xbf58_476d_1ce4_e5b9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Samples a tensor with elements uniform in `[lo, hi)`.
+pub fn uniform(rng: &mut Rng, shape: &[usize], lo: f32, hi: f32) -> Tensor {
+    let n: usize = shape.iter().product();
+    let data = (0..n).map(|_| rng.gen_range(lo..hi)).collect();
+    Tensor::from_vec(data, shape)
+}
+
+/// Samples one standard normal value via the Box–Muller transform.
+pub fn normal_one(rng: &mut Rng) -> f32 {
+    // Box–Muller; `u1` is kept away from zero so the log is finite.
+    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+    let u2: f32 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
+}
+
+/// Samples a tensor with elements from `N(mean, std^2)`.
+pub fn normal(rng: &mut Rng, shape: &[usize], mean: f32, std: f32) -> Tensor {
+    let n: usize = shape.iter().product();
+    let data = (0..n).map(|_| mean + std * normal_one(rng)).collect();
+    Tensor::from_vec(data, shape)
+}
+
+/// Returns a random permutation of `0..n` (Fisher–Yates).
+pub fn permutation(rng: &mut Rng, n: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        idx.swap(i, j);
+    }
+    idx
+}
+
+/// Samples `k` distinct indices from `0..n` without replacement.
+///
+/// # Panics
+///
+/// Panics if `k > n`.
+pub fn sample_without_replacement(rng: &mut Rng, n: usize, k: usize) -> Vec<usize> {
+    assert!(k <= n, "cannot sample {k} items from a population of {n}");
+    let mut perm = permutation(rng, n);
+    perm.truncate(k);
+    perm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let a = uniform(&mut rng(7), &[32], -1.0, 1.0);
+        let b = uniform(&mut rng(7), &[32], -1.0, 1.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = uniform(&mut rng(7), &[32], -1.0, 1.0);
+        let b = uniform(&mut rng(8), &[32], -1.0, 1.0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn derive_seed_varies_with_stream() {
+        let s0 = derive_seed(42, 0);
+        let s1 = derive_seed(42, 1);
+        assert_ne!(s0, s1);
+        assert_eq!(s0, derive_seed(42, 0));
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let t = uniform(&mut rng(1), &[1000], 2.0, 3.0);
+        assert!(t.data().iter().all(|&v| (2.0..3.0).contains(&v)));
+    }
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let t = normal(&mut rng(3), &[20000], 1.5, 2.0);
+        let mean = t.mean();
+        let var = t.map(|v| (v - mean) * (v - mean)).mean();
+        assert!((mean - 1.5).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.2, "var {var}");
+        assert!(!t.has_non_finite());
+    }
+
+    #[test]
+    fn permutation_is_a_permutation() {
+        let p = permutation(&mut rng(5), 100);
+        let mut seen = [false; 100];
+        for &i in &p {
+            assert!(!seen[i]);
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn sampling_without_replacement_is_distinct() {
+        let s = sample_without_replacement(&mut rng(9), 50, 20);
+        assert_eq!(s.len(), 20);
+        let mut sorted = s.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 20);
+        assert!(s.iter().all(|&i| i < 50));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sample")]
+    fn oversampling_panics() {
+        sample_without_replacement(&mut rng(0), 3, 4);
+    }
+}

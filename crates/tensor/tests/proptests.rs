@@ -1,0 +1,120 @@
+//! Property-based tests for tensor algebra and metric invariants.
+
+use dx_tensor::{metrics, Tensor};
+use proptest::prelude::*;
+
+/// Strategy producing a tensor of the given length with bounded values.
+fn tensor_of(len: usize) -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(-100.0f32..100.0, len).prop_map(move |v| Tensor::from_vec(v, &[len]))
+}
+
+/// Strategy producing an m×n matrix.
+fn matrix(m: usize, n: usize) -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(-10.0f32..10.0, m * n)
+        .prop_map(move |v| Tensor::from_vec(v, &[m, n]))
+}
+
+proptest! {
+    #[test]
+    fn addition_commutes(a in tensor_of(16), b in tensor_of(16)) {
+        let ab = &a + &b;
+        let ba = &b + &a;
+        for (x, y) in ab.data().iter().zip(ba.data().iter()) {
+            prop_assert!((x - y).abs() <= 1e-4);
+        }
+    }
+
+    #[test]
+    fn subtraction_is_inverse_of_addition(a in tensor_of(16), b in tensor_of(16)) {
+        let round = &(&a + &b) - &b;
+        for (x, y) in round.data().iter().zip(a.data().iter()) {
+            prop_assert!((x - y).abs() <= 1e-3);
+        }
+    }
+
+    #[test]
+    fn scaling_distributes_over_sum(a in tensor_of(16), s in -5.0f32..5.0) {
+        let lhs = a.scale(s).sum();
+        let rhs = a.sum() * s;
+        prop_assert!((lhs - rhs).abs() <= 1e-2 * (1.0 + rhs.abs()));
+    }
+
+    #[test]
+    fn transpose_is_involution(m in matrix(3, 5)) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn matmul_identity(m in matrix(4, 4)) {
+        let i = Tensor::eye(4);
+        let out = m.matmul(&i);
+        for (x, y) in out.data().iter().zip(m.data().iter()) {
+            prop_assert!((x - y).abs() <= 1e-4);
+        }
+    }
+
+    #[test]
+    fn matmul_transpose_identity(a in matrix(3, 4), b in matrix(4, 2)) {
+        // (AB)^T == B^T A^T.
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        for (x, y) in lhs.data().iter().zip(rhs.data().iter()) {
+            prop_assert!((x - y).abs() <= 1e-2);
+        }
+    }
+
+    #[test]
+    fn softmax_is_distribution(a in tensor_of(10)) {
+        let s = a.softmax();
+        prop_assert!((s.sum() - 1.0).abs() <= 1e-4);
+        prop_assert!(s.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn softmax_preserves_argmax(a in tensor_of(10)) {
+        prop_assert_eq!(a.softmax().argmax(), a.argmax());
+    }
+
+    #[test]
+    fn minmax_scaled_in_unit_interval(a in tensor_of(20)) {
+        let s = a.minmax_scaled();
+        prop_assert!(s.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn l1_triangle_inequality(a in tensor_of(12), b in tensor_of(12), c in tensor_of(12)) {
+        let direct = metrics::l1_distance(&a, &c);
+        let via = metrics::l1_distance(&a, &b) + metrics::l1_distance(&b, &c);
+        prop_assert!(direct <= via + 1e-2);
+    }
+
+    #[test]
+    fn l2_symmetry(a in tensor_of(12), b in tensor_of(12)) {
+        let d1 = metrics::l2_distance(&a, &b);
+        let d2 = metrics::l2_distance(&b, &a);
+        prop_assert!((d1 - d2).abs() <= 1e-4);
+    }
+
+    #[test]
+    fn linf_bounded_by_l1(a in tensor_of(12), b in tensor_of(12)) {
+        prop_assert!(metrics::linf_distance(&a, &b) <= metrics::l1_distance(&a, &b) + 1e-4);
+    }
+
+    #[test]
+    fn clamp_respects_bounds(a in tensor_of(16), lo in -1.0f32..0.0, hi in 0.0f32..1.0) {
+        let c = a.clamp(lo, hi);
+        prop_assert!(c.data().iter().all(|&v| v >= lo && v <= hi));
+    }
+
+    #[test]
+    fn reshape_round_trip(a in tensor_of(24)) {
+        let r = a.reshape(&[2, 3, 4]).reshape(&[24]);
+        prop_assert_eq!(r, a);
+    }
+
+    #[test]
+    fn hadamard_with_ones_is_identity(a in tensor_of(16)) {
+        let ones = Tensor::ones(&[16]);
+        prop_assert_eq!(a.hadamard(&ones), a);
+    }
+}

@@ -1,0 +1,82 @@
+//! The Figure 1 scenario: a self-driving model that steers correctly on a
+//! frame but turns the wrong way on a slightly darker version of it.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release -p dx-examples --bin driving_lighting
+//! ```
+//!
+//! Trains (or loads) the three DAVE steering regressors, grows
+//! difference-inducing frames under the lighting constraint, prints the
+//! steering disagreements and writes seed/generated frame pairs as PGM
+//! images under `dx-out/`.
+
+use deepxplore::diff::{direction, Prediction};
+use deepxplore::generator::{Generator, TaskKind};
+use deepxplore::hyper::Hyperparams;
+use deepxplore::Constraint;
+use dx_coverage::CoverageConfig;
+use dx_datasets::driving::STEER_DIRECTION_THRESHOLD;
+use dx_models::{DatasetKind, Scale, Zoo};
+use dx_nn::util::gather_rows;
+use dx_tensor::Image;
+
+fn main() {
+    let mut zoo = Zoo::at_scale(Scale::Test);
+    println!("== DeepXplore: DAVE self-driving disagreements under lighting ==\n");
+    for id in ["DRV_C1", "DRV_C2", "DRV_C3"] {
+        println!("{id}: 1-MSE {:.4}", zoo.accuracy(id));
+    }
+    let models = zoo.trio(DatasetKind::Driving);
+    let ds = zoo.dataset(DatasetKind::Driving).clone();
+
+    let mut gen = Generator::new(
+        models,
+        TaskKind::Regression { direction_threshold: STEER_DIRECTION_THRESHOLD },
+        Hyperparams { max_iters: 60, ..Hyperparams::image_defaults() },
+        Constraint::Lighting,
+        CoverageConfig::scaled(0.25),
+        31337,
+    );
+    let seeds = gather_rows(&ds.test_x, &(0..40).collect::<Vec<_>>());
+    let result = gen.run(&seeds);
+    println!(
+        "\nfound {} steering disagreements from {} seeds in {:.1?}\n",
+        result.stats.differences_found, result.stats.seeds_tried, result.stats.elapsed
+    );
+
+    let out_dir = std::path::Path::new("dx-out");
+    std::fs::create_dir_all(out_dir).expect("creating dx-out/");
+    for (k, test) in result.tests.iter().take(4).enumerate() {
+        let angles: Vec<f32> = test
+            .predictions
+            .iter()
+            .map(|p| match p {
+                Prediction::Value(v) => *v,
+                Prediction::Class(_) => unreachable!("regression task"),
+            })
+            .collect();
+        println!(
+            "case {k}: seed #{:<3} steering {:?} -> directions {:?}",
+            test.seed_index,
+            angles.iter().map(|a| (a * 100.0).round() / 100.0).collect::<Vec<_>>(),
+            angles
+                .iter()
+                .map(|&a| direction(a, STEER_DIRECTION_THRESHOLD))
+                .collect::<Vec<_>>()
+        );
+        let seed_img = Image::from_tensor(
+            gather_rows(&ds.test_x, &[test.seed_index]).reshape(&[1, 32, 64]),
+        );
+        let gen_img = Image::from_tensor(test.input.reshape(&[1, 32, 64]));
+        let seed_path = out_dir.join(format!("driving_{k}_seed.pgm"));
+        let gen_path = out_dir.join(format!("driving_{k}_diff.pgm"));
+        seed_img.save(&seed_path).expect("writing seed frame");
+        gen_img.save(&gen_path).expect("writing generated frame");
+        println!("         frames: {} / {}", seed_path.display(), gen_path.display());
+    }
+    if result.tests.is_empty() {
+        println!("no disagreements found — try more seeds or a larger step");
+    }
+}

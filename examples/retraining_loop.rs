@@ -1,0 +1,70 @@
+//! Closing the loop: retrain a model on its own DeepXplore-generated
+//! failures, auto-labelled by majority vote (the Figure 10 experiment at
+//! example scale).
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release -p dx-examples --bin retraining_loop
+//! ```
+
+use deepxplore::generator::{Generator, TaskKind};
+use deepxplore::hyper::Hyperparams;
+use deepxplore::Constraint;
+use dx_apps::augment::{majority_vote, retrain_with_eval};
+use dx_coverage::CoverageConfig;
+use dx_models::{DatasetKind, Scale, Zoo};
+use dx_nn::util::gather_rows;
+use dx_tensor::Tensor;
+
+fn main() {
+    let mut zoo = Zoo::at_scale(Scale::Test);
+    println!("== Retraining with DeepXplore-generated tests (majority-vote labels) ==\n");
+    let models = zoo.trio(DatasetKind::Mnist);
+    let ds = zoo.dataset(DatasetKind::Mnist).clone();
+    let labels = ds.train_labels.classes().to_vec();
+    let test_labels = ds.test_labels.classes().to_vec();
+
+    // Generate error-inducing inputs for the trio.
+    let mut gen = Generator::new(
+        models.clone(),
+        TaskKind::Classification,
+        Hyperparams { max_iters: 40, ..Hyperparams::image_defaults() },
+        Constraint::Lighting,
+        CoverageConfig::scaled(0.25),
+        77,
+    );
+    let seeds = gather_rows(&ds.test_x, &(0..60).collect::<Vec<_>>());
+    let result = gen.run(&seeds);
+    println!("generated {} error-inducing inputs", result.stats.differences_found);
+
+    // Auto-label them by majority vote — no human in the loop.
+    let extra: Vec<(Tensor, usize)> = result
+        .tests
+        .iter()
+        .filter_map(|t| majority_vote(&models, &t.input).map(|l| (t.input.clone(), l)))
+        .collect();
+    println!("majority vote labelled {} of them (ties dropped)\n", extra.len());
+
+    // Retrain LeNet-1 with the augmented training set.
+    let mut net = zoo.model("MNI_C1");
+    let outcome = retrain_with_eval(
+        &mut net,
+        &ds.train_x,
+        &labels,
+        &extra,
+        &ds.test_x,
+        &test_labels,
+        5,
+        123,
+    );
+    println!("LeNet-1 accuracy before retraining: {:.2}%", 100.0 * outcome.initial_accuracy);
+    for (e, acc) in outcome.epoch_accuracy.iter().enumerate() {
+        println!("  after epoch {}: {:.2}%", e + 1, 100.0 * acc);
+    }
+    println!(
+        "\nimprovement: {:+.2} percentage points (best {:.2}%)",
+        100.0 * outcome.improvement(),
+        100.0 * outcome.best()
+    );
+}

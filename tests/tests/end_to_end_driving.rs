@@ -1,0 +1,81 @@
+//! End-to-end: the DAVE steering regressors — the paper's only regression
+//! task — with the left/right differential oracle of Figure 1.
+
+use deepxplore::constraints::Constraint;
+use deepxplore::diff::{differs, direction, Prediction};
+use deepxplore::generator::{Generator, TaskKind};
+use deepxplore::hyper::Hyperparams;
+use dx_coverage::CoverageConfig;
+use dx_datasets::driving::STEER_DIRECTION_THRESHOLD;
+use dx_integration::test_zoo;
+use dx_models::DatasetKind;
+use dx_nn::util::gather_rows;
+
+#[test]
+fn dave_models_learn_steering() {
+    let mut zoo = test_zoo();
+    for id in ["DRV_C1", "DRV_C2", "DRV_C3"] {
+        let one_minus_mse = zoo.accuracy(id);
+        assert!(one_minus_mse > 0.9, "{id} 1-MSE = {one_minus_mse}");
+    }
+}
+
+#[test]
+fn dave_models_steer_in_the_right_direction() {
+    // Sanity beyond MSE: predictions correlate with ground-truth curvature.
+    let mut zoo = test_zoo();
+    let net = zoo.model("DRV_C2");
+    let ds = zoo.dataset(DatasetKind::Driving).clone();
+    let n = ds.test_len().min(100);
+    let idx: Vec<usize> = (0..n).collect();
+    let x = gather_rows(&ds.test_x, &idx);
+    let out = net.output(&x);
+    let truth = ds.test_labels.values();
+    let mut num = 0.0;
+    let mut da = 0.0;
+    let mut db = 0.0;
+    for i in 0..n {
+        let (a, b) = (out.at(&[i, 0]), truth.at(&[i, 0]));
+        num += a * b;
+        da += a * a;
+        db += b * b;
+    }
+    let corr = num / (da.sqrt() * db.sqrt() + 1e-9);
+    assert!(corr > 0.8, "steering correlation {corr}");
+}
+
+#[test]
+fn deepxplore_splits_steering_directions() {
+    let mut zoo = test_zoo();
+    let models = zoo.trio(DatasetKind::Driving);
+    let ds = zoo.dataset(DatasetKind::Driving).clone();
+    let mut gen = Generator::new(
+        models,
+        TaskKind::Regression { direction_threshold: STEER_DIRECTION_THRESHOLD },
+        Hyperparams { max_iters: 60, ..Hyperparams::image_defaults() },
+        Constraint::Lighting,
+        CoverageConfig::default(),
+        4242,
+    );
+    let seeds = gather_rows(&ds.test_x, &(0..30).collect::<Vec<_>>());
+    let result = gen.run(&seeds);
+    assert!(
+        result.stats.differences_found >= 1,
+        "no steering disagreements found: {:?}",
+        result.stats
+    );
+    for test in &result.tests {
+        assert!(differs(&test.predictions, STEER_DIRECTION_THRESHOLD));
+        // At least two distinct directions among the trio — e.g. one model
+        // says left while another says right/straight (Figure 1).
+        let dirs: Vec<_> = test
+            .predictions
+            .iter()
+            .map(|p| match p {
+                Prediction::Value(v) => direction(*v, STEER_DIRECTION_THRESHOLD),
+                Prediction::Class(_) => unreachable!("regression task"),
+            })
+            .collect();
+        assert!(dirs.windows(2).any(|w| w[0] != w[1]) || dirs[0] != dirs[dirs.len() - 1]);
+    }
+}

@@ -1,0 +1,48 @@
+//! End-to-end: the ImageNet-class trio (VGG-Mini-16/19 and ResNet-Mini)
+//! with the occlusion constraints.
+
+use deepxplore::constraints::Constraint;
+use deepxplore::generator::{Generator, TaskKind};
+use deepxplore::hyper::Hyperparams;
+use dx_coverage::CoverageConfig;
+use dx_integration::test_zoo;
+use dx_models::DatasetKind;
+use dx_nn::util::gather_rows;
+
+#[test]
+fn imagenet_models_learn() {
+    let mut zoo = test_zoo();
+    for id in ["IMG_C1", "IMG_C2", "IMG_C3"] {
+        let acc = zoo.accuracy(id);
+        assert!(acc > 0.6, "{id} test accuracy {acc}");
+    }
+}
+
+#[test]
+fn occlusion_differences_on_cnn_trio() {
+    let mut zoo = test_zoo();
+    let models = zoo.trio(DatasetKind::Imagenet);
+    let ds = zoo.dataset(DatasetKind::Imagenet).clone();
+    let mut gen = Generator::new(
+        models,
+        TaskKind::Classification,
+        Hyperparams { max_iters: 30, step: 0.2, ..Hyperparams::image_defaults() },
+        Constraint::MultiRects { size: 4, count: 4 },
+        CoverageConfig::default(),
+        2718,
+    );
+    let seeds = gather_rows(&ds.test_x, &(0..20).collect::<Vec<_>>());
+    let result = gen.run(&seeds);
+    assert!(
+        result.stats.differences_found >= 1,
+        "no occlusion differences: {:?}",
+        result.stats
+    );
+    // Multi-rect occlusion may only darken pixels.
+    for test in &result.tests {
+        let seed = gather_rows(&ds.test_x, &[test.seed_index]);
+        for (a, b) in test.input.data().iter().zip(seed.data().iter()) {
+            assert!(*a <= b + 1e-5, "occlusion brightened a pixel");
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Reproducibility guarantees: deterministic datasets, byte-stable weight
+//! caching across zoo instances, and serialization round trips for every
+//! architecture in the zoo.
+
+use deepxplore::generator::{Generator, TaskKind};
+use deepxplore::{Constraint, Hyperparams};
+use dx_coverage::CoverageConfig;
+use dx_integration::test_zoo;
+use dx_models::{arch, DatasetKind, Scale, Zoo, ZooConfig};
+use dx_nn::serialize::{read_weights, write_weights};
+use dx_nn::util::gather_rows;
+use dx_tensor::rng;
+
+#[test]
+fn all_fifteen_architectures_serialize_round_trip() {
+    for spec in &arch::SPECS {
+        let mut net = arch::build(spec);
+        net.init_weights(&mut rng::rng(7));
+        let mut buf = Vec::new();
+        write_weights(&net, &mut buf).unwrap();
+        let mut clone = arch::build(spec);
+        read_weights(&mut clone, &mut buf.as_slice()).unwrap();
+        let shape = spec.dataset.input_shape();
+        let mut batched = vec![1usize];
+        batched.extend_from_slice(&shape);
+        let x = rng::uniform(&mut rng::rng(8), &batched, 0.0, 1.0);
+        assert_eq!(
+            net.output(&x),
+            clone.output(&x),
+            "{} output changed across serialization",
+            spec.id
+        );
+    }
+}
+
+#[test]
+fn zoo_instances_share_identical_models() {
+    let mut a = test_zoo();
+    let mut b = test_zoo();
+    let m1 = a.model("APP_C2");
+    let m2 = b.model("APP_C2");
+    for (p, q) in m1.params().iter().zip(m2.params().iter()) {
+        assert_eq!(p, q);
+    }
+}
+
+#[test]
+fn datasets_are_identical_across_zoos() {
+    let mut a = test_zoo();
+    let mut b = test_zoo();
+    assert_eq!(
+        a.dataset(DatasetKind::Mnist).train_x,
+        b.dataset(DatasetKind::Mnist).train_x
+    );
+    assert_eq!(
+        a.dataset(DatasetKind::Drebin).test_x,
+        b.dataset(DatasetKind::Drebin).test_x
+    );
+}
+
+#[test]
+fn generation_replays_bit_for_bit() {
+    let mut zoo = test_zoo();
+    let models = zoo.trio(DatasetKind::Pdf);
+    let ds = zoo.dataset(DatasetKind::Pdf).clone();
+    let scale = ds.feature_scale.as_ref().unwrap().data().to_vec();
+    let seeds = gather_rows(&ds.test_x, &(0..15).collect::<Vec<_>>());
+    let mut run = || {
+        let mut gen = Generator::new(
+            models.clone(),
+            TaskKind::Classification,
+            Hyperparams::pdf_defaults(),
+            Constraint::PdfFeatures { scale: scale.clone() },
+            CoverageConfig::default(),
+            616,
+        );
+        gen.run(&seeds)
+    };
+    let r1 = run();
+    let r2 = run();
+    assert_eq!(r1.stats.differences_found, r2.stats.differences_found);
+    assert_eq!(r1.stats.total_iterations, r2.stats.total_iterations);
+    for (a, b) in r1.tests.iter().zip(r2.tests.iter()) {
+        assert_eq!(a.input, b.input);
+        assert_eq!(a.predictions, b.predictions);
+    }
+}
+
+#[test]
+fn scale_separation_in_cache_names() {
+    // Test- and full-scale weights must never collide in the cache.
+    let dir = std::env::temp_dir().join("dx_scale_sep");
+    std::fs::remove_dir_all(&dir).ok();
+    let mut cfg_t = ZooConfig::new(Scale::Test);
+    cfg_t.cache_dir = dir.clone();
+    let mut zoo_t = Zoo::new(cfg_t);
+    let _ = zoo_t.model("APP_C2");
+    let files: Vec<String> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .collect();
+    assert!(files.iter().any(|f| f.contains("_test_")), "files: {files:?}");
+    assert!(!files.iter().any(|f| f.contains("_full_")));
+    std::fs::remove_dir_all(&dir).ok();
+}
