@@ -1,0 +1,76 @@
+//! Campaign worker-count scaling: seeds/sec and diffs found at 1/2/4/8
+//! workers on the MNIST test-scale trio.
+//!
+//! Not a paper table — the campaign engine is this workspace's extension
+//! beyond the paper's one-shot Algorithm 1 loop. Each arm runs the same
+//! campaign (same seeds, same epoch/batch schedule, same master RNG seed)
+//! with a different worker-pool size; speedup is relative to the 1-worker
+//! arm. The work is CPU-bound gradient ascent, so scaling tracks the
+//! machine's core count — the available parallelism is printed alongside.
+
+use dx_bench::BenchOut;
+use dx_campaign::{Campaign, CampaignConfig, ModelSuite};
+use dx_coverage::CoverageConfig;
+use dx_models::{DatasetKind, Scale, Zoo, ZooConfig};
+use dx_nn::util::gather_rows;
+use dx_tensor::rng;
+
+fn main() {
+    let mut out = BenchOut::new("campaign_scaling");
+    let mut zoo = Zoo::new(ZooConfig::new(Scale::Test));
+    let models = zoo.trio(DatasetKind::Mnist);
+    let ds = zoo.dataset(DatasetKind::Mnist).clone();
+    let setup = dx_bench::setup_for(DatasetKind::Mnist, &ds);
+    let n_seeds = dx_bench::seed_count(24).min(ds.test_len());
+    let epochs = 3;
+    let batch = 2 * n_seeds / 3;
+    let mut r = rng::rng(0xca3b);
+    let picks = rng::sample_without_replacement(&mut r, ds.test_len(), n_seeds);
+    let seeds = gather_rows(&ds.test_x, &picks);
+
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    out.line("Campaign scaling: MNIST test-scale trio, coverage-guided corpus");
+    out.line(format!(
+        "{n_seeds} initial seeds, {epochs} epochs x {batch} seeds/epoch, \
+         {cores} core(s) available"
+    ));
+    out.line(format!(
+        "{:<8} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "workers", "seeds/s", "diffs/s", "diffs", "cover%", "speedup"
+    ));
+
+    let mut baseline = None;
+    for workers in [1usize, 2, 4, 8] {
+        let suite = ModelSuite {
+            models: models.clone(),
+            kind: setup.task,
+            hp: setup.hp,
+            constraint: setup.constraint.clone(),
+            coverage: CoverageConfig::scaled(0.25),
+        };
+        let mut campaign = Campaign::new(
+            suite,
+            &seeds,
+            CampaignConfig {
+                workers,
+                epochs,
+                batch_per_epoch: batch,
+                seed: 42,
+                ..Default::default()
+            },
+        );
+        campaign.run().expect("no checkpoint dir configured, run cannot fail");
+        let report = campaign.report();
+        let sps = report.seeds_per_sec();
+        let baseline_sps = *baseline.get_or_insert(sps);
+        out.line(format!(
+            "{:<8} {:>9.2} {:>9.2} {:>9} {:>8.1}% {:>8.2}x",
+            workers,
+            sps,
+            report.diffs_per_sec(),
+            report.total_diffs(),
+            100.0 * campaign.mean_coverage(),
+            sps / baseline_sps,
+        ));
+    }
+}

@@ -1,0 +1,507 @@
+//! JSONL campaign persistence.
+//!
+//! A checkpoint directory holds five files, updated after every epoch:
+//!
+//! | file | contents | update |
+//! |---|---|---|
+//! | `corpus.jsonl` | one corpus entry per line, inputs inline | atomic rewrite |
+//! | `stats.jsonl` | one epoch's statistics per line | append |
+//! | `diffs.jsonl` | one found difference per line, inputs inline | append |
+//! | `coverage.json` | per-model global covered-neuron bitmaps | atomic rewrite |
+//! | `meta.json` | epochs done, campaign seed, worker count | atomic rewrite |
+//!
+//! Stats and diffs are append-only between epochs, so only new lines are
+//! written (a line-count mismatch falls back to a full rewrite); the
+//! mutable files are written tmp-then-rename. Floats round-trip exactly
+//! (shortest-representation `Display`), so a resumed corpus is
+//! bit-identical to the checkpointed one.
+
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::Path;
+
+use deepxplore::diff::Prediction;
+use dx_tensor::Tensor;
+
+use crate::corpus::{Corpus, CorpusEntry};
+use crate::engine::FoundDiff;
+use crate::json::{build, parse, Json};
+use crate::report::{CampaignReport, EpochStats};
+
+/// Campaign-level checkpoint metadata.
+#[derive(Clone, Debug)]
+pub struct Meta {
+    /// Epochs completed when the checkpoint was written.
+    pub epochs_done: usize,
+    /// The campaign's master seed.
+    pub campaign_seed: u64,
+    /// Worker count the campaign ran with.
+    pub workers: usize,
+}
+
+/// Everything a checkpoint directory holds, parsed.
+pub struct CampaignState {
+    /// Corpus entries in checkpoint order.
+    pub corpus: Vec<CorpusEntry>,
+    /// Per-epoch statistics.
+    pub epochs: Vec<EpochStats>,
+    /// Found differences.
+    pub diffs: Vec<FoundDiff>,
+    /// Per-model global covered-neuron bitmaps (`None` in checkpoints
+    /// written before coverage persistence existed).
+    pub coverage: Option<Vec<Vec<bool>>>,
+    /// Epochs completed.
+    pub epochs_done: usize,
+    /// The campaign's master seed.
+    pub campaign_seed: u64,
+}
+
+/// Writes a full campaign checkpoint into `dir`.
+///
+/// # Errors
+///
+/// Any filesystem failure.
+pub fn save(
+    dir: &Path,
+    corpus: &Corpus,
+    report: &CampaignReport,
+    diffs: &[FoundDiff],
+    coverage: &[Vec<bool>],
+    meta: &Meta,
+    append: bool,
+) -> io::Result<()> {
+    fs::create_dir_all(dir)?;
+    write_atomic(&dir.join("corpus.jsonl"), &jsonl(corpus.entries().iter().map(entry_json)))?;
+    let stats_lines: Vec<Json> = report.epochs.iter().map(epoch_json).collect();
+    let diff_lines: Vec<Json> = diffs.iter().map(diff_json).collect();
+    if append {
+        append_jsonl(&dir.join("stats.jsonl"), &stats_lines)?;
+        append_jsonl(&dir.join("diffs.jsonl"), &diff_lines)?;
+    } else {
+        // First write into this directory this run: any existing lines may
+        // belong to an unrelated earlier campaign, so rewrite from scratch.
+        write_atomic(&dir.join("stats.jsonl"), &jsonl_slice(&stats_lines))?;
+        write_atomic(&dir.join("diffs.jsonl"), &jsonl_slice(&diff_lines))?;
+    }
+    let masks = Json::Arr(
+        coverage
+            .iter()
+            .map(|m| Json::Str(m.iter().map(|&c| if c { '1' } else { '0' }).collect()))
+            .collect(),
+    );
+    let coverage_json = build::obj(vec![("version", build::int(1)), ("masks", masks)]);
+    write_atomic(&dir.join("coverage.json"), &(coverage_json.to_string() + "\n"))?;
+    let meta_json = build::obj(vec![
+        ("version", build::int(1)),
+        ("epochs_done", build::int(meta.epochs_done)),
+        // As a string: JSON numbers go through f64, which cannot represent
+        // u64 seeds above 2^53 exactly.
+        ("campaign_seed", build::str(&meta.campaign_seed.to_string())),
+        ("workers", build::int(meta.workers)),
+    ]);
+    write_atomic(&dir.join("meta.json"), &(meta_json.to_string() + "\n"))
+}
+
+/// Writes only the lines past what's already on disk. Stats and diffs are
+/// append-only across a campaign, so this keeps per-epoch checkpoint cost
+/// proportional to the epoch's new results, not the accumulated history.
+/// Only sound when the caller knows the on-disk prefix is its own earlier
+/// write ([`save`] with `append = false` establishes that); on a count
+/// mismatch (more lines on disk than in memory) the file is rewritten.
+fn append_jsonl(path: &Path, items: &[Json]) -> io::Result<()> {
+    let existing = match fs::read_to_string(path) {
+        Ok(text) => text.lines().filter(|l| !l.trim().is_empty()).count(),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => 0,
+        Err(e) => return Err(e),
+    };
+    if existing > items.len() {
+        return write_atomic(path, &jsonl_slice(items));
+    }
+    if existing == items.len() {
+        return Ok(());
+    }
+    let mut f = fs::OpenOptions::new().create(true).append(true).open(path)?;
+    let tail = jsonl_slice(&items[existing..]);
+    f.write_all(tail.as_bytes())?;
+    f.sync_all()
+}
+
+fn jsonl_slice(items: &[Json]) -> String {
+    let mut out = String::new();
+    for item in items {
+        out.push_str(&item.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Loads a checkpoint directory written by [`save`].
+///
+/// # Errors
+///
+/// Missing files or malformed JSON.
+pub fn load(dir: &Path) -> io::Result<CampaignState> {
+    let meta = parse_doc(&fs::read_to_string(dir.join("meta.json"))?)?;
+    let corpus = read_jsonl(&dir.join("corpus.jsonl"))?
+        .iter()
+        .map(entry_from_json)
+        .collect::<io::Result<Vec<_>>>()?;
+    let epochs = read_jsonl(&dir.join("stats.jsonl"))?
+        .iter()
+        .map(epoch_from_json)
+        .collect::<io::Result<Vec<_>>>()?;
+    let diffs = read_jsonl(&dir.join("diffs.jsonl"))?
+        .iter()
+        .map(diff_from_json)
+        .collect::<io::Result<Vec<_>>>()?;
+    let coverage = match fs::read_to_string(dir.join("coverage.json")) {
+        Err(e) if e.kind() == io::ErrorKind::NotFound => None,
+        Err(e) => return Err(e),
+        Ok(text) => {
+            let doc = parse_doc(&text)?;
+            Some(
+                doc.get("masks")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| bad("coverage.masks"))?
+                    .iter()
+                    .map(|m| {
+                        m.as_str()
+                            .map(|s| s.chars().map(|c| c == '1').collect::<Vec<bool>>())
+                            .ok_or_else(|| bad("coverage mask"))
+                    })
+                    .collect::<io::Result<Vec<_>>>()?,
+            )
+        }
+    };
+    Ok(CampaignState {
+        corpus,
+        epochs,
+        diffs,
+        coverage,
+        epochs_done: field_usize(&meta, "epochs_done")?,
+        campaign_seed: meta
+            .get("campaign_seed")
+            .and_then(|v| v.as_str().and_then(|s| s.parse().ok()).or_else(|| v.as_u64()))
+            .ok_or_else(|| bad("meta.campaign_seed"))?,
+    })
+}
+
+fn jsonl<'a>(lines: impl Iterator<Item = Json> + 'a) -> String {
+    let mut out = String::new();
+    for line in lines {
+        out.push_str(&line.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+fn write_atomic(path: &Path, contents: &str) -> io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(contents.as_bytes())?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)
+}
+
+fn read_jsonl(path: &Path) -> io::Result<Vec<Json>> {
+    fs::read_to_string(path)?
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(parse_doc)
+        .collect()
+}
+
+fn parse_doc(text: &str) -> io::Result<Json> {
+    parse(text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+}
+
+fn bad(what: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("checkpoint missing/invalid {what}"))
+}
+
+fn field_usize(v: &Json, key: &str) -> io::Result<usize> {
+    v.get(key).and_then(Json::as_usize).ok_or_else(|| bad(key))
+}
+
+fn field_f32(v: &Json, key: &str) -> io::Result<f32> {
+    v.get(key).and_then(Json::as_f32).ok_or_else(|| bad(key))
+}
+
+fn tensor_json(t: &Tensor) -> (Json, Json) {
+    (build::ints(t.shape()), build::f32s(t.data()))
+}
+
+fn tensor_from_json(v: &Json) -> io::Result<Tensor> {
+    let shape: Vec<usize> = v
+        .get("shape")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| bad("shape"))?
+        .iter()
+        .map(|s| s.as_usize().ok_or_else(|| bad("shape element")))
+        .collect::<io::Result<_>>()?;
+    let data: Vec<f32> = v
+        .get("data")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| bad("data"))?
+        .iter()
+        .map(|d| d.as_f32().ok_or_else(|| bad("data element")))
+        .collect::<io::Result<_>>()?;
+    if data.len() != shape.iter().product::<usize>() {
+        return Err(bad("tensor data length"));
+    }
+    Ok(Tensor::from_vec(data, &shape))
+}
+
+fn entry_json(e: &CorpusEntry) -> Json {
+    let (shape, data) = tensor_json(&e.input);
+    build::obj(vec![
+        ("id", build::int(e.id)),
+        ("parent", build::opt_int(e.parent)),
+        ("depth", build::int(e.depth)),
+        ("energy", build::num(e.energy)),
+        ("times_fuzzed", build::int(e.times_fuzzed)),
+        ("diffs_found", build::int(e.diffs_found)),
+        ("new_coverage", build::int(e.new_coverage)),
+        ("exhausted", Json::Bool(e.exhausted)),
+        ("shape", shape),
+        ("data", data),
+    ])
+}
+
+fn entry_from_json(v: &Json) -> io::Result<CorpusEntry> {
+    Ok(CorpusEntry {
+        id: field_usize(v, "id")?,
+        parent: match v.get("parent") {
+            Some(Json::Null) | None => None,
+            Some(p) => Some(p.as_usize().ok_or_else(|| bad("parent"))?),
+        },
+        depth: field_usize(v, "depth")?,
+        input: tensor_from_json(v)?,
+        energy: field_f32(v, "energy")?,
+        times_fuzzed: field_usize(v, "times_fuzzed")?,
+        diffs_found: field_usize(v, "diffs_found")?,
+        new_coverage: field_usize(v, "new_coverage")?,
+        exhausted: v.get("exhausted").and_then(Json::as_bool).unwrap_or(false),
+    })
+}
+
+fn epoch_json(e: &EpochStats) -> Json {
+    build::obj(vec![
+        ("epoch", build::int(e.epoch)),
+        ("seeds_run", build::int(e.seeds_run)),
+        ("diffs_found", build::int(e.diffs_found)),
+        ("iterations", build::int(e.iterations)),
+        ("newly_covered", build::int(e.newly_covered)),
+        ("mean_coverage", build::num(e.mean_coverage)),
+        ("corpus_len", build::int(e.corpus_len)),
+        ("elapsed_us", Json::Num(e.elapsed.as_micros() as f64)),
+        ("seeds_per_sec", Json::Num(e.seeds_per_sec())),
+        ("diffs_per_sec", Json::Num(e.diffs_per_sec())),
+    ])
+}
+
+fn epoch_from_json(v: &Json) -> io::Result<EpochStats> {
+    Ok(EpochStats {
+        epoch: field_usize(v, "epoch")?,
+        seeds_run: field_usize(v, "seeds_run")?,
+        diffs_found: field_usize(v, "diffs_found")?,
+        iterations: field_usize(v, "iterations")?,
+        newly_covered: field_usize(v, "newly_covered")?,
+        mean_coverage: field_f32(v, "mean_coverage")?,
+        corpus_len: field_usize(v, "corpus_len")?,
+        elapsed: std::time::Duration::from_micros(
+            v.get("elapsed_us").and_then(Json::as_u64).ok_or_else(|| bad("elapsed_us"))?,
+        ),
+    })
+}
+
+fn diff_json(d: &FoundDiff) -> Json {
+    let (shape, data) = tensor_json(&d.input);
+    let predictions = Json::Arr(
+        d.predictions
+            .iter()
+            .map(|p| match p {
+                Prediction::Class(c) => build::obj(vec![("class", build::int(*c))]),
+                Prediction::Value(x) => build::obj(vec![("value", build::num(*x))]),
+            })
+            .collect(),
+    );
+    build::obj(vec![
+        ("seed_id", build::int(d.seed_id)),
+        ("epoch", build::int(d.epoch)),
+        ("iterations", build::int(d.iterations)),
+        ("target_model", build::int(d.target_model)),
+        ("predictions", predictions),
+        ("shape", shape),
+        ("data", data),
+    ])
+}
+
+fn diff_from_json(v: &Json) -> io::Result<FoundDiff> {
+    let predictions = v
+        .get("predictions")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| bad("predictions"))?
+        .iter()
+        .map(|p| {
+            if let Some(c) = p.get("class").and_then(Json::as_usize) {
+                Ok(Prediction::Class(c))
+            } else if let Some(x) = p.get("value").and_then(Json::as_f32) {
+                Ok(Prediction::Value(x))
+            } else {
+                Err(bad("prediction"))
+            }
+        })
+        .collect::<io::Result<Vec<_>>>()?;
+    Ok(FoundDiff {
+        seed_id: field_usize(v, "seed_id")?,
+        epoch: field_usize(v, "epoch")?,
+        input: tensor_from_json(v)?,
+        predictions,
+        iterations: field_usize(v, "iterations")?,
+        target_model: field_usize(v, "target_model")?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::CampaignReport;
+    use dx_tensor::rng;
+    use std::time::Duration;
+
+    fn tmp_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("dx_campaign_ckpt_{name}"));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_masks() -> Vec<Vec<bool>> {
+        vec![vec![true, false, true, true], vec![false, false, true, false]]
+    }
+
+    fn sample_state() -> (Corpus, CampaignReport, Vec<FoundDiff>, Meta) {
+        let seeds = (0..3)
+            .map(|i| rng::uniform(&mut rng::rng(i), &[1, 6], 0.0, 1.0))
+            .collect();
+        let mut corpus = Corpus::new(seeds, 64);
+        let run = deepxplore::SeedRun {
+            test: None,
+            preexisting: false,
+            iterations: 4,
+            newly_covered: 2,
+            corpus_candidate: Some(rng::uniform(&mut rng::rng(9), &[1, 6], 0.0, 1.0)),
+        };
+        corpus.absorb(1, &run);
+        let report = CampaignReport {
+            epochs: vec![EpochStats {
+                epoch: 0,
+                seeds_run: 3,
+                diffs_found: 1,
+                iterations: 12,
+                newly_covered: 5,
+                mean_coverage: 0.375,
+                corpus_len: 4,
+                elapsed: Duration::from_micros(123_456),
+            }],
+            workers: 2,
+        };
+        let diffs = vec![FoundDiff {
+            seed_id: 1,
+            epoch: 0,
+            input: rng::uniform(&mut rng::rng(11), &[1, 6], 0.0, 1.0),
+            predictions: vec![Prediction::Class(0), Prediction::Class(2)],
+            iterations: 7,
+            target_model: 1,
+        }];
+        let meta = Meta { epochs_done: 1, campaign_seed: 0xfeed, workers: 2 };
+        (corpus, report, diffs, meta)
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let dir = tmp_dir("round_trip");
+        let (corpus, report, diffs, meta) = sample_state();
+        save(&dir, &corpus, &report, &diffs, &sample_masks(), &meta, false).unwrap();
+        let state = load(&dir).unwrap();
+        assert_eq!(state.coverage, Some(sample_masks()));
+        assert_eq!(state.epochs_done, 1);
+        assert_eq!(state.campaign_seed, 0xfeed);
+        assert_eq!(state.corpus.len(), corpus.len());
+        for (a, b) in state.corpus.iter().zip(corpus.entries()) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.parent, b.parent);
+            assert_eq!(a.input, b.input, "input of entry {} changed", a.id);
+            assert_eq!(a.energy.to_bits(), b.energy.to_bits());
+            assert_eq!(a.exhausted, b.exhausted);
+        }
+        assert_eq!(state.epochs.len(), 1);
+        assert_eq!(state.epochs[0].elapsed, Duration::from_micros(123_456));
+        assert_eq!(state.diffs.len(), 1);
+        assert_eq!(state.diffs[0].predictions, diffs[0].predictions);
+        assert_eq!(state.diffs[0].input, diffs[0].input);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn save_is_rerunnable_and_appends_only_new_lines() {
+        let dir = tmp_dir("rerun");
+        let (corpus, mut report, mut diffs, meta) = sample_state();
+        save(&dir, &corpus, &report, &diffs, &sample_masks(), &meta, false).unwrap();
+        // Same state again: stats/diffs must not duplicate.
+        save(&dir, &corpus, &report, &diffs, &sample_masks(), &meta, true).unwrap();
+        let state = load(&dir).unwrap();
+        assert_eq!(state.epochs.len(), 1);
+        assert_eq!(state.diffs.len(), 1);
+        // One more epoch and diff: exactly one new line each.
+        report.epochs.push(EpochStats { epoch: 1, ..report.epochs[0].clone() });
+        diffs.push(diffs[0].clone());
+        save(&dir, &corpus, &report, &diffs, &sample_masks(), &meta, true).unwrap();
+        let state = load(&dir).unwrap();
+        assert_eq!(state.epochs.len(), 2);
+        assert_eq!(state.diffs.len(), 2);
+        assert_eq!(state.epochs[1].epoch, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn append_rewrites_when_disk_has_more_lines() {
+        let dir = tmp_dir("foreign");
+        let (corpus, report, diffs, meta) = sample_state();
+        fs::create_dir_all(&dir).unwrap();
+        // A foreign stats file with more lines than the campaign knows.
+        fs::write(dir.join("stats.jsonl"), "{}\n{}\n{}\n{}\n{}\n").unwrap();
+        save(&dir, &corpus, &report, &diffs, &sample_masks(), &meta, false).unwrap();
+        let state = load(&dir).unwrap();
+        assert_eq!(state.epochs.len(), report.epochs.len());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_tolerates_missing_coverage_file() {
+        let dir = tmp_dir("no_coverage");
+        let (corpus, report, diffs, meta) = sample_state();
+        save(&dir, &corpus, &report, &diffs, &sample_masks(), &meta, false).unwrap();
+        fs::remove_file(dir.join("coverage.json")).unwrap();
+        let state = load(&dir).unwrap();
+        assert_eq!(state.coverage, None);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_rejects_corrupt_checkpoint() {
+        let dir = tmp_dir("corrupt");
+        let (corpus, report, diffs, meta) = sample_state();
+        save(&dir, &corpus, &report, &diffs, &sample_masks(), &meta, false).unwrap();
+        fs::write(dir.join("corpus.jsonl"), "{not json}\n").unwrap();
+        assert!(load(&dir).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_missing_dir_errors() {
+        assert!(load(Path::new("/nonexistent/dx-campaign")).is_err());
+    }
+}

@@ -1,0 +1,396 @@
+//! The campaign corpus: seeds plus coverage-guided energy scheduling.
+//!
+//! DLFuzz-style seed maintenance on top of DeepXplore's generator: every
+//! entry carries an **energy** that rises when fuzzing it yields new
+//! coverage or difference-inducing inputs and decays when it yields
+//! nothing, and the scheduler samples entries energy-proportionally
+//! (discounted by how often each was already fuzzed). Inputs that covered
+//! new neurons while the models still agreed enter the corpus as children
+//! of the seed they grew from, so productive regions of the input space
+//! are mined deeper.
+
+use dx_tensor::rng::Rng;
+use dx_tensor::Tensor;
+use rand::Rng as _;
+
+use deepxplore::SeedRun;
+
+/// One corpus entry.
+#[derive(Clone, Debug)]
+pub struct CorpusEntry {
+    /// Stable id (checkpoint-persistent, never reused).
+    pub id: usize,
+    /// The entry this one was mutated from (`None` for initial seeds).
+    pub parent: Option<usize>,
+    /// Mutation depth (0 for initial seeds).
+    pub depth: usize,
+    /// The input, batched `[1, ...]`.
+    pub input: Tensor,
+    /// Scheduling energy; higher is fuzzed sooner.
+    pub energy: f32,
+    /// How many times this entry has been scheduled.
+    pub times_fuzzed: usize,
+    /// Difference-inducing inputs grown from this entry.
+    pub diffs_found: usize,
+    /// Neurons newly covered by steps from this entry.
+    pub new_coverage: usize,
+    /// Whether further fuzzing is pointless (models already disagree on
+    /// the entry, or the constraint admits no movement).
+    pub exhausted: bool,
+}
+
+/// Energy-model constants. One place, so the scheduler's shape is obvious.
+mod energy {
+    /// Initial seeds start here.
+    pub const INITIAL: f32 = 1.0;
+    /// Bonus per difference-inducing input grown from an entry.
+    pub const DIFF_BONUS: f32 = 0.5;
+    /// Bonus per newly covered neuron (capped).
+    pub const COVER_BONUS: f32 = 0.05;
+    /// Cap on the per-step coverage bonus.
+    pub const COVER_BONUS_CAP: f32 = 0.4;
+    /// Multiplicative decay when a step yields nothing.
+    pub const BARREN_DECAY: f32 = 0.6;
+    /// A child's starting energy relative to its parent's.
+    pub const CHILD_FRACTION: f32 = 0.9;
+    /// Floor so no live entry ever reaches weight zero.
+    pub const FLOOR: f32 = 0.05;
+}
+
+/// The corpus: entries plus the scheduling state.
+#[derive(Clone, Debug)]
+pub struct Corpus {
+    entries: Vec<CorpusEntry>,
+    next_id: usize,
+    /// Corpus size cap; beyond it, barren non-initial entries are evicted.
+    max_len: usize,
+}
+
+impl Corpus {
+    /// Creates a corpus from initial seed inputs (each batched `[1, ...]`).
+    pub fn new(seeds: Vec<Tensor>, max_len: usize) -> Self {
+        let mut corpus = Self { entries: Vec::new(), next_id: 0, max_len: max_len.max(1) };
+        for input in seeds {
+            let id = corpus.next_id;
+            corpus.next_id += 1;
+            corpus.entries.push(CorpusEntry {
+                id,
+                parent: None,
+                depth: 0,
+                input,
+                energy: energy::INITIAL,
+                times_fuzzed: 0,
+                diffs_found: 0,
+                new_coverage: 0,
+                exhausted: false,
+            });
+        }
+        corpus
+    }
+
+    /// Rebuilds a corpus from checkpointed entries.
+    pub fn from_entries(entries: Vec<CorpusEntry>, max_len: usize) -> Self {
+        let next_id = entries.iter().map(|e| e.id + 1).max().unwrap_or(0);
+        Self { entries, next_id, max_len: max_len.max(1) }
+    }
+
+    /// All entries, in insertion order.
+    pub fn entries(&self) -> &[CorpusEntry] {
+        &self.entries
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the corpus is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entry by id.
+    pub fn get(&self, id: usize) -> Option<&CorpusEntry> {
+        self.entries.iter().find(|e| e.id == id)
+    }
+
+    fn get_mut(&mut self, id: usize) -> Option<&mut CorpusEntry> {
+        self.entries.iter_mut().find(|e| e.id == id)
+    }
+
+    /// Scheduling weight of an entry: energy discounted by prior attention.
+    fn weight(entry: &CorpusEntry) -> f32 {
+        if entry.exhausted {
+            0.0
+        } else {
+            (entry.energy / (1.0 + entry.times_fuzzed as f32)).max(energy::FLOOR)
+        }
+    }
+
+    /// Selects up to `batch` entry ids for one epoch, energy-proportionally
+    /// without replacement. Deterministic given the RNG state.
+    pub fn schedule(&self, batch: usize, rng: &mut Rng) -> Vec<usize> {
+        let mut pool: Vec<(usize, f32)> = self
+            .entries
+            .iter()
+            .filter(|e| !e.exhausted)
+            .map(|e| (e.id, Self::weight(e)))
+            .collect();
+        let mut picked = Vec::with_capacity(batch.min(pool.len()));
+        for _ in 0..batch {
+            if pool.is_empty() {
+                break;
+            }
+            let total: f32 = pool.iter().map(|(_, w)| w).sum();
+            let mut ticket = rng.gen_range(0.0..total.max(f32::MIN_POSITIVE));
+            let mut chosen = pool.len() - 1;
+            for (i, (_, w)) in pool.iter().enumerate() {
+                if ticket < *w {
+                    chosen = i;
+                    break;
+                }
+                ticket -= w;
+            }
+            picked.push(pool.swap_remove(chosen).0);
+        }
+        picked
+    }
+
+    /// Folds one fuzzing step's outcome back into the corpus: updates the
+    /// scheduled entry's energy and statistics, and grafts the step's
+    /// corpus candidate (if any) as a child. Returns the child's id.
+    ///
+    /// An unknown `id` is a no-op returning `None`: with the corpus at its
+    /// size cap, an entry scheduled at the start of an epoch can be evicted
+    /// by an earlier absorb in the same epoch before its own result lands.
+    pub fn absorb(&mut self, id: usize, run: &SeedRun) -> Option<usize> {
+        let max_len = self.max_len;
+        let entry = self.get_mut(id)?;
+        entry.times_fuzzed += 1;
+        entry.new_coverage += run.newly_covered;
+        let mut child = None;
+        if run.preexisting {
+            // The models already disagree here; gradient ascent has nothing
+            // left to split.
+            entry.exhausted = true;
+            return None;
+        }
+        let mut productive = false;
+        if run.test.is_some() {
+            entry.diffs_found += 1;
+            entry.energy += energy::DIFF_BONUS;
+            productive = true;
+        }
+        if run.newly_covered > 0 {
+            entry.energy += (run.newly_covered as f32 * energy::COVER_BONUS)
+                .min(energy::COVER_BONUS_CAP);
+            productive = true;
+        }
+        if !productive {
+            entry.energy = (entry.energy * energy::BARREN_DECAY).max(energy::FLOOR);
+            if run.iterations == 0 {
+                // The constraint admitted no movement at all.
+                entry.exhausted = true;
+            }
+        }
+        if let Some(candidate) = &run.corpus_candidate {
+            let parent_energy = entry.energy;
+            let parent_depth = entry.depth;
+            let child_id = self.next_id;
+            self.next_id += 1;
+            self.entries.push(CorpusEntry {
+                id: child_id,
+                parent: Some(id),
+                depth: parent_depth + 1,
+                input: candidate.clone(),
+                energy: (parent_energy * energy::CHILD_FRACTION).max(energy::FLOOR),
+                times_fuzzed: 0,
+                diffs_found: 0,
+                new_coverage: 0,
+                exhausted: false,
+            });
+            child = Some(child_id);
+        }
+        if self.entries.len() > max_len {
+            self.evict();
+        }
+        child
+    }
+
+    /// Evicts the lowest-weight non-initial entries down to the cap.
+    /// Initial seeds are never evicted: they anchor reproducibility and
+    /// keep the campaign from collapsing onto one lineage.
+    fn evict(&mut self) {
+        while self.entries.len() > self.max_len {
+            let victim = self
+                .entries
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| e.parent.is_some())
+                .min_by(|(_, a), (_, b)| {
+                    Self::weight(a)
+                        .total_cmp(&Self::weight(b))
+                        .then(b.id.cmp(&a.id)) // Tie-break: evict the newest.
+                })
+                .map(|(i, _)| i);
+            match victim {
+                Some(i) => {
+                    self.entries.remove(i);
+                }
+                None => break, // Only initial seeds left.
+            }
+        }
+    }
+
+    /// Whether every entry is exhausted (nothing left to schedule).
+    pub fn all_exhausted(&self) -> bool {
+        self.entries.iter().all(|e| e.exhausted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dx_tensor::rng;
+
+    fn seed_tensors(n: usize) -> Vec<Tensor> {
+        (0..n)
+            .map(|i| rng::uniform(&mut rng::rng(i as u64), &[1, 4], 0.0, 1.0))
+            .collect()
+    }
+
+    fn barren_run() -> SeedRun {
+        SeedRun {
+            test: None,
+            preexisting: false,
+            iterations: 5,
+            newly_covered: 0,
+            corpus_candidate: None,
+        }
+    }
+
+    #[test]
+    fn schedule_prefers_high_energy() {
+        let mut corpus = Corpus::new(seed_tensors(2), 64);
+        corpus.entries[0].energy = 100.0;
+        corpus.entries[1].energy = 0.1;
+        let mut r = rng::rng(1);
+        let mut first_hits = 0;
+        for _ in 0..50 {
+            if corpus.schedule(1, &mut r)[0] == 0 {
+                first_hits += 1;
+            }
+        }
+        assert!(first_hits > 40, "high-energy seed picked {first_hits}/50");
+    }
+
+    #[test]
+    fn schedule_without_replacement_within_batch() {
+        let corpus = Corpus::new(seed_tensors(5), 64);
+        let mut r = rng::rng(2);
+        let picks = corpus.schedule(5, &mut r);
+        let mut sorted = picks.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 5);
+        // Requesting more than available caps at the pool size.
+        assert_eq!(corpus.schedule(10, &mut r).len(), 5);
+    }
+
+    #[test]
+    fn absorb_raises_energy_on_progress_and_decays_barren() {
+        let mut corpus = Corpus::new(seed_tensors(1), 64);
+        let before = corpus.entries[0].energy;
+        let productive = SeedRun { newly_covered: 3, ..barren_run() };
+        corpus.absorb(0, &productive);
+        assert!(corpus.entries[0].energy > before);
+        let raised = corpus.entries[0].energy;
+        corpus.absorb(0, &barren_run());
+        assert!(corpus.entries[0].energy < raised);
+        assert_eq!(corpus.entries[0].times_fuzzed, 2);
+    }
+
+    #[test]
+    fn absorb_grafts_children() {
+        let mut corpus = Corpus::new(seed_tensors(1), 64);
+        let run = SeedRun {
+            newly_covered: 2,
+            corpus_candidate: Some(rng::uniform(&mut rng::rng(9), &[1, 4], 0.0, 1.0)),
+            ..barren_run()
+        };
+        let child = corpus.absorb(0, &run).expect("child grafted");
+        assert_eq!(corpus.len(), 2);
+        let c = corpus.get(child).unwrap();
+        assert_eq!(c.parent, Some(0));
+        assert_eq!(c.depth, 1);
+        assert!(!c.exhausted);
+    }
+
+    #[test]
+    fn preexisting_exhausts_entry() {
+        let mut corpus = Corpus::new(seed_tensors(1), 64);
+        let run = SeedRun { preexisting: true, iterations: 0, ..barren_run() };
+        corpus.absorb(0, &run);
+        assert!(corpus.entries[0].exhausted);
+        assert!(corpus.all_exhausted());
+        let mut r = rng::rng(3);
+        assert!(corpus.schedule(4, &mut r).is_empty());
+    }
+
+    #[test]
+    fn eviction_caps_size_and_keeps_initial_seeds() {
+        let mut corpus = Corpus::new(seed_tensors(3), 4);
+        for step in 0..6 {
+            let run = SeedRun {
+                newly_covered: 1,
+                corpus_candidate: Some(rng::uniform(
+                    &mut rng::rng(100 + step),
+                    &[1, 4],
+                    0.0,
+                    1.0,
+                )),
+                ..barren_run()
+            };
+            corpus.absorb(step as usize % 3, &run);
+        }
+        assert!(corpus.len() <= 4, "len {}", corpus.len());
+        for id in 0..3 {
+            assert!(corpus.get(id).is_some(), "initial seed {id} evicted");
+        }
+    }
+
+    #[test]
+    fn absorb_of_evicted_entry_is_a_noop() {
+        // Entries scheduled early in an epoch can be evicted by a prior
+        // absorb once the corpus hits its cap; their late-arriving results
+        // must not panic.
+        let mut corpus = Corpus::new(seed_tensors(1), 64);
+        let child = corpus
+            .absorb(
+                0,
+                &SeedRun {
+                    newly_covered: 1,
+                    corpus_candidate: Some(rng::uniform(&mut rng::rng(5), &[1, 4], 0.0, 1.0)),
+                    ..barren_run()
+                },
+            )
+            .unwrap();
+        // Simulate the child's eviction, then a result for it arriving.
+        corpus.entries.retain(|e| e.id != child);
+        assert_eq!(corpus.absorb(child, &barren_run()), None);
+        assert_eq!(corpus.len(), 1);
+    }
+
+    #[test]
+    fn from_entries_resumes_id_sequence() {
+        let mut corpus = Corpus::new(seed_tensors(2), 64);
+        let run = SeedRun {
+            newly_covered: 1,
+            corpus_candidate: Some(rng::uniform(&mut rng::rng(7), &[1, 4], 0.0, 1.0)),
+            ..barren_run()
+        };
+        let child = corpus.absorb(1, &run).unwrap();
+        let reloaded = Corpus::from_entries(corpus.entries().to_vec(), 64);
+        assert_eq!(reloaded.next_id, child + 1);
+    }
+}

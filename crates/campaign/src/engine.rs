@@ -1,0 +1,433 @@
+//! The campaign engine: a persistent, multi-worker fuzzing loop.
+//!
+//! Each **epoch** the scheduler draws a batch of corpus entries
+//! (energy-proportionally), splits it round-robin across a pool of worker
+//! threads, and each worker runs [`Generator::run_seed`] on its share
+//! against its own model clones. Workers accumulate neuron coverage in
+//! private trackers and periodically fold them into a shared global union
+//! ([`CoverageTracker::merge`]), adopting the union back so no worker
+//! chases neurons another already covered. Between epochs the coordinator
+//! absorbs results into the corpus, records per-epoch throughput, and
+//! checkpoints everything to disk so a campaign can resume.
+
+use std::io;
+use std::path::PathBuf;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use deepxplore::constraints::Constraint;
+use deepxplore::diff::Prediction;
+use deepxplore::generator::{Generator, SeedRun, TaskKind};
+use deepxplore::Hyperparams;
+use dx_coverage::{CoverageConfig, CoverageTracker};
+use dx_nn::network::Network;
+use dx_nn::util::gather_rows;
+use dx_tensor::{rng, Tensor};
+
+use crate::checkpoint;
+use crate::corpus::Corpus;
+use crate::report::{CampaignReport, EpochStats};
+
+/// The models under test plus the generation setup they share — everything
+/// [`Campaign`] needs besides the corpus and scheduling knobs.
+#[derive(Clone)]
+pub struct ModelSuite {
+    /// At least two models with identical input/output shapes.
+    pub models: Vec<Network>,
+    /// Classification or regression oracle.
+    pub kind: TaskKind,
+    /// Algorithm 1 hyperparameters.
+    pub hp: Hyperparams,
+    /// Domain constraint for generated inputs.
+    pub constraint: Constraint,
+    /// Coverage metric configuration.
+    pub coverage: CoverageConfig,
+}
+
+/// Campaign scheduling and persistence knobs.
+#[derive(Clone, Debug)]
+pub struct CampaignConfig {
+    /// Worker threads (each owns clones of the models). 1 gives a fully
+    /// deterministic campaign.
+    pub workers: usize,
+    /// Epochs to run per [`Campaign::run`] call.
+    pub epochs: usize,
+    /// Corpus entries scheduled per epoch.
+    pub batch_per_epoch: usize,
+    /// Wall-clock budget for one [`Campaign::run`] call; `None` is
+    /// unbounded.
+    pub duration: Option<Duration>,
+    /// Stop once mean global coverage reaches this level.
+    pub desired_coverage: Option<f32>,
+    /// Directory for JSONL checkpoints; `None` disables persistence.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Jobs a worker runs between coverage syncs with the global union.
+    pub merge_every: usize,
+    /// Corpus size cap (initial seeds are never evicted).
+    pub max_corpus: usize,
+    /// Master RNG seed; scheduling and every worker derive from it.
+    pub seed: u64,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        Self {
+            workers: 1,
+            epochs: 4,
+            batch_per_epoch: 16,
+            duration: None,
+            desired_coverage: None,
+            checkpoint_dir: None,
+            merge_every: 4,
+            max_corpus: 4096,
+            seed: 42,
+        }
+    }
+}
+
+/// A difference-inducing input found by the campaign.
+#[derive(Clone, Debug)]
+pub struct FoundDiff {
+    /// Corpus entry the difference was grown from.
+    pub seed_id: usize,
+    /// Epoch in which it was found.
+    pub epoch: usize,
+    /// The difference-inducing input, batched `[1, ...]`.
+    pub input: Tensor,
+    /// Each model's prediction on the input.
+    pub predictions: Vec<Prediction>,
+    /// Gradient-ascent iterations taken.
+    pub iterations: usize,
+    /// The model Algorithm 1 pushed away.
+    pub target_model: usize,
+}
+
+/// A long-running, multi-worker, coverage-guided fuzzing campaign.
+///
+/// Determinism: with `workers = 1` a campaign is a pure function of its
+/// configuration and initial seeds. With several workers, per-worker
+/// generation stays deterministic but the interleaving of coverage syncs
+/// (and therefore neuron picks) depends on thread timing. A resumed
+/// campaign re-derives worker RNG streams from scratch, so it is
+/// deterministic given `(config, checkpoint)` but not bit-identical to the
+/// uninterrupted run.
+pub struct Campaign {
+    config: CampaignConfig,
+    workers: Vec<Generator>,
+    global: Vec<CoverageTracker>,
+    corpus: Corpus,
+    report: CampaignReport,
+    diffs: Vec<FoundDiff>,
+    epochs_done: usize,
+    /// The directory this campaign last checkpointed to in this process.
+    /// Stats/diffs appends are only safe into our own earlier write; any
+    /// other directory gets a full rewrite first.
+    checkpointed_dir: Option<std::path::PathBuf>,
+}
+
+impl Campaign {
+    /// Creates a campaign over initial seeds (rows of `seeds`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero workers, zero epochs/batch, an empty seed tensor, or
+    /// an invalid model suite (fewer than two models, mismatched shapes).
+    pub fn new(suite: ModelSuite, seeds: &Tensor, config: CampaignConfig) -> Self {
+        assert!(seeds.shape()[0] > 0, "campaign needs at least one seed");
+        let inputs = (0..seeds.shape()[0]).map(|i| gather_rows(seeds, &[i])).collect();
+        let corpus = Corpus::new(inputs, config.max_corpus);
+        Self::with_corpus(suite, config, corpus, CampaignReport::default(), Vec::new(), None, 0)
+    }
+
+    /// Resumes a campaign from the checkpoint in `config.checkpoint_dir`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the directory is missing or its checkpoint files do not
+    /// parse.
+    pub fn resume(suite: ModelSuite, config: CampaignConfig) -> io::Result<Self> {
+        let dir = config.checkpoint_dir.clone().ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, "resume needs a checkpoint dir")
+        })?;
+        Self::resume_from(suite, &dir, config)
+    }
+
+    /// Resumes from the checkpoint in `dir`, while future checkpoints go to
+    /// `config.checkpoint_dir` — which may differ, forking the campaign.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `dir` is missing or its checkpoint files do not parse.
+    pub fn resume_from(
+        suite: ModelSuite,
+        dir: &std::path::Path,
+        mut config: CampaignConfig,
+    ) -> io::Result<Self> {
+        let state = checkpoint::load(dir)?;
+        // The master seed is part of the campaign's identity: scheduling and
+        // worker streams all derive from it, so a resume continues with the
+        // seed the campaign was started with, not whatever the new config
+        // happens to carry.
+        config.seed = state.campaign_seed;
+        let corpus = Corpus::from_entries(state.corpus, config.max_corpus);
+        let report = CampaignReport { epochs: state.epochs, workers: config.workers };
+        Ok(Self::with_corpus(
+            suite,
+            config,
+            corpus,
+            report,
+            state.diffs,
+            state.coverage,
+            state.epochs_done,
+        ))
+    }
+
+    fn with_corpus(
+        suite: ModelSuite,
+        config: CampaignConfig,
+        corpus: Corpus,
+        mut report: CampaignReport,
+        diffs: Vec<FoundDiff>,
+        coverage: Option<Vec<Vec<bool>>>,
+        epochs_done: usize,
+    ) -> Self {
+        assert!(config.workers >= 1, "campaign needs at least one worker");
+        assert!(config.epochs >= 1, "campaign needs at least one epoch");
+        assert!(config.batch_per_epoch >= 1, "campaign needs a nonzero batch");
+        let workers: Vec<Generator> = (0..config.workers)
+            .map(|w| {
+                Generator::new(
+                    suite.models.clone(),
+                    suite.kind,
+                    suite.hp,
+                    suite.constraint.clone(),
+                    suite.coverage,
+                    rng::derive_seed(config.seed, 1 + w as u64),
+                )
+            })
+            .collect();
+        let mut global = workers[0].trackers().to_vec();
+        let masks_fit = coverage.as_ref().is_some_and(|masks| {
+            masks.len() == global.len()
+                && masks.iter().zip(global.iter()).all(|(m, g)| m.len() == g.total())
+        });
+        if masks_fit {
+            // The exact global union, persisted by the checkpoint.
+            for (g, mask) in global.iter_mut().zip(coverage.as_ref().expect("checked")) {
+                g.set_covered_mask(mask);
+            }
+        } else if epochs_done > 0 {
+            // No (or incompatible) persisted bitmaps — an older checkpoint,
+            // or the coverage config changed. Rebuild a lower bound by
+            // replaying the surviving corpus inputs through the metric.
+            let mut replay = workers[0].trackers().to_vec();
+            for entry in corpus.entries() {
+                for ((model, tracker), g) in suite
+                    .models
+                    .iter()
+                    .zip(replay.iter_mut())
+                    .zip(global.iter_mut())
+                {
+                    tracker.reset();
+                    tracker.update(&model.forward(&entry.input));
+                    g.merge(tracker);
+                }
+            }
+        }
+        report.workers = config.workers;
+        let mut campaign = Self {
+            config,
+            workers,
+            global,
+            corpus,
+            report,
+            diffs,
+            epochs_done,
+            checkpointed_dir: None,
+        };
+        if campaign.epochs_done > 0 {
+            for w in &mut campaign.workers {
+                w.adopt_coverage(&campaign.global);
+            }
+        }
+        campaign
+    }
+
+    /// The corpus in its current state.
+    pub fn corpus(&self) -> &Corpus {
+        &self.corpus
+    }
+
+    /// All difference-inducing inputs found so far.
+    pub fn diffs(&self) -> &[FoundDiff] {
+        &self.diffs
+    }
+
+    /// The campaign report so far.
+    pub fn report(&self) -> &CampaignReport {
+        &self.report
+    }
+
+    /// Epochs completed (including resumed-from epochs).
+    pub fn epochs_done(&self) -> usize {
+        self.epochs_done
+    }
+
+    /// The campaign's master seed (for a resumed campaign, the seed it was
+    /// originally started with).
+    pub fn seed(&self) -> u64 {
+        self.config.seed
+    }
+
+    /// Where this campaign last wrote a checkpoint in this process, if it
+    /// has written one at all.
+    pub fn last_checkpoint_dir(&self) -> Option<&std::path::Path> {
+        self.checkpointed_dir.as_deref()
+    }
+
+    /// Per-model global coverage.
+    pub fn coverage(&self) -> Vec<f32> {
+        self.global.iter().map(|t| t.coverage()).collect()
+    }
+
+    /// Mean global coverage across models.
+    pub fn mean_coverage(&self) -> f32 {
+        let c = self.coverage();
+        c.iter().sum::<f32>() / c.len() as f32
+    }
+
+    /// Runs up to `config.epochs` epochs, stopping early on the duration
+    /// budget, the coverage target, or corpus exhaustion. Checkpoints after
+    /// every epoch when a checkpoint directory is configured.
+    ///
+    /// # Errors
+    ///
+    /// Fails only on checkpoint I/O errors; the in-memory campaign state
+    /// stays valid either way.
+    pub fn run(&mut self) -> io::Result<&CampaignReport> {
+        let started = Instant::now();
+        let end_epoch = self.epochs_done + self.config.epochs;
+        while self.epochs_done < end_epoch {
+            if let Some(budget) = self.config.duration {
+                if started.elapsed() >= budget {
+                    break;
+                }
+            }
+            if let Some(target) = self.config.desired_coverage {
+                if self.mean_coverage() >= target {
+                    break;
+                }
+            }
+            if self.corpus.all_exhausted() {
+                break;
+            }
+            self.run_epoch();
+            if let Some(dir) = self.config.checkpoint_dir.clone() {
+                self.checkpoint(&dir)?;
+            }
+        }
+        Ok(&self.report)
+    }
+
+    /// Writes the full campaign state to `dir` (JSONL corpus/stats/diffs
+    /// plus coverage bitmaps and a meta file). The first write into a
+    /// directory this run replaces any stale files there; subsequent
+    /// writes into the same directory append the new stats/diffs lines.
+    pub fn checkpoint(&mut self, dir: &std::path::Path) -> io::Result<()> {
+        let meta = checkpoint::Meta {
+            epochs_done: self.epochs_done,
+            campaign_seed: self.config.seed,
+            workers: self.config.workers,
+        };
+        let masks: Vec<Vec<bool>> =
+            self.global.iter().map(|t| t.covered_mask().to_vec()).collect();
+        let append = self.checkpointed_dir.as_deref() == Some(dir);
+        checkpoint::save(dir, &self.corpus, &self.report, &self.diffs, &masks, &meta, append)?;
+        self.checkpointed_dir = Some(dir.to_path_buf());
+        Ok(())
+    }
+
+    fn run_epoch(&mut self) {
+        let epoch = self.epochs_done;
+        let started = Instant::now();
+        // The epoch scheduler RNG derives from (campaign seed, epoch), so
+        // scheduling is independent of where a resume happened.
+        let mut sched_rng = rng::rng(rng::derive_seed(self.config.seed, 0x5ced_0000 + epoch as u64));
+        let ids = self.corpus.schedule(self.config.batch_per_epoch, &mut sched_rng);
+        let n_workers = self.workers.len();
+        let mut assignments: Vec<Vec<(usize, Tensor)>> = vec![Vec::new(); n_workers];
+        for (i, &id) in ids.iter().enumerate() {
+            let input = self.corpus.get(id).expect("scheduled id exists").input.clone();
+            assignments[i % n_workers].push((id, input));
+        }
+        let covered_before: usize = self.global.iter().map(|t| t.covered_count()).sum();
+        let merge_every = self.config.merge_every.max(1);
+        let global = Mutex::new(std::mem::take(&mut self.global));
+        let per_worker: Vec<Vec<(usize, SeedRun)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .workers
+                .iter_mut()
+                .zip(assignments)
+                .map(|(worker, jobs)| {
+                    let global = &global;
+                    scope.spawn(move || {
+                        let mut out = Vec::with_capacity(jobs.len());
+                        for (k, (id, input)) in jobs.into_iter().enumerate() {
+                            out.push((id, worker.run_seed(id, &input)));
+                            if (k + 1) % merge_every == 0 {
+                                let mut union = global.lock().expect("coverage lock");
+                                worker.sync_coverage_into(&mut union);
+                                worker.adopt_coverage(&union);
+                            }
+                        }
+                        let mut union = global.lock().expect("coverage lock");
+                        worker.sync_coverage_into(&mut union);
+                        worker.adopt_coverage(&union);
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("campaign worker panicked"))
+                .collect()
+        });
+        self.global = global.into_inner().expect("coverage lock");
+        // Fold results back in scheduling order (round-robin inverse), so
+        // corpus mutation order — and therefore child ids — is independent
+        // of worker count.
+        let mut cursors: Vec<std::vec::IntoIter<(usize, SeedRun)>> =
+            per_worker.into_iter().map(Vec::into_iter).collect();
+        let mut diffs_found = 0;
+        let mut iterations = 0;
+        for i in 0..ids.len() {
+            let (id, run) = cursors[i % n_workers].next().expect("one result per job");
+            iterations += run.iterations;
+            if run.found_difference() {
+                let test = run.test.as_ref().expect("found_difference implies a test");
+                diffs_found += 1;
+                self.diffs.push(FoundDiff {
+                    seed_id: id,
+                    epoch,
+                    input: test.input.clone(),
+                    predictions: test.predictions.clone(),
+                    iterations: test.iterations,
+                    target_model: test.target_model,
+                });
+            }
+            self.corpus.absorb(id, &run);
+        }
+        let covered_after: usize = self.global.iter().map(|t| t.covered_count()).sum();
+        self.report.epochs.push(EpochStats {
+            epoch,
+            seeds_run: ids.len(),
+            diffs_found,
+            iterations,
+            newly_covered: covered_after - covered_before,
+            mean_coverage: self.mean_coverage(),
+            corpus_len: self.corpus.len(),
+            elapsed: started.elapsed(),
+        });
+        self.epochs_done += 1;
+    }
+}

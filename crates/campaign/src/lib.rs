@@ -1,0 +1,279 @@
+//! `dx-campaign` — a parallel, coverage-guided fuzzing campaign engine
+//! over the DeepXplore generator.
+//!
+//! The core crate's [`deepxplore::Generator`] reproduces Algorithm 1 as a
+//! one-shot pass over a fixed seed list. Campaigns turn that into a
+//! long-running service-shaped workload, following the corpus-and-energy
+//! design of DLFuzz (Guo et al., FSE 2018):
+//!
+//! - **Corpus** ([`corpus::Corpus`]): seeds carry an energy that rises when
+//!   fuzzing them yields new neuron coverage or difference-inducing inputs
+//!   and decays when it yields nothing; scheduling samples seeds
+//!   energy-proportionally. Intermediate inputs that covered new neurons
+//!   while the models still agreed are grafted back as child seeds.
+//! - **Worker pool** ([`engine::Campaign`]): each worker thread owns model
+//!   clones and a private [`dx_coverage::CoverageTracker`], and
+//!   periodically folds it into a shared global union
+//!   ([`dx_coverage::CoverageTracker::merge`]), adopting the union back so
+//!   workers don't chase neurons someone else covered.
+//! - **Persistence** ([`checkpoint`]): JSONL corpus/stats/diffs checkpoints
+//!   after every epoch; [`engine::Campaign::resume`] continues a campaign
+//!   from disk.
+//! - **Reporting** ([`report::CampaignReport`]): per-epoch seeds/sec,
+//!   diffs/sec and the coverage-over-time curve.
+//!
+//! # Example
+//!
+//! ```
+//! use dx_campaign::{Campaign, CampaignConfig, ModelSuite};
+//! use deepxplore::constraints::Constraint;
+//! use deepxplore::generator::TaskKind;
+//! use deepxplore::Hyperparams;
+//! use dx_coverage::CoverageConfig;
+//! use dx_nn::layer::Layer;
+//! use dx_nn::Network;
+//! use dx_tensor::rng;
+//!
+//! let mut base = Network::new(
+//!     &[8],
+//!     vec![Layer::dense(8, 12), Layer::relu(), Layer::dense(12, 3), Layer::softmax()],
+//! );
+//! base.init_weights(&mut rng::rng(1));
+//! let suite = ModelSuite {
+//!     models: vec![base.clone(), base.perturbed(0.1, 2), base.perturbed(0.1, 3)],
+//!     kind: TaskKind::Classification,
+//!     hp: Hyperparams { step: 0.3, max_iters: 30, ..Default::default() },
+//!     constraint: Constraint::Clip,
+//!     coverage: CoverageConfig::scaled(0.25),
+//! };
+//! let seeds = rng::uniform(&mut rng::rng(4), &[10, 8], 0.2, 0.8);
+//! let mut campaign = Campaign::new(
+//!     suite,
+//!     &seeds,
+//!     CampaignConfig { workers: 2, epochs: 3, batch_per_epoch: 8, ..Default::default() },
+//! );
+//! let report = campaign.run().unwrap();
+//! // Runs up to 3 epochs (fewer if the tiny corpus exhausts first).
+//! assert!(!report.epochs.is_empty() && report.epochs.len() <= 3);
+//! assert!(campaign.mean_coverage() > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod checkpoint;
+pub mod corpus;
+pub mod engine;
+pub mod json;
+pub mod report;
+
+pub use corpus::{Corpus, CorpusEntry};
+pub use engine::{Campaign, CampaignConfig, FoundDiff, ModelSuite};
+pub use report::{CampaignReport, EpochStats};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepxplore::constraints::Constraint;
+    use deepxplore::generator::TaskKind;
+    use deepxplore::Hyperparams;
+    use dx_coverage::CoverageConfig;
+    use dx_nn::layer::Layer;
+    use dx_nn::Network;
+    use dx_tensor::{rng, Tensor};
+
+    fn classifier(seed: u64) -> Network {
+        let mut n = Network::new(
+            &[16],
+            vec![
+                Layer::dense(16, 14),
+                Layer::relu(),
+                Layer::dense(14, 3),
+                Layer::softmax(),
+            ],
+        );
+        n.init_weights(&mut rng::rng(seed));
+        n
+    }
+
+    fn suite(seed: u64) -> ModelSuite {
+        let base = classifier(seed);
+        ModelSuite {
+            models: vec![
+                base.clone(),
+                base.perturbed(0.1, seed + 1),
+                base.perturbed(0.1, seed + 2),
+            ],
+            kind: TaskKind::Classification,
+            hp: Hyperparams { step: 0.25, lambda1: 2.0, max_iters: 40, ..Default::default() },
+            constraint: Constraint::Clip,
+            coverage: CoverageConfig::scaled(0.25),
+        }
+    }
+
+    fn seed_batch(seed: u64, n: usize) -> Tensor {
+        rng::uniform(&mut rng::rng(seed), &[n, 16], 0.2, 0.8)
+    }
+
+    fn tmp_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("dx_campaign_engine_{name}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn campaign_finds_differences_and_grows_coverage() {
+        let mut campaign = Campaign::new(
+            suite(1),
+            &seed_batch(2, 12),
+            CampaignConfig { epochs: 4, batch_per_epoch: 10, ..Default::default() },
+        );
+        let report = campaign.run().unwrap().clone();
+        assert!(!report.epochs.is_empty());
+        assert!(report.total_seeds() > 0);
+        assert!(campaign.mean_coverage() > 0.0);
+        assert!(
+            !campaign.diffs().is_empty(),
+            "campaign found no differences:\n{}",
+            report.render()
+        );
+        // Every archived diff is a real disagreement.
+        for diff in campaign.diffs() {
+            assert!(deepxplore::diff::differs(&diff.predictions, 0.0));
+        }
+        // Initial seeds are still present.
+        assert!(campaign.corpus().len() >= 12);
+    }
+
+    #[test]
+    fn multi_worker_campaign_runs() {
+        let mut campaign = Campaign::new(
+            suite(10),
+            &seed_batch(11, 12),
+            CampaignConfig { workers: 4, epochs: 3, batch_per_epoch: 12, ..Default::default() },
+        );
+        let report = campaign.run().unwrap();
+        assert_eq!(report.workers, 4);
+        assert_eq!(report.epochs.len(), 3);
+        assert!(campaign.mean_coverage() > 0.0);
+    }
+
+    #[test]
+    fn single_worker_campaign_is_deterministic() {
+        let run = || {
+            let mut campaign = Campaign::new(
+                suite(20),
+                &seed_batch(21, 10),
+                CampaignConfig {
+                    workers: 1,
+                    epochs: 3,
+                    batch_per_epoch: 8,
+                    seed: 7,
+                    ..Default::default()
+                },
+            );
+            campaign.run().unwrap();
+            campaign
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.diffs().len(), b.diffs().len());
+        assert_eq!(a.corpus().len(), b.corpus().len());
+        assert_eq!(a.coverage(), b.coverage());
+        for (ea, eb) in a.corpus().entries().iter().zip(b.corpus().entries()) {
+            assert_eq!(ea.id, eb.id);
+            assert_eq!(ea.input, eb.input);
+            assert_eq!(ea.energy.to_bits(), eb.energy.to_bits());
+            assert_eq!(ea.times_fuzzed, eb.times_fuzzed);
+        }
+        for (da, db) in a.diffs().iter().zip(b.diffs()) {
+            assert_eq!(da.input, db.input);
+            assert_eq!(da.predictions, db.predictions);
+        }
+    }
+
+    #[test]
+    fn checkpoint_and_resume_continue_the_campaign() {
+        let dir = tmp_dir("resume");
+        let config = CampaignConfig {
+            workers: 1,
+            epochs: 2,
+            batch_per_epoch: 8,
+            checkpoint_dir: Some(dir.clone()),
+            seed: 5,
+            ..Default::default()
+        };
+        let mut first = Campaign::new(suite(30), &seed_batch(31, 10), config.clone());
+        first.run().unwrap();
+        assert_eq!(first.epochs_done(), 2);
+        let diffs_before = first.diffs().len();
+        let corpus_before = first.corpus().len();
+
+        let mut resumed = Campaign::resume(suite(30), config).unwrap();
+        assert_eq!(resumed.epochs_done(), 2);
+        assert_eq!(resumed.corpus().len(), corpus_before);
+        assert_eq!(resumed.diffs().len(), diffs_before);
+        // The persisted coverage bitmaps restore the global union exactly.
+        assert_eq!(resumed.coverage(), first.coverage());
+        resumed.run().unwrap();
+        assert_eq!(resumed.epochs_done(), 4);
+        assert_eq!(resumed.report().epochs.len(), 4);
+        assert!(resumed.diffs().len() >= diffs_before);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn desired_coverage_stops_early() {
+        let mut campaign = Campaign::new(
+            suite(40),
+            &seed_batch(41, 10),
+            CampaignConfig {
+                epochs: 50,
+                batch_per_epoch: 8,
+                desired_coverage: Some(0.05),
+                ..Default::default()
+            },
+        );
+        let report = campaign.run().unwrap();
+        assert!(report.epochs.len() < 50, "should stop well before 50 epochs");
+        assert!(campaign.mean_coverage() >= 0.05);
+    }
+
+    #[test]
+    fn duration_budget_is_respected() {
+        let mut campaign = Campaign::new(
+            suite(50),
+            &seed_batch(51, 10),
+            CampaignConfig {
+                epochs: 10_000,
+                batch_per_epoch: 4,
+                duration: Some(std::time::Duration::from_millis(200)),
+                ..Default::default()
+            },
+        );
+        let started = std::time::Instant::now();
+        campaign.run().unwrap();
+        // Generously bounded: at most one epoch past the budget.
+        assert!(started.elapsed() < std::time::Duration::from_secs(30));
+        assert!(campaign.epochs_done() < 10_000);
+    }
+
+    #[test]
+    fn identical_models_yield_no_diffs_but_still_cover() {
+        let base = classifier(60);
+        let twin_suite = ModelSuite {
+            models: vec![base.clone(), base],
+            kind: TaskKind::Classification,
+            hp: Hyperparams { step: 0.25, max_iters: 10, ..Default::default() },
+            constraint: Constraint::Clip,
+            coverage: CoverageConfig::scaled(0.25),
+        };
+        let mut campaign = Campaign::new(
+            twin_suite,
+            &seed_batch(61, 6),
+            CampaignConfig { epochs: 2, batch_per_epoch: 6, ..Default::default() },
+        );
+        campaign.run().unwrap();
+        assert!(campaign.diffs().is_empty());
+        assert!(campaign.mean_coverage() > 0.0);
+    }
+}

@@ -1,0 +1,175 @@
+//! Campaign statistics: per-epoch throughput and the coverage curve.
+
+use std::time::Duration;
+
+/// Statistics of one campaign epoch.
+#[derive(Clone, Debug)]
+pub struct EpochStats {
+    /// Epoch index (continues across resumes).
+    pub epoch: usize,
+    /// Seeds fuzzed this epoch.
+    pub seeds_run: usize,
+    /// Difference-inducing inputs found this epoch.
+    pub diffs_found: usize,
+    /// Gradient-ascent iterations spent this epoch.
+    pub iterations: usize,
+    /// Neurons newly covered in the global union this epoch.
+    pub newly_covered: usize,
+    /// Mean global coverage after the epoch, in `[0, 1]`.
+    pub mean_coverage: f32,
+    /// Corpus size after the epoch.
+    pub corpus_len: usize,
+    /// Wall-clock time of the epoch.
+    pub elapsed: Duration,
+}
+
+impl EpochStats {
+    /// Seeds fuzzed per wall-clock second.
+    pub fn seeds_per_sec(&self) -> f64 {
+        per_sec(self.seeds_run, self.elapsed)
+    }
+
+    /// Differences found per wall-clock second.
+    pub fn diffs_per_sec(&self) -> f64 {
+        per_sec(self.diffs_found, self.elapsed)
+    }
+}
+
+fn per_sec(count: usize, elapsed: Duration) -> f64 {
+    let secs = elapsed.as_secs_f64();
+    if secs > 0.0 {
+        count as f64 / secs
+    } else {
+        0.0
+    }
+}
+
+/// The full record of a campaign run.
+#[derive(Clone, Debug, Default)]
+pub struct CampaignReport {
+    /// Per-epoch statistics, oldest first (including resumed-from epochs).
+    pub epochs: Vec<EpochStats>,
+    /// Worker threads used.
+    pub workers: usize,
+}
+
+impl CampaignReport {
+    /// Total seeds fuzzed.
+    pub fn total_seeds(&self) -> usize {
+        self.epochs.iter().map(|e| e.seeds_run).sum()
+    }
+
+    /// Total differences found.
+    pub fn total_diffs(&self) -> usize {
+        self.epochs.iter().map(|e| e.diffs_found).sum()
+    }
+
+    /// Total wall-clock time across epochs.
+    pub fn total_elapsed(&self) -> Duration {
+        self.epochs.iter().map(|e| e.elapsed).sum()
+    }
+
+    /// Overall seeds/second across the whole campaign.
+    pub fn seeds_per_sec(&self) -> f64 {
+        per_sec(self.total_seeds(), self.total_elapsed())
+    }
+
+    /// Overall diffs/second across the whole campaign.
+    pub fn diffs_per_sec(&self) -> f64 {
+        per_sec(self.total_diffs(), self.total_elapsed())
+    }
+
+    /// The coverage-over-time curve: `(cumulative seconds, mean coverage)`
+    /// after each epoch.
+    pub fn coverage_curve(&self) -> Vec<(f64, f32)> {
+        let mut t = 0.0;
+        self.epochs
+            .iter()
+            .map(|e| {
+                t += e.elapsed.as_secs_f64();
+                (t, e.mean_coverage)
+            })
+            .collect()
+    }
+
+    /// Renders the report as a human-readable table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:>5} {:>7} {:>7} {:>8} {:>8} {:>9} {:>10} {:>10} {:>8}\n",
+            "epoch", "seeds", "diffs", "new-cov", "cover%", "corpus", "seeds/s", "diffs/s", "secs"
+        ));
+        for e in &self.epochs {
+            out.push_str(&format!(
+                "{:>5} {:>7} {:>7} {:>8} {:>7.2}% {:>9} {:>10.2} {:>10.2} {:>8.2}\n",
+                e.epoch,
+                e.seeds_run,
+                e.diffs_found,
+                e.newly_covered,
+                100.0 * e.mean_coverage,
+                e.corpus_len,
+                e.seeds_per_sec(),
+                e.diffs_per_sec(),
+                e.elapsed.as_secs_f64(),
+            ));
+        }
+        out.push_str(&format!(
+            "total: {} seeds, {} diffs in {:.2}s with {} worker(s) \
+             ({:.2} seeds/s, {:.2} diffs/s)\n",
+            self.total_seeds(),
+            self.total_diffs(),
+            self.total_elapsed().as_secs_f64(),
+            self.workers,
+            self.seeds_per_sec(),
+            self.diffs_per_sec(),
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn epoch(i: usize, seeds: usize, diffs: usize, ms: u64) -> EpochStats {
+        EpochStats {
+            epoch: i,
+            seeds_run: seeds,
+            diffs_found: diffs,
+            iterations: seeds * 10,
+            newly_covered: 3,
+            mean_coverage: 0.1 * (i + 1) as f32,
+            corpus_len: seeds + i,
+            elapsed: Duration::from_millis(ms),
+        }
+    }
+
+    #[test]
+    fn totals_and_rates() {
+        let report = CampaignReport {
+            epochs: vec![epoch(0, 10, 2, 500), epoch(1, 20, 3, 1500)],
+            workers: 2,
+        };
+        assert_eq!(report.total_seeds(), 30);
+        assert_eq!(report.total_diffs(), 5);
+        assert!((report.seeds_per_sec() - 15.0).abs() < 1e-9);
+        let curve = report.coverage_curve();
+        assert_eq!(curve.len(), 2);
+        assert!(curve[1].0 > curve[0].0);
+        assert!(curve[1].1 > curve[0].1);
+    }
+
+    #[test]
+    fn render_mentions_every_epoch() {
+        let report = CampaignReport { epochs: vec![epoch(0, 5, 1, 100)], workers: 1 };
+        let text = report.render();
+        assert!(text.contains("seeds/s"));
+        assert!(text.contains("total: 5 seeds, 1 diffs"));
+    }
+
+    #[test]
+    fn zero_elapsed_rates_are_zero() {
+        let e = EpochStats { elapsed: Duration::ZERO, ..epoch(0, 5, 1, 0) };
+        assert_eq!(e.seeds_per_sec(), 0.0);
+    }
+}

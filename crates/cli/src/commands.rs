@@ -24,6 +24,7 @@ COMMANDS:
     models      Show the fifteen-model zoo with neuron counts and accuracy.
     train       Train (or load) zoo models, warming the weight cache.
     generate    Grow difference-inducing inputs for a dataset's model trio.
+    campaign    Run a persistent coverage-guided fuzzing campaign.
     coverage    Measure neuron coverage of test inputs on a model.
     help        Show this message.
 
@@ -42,6 +43,21 @@ GENERATE OPTIONS:
     --save-images          Shorthand for --out dx-out.
     --preexisting          Count seeds the models already disagree on.
     --rng <seed>           Generator RNG seed (default: 42).
+
+CAMPAIGN OPTIONS:
+    --workers <N>          Worker threads (default: 1; 1 is deterministic).
+    --epochs <N>           Epochs to run (default: 8).
+    --batch <N>            Corpus entries fuzzed per epoch (default: 32).
+    --duration <secs>      Wall-clock budget; stops at the epoch boundary.
+    --seeds <N>            Initial corpus seeds from the test set (default: 64).
+    --checkpoint <dir>     Write JSONL corpus/stats/diffs checkpoints to <dir>.
+    --resume <dir>         Continue the campaign checkpointed in <dir>
+                           (with --checkpoint, fork it into the new dir).
+    --target-coverage <p>  Stop once mean neuron coverage reaches p in [0,1].
+    --max-corpus <N>       Corpus size cap (default: 4096).
+    --rng <seed>           Campaign master seed (default: 42).
+    (campaign also honors generate's --constraint/--lambda1/--lambda2/
+     --step/--max-iters/--pick hyperparameter options.)
 
 COVERAGE OPTIONS:
     --model <id>           Model id (default: the dataset's C1).
@@ -144,24 +160,13 @@ fn constraint_for(args: &Args, kind: DatasetKind, ds: &dx_datasets::Dataset) -> 
     }
 }
 
-/// `deepxplore generate`.
-pub fn generate(args: &Args) -> CmdResult {
-    let kinds = dataset_kinds(args)?;
-    if kinds.len() != 1 {
-        return Err("generate needs a single --dataset".into());
-    }
-    let kind = kinds[0];
-    let mut zoo = zoo_for(args);
-    let models = zoo.trio(kind);
-    let ds = zoo.dataset(kind).clone();
-    let constraint = constraint_for(args, kind, &ds)?;
-
+fn hyperparams_for(args: &Args, kind: DatasetKind) -> Result<Hyperparams, Box<dyn Error>> {
     let base = match kind {
         DatasetKind::Pdf => Hyperparams::pdf_defaults(),
         DatasetKind::Drebin => Hyperparams::drebin_defaults(),
         _ => Hyperparams::image_defaults(),
     };
-    let hp = Hyperparams {
+    Ok(Hyperparams {
         lambda1: args.get_num("lambda1", base.lambda1)?,
         lambda2: args.get_num("lambda2", base.lambda2)?,
         step: args.get_num("step", base.step)?,
@@ -173,13 +178,35 @@ pub fn generate(args: &Args) -> CmdResult {
             other => return Err(format!("unknown pick strategy `{other}`").into()),
         },
         ..base
-    };
-    let task = match kind {
+    })
+}
+
+fn task_for(kind: DatasetKind) -> deepxplore::generator::TaskKind {
+    match kind {
         DatasetKind::Driving => deepxplore::generator::TaskKind::Regression {
             direction_threshold: dx_datasets::driving::STEER_DIRECTION_THRESHOLD,
         },
         _ => deepxplore::generator::TaskKind::Classification,
-    };
+    }
+}
+
+fn single_dataset(args: &Args, command: &str) -> Result<DatasetKind, Box<dyn Error>> {
+    let kinds = dataset_kinds(args)?;
+    if kinds.len() != 1 {
+        return Err(format!("{command} needs a single --dataset").into());
+    }
+    Ok(kinds[0])
+}
+
+/// `deepxplore generate`.
+pub fn generate(args: &Args) -> CmdResult {
+    let kind = single_dataset(args, "generate")?;
+    let mut zoo = zoo_for(args);
+    let models = zoo.trio(kind);
+    let ds = zoo.dataset(kind).clone();
+    let constraint = constraint_for(args, kind, &ds)?;
+    let hp = hyperparams_for(args, kind)?;
+    let task = task_for(kind);
     let n_seeds: usize = args.get_num("seeds", 50)?;
     let rng_seed: u64 = args.get_num("rng", 42)?;
 
@@ -230,6 +257,109 @@ pub fn generate(args: &Args) -> CmdResult {
         } else {
             println!("--out ignored: {} is not an image dataset", kind.id());
         }
+    }
+    Ok(())
+}
+
+/// `deepxplore campaign`.
+pub fn campaign(args: &Args) -> CmdResult {
+    let kind = single_dataset(args, "campaign")?;
+    let mut zoo = zoo_for(args);
+    let models = zoo.trio(kind);
+    let ds = zoo.dataset(kind).clone();
+    let suite = dx_campaign::ModelSuite {
+        models,
+        kind: task_for(kind),
+        hp: hyperparams_for(args, kind)?,
+        constraint: constraint_for(args, kind, &ds)?,
+        coverage: CoverageConfig::scaled(0.25),
+    };
+    let resume_dir = args.get("resume").map(PathBuf::from);
+    let checkpoint_dir = args
+        .get("checkpoint")
+        .map(PathBuf::from)
+        .or_else(|| resume_dir.clone());
+    let config = dx_campaign::CampaignConfig {
+        workers: args.get_num("workers", 1)?,
+        epochs: args.get_num("epochs", 8)?,
+        batch_per_epoch: args.get_num("batch", 32)?,
+        duration: match args.get("duration") {
+            None => None,
+            Some(v) => {
+                let secs = v
+                    .parse::<f64>()
+                    .map_err(|_| format!("option --duration: cannot parse `{v}`"))?;
+                Some(std::time::Duration::try_from_secs_f64(secs).map_err(|_| {
+                    format!("option --duration: `{v}` is not a non-negative duration")
+                })?)
+            }
+        },
+        desired_coverage: match args.get("target-coverage") {
+            None => None,
+            Some(v) => Some(
+                v.parse::<f32>()
+                    .map_err(|_| format!("option --target-coverage: cannot parse `{v}`"))?,
+            ),
+        },
+        checkpoint_dir,
+        seed: args.get_num("rng", 42)?,
+        max_corpus: args.get_num("max-corpus", 4096)?,
+        ..Default::default()
+    };
+    for (flag, value) in [
+        ("workers", config.workers),
+        ("epochs", config.epochs),
+        ("batch", config.batch_per_epoch),
+        ("max-corpus", config.max_corpus),
+    ] {
+        if value == 0 {
+            return Err(format!("option --{flag} must be at least 1").into());
+        }
+    }
+    let mut campaign = match &resume_dir {
+        Some(dir) => {
+            if args.get("rng").is_some() {
+                eprintln!("note: --rng is ignored on resume; the campaign keeps its original seed");
+            }
+            let c = dx_campaign::Campaign::resume_from(suite, dir, config)?;
+            println!(
+                "resumed from {}: {} epochs done, corpus {}, {} diffs so far (seed {})",
+                dir.display(),
+                c.epochs_done(),
+                c.corpus().len(),
+                c.diffs().len(),
+                c.seed()
+            );
+            c
+        }
+        None => {
+            let n_seeds: usize = args.get_num("seeds", 64)?;
+            let rng_seed: u64 = args.get_num("rng", 42)?;
+            let mut r = rng::rng(rng_seed ^ 0x5eed);
+            let picks =
+                rng::sample_without_replacement(&mut r, ds.test_len(), n_seeds.min(ds.test_len()));
+            let seeds = gather_rows(&ds.test_x, &picks);
+            dx_campaign::Campaign::new(suite, &seeds, config)
+        }
+    };
+    campaign.run()?;
+    print!("{}", campaign.report().render());
+    println!(
+        "coverage per model: [{}]",
+        campaign
+            .coverage()
+            .iter()
+            .map(|c| format!("{:.1}%", 100.0 * c))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    println!("coverage over time:");
+    for (secs, cov) in campaign.report().coverage_curve() {
+        println!("  {secs:>8.2}s {:>6.2}%", 100.0 * cov);
+    }
+    if let Some(dir) = campaign.last_checkpoint_dir() {
+        let dir = dir.display();
+        println!("checkpoint written to {dir} (resume with --resume {dir})");
     }
     Ok(())
 }

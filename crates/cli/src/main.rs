@@ -4,6 +4,7 @@
 //! deepxplore models   [--full]                  show the zoo (Table 1 style)
 //! deepxplore train    [--dataset X] [--full]    train / warm the weight cache
 //! deepxplore generate --dataset X [options]     grow difference-inducing inputs
+//! deepxplore campaign --dataset X [options]     run a coverage-guided fuzzing campaign
 //! deepxplore coverage --dataset X [options]     measure neuron coverage
 //! deepxplore help                               this text
 //! ```
@@ -29,6 +30,7 @@ fn main() {
         "models" => commands::models(&parsed),
         "train" => commands::train(&parsed),
         "generate" => commands::generate(&parsed),
+        "campaign" => commands::campaign(&parsed),
         "coverage" => commands::coverage(&parsed),
         "help" | "--help" | "-h" => {
             print!("{}", commands::HELP);

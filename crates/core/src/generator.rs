@@ -56,6 +56,36 @@ pub struct RunStats {
     pub elapsed: Duration,
 }
 
+/// Result of one per-seed campaign step ([`Generator::run_seed`]).
+///
+/// Richer than the boolean found/not-found view of [`Generator::run`]:
+/// campaign engines schedule seeds by how much *progress* a step made, so
+/// the step reports coverage gained and DLFuzz-style corpus candidates —
+/// intermediate inputs that activated new neurons while the models still
+/// agreed, which make good future seeds.
+#[derive(Clone, Debug)]
+pub struct SeedRun {
+    /// The difference-inducing test, when one was found.
+    pub test: Option<GeneratedTest>,
+    /// Whether the models disagreed on the unmutated seed (Algorithm 1
+    /// line 4-5 assumes agreement; such seeds cannot be grown further).
+    pub preexisting: bool,
+    /// Gradient-ascent iterations taken.
+    pub iterations: usize,
+    /// Neurons newly covered across all models during this step.
+    pub newly_covered: usize,
+    /// The last intermediate input that covered new neurons while the
+    /// models still agreed — a coverage-guided corpus candidate.
+    pub corpus_candidate: Option<Tensor>,
+}
+
+impl SeedRun {
+    /// Whether the step produced a difference-inducing input.
+    pub fn found_difference(&self) -> bool {
+        self.test.is_some() && !self.preexisting
+    }
+}
+
 /// Result of a generation run.
 #[derive(Clone, Debug)]
 pub struct GenResult {
@@ -139,6 +169,41 @@ impl Generator {
         self.trackers.iter().map(|t| t.coverage()).collect()
     }
 
+    /// The per-model coverage trackers (same order as [`Generator::models`]).
+    pub fn trackers(&self) -> &[CoverageTracker] {
+        &self.trackers
+    }
+
+    /// Folds this generator's coverage into a global per-model union;
+    /// returns how many neurons were new to the global view.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `global` has a different model count or incompatible
+    /// trackers.
+    pub fn sync_coverage_into(&self, global: &mut [CoverageTracker]) -> usize {
+        assert_eq!(global.len(), self.trackers.len(), "one global tracker per model");
+        global
+            .iter_mut()
+            .zip(self.trackers.iter())
+            .map(|(g, local)| g.merge(local))
+            .sum()
+    }
+
+    /// Adopts a global per-model coverage union into this generator, so it
+    /// stops targeting neurons other workers already covered.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `global` has a different model count or incompatible
+    /// trackers.
+    pub fn adopt_coverage(&mut self, global: &[CoverageTracker]) {
+        assert_eq!(global.len(), self.trackers.len(), "one global tracker per model");
+        for (local, g) in self.trackers.iter_mut().zip(global.iter()) {
+            local.merge(g);
+        }
+    }
+
     /// Mean neuron coverage across models.
     pub fn mean_coverage(&self) -> f32 {
         let c = self.coverage();
@@ -192,6 +257,98 @@ impl Generator {
         }
         stats.elapsed = started.elapsed();
         GenResult { tests, stats, coverage: self.coverage() }
+    }
+
+    /// One campaign step: grows a single seed, tracking coverage at every
+    /// iterate and reporting corpus candidates.
+    ///
+    /// This is the per-seed API the campaign engine schedules over. It
+    /// differs from the batch loop ([`Generator::run`], Algorithm 1 as
+    /// printed) in two ways:
+    ///
+    /// - **Coverage per iterate.** Every intermediate input's activations
+    ///   fold into `cov_tracker`, not just the final difference-inducing
+    ///   one — the feedback signal coverage-guided scheduling needs.
+    /// - **One forward per model per iterate.** The batch loop runs two
+    ///   (one for the gradient, one for the oracle); here the same pass
+    ///   feeds gradient, oracle and coverage, roughly halving per-iteration
+    ///   cost.
+    pub fn run_seed(&mut self, seed_index: usize, seed_x: &Tensor) -> SeedRun {
+        let threshold = self.direction_threshold();
+        let mut run = SeedRun {
+            test: None,
+            preexisting: false,
+            iterations: 0,
+            newly_covered: 0,
+            corpus_candidate: None,
+        };
+        let mut passes: Vec<_> = self.models.iter().map(|m| m.forward(seed_x)).collect();
+        let initial = self.predictions_of(&passes);
+        for (pass, tracker) in passes.iter().zip(self.trackers.iter_mut()) {
+            run.newly_covered += tracker.update(pass);
+        }
+        if differs(&initial, threshold) {
+            run.preexisting = true;
+            if self.hp.count_preexisting {
+                run.test = Some(GeneratedTest {
+                    seed_index,
+                    input: seed_x.clone(),
+                    iterations: 0,
+                    predictions: initial,
+                    target_model: 0,
+                });
+            }
+            return run;
+        }
+        let c = match initial[0] {
+            Prediction::Class(c) => c,
+            Prediction::Value(_) => 0,
+        };
+        let j = self.rng.gen_range(0..self.models.len());
+        let mut x = seed_x.clone();
+        for iter in 1..=self.hp.max_iters {
+            let grad = self.joint_gradient_from(&passes, c, j);
+            let next = self.constraint.step(&x, &grad, self.hp.step);
+            if next == x {
+                // The constraint admits no further movement from here.
+                return run;
+            }
+            x = next;
+            run.iterations = iter;
+            passes = self.models.iter().map(|m| m.forward(&x)).collect();
+            let preds = self.predictions_of(&passes);
+            let newly: usize = passes
+                .iter()
+                .zip(self.trackers.iter_mut())
+                .map(|(pass, tracker)| tracker.update(pass))
+                .sum();
+            run.newly_covered += newly;
+            let found = differs(&preds, threshold);
+            if newly > 0 && !found {
+                run.corpus_candidate = Some(x.clone());
+            }
+            if found {
+                run.test = Some(GeneratedTest {
+                    seed_index,
+                    input: x,
+                    iterations: iter,
+                    predictions: preds,
+                    target_model: j,
+                });
+                return run;
+            }
+        }
+        run
+    }
+
+    fn predictions_of(&self, passes: &[dx_nn::network::ForwardPass]) -> Vec<Prediction> {
+        passes
+            .iter()
+            .map(|pass| match self.kind {
+                TaskKind::Classification => class_of(pass.output()),
+                TaskKind::Regression { .. } => value_of(pass.output()),
+            })
+            .collect()
     }
 
     /// Attempts to grow one difference-inducing input from one seed.
@@ -261,9 +418,22 @@ impl Generator {
     /// The gradient of Equation 3 with respect to the input:
     /// `∂[(Σ_{k≠j} F_k(x)[c] − λ1·F_j(x)[c]) + λ2·Σ_m f_{n_m}(x)]/∂x`.
     fn joint_gradient(&mut self, x: &Tensor, c: usize, j: usize) -> Tensor {
-        let mut total = Tensor::zeros(x.shape());
+        let passes: Vec<_> = self.models.iter().map(|m| m.forward(x)).collect();
+        self.joint_gradient_from(&passes, c, j)
+    }
+
+    /// [`Generator::joint_gradient`] over precomputed forward passes (one
+    /// per model, at the same input) — lets callers that already ran the
+    /// oracle reuse its passes.
+    fn joint_gradient_from(
+        &mut self,
+        passes: &[dx_nn::network::ForwardPass],
+        c: usize,
+        j: usize,
+    ) -> Tensor {
+        let mut total = Tensor::zeros(passes[0].input().shape());
         for (m, (model, tracker)) in self.models.iter().zip(self.trackers.iter()).enumerate() {
-            let pass = model.forward(x);
+            let pass = &passes[m];
             let mut injections = Vec::with_capacity(2);
             // obj1 term at the output layer.
             let out_shape = pass.output().shape().to_vec();
@@ -282,7 +452,7 @@ impl Generator {
                         tracker.pick_uncovered_k(&mut self.rng, self.hp.neurons_per_model.max(1))
                     }
                     crate::hyper::NeuronPick::Nearest => {
-                        tracker.pick_uncovered_nearest(&pass).into_iter().collect()
+                        tracker.pick_uncovered_nearest(pass).into_iter().collect()
                     }
                 };
                 for neuron in picked {
@@ -291,7 +461,7 @@ impl Generator {
                     injections.push((idx, seed.scale(self.hp.lambda2)));
                 }
             }
-            total += &model.input_gradient(&pass, &injections);
+            total += &model.input_gradient(pass, &injections);
         }
         total
     }
@@ -561,6 +731,88 @@ mod tests {
         assert!(result.stats.seeds_tried == 10);
         for t in &result.tests {
             assert!(differs(&t.predictions, 0.0));
+        }
+    }
+
+    #[test]
+    fn run_seed_is_deterministic() {
+        let seeds = rng::uniform(&mut rng::rng(70), &[6, 20], 0.2, 0.8);
+        let step = |mut g: Generator| -> Vec<SeedRun> {
+            (0..6).map(|i| g.run_seed(i, &gather_rows(&seeds, &[i]))).collect()
+        };
+        let r1 = step(default_gen(71));
+        let r2 = step(default_gen(71));
+        for (a, b) in r1.iter().zip(r2.iter()) {
+            assert_eq!(a.iterations, b.iterations);
+            assert_eq!(a.newly_covered, b.newly_covered);
+            assert_eq!(a.test.is_some(), b.test.is_some());
+            if let (Some(ta), Some(tb)) = (&a.test, &b.test) {
+                assert_eq!(ta.input, tb.input);
+            }
+        }
+    }
+
+    #[test]
+    fn run_seed_reports_real_differences_and_coverage() {
+        let mut g = default_gen(72);
+        let seeds = rng::uniform(&mut rng::rng(73), &[12, 20], 0.2, 0.8);
+        let mut found = 0;
+        let mut covered = 0;
+        for i in 0..12 {
+            let run = g.run_seed(i, &gather_rows(&seeds, &[i]));
+            covered += run.newly_covered;
+            if let Some(t) = &run.test {
+                found += 1;
+                assert!(differs(&t.predictions, 0.0));
+                assert!(t.iterations >= 1);
+                assert_eq!(t.iterations, run.iterations);
+            }
+            if let Some(candidate) = &run.corpus_candidate {
+                // Corpus candidates keep the models in agreement.
+                assert!(!differs(&g.predict_all(candidate), 0.0));
+            }
+        }
+        assert!(found > 0, "no differences found via run_seed");
+        // Per-iterate tracking must actually move coverage.
+        assert!(covered > 0);
+        assert!(g.mean_coverage() > 0.0);
+    }
+
+    #[test]
+    fn run_seed_flags_preexisting_disagreement() {
+        let mut g = default_gen(74);
+        let seeds = rng::uniform(&mut rng::rng(75), &[40, 20], 0.2, 0.8);
+        // Find a difference first, then re-feed it as a seed.
+        let diff = (0..40).find_map(|i| g.run_seed(i, &gather_rows(&seeds, &[i])).test);
+        let diff = diff.expect("needs at least one difference");
+        let run = g.run_seed(0, &diff.input);
+        assert!(run.preexisting);
+        assert!(run.test.is_none(), "count_preexisting is off by default");
+        assert_eq!(run.iterations, 0);
+    }
+
+    #[test]
+    fn coverage_sync_round_trips() {
+        let mut a = default_gen(76);
+        let mut b = default_gen(77);
+        let seeds = rng::uniform(&mut rng::rng(78), &[6, 20], 0.2, 0.8);
+        for i in 0..6 {
+            let x = gather_rows(&seeds, &[i]);
+            if i % 2 == 0 {
+                a.run_seed(i, &x);
+            } else {
+                b.run_seed(i, &x);
+            }
+        }
+        let mut global: Vec<_> = a.trackers().to_vec();
+        let new_from_b = b.sync_coverage_into(&mut global);
+        assert!(b.trackers().iter().map(|t| t.covered_count()).sum::<usize>() >= new_from_b);
+        // After adopting, both see at least the union's coverage.
+        a.adopt_coverage(&global);
+        b.adopt_coverage(&global);
+        for (g, (ta, tb)) in global.iter().zip(a.trackers().iter().zip(b.trackers())) {
+            assert_eq!(ta.covered_count(), g.covered_count());
+            assert_eq!(tb.covered_count(), g.covered_count());
         }
     }
 

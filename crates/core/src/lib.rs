@@ -53,11 +53,30 @@
 //!     CoverageConfig::default(),
 //!     7,
 //! );
-//! let seeds = rng::uniform(&mut rng::rng(3), &[8, 4], 0.2, 0.8);
+//! let seeds = rng::uniform(&mut rng::rng(5), &[8, 4], 0.2, 0.8);
 //! let result = gen.run(&seeds);
 //! // Random nets disagree readily; at least one difference is expected.
 //! assert!(result.stats.differences_found > 0);
 //! ```
+//!
+//! # Campaigns
+//!
+//! [`Generator::run`] is the paper's one-shot loop: a fixed seed list,
+//! consumed once. For long-running, coverage-guided testing use the
+//! `dx-campaign` crate, which wraps this generator in a persistent
+//! fuzzing campaign: an energy-scheduled corpus (seeds that yield new
+//! coverage or differences are re-queued and their productive mutants
+//! enter the corpus), a multi-threaded worker pool whose per-worker
+//! coverage bitmaps merge into a shared global union, JSONL checkpoints
+//! for resumable runs, and per-epoch throughput reporting
+//! (seeds/sec, diffs/sec, coverage over time).
+//!
+//! The campaign engine drives this crate through [`Generator::run_seed`] —
+//! the per-seed step API, which additionally tracks coverage at every
+//! gradient-ascent iterate and surfaces DLFuzz-style corpus candidates —
+//! and synchronizes coverage across workers with
+//! [`Generator::sync_coverage_into`] / [`Generator::adopt_coverage`].
+//! From the command line: `deepxplore campaign --dataset mnist --workers 4`.
 
 #![warn(missing_docs)]
 
@@ -68,5 +87,5 @@ pub mod generator;
 pub mod hyper;
 
 pub use constraints::Constraint;
-pub use generator::{GenResult, GeneratedTest, Generator, TaskKind};
+pub use generator::{GenResult, GeneratedTest, Generator, SeedRun, TaskKind};
 pub use hyper::Hyperparams;

@@ -209,6 +209,80 @@ impl CoverageTracker {
         best.map(|(flat, _)| self.id_of(flat))
     }
 
+    /// Whether `other` tracks the same neurons of the same network shape —
+    /// the precondition for [`CoverageTracker::merge`].
+    pub fn compatible(&self, other: &CoverageTracker) -> bool {
+        self.activations == other.activations
+            && self.bases == other.bases
+            && self.covered.len() == other.covered.len()
+    }
+
+    /// Unions another tracker's covered set into this one; returns how many
+    /// neurons were newly covered here.
+    ///
+    /// Merging is the campaign engine's synchronization primitive: each
+    /// worker accumulates coverage on a private clone and periodically folds
+    /// it into a shared global tracker. The operation is commutative,
+    /// idempotent and monotone in the covered count.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the trackers are not [`CoverageTracker::compatible`]
+    /// (different networks or tracked-activation sets).
+    pub fn merge(&mut self, other: &CoverageTracker) -> usize {
+        assert!(
+            self.compatible(other),
+            "cannot merge coverage trackers over different neuron sets \
+             ({} vs {} neurons)",
+            self.covered.len(),
+            other.covered.len()
+        );
+        let mut newly = 0;
+        for (mine, &theirs) in self.covered.iter_mut().zip(other.covered.iter()) {
+            if theirs && !*mine {
+                *mine = true;
+                newly += 1;
+            }
+        }
+        newly
+    }
+
+    /// The raw covered mask, one flag per tracked neuron — for campaign
+    /// checkpointing. Restore with [`CoverageTracker::set_covered_mask`].
+    pub fn covered_mask(&self) -> &[bool] {
+        &self.covered
+    }
+
+    /// Replaces the covered set with a previously exported mask.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `mask` has the wrong length for this tracker.
+    pub fn set_covered_mask(&mut self, mask: &[bool]) {
+        assert_eq!(
+            mask.len(),
+            self.covered.len(),
+            "coverage mask length mismatch"
+        );
+        self.covered.copy_from_slice(mask);
+    }
+
+    /// Replaces this tracker's covered set with `other`'s.
+    ///
+    /// Used by campaign workers to adopt the freshly-merged global union so
+    /// they stop chasing neurons another worker already covered.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the trackers are not [`CoverageTracker::compatible`].
+    pub fn copy_covered_from(&mut self, other: &CoverageTracker) {
+        assert!(
+            self.compatible(other),
+            "cannot copy coverage between trackers over different neuron sets"
+        );
+        self.covered.copy_from_slice(&other.covered);
+    }
+
     /// Resets the covered set.
     pub fn reset(&mut self) {
         self.covered.iter_mut().for_each(|c| *c = false);
@@ -368,6 +442,52 @@ mod tests {
         let mut r = rng::rng(23);
         let picks = t.pick_uncovered_k(&mut r, 10_000);
         assert_eq!(picks.len(), t.total());
+    }
+
+    #[test]
+    fn merge_unions_covered_sets() {
+        let net = cnn(30);
+        let mut a = CoverageTracker::for_network(&net, CoverageConfig::default());
+        let mut b = CoverageTracker::for_network(&net, CoverageConfig::default());
+        a.update(&net.forward(&rng::uniform(&mut rng::rng(31), &[1, 1, 6, 6], 0.0, 0.4)));
+        b.update(&net.forward(&rng::uniform(&mut rng::rng(32), &[1, 1, 6, 6], 0.6, 1.0)));
+        let (ca, cb) = (a.covered_count(), b.covered_count());
+        let newly = a.merge(&b);
+        assert!(a.covered_count() >= ca.max(cb));
+        assert_eq!(a.covered_count(), ca + newly);
+        // Merging again adds nothing (idempotent).
+        assert_eq!(a.merge(&b), 0);
+    }
+
+    #[test]
+    fn merge_from_empty_is_identity() {
+        let net = cnn(33);
+        let mut a = CoverageTracker::for_network(&net, CoverageConfig::default());
+        let empty = CoverageTracker::for_network(&net, CoverageConfig::default());
+        a.update(&net.forward(&rng::uniform(&mut rng::rng(34), &[1, 1, 6, 6], 0.2, 1.0)));
+        let before = a.covered_count();
+        assert_eq!(a.merge(&empty), 0);
+        assert_eq!(a.covered_count(), before);
+    }
+
+    #[test]
+    fn copy_covered_from_adopts_union() {
+        let net = cnn(35);
+        let mut a = CoverageTracker::for_network(&net, CoverageConfig::default());
+        let mut b = CoverageTracker::for_network(&net, CoverageConfig::default());
+        a.update(&net.forward(&rng::uniform(&mut rng::rng(36), &[1, 1, 6, 6], 0.3, 1.0)));
+        b.copy_covered_from(&a);
+        assert_eq!(b.covered_count(), a.covered_count());
+        assert_eq!(b.merge(&a), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "different neuron sets")]
+    fn merge_rejects_mismatched_trackers() {
+        let net = cnn(37);
+        let mut full = CoverageTracker::for_network(&net, CoverageConfig::default());
+        let partial = CoverageTracker::for_activations(&net, &[2, 3], CoverageConfig::default());
+        full.merge(&partial);
     }
 
     #[test]

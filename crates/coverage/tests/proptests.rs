@@ -93,4 +93,58 @@ proptest! {
         let newly = t.update(&pass);
         prop_assert_eq!(activated.len(), newly);
     }
+
+    #[test]
+    fn merge_is_commutative(xa in input(), xb in input()) {
+        let n = net(6);
+        let mut a = CoverageTracker::for_network(&n, CoverageConfig::scaled(0.25));
+        let mut b = CoverageTracker::for_network(&n, CoverageConfig::scaled(0.25));
+        a.update(&n.forward(&xa));
+        b.update(&n.forward(&xb));
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(ab.covered_count(), ba.covered_count());
+        prop_assert_eq!(ab.uncovered(), ba.uncovered());
+    }
+
+    #[test]
+    fn merge_is_idempotent(xa in input(), xb in input()) {
+        let n = net(7);
+        let mut a = CoverageTracker::for_network(&n, CoverageConfig::scaled(0.25));
+        let mut b = CoverageTracker::for_network(&n, CoverageConfig::scaled(0.25));
+        a.update(&n.forward(&xa));
+        b.update(&n.forward(&xb));
+        let first = a.merge(&b);
+        let covered = a.covered_count();
+        // Folding the same tracker in again must be a no-op.
+        prop_assert_eq!(a.merge(&b), 0);
+        prop_assert_eq!(a.covered_count(), covered);
+        // Self-merge is also a no-op.
+        let self_clone = a.clone();
+        prop_assert_eq!(a.merge(&self_clone), 0);
+        let _ = first;
+    }
+
+    #[test]
+    fn merge_is_monotone_in_covered_count(
+        inputs in proptest::collection::vec(input(), 1..5),
+    ) {
+        let n = net(8);
+        let mut global = CoverageTracker::for_network(&n, CoverageConfig::scaled(0.25));
+        let mut last = 0usize;
+        for x in &inputs {
+            let mut local = CoverageTracker::for_network(&n, CoverageConfig::scaled(0.25));
+            local.update(&n.forward(x));
+            let before = global.covered_count();
+            let newly = global.merge(&local);
+            // The count never decreases, grows by exactly `newly`, and the
+            // union dominates both operands.
+            prop_assert_eq!(global.covered_count(), before + newly);
+            prop_assert!(global.covered_count() >= last);
+            prop_assert!(global.covered_count() >= local.covered_count());
+            last = global.covered_count();
+        }
+    }
 }

@@ -128,11 +128,11 @@ pub fn generate(cfg: &DrebinConfig) -> Dataset {
         // instead of saturating); a tenth of manifest features lean
         // malicious, another tenth lean benign.
         let (b, m) = if is_code && i % 8 == 0 {
-            (base * 0.7, base + prof.gen_range(0.10..0.22))
+            (base * 0.7, base + prof.gen_range(0.10..0.22f32))
         } else if !is_code && i % 10 == 0 {
-            (base, base + prof.gen_range(0.04..0.12))
+            (base, base + prof.gen_range(0.04..0.12f32))
         } else if !is_code && i % 10 == 1 {
-            (base + prof.gen_range(0.04..0.12), base)
+            (base + prof.gen_range(0.04..0.12f32), base)
         } else {
             (base, base)
         };
@@ -144,7 +144,7 @@ pub fn generate(cfg: &DrebinConfig) -> Dataset {
         let mut data = Vec::with_capacity(n * cfg.width);
         let mut labels = Vec::with_capacity(n);
         for _ in 0..n {
-            let malicious = r.gen_range(0.0..1.0) < cfg.malicious_fraction;
+            let malicious = r.gen_range(0.0..1.0f32) < cfg.malicious_fraction;
             let label = if r.gen_range(0.0..1.0f32) < cfg.label_noise {
                 usize::from(!malicious)
             } else {

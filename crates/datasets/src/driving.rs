@@ -45,7 +45,7 @@ pub const STEER_DIRECTION_THRESHOLD: f32 = 0.2;
 /// positive to the right.
 pub fn render_road(curvature: f32, height: usize, width: usize, r: &mut rng::Rng) -> Tensor {
     let mut img = Image::new(1, height, width);
-    let horizon = (height as f32 * r.gen_range(0.3..0.42)) as usize;
+    let horizon = (height as f32 * r.gen_range(0.3..0.42f32)) as usize;
     let sky = r.gen_range(0.6..0.85f32);
     let ground = r.gen_range(0.28..0.42f32);
     let road = r.gen_range(0.42..0.55f32);

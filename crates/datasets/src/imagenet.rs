@@ -49,9 +49,9 @@ pub const CLASS_NAMES: [&str; 10] = [
 
 fn random_color(r: &mut rng::Rng) -> [f32; 3] {
     [
-        r.gen_range(0.1..1.0),
-        r.gen_range(0.1..1.0),
-        r.gen_range(0.1..1.0),
+        r.gen_range(0.1..1.0f32),
+        r.gen_range(0.1..1.0f32),
+        r.gen_range(0.1..1.0f32),
     ]
 }
 
@@ -111,10 +111,10 @@ pub fn render_class(class: usize, side: usize, r: &mut rng::Rng) -> Tensor {
         }
         3 | 4 => {
             // Filled disk / ring.
-            let cy = r.gen_range(0.35..0.65) * s;
-            let cx = r.gen_range(0.35..0.65) * s;
-            let radius = r.gen_range(0.2..0.38) * s;
-            let inner = radius * r.gen_range(0.45..0.7);
+            let cy = r.gen_range(0.35..0.65f32) * s;
+            let cx = r.gen_range(0.35..0.65f32) * s;
+            let radius = r.gen_range(0.2..0.38f32) * s;
+            let inner = radius * r.gen_range(0.45..0.7f32);
             for y in 0..side {
                 for x in 0..side {
                     let d = ((y as f32 - cy).powi(2) + (x as f32 - cx).powi(2)).sqrt();
@@ -128,7 +128,7 @@ pub fn render_class(class: usize, side: usize, r: &mut rng::Rng) -> Tensor {
         5 => {
             // Filled triangle via barycentric sign tests.
             let pts: Vec<(f32, f32)> = (0..3)
-                .map(|_| (r.gen_range(0.1..0.9) * s, r.gen_range(0.1..0.9) * s))
+                .map(|_| (r.gen_range(0.1..0.9f32) * s, r.gen_range(0.1..0.9f32) * s))
                 .collect();
             let sign = |p: (f32, f32), a: (f32, f32), b: (f32, f32)| {
                 (p.0 - b.0) * (a.1 - b.1) - (a.0 - b.0) * (p.1 - b.1)
@@ -149,9 +149,9 @@ pub fn render_class(class: usize, side: usize, r: &mut rng::Rng) -> Tensor {
         }
         6 => {
             // Cross: two overlapping bars.
-            let cy = (r.gen_range(0.35..0.65) * s) as usize;
-            let cx = (r.gen_range(0.35..0.65) * s) as usize;
-            let arm = (r.gen_range(0.08..0.16) * s).max(1.0) as usize;
+            let cy = (r.gen_range(0.35..0.65f32) * s) as usize;
+            let cx = (r.gen_range(0.35..0.65f32) * s) as usize;
+            let arm = (r.gen_range(0.08..0.16f32) * s).max(1.0) as usize;
             for y in 0..side {
                 for x in 0..side {
                     if y.abs_diff(cy) <= arm || x.abs_diff(cx) <= arm {
@@ -180,9 +180,9 @@ pub fn render_class(class: usize, side: usize, r: &mut rng::Rng) -> Tensor {
             // A handful of small blobs.
             let count = r.gen_range(5..9usize);
             for _ in 0..count {
-                let cy = r.gen_range(0.1..0.9) * s;
-                let cx = r.gen_range(0.1..0.9) * s;
-                let radius = r.gen_range(0.05..0.12) * s;
+                let cy = r.gen_range(0.1..0.9f32) * s;
+                let cx = r.gen_range(0.1..0.9f32) * s;
+                let radius = r.gen_range(0.05..0.12f32) * s;
                 for y in 0..side {
                     for x in 0..side {
                         let d = ((y as f32 - cy).powi(2) + (x as f32 - cx).powi(2)).sqrt();

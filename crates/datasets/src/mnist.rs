@@ -133,7 +133,7 @@ pub fn render_digit(digit: usize, side: usize, r: &mut rng::Rng) -> Tensor {
     let mut img = Image::new(1, side, side);
     let margin = side as f32 * 0.14;
     let span = side as f32 - 2.0 * margin;
-    let scale = span * r.gen_range(0.85..1.1);
+    let scale = span * r.gen_range(0.85..1.1f32);
     let angle: f32 = r.gen_range(-0.18..0.18f32);
     let shear: f32 = r.gen_range(-0.15..0.15f32);
     let (tx, ty) = (

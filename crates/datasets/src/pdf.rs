@@ -110,7 +110,7 @@ fn feature_profiles() -> Vec<FeatureProfile> {
             &format!("{group}_{i:03}"),
             base,
             (base + delta).max(0.0),
-            r.gen_range(1.0..5.0),
+            r.gen_range(1.0..5.0f32),
             base * 8.0 + 40.0,
         );
     }
@@ -130,7 +130,7 @@ pub fn generate(cfg: &PdfConfig) -> Dataset {
         let mut data = Vec::with_capacity(n * NUM_FEATURES);
         let mut labels = Vec::with_capacity(n);
         for _ in 0..n {
-            let malicious = r.gen_range(0.0..1.0) < cfg.malicious_fraction;
+            let malicious = r.gen_range(0.0..1.0f32) < cfg.malicious_fraction;
             let label = if r.gen_range(0.0..1.0f32) < cfg.label_noise {
                 usize::from(!malicious)
             } else {

@@ -161,7 +161,7 @@ impl Zoo {
     /// Cache-format version: bump when dataset generators or training
     /// recipes change, so stale weights are retrained rather than silently
     /// reused against a different data distribution.
-    const CACHE_VERSION: &'static str = "v2";
+    const CACHE_VERSION: &'static str = "v3";
 
     fn weight_path(&self, spec: &ModelSpec) -> PathBuf {
         self.config.cache_dir.join(format!(
@@ -232,13 +232,9 @@ fn generate_dataset(kind: DatasetKind, scale: Scale) -> Dataset {
 fn recipe(kind: DatasetKind, scale: Scale, seed: u64) -> (TrainConfig, Optimizer) {
     let small = scale == Scale::Test;
     let epochs = match kind {
-        DatasetKind::Mnist => {
-            if small {
-                2
-            } else {
-                3
-            }
-        }
+        // Three epochs at both scales: two left the test-scale LeNets
+        // under the 75% accuracy bar the end-to-end suite requires.
+        DatasetKind::Mnist => 3,
         // The VGG/ResNet trio needs more optimizer steps than the rest;
         // a higher learning rate plus more epochs reaches >90% test
         // accuracy on the synthetic classes (see DESIGN.md).

@@ -436,7 +436,7 @@ mod tests {
 
     #[test]
     fn injection_at_hidden_layer_differs_from_output_only() {
-        let net = tiny_cnn(10);
+        let net = tiny_cnn(13);
         let x = rng::uniform(&mut rng::rng(11), &[1, 1, 8, 8], 0.0, 1.0);
         let pass = net.forward(&x);
         let out_only = net.class_score_input_gradient(&pass, 0);

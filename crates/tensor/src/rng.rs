@@ -41,8 +41,8 @@ pub fn uniform(rng: &mut Rng, shape: &[usize], lo: f32, hi: f32) -> Tensor {
 /// Samples one standard normal value via the Box–Muller transform.
 pub fn normal_one(rng: &mut Rng) -> f32 {
     // Box–Muller; `u1` is kept away from zero so the log is finite.
-    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
-    let u2: f32 = rng.gen_range(0.0..1.0);
+    let u1: f32 = rng.gen_range(f32::EPSILON..1.0f32);
+    let u2: f32 = rng.gen_range(0.0..1.0f32);
     (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
 }
 

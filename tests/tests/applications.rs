@@ -64,7 +64,7 @@ fn pollution_detection_recovers_flipped_samples() {
         side: 28,
     });
     let clean_labels = ds.train_labels.classes().to_vec();
-    let (polluted_labels, flipped) = pollute_labels(&clean_labels, 9, 1, 0.3, 17);
+    let (polluted_labels, flipped) = pollute_labels(&clean_labels, 9, 1, 0.3, 18);
     assert!(!flipped.is_empty());
 
     let clean = train_variant(lenet1_wider(0), &ds.train_x, &clean_labels, 700, 2, 3);

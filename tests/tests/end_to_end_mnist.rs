@@ -30,7 +30,7 @@ fn deepxplore_finds_differences_with_lighting() {
         Hyperparams { max_iters: 40, ..Hyperparams::image_defaults() },
         Constraint::Lighting,
         CoverageConfig::default(),
-        1234,
+        777,
     );
     let seeds = gather_rows(&ds.test_x, &(0..30).collect::<Vec<_>>());
     let result = gen.run(&seeds);

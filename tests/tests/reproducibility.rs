@@ -65,7 +65,7 @@ fn generation_replays_bit_for_bit() {
     let ds = zoo.dataset(DatasetKind::Pdf).clone();
     let scale = ds.feature_scale.as_ref().unwrap().data().to_vec();
     let seeds = gather_rows(&ds.test_x, &(0..15).collect::<Vec<_>>());
-    let mut run = || {
+    let run = || {
         let mut gen = Generator::new(
             models.clone(),
             TaskKind::Classification,
@@ -84,6 +84,93 @@ fn generation_replays_bit_for_bit() {
         assert_eq!(a.input, b.input);
         assert_eq!(a.predictions, b.predictions);
     }
+}
+
+#[test]
+fn campaign_with_one_worker_replays_bit_for_bit() {
+    // Same master RNG seed + one worker => the whole campaign is a pure
+    // function of its inputs: identical corpus (ids, inputs, energies) and
+    // identical difference count/archive across two runs.
+    let mut zoo = test_zoo();
+    let models = zoo.trio(DatasetKind::Mnist);
+    let ds = zoo.dataset(DatasetKind::Mnist).clone();
+    let seeds = gather_rows(&ds.test_x, &(0..10).collect::<Vec<_>>());
+    let run = || {
+        let suite = dx_campaign::ModelSuite {
+            models: models.clone(),
+            kind: TaskKind::Classification,
+            hp: Hyperparams::image_defaults(),
+            constraint: Constraint::Lighting,
+            coverage: CoverageConfig::scaled(0.25),
+        };
+        let mut campaign = dx_campaign::Campaign::new(
+            suite,
+            &seeds,
+            dx_campaign::CampaignConfig {
+                workers: 1,
+                epochs: 2,
+                batch_per_epoch: 8,
+                seed: 616,
+                ..Default::default()
+            },
+        );
+        campaign.run().expect("no checkpointing, cannot fail");
+        campaign
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.diffs().len(), b.diffs().len());
+    assert_eq!(a.corpus().len(), b.corpus().len());
+    assert_eq!(a.coverage(), b.coverage());
+    for (ea, eb) in a.corpus().entries().iter().zip(b.corpus().entries()) {
+        assert_eq!(ea.id, eb.id);
+        assert_eq!(ea.parent, eb.parent);
+        assert_eq!(ea.input, eb.input, "corpus entry {} diverged", ea.id);
+        assert_eq!(ea.energy.to_bits(), eb.energy.to_bits());
+        assert_eq!(ea.times_fuzzed, eb.times_fuzzed);
+        assert_eq!(ea.exhausted, eb.exhausted);
+    }
+    for (da, db) in a.diffs().iter().zip(b.diffs()) {
+        assert_eq!(da.seed_id, db.seed_id);
+        assert_eq!(da.input, db.input);
+        assert_eq!(da.predictions, db.predictions);
+    }
+}
+
+#[test]
+fn campaign_checkpoint_round_trips_corpus_exactly() {
+    let mut zoo = test_zoo();
+    let models = zoo.trio(DatasetKind::Mnist);
+    let ds = zoo.dataset(DatasetKind::Mnist).clone();
+    let seeds = gather_rows(&ds.test_x, &(0..6).collect::<Vec<_>>());
+    let dir = std::env::temp_dir().join("dx_campaign_repro_ckpt");
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = dx_campaign::CampaignConfig {
+        workers: 1,
+        epochs: 1,
+        batch_per_epoch: 6,
+        checkpoint_dir: Some(dir.clone()),
+        seed: 99,
+        ..Default::default()
+    };
+    let suite = dx_campaign::ModelSuite {
+        models: models.clone(),
+        kind: TaskKind::Classification,
+        hp: Hyperparams::image_defaults(),
+        constraint: Constraint::Lighting,
+        coverage: CoverageConfig::scaled(0.25),
+    };
+    let mut campaign = dx_campaign::Campaign::new(suite.clone(), &seeds, config.clone());
+    campaign.run().unwrap();
+    let resumed = dx_campaign::Campaign::resume(suite, config).unwrap();
+    assert_eq!(resumed.epochs_done(), campaign.epochs_done());
+    assert_eq!(resumed.diffs().len(), campaign.diffs().len());
+    for (ea, eb) in resumed.corpus().entries().iter().zip(campaign.corpus().entries()) {
+        assert_eq!(ea.id, eb.id);
+        assert_eq!(ea.input, eb.input, "entry {} changed across checkpoint", ea.id);
+        assert_eq!(ea.energy.to_bits(), eb.energy.to_bits());
+    }
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
