@@ -38,16 +38,12 @@ pub struct RetrainOutcome {
 impl RetrainOutcome {
     /// The best accuracy reached during retraining.
     pub fn best(&self) -> f32 {
-        self.epoch_accuracy
-            .iter()
-            .copied()
-            .fold(self.initial_accuracy, f32::max)
+        self.epoch_accuracy.iter().copied().fold(self.initial_accuracy, f32::max)
     }
 
     /// Final accuracy minus initial accuracy.
     pub fn improvement(&self) -> f32 {
-        self.epoch_accuracy.last().copied().unwrap_or(self.initial_accuracy)
-            - self.initial_accuracy
+        self.epoch_accuracy.last().copied().unwrap_or(self.initial_accuracy) - self.initial_accuracy
     }
 }
 
@@ -128,9 +124,7 @@ mod tests {
     fn toy(n: usize, seed: u64) -> (Tensor, Vec<usize>) {
         let mut r = rng::rng(seed);
         let x = rng::uniform(&mut r, &[n, 4], 0.0, 1.0);
-        let labels = (0..n)
-            .map(|i| usize::from(x.at(&[i, 0]) + x.at(&[i, 1]) > 1.0))
-            .collect();
+        let labels = (0..n).map(|i| usize::from(x.at(&[i, 0]) + x.at(&[i, 1]) > 1.0)).collect();
         (x, labels)
     }
 
@@ -190,10 +184,7 @@ mod tests {
         train_classifier(&mut net, &x, &labels, &cfg, &mut Optimizer::adam(1e-3));
         let outcome = retrain_with_eval(&mut net, &x, &labels, &[], &tx, &tl, 5, 11);
         assert_eq!(outcome.epoch_accuracy.len(), 5);
-        assert!(
-            outcome.best() >= outcome.initial_accuracy,
-            "retraining regressed: {outcome:?}"
-        );
+        assert!(outcome.best() >= outcome.initial_accuracy, "retraining regressed: {outcome:?}");
     }
 
     #[test]
@@ -203,16 +194,14 @@ mod tests {
         let mut net = mlp(14);
         // Extra set: more labelled points from the same distribution.
         let (ex, el) = toy(40, 15);
-        let extra: Vec<(Tensor, usize)> = (0..40)
-            .map(|i| (dx_nn::util::row(&ex, i), el[i]))
-            .collect();
+        let extra: Vec<(Tensor, usize)> =
+            (0..40).map(|i| (dx_nn::util::row(&ex, i), el[i])).collect();
         let out_with = retrain_with_eval(&mut net, &x, &labels, &extra, &tx, &tl, 3, 16);
         assert_eq!(out_with.epoch_accuracy.len(), 3);
         // And batched [1, ...] extras are accepted too.
         let mut net2 = mlp(14);
-        let extra_batched: Vec<(Tensor, usize)> = (0..40)
-            .map(|i| (dx_nn::util::gather_rows(&ex, &[i]), el[i]))
-            .collect();
+        let extra_batched: Vec<(Tensor, usize)> =
+            (0..40).map(|i| (dx_nn::util::gather_rows(&ex, &[i]), el[i])).collect();
         let out_b = retrain_with_eval(&mut net2, &x, &labels, &extra_batched, &tx, &tl, 3, 16);
         assert_eq!(out_with.epoch_accuracy, out_b.epoch_accuracy);
     }

@@ -70,10 +70,7 @@ pub fn detection_quality(suspects: &[usize], polluted: &[usize]) -> (f32, f32) {
     }
     let polluted_set: std::collections::HashSet<usize> = polluted.iter().copied().collect();
     let hit = suspects.iter().filter(|i| polluted_set.contains(i)).count();
-    (
-        hit as f32 / suspects.len() as f32,
-        hit as f32 / polluted.len() as f32,
-    )
+    (hit as f32 / suspects.len() as f32, hit as f32 / polluted.len() as f32)
 }
 
 #[cfg(test)]

@@ -21,13 +21,8 @@ fn main() {
     let picks = rng::sample_without_replacement(&mut r, ds.test_len(), n_seeds.min(ds.test_len()));
     let seeds = gather_rows(&ds.test_x, &picks);
 
-    out.line(format!(
-        "Ablations on the MNIST trio ({n_seeds} seeds; lighting constraint)"
-    ));
-    out.line(format!(
-        "{:<34} {:>8} {:>10} {:>10}",
-        "variant", "#diffs", "coverage", "iters"
-    ));
+    out.line(format!("Ablations on the MNIST trio ({n_seeds} seeds; lighting constraint)"));
+    out.line(format!("{:<34} {:>8} {:>10} {:>10}", "variant", "#diffs", "coverage", "iters"));
 
     let mut run = |name: &str, hp: Hyperparams, cfg: CoverageConfig, out: &mut BenchOut| {
         let models = zoo.trio(DatasetKind::Mnist);
@@ -43,12 +38,7 @@ fn main() {
 
     // 1. Neuron-pick strategy (obj2, Algorithm 1 line 33).
     let base_hp = Hyperparams { max_iters: 40, ..setup.hp };
-    run(
-        "pick=random (paper)",
-        base_hp,
-        CoverageConfig::scaled(0.25),
-        &mut out,
-    );
+    run("pick=random (paper)", base_hp, CoverageConfig::scaled(0.25), &mut out);
     run(
         "pick=nearest",
         Hyperparams { neuron_pick: NeuronPick::Nearest, ..base_hp },
@@ -71,12 +61,7 @@ fn main() {
     );
 
     // 3. Multiple neurons jointly maximized per iteration (§4.2 note).
-    run(
-        "neurons/model=1 (paper)",
-        base_hp,
-        CoverageConfig::scaled(0.25),
-        &mut out,
-    );
+    run("neurons/model=1 (paper)", base_hp, CoverageConfig::scaled(0.25), &mut out);
     run(
         "neurons/model=4",
         Hyperparams { neurons_per_model: 4, ..base_hp },
@@ -88,7 +73,11 @@ fn main() {
     run(
         "granularity=channel-mean (paper)",
         base_hp,
-        CoverageConfig { threshold: 0.25, scale_per_layer: true, granularity: Granularity::ChannelMean },
+        CoverageConfig {
+            threshold: 0.25,
+            scale_per_layer: true,
+            granularity: Granularity::ChannelMean,
+        },
         &mut out,
     );
     run(
@@ -115,10 +104,8 @@ fn main() {
     let result = gen.run(&seeds);
     let mut transferred = 0;
     for t in &result.tests {
-        let pair: Vec<usize> = vec![
-            trio[0].predict_classes(&t.input)[0],
-            trio[1].predict_classes(&t.input)[0],
-        ];
+        let pair: Vec<usize> =
+            vec![trio[0].predict_classes(&t.input)[0], trio[1].predict_classes(&t.input)[0]];
         let third = holdout.predict_classes(&t.input)[0];
         // Transfer = the held-out model disagrees with at least one of the
         // two models it never participated against.

@@ -1,0 +1,138 @@
+//! Distributed scaling: 1/2/4 worker *processes* against the in-process
+//! worker pool, on the MNIST test-scale trio with the same total
+//! seed-step budget.
+//!
+//! Not a paper table — the dist service is this workspace's extension
+//! toward the production north star. Every arm fuzzes the same seeds with
+//! the same campaign master seed; dist workers are separate OS processes
+//! (this binary re-execs itself with `DX_DIST_WORKER=<addr>`), so the
+//! comparison includes real serialization, sockets and process overhead.
+//! Speedup is relative to the 1-process-worker arm; the machine's core
+//! count bounds it, and on a single-core container every arm mostly
+//! measures coordination overhead.
+
+use std::time::Duration;
+
+use dx_bench::BenchOut;
+use dx_campaign::{Campaign, CampaignConfig, ModelSuite};
+use dx_coverage::CoverageConfig;
+use dx_dist::{run_worker, Coordinator, CoordinatorConfig, WorkerConfig};
+use dx_models::{DatasetKind, Scale, Zoo, ZooConfig};
+use dx_nn::util::gather_rows;
+use dx_tensor::{rng, Tensor};
+
+const LABEL: &str = "mnist@dist_scaling";
+
+fn suite_and_seeds(n_seeds: usize) -> (ModelSuite, Tensor) {
+    let mut zoo = Zoo::new(ZooConfig::new(Scale::Test));
+    let models = zoo.trio(DatasetKind::Mnist);
+    let ds = zoo.dataset(DatasetKind::Mnist).clone();
+    let setup = dx_bench::setup_for(DatasetKind::Mnist, &ds);
+    let suite = ModelSuite {
+        models,
+        kind: setup.task,
+        hp: setup.hp,
+        constraint: setup.constraint,
+        coverage: CoverageConfig::scaled(0.25),
+    };
+    let mut r = rng::rng(0xca3b);
+    let picks = rng::sample_without_replacement(&mut r, ds.test_len(), n_seeds.min(ds.test_len()));
+    (suite, gather_rows(&ds.test_x, &picks))
+}
+
+fn main() {
+    // Child mode: this binary re-exec'd as a fleet worker.
+    if let Ok(addr) = std::env::var("DX_DIST_WORKER") {
+        let (suite, _) = suite_and_seeds(1);
+        run_worker(addr.as_str(), suite, LABEL, WorkerConfig::default())
+            .expect("bench worker failed");
+        return;
+    }
+
+    let mut out = BenchOut::new("dist_scaling");
+    let n_seeds = dx_bench::seed_count(24);
+    let (suite, seeds) = suite_and_seeds(n_seeds);
+    let rounds = 3;
+    let batch = 2 * seeds.shape()[0] / 3;
+    let budget = rounds * batch;
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    out.line("Distributed scaling: MNIST test-scale trio, one logical campaign");
+    out.line(format!(
+        "{} initial seeds, {budget} seed-step budget ({rounds} rounds x {batch}), {cores} core(s) available",
+        seeds.shape()[0]
+    ));
+    out.line(format!(
+        "{:<16} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "arm", "seeds/s", "diffs/s", "diffs", "cover%", "speedup"
+    ));
+
+    // Baseline: the in-process single-worker pool on the same budget.
+    let mut pool = Campaign::new(
+        suite.clone(),
+        &seeds,
+        CampaignConfig {
+            workers: 1,
+            epochs: rounds,
+            batch_per_epoch: batch,
+            seed: 42,
+            ..Default::default()
+        },
+    );
+    pool.run().expect("no checkpoint dir configured, run cannot fail");
+    let pool_sps = pool.report().seeds_per_sec();
+    out.line(format!(
+        "{:<16} {:>9.2} {:>9.2} {:>9} {:>8.1}% {:>8.2}x",
+        "pool (1 thread)",
+        pool_sps,
+        pool.report().diffs_per_sec(),
+        pool.report().total_diffs(),
+        100.0 * pool.mean_coverage(),
+        1.0,
+    ));
+
+    let mut baseline = None;
+    for workers in [1usize, 2, 4] {
+        let coordinator = Coordinator::new(
+            &suite,
+            LABEL,
+            &seeds,
+            CoordinatorConfig {
+                max_steps: Some(budget),
+                batch_per_round: batch,
+                lease_size: 4,
+                lease_timeout: Duration::from_secs(60),
+                seed: 42,
+                ..Default::default()
+            },
+        );
+        let listener = std::net::TcpListener::bind(("127.0.0.1", 0)).expect("bind");
+        let addr = listener.local_addr().expect("local addr").to_string();
+        let exe = std::env::current_exe().expect("current exe");
+        let children: Vec<_> = (0..workers)
+            .map(|_| {
+                std::process::Command::new(&exe)
+                    .env("DX_DIST_WORKER", &addr)
+                    .env("DX_SCALE", "test")
+                    .stdout(std::process::Stdio::null())
+                    .spawn()
+                    .expect("spawn bench worker")
+            })
+            .collect();
+        let report = coordinator.serve(listener).expect("coordinator serve");
+        for mut child in children {
+            let _ = child.wait();
+        }
+        let sps = report.report.seeds_per_sec();
+        let merged = report.coverage.iter().sum::<f32>() / report.coverage.len() as f32;
+        let baseline_sps = *baseline.get_or_insert(sps);
+        out.line(format!(
+            "{:<16} {:>9.2} {:>9.2} {:>9} {:>8.1}% {:>8.2}x",
+            format!("dist ({workers} proc)"),
+            sps,
+            report.report.diffs_per_sec(),
+            report.report.total_diffs(),
+            100.0 * merged,
+            sps / baseline_sps,
+        ));
+    }
+}

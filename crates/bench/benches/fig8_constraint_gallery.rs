@@ -33,10 +33,7 @@ fn main() {
         let shape = ds.sample_shape().to_vec();
         let constraints: [(&str, Constraint); 3] = [
             ("lighting", Constraint::Lighting),
-            (
-                "single_rect",
-                Constraint::SingleRect { h: shape[1] / 4, w: shape[2] / 4 },
-            ),
+            ("single_rect", Constraint::SingleRect { h: shape[1] / 4, w: shape[2] / 4 }),
             ("multi_rects", Constraint::MultiRects { size: 3, count: 5 }),
         ];
         for (name, constraint) in constraints {
@@ -74,11 +71,7 @@ fn main() {
                 }
             }
             if found == 0 {
-                out.line(format!(
-                    "{:<10} {:<12} (no difference within 60 seeds)",
-                    kind.id(),
-                    name
-                ));
+                out.line(format!("{:<10} {:<12} (no difference within 60 seeds)", kind.id(), name));
             }
         }
     }

@@ -34,9 +34,7 @@ fn main() {
     let mut zoo = bench_zoo();
     let k = seed_count(30);
     let thresholds = [0.0f32, 0.25, 0.5, 0.75];
-    out.line(format!(
-        "Figure 9: neuron coverage vs threshold t, {k} inputs per method"
-    ));
+    out.line(format!("Figure 9: neuron coverage vs threshold t, {k} inputs per method"));
     for kind in DatasetKind::ALL {
         let models = zoo.trio(kind);
         let ds = zoo.dataset(kind).clone();
@@ -89,15 +87,8 @@ fn main() {
         };
 
         out.line("");
-        out.line(format!(
-            "{} ({} DeepXplore tests collected)",
-            kind.id(),
-            dx_inputs.len()
-        ));
-        out.line(format!(
-            "{:>6} {:>12} {:>12} {:>12}",
-            "t", "deepxplore", "adversarial", "random"
-        ));
+        out.line(format!("{} ({} DeepXplore tests collected)", kind.id(), dx_inputs.len()));
+        out.line(format!("{:>6} {:>12} {:>12} {:>12}", "t", "deepxplore", "adversarial", "random"));
         for &t in &thresholds {
             out.line(format!(
                 "{t:>6.2} {:>11.1}% {:>11.1}% {:>11.1}%",

@@ -40,9 +40,8 @@ fn main() {
         CoverageConfig::default(),
         33,
     );
-    let nines: Vec<usize> = (0..ds.test_len())
-        .filter(|&i| ds.test_labels.classes()[i] == 9)
-        .collect();
+    let nines: Vec<usize> =
+        (0..ds.test_len()).filter(|&i| ds.test_labels.classes()[i] == 9).collect();
     let mut error_inputs: Vec<Tensor> = Vec::new();
     for (i, &p) in nines.iter().enumerate() {
         let x = gather_rows(&ds.test_x, &[p]);
@@ -59,10 +58,7 @@ fn main() {
             }
         }
     }
-    out.line(format!(
-        "{} error-inducing inputs with the 9-vs-1 polarity",
-        error_inputs.len()
-    ));
+    out.line(format!("{} error-inducing inputs with the 9-vs-1 polarity", error_inputs.len()));
     if error_inputs.is_empty() {
         out.line("pollution did not change model behaviour at this scale; nothing to trace");
         return;

@@ -25,20 +25,14 @@ fn main() {
     let n_seeds = seed_count(25);
     let hp = Hyperparams { max_iters: 300, ..Hyperparams::image_defaults() };
 
-    let control = train_variant(lenet1_wider(0), &ds.train_x, &labels, base_samples, base_epochs, 42);
+    let control =
+        train_variant(lenet1_wider(0), &ds.train_x, &labels, base_samples, base_epochs, 42);
     let mut r = rng::rng(1212);
     let picks = rng::sample_without_replacement(&mut r, ds.test_len(), n_seeds.min(ds.test_len()));
     let seeds = gather_rows(&ds.test_x, &picks);
 
     let measure = |variant: &dx_nn::Network, tag: &str| -> String {
-        match mean_iterations_to_difference(
-            &control,
-            variant,
-            &seeds,
-            hp,
-            Constraint::Clip,
-            99,
-        ) {
+        match mean_iterations_to_difference(&control, variant, &seeds, hp, Constraint::Clip, 99) {
             Some(iters) => format!("{iters:>8.1}"),
             None => {
                 let _ = tag;
@@ -58,14 +52,8 @@ fn main() {
     out.line("training samples withheld:   0        1      100     1000");
     let mut cells = Vec::new();
     for &d in &[0usize, 1, 100, 1000] {
-        let v = train_variant(
-            lenet1_wider(0),
-            &ds.train_x,
-            &labels,
-            base_samples - d,
-            base_epochs,
-            42,
-        );
+        let v =
+            train_variant(lenet1_wider(0), &ds.train_x, &labels, base_samples - d, base_epochs, 42);
         cells.push(measure(&v, "samples"));
     }
     out.line(format!("mean iterations:          {}", cells.join(" ")));
@@ -75,14 +63,7 @@ fn main() {
     out.line("extra filters per layer:     0        1        2        3        4");
     let mut cells = Vec::new();
     for &d in &[0usize, 1, 2, 3, 4] {
-        let v = train_variant(
-            lenet1_wider(d),
-            &ds.train_x,
-            &labels,
-            base_samples,
-            base_epochs,
-            42,
-        );
+        let v = train_variant(lenet1_wider(d), &ds.train_x, &labels, base_samples, base_epochs, 42);
         cells.push(measure(&v, "filters"));
     }
     out.line(format!("mean iterations:          {}", cells.join(" ")));
@@ -92,14 +73,8 @@ fn main() {
     out.line("extra training epochs:       0        1        2        4");
     let mut cells = Vec::new();
     for &d in &[0usize, 1, 2, 4] {
-        let v = train_variant(
-            lenet1_wider(0),
-            &ds.train_x,
-            &labels,
-            base_samples,
-            base_epochs + d,
-            42,
-        );
+        let v =
+            train_variant(lenet1_wider(0), &ds.train_x, &labels, base_samples, base_epochs + d, 42);
         cells.push(measure(&v, "epochs"));
     }
     out.line(format!("mean iterations:          {}", cells.join(" ")));

@@ -49,10 +49,7 @@ fn main() {
         out.line(format!("input {shown} ({} features changed; top 3 shown)", changes.len()));
         out.line(format!("  {:<24} before  after", "feature"));
         for (i, before, after) in changes.iter().take(3) {
-            out.line(format!(
-                "  {:<24} {before:>6} {after:>6}",
-                ds.feature_names[*i]
-            ));
+            out.line(format!("  {:<24} {before:>6} {after:>6}", ds.feature_names[*i]));
         }
         out.line("");
         if shown == 2 {

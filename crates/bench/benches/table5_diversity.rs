@@ -19,24 +19,13 @@ struct Arm {
     diffs: usize,
 }
 
-fn run_arm(
-    zoo: &mut dx_models::Zoo,
-    lambda2: f32,
-    exp: u64,
-    n_seeds: usize,
-) -> Arm {
+fn run_arm(zoo: &mut dx_models::Zoo, lambda2: f32, exp: u64, n_seeds: usize) -> Arm {
     let models = zoo.trio(DatasetKind::Mnist);
     let ds = zoo.dataset(DatasetKind::Mnist).clone();
     let setup = setup_for(DatasetKind::Mnist, &ds);
     let hp = Hyperparams { lambda2, ..setup.hp };
-    let mut gen = Generator::new(
-        models,
-        setup.task,
-        hp,
-        setup.constraint,
-        CoverageConfig::scaled(0.25),
-        exp,
-    );
+    let mut gen =
+        Generator::new(models, setup.task, hp, setup.constraint, CoverageConfig::scaled(0.25), exp);
     let mut r = rng::rng(500 + exp);
     let picks = rng::sample_without_replacement(&mut r, ds.test_len(), n_seeds.min(ds.test_len()));
     let seeds = gather_rows(&ds.test_x, &picks);
@@ -49,11 +38,7 @@ fn run_arm(
         total_l1 += metrics::l1_distance(&t.input, &seed) * 255.0;
     }
     Arm {
-        diversity: if result.tests.is_empty() {
-            0.0
-        } else {
-            total_l1 / result.tests.len() as f32
-        },
+        diversity: if result.tests.is_empty() { 0.0 } else { total_l1 / result.tests.len() as f32 },
         nc: gen.mean_coverage(),
         diffs: result.stats.differences_found,
     }

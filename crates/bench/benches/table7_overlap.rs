@@ -47,11 +47,8 @@ fn main() {
     }
 
     // Unit granularity to echo the paper's 268-neuron LeNet-5 count.
-    let cfg = CoverageConfig {
-        threshold: 0.25,
-        scale_per_layer: true,
-        granularity: Granularity::Unit,
-    };
+    let cfg =
+        CoverageConfig { threshold: 0.25, scale_per_layer: true, granularity: Granularity::Unit };
     let total = CoverageTracker::for_network(&net, cfg).total();
     let (same_active, same_overlap) = pair_overlap_stats(&net, cfg, &same_pairs);
     let (diff_active, diff_overlap) = pair_overlap_stats(&net, cfg, &diff_pairs);

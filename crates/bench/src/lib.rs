@@ -32,8 +32,8 @@ impl BenchOut {
     pub fn new(name: &str) -> Self {
         let dir = results_dir();
         std::fs::create_dir_all(&dir).expect("creating bench_results/");
-        let file = File::create(dir.join(format!("{name}.txt")))
-            .expect("creating bench result file");
+        let file =
+            File::create(dir.join(format!("{name}.txt"))).expect("creating bench result file");
         Self { file }
     }
 
@@ -47,18 +47,13 @@ impl BenchOut {
 /// The directory bench results are written to (`bench_results/` at the
 /// workspace root, next to `Cargo.toml`).
 pub fn results_dir() -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("../..")
-        .join("bench_results")
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..").join("bench_results")
 }
 
 /// Number of seeds for generation experiments: `DX_SEEDS` or the given
 /// default (the paper's counterpart is 2,000).
 pub fn seed_count(default: usize) -> usize {
-    std::env::var("DX_SEEDS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
+    std::env::var("DX_SEEDS").ok().and_then(|v| v.parse().ok()).unwrap_or(default)
 }
 
 /// The bench zoo: full scale unless `DX_SCALE=test`.
@@ -82,11 +77,9 @@ pub struct Setup {
 /// metadata — feature scales and the manifest mask).
 pub fn setup_for(kind: DatasetKind, ds: &Dataset) -> Setup {
     let (task, hp, constraint) = match kind {
-        DatasetKind::Mnist | DatasetKind::Imagenet => (
-            TaskKind::Classification,
-            Hyperparams::image_defaults(),
-            Constraint::Lighting,
-        ),
+        DatasetKind::Mnist | DatasetKind::Imagenet => {
+            (TaskKind::Classification, Hyperparams::image_defaults(), Constraint::Lighting)
+        }
         DatasetKind::Driving => (
             TaskKind::Regression { direction_threshold: STEER_DIRECTION_THRESHOLD },
             Hyperparams::image_defaults(),

@@ -8,24 +8,30 @@
 //! | `stats.jsonl` | one epoch's statistics per line | append |
 //! | `diffs.jsonl` | one found difference per line, inputs inline | append |
 //! | `coverage.json` | per-model global covered-neuron bitmaps | atomic rewrite |
-//! | `meta.json` | epochs done, campaign seed, worker count | atomic rewrite |
+//! | `meta.json` | epochs done, campaign seed, workers, worker RNG states | atomic rewrite |
+//!
+//! (The distributed campaign adds a sixth, `dist.json`, for lease state —
+//! see `dx-dist`; this module ignores it, so a dist checkpoint resumes
+//! fine as a plain in-process campaign.)
 //!
 //! Stats and diffs are append-only between epochs, so only new lines are
 //! written (a line-count mismatch falls back to a full rewrite); the
 //! mutable files are written tmp-then-rename. Floats round-trip exactly
 //! (shortest-representation `Display`), so a resumed corpus is
-//! bit-identical to the checkpointed one.
+//! bit-identical to the checkpointed one. Value encodings live in
+//! [`crate::codec`], shared with the wire protocol.
 
 use std::fs;
 use std::io::{self, Write as _};
 use std::path::Path;
 
-use deepxplore::diff::Prediction;
-use dx_tensor::Tensor;
-
+use crate::codec::{
+    bad, diff_from_json, diff_json, entry_from_json, entry_json, epoch_from_json, epoch_json,
+    field_usize, parse_doc, rng_state_from_json, rng_state_json, u64_from_json, u64_json,
+};
 use crate::corpus::{Corpus, CorpusEntry};
 use crate::engine::FoundDiff;
-use crate::json::{build, parse, Json};
+use crate::json::{build, Json};
 use crate::report::{CampaignReport, EpochStats};
 
 /// Campaign-level checkpoint metadata.
@@ -37,6 +43,10 @@ pub struct Meta {
     pub campaign_seed: u64,
     /// Worker count the campaign ran with.
     pub workers: usize,
+    /// Per-worker generator RNG state at checkpoint time, in worker order.
+    /// Empty when unknown (older checkpoints); a resume then re-derives
+    /// the streams from the master seed instead of continuing them.
+    pub worker_rng: Vec<[u64; 4]>,
 }
 
 /// Everything a checkpoint directory holds, parsed.
@@ -54,6 +64,8 @@ pub struct CampaignState {
     pub epochs_done: usize,
     /// The campaign's master seed.
     pub campaign_seed: u64,
+    /// Per-worker generator RNG states (empty in older checkpoints).
+    pub worker_rng: Vec<[u64; 4]>,
 }
 
 /// Writes a full campaign checkpoint into `dir`.
@@ -91,14 +103,19 @@ pub fn save(
     );
     let coverage_json = build::obj(vec![("version", build::int(1)), ("masks", masks)]);
     write_atomic(&dir.join("coverage.json"), &(coverage_json.to_string() + "\n"))?;
-    let meta_json = build::obj(vec![
-        ("version", build::int(1)),
+    let mut meta_fields = vec![
+        ("version", build::int(2)),
         ("epochs_done", build::int(meta.epochs_done)),
         // As a string: JSON numbers go through f64, which cannot represent
         // u64 seeds above 2^53 exactly.
-        ("campaign_seed", build::str(&meta.campaign_seed.to_string())),
+        ("campaign_seed", u64_json(meta.campaign_seed)),
         ("workers", build::int(meta.workers)),
-    ]);
+    ];
+    if !meta.worker_rng.is_empty() {
+        meta_fields
+            .push(("worker_rng", Json::Arr(meta.worker_rng.iter().map(rng_state_json).collect())));
+    }
+    let meta_json = build::obj(meta_fields);
     write_atomic(&dir.join("meta.json"), &(meta_json.to_string() + "\n"))
 }
 
@@ -173,6 +190,15 @@ pub fn load(dir: &Path) -> io::Result<CampaignState> {
             )
         }
     };
+    let worker_rng = match meta.get("worker_rng") {
+        None | Some(Json::Null) => Vec::new(),
+        Some(states) => states
+            .as_arr()
+            .ok_or_else(|| bad("meta.worker_rng"))?
+            .iter()
+            .map(rng_state_from_json)
+            .collect::<io::Result<Vec<_>>>()?,
+    };
     Ok(CampaignState {
         corpus,
         epochs,
@@ -181,8 +207,9 @@ pub fn load(dir: &Path) -> io::Result<CampaignState> {
         epochs_done: field_usize(&meta, "epochs_done")?,
         campaign_seed: meta
             .get("campaign_seed")
-            .and_then(|v| v.as_str().and_then(|s| s.parse().ok()).or_else(|| v.as_u64()))
+            .and_then(u64_from_json)
             .ok_or_else(|| bad("meta.campaign_seed"))?,
+        worker_rng,
     })
 }
 
@@ -195,7 +222,10 @@ fn jsonl<'a>(lines: impl Iterator<Item = Json> + 'a) -> String {
     out
 }
 
-fn write_atomic(path: &Path, contents: &str) -> io::Result<()> {
+/// Writes a file tmp-then-rename with an fsync, so concurrent readers (and
+/// crashes) never observe a partial document. Shared with `dx-dist`'s
+/// lease-state file.
+pub fn write_atomic(path: &Path, contents: &str) -> io::Result<()> {
     let tmp = path.with_extension("tmp");
     {
         let mut f = fs::File::create(&tmp)?;
@@ -206,169 +236,14 @@ fn write_atomic(path: &Path, contents: &str) -> io::Result<()> {
 }
 
 fn read_jsonl(path: &Path) -> io::Result<Vec<Json>> {
-    fs::read_to_string(path)?
-        .lines()
-        .filter(|l| !l.trim().is_empty())
-        .map(parse_doc)
-        .collect()
-}
-
-fn parse_doc(text: &str) -> io::Result<Json> {
-    parse(text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
-}
-
-fn bad(what: &str) -> io::Error {
-    io::Error::new(io::ErrorKind::InvalidData, format!("checkpoint missing/invalid {what}"))
-}
-
-fn field_usize(v: &Json, key: &str) -> io::Result<usize> {
-    v.get(key).and_then(Json::as_usize).ok_or_else(|| bad(key))
-}
-
-fn field_f32(v: &Json, key: &str) -> io::Result<f32> {
-    v.get(key).and_then(Json::as_f32).ok_or_else(|| bad(key))
-}
-
-fn tensor_json(t: &Tensor) -> (Json, Json) {
-    (build::ints(t.shape()), build::f32s(t.data()))
-}
-
-fn tensor_from_json(v: &Json) -> io::Result<Tensor> {
-    let shape: Vec<usize> = v
-        .get("shape")
-        .and_then(Json::as_arr)
-        .ok_or_else(|| bad("shape"))?
-        .iter()
-        .map(|s| s.as_usize().ok_or_else(|| bad("shape element")))
-        .collect::<io::Result<_>>()?;
-    let data: Vec<f32> = v
-        .get("data")
-        .and_then(Json::as_arr)
-        .ok_or_else(|| bad("data"))?
-        .iter()
-        .map(|d| d.as_f32().ok_or_else(|| bad("data element")))
-        .collect::<io::Result<_>>()?;
-    if data.len() != shape.iter().product::<usize>() {
-        return Err(bad("tensor data length"));
-    }
-    Ok(Tensor::from_vec(data, &shape))
-}
-
-fn entry_json(e: &CorpusEntry) -> Json {
-    let (shape, data) = tensor_json(&e.input);
-    build::obj(vec![
-        ("id", build::int(e.id)),
-        ("parent", build::opt_int(e.parent)),
-        ("depth", build::int(e.depth)),
-        ("energy", build::num(e.energy)),
-        ("times_fuzzed", build::int(e.times_fuzzed)),
-        ("diffs_found", build::int(e.diffs_found)),
-        ("new_coverage", build::int(e.new_coverage)),
-        ("exhausted", Json::Bool(e.exhausted)),
-        ("shape", shape),
-        ("data", data),
-    ])
-}
-
-fn entry_from_json(v: &Json) -> io::Result<CorpusEntry> {
-    Ok(CorpusEntry {
-        id: field_usize(v, "id")?,
-        parent: match v.get("parent") {
-            Some(Json::Null) | None => None,
-            Some(p) => Some(p.as_usize().ok_or_else(|| bad("parent"))?),
-        },
-        depth: field_usize(v, "depth")?,
-        input: tensor_from_json(v)?,
-        energy: field_f32(v, "energy")?,
-        times_fuzzed: field_usize(v, "times_fuzzed")?,
-        diffs_found: field_usize(v, "diffs_found")?,
-        new_coverage: field_usize(v, "new_coverage")?,
-        exhausted: v.get("exhausted").and_then(Json::as_bool).unwrap_or(false),
-    })
-}
-
-fn epoch_json(e: &EpochStats) -> Json {
-    build::obj(vec![
-        ("epoch", build::int(e.epoch)),
-        ("seeds_run", build::int(e.seeds_run)),
-        ("diffs_found", build::int(e.diffs_found)),
-        ("iterations", build::int(e.iterations)),
-        ("newly_covered", build::int(e.newly_covered)),
-        ("mean_coverage", build::num(e.mean_coverage)),
-        ("corpus_len", build::int(e.corpus_len)),
-        ("elapsed_us", Json::Num(e.elapsed.as_micros() as f64)),
-        ("seeds_per_sec", Json::Num(e.seeds_per_sec())),
-        ("diffs_per_sec", Json::Num(e.diffs_per_sec())),
-    ])
-}
-
-fn epoch_from_json(v: &Json) -> io::Result<EpochStats> {
-    Ok(EpochStats {
-        epoch: field_usize(v, "epoch")?,
-        seeds_run: field_usize(v, "seeds_run")?,
-        diffs_found: field_usize(v, "diffs_found")?,
-        iterations: field_usize(v, "iterations")?,
-        newly_covered: field_usize(v, "newly_covered")?,
-        mean_coverage: field_f32(v, "mean_coverage")?,
-        corpus_len: field_usize(v, "corpus_len")?,
-        elapsed: std::time::Duration::from_micros(
-            v.get("elapsed_us").and_then(Json::as_u64).ok_or_else(|| bad("elapsed_us"))?,
-        ),
-    })
-}
-
-fn diff_json(d: &FoundDiff) -> Json {
-    let (shape, data) = tensor_json(&d.input);
-    let predictions = Json::Arr(
-        d.predictions
-            .iter()
-            .map(|p| match p {
-                Prediction::Class(c) => build::obj(vec![("class", build::int(*c))]),
-                Prediction::Value(x) => build::obj(vec![("value", build::num(*x))]),
-            })
-            .collect(),
-    );
-    build::obj(vec![
-        ("seed_id", build::int(d.seed_id)),
-        ("epoch", build::int(d.epoch)),
-        ("iterations", build::int(d.iterations)),
-        ("target_model", build::int(d.target_model)),
-        ("predictions", predictions),
-        ("shape", shape),
-        ("data", data),
-    ])
-}
-
-fn diff_from_json(v: &Json) -> io::Result<FoundDiff> {
-    let predictions = v
-        .get("predictions")
-        .and_then(Json::as_arr)
-        .ok_or_else(|| bad("predictions"))?
-        .iter()
-        .map(|p| {
-            if let Some(c) = p.get("class").and_then(Json::as_usize) {
-                Ok(Prediction::Class(c))
-            } else if let Some(x) = p.get("value").and_then(Json::as_f32) {
-                Ok(Prediction::Value(x))
-            } else {
-                Err(bad("prediction"))
-            }
-        })
-        .collect::<io::Result<Vec<_>>>()?;
-    Ok(FoundDiff {
-        seed_id: field_usize(v, "seed_id")?,
-        epoch: field_usize(v, "epoch")?,
-        input: tensor_from_json(v)?,
-        predictions,
-        iterations: field_usize(v, "iterations")?,
-        target_model: field_usize(v, "target_model")?,
-    })
+    fs::read_to_string(path)?.lines().filter(|l| !l.trim().is_empty()).map(parse_doc).collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::report::CampaignReport;
+    use deepxplore::diff::Prediction;
     use dx_tensor::rng;
     use std::time::Duration;
 
@@ -383,9 +258,7 @@ mod tests {
     }
 
     fn sample_state() -> (Corpus, CampaignReport, Vec<FoundDiff>, Meta) {
-        let seeds = (0..3)
-            .map(|i| rng::uniform(&mut rng::rng(i), &[1, 6], 0.0, 1.0))
-            .collect();
+        let seeds = (0..3).map(|i| rng::uniform(&mut rng::rng(i), &[1, 6], 0.0, 1.0)).collect();
         let mut corpus = Corpus::new(seeds, 64);
         let run = deepxplore::SeedRun {
             test: None,
@@ -394,7 +267,7 @@ mod tests {
             newly_covered: 2,
             corpus_candidate: Some(rng::uniform(&mut rng::rng(9), &[1, 6], 0.0, 1.0)),
         };
-        corpus.absorb(1, &run);
+        corpus.absorb(1, &run, 0.0);
         let report = CampaignReport {
             epochs: vec![EpochStats {
                 epoch: 0,
@@ -416,7 +289,12 @@ mod tests {
             iterations: 7,
             target_model: 1,
         }];
-        let meta = Meta { epochs_done: 1, campaign_seed: 0xfeed, workers: 2 };
+        let meta = Meta {
+            epochs_done: 1,
+            campaign_seed: 0xfeed,
+            workers: 2,
+            worker_rng: vec![[1, 2, 3, u64::MAX], [5, 6, 7, 8]],
+        };
         (corpus, report, diffs, meta)
     }
 
@@ -429,6 +307,7 @@ mod tests {
         assert_eq!(state.coverage, Some(sample_masks()));
         assert_eq!(state.epochs_done, 1);
         assert_eq!(state.campaign_seed, 0xfeed);
+        assert_eq!(state.worker_rng, meta.worker_rng);
         assert_eq!(state.corpus.len(), corpus.len());
         for (a, b) in state.corpus.iter().zip(corpus.entries()) {
             assert_eq!(a.id, b.id);
@@ -487,6 +366,19 @@ mod tests {
         fs::remove_file(dir.join("coverage.json")).unwrap();
         let state = load(&dir).unwrap();
         assert_eq!(state.coverage, None);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_tolerates_missing_worker_rng() {
+        // A v1 checkpoint (no worker_rng field) still loads; the resume
+        // path then re-derives streams from the master seed.
+        let dir = tmp_dir("no_rng");
+        let (corpus, report, diffs, mut meta) = sample_state();
+        meta.worker_rng = Vec::new();
+        save(&dir, &corpus, &report, &diffs, &sample_masks(), &meta, false).unwrap();
+        let state = load(&dir).unwrap();
+        assert!(state.worker_rng.is_empty());
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -1,0 +1,360 @@
+//! Shared JSON codecs for campaign values — tensors, corpus entries, seed
+//! runs, found diffs and epoch statistics.
+//!
+//! Extracted from the checkpoint writer so the distributed campaign
+//! (`dx-dist`) can put the exact same encodings on the wire: a checkpoint
+//! line and a wire payload for the same value are byte-identical, and both
+//! round-trip floats bit-for-bit (see [`crate::json`]).
+
+use std::io;
+
+use deepxplore::diff::Prediction;
+use deepxplore::generator::GeneratedTest;
+use deepxplore::SeedRun;
+use dx_tensor::Tensor;
+
+use crate::corpus::CorpusEntry;
+use crate::engine::FoundDiff;
+use crate::json::{build, parse, Json};
+use crate::report::EpochStats;
+
+/// An `InvalidData` error naming the missing or malformed field.
+pub fn bad(what: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("missing/invalid {what}"))
+}
+
+/// Parses one JSON document, mapping parse errors to `InvalidData`.
+pub fn parse_doc(text: &str) -> io::Result<Json> {
+    parse(text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+}
+
+/// Required `usize` field of an object.
+pub fn field_usize(v: &Json, key: &str) -> io::Result<usize> {
+    v.get(key).and_then(Json::as_usize).ok_or_else(|| bad(key))
+}
+
+/// Required `f32` field of an object.
+pub fn field_f32(v: &Json, key: &str) -> io::Result<f32> {
+    v.get(key).and_then(Json::as_f32).ok_or_else(|| bad(key))
+}
+
+/// A `u64` as a JSON string — JSON numbers go through `f64`, which cannot
+/// represent values above 2^53 exactly (seeds and RNG words can).
+pub fn u64_json(v: u64) -> Json {
+    build::str(&v.to_string())
+}
+
+/// Reads a `u64` written by [`u64_json`], also accepting a plain number
+/// (for hand-written or older documents).
+pub fn u64_from_json(v: &Json) -> Option<u64> {
+    v.as_str().and_then(|s| s.parse().ok()).or_else(|| v.as_u64())
+}
+
+/// An RNG state (four xoshiro words) as an array of decimal strings.
+pub fn rng_state_json(state: &[u64; 4]) -> Json {
+    Json::Arr(state.iter().map(|&w| u64_json(w)).collect())
+}
+
+/// Reads an RNG state written by [`rng_state_json`].
+pub fn rng_state_from_json(v: &Json) -> io::Result<[u64; 4]> {
+    let words = v.as_arr().ok_or_else(|| bad("rng state"))?;
+    if words.len() != 4 {
+        return Err(bad("rng state length"));
+    }
+    let mut out = [0u64; 4];
+    for (slot, w) in out.iter_mut().zip(words) {
+        *slot = u64_from_json(w).ok_or_else(|| bad("rng state word"))?;
+    }
+    Ok(out)
+}
+
+/// A tensor's `shape`/`data` fields, to inline into a containing object.
+pub fn tensor_fields(t: &Tensor) -> (Json, Json) {
+    (build::ints(t.shape()), build::f32s(t.data()))
+}
+
+/// A tensor as a standalone `{shape, data}` object.
+pub fn tensor_json(t: &Tensor) -> Json {
+    let (shape, data) = tensor_fields(t);
+    build::obj(vec![("shape", shape), ("data", data)])
+}
+
+/// Reads a tensor from an object carrying `shape` and `data` fields
+/// (standalone or inlined into a larger record).
+pub fn tensor_from_json(v: &Json) -> io::Result<Tensor> {
+    let shape: Vec<usize> = v
+        .get("shape")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| bad("shape"))?
+        .iter()
+        .map(|s| s.as_usize().ok_or_else(|| bad("shape element")))
+        .collect::<io::Result<_>>()?;
+    let data: Vec<f32> = v
+        .get("data")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| bad("data"))?
+        .iter()
+        .map(|d| d.as_f32().ok_or_else(|| bad("data element")))
+        .collect::<io::Result<_>>()?;
+    if data.len() != shape.iter().product::<usize>() {
+        return Err(bad("tensor data length"));
+    }
+    Ok(Tensor::from_vec(data, &shape))
+}
+
+/// One model prediction.
+pub fn prediction_json(p: &Prediction) -> Json {
+    match p {
+        Prediction::Class(c) => build::obj(vec![("class", build::int(*c))]),
+        Prediction::Value(x) => build::obj(vec![("value", build::num(*x))]),
+    }
+}
+
+/// Reads a prediction written by [`prediction_json`].
+pub fn prediction_from_json(p: &Json) -> io::Result<Prediction> {
+    if let Some(c) = p.get("class").and_then(Json::as_usize) {
+        Ok(Prediction::Class(c))
+    } else if let Some(x) = p.get("value").and_then(Json::as_f32) {
+        Ok(Prediction::Value(x))
+    } else {
+        Err(bad("prediction"))
+    }
+}
+
+fn predictions_json(ps: &[Prediction]) -> Json {
+    Json::Arr(ps.iter().map(prediction_json).collect())
+}
+
+fn predictions_from_json(v: &Json, key: &str) -> io::Result<Vec<Prediction>> {
+    v.get(key)
+        .and_then(Json::as_arr)
+        .ok_or_else(|| bad(key))?
+        .iter()
+        .map(prediction_from_json)
+        .collect()
+}
+
+/// One corpus entry, input inline.
+pub fn entry_json(e: &CorpusEntry) -> Json {
+    let (shape, data) = tensor_fields(&e.input);
+    build::obj(vec![
+        ("id", build::int(e.id)),
+        ("parent", build::opt_int(e.parent)),
+        ("depth", build::int(e.depth)),
+        ("energy", build::num(e.energy)),
+        ("times_fuzzed", build::int(e.times_fuzzed)),
+        ("diffs_found", build::int(e.diffs_found)),
+        ("new_coverage", build::int(e.new_coverage)),
+        ("exhausted", Json::Bool(e.exhausted)),
+        ("shape", shape),
+        ("data", data),
+    ])
+}
+
+/// Reads a corpus entry written by [`entry_json`].
+pub fn entry_from_json(v: &Json) -> io::Result<CorpusEntry> {
+    Ok(CorpusEntry {
+        id: field_usize(v, "id")?,
+        parent: match v.get("parent") {
+            Some(Json::Null) | None => None,
+            Some(p) => Some(p.as_usize().ok_or_else(|| bad("parent"))?),
+        },
+        depth: field_usize(v, "depth")?,
+        input: tensor_from_json(v)?,
+        energy: field_f32(v, "energy")?,
+        times_fuzzed: field_usize(v, "times_fuzzed")?,
+        diffs_found: field_usize(v, "diffs_found")?,
+        new_coverage: field_usize(v, "new_coverage")?,
+        exhausted: v.get("exhausted").and_then(Json::as_bool).unwrap_or(false),
+    })
+}
+
+/// One epoch's statistics.
+pub fn epoch_json(e: &EpochStats) -> Json {
+    build::obj(vec![
+        ("epoch", build::int(e.epoch)),
+        ("seeds_run", build::int(e.seeds_run)),
+        ("diffs_found", build::int(e.diffs_found)),
+        ("iterations", build::int(e.iterations)),
+        ("newly_covered", build::int(e.newly_covered)),
+        ("mean_coverage", build::num(e.mean_coverage)),
+        ("corpus_len", build::int(e.corpus_len)),
+        ("elapsed_us", Json::Num(e.elapsed.as_micros() as f64)),
+        ("seeds_per_sec", Json::Num(e.seeds_per_sec())),
+        ("diffs_per_sec", Json::Num(e.diffs_per_sec())),
+    ])
+}
+
+/// Reads epoch statistics written by [`epoch_json`].
+pub fn epoch_from_json(v: &Json) -> io::Result<EpochStats> {
+    Ok(EpochStats {
+        epoch: field_usize(v, "epoch")?,
+        seeds_run: field_usize(v, "seeds_run")?,
+        diffs_found: field_usize(v, "diffs_found")?,
+        iterations: field_usize(v, "iterations")?,
+        newly_covered: field_usize(v, "newly_covered")?,
+        mean_coverage: field_f32(v, "mean_coverage")?,
+        corpus_len: field_usize(v, "corpus_len")?,
+        elapsed: std::time::Duration::from_micros(
+            v.get("elapsed_us").and_then(Json::as_u64).ok_or_else(|| bad("elapsed_us"))?,
+        ),
+    })
+}
+
+/// One found difference, input inline.
+pub fn diff_json(d: &FoundDiff) -> Json {
+    let (shape, data) = tensor_fields(&d.input);
+    build::obj(vec![
+        ("seed_id", build::int(d.seed_id)),
+        ("epoch", build::int(d.epoch)),
+        ("iterations", build::int(d.iterations)),
+        ("target_model", build::int(d.target_model)),
+        ("predictions", predictions_json(&d.predictions)),
+        ("shape", shape),
+        ("data", data),
+    ])
+}
+
+/// Reads a found difference written by [`diff_json`].
+pub fn diff_from_json(v: &Json) -> io::Result<FoundDiff> {
+    Ok(FoundDiff {
+        seed_id: field_usize(v, "seed_id")?,
+        epoch: field_usize(v, "epoch")?,
+        input: tensor_from_json(v)?,
+        predictions: predictions_from_json(v, "predictions")?,
+        iterations: field_usize(v, "iterations")?,
+        target_model: field_usize(v, "target_model")?,
+    })
+}
+
+/// One generated difference-inducing test, input inline.
+pub fn generated_test_json(t: &GeneratedTest) -> Json {
+    let (shape, data) = tensor_fields(&t.input);
+    build::obj(vec![
+        ("seed_index", build::int(t.seed_index)),
+        ("iterations", build::int(t.iterations)),
+        ("target_model", build::int(t.target_model)),
+        ("predictions", predictions_json(&t.predictions)),
+        ("shape", shape),
+        ("data", data),
+    ])
+}
+
+/// Reads a generated test written by [`generated_test_json`].
+pub fn generated_test_from_json(v: &Json) -> io::Result<GeneratedTest> {
+    Ok(GeneratedTest {
+        seed_index: field_usize(v, "seed_index")?,
+        input: tensor_from_json(v)?,
+        iterations: field_usize(v, "iterations")?,
+        predictions: predictions_from_json(v, "predictions")?,
+        target_model: field_usize(v, "target_model")?,
+    })
+}
+
+/// One per-seed campaign step result — what a distributed worker reports
+/// back for each leased seed.
+pub fn seed_run_json(r: &SeedRun) -> Json {
+    build::obj(vec![
+        ("test", r.test.as_ref().map_or(Json::Null, generated_test_json)),
+        ("preexisting", Json::Bool(r.preexisting)),
+        ("iterations", build::int(r.iterations)),
+        ("newly_covered", build::int(r.newly_covered)),
+        ("candidate", r.corpus_candidate.as_ref().map_or(Json::Null, tensor_json)),
+    ])
+}
+
+/// Reads a seed run written by [`seed_run_json`].
+pub fn seed_run_from_json(v: &Json) -> io::Result<SeedRun> {
+    Ok(SeedRun {
+        test: match v.get("test") {
+            Some(Json::Null) | None => None,
+            Some(t) => Some(generated_test_from_json(t)?),
+        },
+        preexisting: v
+            .get("preexisting")
+            .and_then(Json::as_bool)
+            .ok_or_else(|| bad("preexisting"))?,
+        iterations: field_usize(v, "iterations")?,
+        newly_covered: field_usize(v, "newly_covered")?,
+        corpus_candidate: match v.get("candidate") {
+            Some(Json::Null) | None => None,
+            Some(t) => Some(tensor_from_json(t)?),
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dx_tensor::rng;
+
+    fn sample_test() -> GeneratedTest {
+        GeneratedTest {
+            seed_index: 3,
+            input: rng::uniform(&mut rng::rng(1), &[1, 5], 0.0, 1.0),
+            iterations: 9,
+            predictions: vec![Prediction::Class(1), Prediction::Class(4)],
+            target_model: 1,
+        }
+    }
+
+    #[test]
+    fn seed_run_round_trips() {
+        let run = SeedRun {
+            test: Some(sample_test()),
+            preexisting: false,
+            iterations: 9,
+            newly_covered: 5,
+            corpus_candidate: Some(rng::uniform(&mut rng::rng(2), &[1, 5], 0.0, 1.0)),
+        };
+        let back =
+            seed_run_from_json(&parse_doc(&seed_run_json(&run).to_string()).unwrap()).unwrap();
+        assert_eq!(back.iterations, 9);
+        assert_eq!(back.newly_covered, 5);
+        assert!(!back.preexisting);
+        let (t, bt) = (run.test.unwrap(), back.test.unwrap());
+        assert_eq!(t.input, bt.input);
+        assert_eq!(t.predictions, bt.predictions);
+        assert_eq!(run.corpus_candidate, back.corpus_candidate);
+    }
+
+    #[test]
+    fn empty_seed_run_round_trips() {
+        let run = SeedRun {
+            test: None,
+            preexisting: true,
+            iterations: 0,
+            newly_covered: 0,
+            corpus_candidate: None,
+        };
+        let back =
+            seed_run_from_json(&parse_doc(&seed_run_json(&run).to_string()).unwrap()).unwrap();
+        assert!(back.test.is_none());
+        assert!(back.preexisting);
+        assert!(back.corpus_candidate.is_none());
+    }
+
+    #[test]
+    fn u64_codec_is_exact_above_2_53() {
+        for v in [0u64, 1 << 53, u64::MAX, 0xfeed_beef_dead_cafe] {
+            assert_eq!(u64_from_json(&u64_json(v)), Some(v));
+        }
+        // Plain numbers are accepted too.
+        assert_eq!(u64_from_json(&Json::Num(42.0)), Some(42));
+    }
+
+    #[test]
+    fn rng_state_round_trips() {
+        let state = [u64::MAX, 0, 1 << 60, 0x1234_5678_9abc_def0];
+        let back = rng_state_from_json(&rng_state_json(&state)).unwrap();
+        assert_eq!(back, state);
+        assert!(rng_state_from_json(&Json::Arr(vec![u64_json(1)])).is_err());
+    }
+
+    #[test]
+    fn tensor_object_round_trips() {
+        let t = rng::uniform(&mut rng::rng(3), &[2, 3], -1.0, 1.0);
+        let back = tensor_from_json(&parse_doc(&tensor_json(&t).to_string()).unwrap()).unwrap();
+        assert_eq!(t, back);
+    }
+}

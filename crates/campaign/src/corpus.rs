@@ -55,6 +55,36 @@ mod energy {
     pub const CHILD_FRACTION: f32 = 0.9;
     /// Floor so no live entry ever reaches weight zero.
     pub const FLOOR: f32 = 0.05;
+    /// Cap on the rarity multiplier ([`super::EnergyModel::Rarity`]).
+    pub const RARITY_MAX: f32 = 8.0;
+}
+
+/// How scheduling energy responds to a step's outcome.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum EnergyModel {
+    /// DLFuzz-style: a fixed bonus per newly covered neuron or found
+    /// difference, multiplicative decay when a step yields nothing.
+    #[default]
+    Classic,
+    /// [`EnergyModel::Classic`], with the coverage bonus scaled by
+    /// global-union rarity: a neuron that is new to the merged union when
+    /// the union is already `c` saturated earns a `1/(1-c)` multiplier
+    /// (capped), so seeds that reach globally-rare neurons are mined
+    /// harder — the DeepGauge-flavored scheduling signal the merged
+    /// coverage view makes possible.
+    Rarity,
+}
+
+impl std::str::FromStr for EnergyModel {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "classic" => Ok(Self::Classic),
+            "rarity" => Ok(Self::Rarity),
+            other => Err(format!("unknown energy model `{other}` (classic|rarity)")),
+        }
+    }
 }
 
 /// The corpus: entries plus the scheduling state.
@@ -64,12 +94,18 @@ pub struct Corpus {
     next_id: usize,
     /// Corpus size cap; beyond it, barren non-initial entries are evicted.
     max_len: usize,
+    energy_model: EnergyModel,
 }
 
 impl Corpus {
     /// Creates a corpus from initial seed inputs (each batched `[1, ...]`).
     pub fn new(seeds: Vec<Tensor>, max_len: usize) -> Self {
-        let mut corpus = Self { entries: Vec::new(), next_id: 0, max_len: max_len.max(1) };
+        let mut corpus = Self {
+            entries: Vec::new(),
+            next_id: 0,
+            max_len: max_len.max(1),
+            energy_model: EnergyModel::Classic,
+        };
         for input in seeds {
             let id = corpus.next_id;
             corpus.next_id += 1;
@@ -91,7 +127,19 @@ impl Corpus {
     /// Rebuilds a corpus from checkpointed entries.
     pub fn from_entries(entries: Vec<CorpusEntry>, max_len: usize) -> Self {
         let next_id = entries.iter().map(|e| e.id + 1).max().unwrap_or(0);
-        Self { entries, next_id, max_len: max_len.max(1) }
+        Self { entries, next_id, max_len: max_len.max(1), energy_model: EnergyModel::Classic }
+    }
+
+    /// Sets the energy model (builder style; the default is
+    /// [`EnergyModel::Classic`]).
+    pub fn with_energy_model(mut self, model: EnergyModel) -> Self {
+        self.energy_model = model;
+        self
+    }
+
+    /// The energy model in use.
+    pub fn energy_model(&self) -> EnergyModel {
+        self.energy_model
     }
 
     /// All entries, in insertion order.
@@ -130,10 +178,22 @@ impl Corpus {
     /// Selects up to `batch` entry ids for one epoch, energy-proportionally
     /// without replacement. Deterministic given the RNG state.
     pub fn schedule(&self, batch: usize, rng: &mut Rng) -> Vec<usize> {
+        self.schedule_excluding(batch, rng, &[])
+    }
+
+    /// [`Corpus::schedule`], skipping `excluded` ids — the distributed
+    /// coordinator excludes seeds currently out on a lease so two workers
+    /// never fuzz the same entry concurrently.
+    pub fn schedule_excluding(
+        &self,
+        batch: usize,
+        rng: &mut Rng,
+        excluded: &[usize],
+    ) -> Vec<usize> {
         let mut pool: Vec<(usize, f32)> = self
             .entries
             .iter()
-            .filter(|e| !e.exhausted)
+            .filter(|e| !e.exhausted && !excluded.contains(&e.id))
             .map(|e| (e.id, Self::weight(e)))
             .collect();
         let mut picked = Vec::with_capacity(batch.min(pool.len()));
@@ -160,11 +220,22 @@ impl Corpus {
     /// scheduled entry's energy and statistics, and grafts the step's
     /// corpus candidate (if any) as a child. Returns the child's id.
     ///
+    /// `global_coverage` is the mean coverage of the merged global union
+    /// when the step ran; [`EnergyModel::Classic`] ignores it, while
+    /// [`EnergyModel::Rarity`] uses it to weight how rare the step's newly
+    /// covered neurons were. Pass `0.0` when no global view exists.
+    ///
     /// An unknown `id` is a no-op returning `None`: with the corpus at its
     /// size cap, an entry scheduled at the start of an epoch can be evicted
     /// by an earlier absorb in the same epoch before its own result lands.
-    pub fn absorb(&mut self, id: usize, run: &SeedRun) -> Option<usize> {
+    pub fn absorb(&mut self, id: usize, run: &SeedRun, global_coverage: f32) -> Option<usize> {
         let max_len = self.max_len;
+        let rarity_scale = match self.energy_model {
+            EnergyModel::Classic => 1.0,
+            EnergyModel::Rarity => (1.0
+                / (1.0 - global_coverage.clamp(0.0, 1.0)).max(f32::EPSILON))
+            .clamp(1.0, energy::RARITY_MAX),
+        };
         let entry = self.get_mut(id)?;
         entry.times_fuzzed += 1;
         entry.new_coverage += run.newly_covered;
@@ -183,7 +254,8 @@ impl Corpus {
         }
         if run.newly_covered > 0 {
             entry.energy += (run.newly_covered as f32 * energy::COVER_BONUS)
-                .min(energy::COVER_BONUS_CAP);
+                .min(energy::COVER_BONUS_CAP)
+                * rarity_scale;
             productive = true;
         }
         if !productive {
@@ -228,9 +300,8 @@ impl Corpus {
                 .enumerate()
                 .filter(|(_, e)| e.parent.is_some())
                 .min_by(|(_, a), (_, b)| {
-                    Self::weight(a)
-                        .total_cmp(&Self::weight(b))
-                        .then(b.id.cmp(&a.id)) // Tie-break: evict the newest.
+                    Self::weight(a).total_cmp(&Self::weight(b)).then(b.id.cmp(&a.id))
+                    // Tie-break: evict the newest.
                 })
                 .map(|(i, _)| i);
             match victim {
@@ -254,9 +325,7 @@ mod tests {
     use dx_tensor::rng;
 
     fn seed_tensors(n: usize) -> Vec<Tensor> {
-        (0..n)
-            .map(|i| rng::uniform(&mut rng::rng(i as u64), &[1, 4], 0.0, 1.0))
-            .collect()
+        (0..n).map(|i| rng::uniform(&mut rng::rng(i as u64), &[1, 4], 0.0, 1.0)).collect()
     }
 
     fn barren_run() -> SeedRun {
@@ -298,14 +367,56 @@ mod tests {
     }
 
     #[test]
+    fn schedule_excluding_skips_leased_ids() {
+        let corpus = Corpus::new(seed_tensors(5), 64);
+        let mut r = rng::rng(8);
+        for _ in 0..20 {
+            let picks = corpus.schedule_excluding(5, &mut r, &[1, 3]);
+            assert_eq!(picks.len(), 3, "only 3 schedulable: {picks:?}");
+            assert!(!picks.contains(&1) && !picks.contains(&3));
+        }
+    }
+
+    #[test]
+    fn rarity_energy_scales_with_global_saturation() {
+        let productive = SeedRun { newly_covered: 2, ..barren_run() };
+        let mut classic = Corpus::new(seed_tensors(1), 64);
+        let mut early = Corpus::new(seed_tensors(1), 64).with_energy_model(EnergyModel::Rarity);
+        let mut late = Corpus::new(seed_tensors(1), 64).with_energy_model(EnergyModel::Rarity);
+        classic.absorb(0, &productive, 0.9);
+        early.absorb(0, &productive, 0.0);
+        late.absorb(0, &productive, 0.9);
+        // Classic ignores the global view entirely; rarity at zero
+        // saturation matches it, and near-saturation finds earn more.
+        assert_eq!(classic.entries()[0].energy.to_bits(), early.entries()[0].energy.to_bits());
+        assert!(late.entries()[0].energy > early.entries()[0].energy);
+    }
+
+    #[test]
+    fn rarity_multiplier_is_capped() {
+        let productive = SeedRun { newly_covered: 100, ..barren_run() };
+        let mut c = Corpus::new(seed_tensors(1), 64).with_energy_model(EnergyModel::Rarity);
+        c.absorb(0, &productive, 1.0); // Would be an infinite multiplier uncapped.
+        assert!(c.entries()[0].energy.is_finite());
+        assert!(c.entries()[0].energy <= 1.0 + 0.4 * 8.0 + f32::EPSILON);
+    }
+
+    #[test]
+    fn energy_model_parses() {
+        assert_eq!("classic".parse::<EnergyModel>().unwrap(), EnergyModel::Classic);
+        assert_eq!("rarity".parse::<EnergyModel>().unwrap(), EnergyModel::Rarity);
+        assert!("dlfuzz".parse::<EnergyModel>().is_err());
+    }
+
+    #[test]
     fn absorb_raises_energy_on_progress_and_decays_barren() {
         let mut corpus = Corpus::new(seed_tensors(1), 64);
         let before = corpus.entries[0].energy;
         let productive = SeedRun { newly_covered: 3, ..barren_run() };
-        corpus.absorb(0, &productive);
+        corpus.absorb(0, &productive, 0.0);
         assert!(corpus.entries[0].energy > before);
         let raised = corpus.entries[0].energy;
-        corpus.absorb(0, &barren_run());
+        corpus.absorb(0, &barren_run(), 0.0);
         assert!(corpus.entries[0].energy < raised);
         assert_eq!(corpus.entries[0].times_fuzzed, 2);
     }
@@ -318,7 +429,7 @@ mod tests {
             corpus_candidate: Some(rng::uniform(&mut rng::rng(9), &[1, 4], 0.0, 1.0)),
             ..barren_run()
         };
-        let child = corpus.absorb(0, &run).expect("child grafted");
+        let child = corpus.absorb(0, &run, 0.0).expect("child grafted");
         assert_eq!(corpus.len(), 2);
         let c = corpus.get(child).unwrap();
         assert_eq!(c.parent, Some(0));
@@ -330,7 +441,7 @@ mod tests {
     fn preexisting_exhausts_entry() {
         let mut corpus = Corpus::new(seed_tensors(1), 64);
         let run = SeedRun { preexisting: true, iterations: 0, ..barren_run() };
-        corpus.absorb(0, &run);
+        corpus.absorb(0, &run, 0.0);
         assert!(corpus.entries[0].exhausted);
         assert!(corpus.all_exhausted());
         let mut r = rng::rng(3);
@@ -343,15 +454,10 @@ mod tests {
         for step in 0..6 {
             let run = SeedRun {
                 newly_covered: 1,
-                corpus_candidate: Some(rng::uniform(
-                    &mut rng::rng(100 + step),
-                    &[1, 4],
-                    0.0,
-                    1.0,
-                )),
+                corpus_candidate: Some(rng::uniform(&mut rng::rng(100 + step), &[1, 4], 0.0, 1.0)),
                 ..barren_run()
             };
-            corpus.absorb(step as usize % 3, &run);
+            corpus.absorb(step as usize % 3, &run, 0.0);
         }
         assert!(corpus.len() <= 4, "len {}", corpus.len());
         for id in 0..3 {
@@ -373,11 +479,12 @@ mod tests {
                     corpus_candidate: Some(rng::uniform(&mut rng::rng(5), &[1, 4], 0.0, 1.0)),
                     ..barren_run()
                 },
+                0.0,
             )
             .unwrap();
         // Simulate the child's eviction, then a result for it arriving.
         corpus.entries.retain(|e| e.id != child);
-        assert_eq!(corpus.absorb(child, &barren_run()), None);
+        assert_eq!(corpus.absorb(child, &barren_run(), 0.0), None);
         assert_eq!(corpus.len(), 1);
     }
 
@@ -389,7 +496,7 @@ mod tests {
             corpus_candidate: Some(rng::uniform(&mut rng::rng(7), &[1, 4], 0.0, 1.0)),
             ..barren_run()
         };
-        let child = corpus.absorb(1, &run).unwrap();
+        let child = corpus.absorb(1, &run, 0.0).unwrap();
         let reloaded = Corpus::from_entries(corpus.entries().to_vec(), 64);
         assert_eq!(reloaded.next_id, child + 1);
     }

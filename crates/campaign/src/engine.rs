@@ -25,7 +25,7 @@ use dx_nn::util::gather_rows;
 use dx_tensor::{rng, Tensor};
 
 use crate::checkpoint;
-use crate::corpus::Corpus;
+use crate::corpus::{Corpus, EnergyModel};
 use crate::report::{CampaignReport, EpochStats};
 
 /// The models under test plus the generation setup they share — everything
@@ -67,6 +67,8 @@ pub struct CampaignConfig {
     pub max_corpus: usize,
     /// Master RNG seed; scheduling and every worker derive from it.
     pub seed: u64,
+    /// How corpus energy responds to step outcomes.
+    pub energy: EnergyModel,
 }
 
 impl Default for CampaignConfig {
@@ -81,6 +83,7 @@ impl Default for CampaignConfig {
             merge_every: 4,
             max_corpus: 4096,
             seed: 42,
+            energy: EnergyModel::Classic,
         }
     }
 }
@@ -107,10 +110,12 @@ pub struct FoundDiff {
 /// Determinism: with `workers = 1` a campaign is a pure function of its
 /// configuration and initial seeds. With several workers, per-worker
 /// generation stays deterministic but the interleaving of coverage syncs
-/// (and therefore neuron picks) depends on thread timing. A resumed
-/// campaign re-derives worker RNG streams from scratch, so it is
-/// deterministic given `(config, checkpoint)` but not bit-identical to the
-/// uninterrupted run.
+/// (and therefore neuron picks) depends on thread timing. Checkpoints
+/// persist every worker's generator RNG state, so a resumed single-worker
+/// campaign is bit-identical to the uninterrupted run; resuming a
+/// checkpoint without RNG states (written before they were persisted)
+/// re-derives the streams from the master seed and is merely
+/// deterministic given `(config, checkpoint)`.
 pub struct Campaign {
     config: CampaignConfig,
     workers: Vec<Generator>,
@@ -135,8 +140,17 @@ impl Campaign {
     pub fn new(suite: ModelSuite, seeds: &Tensor, config: CampaignConfig) -> Self {
         assert!(seeds.shape()[0] > 0, "campaign needs at least one seed");
         let inputs = (0..seeds.shape()[0]).map(|i| gather_rows(seeds, &[i])).collect();
-        let corpus = Corpus::new(inputs, config.max_corpus);
-        Self::with_corpus(suite, config, corpus, CampaignReport::default(), Vec::new(), None, 0)
+        let corpus = Corpus::new(inputs, config.max_corpus).with_energy_model(config.energy);
+        Self::with_corpus(
+            suite,
+            config,
+            corpus,
+            CampaignReport::default(),
+            Vec::new(),
+            None,
+            0,
+            Vec::new(),
+        )
     }
 
     /// Resumes a campaign from the checkpoint in `config.checkpoint_dir`.
@@ -169,7 +183,8 @@ impl Campaign {
         // seed the campaign was started with, not whatever the new config
         // happens to carry.
         config.seed = state.campaign_seed;
-        let corpus = Corpus::from_entries(state.corpus, config.max_corpus);
+        let corpus =
+            Corpus::from_entries(state.corpus, config.max_corpus).with_energy_model(config.energy);
         let report = CampaignReport { epochs: state.epochs, workers: config.workers };
         Ok(Self::with_corpus(
             suite,
@@ -179,9 +194,11 @@ impl Campaign {
             state.diffs,
             state.coverage,
             state.epochs_done,
+            state.worker_rng,
         ))
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn with_corpus(
         suite: ModelSuite,
         config: CampaignConfig,
@@ -190,11 +207,12 @@ impl Campaign {
         diffs: Vec<FoundDiff>,
         coverage: Option<Vec<Vec<bool>>>,
         epochs_done: usize,
+        worker_rng: Vec<[u64; 4]>,
     ) -> Self {
         assert!(config.workers >= 1, "campaign needs at least one worker");
         assert!(config.epochs >= 1, "campaign needs at least one epoch");
         assert!(config.batch_per_epoch >= 1, "campaign needs a nonzero batch");
-        let workers: Vec<Generator> = (0..config.workers)
+        let mut workers: Vec<Generator> = (0..config.workers)
             .map(|w| {
                 Generator::new(
                     suite.models.clone(),
@@ -206,6 +224,13 @@ impl Campaign {
                 )
             })
             .collect();
+        if worker_rng.len() == workers.len() {
+            // Continue the checkpointed streams exactly instead of
+            // re-deriving them from the master seed.
+            for (w, state) in workers.iter_mut().zip(&worker_rng) {
+                w.set_rng_state(*state);
+            }
+        }
         let mut global = workers[0].trackers().to_vec();
         let masks_fit = coverage.as_ref().is_some_and(|masks| {
             masks.len() == global.len()
@@ -222,11 +247,8 @@ impl Campaign {
             // replaying the surviving corpus inputs through the metric.
             let mut replay = workers[0].trackers().to_vec();
             for entry in corpus.entries() {
-                for ((model, tracker), g) in suite
-                    .models
-                    .iter()
-                    .zip(replay.iter_mut())
-                    .zip(global.iter_mut())
+                for ((model, tracker), g) in
+                    suite.models.iter().zip(replay.iter_mut()).zip(global.iter_mut())
                 {
                     tracker.reset();
                     tracker.update(&model.forward(&entry.input));
@@ -338,9 +360,9 @@ impl Campaign {
             epochs_done: self.epochs_done,
             campaign_seed: self.config.seed,
             workers: self.config.workers,
+            worker_rng: self.workers.iter().map(Generator::rng_state).collect(),
         };
-        let masks: Vec<Vec<bool>> =
-            self.global.iter().map(|t| t.covered_mask().to_vec()).collect();
+        let masks: Vec<Vec<bool>> = self.global.iter().map(|t| t.covered_mask().to_vec()).collect();
         let append = self.checkpointed_dir.as_deref() == Some(dir);
         checkpoint::save(dir, &self.corpus, &self.report, &self.diffs, &masks, &meta, append)?;
         self.checkpointed_dir = Some(dir.to_path_buf());
@@ -352,7 +374,8 @@ impl Campaign {
         let started = Instant::now();
         // The epoch scheduler RNG derives from (campaign seed, epoch), so
         // scheduling is independent of where a resume happened.
-        let mut sched_rng = rng::rng(rng::derive_seed(self.config.seed, 0x5ced_0000 + epoch as u64));
+        let mut sched_rng =
+            rng::rng(rng::derive_seed(self.config.seed, 0x5ced_0000 + epoch as u64));
         let ids = self.corpus.schedule(self.config.batch_per_epoch, &mut sched_rng);
         let n_workers = self.workers.len();
         let mut assignments: Vec<Vec<(usize, Tensor)>> = vec![Vec::new(); n_workers];
@@ -387,10 +410,7 @@ impl Campaign {
                     })
                 })
                 .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("campaign worker panicked"))
-                .collect()
+            handles.into_iter().map(|h| h.join().expect("campaign worker panicked")).collect()
         });
         self.global = global.into_inner().expect("coverage lock");
         // Fold results back in scheduling order (round-robin inverse), so
@@ -400,6 +420,9 @@ impl Campaign {
             per_worker.into_iter().map(Vec::into_iter).collect();
         let mut diffs_found = 0;
         let mut iterations = 0;
+        // The rarity energy model credits steps against the union as it
+        // stood when they ran (one epoch's granularity).
+        let global_coverage = self.mean_coverage();
         for i in 0..ids.len() {
             let (id, run) = cursors[i % n_workers].next().expect("one result per job");
             iterations += run.iterations;
@@ -415,7 +438,7 @@ impl Campaign {
                     target_model: test.target_model,
                 });
             }
-            self.corpus.absorb(id, &run);
+            self.corpus.absorb(id, &run, global_coverage);
         }
         let covered_after: usize = self.global.iter().map(|t| t.covered_count()).sum();
         self.report.epochs.push(EpochStats {

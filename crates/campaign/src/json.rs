@@ -356,9 +356,8 @@ impl<'a> Parser<'a> {
                             if self.pos + 5 > self.bytes.len() {
                                 return Err(self.err("truncated \\u escape"));
                             }
-                            let hex =
-                                std::str::from_utf8(&self.bytes[self.pos + 1..self.pos + 5])
-                                    .map_err(|_| self.err("bad \\u escape"))?;
+                            let hex = std::str::from_utf8(&self.bytes[self.pos + 1..self.pos + 5])
+                                .map_err(|_| self.err("bad \\u escape"))?;
                             let code = u32::from_str_radix(hex, 16)
                                 .map_err(|_| self.err("bad \\u escape"))?;
                             // Surrogate pairs are not needed by our own
@@ -391,9 +390,7 @@ impl<'a> Parser<'a> {
             self.pos += 1;
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
-        text.parse::<f64>()
-            .map(Json::Num)
-            .map_err(|_| self.err(&format!("bad number `{text}`")))
+        text.parse::<f64>().map(Json::Num).map_err(|_| self.err(&format!("bad number `{text}`")))
     }
 }
 
@@ -446,5 +443,84 @@ mod tests {
     fn integers_emit_without_exponent() {
         assert_eq!(build::int(123456789).to_string(), "123456789");
         assert_eq!(Json::Num(2.5).to_string(), "2.5");
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        // Control characters, quotes, backslashes, tabs, multi-byte UTF-8.
+        let awkward = "a\"b\\c\nd\re\tf\u{1}g\u{1f}héllo 日本語 🦀 \\\"nested\\\"";
+        let text = Json::Str(awkward.to_string()).to_string();
+        assert_eq!(parse(&text).unwrap().as_str().unwrap(), awkward);
+        // Explicit escape forms parse to the same characters.
+        assert_eq!(
+            parse(r#""A\t\n\r\b\f\/\\\"""#).unwrap().as_str().unwrap(),
+            "A\t\n\r\u{8}\u{c}/\\\""
+        );
+        // A lone surrogate cannot be a char; it maps to U+FFFD.
+        assert_eq!(parse(r#""\ud800""#).unwrap().as_str().unwrap(), "\u{fffd}");
+    }
+
+    #[test]
+    fn control_characters_always_escape() {
+        let text = Json::Str("\u{0}\u{1f}".to_string()).to_string();
+        assert_eq!(text, "\"\\u0000\\u001f\"");
+    }
+
+    #[test]
+    fn deeply_nested_values_parse() {
+        let depth = 500;
+        let mut text = String::new();
+        for _ in 0..depth {
+            text.push_str("[{\"k\":");
+        }
+        text.push('1');
+        for _ in 0..depth {
+            text.push_str("}]");
+        }
+        let parsed = parse(&text).unwrap();
+        let mut v = &parsed;
+        for _ in 0..depth {
+            v = v.as_arr().unwrap()[0].get("k").unwrap();
+        }
+        assert_eq!(v.as_usize(), Some(1));
+    }
+
+    #[test]
+    fn every_truncation_of_a_document_is_rejected() {
+        let doc = r#"{"id":7,"e":-1.25e-3,"s":"a\"bA","a":[1,null,true],"o":{"k":false}}"#;
+        assert!(parse(doc).is_ok());
+        for cut in 1..doc.len() {
+            if !doc.is_char_boundary(cut) {
+                continue;
+            }
+            let prefix = &doc[..cut];
+            assert!(parse(prefix).is_err(), "truncated doc parsed: `{prefix}`");
+        }
+    }
+
+    #[test]
+    fn truncated_unicode_escape_is_rejected() {
+        assert!(parse(r#""\u00"#).is_err());
+        assert!(parse(r#""\u00zz""#).is_err());
+        assert!(parse(r#""\"#).is_err());
+    }
+
+    #[test]
+    fn rejects_more_malformed_documents() {
+        for bad in [
+            "{\"a\" 1}",
+            "{\"a\":}",
+            "{,}",
+            "[1 2]",
+            "tru",
+            "+1",
+            "01a",
+            "\u{7f}",
+            "{\"a\":1}}",
+            "--1",
+            "1e",
+        ] {
+            assert!(parse(bad).is_err(), "accepted malformed `{bad}`");
+        }
     }
 }

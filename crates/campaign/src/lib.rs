@@ -61,12 +61,13 @@
 #![warn(missing_docs)]
 
 pub mod checkpoint;
+pub mod codec;
 pub mod corpus;
 pub mod engine;
 pub mod json;
 pub mod report;
 
-pub use corpus::{Corpus, CorpusEntry};
+pub use corpus::{Corpus, CorpusEntry, EnergyModel};
 pub use engine::{Campaign, CampaignConfig, FoundDiff, ModelSuite};
 pub use report::{CampaignReport, EpochStats};
 
@@ -84,12 +85,7 @@ mod tests {
     fn classifier(seed: u64) -> Network {
         let mut n = Network::new(
             &[16],
-            vec![
-                Layer::dense(16, 14),
-                Layer::relu(),
-                Layer::dense(14, 3),
-                Layer::softmax(),
-            ],
+            vec![Layer::dense(16, 14), Layer::relu(), Layer::dense(14, 3), Layer::softmax()],
         );
         n.init_weights(&mut rng::rng(seed));
         n
@@ -219,6 +215,75 @@ mod tests {
         assert_eq!(resumed.report().epochs.len(), 4);
         assert!(resumed.diffs().len() >= diffs_before);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_is_bit_identical_to_uninterrupted_run() {
+        // Checkpoints persist per-worker generator RNG state, so a
+        // 2-epochs-then-resume-2 campaign must match a straight 4-epoch run
+        // exactly (single worker; multi-worker interleaving is timed).
+        let config = |epochs: usize, dir: &std::path::Path| CampaignConfig {
+            workers: 1,
+            epochs,
+            batch_per_epoch: 8,
+            checkpoint_dir: Some(dir.to_path_buf()),
+            seed: 9,
+            ..Default::default()
+        };
+        let dir_a = tmp_dir("bitident_straight");
+        let mut straight = Campaign::new(suite(80), &seed_batch(81, 10), config(4, &dir_a));
+        straight.run().unwrap();
+
+        let dir_b = tmp_dir("bitident_split");
+        let mut first = Campaign::new(suite(80), &seed_batch(81, 10), config(2, &dir_b));
+        first.run().unwrap();
+        let mut resumed = Campaign::resume(suite(80), config(2, &dir_b)).unwrap();
+        resumed.run().unwrap();
+
+        assert_eq!(resumed.epochs_done(), straight.epochs_done());
+        assert_eq!(resumed.coverage(), straight.coverage());
+        assert_eq!(resumed.diffs().len(), straight.diffs().len());
+        for (a, b) in resumed.diffs().iter().zip(straight.diffs()) {
+            assert_eq!(a.input, b.input);
+            assert_eq!(a.predictions, b.predictions);
+            assert_eq!(a.target_model, b.target_model);
+        }
+        assert_eq!(resumed.corpus().len(), straight.corpus().len());
+        for (a, b) in resumed.corpus().entries().iter().zip(straight.corpus().entries()) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.input, b.input);
+            assert_eq!(a.energy.to_bits(), b.energy.to_bits());
+            assert_eq!(a.times_fuzzed, b.times_fuzzed);
+        }
+        let _ = std::fs::remove_dir_all(&dir_a);
+        let _ = std::fs::remove_dir_all(&dir_b);
+    }
+
+    #[test]
+    fn rarity_energy_campaign_runs_and_is_deterministic() {
+        let run = || {
+            let mut campaign = Campaign::new(
+                suite(90),
+                &seed_batch(91, 10),
+                CampaignConfig {
+                    workers: 1,
+                    epochs: 3,
+                    batch_per_epoch: 8,
+                    seed: 3,
+                    energy: EnergyModel::Rarity,
+                    ..Default::default()
+                },
+            );
+            campaign.run().unwrap();
+            campaign
+        };
+        let a = run();
+        let b = run();
+        assert!(a.mean_coverage() > 0.0);
+        assert_eq!(a.corpus().len(), b.corpus().len());
+        for (ea, eb) in a.corpus().entries().iter().zip(b.corpus().entries()) {
+            assert_eq!(ea.energy.to_bits(), eb.energy.to_bits());
+        }
     }
 
     #[test]

@@ -40,9 +40,7 @@ impl Args {
             .cloned()
             .ok_or_else(|| ParseError("missing subcommand; try `help`".into()))?;
         if command.starts_with("--") {
-            return Err(ParseError(format!(
-                "expected a subcommand before {command}; try `help`"
-            )));
+            return Err(ParseError(format!("expected a subcommand before {command}; try `help`")));
         }
         let mut options = HashMap::new();
         let mut switches = Vec::new();
@@ -53,9 +51,9 @@ impl Args {
             if known_switches.contains(&key) {
                 switches.push(key.to_string());
             } else {
-                let value = it.next().ok_or_else(|| {
-                    ParseError(format!("option --{key} expects a value"))
-                })?;
+                let value = it
+                    .next()
+                    .ok_or_else(|| ParseError(format!("option --{key} expects a value")))?;
                 if options.insert(key.to_string(), value.clone()).is_some() {
                     return Err(ParseError(format!("option --{key} given twice")));
                 }
@@ -82,9 +80,9 @@ impl Args {
     pub fn get_num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ParseError> {
         match self.get(key) {
             None => Ok(default),
-            Some(v) => v
-                .parse()
-                .map_err(|_| ParseError(format!("option --{key}: cannot parse `{v}`"))),
+            Some(v) => {
+                v.parse().map_err(|_| ParseError(format!("option --{key}: cannot parse `{v}`")))
+            }
         }
     }
 
@@ -104,8 +102,8 @@ mod tests {
 
     #[test]
     fn parses_command_and_options() {
-        let a = Args::parse(&argv(&["generate", "--dataset", "mnist", "--seeds", "50"]), &[])
-            .unwrap();
+        let a =
+            Args::parse(&argv(&["generate", "--dataset", "mnist", "--seeds", "50"]), &[]).unwrap();
         assert_eq!(a.command, "generate");
         assert_eq!(a.get("dataset"), Some("mnist"));
         assert_eq!(a.get_num::<usize>("seeds", 0).unwrap(), 50);
@@ -126,9 +124,7 @@ mod tests {
 
     #[test]
     fn rejects_duplicate_option() {
-        assert!(
-            Args::parse(&argv(&["g", "--a", "1", "--a", "2"]), &[]).is_err()
-        );
+        assert!(Args::parse(&argv(&["g", "--a", "1", "--a", "2"]), &[]).is_err());
     }
 
     #[test]

@@ -25,6 +25,9 @@ COMMANDS:
     train       Train (or load) zoo models, warming the weight cache.
     generate    Grow difference-inducing inputs for a dataset's model trio.
     campaign    Run a persistent coverage-guided fuzzing campaign.
+    coordinator Serve a distributed campaign: own the corpus, lease seeds.
+    worker      Join a distributed campaign as a fuzzing worker.
+    dist        Single-machine fleet: coordinator + N local worker processes.
     coverage    Measure neuron coverage of test inputs on a model.
     help        Show this message.
 
@@ -55,9 +58,34 @@ CAMPAIGN OPTIONS:
                            (with --checkpoint, fork it into the new dir).
     --target-coverage <p>  Stop once mean neuron coverage reaches p in [0,1].
     --max-corpus <N>       Corpus size cap (default: 4096).
+    --energy <classic|rarity>
+                           Corpus energy model; `rarity` weights newly
+                           covered neurons by global-union saturation.
     --rng <seed>           Campaign master seed (default: 42).
     (campaign also honors generate's --constraint/--lambda1/--lambda2/
      --step/--max-iters/--pick hyperparameter options.)
+
+COORDINATOR OPTIONS:
+    --listen <addr>        Bind address (default: 127.0.0.1:4787).
+    --steps <N>            Total seed-step budget; omit for unbounded.
+    --batch <N>            Steps per statistics round (default: 32).
+    --lease <N>            Max jobs per worker lease (default: 4).
+    --lease-timeout <secs> Requeue a silent lease after this (default: 30).
+    --seeds/--checkpoint/--resume/--duration/--target-coverage/
+    --max-corpus/--energy/--rng as for campaign. Type `drain` + Enter
+    on stdin for a graceful drain + final checkpoint; EOF alone is
+    ignored, so the coordinator can run detached.
+
+WORKER OPTIONS:
+    --connect <addr>       Coordinator address (required).
+    --lease <N>            Jobs requested per lease (default: 4).
+    --heartbeat-every <N>  Heartbeat before every N-th job (default: 1).
+    (Pass the same --dataset/--full/hyperparameter flags as the
+     coordinator; the suite fingerprint is verified at admission.)
+
+DIST OPTIONS:
+    --workers <N>          Local worker processes to spawn (default: 2).
+    (Plus all coordinator options; --listen defaults to an ephemeral port.)
 
 COVERAGE OPTIONS:
     --model <id>           Model id (default: the dataset's C1).
@@ -134,7 +162,11 @@ pub fn train(args: &Args) -> CmdResult {
     Ok(())
 }
 
-fn constraint_for(args: &Args, kind: DatasetKind, ds: &dx_datasets::Dataset) -> Result<Constraint, Box<dyn Error>> {
+fn constraint_for(
+    args: &Args,
+    kind: DatasetKind,
+    ds: &dx_datasets::Dataset,
+) -> Result<Constraint, Box<dyn Error>> {
     let domain_default = match kind {
         DatasetKind::Mnist | DatasetKind::Imagenet | DatasetKind::Driving => Constraint::Lighting,
         DatasetKind::Pdf => Constraint::PdfFeatures {
@@ -210,14 +242,8 @@ pub fn generate(args: &Args) -> CmdResult {
     let n_seeds: usize = args.get_num("seeds", 50)?;
     let rng_seed: u64 = args.get_num("rng", 42)?;
 
-    let mut gen = Generator::new(
-        models,
-        task,
-        hp,
-        constraint,
-        CoverageConfig::scaled(0.25),
-        rng_seed,
-    );
+    let mut gen =
+        Generator::new(models, task, hp, constraint, CoverageConfig::scaled(0.25), rng_seed);
     let mut r = rng::rng(rng_seed ^ 0x5eed);
     let picks = rng::sample_without_replacement(&mut r, ds.test_len(), n_seeds.min(ds.test_len()));
     let seeds = gather_rows(&ds.test_x, &picks);
@@ -248,7 +274,8 @@ pub fn generate(args: &Args) -> CmdResult {
             for (i, t) in result.tests.iter().enumerate() {
                 let shape = ds.sample_shape().to_vec();
                 let ext = if shape[0] >= 3 { "ppm" } else { "pgm" };
-                let seed_img = Image::from_tensor(gather_rows(&seeds, &[t.seed_index]).reshape(&shape));
+                let seed_img =
+                    Image::from_tensor(gather_rows(&seeds, &[t.seed_index]).reshape(&shape));
                 let gen_img = Image::from_tensor(t.input.reshape(&shape));
                 seed_img.save(&dir.join(format!("{}_{i}_seed.{ext}", kind.id())))?;
                 gen_img.save(&dir.join(format!("{}_{i}_diff.{ext}", kind.id())))?;
@@ -261,9 +288,14 @@ pub fn generate(args: &Args) -> CmdResult {
     Ok(())
 }
 
-/// `deepxplore campaign`.
-pub fn campaign(args: &Args) -> CmdResult {
-    let kind = single_dataset(args, "campaign")?;
+/// Builds the model suite a campaign/coordinator/worker runs on, plus the
+/// dataset and the suite label used as the distributed-admission
+/// fingerprint.
+fn build_suite(
+    args: &Args,
+    command: &str,
+) -> Result<(DatasetKind, dx_campaign::ModelSuite, dx_datasets::Dataset, String), Box<dyn Error>> {
+    let kind = single_dataset(args, command)?;
     let mut zoo = zoo_for(args);
     let models = zoo.trio(kind);
     let ds = zoo.dataset(kind).clone();
@@ -274,36 +306,62 @@ pub fn campaign(args: &Args) -> CmdResult {
         constraint: constraint_for(args, kind, &ds)?,
         coverage: CoverageConfig::scaled(0.25),
     };
+    let scale = if args.has("full") { "full" } else { "test" };
+    let label = format!("{}@{scale}", kind.id());
+    Ok((kind, suite, ds, label))
+}
+
+fn parse_duration(args: &Args) -> Result<Option<std::time::Duration>, Box<dyn Error>> {
+    match args.get("duration") {
+        None => Ok(None),
+        Some(v) => {
+            let secs =
+                v.parse::<f64>().map_err(|_| format!("option --duration: cannot parse `{v}`"))?;
+            Ok(Some(
+                std::time::Duration::try_from_secs_f64(secs).map_err(|_| {
+                    format!("option --duration: `{v}` is not a non-negative duration")
+                })?,
+            ))
+        }
+    }
+}
+
+fn parse_target_coverage(args: &Args) -> Result<Option<f32>, Box<dyn Error>> {
+    match args.get("target-coverage") {
+        None => Ok(None),
+        Some(v) => Ok(Some(
+            v.parse::<f32>()
+                .map_err(|_| format!("option --target-coverage: cannot parse `{v}`"))?,
+        )),
+    }
+}
+
+fn initial_seeds(
+    args: &Args,
+    ds: &dx_datasets::Dataset,
+) -> Result<dx_tensor::Tensor, Box<dyn Error>> {
+    let n_seeds: usize = args.get_num("seeds", 64)?;
+    let rng_seed: u64 = args.get_num("rng", 42)?;
+    let mut r = rng::rng(rng_seed ^ 0x5eed);
+    let picks = rng::sample_without_replacement(&mut r, ds.test_len(), n_seeds.min(ds.test_len()));
+    Ok(gather_rows(&ds.test_x, &picks))
+}
+
+/// `deepxplore campaign`.
+pub fn campaign(args: &Args) -> CmdResult {
+    let (_, suite, ds, _) = build_suite(args, "campaign")?;
     let resume_dir = args.get("resume").map(PathBuf::from);
-    let checkpoint_dir = args
-        .get("checkpoint")
-        .map(PathBuf::from)
-        .or_else(|| resume_dir.clone());
+    let checkpoint_dir = args.get("checkpoint").map(PathBuf::from).or_else(|| resume_dir.clone());
     let config = dx_campaign::CampaignConfig {
         workers: args.get_num("workers", 1)?,
         epochs: args.get_num("epochs", 8)?,
         batch_per_epoch: args.get_num("batch", 32)?,
-        duration: match args.get("duration") {
-            None => None,
-            Some(v) => {
-                let secs = v
-                    .parse::<f64>()
-                    .map_err(|_| format!("option --duration: cannot parse `{v}`"))?;
-                Some(std::time::Duration::try_from_secs_f64(secs).map_err(|_| {
-                    format!("option --duration: `{v}` is not a non-negative duration")
-                })?)
-            }
-        },
-        desired_coverage: match args.get("target-coverage") {
-            None => None,
-            Some(v) => Some(
-                v.parse::<f32>()
-                    .map_err(|_| format!("option --target-coverage: cannot parse `{v}`"))?,
-            ),
-        },
+        duration: parse_duration(args)?,
+        desired_coverage: parse_target_coverage(args)?,
         checkpoint_dir,
         seed: args.get_num("rng", 42)?,
         max_corpus: args.get_num("max-corpus", 4096)?,
+        energy: args.get_num("energy", dx_campaign::EnergyModel::Classic)?,
         ..Default::default()
     };
     for (flag, value) in [
@@ -332,15 +390,7 @@ pub fn campaign(args: &Args) -> CmdResult {
             );
             c
         }
-        None => {
-            let n_seeds: usize = args.get_num("seeds", 64)?;
-            let rng_seed: u64 = args.get_num("rng", 42)?;
-            let mut r = rng::rng(rng_seed ^ 0x5eed);
-            let picks =
-                rng::sample_without_replacement(&mut r, ds.test_len(), n_seeds.min(ds.test_len()));
-            let seeds = gather_rows(&ds.test_x, &picks);
-            dx_campaign::Campaign::new(suite, &seeds, config)
-        }
+        None => dx_campaign::Campaign::new(suite, &initial_seeds(args, &ds)?, config),
     };
     campaign.run()?;
     print!("{}", campaign.report().render());
@@ -361,6 +411,193 @@ pub fn campaign(args: &Args) -> CmdResult {
         let dir = dir.display();
         println!("checkpoint written to {dir} (resume with --resume {dir})");
     }
+    Ok(())
+}
+
+fn dist_config(args: &Args) -> Result<dx_dist::CoordinatorConfig, Box<dyn Error>> {
+    let cfg = dx_dist::CoordinatorConfig {
+        batch_per_round: args.get_num("batch", 32)?,
+        max_steps: match args.get("steps") {
+            None => None,
+            Some(v) => Some(
+                v.parse::<usize>().map_err(|_| format!("option --steps: cannot parse `{v}`"))?,
+            ),
+        },
+        duration: parse_duration(args)?,
+        target_coverage: parse_target_coverage(args)?,
+        lease_size: args.get_num("lease", 4)?,
+        lease_timeout: std::time::Duration::try_from_secs_f64(args.get_num("lease-timeout", 30.0)?)
+            .map_err(|_| "option --lease-timeout: expects a non-negative duration".to_string())?,
+        checkpoint_dir: args.get("checkpoint").or_else(|| args.get("resume")).map(PathBuf::from),
+        max_corpus: args.get_num("max-corpus", 4096)?,
+        seed: args.get_num("rng", 42)?,
+        energy: args.get_num("energy", dx_campaign::EnergyModel::Classic)?,
+        verbose: true,
+    };
+    for (flag, value) in [("batch", cfg.batch_per_round), ("lease", cfg.lease_size)] {
+        if value == 0 {
+            return Err(format!("option --{flag} must be at least 1").into());
+        }
+    }
+    Ok(cfg)
+}
+
+fn build_coordinator(
+    args: &Args,
+    suite: &dx_campaign::ModelSuite,
+    ds: &dx_datasets::Dataset,
+    label: &str,
+) -> Result<dx_dist::Coordinator, Box<dyn Error>> {
+    let cfg = dist_config(args)?;
+    Ok(match args.get("resume") {
+        Some(dir) => {
+            // With --checkpoint too, fork: load from the resume dir, write
+            // future checkpoints to the new dir (as campaign does).
+            let c =
+                dx_dist::Coordinator::resume_from(suite, label, std::path::Path::new(dir), cfg)?;
+            println!(
+                "resumed from {dir}: {} steps done, coverage {:.1}%",
+                c.steps_done(),
+                100.0 * c.mean_coverage()
+            );
+            c
+        }
+        None => dx_dist::Coordinator::new(suite, label, &initial_seeds(args, ds)?, cfg),
+    })
+}
+
+fn print_dist_report(report: &dx_dist::DistReport, checkpoint: Option<&str>) {
+    print!("{}", report.render());
+    println!(
+        "merged coverage per model: [{}]",
+        report.coverage.iter().map(|c| format!("{:.1}%", 100.0 * c)).collect::<Vec<_>>().join(", ")
+    );
+    if let Some(dir) = checkpoint {
+        println!("checkpoint written to {dir} (resume with --resume {dir})");
+    }
+}
+
+/// `deepxplore coordinator`.
+pub fn coordinator(args: &Args) -> CmdResult {
+    let (_, suite, ds, label) = build_suite(args, "coordinator")?;
+    let coordinator = build_coordinator(args, &suite, &ds, &label)?;
+    let listener = std::net::TcpListener::bind(args.get_or("listen", "127.0.0.1:4787"))?;
+    println!("coordinator serving `{label}` on {}", listener.local_addr()?);
+    println!("type `drain` + Enter for a graceful drain");
+    let handle = coordinator.drain_handle();
+    std::thread::spawn(move || {
+        let stdin = std::io::stdin();
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match std::io::BufRead::read_line(&mut stdin.lock(), &mut line) {
+                Ok(0) | Err(_) => return, // EOF: keep serving (daemon-style).
+                Ok(_) if line.trim() == "drain" => {
+                    eprintln!("coordinator: drain requested");
+                    handle.drain();
+                    return;
+                }
+                Ok(_) => {}
+            }
+        }
+    });
+    let report = coordinator.serve(listener)?;
+    print_dist_report(&report, args.get("checkpoint").or_else(|| args.get("resume")));
+    Ok(())
+}
+
+/// `deepxplore worker`.
+pub fn worker(args: &Args) -> CmdResult {
+    let (_, suite, _, label) = build_suite(args, "worker")?;
+    let addr = args.get("connect").ok_or("worker needs --connect <host:port>")?;
+    let cfg = dx_dist::WorkerConfig {
+        lease_size: args.get_num("lease", 4)?,
+        heartbeat_every: args.get_num("heartbeat-every", 1)?,
+        ..Default::default()
+    };
+    println!("worker joining `{label}` at {addr}");
+    let summary = dx_dist::run_worker(addr, suite, &label, cfg)?;
+    println!(
+        "worker {} done: {} steps, {} diffs, local coverage [{}]",
+        summary.slot,
+        summary.steps,
+        summary.diffs_found,
+        summary
+            .coverage
+            .iter()
+            .map(|c| format!("{:.1}%", 100.0 * c))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    Ok(())
+}
+
+/// `deepxplore dist`: coordinator plus N spawned local worker processes.
+pub fn dist(args: &Args) -> CmdResult {
+    // Building the suite here also warms the zoo weight cache, so the
+    // spawned workers load instead of racing to train.
+    let (_, suite, ds, label) = build_suite(args, "dist")?;
+    let n_workers: usize = args.get_num("workers", 2)?;
+    if n_workers == 0 {
+        return Err("option --workers must be at least 1".into());
+    }
+    let coordinator = build_coordinator(args, &suite, &ds, &label)?;
+    let listener = std::net::TcpListener::bind(args.get_or("listen", "127.0.0.1:0"))?;
+    let addr = listener.local_addr()?;
+    println!("dist campaign `{label}` on {addr} with {n_workers} local worker processes");
+    let exe = std::env::current_exe()?;
+    let mut forwarded: Vec<String> = vec![
+        "worker".into(),
+        "--connect".into(),
+        addr.to_string(),
+        "--dataset".into(),
+        args.get_or("dataset", "mnist").into(),
+    ];
+    if args.has("full") {
+        forwarded.push("--full".into());
+    }
+    for flag in [
+        "constraint",
+        "lambda1",
+        "lambda2",
+        "step",
+        "max-iters",
+        "pick",
+        "lease",
+        "heartbeat-every",
+    ] {
+        if let Some(v) = args.get(flag) {
+            forwarded.push(format!("--{flag}"));
+            forwarded.push(v.into());
+        }
+    }
+    let mut children = Vec::new();
+    for _ in 0..n_workers {
+        children.push(std::process::Command::new(&exe).args(&forwarded).spawn()?);
+    }
+    // Watch the fleet: if every worker process exits (crash, reject, OOM
+    // kill) the coordinator would otherwise serve an empty campaign
+    // forever — drain it instead so `dist` always terminates. The watcher
+    // also reaps the children once they are all gone.
+    let fleet_handle = coordinator.drain_handle();
+    let watcher = std::thread::spawn(move || loop {
+        let all_exited = children.iter_mut().all(|c| matches!(c.try_wait(), Ok(Some(_)) | Err(_)));
+        if all_exited {
+            fleet_handle.drain();
+            for mut child in children {
+                let _ = child.wait();
+            }
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(500));
+    });
+    let served = coordinator.serve(listener);
+    // On a clean finish the workers drain and the watcher sees them exit;
+    // on a serve error they hit connection failures and exit on their own.
+    // Either way the watcher terminates once the fleet is gone.
+    watcher.join().expect("fleet watcher panicked");
+    let report = served?;
+    print_dist_report(&report, args.get("checkpoint").or_else(|| args.get("resume")));
     Ok(())
 }
 

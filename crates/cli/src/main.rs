@@ -5,6 +5,9 @@
 //! deepxplore train    [--dataset X] [--full]    train / warm the weight cache
 //! deepxplore generate --dataset X [options]     grow difference-inducing inputs
 //! deepxplore campaign --dataset X [options]     run a coverage-guided fuzzing campaign
+//! deepxplore coordinator [options]              serve a distributed campaign
+//! deepxplore worker --connect HOST:PORT         join a distributed campaign
+//! deepxplore dist --workers N [options]         coordinator + N local worker processes
 //! deepxplore coverage --dataset X [options]     measure neuron coverage
 //! deepxplore help                               this text
 //! ```
@@ -31,6 +34,9 @@ fn main() {
         "train" => commands::train(&parsed),
         "generate" => commands::generate(&parsed),
         "campaign" => commands::campaign(&parsed),
+        "coordinator" => commands::coordinator(&parsed),
+        "worker" => commands::worker(&parsed),
+        "dist" => commands::dist(&parsed),
         "coverage" => commands::coverage(&parsed),
         "help" | "--help" | "-h" => {
             print!("{}", commands::HELP);

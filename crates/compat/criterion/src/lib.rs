@@ -49,11 +49,8 @@ impl Criterion {
         while b.samples.len() < self.sample_size {
             f(&mut b);
         }
-        let per_iter: Vec<f64> = b
-            .samples
-            .iter()
-            .map(|d| d.as_secs_f64() / b.iters_per_sample as f64)
-            .collect();
+        let per_iter: Vec<f64> =
+            b.samples.iter().map(|d| d.as_secs_f64() / b.iters_per_sample as f64).collect();
         let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
         let min = per_iter.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = per_iter.iter().cloned().fold(0.0f64, f64::max);

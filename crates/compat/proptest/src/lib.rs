@@ -305,8 +305,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "proptest case")]
     fn failing_property_panics_with_case() {
-        let mut runner =
-            crate::test_runner::TestRunner::new(ProptestConfig::with_cases(4));
+        let mut runner = crate::test_runner::TestRunner::new(ProptestConfig::with_cases(4));
         runner.run(&mut |_rng| {
             crate::prop_assert!(false, "always fails");
             #[allow(unreachable_code)]

@@ -111,6 +111,23 @@ pub mod rngs {
         s: [u64; 4],
     }
 
+    impl StdRng {
+        /// The raw generator state — four xoshiro256++ words.
+        ///
+        /// This is an extension over upstream `rand` (which exposes state
+        /// only through serde); campaign checkpoints persist it so a
+        /// resumed run continues the exact stream. A registry swap to the
+        /// real crate would replace these two methods with a serde shim.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a previously exported state.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            Self { s }
+        }
+    }
+
     fn splitmix64(state: &mut u64) -> u64 {
         *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
         let mut z = *state;
@@ -202,6 +219,18 @@ mod tests {
             }
         }
         assert!(top);
+    }
+
+    #[test]
+    fn state_round_trip_continues_the_stream() {
+        let mut a = StdRng::seed_from_u64(5);
+        for _ in 0..17 {
+            let _: u64 = a.gen_range(0..u64::MAX);
+        }
+        let mut b = StdRng::from_state(a.state());
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..u64::MAX), b.gen_range(0u64..u64::MAX));
+        }
     }
 
     #[test]

@@ -79,9 +79,8 @@ mod tests {
     fn trained_classifier(seed: u64) -> (Network, Tensor, Vec<usize>) {
         let mut r = rng::rng(seed);
         let x = rng::uniform(&mut r, &[200, 4], 0.0, 1.0);
-        let labels: Vec<usize> = (0..200)
-            .map(|i| usize::from(x.at(&[i, 0]) + x.at(&[i, 1]) > 1.0))
-            .collect();
+        let labels: Vec<usize> =
+            (0..200).map(|i| usize::from(x.at(&[i, 0]) + x.at(&[i, 1]) > 1.0)).collect();
         let mut net = Network::new(
             &[4],
             vec![Layer::dense(4, 12), Layer::relu(), Layer::dense(12, 2), Layer::softmax()],

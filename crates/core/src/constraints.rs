@@ -299,9 +299,8 @@ mod tests {
             }
         }
         let next = Constraint::SingleRect { h: 3, w: 3 }.step(&x, &g, 0.2);
-        let changed: Vec<usize> = (0..64)
-            .filter(|&i| (next.data()[i] - x.data()[i]).abs() > 1e-6)
-            .collect();
+        let changed: Vec<usize> =
+            (0..64).filter(|&i| (next.data()[i] - x.data()[i]).abs() > 1e-6).collect();
         assert!(!changed.is_empty());
         assert!(changed.len() <= 9, "changed {} pixels", changed.len());
         // All changes confined to the bottom-right region.

@@ -137,10 +137,7 @@ impl Generator {
                 "output shapes differ"
             );
         }
-        let trackers = models
-            .iter()
-            .map(|m| CoverageTracker::for_network(m, coverage))
-            .collect();
+        let trackers = models.iter().map(|m| CoverageTracker::for_network(m, coverage)).collect();
         Self { models, kind, hp, constraint, trackers, rng: rng::rng(seed) }
     }
 
@@ -152,9 +149,7 @@ impl Generator {
             .models
             .iter()
             .zip(per_model.iter())
-            .map(|(m, acts)| {
-                CoverageTracker::for_activations(m, acts, *self.trackers[0].config())
-            })
+            .map(|(m, acts)| CoverageTracker::for_activations(m, acts, *self.trackers[0].config()))
             .collect();
         self
     }
@@ -183,11 +178,7 @@ impl Generator {
     /// trackers.
     pub fn sync_coverage_into(&self, global: &mut [CoverageTracker]) -> usize {
         assert_eq!(global.len(), self.trackers.len(), "one global tracker per model");
-        global
-            .iter_mut()
-            .zip(self.trackers.iter())
-            .map(|(g, local)| g.merge(local))
-            .sum()
+        global.iter_mut().zip(self.trackers.iter()).map(|(g, local)| g.merge(local)).sum()
     }
 
     /// Adopts a global per-model coverage union into this generator, so it
@@ -202,6 +193,18 @@ impl Generator {
         for (local, g) in self.trackers.iter_mut().zip(global.iter()) {
             local.merge(g);
         }
+    }
+
+    /// Exports the generator's RNG state (neuron picks and target-model
+    /// draws) for checkpointing; restore with
+    /// [`Generator::set_rng_state`] to continue the exact stream.
+    pub fn rng_state(&self) -> [u64; 4] {
+        rng::rng_state(&self.rng)
+    }
+
+    /// Restores an RNG state exported by [`Generator::rng_state`].
+    pub fn set_rng_state(&mut self, state: [u64; 4]) {
+        self.rng = rng::rng_from_state(state);
     }
 
     /// Mean neuron coverage across models.
@@ -352,7 +355,11 @@ impl Generator {
     }
 
     /// Attempts to grow one difference-inducing input from one seed.
-    pub fn generate_from_seed(&mut self, seed_index: usize, seed: &Tensor) -> Option<GeneratedTest> {
+    pub fn generate_from_seed(
+        &mut self,
+        seed_index: usize,
+        seed: &Tensor,
+    ) -> Option<GeneratedTest> {
         let mut stats = RunStats::default();
         match self.grow(seed_index, seed, &mut stats) {
             SeedOutcome::Difference(t) => Some(t),
@@ -522,12 +529,7 @@ mod tests {
     fn mk_classifier(seed: u64) -> Network {
         let mut n = Network::new(
             &[20],
-            vec![
-                Layer::dense(20, 16),
-                Layer::relu(),
-                Layer::dense(16, 3),
-                Layer::softmax(),
-            ],
+            vec![Layer::dense(20, 16), Layer::relu(), Layer::dense(16, 3), Layer::softmax()],
         );
         n.init_weights(&mut rng::rng(seed));
         n
@@ -537,22 +539,13 @@ mod tests {
     /// testing assumes (models mostly agree, boundaries differ slightly).
     fn similar_trio(seed: u64) -> Vec<Network> {
         let base = mk_classifier(seed);
-        vec![
-            base.clone(),
-            base.perturbed(0.1, seed + 1),
-            base.perturbed(0.1, seed + 2),
-        ]
+        vec![base.clone(), base.perturbed(0.1, seed + 1), base.perturbed(0.1, seed + 2)]
     }
 
     fn mk_regressor(seed: u64) -> Network {
         let mut n = Network::new(
             &[20],
-            vec![
-                Layer::dense(20, 12),
-                Layer::tanh(),
-                Layer::dense(12, 1),
-                Layer::tanh(),
-            ],
+            vec![Layer::dense(20, 12), Layer::tanh(), Layer::dense(12, 1), Layer::tanh()],
         );
         n.init_weights(&mut rng::rng(seed));
         n
@@ -574,11 +567,7 @@ mod tests {
         let mut g = default_gen(7);
         let seeds = rng::uniform(&mut rng::rng(4), &[12, 20], 0.2, 0.8);
         let result = g.run(&seeds);
-        assert!(
-            result.stats.differences_found > 0,
-            "no differences found: {:?}",
-            result.stats
-        );
+        assert!(result.stats.differences_found > 0, "no differences found: {:?}", result.stats);
         // Every reported test really is a disagreement.
         for t in &result.tests {
             assert!(differs(&t.predictions, 0.0));
@@ -716,12 +705,7 @@ mod tests {
         let mut g = Generator::new(
             similar_trio(60),
             TaskKind::Classification,
-            Hyperparams {
-                step: 0.2,
-                lambda1: 2.0,
-                neurons_per_model: 4,
-                ..Default::default()
-            },
+            Hyperparams { step: 0.2, lambda1: 2.0, neurons_per_model: 4, ..Default::default() },
             Constraint::Clip,
             CoverageConfig::default(),
             61,

@@ -8,14 +8,12 @@ use proptest::prelude::*;
 
 /// Strategy: a batched image `[1, 1, 8, 8]` with pixels in `[0, 1]`.
 fn image() -> impl Strategy<Value = Tensor> {
-    proptest::collection::vec(0.0f32..1.0, 64)
-        .prop_map(|v| Tensor::from_vec(v, &[1, 1, 8, 8]))
+    proptest::collection::vec(0.0f32..1.0, 64).prop_map(|v| Tensor::from_vec(v, &[1, 1, 8, 8]))
 }
 
 /// Strategy: a gradient of the same shape, any sign.
 fn gradient() -> impl Strategy<Value = Tensor> {
-    proptest::collection::vec(-3.0f32..3.0, 64)
-        .prop_map(|v| Tensor::from_vec(v, &[1, 1, 8, 8]))
+    proptest::collection::vec(-3.0f32..3.0, 64).prop_map(|v| Tensor::from_vec(v, &[1, 1, 8, 8]))
 }
 
 /// Strategy: a binary feature vector `[1, 24]`.

@@ -192,9 +192,7 @@ mod tests {
         let n = net(5);
         let mut profile = NeuronProfile::new(&n, Granularity::Unit);
         let mut r = rng::rng(6);
-        let xs: Vec<_> = (0..10)
-            .map(|_| rng::uniform(&mut r, &[1, 6], 0.0, 1.0))
-            .collect();
+        let xs: Vec<_> = (0..10).map(|_| rng::uniform(&mut r, &[1, 6], 0.0, 1.0)).collect();
         for x in &xs {
             profile.observe(&n.forward(x));
         }

@@ -52,12 +52,7 @@ pub fn neuron_values(
     scale_per_layer: bool,
 ) -> Vec<f32> {
     let act = &pass.activations[activation];
-    assert_eq!(
-        act.shape()[0],
-        1,
-        "neuron extraction expects batch size 1, got {:?}",
-        act.shape()
-    );
+    assert_eq!(act.shape()[0], 1, "neuron extraction expects batch size 1, got {:?}", act.shape());
     let scaled;
     let act = if scale_per_layer {
         scaled = act.minmax_scaled();
@@ -219,11 +214,7 @@ mod tests {
             let mut minus = x.clone();
             minus.data_mut()[i] -= h;
             let fd = (value(&plus) - value(&minus)) / (2.0 * h);
-            assert!(
-                (fd - grad.data()[i]).abs() < 5e-3,
-                "fd {fd} vs analytic {}",
-                grad.data()[i]
-            );
+            assert!((fd - grad.data()[i]).abs() < 5e-3, "fd {fd} vs analytic {}", grad.data()[i]);
         }
     }
 }

@@ -52,10 +52,7 @@ pub fn pair_overlap_stats(
         activated_total += sa.len() + sb.len();
         overlap_total += overlap_count(&sa, &sb);
     }
-    (
-        activated_total as f32 / (2 * pairs.len()) as f32,
-        overlap_total as f32 / pairs.len() as f32,
-    )
+    (activated_total as f32 / (2 * pairs.len()) as f32, overlap_total as f32 / pairs.len() as f32)
 }
 
 #[cfg(test)]

@@ -20,11 +20,7 @@ pub struct CoverageConfig {
 
 impl Default for CoverageConfig {
     fn default() -> Self {
-        Self {
-            threshold: 0.0,
-            scale_per_layer: false,
-            granularity: Granularity::ChannelMean,
-        }
+        Self { threshold: 0.0, scale_per_layer: false, granularity: Granularity::ChannelMean }
     }
 }
 
@@ -78,12 +74,7 @@ impl CoverageTracker {
             bases.push(total);
             total += neuron_count(&shapes[a], config.granularity);
         }
-        Self {
-            config,
-            activations: activations.to_vec(),
-            bases,
-            covered: vec![false; total],
-        }
+        Self { config, activations: activations.to_vec(), bases, covered: vec![false; total] }
     }
 
     /// The coverage configuration.
@@ -120,7 +111,8 @@ impl CoverageTracker {
     pub fn activated_by(&self, pass: &ForwardPass) -> Vec<usize> {
         let mut out = Vec::new();
         for (slot, &a) in self.activations.iter().enumerate() {
-            let values = neuron_values(pass, a, self.config.granularity, self.config.scale_per_layer);
+            let values =
+                neuron_values(pass, a, self.config.granularity, self.config.scale_per_layer);
             let base = self.bases[slot];
             for (j, &v) in values.iter().enumerate() {
                 if v > self.config.threshold {
@@ -150,20 +142,12 @@ impl CoverageTracker {
             Ok(s) => s,
             Err(s) => s - 1,
         };
-        NeuronId {
-            activation: self.activations[slot],
-            index: flat - self.bases[slot],
-        }
+        NeuronId { activation: self.activations[slot], index: flat - self.bases[slot] }
     }
 
     /// All currently uncovered neurons.
     pub fn uncovered(&self) -> Vec<NeuronId> {
-        self.covered
-            .iter()
-            .enumerate()
-            .filter(|(_, &c)| !c)
-            .map(|(i, _)| self.id_of(i))
-            .collect()
+        self.covered.iter().enumerate().filter(|(_, &c)| !c).map(|(i, _)| self.id_of(i)).collect()
     }
 
     /// Picks a random uncovered neuron (Algorithm 1 line 33), or `None` when
@@ -176,13 +160,8 @@ impl CoverageTracker {
     /// "jointly maximize multiple neurons simultaneously" extension
     /// (§4.2); `k = 1` is Algorithm 1 as printed.
     pub fn pick_uncovered_k(&self, r: &mut Rng, k: usize) -> Vec<NeuronId> {
-        let mut uncovered: Vec<usize> = self
-            .covered
-            .iter()
-            .enumerate()
-            .filter(|(_, &c)| !c)
-            .map(|(i, _)| i)
-            .collect();
+        let mut uncovered: Vec<usize> =
+            self.covered.iter().enumerate().filter(|(_, &c)| !c).map(|(i, _)| i).collect();
         let take = k.min(uncovered.len());
         // Partial Fisher–Yates: shuffle only the prefix we need.
         for i in 0..take {
@@ -197,7 +176,8 @@ impl CoverageTracker {
     pub fn pick_uncovered_nearest(&self, pass: &ForwardPass) -> Option<NeuronId> {
         let mut best: Option<(usize, f32)> = None;
         for (slot, &a) in self.activations.iter().enumerate() {
-            let values = neuron_values(pass, a, self.config.granularity, self.config.scale_per_layer);
+            let values =
+                neuron_values(pass, a, self.config.granularity, self.config.scale_per_layer);
             let base = self.bases[slot];
             for (j, &v) in values.iter().enumerate() {
                 let flat = base + j;
@@ -253,17 +233,56 @@ impl CoverageTracker {
         &self.covered
     }
 
+    /// Flat offsets of all covered neurons, ascending.
+    pub fn covered_indices(&self) -> Vec<usize> {
+        self.covered.iter().enumerate().filter(|(_, &c)| c).map(|(i, _)| i).collect()
+    }
+
+    /// Flat offsets covered here but not in `base` — the sparse coverage
+    /// delta the distributed campaign ships over the wire instead of full
+    /// bitmaps. Applying the result to `base` via
+    /// [`CoverageTracker::apply_covered_indices`] makes `base`'s covered
+    /// set a superset of this tracker's.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the trackers are not [`CoverageTracker::compatible`].
+    pub fn diff_indices(&self, base: &CoverageTracker) -> Vec<usize> {
+        assert!(self.compatible(base), "cannot diff coverage trackers over different neuron sets");
+        self.covered
+            .iter()
+            .zip(base.covered.iter())
+            .enumerate()
+            .filter(|(_, (&mine, &theirs))| mine && !theirs)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Marks the given flat offsets covered; returns how many were newly
+    /// covered. The inverse of [`CoverageTracker::diff_indices`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range offset; wire handlers must validate
+    /// indices against [`CoverageTracker::total`] before applying.
+    pub fn apply_covered_indices(&mut self, indices: &[usize]) -> usize {
+        let mut newly = 0;
+        for &i in indices {
+            if !self.covered[i] {
+                self.covered[i] = true;
+                newly += 1;
+            }
+        }
+        newly
+    }
+
     /// Replaces the covered set with a previously exported mask.
     ///
     /// # Panics
     ///
     /// Panics when `mask` has the wrong length for this tracker.
     pub fn set_covered_mask(&mut self, mask: &[bool]) {
-        assert_eq!(
-            mask.len(),
-            self.covered.len(),
-            "coverage mask length mismatch"
-        );
+        assert_eq!(mask.len(), self.covered.len(), "coverage mask length mismatch");
         self.covered.copy_from_slice(mask);
     }
 
@@ -393,8 +412,7 @@ mod tests {
     fn restricted_activations_shrink_total() {
         let net = cnn(12);
         let full = CoverageTracker::for_network(&net, CoverageConfig::default());
-        let conv_only =
-            CoverageTracker::for_activations(&net, &[2, 3], CoverageConfig::default());
+        let conv_only = CoverageTracker::for_activations(&net, &[2, 3], CoverageConfig::default());
         assert!(conv_only.total() < full.total());
         assert_eq!(conv_only.total(), 6);
     }
@@ -417,8 +435,7 @@ mod tests {
                 max_v = max_v.max(v);
             }
         }
-        let picked_vals =
-            neuron_values(&pass, picked.activation, Granularity::ChannelMean, false);
+        let picked_vals = neuron_values(&pass, picked.activation, Granularity::ChannelMean, false);
         assert!((picked_vals[picked.index] - max_v).abs() < 1e-6);
     }
 
@@ -479,6 +496,40 @@ mod tests {
         b.copy_covered_from(&a);
         assert_eq!(b.covered_count(), a.covered_count());
         assert_eq!(b.merge(&a), 0);
+    }
+
+    #[test]
+    fn index_delta_round_trips() {
+        let net = cnn(38);
+        let mut local = CoverageTracker::for_network(&net, CoverageConfig::default());
+        let mut base = CoverageTracker::for_network(&net, CoverageConfig::default());
+        local.update(&net.forward(&rng::uniform(&mut rng::rng(39), &[1, 1, 6, 6], 0.3, 1.0)));
+        base.update(&net.forward(&rng::uniform(&mut rng::rng(40), &[1, 1, 6, 6], 0.0, 0.5)));
+        let delta = local.diff_indices(&base);
+        // Every delta index is covered locally and uncovered in the base.
+        for &i in &delta {
+            assert!(local.covered_mask()[i]);
+            assert!(!base.covered_mask()[i]);
+        }
+        let newly = base.apply_covered_indices(&delta);
+        assert_eq!(newly, delta.len());
+        // The base is now a superset: a second delta is empty, and merging
+        // local into base adds nothing.
+        assert!(local.diff_indices(&base).is_empty());
+        assert_eq!(base.merge(&local), 0);
+        // Applying again is idempotent.
+        assert_eq!(base.apply_covered_indices(&delta), 0);
+    }
+
+    #[test]
+    fn covered_indices_match_mask() {
+        let net = cnn(41);
+        let mut t = CoverageTracker::for_network(&net, CoverageConfig::default());
+        t.update(&net.forward(&rng::uniform(&mut rng::rng(42), &[1, 1, 6, 6], 0.2, 1.0)));
+        let idx = t.covered_indices();
+        assert_eq!(idx.len(), t.covered_count());
+        let empty = CoverageTracker::for_network(&net, CoverageConfig::default());
+        assert_eq!(t.diff_indices(&empty), idx);
     }
 
     #[test]

@@ -22,8 +22,7 @@ fn net(seed: u64) -> Network {
 }
 
 fn input() -> impl Strategy<Value = Tensor> {
-    proptest::collection::vec(0.0f32..1.0, 36)
-        .prop_map(|v| Tensor::from_vec(v, &[1, 1, 6, 6]))
+    proptest::collection::vec(0.0f32..1.0, 36).prop_map(|v| Tensor::from_vec(v, &[1, 1, 6, 6]))
 }
 
 proptest! {

@@ -109,12 +109,8 @@ pub fn pollute_labels(
     seed: u64,
 ) -> (Vec<usize>, Vec<usize>) {
     assert!((0.0..=1.0).contains(&fraction), "fraction {fraction} out of range");
-    let candidates: Vec<usize> = labels
-        .iter()
-        .enumerate()
-        .filter(|(_, &l)| l == from_class)
-        .map(|(i, _)| i)
-        .collect();
+    let candidates: Vec<usize> =
+        labels.iter().enumerate().filter(|(_, &l)| l == from_class).map(|(i, _)| i).collect();
     let k = (candidates.len() as f32 * fraction).round() as usize;
     let mut r = rng::rng(seed);
     let picked = rng::sample_without_replacement(&mut r, candidates.len(), k);

@@ -96,12 +96,7 @@ pub fn render_road(curvature: f32, height: usize, width: usize, r: &mut rng::Rng
     t
 }
 
-fn generate_split(
-    n: usize,
-    height: usize,
-    width: usize,
-    r: &mut rng::Rng,
-) -> (Tensor, Tensor) {
+fn generate_split(n: usize, height: usize, width: usize, r: &mut rng::Rng) -> (Tensor, Tensor) {
     let mut data = Vec::with_capacity(n * height * width);
     let mut angles = Vec::with_capacity(n);
     for _ in 0..n {
@@ -111,10 +106,7 @@ fn generate_split(
         // Steering follows curvature with small actuation noise.
         angles.push((curvature + rng::normal_one(r) * 0.02).clamp(-1.0, 1.0));
     }
-    (
-        Tensor::from_vec(data, &[n, 1, height, width]),
-        Tensor::from_vec(angles, &[n, 1]),
-    )
+    (Tensor::from_vec(data, &[n, 1, height, width]), Tensor::from_vec(angles, &[n, 1]))
 }
 
 /// Generates the driving dataset.
@@ -141,16 +133,12 @@ mod tests {
 
     #[test]
     fn shapes_and_ranges() {
-        let ds = generate(&DrivingConfig { n_train: 12, n_test: 6, seed: 0, height: 32, width: 64 });
+        let ds =
+            generate(&DrivingConfig { n_train: 12, n_test: 6, seed: 0, height: 32, width: 64 });
         assert_eq!(ds.train_x.shape(), &[12, 1, 32, 64]);
         assert_eq!(ds.train_labels.values().shape(), &[12, 1]);
         assert!(ds.train_x.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
-        assert!(ds
-            .train_labels
-            .values()
-            .data()
-            .iter()
-            .all(|&v| (-1.0..=1.0).contains(&v)));
+        assert!(ds.train_labels.values().data().iter().all(|&v| (-1.0..=1.0).contains(&v)));
     }
 
     #[test]
@@ -191,12 +179,16 @@ mod tests {
     fn frames_have_structure() {
         let t = render_road(0.0, 32, 64, &mut rng::rng(11));
         // Sky brighter than ground on average.
-        let sky: f32 = (0..6).flat_map(|y| (0..64).map(move |x| (y, x)))
+        let sky: f32 = (0..6)
+            .flat_map(|y| (0..64).map(move |x| (y, x)))
             .map(|(y, x)| t.at(&[0, y, x]))
-            .sum::<f32>() / (6.0 * 64.0);
-        let ground: f32 = (26..32).flat_map(|y| (0..8).map(move |x| (y, x)))
+            .sum::<f32>()
+            / (6.0 * 64.0);
+        let ground: f32 = (26..32)
+            .flat_map(|y| (0..8).map(move |x| (y, x)))
             .map(|(y, x)| t.at(&[0, y, x]))
-            .sum::<f32>() / (6.0 * 8.0);
+            .sum::<f32>()
+            / (6.0 * 8.0);
         assert!(sky > ground, "sky {sky} should exceed off-road ground {ground}");
     }
 }

@@ -48,11 +48,7 @@ pub const CLASS_NAMES: [&str; 10] = [
 ];
 
 fn random_color(r: &mut rng::Rng) -> [f32; 3] {
-    [
-        r.gen_range(0.1..1.0f32),
-        r.gen_range(0.1..1.0f32),
-        r.gen_range(0.1..1.0f32),
-    ]
+    [r.gen_range(0.1..1.0f32), r.gen_range(0.1..1.0f32), r.gen_range(0.1..1.0f32)]
 }
 
 fn put_rgb(img: &mut Image, y: usize, x: usize, c: [f32; 3]) {

@@ -88,14 +88,8 @@ fn digit_strokes(digit: usize) -> Vec<Polyline> {
             bezier((0.7, 0.08), (0.25, 0.3), (0.3, 0.62), 12),
             ellipse(0.5, 0.68, 0.22, 0.22, 20),
         ],
-        7 => vec![
-            vec![(0.2, 0.1), (0.8, 0.1)],
-            vec![(0.8, 0.1), (0.42, 0.92)],
-        ],
-        8 => vec![
-            ellipse(0.5, 0.3, 0.2, 0.2, 20),
-            ellipse(0.5, 0.7, 0.24, 0.22, 20),
-        ],
+        7 => vec![vec![(0.2, 0.1), (0.8, 0.1)], vec![(0.8, 0.1), (0.42, 0.92)]],
+        8 => vec![ellipse(0.5, 0.3, 0.2, 0.2, 20), ellipse(0.5, 0.7, 0.24, 0.22, 20)],
         9 => vec![
             ellipse(0.5, 0.32, 0.22, 0.22, 20),
             bezier((0.72, 0.34), (0.74, 0.7), (0.55, 0.92), 10),
@@ -136,10 +130,7 @@ pub fn render_digit(digit: usize, side: usize, r: &mut rng::Rng) -> Tensor {
     let scale = span * r.gen_range(0.85..1.1f32);
     let angle: f32 = r.gen_range(-0.18..0.18f32);
     let shear: f32 = r.gen_range(-0.15..0.15f32);
-    let (tx, ty) = (
-        margin + r.gen_range(-1.5..1.5f32),
-        margin + r.gen_range(-1.5..1.5f32),
-    );
+    let (tx, ty) = (margin + r.gen_range(-1.5..1.5f32), margin + r.gen_range(-1.5..1.5f32));
     let ink = r.gen_range(0.75..1.0f32);
     let thickness = if r.gen_range(0.0..1.0f32) < 0.6 { 2 } else { 1 };
     let (sin, cos) = angle.sin_cos();
@@ -147,10 +138,7 @@ pub fn render_digit(digit: usize, side: usize, r: &mut rng::Rng) -> Tensor {
         let (cx, cy) = (x - 0.5, y - 0.5);
         let xr = cx * cos - cy * sin + shear * cy;
         let yr = cx * sin + cy * cos;
-        (
-            (ty + (yr + 0.5) * scale).round() as i32,
-            (tx + (xr + 0.5) * scale).round() as i32,
-        )
+        ((ty + (yr + 0.5) * scale).round() as i32, (tx + (xr + 0.5) * scale).round() as i32)
     };
     for stroke in digit_strokes(digit) {
         for pair in stroke.windows(2) {

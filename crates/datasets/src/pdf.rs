@@ -69,33 +69,33 @@ fn feature_profiles() -> Vec<FeatureProfile> {
     // The closure borrows `profiles` for the fixed block only; the loop
     // after it uses `push_to` directly.
     {
-    let mut push = |name: &str, b: f32, m: f32, std: f32, max: f32| {
-        push_to(&mut profiles, name, b, m, std, max)
-    };
-    // Headline features from Table 4. The populations overlap substantially
-    // (large stds relative to the mean gap) so trained detectors land near
-    // the paper's 96% accuracy rather than saturating — saturated models
-    // have near-identical boundaries and starve differential testing.
-    push("size", 60.0, 14.0, 40.0, 400.0); // File size in KB: malware is tiny.
-    push("count_action", 0.6, 5.0, 3.5, 60.0); // Launch/OpenAction entries.
-    push("count_endobj", 40.0, 14.0, 24.0, 300.0);
-    push("count_font", 6.0, 1.5, 4.0, 60.0);
-    push("author_num", 8.0, 3.0, 5.0, 40.0); // Author string length.
-    push("count_javascript", 0.3, 2.5, 2.0, 30.0);
-    push("count_js", 0.3, 2.5, 2.0, 30.0);
-    push("count_page", 9.0, 2.5, 6.0, 120.0);
-    push("count_stream", 22.0, 9.0, 13.0, 200.0);
-    push("count_obj", 42.0, 15.0, 24.0, 300.0);
-    push("count_trailer", 1.2, 1.0, 0.8, 10.0);
-    push("count_xref", 1.5, 1.0, 0.9, 10.0);
-    push("count_startxref", 1.4, 1.1, 0.8, 10.0);
-    push("count_eof", 1.3, 1.1, 0.8, 10.0);
-    push("count_image_small", 3.0, 1.0, 2.8, 40.0);
-    push("count_image_med", 2.0, 0.6, 2.0, 30.0);
-    push("count_image_large", 0.8, 0.3, 1.0, 20.0);
-    push("producer_len", 14.0, 7.0, 9.0, 80.0);
-    push("title_num", 5.0, 2.0, 4.0, 40.0);
-    push("creator_len", 10.0, 5.0, 7.0, 60.0);
+        let mut push = |name: &str, b: f32, m: f32, std: f32, max: f32| {
+            push_to(&mut profiles, name, b, m, std, max)
+        };
+        // Headline features from Table 4. The populations overlap substantially
+        // (large stds relative to the mean gap) so trained detectors land near
+        // the paper's 96% accuracy rather than saturating — saturated models
+        // have near-identical boundaries and starve differential testing.
+        push("size", 60.0, 14.0, 40.0, 400.0); // File size in KB: malware is tiny.
+        push("count_action", 0.6, 5.0, 3.5, 60.0); // Launch/OpenAction entries.
+        push("count_endobj", 40.0, 14.0, 24.0, 300.0);
+        push("count_font", 6.0, 1.5, 4.0, 60.0);
+        push("author_num", 8.0, 3.0, 5.0, 40.0); // Author string length.
+        push("count_javascript", 0.3, 2.5, 2.0, 30.0);
+        push("count_js", 0.3, 2.5, 2.0, 30.0);
+        push("count_page", 9.0, 2.5, 6.0, 120.0);
+        push("count_stream", 22.0, 9.0, 13.0, 200.0);
+        push("count_obj", 42.0, 15.0, 24.0, 300.0);
+        push("count_trailer", 1.2, 1.0, 0.8, 10.0);
+        push("count_xref", 1.5, 1.0, 0.9, 10.0);
+        push("count_startxref", 1.4, 1.1, 0.8, 10.0);
+        push("count_eof", 1.3, 1.1, 0.8, 10.0);
+        push("count_image_small", 3.0, 1.0, 2.8, 40.0);
+        push("count_image_med", 2.0, 0.6, 2.0, 30.0);
+        push("count_image_large", 0.8, 0.3, 1.0, 20.0);
+        push("producer_len", 14.0, 7.0, 9.0, 80.0);
+        push("title_num", 5.0, 2.0, 4.0, 40.0);
+        push("creator_len", 10.0, 5.0, 7.0, 60.0);
     }
     // The remaining features are weakly informative structural counters.
     let groups = ["count_box", "count_objstm", "len_stream", "pos_box", "ratio_size"];

@@ -1,0 +1,1005 @@
+//! The campaign coordinator: owns the corpus and the global coverage
+//! union, leases seeds to workers, and folds results back in.
+//!
+//! One logical campaign, many OS processes. The coordinator is the only
+//! holder of mutable campaign state; workers are stateless between leases
+//! (beyond their generator RNG, which they report back for checkpointing).
+//! Scheduling is the same energy-proportional draw as the in-process
+//! engine, with leased seeds excluded so no two workers fuzz the same
+//! entry concurrently.
+//!
+//! **Liveness.** Every lease carries a deadline, extended by worker
+//! heartbeats; an expired lease's seeds are requeued for the next worker,
+//! and results arriving for an expired lease still contribute their
+//! coverage but are otherwise dropped. A dead connection requeues its
+//! leases immediately.
+//!
+//! **Drain.** A drain (budget reached, coverage target met, corpus
+//! exhausted, or an external [`DrainHandle`]) answers every following
+//! lease request with `drain`, waits for outstanding leases to land or
+//! expire, flushes the partial round, and writes a final checkpoint —
+//! the standard campaign JSONL files plus `dist.json` (requeued seeds and
+//! per-slot worker RNG states), so [`Coordinator::resume`] can continue
+//! the whole fleet, and `dx_campaign::Campaign::resume` can continue the
+//! same checkpoint in-process.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::io;
+use std::net::{TcpListener, TcpStream};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use dx_campaign::checkpoint::{self, write_atomic};
+use dx_campaign::codec::{
+    field_usize, parse_doc, rng_state_from_json, rng_state_json, u64_from_json, u64_json,
+};
+use dx_campaign::json::{build, Json};
+use dx_campaign::{CampaignReport, Corpus, EnergyModel, EpochStats, FoundDiff, ModelSuite};
+use dx_coverage::CoverageTracker;
+use dx_nn::util::gather_rows;
+use dx_tensor::{rng, Tensor};
+
+use crate::proto::{coverage_news, Fingerprint, Job, JobResult, Msg, PROTOCOL_VERSION};
+use crate::suite_fingerprint;
+use crate::wire::{write_frame, FrameReader};
+
+/// How often connection handlers and the accept loop wake up to check
+/// deadlines and flags.
+const POLL: Duration = Duration::from_millis(100);
+
+/// Idle polls (no traffic from a drained, lease-less worker) before its
+/// connection is closed server-side.
+const DRAIN_GRACE_POLLS: u32 = 20;
+
+/// Coordinator scheduling, budget and persistence knobs.
+#[derive(Clone, Debug)]
+pub struct CoordinatorConfig {
+    /// Absorbed seed steps per statistics round (the dist analogue of the
+    /// in-process engine's epoch); each full round appends an
+    /// [`EpochStats`] line and checkpoints.
+    pub batch_per_round: usize,
+    /// Total seed-step budget (across resumes); `None` is unbounded.
+    pub max_steps: Option<usize>,
+    /// Wall-clock budget for one [`Coordinator::serve`] call.
+    pub duration: Option<Duration>,
+    /// Drain once mean global coverage reaches this level.
+    pub target_coverage: Option<f32>,
+    /// Max jobs per lease.
+    pub lease_size: usize,
+    /// How long a lease may go without results or a heartbeat before its
+    /// seeds are requeued.
+    pub lease_timeout: Duration,
+    /// Directory for checkpoints; `None` disables persistence.
+    pub checkpoint_dir: Option<std::path::PathBuf>,
+    /// Corpus size cap.
+    pub max_corpus: usize,
+    /// Campaign master seed; worker generator streams derive from it
+    /// exactly as in the in-process pool.
+    pub seed: u64,
+    /// Corpus energy model.
+    pub energy: EnergyModel,
+    /// Print connection and lease events to stderr.
+    pub verbose: bool,
+}
+
+impl Default for CoordinatorConfig {
+    fn default() -> Self {
+        Self {
+            batch_per_round: 16,
+            max_steps: None,
+            duration: None,
+            target_coverage: None,
+            lease_size: 4,
+            lease_timeout: Duration::from_secs(30),
+            checkpoint_dir: None,
+            max_corpus: 4096,
+            seed: 42,
+            energy: EnergyModel::Classic,
+            verbose: false,
+        }
+    }
+}
+
+/// Per-worker accounting, by slot.
+#[derive(Clone, Debug, Default)]
+pub struct WorkerStats {
+    /// Seed steps this worker completed.
+    pub steps: usize,
+    /// Difference-inducing inputs it found.
+    pub diffs: usize,
+    /// Neurons it was first to cover in the global union.
+    pub contributed_neurons: usize,
+}
+
+/// What a finished dist campaign reports.
+#[derive(Clone, Debug)]
+pub struct DistReport {
+    /// Per-round statistics in the in-process report shape, so existing
+    /// rendering and tooling apply unchanged.
+    pub report: CampaignReport,
+    /// Final per-model global coverage.
+    pub coverage: Vec<f32>,
+    /// Total seed steps absorbed (across resumes).
+    pub steps_done: usize,
+    /// Per-slot worker statistics.
+    pub per_worker: Vec<(u64, WorkerStats)>,
+    /// Difference-inducing inputs found (this serve call and resumed-from).
+    pub diffs: usize,
+}
+
+impl DistReport {
+    /// Renders the report plus a per-worker contribution table.
+    pub fn render(&self) -> String {
+        let mut out = self.report.render();
+        out.push_str(&format!(
+            "{:<8} {:>9} {:>9} {:>14}\n",
+            "slot", "steps", "diffs", "new-neurons"
+        ));
+        for (slot, w) in &self.per_worker {
+            out.push_str(&format!(
+                "{:<8} {:>9} {:>9} {:>14}\n",
+                slot, w.steps, w.diffs, w.contributed_neurons
+            ));
+        }
+        out
+    }
+}
+
+/// Asks a running [`Coordinator::serve`] to drain from another thread —
+/// the programmatic stand-in for SIGTERM.
+#[derive(Clone)]
+pub struct DrainHandle(Arc<AtomicBool>);
+
+impl DrainHandle {
+    /// Requests a graceful drain.
+    pub fn drain(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+}
+
+struct Lease {
+    slot: u64,
+    seed_ids: Vec<usize>,
+    deadline: Instant,
+}
+
+#[derive(Default)]
+struct RoundAccum {
+    seeds_run: usize,
+    diffs_found: usize,
+    iterations: usize,
+    newly_covered: usize,
+}
+
+struct State {
+    corpus: Corpus,
+    global: Vec<CoverageTracker>,
+    diffs: Vec<FoundDiff>,
+    epochs: Vec<EpochStats>,
+    round: RoundAccum,
+    round_started: Instant,
+    steps_done: usize,
+    leases: HashMap<u64, Lease>,
+    /// Requeued seed ids (expired/abandoned leases), served before fresh
+    /// scheduling.
+    pending: VecDeque<usize>,
+    next_lease: u64,
+    next_slot: u64,
+    worker_rng: BTreeMap<u64, [u64; 4]>,
+    per_worker: BTreeMap<u64, WorkerStats>,
+    sched_rng: rng::Rng,
+    connected: usize,
+    /// Monotonic checkpoint snapshot counter; the writer discards stale
+    /// snapshots that lost the race to a newer one.
+    ckpt_seq: u64,
+}
+
+/// The coordinator; see the module docs for the protocol and lifecycle.
+pub struct Coordinator {
+    cfg: CoordinatorConfig,
+    fingerprint: Fingerprint,
+    /// Empty trackers, cloned as each connection's model of what its
+    /// worker knows about global coverage.
+    template: Vec<CoverageTracker>,
+    state: Mutex<State>,
+    drain: Arc<AtomicBool>,
+    force_close: AtomicBool,
+    /// Serializes checkpoint disk writes and remembers the newest snapshot
+    /// written (None until the first write this process, which therefore
+    /// rewrites instead of appending).
+    ckpt_io: Mutex<Option<u64>>,
+}
+
+/// A full-state checkpoint snapshot, taken under the state lock (cheap
+/// clones) and serialized + fsynced *outside* it, so a round flush never
+/// stalls the other worker connections behind the coordinator mutex.
+struct CheckpointJob {
+    seq: u64,
+    corpus: Corpus,
+    report: CampaignReport,
+    diffs: Vec<FoundDiff>,
+    masks: Vec<Vec<bool>>,
+    meta: checkpoint::Meta,
+    dist_doc: String,
+}
+
+enum Reply {
+    Send(Msg),
+    SendThenClose(Msg),
+    Close,
+}
+
+impl Coordinator {
+    /// Creates a coordinator over initial seeds (rows of `seeds`). The
+    /// suite is used for coverage-tracker shapes and the admission
+    /// fingerprint; the coordinator itself never runs the models.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty seed tensor or a config with zero
+    /// `batch_per_round`/`lease_size`.
+    pub fn new(suite: &ModelSuite, label: &str, seeds: &Tensor, cfg: CoordinatorConfig) -> Self {
+        assert!(seeds.shape()[0] > 0, "dist campaign needs at least one seed");
+        let inputs = (0..seeds.shape()[0]).map(|i| gather_rows(seeds, &[i])).collect();
+        let corpus = Corpus::new(inputs, cfg.max_corpus).with_energy_model(cfg.energy);
+        Self::with_state(
+            suite,
+            label,
+            cfg,
+            corpus,
+            Vec::new(),
+            Vec::new(),
+            None,
+            0,
+            VecDeque::new(),
+            BTreeMap::new(),
+            0,
+        )
+    }
+
+    /// Resumes a coordinator from the checkpoint in `cfg.checkpoint_dir`:
+    /// corpus, coverage union, stats, found diffs, requeued seeds and
+    /// per-slot worker RNG states all continue.
+    ///
+    /// # Errors
+    ///
+    /// Missing directory or malformed checkpoint files.
+    pub fn resume(suite: &ModelSuite, label: &str, cfg: CoordinatorConfig) -> io::Result<Self> {
+        let dir = cfg.checkpoint_dir.clone().ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, "resume needs a checkpoint dir")
+        })?;
+        Self::resume_from(suite, label, &dir, cfg)
+    }
+
+    /// Resumes from the checkpoint in `dir`, while future checkpoints go
+    /// to `cfg.checkpoint_dir` — which may differ, forking the campaign
+    /// (mirroring `dx_campaign::Campaign::resume_from`).
+    ///
+    /// # Errors
+    ///
+    /// Missing directory or malformed checkpoint files.
+    pub fn resume_from(
+        suite: &ModelSuite,
+        label: &str,
+        dir: &Path,
+        cfg: CoordinatorConfig,
+    ) -> io::Result<Self> {
+        let state = checkpoint::load(dir)?;
+        let dist = DistState::load(dir)?;
+        let corpus =
+            Corpus::from_entries(state.corpus, cfg.max_corpus).with_energy_model(cfg.energy);
+        let mut cfg = cfg;
+        cfg.seed = state.campaign_seed;
+        let steps_done = dist
+            .as_ref()
+            .map(|d| d.steps_done)
+            .unwrap_or_else(|| state.epochs.iter().map(|e| e.seeds_run).sum());
+        let pending: VecDeque<usize> = dist
+            .as_ref()
+            .map(|d| d.pending.iter().copied().filter(|&id| corpus.get(id).is_some()).collect())
+            .unwrap_or_default();
+        let worker_rng = dist.as_ref().map(|d| d.worker_rng.clone()).unwrap_or_default();
+        let next_lease = dist.as_ref().map(|d| d.next_lease).unwrap_or(0);
+        Ok(Self::with_state(
+            suite,
+            label,
+            cfg,
+            corpus,
+            state.diffs,
+            state.epochs,
+            state.coverage,
+            steps_done,
+            pending,
+            worker_rng,
+            next_lease,
+        ))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn with_state(
+        suite: &ModelSuite,
+        label: &str,
+        cfg: CoordinatorConfig,
+        corpus: Corpus,
+        diffs: Vec<FoundDiff>,
+        epochs: Vec<EpochStats>,
+        coverage: Option<Vec<Vec<bool>>>,
+        steps_done: usize,
+        pending: VecDeque<usize>,
+        worker_rng: BTreeMap<u64, [u64; 4]>,
+        next_lease: u64,
+    ) -> Self {
+        assert!(cfg.batch_per_round >= 1, "batch_per_round must be at least 1");
+        assert!(cfg.lease_size >= 1, "lease_size must be at least 1");
+        let template: Vec<CoverageTracker> =
+            suite.models.iter().map(|m| CoverageTracker::for_network(m, suite.coverage)).collect();
+        let mut global = template.clone();
+        let masks_fit = coverage.as_ref().is_some_and(|masks| {
+            masks.len() == global.len()
+                && masks.iter().zip(global.iter()).all(|(m, g)| m.len() == g.total())
+        });
+        if masks_fit {
+            for (g, mask) in global.iter_mut().zip(coverage.as_ref().expect("checked")) {
+                g.set_covered_mask(mask);
+            }
+        }
+        let fingerprint = suite_fingerprint(suite, label);
+        let sched_rng = rng::rng(rng::derive_seed(cfg.seed, 0xd157));
+        Self {
+            cfg,
+            fingerprint,
+            template,
+            state: Mutex::new(State {
+                corpus,
+                global,
+                diffs,
+                epochs,
+                round: RoundAccum::default(),
+                round_started: Instant::now(),
+                steps_done,
+                leases: HashMap::new(),
+                pending,
+                next_lease,
+                next_slot: 0,
+                worker_rng,
+                per_worker: BTreeMap::new(),
+                sched_rng,
+                connected: 0,
+                ckpt_seq: 0,
+            }),
+            drain: Arc::new(AtomicBool::new(false)),
+            force_close: AtomicBool::new(false),
+            ckpt_io: Mutex::new(None),
+        }
+    }
+
+    /// A handle that asks [`Coordinator::serve`] to drain, from any thread.
+    pub fn drain_handle(&self) -> DrainHandle {
+        DrainHandle(Arc::clone(&self.drain))
+    }
+
+    /// The admission fingerprint workers must present.
+    pub fn fingerprint(&self) -> &Fingerprint {
+        &self.fingerprint
+    }
+
+    /// Seed steps absorbed so far (including resumed-from steps).
+    pub fn steps_done(&self) -> usize {
+        self.lock().steps_done
+    }
+
+    /// Mean global coverage across models.
+    pub fn mean_coverage(&self) -> f32 {
+        let st = self.lock();
+        mean_coverage(&st.global)
+    }
+
+    fn lock(&self) -> MutexGuard<'_, State> {
+        self.state.lock().expect("coordinator state lock")
+    }
+
+    fn log(&self, msg: impl AsRef<str>) {
+        if self.cfg.verbose {
+            eprintln!("coordinator: {}", msg.as_ref());
+        }
+    }
+
+    /// Serves the campaign on `listener` until it drains (budget, coverage
+    /// target, corpus exhaustion, or [`DrainHandle`]), then waits for
+    /// outstanding leases, writes the final checkpoint, and reports.
+    ///
+    /// # Errors
+    ///
+    /// Listener failures and checkpoint I/O errors. Individual connection
+    /// errors only drop that worker.
+    pub fn serve(&self, listener: TcpListener) -> io::Result<DistReport> {
+        listener.set_nonblocking(true)?;
+        let started = Instant::now();
+        {
+            self.lock().round_started = Instant::now();
+        }
+        let mut drained_at: Option<Instant> = None;
+        std::thread::scope(|scope| -> io::Result<()> {
+            loop {
+                self.housekeep(started)?;
+                if self.drain.load(Ordering::SeqCst) {
+                    let now = Instant::now();
+                    let since = *drained_at.get_or_insert(now);
+                    let st = self.lock();
+                    let idle = st.leases.is_empty() && st.connected == 0;
+                    drop(st);
+                    if idle {
+                        // Sweep the accept backlog before closing the
+                        // listener: a worker whose connection is still
+                        // queued gets a polite `drain` instead of a reset.
+                        match listener.accept() {
+                            Ok((stream, _)) => {
+                                scope.spawn(move || self.handle(stream));
+                                continue;
+                            }
+                            Err(e)
+                                if e.kind() == io::ErrorKind::WouldBlock
+                                    || e.kind() == io::ErrorKind::TimedOut =>
+                            {
+                                break
+                            }
+                            Err(e) => return Err(e),
+                        }
+                    }
+                    if now.duration_since(since) > self.cfg.lease_timeout + 10 * POLL {
+                        // Workers that never came back: stop waiting.
+                        self.force_close.store(true, Ordering::SeqCst);
+                    }
+                }
+                match listener.accept() {
+                    Ok((stream, peer)) => {
+                        self.log(format!("connection from {peer}"));
+                        scope.spawn(move || self.handle(stream));
+                    }
+                    Err(e)
+                        if e.kind() == io::ErrorKind::WouldBlock
+                            || e.kind() == io::ErrorKind::TimedOut =>
+                    {
+                        std::thread::sleep(POLL)
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            Ok(())
+        })?;
+        self.finish()
+    }
+
+    /// Periodic bookkeeping: expire overdue leases, trip stop conditions.
+    fn housekeep(&self, started: Instant) -> io::Result<()> {
+        if let Some(budget) = self.cfg.duration {
+            if started.elapsed() >= budget {
+                self.drain.store(true, Ordering::SeqCst);
+            }
+        }
+        let mut st = self.lock();
+        let now = Instant::now();
+        let expired: Vec<u64> =
+            st.leases.iter().filter(|(_, l)| now >= l.deadline).map(|(&id, _)| id).collect();
+        for id in expired {
+            let lease = st.leases.remove(&id).expect("collected above");
+            self.log(format!(
+                "lease {id} (slot {}, {} seeds) expired; requeued",
+                lease.slot,
+                lease.seed_ids.len()
+            ));
+            st.pending.extend(lease.seed_ids);
+        }
+        self.check_targets(&mut st);
+        Ok(())
+    }
+
+    fn check_targets(&self, st: &mut State) {
+        if let Some(max) = self.cfg.max_steps {
+            if st.steps_done >= max {
+                self.drain.store(true, Ordering::SeqCst);
+            }
+        }
+        if let Some(target) = self.cfg.target_coverage {
+            if mean_coverage(&st.global) >= target {
+                self.drain.store(true, Ordering::SeqCst);
+            }
+        }
+        if st.corpus.all_exhausted() && st.leases.is_empty() {
+            self.drain.store(true, Ordering::SeqCst);
+        }
+    }
+
+    /// One worker connection, request/response until it closes.
+    fn handle(&self, mut stream: TcpStream) {
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(Some(POLL));
+        let mut reader = FrameReader::new();
+        let mut slot: Option<u64> = None;
+        let mut view = self.template.clone();
+        let mut idle_polls: u32 = 0;
+        let result: io::Result<()> = (|| loop {
+            match reader.poll(&mut stream) {
+                Ok(None) => {
+                    if self.force_close.load(Ordering::SeqCst) {
+                        return Ok(());
+                    }
+                    if self.drain.load(Ordering::SeqCst) {
+                        let has_lease = match slot {
+                            Some(s) => self.lock().leases.values().any(|l| l.slot == s),
+                            None => false,
+                        };
+                        if !has_lease {
+                            idle_polls += 1;
+                            if idle_polls > DRAIN_GRACE_POLLS {
+                                // The worker went quiet after the drain;
+                                // close from our side.
+                                return Ok(());
+                            }
+                        }
+                    }
+                }
+                Ok(Some(doc)) => {
+                    idle_polls = 0;
+                    let msg = Msg::from_json(&doc)?;
+                    let (reply, ckpt) = self.reply_for(msg, &mut slot, &mut view);
+                    // Reply first — the checkpoint write is this handler's
+                    // own time, not the worker's.
+                    let closing = match reply {
+                        Reply::Send(m) => {
+                            write_frame(&mut stream, &m.to_json())?;
+                            false
+                        }
+                        Reply::SendThenClose(m) => {
+                            write_frame(&mut stream, &m.to_json())?;
+                            true
+                        }
+                        Reply::Close => true,
+                    };
+                    if let Some(job) = ckpt {
+                        if let Err(e) = self.write_checkpoint(job) {
+                            self.log(format!("checkpoint failed: {e}"));
+                        }
+                    }
+                    if closing {
+                        return Ok(());
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        })();
+        if let Err(e) = &result {
+            if e.kind() != io::ErrorKind::UnexpectedEof {
+                self.log(format!("connection error: {e}"));
+            }
+        }
+        if let Some(s) = slot {
+            self.disconnect(s);
+        }
+    }
+
+    fn disconnect(&self, slot: u64) {
+        let mut st = self.lock();
+        st.connected = st.connected.saturating_sub(1);
+        // A dead worker's leases go straight back to the queue.
+        let orphaned: Vec<u64> =
+            st.leases.iter().filter(|(_, l)| l.slot == slot).map(|(&id, _)| id).collect();
+        for id in orphaned {
+            let lease = st.leases.remove(&id).expect("collected above");
+            st.pending.extend(lease.seed_ids);
+        }
+        drop(st);
+        self.log(format!("worker {slot} disconnected"));
+    }
+
+    fn reply_for(
+        &self,
+        msg: Msg,
+        slot: &mut Option<u64>,
+        view: &mut [CoverageTracker],
+    ) -> (Reply, Option<CheckpointJob>) {
+        let mut ckpt = None;
+        let reply = match msg {
+            Msg::Hello { version, fingerprint } => {
+                if version != PROTOCOL_VERSION {
+                    let reason =
+                        format!("protocol version {version} != coordinator {PROTOCOL_VERSION}");
+                    return (Reply::SendThenClose(Msg::Reject { reason }), None);
+                }
+                if fingerprint != self.fingerprint {
+                    let reason = format!(
+                        "suite fingerprint {:?} != coordinator {:?}",
+                        fingerprint, self.fingerprint
+                    );
+                    return (Reply::SendThenClose(Msg::Reject { reason }), None);
+                }
+                let mut st = self.lock();
+                let s = st.next_slot;
+                st.next_slot += 1;
+                st.connected += 1;
+                st.per_worker.entry(s).or_default();
+                let rng_state = st.worker_rng.get(&s).copied();
+                drop(st);
+                *slot = Some(s);
+                self.log(format!("worker {s} joined"));
+                Reply::Send(Msg::Welcome { slot: s, campaign_seed: self.cfg.seed, rng_state })
+            }
+            Msg::LeaseRequest { slot: s, want } => {
+                if Some(s) != *slot {
+                    let reason = "say hello first".to_string();
+                    return (Reply::SendThenClose(Msg::Reject { reason }), None);
+                }
+                if self.drain.load(Ordering::SeqCst) {
+                    return (Reply::Send(Msg::Drain), None);
+                }
+                let mut st = self.lock();
+                let want = want.clamp(1, self.cfg.lease_size);
+                let ids = self.pick_seeds(&mut st, want);
+                if ids.is_empty() {
+                    if st.corpus.all_exhausted() && st.leases.is_empty() {
+                        self.drain.store(true, Ordering::SeqCst);
+                        return (Reply::Send(Msg::Drain), None);
+                    }
+                    // Everything schedulable is out on a lease right now.
+                    return (Reply::Send(Msg::Wait { millis: 50 }), None);
+                }
+                let lease = st.next_lease;
+                st.next_lease += 1;
+                let jobs: Vec<Job> = ids
+                    .iter()
+                    .map(|&id| Job {
+                        seed_id: id,
+                        input: st.corpus.get(id).expect("picked from corpus").input.clone(),
+                    })
+                    .collect();
+                st.leases.insert(
+                    lease,
+                    Lease {
+                        slot: s,
+                        seed_ids: ids,
+                        deadline: Instant::now() + self.cfg.lease_timeout,
+                    },
+                );
+                let cov = coverage_news(&st.global, view);
+                Reply::Send(Msg::Lease { lease, jobs, cov })
+            }
+            Msg::Heartbeat { slot: s, lease } => {
+                if Some(s) != *slot {
+                    let reason = "say hello first".to_string();
+                    return (Reply::SendThenClose(Msg::Reject { reason }), None);
+                }
+                let mut st = self.lock();
+                if let Some(l) = st.leases.get_mut(&lease) {
+                    if l.slot == s {
+                        l.deadline = Instant::now() + self.cfg.lease_timeout;
+                    }
+                }
+                let cov = coverage_news(&st.global, view);
+                Reply::Send(Msg::Ack { cov })
+            }
+            Msg::Results { slot: s, lease, items, cov, rng_state } => {
+                if Some(s) != *slot {
+                    let reason = "say hello first".to_string();
+                    return (Reply::SendThenClose(Msg::Reject { reason }), None);
+                }
+                let mut st = self.lock();
+                // Validate delta indices before touching the union.
+                for (m, idx) in cov.iter().enumerate() {
+                    let total = st.global.get(m).map_or(0, CoverageTracker::total);
+                    if m >= st.global.len() || idx.iter().any(|&i| i >= total) {
+                        let reason = "coverage delta out of range".to_string();
+                        return (Reply::SendThenClose(Msg::Reject { reason }), None);
+                    }
+                }
+                let mut contributed = 0;
+                for (g, idx) in st.global.iter_mut().zip(&cov) {
+                    contributed += g.apply_covered_indices(idx);
+                }
+                // The worker evidently knows this coverage already — fold
+                // it into the connection view too, or the next cov_news
+                // would echo the worker's own delta straight back at it.
+                for (v, idx) in view.iter_mut().zip(&cov) {
+                    v.apply_covered_indices(idx);
+                }
+                st.worker_rng.insert(s, rng_state);
+                {
+                    let w = st.per_worker.entry(s).or_default();
+                    w.contributed_neurons += contributed;
+                }
+                st.round.newly_covered += contributed;
+                match st.leases.remove(&lease) {
+                    Some(l) if l.slot == s => {
+                        // Only absorb what was actually leased.
+                        let leased: Vec<&JobResult> =
+                            items.iter().filter(|i| l.seed_ids.contains(&i.seed_id)).collect();
+                        ckpt = self.absorb_items(&mut st, s, &leased);
+                    }
+                    Some(l) => {
+                        // Lease id collision with another slot: put it back.
+                        st.leases.insert(lease, l);
+                    }
+                    None => {
+                        // The lease expired — e.g. a single seed step
+                        // outlasted the timeout. Its seeds were requeued;
+                        // any still waiting in the queue are salvaged
+                        // (counted instead of redone), so one slow step
+                        // cannot livelock a budgeted campaign. Seeds
+                        // already re-leased to someone else are dropped.
+                        let salvage: Vec<&JobResult> =
+                            items.iter().filter(|i| st.pending.contains(&i.seed_id)).collect();
+                        for item in &salvage {
+                            st.pending.retain(|&id| id != item.seed_id);
+                        }
+                        let dropped = items.len() - salvage.len();
+                        ckpt = self.absorb_items(&mut st, s, &salvage);
+                        self.log(format!(
+                            "results for expired lease {lease} from worker {s}: \
+                             {} runs salvaged, {dropped} dropped",
+                            salvage.len()
+                        ));
+                    }
+                }
+                let cov = coverage_news(&st.global, view);
+                if self.drain.load(Ordering::SeqCst) {
+                    Reply::Send(Msg::Drain)
+                } else {
+                    Reply::Send(Msg::Ack { cov })
+                }
+            }
+            Msg::Bye => Reply::Close,
+            // Worker-bound messages arriving at the coordinator.
+            Msg::Welcome { .. }
+            | Msg::Lease { .. }
+            | Msg::Wait { .. }
+            | Msg::Ack { .. }
+            | Msg::Drain
+            | Msg::Reject { .. } => {
+                Reply::SendThenClose(Msg::Reject { reason: "unexpected message".into() })
+            }
+        };
+        (reply, ckpt)
+    }
+
+    /// Folds completed job results from `slot` into the campaign: corpus
+    /// energy, found diffs, round statistics, budget/target checks, and a
+    /// round flush when due. Callers have already filtered `items` down
+    /// to seeds this worker legitimately holds. Returns a checkpoint
+    /// snapshot to write (outside the state lock) when a round closed.
+    fn absorb_items(&self, st: &mut State, s: u64, items: &[&JobResult]) -> Option<CheckpointJob> {
+        let global_coverage = mean_coverage(&st.global);
+        let epoch = st.epochs.len();
+        for item in items {
+            st.steps_done += 1;
+            st.round.seeds_run += 1;
+            st.round.iterations += item.run.iterations;
+            st.per_worker.entry(s).or_default().steps += 1;
+            if item.run.found_difference() {
+                let test = item.run.test.as_ref().expect("found_difference has a test");
+                st.round.diffs_found += 1;
+                st.per_worker.entry(s).or_default().diffs += 1;
+                st.diffs.push(FoundDiff {
+                    seed_id: item.seed_id,
+                    epoch,
+                    input: test.input.clone(),
+                    predictions: test.predictions.clone(),
+                    iterations: test.iterations,
+                    target_model: test.target_model,
+                });
+            }
+            st.corpus.absorb(item.seed_id, &item.run, global_coverage);
+        }
+        let ckpt = if st.round.seeds_run >= self.cfg.batch_per_round {
+            self.flush_round(st)
+        } else {
+            None
+        };
+        self.check_targets(st);
+        ckpt
+    }
+
+    /// Picks up to `want` seed ids: requeued seeds first, then an
+    /// energy-weighted draw excluding everything leased or queued.
+    fn pick_seeds(&self, st: &mut State, want: usize) -> Vec<usize> {
+        let mut ids = Vec::with_capacity(want);
+        while ids.len() < want {
+            let Some(id) = st.pending.pop_front() else { break };
+            let alive = st.corpus.get(id).is_some_and(|e| !e.exhausted);
+            if alive && !ids.contains(&id) {
+                ids.push(id);
+            }
+        }
+        if ids.len() < want {
+            let mut excluded: Vec<usize> =
+                st.leases.values().flat_map(|l| l.seed_ids.iter().copied()).collect();
+            excluded.extend(st.pending.iter().copied());
+            excluded.extend(ids.iter().copied());
+            let n = want - ids.len();
+            let State { corpus, sched_rng, .. } = st;
+            ids.extend(corpus.schedule_excluding(n, sched_rng, &excluded));
+        }
+        ids
+    }
+
+    /// Closes the current statistics round and snapshots a checkpoint.
+    fn flush_round(&self, st: &mut State) -> Option<CheckpointJob> {
+        let round = std::mem::take(&mut st.round);
+        st.epochs.push(EpochStats {
+            epoch: st.epochs.len(),
+            seeds_run: round.seeds_run,
+            diffs_found: round.diffs_found,
+            iterations: round.iterations,
+            newly_covered: round.newly_covered,
+            mean_coverage: mean_coverage(&st.global),
+            corpus_len: st.corpus.len(),
+            elapsed: st.round_started.elapsed(),
+        });
+        st.round_started = Instant::now();
+        self.snapshot_checkpoint(st)
+    }
+
+    /// Clones the checkpointable state under the lock; serialization and
+    /// disk I/O happen later in [`Coordinator::write_checkpoint`] without
+    /// the lock. `None` when persistence is disabled.
+    fn snapshot_checkpoint(&self, st: &mut State) -> Option<CheckpointJob> {
+        self.cfg.checkpoint_dir.as_ref()?;
+        st.ckpt_seq += 1;
+        let workers = st.per_worker.len().max(1);
+        Some(CheckpointJob {
+            seq: st.ckpt_seq,
+            corpus: st.corpus.clone(),
+            report: CampaignReport { epochs: st.epochs.clone(), workers },
+            diffs: st.diffs.clone(),
+            masks: st.global.iter().map(|t| t.covered_mask().to_vec()).collect(),
+            meta: checkpoint::Meta {
+                epochs_done: st.epochs.len(),
+                campaign_seed: self.cfg.seed,
+                workers,
+                // Dist worker streams are keyed by slot in dist.json, not
+                // by the in-process worker index; an in-process resume of
+                // this checkpoint re-derives streams from the master seed.
+                worker_rng: Vec::new(),
+            },
+            dist_doc: DistState::doc(st).to_string() + "\n",
+        })
+    }
+
+    /// Writes a snapshot to the checkpoint directory. Writes are
+    /// serialized on their own mutex, and a snapshot that lost the race
+    /// to a newer one is discarded — every snapshot carries the full
+    /// state, so the newest write is always the most complete.
+    fn write_checkpoint(&self, job: CheckpointJob) -> io::Result<()> {
+        let Some(dir) = self.cfg.checkpoint_dir.clone() else { return Ok(()) };
+        let mut last = self.ckpt_io.lock().expect("checkpoint io lock");
+        if last.is_some_and(|l| l >= job.seq) {
+            return Ok(());
+        }
+        // First write this process rewrites stats/diffs (the directory
+        // may hold an unrelated earlier campaign); later writes append.
+        let append = last.is_some();
+        checkpoint::save(
+            &dir,
+            &job.corpus,
+            &job.report,
+            &job.diffs,
+            &job.masks,
+            &job.meta,
+            append,
+        )?;
+        write_atomic(&dir.join("dist.json"), &job.dist_doc)?;
+        *last = Some(job.seq);
+        Ok(())
+    }
+
+    /// Flushes the partial round, requeues outstanding leases, writes the
+    /// final checkpoint, and builds the report.
+    fn finish(&self) -> io::Result<DistReport> {
+        let (ckpt, report) = {
+            let mut st = self.lock();
+            let outstanding: Vec<u64> = st.leases.keys().copied().collect();
+            for id in outstanding {
+                let lease = st.leases.remove(&id).expect("keys collected above");
+                st.pending.extend(lease.seed_ids);
+            }
+            let ckpt = if st.round.seeds_run > 0 {
+                self.flush_round(&mut st)
+            } else {
+                self.snapshot_checkpoint(&mut st)
+            };
+            let report = DistReport {
+                report: CampaignReport {
+                    epochs: st.epochs.clone(),
+                    workers: st.per_worker.len().max(1),
+                },
+                coverage: st.global.iter().map(CoverageTracker::coverage).collect(),
+                steps_done: st.steps_done,
+                per_worker: st.per_worker.iter().map(|(&s, w)| (s, w.clone())).collect(),
+                diffs: st.diffs.len(),
+            };
+            (ckpt, report)
+        };
+        if let Some(job) = ckpt {
+            self.write_checkpoint(job)?;
+        }
+        Ok(report)
+    }
+}
+
+fn mean_coverage(global: &[CoverageTracker]) -> f32 {
+    if global.is_empty() {
+        return 0.0;
+    }
+    global.iter().map(CoverageTracker::coverage).sum::<f32>() / global.len() as f32
+}
+
+/// The dist-specific checkpoint extension (`dist.json`): seeds owed to the
+/// queue (requeued plus outstanding at save time) and per-slot worker RNG
+/// states.
+struct DistState {
+    steps_done: usize,
+    next_lease: u64,
+    pending: Vec<usize>,
+    worker_rng: BTreeMap<u64, [u64; 4]>,
+}
+
+impl DistState {
+    /// The `dist.json` document for the current state (leased seeds fold
+    /// into `pending`, since a checkpoint outlives every lease).
+    fn doc(st: &State) -> Json {
+        let pending: Vec<usize> = st
+            .pending
+            .iter()
+            .copied()
+            .chain(st.leases.values().flat_map(|l| l.seed_ids.iter().copied()))
+            .collect();
+        let workers = Json::Arr(
+            st.worker_rng
+                .iter()
+                .map(|(&slot, state)| {
+                    build::obj(vec![("slot", u64_json(slot)), ("state", rng_state_json(state))])
+                })
+                .collect(),
+        );
+        build::obj(vec![
+            ("version", build::int(1)),
+            ("steps_done", build::int(st.steps_done)),
+            ("next_lease", u64_json(st.next_lease)),
+            ("pending", build::ints(&pending)),
+            ("worker_rng", workers),
+        ])
+    }
+
+    /// `Ok(None)` when the file is absent — a plain campaign checkpoint.
+    fn load(dir: &Path) -> io::Result<Option<Self>> {
+        let text = match std::fs::read_to_string(dir.join("dist.json")) {
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e),
+            Ok(t) => t,
+        };
+        let doc = parse_doc(&text)?;
+        let pending = doc
+            .get("pending")
+            .and_then(Json::as_arr)
+            .map(|xs| xs.iter().filter_map(Json::as_usize).collect())
+            .unwrap_or_default();
+        let mut worker_rng = BTreeMap::new();
+        if let Some(entries) = doc.get("worker_rng").and_then(Json::as_arr) {
+            for e in entries {
+                let slot = e.get("slot").and_then(u64_from_json).ok_or_else(|| {
+                    io::Error::new(io::ErrorKind::InvalidData, "dist.json worker slot")
+                })?;
+                let state = rng_state_from_json(e.get("state").ok_or_else(|| {
+                    io::Error::new(io::ErrorKind::InvalidData, "dist.json worker state")
+                })?)?;
+                worker_rng.insert(slot, state);
+            }
+        }
+        Ok(Some(Self {
+            steps_done: field_usize(&doc, "steps_done")?,
+            next_lease: doc.get("next_lease").and_then(u64_from_json).unwrap_or(0),
+            pending,
+            worker_rng,
+        }))
+    }
+}

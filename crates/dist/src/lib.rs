@@ -1,0 +1,519 @@
+//! `dx-dist` — a distributed coordinator/worker campaign service.
+//!
+//! DeepXplore's joint-optimization loop is embarrassingly parallel across
+//! seeds; `dx-campaign`'s in-process pool is capped by one machine's
+//! cores. This crate runs **one logical campaign across many OS
+//! processes**:
+//!
+//! - The **coordinator** ([`Coordinator`]) owns the corpus and the global
+//!   coverage union, hands out energy-weighted seed leases, and folds back
+//!   worker results — step outcomes, difference-inducing inputs,
+//!   productive mutants, and sparse coverage bitmap deltas
+//!   ([`dx_coverage::CoverageTracker::diff_indices`]).
+//! - **Workers** ([`worker::run_worker`]) are thin wrappers around the
+//!   existing generator step loop ([`deepxplore::Generator::run_seed`]);
+//!   their RNG streams derive from `(campaign seed, slot)` exactly like
+//!   in-process pool workers'.
+//! - Transport is a hand-rolled length-prefixed JSON framing
+//!   ([`wire`]) over `std::net::TcpStream` — the payload codecs are the
+//!   campaign checkpoint codecs, reused byte-for-byte.
+//! - Liveness comes from worker heartbeats and lease timeouts that
+//!   requeue abandoned seeds; a graceful drain writes a checkpoint
+//!   (campaign JSONL plus `dist.json` lease state) from which
+//!   [`Coordinator::resume`] restarts the whole fleet — or
+//!   [`dx_campaign::Campaign::resume`] continues in-process.
+//!
+//! # Example (in-process fleet over real sockets)
+//!
+//! ```
+//! use dx_campaign::ModelSuite;
+//! use deepxplore::constraints::Constraint;
+//! use deepxplore::generator::TaskKind;
+//! use deepxplore::Hyperparams;
+//! use dx_coverage::CoverageConfig;
+//! use dx_dist::{run_local, CoordinatorConfig, WorkerConfig};
+//! use dx_nn::{layer::Layer, Network};
+//! use dx_tensor::rng;
+//!
+//! let mut base = Network::new(
+//!     &[8],
+//!     vec![Layer::dense(8, 12), Layer::relu(), Layer::dense(12, 3), Layer::softmax()],
+//! );
+//! base.init_weights(&mut rng::rng(1));
+//! let suite = ModelSuite {
+//!     models: vec![base.clone(), base.perturbed(0.1, 2), base.perturbed(0.1, 3)],
+//!     kind: TaskKind::Classification,
+//!     hp: Hyperparams { step: 0.3, max_iters: 20, ..Default::default() },
+//!     constraint: Constraint::Clip,
+//!     coverage: CoverageConfig::scaled(0.25),
+//! };
+//! let seeds = rng::uniform(&mut rng::rng(4), &[8, 8], 0.2, 0.8);
+//! let cfg = CoordinatorConfig { max_steps: Some(8), batch_per_round: 4, ..Default::default() };
+//! let (report, workers) =
+//!     run_local(&suite, "doc@test", &seeds, cfg, WorkerConfig::default(), 2).unwrap();
+//! assert!(report.steps_done >= 8);
+//! assert_eq!(workers.len(), 2);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod coordinator;
+pub mod proto;
+pub mod wire;
+pub mod worker;
+
+pub use coordinator::{Coordinator, CoordinatorConfig, DistReport, DrainHandle, WorkerStats};
+pub use proto::{Fingerprint, PROTOCOL_VERSION};
+pub use worker::{run_worker, WorkerConfig, WorkerSummary};
+
+use dx_campaign::ModelSuite;
+use dx_coverage::CoverageTracker;
+
+/// The admission fingerprint of a model suite: a label both sides agree on
+/// plus each model's tracked-neuron total under the suite's coverage
+/// config — cheap to compute, and any model/metric mismatch changes it.
+pub fn suite_fingerprint(suite: &ModelSuite, label: &str) -> proto::Fingerprint {
+    proto::Fingerprint {
+        label: label.to_string(),
+        neurons: suite
+            .models
+            .iter()
+            .map(|m| CoverageTracker::for_network(m, suite.coverage).total())
+            .collect(),
+    }
+}
+
+/// Runs a whole fleet inside one process over real localhost sockets: a
+/// coordinator plus `n_workers` worker threads. The single-machine
+/// convenience for tests and benches; production fleets run
+/// [`Coordinator::serve`] and [`worker::run_worker`] in separate
+/// processes.
+///
+/// # Errors
+///
+/// Coordinator serve/checkpoint failures. A worker thread's failure is
+/// reported in its summary slot being absent.
+pub fn run_local(
+    suite: &ModelSuite,
+    label: &str,
+    seeds: &dx_tensor::Tensor,
+    cfg: CoordinatorConfig,
+    worker_cfg: WorkerConfig,
+    n_workers: usize,
+) -> std::io::Result<(DistReport, Vec<WorkerSummary>)> {
+    let coordinator = Coordinator::new(suite, label, seeds, cfg);
+    serve_local(&coordinator, suite, label, worker_cfg, n_workers)
+}
+
+/// [`run_local`] over an existing coordinator (e.g. one built with
+/// [`Coordinator::resume`]).
+///
+/// # Errors
+///
+/// See [`run_local`].
+pub fn serve_local(
+    coordinator: &Coordinator,
+    suite: &ModelSuite,
+    label: &str,
+    worker_cfg: WorkerConfig,
+    n_workers: usize,
+) -> std::io::Result<(DistReport, Vec<WorkerSummary>)> {
+    let listener = std::net::TcpListener::bind(("127.0.0.1", 0))?;
+    let addr = listener.local_addr()?;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n_workers)
+            .map(|_| {
+                let suite = suite.clone();
+                let worker_cfg = worker_cfg.clone();
+                scope.spawn(move || run_worker(addr, suite, label, worker_cfg))
+            })
+            .collect();
+        let report = coordinator.serve(listener)?;
+        let summaries: Vec<WorkerSummary> = handles
+            .into_iter()
+            .filter_map(|h| match h.join().expect("worker thread panicked") {
+                Ok(summary) => Some(summary),
+                Err(e) => {
+                    eprintln!("dist worker failed: {e}");
+                    None
+                }
+            })
+            .collect();
+        Ok((report, summaries))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepxplore::constraints::Constraint;
+    use deepxplore::generator::TaskKind;
+    use deepxplore::Hyperparams;
+    use dx_campaign::EnergyModel;
+    use dx_coverage::CoverageConfig;
+    use dx_nn::layer::Layer;
+    use dx_nn::Network;
+    use dx_tensor::{rng, Tensor};
+    use proto::Msg;
+    use std::time::Duration;
+
+    fn classifier(seed: u64) -> Network {
+        let mut n = Network::new(
+            &[16],
+            vec![Layer::dense(16, 14), Layer::relu(), Layer::dense(14, 3), Layer::softmax()],
+        );
+        n.init_weights(&mut rng::rng(seed));
+        n
+    }
+
+    fn suite(seed: u64) -> ModelSuite {
+        let base = classifier(seed);
+        ModelSuite {
+            models: vec![
+                base.clone(),
+                base.perturbed(0.04, seed + 1),
+                base.perturbed(0.04, seed + 2),
+            ],
+            kind: TaskKind::Classification,
+            hp: Hyperparams { step: 0.25, lambda1: 2.0, max_iters: 30, ..Default::default() },
+            constraint: Constraint::Clip,
+            coverage: CoverageConfig::scaled(0.25),
+        }
+    }
+
+    fn seed_batch(seed: u64, n: usize) -> Tensor {
+        rng::uniform(&mut rng::rng(seed), &[n, 16], 0.2, 0.8)
+    }
+
+    fn tmp_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("dx_dist_{name}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn quick_cfg(max_steps: usize) -> CoordinatorConfig {
+        CoordinatorConfig {
+            max_steps: Some(max_steps),
+            batch_per_round: 6,
+            lease_size: 2,
+            lease_timeout: Duration::from_secs(5),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn two_worker_fleet_completes_a_budget() {
+        let s = suite(1);
+        let (report, workers) = run_local(
+            &s,
+            "unit@test",
+            &seed_batch(2, 10),
+            quick_cfg(12),
+            WorkerConfig::default(),
+            2,
+        )
+        .unwrap();
+        assert!(report.steps_done >= 12, "budget not met: {}", report.steps_done);
+        assert!(!report.report.epochs.is_empty());
+        assert_eq!(workers.len(), 2);
+        let merged: f32 = report.coverage.iter().sum::<f32>() / report.coverage.len() as f32;
+        assert!(merged > 0.0);
+        // The merged union dominates every worker's local view.
+        for w in &workers {
+            let local: f32 = w.coverage.iter().sum::<f32>() / w.coverage.len() as f32;
+            assert!(merged >= local - 1e-6, "merged {merged} < worker {local}");
+        }
+        // Worker accounting adds up to at least the absorbed budget.
+        let worker_steps: usize = report.per_worker.iter().map(|(_, w)| w.steps).sum();
+        assert!(worker_steps >= 12);
+    }
+
+    #[test]
+    fn fleet_reaches_a_coverage_target() {
+        let s = suite(10);
+        // A single-process campaign run to the same target, for parity.
+        let mut solo = dx_campaign::Campaign::new(
+            s.clone(),
+            &seed_batch(11, 10),
+            dx_campaign::CampaignConfig {
+                epochs: 100,
+                batch_per_epoch: 6,
+                desired_coverage: Some(0.10),
+                ..Default::default()
+            },
+        );
+        solo.run().unwrap();
+        assert!(solo.mean_coverage() >= 0.10);
+
+        let cfg = CoordinatorConfig {
+            target_coverage: Some(0.10),
+            batch_per_round: 6,
+            lease_size: 2,
+            ..Default::default()
+        };
+        let (report, _) =
+            run_local(&s, "unit@test", &seed_batch(11, 10), cfg, WorkerConfig::default(), 2)
+                .unwrap();
+        let merged: f32 = report.coverage.iter().sum::<f32>() / report.coverage.len() as f32;
+        assert!(merged >= 0.10, "fleet stopped at {merged}");
+    }
+
+    #[test]
+    fn rarity_energy_fleet_runs() {
+        let s = suite(20);
+        let cfg = CoordinatorConfig { energy: EnergyModel::Rarity, ..quick_cfg(8) };
+        let (report, _) =
+            run_local(&s, "unit@test", &seed_batch(21, 8), cfg, WorkerConfig::default(), 2)
+                .unwrap();
+        assert!(report.steps_done >= 8);
+    }
+
+    #[test]
+    fn drain_checkpoint_resume_round_trips() {
+        let dir = tmp_dir("resume");
+        let s = suite(30);
+        let cfg = CoordinatorConfig {
+            checkpoint_dir: Some(dir.clone()),
+            batch_per_round: 4,
+            lease_size: 2,
+            lease_timeout: Duration::from_secs(5),
+            max_steps: Some(8),
+            ..Default::default()
+        };
+        let (first, _) =
+            run_local(&s, "unit@test", &seed_batch(31, 8), cfg.clone(), WorkerConfig::default(), 2)
+                .unwrap();
+        assert!(first.steps_done >= 8);
+
+        // The checkpoint is a valid plain campaign checkpoint too.
+        let state = dx_campaign::checkpoint::load(&dir).unwrap();
+        assert_eq!(state.epochs.len(), first.report.epochs.len());
+        assert!(state.coverage.is_some());
+
+        // Resume the fleet with a larger budget; steps continue counting.
+        let resumed =
+            Coordinator::resume(&s, "unit@test", CoordinatorConfig { max_steps: Some(16), ..cfg })
+                .unwrap();
+        assert_eq!(resumed.steps_done(), first.steps_done);
+        let before = resumed.mean_coverage();
+        let (second, _) =
+            serve_local(&resumed, &s, "unit@test", WorkerConfig::default(), 2).unwrap();
+        assert!(second.steps_done >= 16);
+        assert!(second.report.epochs.len() > first.report.epochs.len());
+        let after: f32 = second.coverage.iter().sum::<f32>() / second.coverage.len() as f32;
+        assert!(after >= before - 1e-6, "coverage regressed on resume");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn drain_handle_stops_an_unbounded_campaign() {
+        let dir = tmp_dir("drain");
+        let s = suite(40);
+        let coordinator = Coordinator::new(
+            &s,
+            "unit@test",
+            &seed_batch(41, 8),
+            CoordinatorConfig {
+                checkpoint_dir: Some(dir.clone()),
+                batch_per_round: 4,
+                lease_size: 1,
+                ..Default::default() // No budget: would run until exhaustion.
+            },
+        );
+        let handle = coordinator.drain_handle();
+        let listener = std::net::TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let (report, summary) = std::thread::scope(|scope| {
+            let w = {
+                let s = s.clone();
+                scope.spawn(move || run_worker(addr, s, "unit@test", WorkerConfig::default()))
+            };
+            // SIGTERM stand-in: drain shortly after work starts.
+            scope.spawn(move || {
+                std::thread::sleep(Duration::from_millis(300));
+                handle.drain();
+            });
+            let report = coordinator.serve(listener).unwrap();
+            (report, w.join().unwrap().unwrap())
+        });
+        assert_eq!(report.steps_done, summary.steps);
+        // The drain checkpoint resumes.
+        let resumed = Coordinator::resume(
+            &s,
+            "unit@test",
+            CoordinatorConfig {
+                checkpoint_dir: Some(dir.clone()),
+                max_steps: Some(report.steps_done + 4),
+                batch_per_round: 4,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let (second, _) =
+            serve_local(&resumed, &s, "unit@test", WorkerConfig::default(), 1).unwrap();
+        assert!(second.steps_done >= report.steps_done);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn abandoned_lease_is_requeued_and_campaign_still_finishes() {
+        let s = suite(50);
+        let coordinator = Coordinator::new(
+            &s,
+            "unit@test",
+            &seed_batch(51, 6),
+            CoordinatorConfig {
+                max_steps: Some(6),
+                batch_per_round: 3,
+                lease_size: 3,
+                lease_timeout: Duration::from_millis(300),
+                ..Default::default()
+            },
+        );
+        let fingerprint = coordinator.fingerprint().clone();
+        let listener = std::net::TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let report = std::thread::scope(|scope| {
+            // A bad worker that takes a lease and vanishes.
+            scope.spawn(move || {
+                let replies = worker::scripted(
+                    addr,
+                    &[
+                        Msg::Hello { version: PROTOCOL_VERSION, fingerprint },
+                        Msg::LeaseRequest { slot: 0, want: 3 },
+                    ],
+                )
+                .unwrap();
+                assert!(matches!(replies[0], Msg::Welcome { slot: 0, .. }));
+                assert!(matches!(replies[1], Msg::Lease { .. }));
+                // Dropping the stream abandons the lease.
+            });
+            // An honest worker joins a beat later and must still be able to
+            // fuzz the abandoned seeds.
+            let honest = {
+                let s = s.clone();
+                scope.spawn(move || {
+                    std::thread::sleep(Duration::from_millis(100));
+                    run_worker(addr, s, "unit@test", WorkerConfig::default())
+                })
+            };
+            let report = coordinator.serve(listener).unwrap();
+            honest.join().unwrap().unwrap();
+            report
+        });
+        assert!(report.steps_done >= 6, "requeue failed: {} steps", report.steps_done);
+    }
+
+    #[test]
+    fn late_results_for_an_expired_lease_are_salvaged() {
+        // A lease whose only worker outlives the timeout: the seeds are
+        // requeued, but when the results finally arrive and nobody else
+        // has re-leased those seeds, the work is counted, not redone.
+        let s = suite(70);
+        let coordinator = Coordinator::new(
+            &s,
+            "unit@test",
+            &seed_batch(71, 3),
+            CoordinatorConfig {
+                max_steps: Some(3),
+                batch_per_round: 3,
+                lease_size: 3,
+                lease_timeout: Duration::from_millis(150),
+                ..Default::default()
+            },
+        );
+        let fingerprint = coordinator.fingerprint().clone();
+        let listener = std::net::TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let report = std::thread::scope(|scope| {
+            scope.spawn(move || {
+                let mut stream = std::net::TcpStream::connect(addr).unwrap();
+                let hello = Msg::Hello { version: PROTOCOL_VERSION, fingerprint };
+                crate::wire::write_frame(&mut stream, &hello.to_json()).unwrap();
+                let _ = crate::wire::read_frame(&mut stream).unwrap();
+                let req = Msg::LeaseRequest { slot: 0, want: 3 };
+                crate::wire::write_frame(&mut stream, &req.to_json()).unwrap();
+                let reply = Msg::from_json(&crate::wire::read_frame(&mut stream).unwrap()).unwrap();
+                let Msg::Lease { lease, jobs, .. } = reply else { panic!("{reply:?}") };
+                // Outlive the lease (no heartbeat), then report anyway.
+                std::thread::sleep(Duration::from_millis(600));
+                let items = jobs
+                    .iter()
+                    .map(|j| crate::proto::JobResult {
+                        seed_id: j.seed_id,
+                        run: deepxplore::SeedRun {
+                            test: None,
+                            preexisting: false,
+                            iterations: 1,
+                            newly_covered: 0,
+                            corpus_candidate: None,
+                        },
+                    })
+                    .collect();
+                let results = Msg::Results {
+                    slot: 0,
+                    lease,
+                    items,
+                    cov: vec![Vec::new(); 3],
+                    rng_state: [1, 2, 3, 4],
+                };
+                crate::wire::write_frame(&mut stream, &results.to_json()).unwrap();
+                let ack = Msg::from_json(&crate::wire::read_frame(&mut stream).unwrap()).unwrap();
+                // The budget is met by the salvaged steps, so the reply
+                // is the drain notice.
+                assert!(matches!(ack, Msg::Drain), "{ack:?}");
+                crate::wire::write_frame(&mut stream, &Msg::Bye.to_json()).unwrap();
+            });
+            coordinator.serve(listener).unwrap()
+        });
+        assert_eq!(report.steps_done, 3, "expired-lease results were not salvaged");
+    }
+
+    #[test]
+    fn heartbeat_without_hello_is_rejected() {
+        let s = suite(80);
+        let coordinator = Coordinator::new(&s, "unit@test", &seed_batch(81, 4), quick_cfg(4));
+        let listener = std::net::TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = coordinator.drain_handle();
+        std::thread::scope(|scope| {
+            scope.spawn(move || {
+                let replies =
+                    worker::scripted(addr, &[Msg::Heartbeat { slot: 0, lease: 0 }]).unwrap();
+                assert!(matches!(&replies[0], Msg::Reject { .. }), "{:?}", replies[0]);
+                handle.drain();
+            });
+            coordinator.serve(listener).unwrap();
+        });
+    }
+
+    #[test]
+    fn mismatched_fingerprint_is_rejected() {
+        let s = suite(60);
+        let coordinator = Coordinator::new(&s, "unit@test", &seed_batch(61, 4), quick_cfg(4));
+        let listener = std::net::TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = coordinator.drain_handle();
+        std::thread::scope(|scope| {
+            scope.spawn(move || {
+                let wrong = Fingerprint { label: "other@test".into(), neurons: vec![1, 2, 3] };
+                let replies = worker::scripted(
+                    addr,
+                    &[Msg::Hello { version: PROTOCOL_VERSION, fingerprint: wrong }],
+                )
+                .unwrap();
+                assert!(matches!(&replies[0], Msg::Reject { .. }), "{:?}", replies[0]);
+                // A stale protocol version is rejected too.
+                let fp = Fingerprint { label: "unit@test".into(), neurons: vec![1] };
+                let replies = worker::scripted(
+                    addr,
+                    &[Msg::Hello { version: PROTOCOL_VERSION + 1, fingerprint: fp }],
+                )
+                .unwrap();
+                assert!(matches!(&replies[0], Msg::Reject { .. }), "{:?}", replies[0]);
+                handle.drain();
+            });
+            coordinator.serve(listener).unwrap();
+        });
+    }
+}

@@ -1,0 +1,454 @@
+//! The coordinator/worker message protocol.
+//!
+//! Strict request/response, always initiated by the worker over its own
+//! connection:
+//!
+//! ```text
+//! worker                          coordinator
+//!   | -- hello {version, fp} ------> |   verify, assign a slot
+//!   | <- welcome {slot, seed, rng} - |
+//!   | -- lease_req {slot, want} ---> |   energy-weighted batch + cov delta
+//!   | <- lease {id, jobs, cov} ----- |   (or wait / drain)
+//!   | -- heartbeat {slot, lease} --> |   extends the lease deadline
+//!   | <- ack {cov} ----------------- |
+//!   | -- results {lease, items,   -> |   absorb runs, union coverage
+//!   |             cov, rng}          |
+//!   | <- ack {cov} ----------------- |   (or drain)
+//!   | -- bye ----------------------> |   connection closes
+//! ```
+//!
+//! Coverage flows as sparse per-model index deltas
+//! ([`dx_coverage::CoverageTracker::diff_indices`]) relative to what each
+//! side already told the other, so steady-state sync cost is proportional
+//! to *new* coverage, not model size. Seeds (`u64`) and RNG words travel
+//! as decimal strings — JSON numbers cannot carry 64-bit integers exactly.
+
+use std::io;
+
+use deepxplore::SeedRun;
+use dx_campaign::codec::{
+    bad, field_usize, rng_state_from_json, rng_state_json, seed_run_from_json, seed_run_json,
+    tensor_fields, tensor_from_json, u64_from_json, u64_json,
+};
+use dx_campaign::json::{build, Json};
+use dx_coverage::CoverageTracker;
+use dx_tensor::Tensor;
+
+/// Bumped on any incompatible message or codec change; a mismatch is
+/// rejected at `hello` time.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// What the coordinator checks before admitting a worker: both sides must
+/// be fuzzing the same model suite under the same coverage metric.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Fingerprint {
+    /// Human-readable suite label (e.g. `mnist@test`).
+    pub label: String,
+    /// Per-model tracked-neuron totals — a cheap structural hash of the
+    /// models and the coverage configuration.
+    pub neurons: Vec<usize>,
+}
+
+impl Fingerprint {
+    fn to_json(&self) -> Json {
+        build::obj(vec![
+            ("label", build::str(&self.label)),
+            ("neurons", build::ints(&self.neurons)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> io::Result<Self> {
+        Ok(Self {
+            label: v.get("label").and_then(Json::as_str).ok_or_else(|| bad("label"))?.to_string(),
+            neurons: usizes(v.get("neurons").ok_or_else(|| bad("neurons"))?, "neurons")?,
+        })
+    }
+}
+
+/// Per-model sparse coverage delta: newly covered flat neuron offsets.
+pub type CovDelta = Vec<Vec<usize>>;
+
+/// The delta routine both protocol sides share: everything `source`
+/// covers that `view` (the model of what the peer already knows) does
+/// not, after which the view catches up. The coordinator calls it with
+/// the global union against a per-connection view; the worker with its
+/// local trackers against its known-to-coordinator view.
+pub fn coverage_news(source: &[CoverageTracker], view: &mut [CoverageTracker]) -> CovDelta {
+    source
+        .iter()
+        .zip(view.iter_mut())
+        .map(|(s, v)| {
+            let delta = s.diff_indices(v);
+            v.apply_covered_indices(&delta);
+            delta
+        })
+        .collect()
+}
+
+/// One leased fuzzing job.
+#[derive(Clone, Debug)]
+pub struct Job {
+    /// Corpus entry id.
+    pub seed_id: usize,
+    /// The entry's input, batched `[1, ...]`.
+    pub input: Tensor,
+}
+
+/// One completed fuzzing job.
+#[derive(Clone, Debug)]
+pub struct JobResult {
+    /// Corpus entry id the job ran on.
+    pub seed_id: usize,
+    /// The step outcome.
+    pub run: SeedRun,
+}
+
+/// A protocol message.
+#[derive(Clone, Debug)]
+pub enum Msg {
+    /// Worker introduction; the coordinator verifies the fingerprint.
+    Hello {
+        /// Sender's [`PROTOCOL_VERSION`].
+        version: u64,
+        /// Sender's model-suite fingerprint.
+        fingerprint: Fingerprint,
+    },
+    /// Admission: the worker's slot and the campaign master seed (the
+    /// worker derives its generator stream from them, exactly like an
+    /// in-process pool worker would).
+    Welcome {
+        /// Assigned worker slot.
+        slot: u64,
+        /// Campaign master seed.
+        campaign_seed: u64,
+        /// Saved generator RNG state for this slot — present when resuming
+        /// a checkpointed fleet, so streams continue instead of restarting.
+        rng_state: Option<[u64; 4]>,
+    },
+    /// Admission refused (version/fingerprint mismatch, malformed frame).
+    Reject {
+        /// Human-readable cause.
+        reason: String,
+    },
+    /// Worker asks for up to `want` jobs.
+    LeaseRequest {
+        /// Sender's slot.
+        slot: u64,
+        /// Max jobs wanted.
+        want: usize,
+    },
+    /// A batch of jobs on a deadline, plus the coordinator's coverage news.
+    Lease {
+        /// Lease id, echoed in heartbeats and results.
+        lease: u64,
+        /// The leased jobs.
+        jobs: Vec<Job>,
+        /// Global-union coverage the worker hasn't seen yet.
+        cov: CovDelta,
+    },
+    /// Nothing schedulable right now (everything leased out); retry after
+    /// the given pause.
+    Wait {
+        /// Suggested pause before the next `lease_req`.
+        millis: u64,
+    },
+    /// The campaign is over (budget, coverage target, or drain request);
+    /// the worker should send `bye` and exit.
+    Drain,
+    /// Keep-alive for a long-running lease; extends its deadline.
+    Heartbeat {
+        /// Sender's slot.
+        slot: u64,
+        /// The lease being worked on.
+        lease: u64,
+    },
+    /// Completed lease: per-seed outcomes, local coverage delta, and the
+    /// worker's generator RNG state (persisted for fleet resume).
+    Results {
+        /// Sender's slot.
+        slot: u64,
+        /// The lease these results answer.
+        lease: u64,
+        /// Per-seed outcomes, in lease order.
+        items: Vec<JobResult>,
+        /// Coverage the worker found that it hasn't reported yet.
+        cov: CovDelta,
+        /// Worker generator RNG state after the lease.
+        rng_state: [u64; 4],
+    },
+    /// Acknowledgement carrying the coordinator's coverage news.
+    Ack {
+        /// Global-union coverage the worker hasn't seen yet.
+        cov: CovDelta,
+    },
+    /// Clean goodbye; the connection closes.
+    Bye,
+}
+
+fn usizes(v: &Json, what: &str) -> io::Result<Vec<usize>> {
+    v.as_arr()
+        .ok_or_else(|| bad(what))?
+        .iter()
+        .map(|x| x.as_usize().ok_or_else(|| bad(what)))
+        .collect()
+}
+
+fn cov_json(cov: &CovDelta) -> Json {
+    Json::Arr(cov.iter().map(|m| build::ints(m)).collect())
+}
+
+fn cov_from_json(v: &Json) -> io::Result<CovDelta> {
+    v.as_arr().ok_or_else(|| bad("cov"))?.iter().map(|m| usizes(m, "cov indices")).collect()
+}
+
+fn job_json(j: &Job) -> Json {
+    let (shape, data) = tensor_fields(&j.input);
+    build::obj(vec![("seed_id", build::int(j.seed_id)), ("shape", shape), ("data", data)])
+}
+
+fn job_from_json(v: &Json) -> io::Result<Job> {
+    Ok(Job { seed_id: field_usize(v, "seed_id")?, input: tensor_from_json(v)? })
+}
+
+fn item_json(r: &JobResult) -> Json {
+    build::obj(vec![("seed_id", build::int(r.seed_id)), ("run", seed_run_json(&r.run))])
+}
+
+fn item_from_json(v: &Json) -> io::Result<JobResult> {
+    Ok(JobResult {
+        seed_id: field_usize(v, "seed_id")?,
+        run: seed_run_from_json(v.get("run").ok_or_else(|| bad("run"))?)?,
+    })
+}
+
+fn tagged(tag: &str, mut fields: Vec<(&str, Json)>) -> Json {
+    let mut all = vec![("type", build::str(tag))];
+    all.append(&mut fields);
+    build::obj(all)
+}
+
+impl Msg {
+    /// Encodes the message as one JSON document.
+    pub fn to_json(&self) -> Json {
+        match self {
+            Msg::Hello { version, fingerprint } => tagged(
+                "hello",
+                vec![("version", u64_json(*version)), ("fp", fingerprint.to_json())],
+            ),
+            Msg::Welcome { slot, campaign_seed, rng_state } => tagged(
+                "welcome",
+                vec![
+                    ("slot", u64_json(*slot)),
+                    ("campaign_seed", u64_json(*campaign_seed)),
+                    ("rng_state", rng_state.as_ref().map_or(Json::Null, rng_state_json)),
+                ],
+            ),
+            Msg::Reject { reason } => tagged("reject", vec![("reason", build::str(reason))]),
+            Msg::LeaseRequest { slot, want } => {
+                tagged("lease_req", vec![("slot", u64_json(*slot)), ("want", build::int(*want))])
+            }
+            Msg::Lease { lease, jobs, cov } => tagged(
+                "lease",
+                vec![
+                    ("lease", u64_json(*lease)),
+                    ("jobs", Json::Arr(jobs.iter().map(job_json).collect())),
+                    ("cov", cov_json(cov)),
+                ],
+            ),
+            Msg::Wait { millis } => tagged("wait", vec![("millis", u64_json(*millis))]),
+            Msg::Drain => tagged("drain", vec![]),
+            Msg::Heartbeat { slot, lease } => {
+                tagged("heartbeat", vec![("slot", u64_json(*slot)), ("lease", u64_json(*lease))])
+            }
+            Msg::Results { slot, lease, items, cov, rng_state } => tagged(
+                "results",
+                vec![
+                    ("slot", u64_json(*slot)),
+                    ("lease", u64_json(*lease)),
+                    ("items", Json::Arr(items.iter().map(item_json).collect())),
+                    ("cov", cov_json(cov)),
+                    ("rng_state", rng_state_json(rng_state)),
+                ],
+            ),
+            Msg::Ack { cov } => tagged("ack", vec![("cov", cov_json(cov))]),
+            Msg::Bye => tagged("bye", vec![]),
+        }
+    }
+
+    /// Decodes a message encoded by [`Msg::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` on an unknown tag or missing/malformed field.
+    pub fn from_json(v: &Json) -> io::Result<Msg> {
+        let tag = v.get("type").and_then(Json::as_str).ok_or_else(|| bad("type"))?;
+        let u64_field = |key: &str| v.get(key).and_then(u64_from_json).ok_or_else(|| bad(key));
+        Ok(match tag {
+            "hello" => Msg::Hello {
+                version: u64_field("version")?,
+                fingerprint: Fingerprint::from_json(v.get("fp").ok_or_else(|| bad("fp"))?)?,
+            },
+            "welcome" => Msg::Welcome {
+                slot: u64_field("slot")?,
+                campaign_seed: u64_field("campaign_seed")?,
+                rng_state: match v.get("rng_state") {
+                    None | Some(Json::Null) => None,
+                    Some(s) => Some(rng_state_from_json(s)?),
+                },
+            },
+            "reject" => Msg::Reject {
+                reason: v
+                    .get("reason")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| bad("reason"))?
+                    .to_string(),
+            },
+            "lease_req" => {
+                Msg::LeaseRequest { slot: u64_field("slot")?, want: field_usize(v, "want")? }
+            }
+            "lease" => Msg::Lease {
+                lease: u64_field("lease")?,
+                jobs: v
+                    .get("jobs")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| bad("jobs"))?
+                    .iter()
+                    .map(job_from_json)
+                    .collect::<io::Result<_>>()?,
+                cov: cov_from_json(v.get("cov").ok_or_else(|| bad("cov"))?)?,
+            },
+            "wait" => Msg::Wait { millis: u64_field("millis")? },
+            "drain" => Msg::Drain,
+            "heartbeat" => Msg::Heartbeat { slot: u64_field("slot")?, lease: u64_field("lease")? },
+            "results" => Msg::Results {
+                slot: u64_field("slot")?,
+                lease: u64_field("lease")?,
+                items: v
+                    .get("items")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| bad("items"))?
+                    .iter()
+                    .map(item_from_json)
+                    .collect::<io::Result<_>>()?,
+                cov: cov_from_json(v.get("cov").ok_or_else(|| bad("cov"))?)?,
+                rng_state: rng_state_from_json(
+                    v.get("rng_state").ok_or_else(|| bad("rng_state"))?,
+                )?,
+            },
+            "ack" => Msg::Ack { cov: cov_from_json(v.get("cov").ok_or_else(|| bad("cov"))?)? },
+            "bye" => Msg::Bye,
+            other => return Err(bad(&format!("message type `{other}`"))),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dx_campaign::codec::parse_doc;
+    use dx_tensor::rng;
+
+    fn round_trip(msg: &Msg) -> Msg {
+        let text = msg.to_json().to_string();
+        Msg::from_json(&parse_doc(&text).unwrap()).unwrap()
+    }
+
+    fn fp() -> Fingerprint {
+        Fingerprint { label: "mnist@test".into(), neurons: vec![52, 148, 268] }
+    }
+
+    #[test]
+    fn hello_welcome_round_trip() {
+        match round_trip(&Msg::Hello { version: PROTOCOL_VERSION, fingerprint: fp() }) {
+            Msg::Hello { version, fingerprint } => {
+                assert_eq!(version, PROTOCOL_VERSION);
+                assert_eq!(fingerprint, fp());
+            }
+            other => panic!("{other:?}"),
+        }
+        match round_trip(&Msg::Welcome {
+            slot: 3,
+            campaign_seed: u64::MAX,
+            rng_state: Some([1, 2, 3, u64::MAX]),
+        }) {
+            Msg::Welcome { slot, campaign_seed, rng_state } => {
+                assert_eq!(slot, 3);
+                assert_eq!(campaign_seed, u64::MAX, "seeds above 2^53 must survive");
+                assert_eq!(rng_state, Some([1, 2, 3, u64::MAX]));
+            }
+            other => panic!("{other:?}"),
+        }
+        match round_trip(&Msg::Welcome { slot: 0, campaign_seed: 42, rng_state: None }) {
+            Msg::Welcome { rng_state: None, .. } => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn lease_and_results_round_trip() {
+        let input = rng::uniform(&mut rng::rng(1), &[1, 6], 0.0, 1.0);
+        let lease = Msg::Lease {
+            lease: 9,
+            jobs: vec![Job { seed_id: 4, input: input.clone() }],
+            cov: vec![vec![0, 5, 9], vec![]],
+        };
+        match round_trip(&lease) {
+            Msg::Lease { lease, jobs, cov } => {
+                assert_eq!(lease, 9);
+                assert_eq!(jobs[0].seed_id, 4);
+                assert_eq!(jobs[0].input, input);
+                assert_eq!(cov, vec![vec![0, 5, 9], vec![]]);
+            }
+            other => panic!("{other:?}"),
+        }
+        let results = Msg::Results {
+            slot: 1,
+            lease: 9,
+            items: vec![JobResult {
+                seed_id: 4,
+                run: SeedRun {
+                    test: None,
+                    preexisting: false,
+                    iterations: 12,
+                    newly_covered: 3,
+                    corpus_candidate: Some(input.clone()),
+                },
+            }],
+            cov: vec![vec![1], vec![2, 3]],
+            rng_state: [9, 8, 7, 6],
+        };
+        match round_trip(&results) {
+            Msg::Results { items, cov, rng_state, .. } => {
+                assert_eq!(items[0].run.iterations, 12);
+                assert_eq!(items[0].run.corpus_candidate.as_ref(), Some(&input));
+                assert_eq!(cov, vec![vec![1], vec![2, 3]]);
+                assert_eq!(rng_state, [9, 8, 7, 6]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn control_messages_round_trip() {
+        assert!(matches!(round_trip(&Msg::Drain), Msg::Drain));
+        assert!(matches!(round_trip(&Msg::Bye), Msg::Bye));
+        assert!(matches!(round_trip(&Msg::Wait { millis: 50 }), Msg::Wait { millis: 50 }));
+        assert!(matches!(
+            round_trip(&Msg::Heartbeat { slot: 2, lease: 7 }),
+            Msg::Heartbeat { slot: 2, lease: 7 }
+        ));
+    }
+
+    #[test]
+    fn unknown_or_malformed_messages_are_rejected() {
+        for text in [
+            r#"{"type":"warp"}"#,
+            r#"{"no_type":1}"#,
+            r#"{"type":"lease","lease":"1"}"#,
+            r#"{"type":"results","slot":"0","lease":"1","items":[{"seed_id":0}],"cov":[],"rng_state":["1","2","3","4"]}"#,
+        ] {
+            let doc = parse_doc(text).unwrap();
+            assert!(Msg::from_json(&doc).is_err(), "accepted `{text}`");
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! Length-prefixed JSON framing over any byte stream.
+//!
+//! A frame is a 4-byte big-endian payload length followed by exactly that
+//! many bytes of UTF-8 JSON (one document per frame, encoded by
+//! [`dx_campaign::json`]). The format is self-delimiting, so a stream of
+//! frames needs no other synchronization — and because the payloads reuse
+//! the checkpoint codecs, a wire message and a checkpoint line for the
+//! same value are byte-identical.
+
+use std::io::{self, Read, Write};
+
+use dx_campaign::codec::parse_doc;
+use dx_campaign::json::Json;
+
+/// Upper bound on one frame's payload, as a corruption guard: a garbage
+/// length prefix would otherwise ask for gigabytes.
+pub const MAX_FRAME: usize = 1 << 28;
+
+fn oversized(len: usize) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("frame of {len} bytes exceeds the {MAX_FRAME}-byte cap"),
+    )
+}
+
+/// Writes one framed message and flushes.
+///
+/// # Errors
+///
+/// Any I/O failure, or a message over [`MAX_FRAME`] bytes.
+pub fn write_frame(w: &mut impl Write, msg: &Json) -> io::Result<()> {
+    let payload = msg.to_string();
+    if payload.len() > MAX_FRAME {
+        return Err(oversized(payload.len()));
+    }
+    w.write_all(&(payload.len() as u32).to_be_bytes())?;
+    w.write_all(payload.as_bytes())?;
+    w.flush()
+}
+
+/// Reads one framed message, blocking until it is complete.
+///
+/// # Errors
+///
+/// `UnexpectedEof` on a stream that ends mid-frame, `InvalidData` on an
+/// oversized length prefix or a payload that is not valid JSON.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Json> {
+    let mut header = [0u8; 4];
+    r.read_exact(&mut header)?;
+    let len = u32::from_be_bytes(header) as usize;
+    if len > MAX_FRAME {
+        return Err(oversized(len));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    decode(&payload)
+}
+
+fn decode(payload: &[u8]) -> io::Result<Json> {
+    let text = std::str::from_utf8(payload)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame payload is not UTF-8"))?;
+    parse_doc(text)
+}
+
+/// An incremental frame reader for sockets with a read timeout.
+///
+/// [`read_frame`] assumes blocking reads: a timeout mid-frame would lose
+/// the bytes already consumed. `FrameReader` instead accumulates partial
+/// header/payload bytes across calls, so a server can poll a connection
+/// (checking drain flags between polls) without ever corrupting framing.
+#[derive(Default)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+    /// Payload length once the 4-byte header is complete.
+    need: Option<usize>,
+}
+
+impl FrameReader {
+    /// A reader with no partial state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reads whatever is available; returns `Ok(Some(msg))` once a full
+    /// frame has accumulated, `Ok(None)` when the read would block (the
+    /// partial frame is kept for the next poll).
+    ///
+    /// # Errors
+    ///
+    /// `UnexpectedEof` when the peer closes the stream (mid-frame or
+    /// between frames), `InvalidData` on oversized or malformed payloads,
+    /// and any other I/O error.
+    pub fn poll(&mut self, r: &mut impl Read) -> io::Result<Option<Json>> {
+        loop {
+            let target = match self.need {
+                None => 4,
+                Some(len) => 4 + len,
+            };
+            if self.buf.len() == target {
+                if let Some(len) = self.need {
+                    let msg = decode(&self.buf[4..4 + len])?;
+                    self.buf.clear();
+                    self.need = None;
+                    return Ok(Some(msg));
+                }
+                // Header complete: learn the payload length and keep going.
+                let len = u32::from_be_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]])
+                    as usize;
+                if len > MAX_FRAME {
+                    return Err(oversized(len));
+                }
+                self.need = Some(len);
+                continue;
+            }
+            let mut chunk = [0u8; 4096];
+            let want = (target - self.buf.len()).min(chunk.len());
+            match r.read(&mut chunk[..want]) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "peer closed the connection",
+                    ))
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    return Ok(None)
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dx_campaign::json::build;
+
+    fn sample() -> Json {
+        build::obj(vec![
+            ("type", build::str("lease")),
+            ("jobs", build::ints(&[1, 2, 3])),
+            ("note", build::str("héllo\n\"frame\"")),
+        ])
+    }
+
+    #[test]
+    fn frame_round_trips() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &sample()).unwrap();
+        write_frame(&mut buf, &Json::Null).unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap(), sample());
+        assert_eq!(read_frame(&mut r).unwrap(), Json::Null);
+        assert!(r.is_empty());
+    }
+
+    /// Yields at most one byte per read, interleaved with `WouldBlock`
+    /// errors — the worst legal behavior of a socket with a read timeout.
+    struct Trickle<'a> {
+        data: &'a [u8],
+        pos: usize,
+        starve: bool,
+    }
+
+    impl Read for Trickle<'_> {
+        fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+            self.starve = !self.starve;
+            if self.starve {
+                return Err(io::Error::new(io::ErrorKind::WouldBlock, "starved"));
+            }
+            if self.pos == self.data.len() {
+                return Ok(0);
+            }
+            out[0] = self.data[self.pos];
+            self.pos += 1;
+            Ok(1)
+        }
+    }
+
+    #[test]
+    fn frame_reader_survives_partial_reads() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &sample()).unwrap();
+        write_frame(&mut buf, &build::ints(&[7, 8])).unwrap();
+        let mut src = Trickle { data: &buf, pos: 0, starve: false };
+        let mut reader = FrameReader::new();
+        let mut got = Vec::new();
+        loop {
+            match reader.poll(&mut src) {
+                Ok(Some(msg)) => got.push(msg),
+                Ok(None) => continue, // WouldBlock: partial state retained.
+                Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => break,
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert_eq!(got, vec![sample(), build::ints(&[7, 8])]);
+    }
+
+    #[test]
+    fn truncated_frame_is_eof() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &sample()).unwrap();
+        for cut in 0..buf.len() - 1 {
+            let mut r = &buf[..cut];
+            let err = read_frame(&mut r).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof, "cut at {cut}");
+            // The incremental reader agrees.
+            let mut src = &buf[..cut];
+            let mut reader = FrameReader::new();
+            match reader.poll(&mut src) {
+                Ok(Some(_)) => panic!("cut at {cut} produced a frame"),
+                Ok(None) => unreachable!("slices never block"),
+                Err(e) => assert_eq!(e.kind(), io::ErrorKind::UnexpectedEof, "cut at {cut}"),
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected() {
+        let mut buf = (u32::MAX).to_be_bytes().to_vec();
+        buf.extend_from_slice(b"xxxx");
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap_err().kind(), io::ErrorKind::InvalidData);
+        let mut reader = FrameReader::new();
+        let mut r = &buf[..];
+        assert_eq!(reader.poll(&mut r).unwrap_err().kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn non_json_payload_is_rejected() {
+        let mut buf = 3u32.to_be_bytes().to_vec();
+        buf.extend_from_slice(b"{x}");
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap_err().kind(), io::ErrorKind::InvalidData);
+    }
+}

@@ -1,0 +1,220 @@
+//! The campaign worker: a thin network wrapper around the generator's
+//! per-seed step loop.
+//!
+//! A worker owns clones of the models and a [`deepxplore::Generator`]
+//! whose RNG stream derives from `(campaign_seed, slot)` exactly like an
+//! in-process pool worker's — a dist fleet of N workers and an in-process
+//! pool of N workers draw from the same per-worker streams. It leases
+//! seed batches, runs [`deepxplore::Generator::run_seed`] on each,
+//! heartbeats during long leases, and reports outcomes plus a sparse
+//! coverage delta; the coordinator's acks carry the global union's news
+//! back, which the generator adopts so it stops chasing neurons another
+//! worker already covered.
+
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use deepxplore::generator::Generator;
+use dx_campaign::ModelSuite;
+use dx_coverage::CoverageTracker;
+use dx_tensor::rng;
+
+use crate::proto::{coverage_news, CovDelta, Fingerprint, JobResult, Msg, PROTOCOL_VERSION};
+use crate::suite_fingerprint;
+use crate::wire::{read_frame, write_frame};
+
+/// Worker-side knobs.
+#[derive(Clone, Debug)]
+pub struct WorkerConfig {
+    /// Jobs requested per lease.
+    pub lease_size: usize,
+    /// Heartbeat before every this-many-th job within a lease; with the
+    /// default of 1, every job starts on a fresh lease deadline, so the
+    /// coordinator's `lease_timeout` only needs to cover one seed step.
+    pub heartbeat_every: usize,
+    /// Connection attempts before giving up (the coordinator may still be
+    /// binding when a fleet starts).
+    pub connect_retries: u32,
+    /// Pause between connection attempts.
+    pub retry_delay: Duration,
+}
+
+impl Default for WorkerConfig {
+    fn default() -> Self {
+        Self {
+            lease_size: 4,
+            heartbeat_every: 1,
+            connect_retries: 50,
+            retry_delay: Duration::from_millis(100),
+        }
+    }
+}
+
+/// What a worker did over its connection lifetime.
+#[derive(Clone, Debug)]
+pub struct WorkerSummary {
+    /// The slot the coordinator assigned.
+    pub slot: u64,
+    /// Seed steps completed.
+    pub steps: usize,
+    /// Difference-inducing inputs found.
+    pub diffs_found: usize,
+    /// The worker's final local per-model coverage (its union view).
+    pub coverage: Vec<f32>,
+}
+
+fn proto_err(what: impl AsRef<str>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, what.as_ref().to_string())
+}
+
+fn connect(addr: impl ToSocketAddrs + Clone, cfg: &WorkerConfig) -> io::Result<TcpStream> {
+    let mut last = None;
+    for _ in 0..cfg.connect_retries.max(1) {
+        match TcpStream::connect(addr.clone()) {
+            Ok(s) => return Ok(s),
+            Err(e) => {
+                last = Some(e);
+                std::thread::sleep(cfg.retry_delay);
+            }
+        }
+    }
+    Err(last.unwrap_or_else(|| io::Error::new(io::ErrorKind::NotConnected, "no attempts made")))
+}
+
+fn exchange(stream: &mut TcpStream, msg: &Msg) -> io::Result<Msg> {
+    write_frame(stream, &msg.to_json())?;
+    Msg::from_json(&read_frame(stream)?)
+}
+
+/// Runs a worker against the coordinator at `addr` until the campaign
+/// drains. `label` must match the coordinator's (it is part of the
+/// admission fingerprint).
+///
+/// # Errors
+///
+/// Connection failures, admission rejection, or protocol violations.
+pub fn run_worker(
+    addr: impl ToSocketAddrs + Clone,
+    suite: ModelSuite,
+    label: &str,
+    cfg: WorkerConfig,
+) -> io::Result<WorkerSummary> {
+    let fingerprint = suite_fingerprint(&suite, label);
+    let mut stream = connect(addr, &cfg)?;
+    stream.set_nodelay(true)?;
+    let (slot, campaign_seed, rng_state) = hello(&mut stream, fingerprint)?;
+    let mut generator = Generator::new(
+        suite.models.clone(),
+        suite.kind,
+        suite.hp,
+        suite.constraint.clone(),
+        suite.coverage,
+        rng::derive_seed(campaign_seed, 1 + slot),
+    );
+    if let Some(state) = rng_state {
+        // A resumed fleet: continue the checkpointed stream.
+        generator.set_rng_state(state);
+    }
+    // What the coordinator knows we know; deltas in both directions are
+    // relative to this.
+    let mut known: Vec<CoverageTracker> = generator.trackers().to_vec();
+    let mut summary = WorkerSummary { slot, steps: 0, diffs_found: 0, coverage: Vec::new() };
+    loop {
+        let reply =
+            exchange(&mut stream, &Msg::LeaseRequest { slot, want: cfg.lease_size.max(1) })?;
+        match reply {
+            Msg::Lease { lease, jobs, cov } => {
+                adopt(&mut generator, &mut known, &cov)?;
+                let mut items = Vec::with_capacity(jobs.len());
+                for (k, job) in jobs.into_iter().enumerate() {
+                    // Heartbeat *before* later jobs (every one, at the
+                    // default heartbeat_every = 1), resetting the lease
+                    // deadline so the timeout only needs to cover
+                    // heartbeat_every seed steps, not a whole lease. (A
+                    // stretch of steps that still outlasts the timeout
+                    // expires the lease; the coordinator salvages those
+                    // results on arrival as long as the seeds were not
+                    // re-leased meanwhile.)
+                    if k > 0 && cfg.heartbeat_every > 0 && k % cfg.heartbeat_every == 0 {
+                        match exchange(&mut stream, &Msg::Heartbeat { slot, lease })? {
+                            Msg::Ack { cov } => adopt(&mut generator, &mut known, &cov)?,
+                            Msg::Drain => {} // Finish the lease; exit after reporting.
+                            other => return Err(proto_err(format!("unexpected {other:?}"))),
+                        }
+                    }
+                    let run = generator.run_seed(job.seed_id, &job.input);
+                    summary.steps += 1;
+                    if run.found_difference() {
+                        summary.diffs_found += 1;
+                    }
+                    items.push(JobResult { seed_id: job.seed_id, run });
+                }
+                let cov = local_news(&generator, &mut known);
+                let results =
+                    Msg::Results { slot, lease, items, cov, rng_state: generator.rng_state() };
+                match exchange(&mut stream, &results)? {
+                    Msg::Ack { cov } => adopt(&mut generator, &mut known, &cov)?,
+                    Msg::Drain => break,
+                    other => return Err(proto_err(format!("unexpected {other:?}"))),
+                }
+            }
+            Msg::Wait { millis } => std::thread::sleep(Duration::from_millis(millis.min(1000))),
+            Msg::Drain => break,
+            Msg::Reject { reason } => return Err(proto_err(format!("rejected: {reason}"))),
+            other => return Err(proto_err(format!("unexpected {other:?}"))),
+        }
+    }
+    let _ = write_frame(&mut stream, &Msg::Bye.to_json());
+    summary.coverage = generator.coverage();
+    Ok(summary)
+}
+
+fn hello(
+    stream: &mut TcpStream,
+    fingerprint: Fingerprint,
+) -> io::Result<(u64, u64, Option<[u64; 4]>)> {
+    match exchange(stream, &Msg::Hello { version: PROTOCOL_VERSION, fingerprint })? {
+        Msg::Welcome { slot, campaign_seed, rng_state } => Ok((slot, campaign_seed, rng_state)),
+        Msg::Reject { reason } => Err(proto_err(format!("rejected: {reason}"))),
+        other => Err(proto_err(format!("unexpected {other:?}"))),
+    }
+}
+
+/// Applies the coordinator's coverage news to the worker's known-view and
+/// the generator's own trackers.
+fn adopt(
+    generator: &mut Generator,
+    known: &mut [CoverageTracker],
+    cov: &CovDelta,
+) -> io::Result<()> {
+    if cov.len() != known.len() {
+        return Err(proto_err("coverage delta model-count mismatch"));
+    }
+    for (k, idx) in known.iter_mut().zip(cov) {
+        if idx.iter().any(|&i| i >= k.total()) {
+            return Err(proto_err("coverage delta out of range"));
+        }
+        k.apply_covered_indices(idx);
+    }
+    generator.adopt_coverage(known);
+    Ok(())
+}
+
+/// Coverage this worker found that the coordinator hasn't heard about,
+/// after which the known-view catches up.
+fn local_news(generator: &Generator, known: &mut [CoverageTracker]) -> CovDelta {
+    coverage_news(generator.trackers(), known)
+}
+
+/// A raw scripted exchange for protocol tests: sends `msgs` in order and
+/// returns each reply (not used by real workers).
+#[cfg(test)]
+pub(crate) fn scripted(addr: std::net::SocketAddr, msgs: &[Msg]) -> io::Result<Vec<Msg>> {
+    let mut stream = TcpStream::connect(addr)?;
+    let mut out = Vec::new();
+    for m in msgs {
+        out.push(exchange(&mut stream, m)?);
+    }
+    Ok(out)
+}

@@ -91,10 +91,7 @@ pub const SPECS: [ModelSpec; 15] = [
 
 /// Looks up a spec by its paper id.
 pub fn spec(id: &str) -> ModelSpec {
-    *SPECS
-        .iter()
-        .find(|s| s.id == id)
-        .unwrap_or_else(|| panic!("unknown model id {id}"))
+    *SPECS.iter().find(|s| s.id == id).unwrap_or_else(|| panic!("unknown model id {id}"))
 }
 
 /// LeNet-1: two 5×5 conv/pool stages, then a classifier head.
@@ -210,7 +207,10 @@ pub fn resnet_mini() -> Network {
         if stride == 1 && in_ch == out_ch {
             Layer::residual(body)
         } else {
-            Layer::residual_projected(body, Conv2d::new(in_ch, out_ch, 1, stride, 0, Init::HeNormal))
+            Layer::residual_projected(
+                body,
+                Conv2d::new(in_ch, out_ch, 1, stride, 0, Init::HeNormal),
+            )
         }
     };
     Network::new(
@@ -386,11 +386,8 @@ mod tests {
     #[test]
     fn trio_architectures_differ() {
         for kind in DatasetKind::ALL {
-            let trio: Vec<Network> = SPECS
-                .iter()
-                .filter(|s| s.dataset == kind)
-                .map(build)
-                .collect();
+            let trio: Vec<Network> =
+                SPECS.iter().filter(|s| s.dataset == kind).map(build).collect();
             assert_eq!(trio.len(), 3, "{kind:?} trio");
             let counts: Vec<usize> = trio.iter().map(|n| n.param_count()).collect();
             assert!(
@@ -407,12 +404,7 @@ mod tests {
         for spec in &SPECS {
             let net = build(spec);
             let tracker = CoverageTracker::for_network(&net, CoverageConfig::default());
-            assert!(
-                tracker.total() >= 10,
-                "{} tracks only {} neurons",
-                spec.id,
-                tracker.total()
-            );
+            assert!(tracker.total() >= 10, "{} tracks only {} neurons", spec.id, tracker.total());
         }
     }
 
@@ -434,11 +426,7 @@ mod tests {
     #[test]
     fn resnet_mini_contains_residuals() {
         let net = resnet_mini();
-        let blocks = net
-            .layers()
-            .iter()
-            .filter(|l| l.name().starts_with("Residual"))
-            .count();
+        let blocks = net.layers().iter().filter(|l| l.name().starts_with("Residual")).count();
         assert_eq!(blocks, 3);
     }
 

@@ -10,8 +10,8 @@
 use dx_nn::layer::Layer;
 use dx_nn::network::Network;
 use dx_nn::train::{train_classifier, TrainConfig};
-use dx_nn::Optimizer;
 use dx_nn::util::gather_rows;
+use dx_nn::Optimizer;
 use dx_tensor::{rng, Tensor};
 
 /// LeNet-1 with `extra` additional filters in each convolutional layer
@@ -72,27 +72,10 @@ mod tests {
 
     #[test]
     fn identical_training_yields_identical_weights() {
-        let ds = mnist::generate(&mnist::MnistConfig {
-            n_train: 120,
-            n_test: 10,
-            ..Default::default()
-        });
-        let a = train_variant(
-            lenet1_wider(0),
-            &ds.train_x,
-            ds.train_labels.classes(),
-            100,
-            1,
-            7,
-        );
-        let b = train_variant(
-            lenet1_wider(0),
-            &ds.train_x,
-            ds.train_labels.classes(),
-            100,
-            1,
-            7,
-        );
+        let ds =
+            mnist::generate(&mnist::MnistConfig { n_train: 120, n_test: 10, ..Default::default() });
+        let a = train_variant(lenet1_wider(0), &ds.train_x, ds.train_labels.classes(), 100, 1, 7);
+        let b = train_variant(lenet1_wider(0), &ds.train_x, ds.train_labels.classes(), 100, 1, 7);
         for (pa, pb) in a.params().iter().zip(b.params().iter()) {
             assert_eq!(pa, pb);
         }
@@ -100,32 +83,11 @@ mod tests {
 
     #[test]
     fn sample_count_changes_weights() {
-        let ds = mnist::generate(&mnist::MnistConfig {
-            n_train: 130,
-            n_test: 10,
-            ..Default::default()
-        });
-        let a = train_variant(
-            lenet1_wider(0),
-            &ds.train_x,
-            ds.train_labels.classes(),
-            100,
-            1,
-            7,
-        );
-        let b = train_variant(
-            lenet1_wider(0),
-            &ds.train_x,
-            ds.train_labels.classes(),
-            128,
-            1,
-            7,
-        );
-        let differs = a
-            .params()
-            .iter()
-            .zip(b.params().iter())
-            .any(|(pa, pb)| pa != pb);
+        let ds =
+            mnist::generate(&mnist::MnistConfig { n_train: 130, n_test: 10, ..Default::default() });
+        let a = train_variant(lenet1_wider(0), &ds.train_x, ds.train_labels.classes(), 100, 1, 7);
+        let b = train_variant(lenet1_wider(0), &ds.train_x, ds.train_labels.classes(), 128, 1, 7);
+        let differs = a.params().iter().zip(b.params().iter()).any(|(pa, pb)| pa != pb);
         assert!(differs, "withholding samples should perturb the weights");
     }
 }

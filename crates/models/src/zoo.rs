@@ -65,13 +65,9 @@ pub struct ZooConfig {
 impl ZooConfig {
     /// The standard configuration at a given scale.
     pub fn new(scale: Scale) -> Self {
-        let cache_dir = std::env::var("DX_CACHE_DIR")
-            .map(PathBuf::from)
-            .unwrap_or_else(|_| {
-                PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-                    .join("../..")
-                    .join(".dx-cache")
-            });
+        let cache_dir = std::env::var("DX_CACHE_DIR").map(PathBuf::from).unwrap_or_else(|_| {
+            PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..").join(".dx-cache")
+        });
         Self { scale, cache_dir, seed: 0x000D_5EED }
     }
 }
@@ -138,11 +134,7 @@ impl Zoo {
 
     /// The trio of models for a dataset, in index order.
     pub fn trio(&mut self, kind: DatasetKind) -> Vec<Network> {
-        SPECS
-            .iter()
-            .filter(|s| s.dataset == kind)
-            .map(|s| self.model(s.id))
-            .collect()
+        SPECS.iter().filter(|s| s.dataset == kind).map(|s| self.model(s.id)).collect()
     }
 
     /// Test accuracy for classifiers, `1 − MSE` for the driving regressors
@@ -174,7 +166,10 @@ impl Zoo {
     }
 
     fn train(&mut self, spec: &ModelSpec, net: &mut Network) {
-        let seed = rng::derive_seed(self.config.seed, spec.index as u64 + 100 * spec.dataset.id().len() as u64);
+        let seed = rng::derive_seed(
+            self.config.seed,
+            spec.index as u64 + 100 * spec.dataset.id().len() as u64,
+        );
         let mut r = rng::rng(seed);
         net.init_weights(&mut r);
         let (cfg, mut opt) = recipe(spec.dataset, self.config.scale, seed);
@@ -261,10 +256,7 @@ fn recipe(kind: DatasetKind, scale: Scale, seed: u64) -> (TrainConfig, Optimizer
         }
     };
     let lr = if kind == DatasetKind::Imagenet { 3e-3 } else { 1e-3 };
-    (
-        TrainConfig { epochs, batch_size: 32, seed, shuffle: true },
-        Optimizer::adam(lr),
-    )
+    (TrainConfig { epochs, batch_size: 32, seed, shuffle: true }, Optimizer::adam(lr))
 }
 
 #[cfg(test)]

@@ -113,10 +113,7 @@ mod tests {
     #[test]
     fn deeper_networks_cost_more() {
         let small = Network::new(&[8], vec![Layer::dense(8, 8)]);
-        let big = Network::new(
-            &[8],
-            vec![Layer::dense(8, 64), Layer::relu(), Layer::dense(64, 8)],
-        );
+        let big = Network::new(&[8], vec![Layer::dense(8, 64), Layer::relu(), Layer::dense(64, 8)]);
         assert!(forward_cost(&big).macs > forward_cost(&small).macs);
     }
 

@@ -85,11 +85,7 @@ impl Conv2d {
     ///
     /// Panics unless the input is `[in_ch, H, W]` with the kernel fitting.
     pub fn output_shape(&self, in_shape: &[usize]) -> Vec<usize> {
-        assert_eq!(
-            in_shape.len(),
-            3,
-            "Conv2d expects [C, H, W] input, got {in_shape:?}"
-        );
+        assert_eq!(in_shape.len(), 3, "Conv2d expects [C, H, W] input, got {in_shape:?}");
         assert_eq!(
             in_shape[0], self.in_ch,
             "Conv2d expects {} input channels, got shape {in_shape:?}",
@@ -223,11 +219,8 @@ fn im2col(
                     let src_row = &plane[iy as usize * w..(iy as usize + 1) * w];
                     for ox in 0..ow {
                         let ix = (ox * stride + kx) as isize - pad as isize;
-                        dst[base + ox] = if ix < 0 || ix >= w as isize {
-                            0.0
-                        } else {
-                            src_row[ix as usize]
-                        };
+                        dst[base + ox] =
+                            if ix < 0 || ix >= w as isize { 0.0 } else { src_row[ix as usize] };
                     }
                 }
             }
@@ -297,7 +290,8 @@ mod tests {
                                 for kx in 0..k {
                                     let iy = (oy * layer.stride + ky) as isize - layer.pad as isize;
                                     let ix = (ox * layer.stride + kx) as isize - layer.pad as isize;
-                                    if iy >= 0 && ix >= 0 && (iy as usize) < h && (ix as usize) < w {
+                                    if iy >= 0 && ix >= 0 && (iy as usize) < h && (ix as usize) < w
+                                    {
                                         acc += x.at(&[i, ic, iy as usize, ix as usize])
                                             * layer.weight.at(&[oc, ic, ky, kx]);
                                     }

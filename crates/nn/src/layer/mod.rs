@@ -248,11 +248,7 @@ impl Layer {
             }
             Layer::Relu | Layer::Sigmoid | Layer::Tanh | Layer::Dropout(_) => in_shape.to_vec(),
             Layer::Softmax => {
-                assert_eq!(
-                    in_shape.len(),
-                    1,
-                    "softmax expects a vector input, got {in_shape:?}"
-                );
+                assert_eq!(in_shape.len(), 1, "softmax expects a vector input, got {in_shape:?}");
                 in_shape.to_vec()
             }
         }
@@ -322,10 +318,7 @@ impl Layer {
             (Layer::Residual(r), Cache::Residual { inner, proj }) => {
                 r.backward(inner, proj.as_deref(), grad_out, want_param_grads)
             }
-            (layer, cache) => panic!(
-                "cache {cache:?} does not belong to layer {}",
-                layer.name()
-            ),
+            (layer, cache) => panic!("cache {cache:?} does not belong to layer {}", layer.name()),
         }
     }
 
@@ -385,10 +378,7 @@ impl Layer {
 fn flatten_forward(x: &Tensor) -> (Tensor, Cache) {
     let n = x.shape()[0];
     let rest: usize = x.shape()[1..].iter().product();
-    (
-        x.reshape(&[n, rest]),
-        Cache::Shape(x.shape().to_vec()),
-    )
+    (x.reshape(&[n, rest]), Cache::Shape(x.shape().to_vec()))
 }
 
 #[cfg(test)]

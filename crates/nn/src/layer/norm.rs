@@ -146,26 +146,14 @@ impl BatchNorm {
             let rv = &mut self.running_var.data_mut()[ch];
             *rv = self.momentum * *rv + (1.0 - self.momentum) * var[ch];
         }
-        (
-            y,
-            Cache::BatchNorm {
-                xhat,
-                inv_std: Tensor::from_vec(inv_std, &[c]),
-                count,
-                train: true,
-            },
-        )
+        (y, Cache::BatchNorm { xhat, inv_std: Tensor::from_vec(inv_std, &[c]), count, train: true })
     }
 
     /// Evaluation-mode forward using the frozen running statistics.
     pub fn forward_eval(&self, x: &Tensor) -> (Tensor, Cache) {
         let (c, count, _) = self.geometry(x.shape());
-        let inv_std: Vec<f32> = self
-            .running_var
-            .data()
-            .iter()
-            .map(|&v| 1.0 / (v + self.eps).sqrt())
-            .collect();
+        let inv_std: Vec<f32> =
+            self.running_var.data().iter().map(|&v| 1.0 / (v + self.eps).sqrt()).collect();
         let mut xhat = Tensor::zeros(x.shape());
         let mut y = Tensor::zeros(x.shape());
         {
@@ -234,10 +222,7 @@ impl BatchNorm {
             }
         }
         if want_param_grads {
-            (
-                dx,
-                vec![Tensor::from_vec(dgamma, &[c]), Tensor::from_vec(dbeta, &[c])],
-            )
+            (dx, vec![Tensor::from_vec(dgamma, &[c]), Tensor::from_vec(dbeta, &[c])])
         } else {
             (dx, vec![])
         }

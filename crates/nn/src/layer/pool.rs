@@ -27,10 +27,7 @@ pub struct AvgPool2d {
 }
 
 fn pooled_hw(kernel: usize, stride: usize, h: usize, w: usize) -> (usize, usize) {
-    assert!(
-        h >= kernel && w >= kernel,
-        "pool window {kernel} does not fit a {h}x{w} input"
-    );
+    assert!(h >= kernel && w >= kernel, "pool window {kernel} does not fit a {h}x{w} input");
     ((h - kernel) / stride + 1, (w - kernel) / stride + 1)
 }
 
@@ -87,10 +84,7 @@ impl MaxPool2d {
                 }
             }
         }
-        (
-            out,
-            Cache::ArgMax { indices, in_shape: x.shape().to_vec() },
-        )
+        (out, Cache::ArgMax { indices, in_shape: x.shape().to_vec() })
     }
 
     /// Backward pass: routes each output gradient to its argmax position.
@@ -280,10 +274,7 @@ mod tests {
         let (y, _) = MaxPool2d::new(2, 2).forward(&x);
         // Pool each sample independently and compare.
         for i in 0..3 {
-            let xi = Tensor::from_vec(
-                x.data()[i * 32..(i + 1) * 32].to_vec(),
-                &[1, 2, 4, 4],
-            );
+            let xi = Tensor::from_vec(x.data()[i * 32..(i + 1) * 32].to_vec(), &[1, 2, 4, 4]);
             let (yi, _) = MaxPool2d::new(2, 2).forward(&xi);
             assert_eq!(&y.data()[i * 8..(i + 1) * 8], yi.data());
         }

@@ -48,10 +48,7 @@ impl Residual {
             Some(p) => p.output_shape(in_shape),
             None => in_shape.to_vec(),
         };
-        assert_eq!(
-            cur, skip_shape,
-            "residual paths disagree: body {cur:?} vs skip {skip_shape:?}"
-        );
+        assert_eq!(cur, skip_shape, "residual paths disagree: body {cur:?} vs skip {skip_shape:?}");
         cur
     }
 
@@ -71,10 +68,7 @@ impl Residual {
             }
             None => (x.clone(), None),
         };
-        (
-            &cur + &skip,
-            Cache::Residual { inner, proj: proj_cache },
-        )
+        (&cur + &skip, Cache::Residual { inner, proj: proj_cache })
     }
 
     /// Training-mode forward pass (inner dropout/batch-norm active).
@@ -93,10 +87,7 @@ impl Residual {
             }
             None => (x.clone(), None),
         };
-        (
-            &cur + &skip,
-            Cache::Residual { inner, proj: proj_cache },
-        )
+        (&cur + &skip, Cache::Residual { inner, proj: proj_cache })
     }
 
     /// Backward pass: gradients flow through both paths and sum at the
@@ -145,8 +136,7 @@ impl Residual {
 
     /// Trainable parameters, mutably.
     pub fn params_mut(&mut self) -> Vec<&mut Tensor> {
-        let mut p: Vec<&mut Tensor> =
-            self.body.iter_mut().flat_map(|l| l.params_mut()).collect();
+        let mut p: Vec<&mut Tensor> = self.body.iter_mut().flat_map(|l| l.params_mut()).collect();
         if let Some(proj) = &mut self.projection {
             p.push(&mut proj.weight);
             p.push(&mut proj.bias);
@@ -213,11 +203,7 @@ mod tests {
 
     #[test]
     fn projection_handles_channel_change() {
-        let body = vec![
-            Layer::conv2d(2, 4, 3, 2, 1),
-            Layer::relu(),
-            Layer::conv2d(4, 4, 3, 1, 1),
-        ];
+        let body = vec![Layer::conv2d(2, 4, 3, 2, 1), Layer::relu(), Layer::conv2d(4, 4, 3, 1, 1)];
         let proj = Conv2d::new(2, 4, 1, 2, 0, Init::HeNormal);
         let block = Residual::with_projection(body, proj);
         assert_eq!(block.output_shape(&[2, 8, 8]), vec![4, 4, 4]);
@@ -255,16 +241,15 @@ mod tests {
 
     #[test]
     fn finite_difference_through_block() {
-        let mut block = Residual::new(vec![
-            Layer::conv2d(1, 1, 3, 1, 1),
-            Layer::tanh(),
-        ]);
+        let mut block = Residual::new(vec![Layer::conv2d(1, 1, 3, 1, 1), Layer::tanh()]);
         block.init_weights(&mut rng::rng(6));
         let x = rng::uniform(&mut rng::rng(7), &[1, 1, 3, 3], -0.5, 0.5);
         let probe = rng::uniform(&mut rng::rng(8), &[1, 1, 3, 3], -1.0, 1.0);
         let (_, cache) = block.forward(&x);
         let (dx, _) = match &cache {
-            Cache::Residual { inner, proj } => block.backward(inner, proj.as_deref(), &probe, false),
+            Cache::Residual { inner, proj } => {
+                block.backward(inner, proj.as_deref(), &probe, false)
+            }
             _ => panic!("wrong cache"),
         };
         let f = |x: &Tensor| -> f32 {
@@ -278,11 +263,7 @@ mod tests {
             let mut minus = x.clone();
             minus.data_mut()[i] -= h;
             let fd = (f(&plus) - f(&minus)) / (2.0 * h);
-            assert!(
-                (fd - dx.data()[i]).abs() < 2e-2,
-                "fd {fd} vs analytic {}",
-                dx.data()[i]
-            );
+            assert!((fd - dx.data()[i]).abs() < 2e-2, "fd {fd} vs analytic {}", dx.data()[i]);
         }
     }
 }

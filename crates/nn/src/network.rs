@@ -57,11 +57,7 @@ impl Network {
             cur = layer.output_shape(&cur);
             shapes.push(cur.clone());
         }
-        Self {
-            layers,
-            input_shape: input_shape.to_vec(),
-            activation_shapes: shapes,
-        }
+        Self { layers, input_shape: input_shape.to_vec(), activation_shapes: shapes }
     }
 
     /// The layers, in order.
@@ -217,10 +213,7 @@ impl Network {
     pub fn input_gradient(&self, pass: &ForwardPass, injections: &[(usize, Tensor)]) -> Tensor {
         let l = self.layers.len();
         for (idx, g) in injections {
-            assert!(
-                (1..=l).contains(idx),
-                "injection index {idx} out of range 1..={l}"
-            );
+            assert!((1..=l).contains(idx), "injection index {idx} out of range 1..={l}");
             assert_eq!(
                 g.shape(),
                 pass.activations[*idx].shape(),
@@ -330,12 +323,7 @@ mod tests {
     fn tiny_mlp(seed: u64) -> Network {
         let mut net = Network::new(
             &[4],
-            vec![
-                Layer::dense(4, 6),
-                Layer::relu(),
-                Layer::dense(6, 3),
-                Layer::softmax(),
-            ],
+            vec![Layer::dense(4, 6), Layer::relu(), Layer::dense(6, 3), Layer::softmax()],
         );
         net.init_weights(&mut rng::rng(seed));
         net
@@ -406,12 +394,8 @@ mod tests {
         let preds = net.predict_classes(&x);
         for (i, &p) in preds.iter().enumerate() {
             let row: Vec<f32> = (0..3).map(|j| out.at(&[i, j])).collect();
-            let best = row
-                .iter()
-                .enumerate()
-                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-                .unwrap()
-                .0;
+            let best =
+                row.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
             assert_eq!(p, best);
         }
     }

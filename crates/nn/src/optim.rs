@@ -107,10 +107,8 @@ impl Optimizer {
                 *t += 1;
                 let bc1 = 1.0 - beta1.powi(*t as i32);
                 let bc2 = 1.0 - beta2.powi(*t as i32);
-                for ((p, g), (mi, vi)) in params
-                    .iter_mut()
-                    .zip(grads.iter())
-                    .zip(m.iter_mut().zip(v.iter_mut()))
+                for ((p, g), (mi, vi)) in
+                    params.iter_mut().zip(grads.iter()).zip(m.iter_mut().zip(v.iter_mut()))
                 {
                     *mi = mi.scale(*beta1);
                     mi.add_scaled(g, 1.0 - *beta1);

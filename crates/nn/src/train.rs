@@ -164,21 +164,14 @@ mod tests {
     fn toy_classification(n: usize, seed: u64) -> (Tensor, Vec<usize>) {
         let mut r = rng::rng(seed);
         let x = rng::uniform(&mut r, &[n, 2], -1.0, 1.0);
-        let labels = (0..n)
-            .map(|i| usize::from(x.at(&[i, 0]) + x.at(&[i, 1]) > 0.0))
-            .collect();
+        let labels = (0..n).map(|i| usize::from(x.at(&[i, 0]) + x.at(&[i, 1]) > 0.0)).collect();
         (x, labels)
     }
 
     fn mlp(seed: u64) -> Network {
         let mut net = Network::new(
             &[2],
-            vec![
-                Layer::dense(2, 16),
-                Layer::relu(),
-                Layer::dense(16, 2),
-                Layer::softmax(),
-            ],
+            vec![Layer::dense(2, 16), Layer::relu(), Layer::dense(16, 2), Layer::softmax()],
         );
         net.init_weights(&mut rng::rng(seed));
         net
@@ -201,11 +194,11 @@ mod tests {
         let mut r = rng::rng(3);
         let x = rng::uniform(&mut r, &[256, 3], -1.0, 1.0);
         // Target: y = 0.5*x0 - 0.25*x1 + 0.1.
-        let t_data: Vec<f32> = (0..256)
-            .map(|i| 0.5 * x.at(&[i, 0]) - 0.25 * x.at(&[i, 1]) + 0.1)
-            .collect();
+        let t_data: Vec<f32> =
+            (0..256).map(|i| 0.5 * x.at(&[i, 0]) - 0.25 * x.at(&[i, 1]) + 0.1).collect();
         let targets = Tensor::from_vec(t_data, &[256, 1]);
-        let mut net = Network::new(&[3], vec![Layer::dense(3, 8), Layer::tanh(), Layer::dense(8, 1)]);
+        let mut net =
+            Network::new(&[3], vec![Layer::dense(3, 8), Layer::tanh(), Layer::dense(8, 1)]);
         net.init_weights(&mut r);
         let cfg = TrainConfig { epochs: 60, batch_size: 32, seed: 4, shuffle: true };
         train_regressor(&mut net, &x, &targets, &cfg, &mut Optimizer::adam(0.01));

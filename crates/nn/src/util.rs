@@ -71,10 +71,7 @@ pub fn row(x: &Tensor, i: usize) -> Tensor {
     let n = x.shape()[0];
     assert!(i < n, "row: index {i} out of range for {n} rows");
     let row_len: usize = x.shape()[1..].iter().product();
-    Tensor::from_vec(
-        x.data()[i * row_len..(i + 1) * row_len].to_vec(),
-        &x.shape()[1..],
-    )
+    Tensor::from_vec(x.data()[i * row_len..(i + 1) * row_len].to_vec(), &x.shape()[1..])
 }
 
 /// One-hot encodes labels into `[N, classes]`.
@@ -107,9 +104,8 @@ mod tests {
     #[test]
     fn stack_then_row_round_trip() {
         let mut r = rng::rng(1);
-        let samples: Vec<Tensor> = (0..4)
-            .map(|_| rng::uniform(&mut r, &[2, 3], 0.0, 1.0))
-            .collect();
+        let samples: Vec<Tensor> =
+            (0..4).map(|_| rng::uniform(&mut r, &[2, 3], 0.0, 1.0)).collect();
         let batch = stack(&samples);
         assert_eq!(batch.shape(), &[4, 2, 3]);
         for (i, s) in samples.iter().enumerate() {

@@ -54,11 +54,7 @@ fn check_param_gradients(net: &mut Network, x: &Tensor, probe: &Tensor, tol: f32
     let h = 1e-2f32;
     let n_params = net.params().len();
     for p_idx in 0..n_params {
-        let scale = flat[p_idx]
-            .data()
-            .iter()
-            .fold(0.0f32, |a, &b| a.max(b.abs()))
-            .max(1e-3);
+        let scale = flat[p_idx].data().iter().fold(0.0f32, |a, &b| a.max(b.abs())).max(1e-3);
         // Probe a handful of coordinates per parameter tensor.
         let len = net.params()[p_idx].len();
         let step = (len / 5).max(1);
@@ -153,10 +149,7 @@ fn conv_param_gradients() {
 
 #[test]
 fn relu_input_gradient_away_from_kinks() {
-    let mut net = Network::new(
-        &[4],
-        vec![Layer::dense(4, 8), Layer::relu(), Layer::dense(8, 3)],
-    );
+    let mut net = Network::new(&[4], vec![Layer::dense(4, 8), Layer::relu(), Layer::dense(8, 3)]);
     let mut r = rng::rng(6);
     net.init_weights(&mut r);
     // Sample until no pre-activation is near zero, so finite differences do
@@ -175,14 +168,8 @@ fn relu_input_gradient_away_from_kinks() {
 
 #[test]
 fn maxpool_input_gradient_with_distinct_maxima() {
-    let mut net = Network::new(
-        &[1, 4, 4],
-        vec![
-            Layer::maxpool2d(2),
-            Layer::flatten(),
-            Layer::dense(4, 2),
-        ],
-    );
+    let mut net =
+        Network::new(&[1, 4, 4], vec![Layer::maxpool2d(2), Layer::flatten(), Layer::dense(4, 2)]);
     let mut r = rng::rng(7);
     net.init_weights(&mut r);
     // A permutation-like input guarantees unique window maxima, away from
@@ -273,12 +260,7 @@ fn joint_objective_gradient_is_sum_of_parts() {
     // separately computed gradients — the linearity DeepXplore relies on.
     let mut net = Network::new(
         &[3],
-        vec![
-            Layer::dense(3, 5),
-            Layer::sigmoid(),
-            Layer::dense(5, 2),
-            Layer::softmax(),
-        ],
+        vec![Layer::dense(3, 5), Layer::sigmoid(), Layer::dense(5, 2), Layer::softmax()],
     );
     let mut r = rng::rng(10);
     net.init_weights(&mut r);

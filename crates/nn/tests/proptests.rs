@@ -16,12 +16,7 @@ fn batch(n: usize, f: usize) -> impl Strategy<Value = Tensor> {
 fn mlp(seed: u64) -> Network {
     let mut net = Network::new(
         &[5],
-        vec![
-            Layer::dense(5, 8),
-            Layer::tanh(),
-            Layer::dense(8, 3),
-            Layer::softmax(),
-        ],
+        vec![Layer::dense(5, 8), Layer::tanh(), Layer::dense(8, 3), Layer::softmax()],
     );
     net.init_weights(&mut dx_tensor::rng::rng(seed));
     net

@@ -24,9 +24,7 @@ pub struct Image {
 impl Image {
     /// Creates a black image.
     pub fn new(channels: usize, height: usize, width: usize) -> Self {
-        Self {
-            tensor: Tensor::zeros(&[channels, height, width]),
-        }
+        Self { tensor: Tensor::zeros(&[channels, height, width]) }
     }
 
     /// Wraps a `[C, H, W]` tensor as an image.
@@ -35,12 +33,7 @@ impl Image {
     ///
     /// Panics unless the tensor is rank-3.
     pub fn from_tensor(tensor: Tensor) -> Self {
-        assert_eq!(
-            tensor.rank(),
-            3,
-            "images are [C, H, W]; got shape {:?}",
-            tensor.shape()
-        );
+        assert_eq!(tensor.rank(), 3, "images are [C, H, W]; got shape {:?}", tensor.shape());
         Self { tensor }
     }
 
@@ -148,7 +141,11 @@ impl Image {
         let half = thickness / 2;
         for yy in (y - half)..=(y + half) {
             for xx in (x - half)..=(x + half) {
-                if yy >= 0 && xx >= 0 && (yy as usize) < self.height() && (xx as usize) < self.width() {
+                if yy >= 0
+                    && xx >= 0
+                    && (yy as usize) < self.height()
+                    && (xx as usize) < self.width()
+                {
                     self.put_all(yy as usize, xx as usize, v);
                 }
             }
@@ -160,9 +157,7 @@ impl Image {
     /// augmentation; the DeepXplore lighting *constraint* instead shapes the
     /// gradient, see `deepxplore::constraints`).
     pub fn adjust_brightness(&self, delta: f32) -> Self {
-        Self {
-            tensor: self.tensor.map(|v| (v + delta).clamp(0.0, 1.0)),
-        }
+        Self { tensor: self.tensor.map(|v| (v + delta).clamp(0.0, 1.0)) }
     }
 
     /// Encodes as binary PGM (P5). Multi-channel images are converted to
@@ -203,11 +198,7 @@ impl Image {
     /// Writes the image to `path` as PGM (single channel) or PPM (colour),
     /// chosen by channel count.
     pub fn save(&self, path: &Path) -> io::Result<()> {
-        let bytes = if self.channels() >= 3 {
-            self.to_ppm()
-        } else {
-            self.to_pgm()
-        };
+        let bytes = if self.channels() >= 3 { self.to_ppm() } else { self.to_pgm() };
         let mut f = std::fs::File::create(path)?;
         f.write_all(&bytes)
     }

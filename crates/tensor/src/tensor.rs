@@ -43,10 +43,7 @@ fn numel(shape: &[usize]) -> usize {
 impl Tensor {
     /// Creates a tensor filled with `value`.
     pub fn full(shape: &[usize], value: f32) -> Self {
-        Self {
-            data: vec![value; numel(shape)],
-            shape: shape.to_vec(),
-        }
+        Self { data: vec![value; numel(shape)], shape: shape.to_vec() }
     }
 
     /// Creates a tensor of zeros.
@@ -81,18 +78,12 @@ impl Tensor {
             data.len(),
             shape
         );
-        Self {
-            data,
-            shape: shape.to_vec(),
-        }
+        Self { data, shape: shape.to_vec() }
     }
 
     /// Creates a rank-1 tensor from a slice.
     pub fn from_slice(data: &[f32]) -> Self {
-        Self {
-            data: data.to_vec(),
-            shape: vec![data.len()],
-        }
+        Self { data: data.to_vec(), shape: vec![data.len()] }
     }
 
     /// Returns the shape.
@@ -145,10 +136,7 @@ impl Tensor {
             shape,
             numel(shape)
         );
-        Self {
-            data: self.data.clone(),
-            shape: shape.to_vec(),
-        }
+        Self { data: self.data.clone(), shape: shape.to_vec() }
     }
 
     /// Computes the flat offset of a multi-index.
@@ -190,10 +178,7 @@ impl Tensor {
 
     /// Applies `f` to every element, returning a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
-        Self {
-            data: self.data.iter().map(|&v| f(v)).collect(),
-            shape: self.shape.clone(),
-        }
+        Self { data: self.data.iter().map(|&v| f(v)).collect(), shape: self.shape.clone() }
     }
 
     /// Applies `f` to every element in place.
@@ -211,12 +196,7 @@ impl Tensor {
     pub fn zip(&self, other: &Self, f: impl Fn(f32, f32) -> f32) -> Self {
         self.assert_same_shape(other, "zip");
         Self {
-            data: self
-                .data
-                .iter()
-                .zip(other.data.iter())
-                .map(|(&a, &b)| f(a, b))
-                .collect(),
+            data: self.data.iter().zip(other.data.iter()).map(|(&a, &b)| f(a, b)).collect(),
             shape: self.shape.clone(),
         }
     }
@@ -334,11 +314,7 @@ impl Tensor {
         assert_eq!(other.rank(), 2, "matmul rhs must be rank-2, got {:?}", other.shape);
         let (m, k) = (self.shape[0], self.shape[1]);
         let (k2, n) = (other.shape[0], other.shape[1]);
-        assert_eq!(
-            k, k2,
-            "matmul inner dimension mismatch: {:?} vs {:?}",
-            self.shape, other.shape
-        );
+        assert_eq!(k, k2, "matmul inner dimension mismatch: {:?} vs {:?}", self.shape, other.shape);
         let mut out = vec![0.0f32; m * n];
         for i in 0..m {
             let a_row = &self.data[i * k..(i + 1) * k];
@@ -353,10 +329,7 @@ impl Tensor {
                 }
             }
         }
-        Self {
-            data: out,
-            shape: vec![m, n],
-        }
+        Self { data: out, shape: vec![m, n] }
     }
 
     /// Matrix–vector product of a rank-2 tensor with a rank-1 tensor.
@@ -368,22 +341,13 @@ impl Tensor {
         assert_eq!(self.rank(), 2, "matvec lhs must be rank-2, got {:?}", self.shape);
         assert_eq!(v.rank(), 1, "matvec rhs must be rank-1, got {:?}", v.shape);
         let (m, k) = (self.shape[0], self.shape[1]);
-        assert_eq!(
-            k,
-            v.len(),
-            "matvec dimension mismatch: {:?} vs {:?}",
-            self.shape,
-            v.shape
-        );
+        assert_eq!(k, v.len(), "matvec dimension mismatch: {:?} vs {:?}", self.shape, v.shape);
         let mut out = vec![0.0f32; m];
         for (i, o) in out.iter_mut().enumerate() {
             let row = &self.data[i * k..(i + 1) * k];
             *o = row.iter().zip(v.data.iter()).map(|(&a, &b)| a * b).sum();
         }
-        Self {
-            data: out,
-            shape: vec![m],
-        }
+        Self { data: out, shape: vec![m] }
     }
 
     /// Transpose of a rank-2 tensor.
@@ -400,10 +364,7 @@ impl Tensor {
                 out[j * m + i] = self.data[i * n + j];
             }
         }
-        Self {
-            data: out,
-            shape: vec![n, m],
-        }
+        Self { data: out, shape: vec![n, m] }
     }
 
     /// Numerically stable softmax over the last (or only) axis of a rank-1
@@ -417,10 +378,7 @@ impl Tensor {
         let max = self.max();
         let exps: Vec<f32> = self.data.iter().map(|&v| (v - max).exp()).collect();
         let denom: f32 = exps.iter().sum();
-        Self {
-            data: exps.iter().map(|&e| e / denom).collect(),
-            shape: self.shape.clone(),
-        }
+        Self { data: exps.iter().map(|&e| e / denom).collect(), shape: self.shape.clone() }
     }
 
     /// Min-max scales all elements into `[0, 1]`.

@@ -10,8 +10,7 @@ fn tensor_of(len: usize) -> impl Strategy<Value = Tensor> {
 
 /// Strategy producing an m×n matrix.
 fn matrix(m: usize, n: usize) -> impl Strategy<Value = Tensor> {
-    proptest::collection::vec(-10.0f32..10.0, m * n)
-        .prop_map(move |v| Tensor::from_vec(v, &[m, n]))
+    proptest::collection::vec(-10.0f32..10.0, m * n).prop_map(move |v| Tensor::from_vec(v, &[m, n]))
 }
 
 proptest! {

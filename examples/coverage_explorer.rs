@@ -31,10 +31,7 @@ fn main() {
         opcov.total()
     );
     opcov.record_forward();
-    println!(
-        "operator coverage after ONE input:           {:.1}%",
-        100.0 * opcov.coverage()
-    );
+    println!("operator coverage after ONE input:           {:.1}%", 100.0 * opcov.coverage());
 
     // 2. Neuron coverage of the same single input, then of 10 random ones.
     let cfg = CoverageConfig::scaled(0.75);
@@ -50,10 +47,7 @@ fn main() {
     for i in 0..10 {
         tracker.update(&net.forward(&gather_rows(&ten, &[i])));
     }
-    println!(
-        "neuron coverage after 10 random inputs:      {:.1}%",
-        100.0 * tracker.coverage()
-    );
+    println!("neuron coverage after 10 random inputs:      {:.1}%", 100.0 * tracker.coverage());
 
     // 3. Coverage at several thresholds: random seeds vs DeepXplore tests.
     println!("\nthreshold | random x20 | deepxplore x20 seeds");

@@ -61,14 +61,10 @@ fn main() {
             "case {k}: seed #{:<3} steering {:?} -> directions {:?}",
             test.seed_index,
             angles.iter().map(|a| (a * 100.0).round() / 100.0).collect::<Vec<_>>(),
-            angles
-                .iter()
-                .map(|&a| direction(a, STEER_DIRECTION_THRESHOLD))
-                .collect::<Vec<_>>()
+            angles.iter().map(|&a| direction(a, STEER_DIRECTION_THRESHOLD)).collect::<Vec<_>>()
         );
-        let seed_img = Image::from_tensor(
-            gather_rows(&ds.test_x, &[test.seed_index]).reshape(&[1, 32, 64]),
-        );
+        let seed_img =
+            Image::from_tensor(gather_rows(&ds.test_x, &[test.seed_index]).reshape(&[1, 32, 64]));
         let gen_img = Image::from_tensor(test.input.reshape(&[1, 32, 64]));
         let seed_path = out_dir.join(format!("driving_{k}_seed.pgm"));
         let gen_path = out_dir.join(format!("driving_{k}_diff.pgm"));

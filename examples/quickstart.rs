@@ -52,9 +52,8 @@ fn main() {
         println!("no differences found — try more seeds");
         return;
     };
-    let seed_img = Image::from_tensor(
-        gather_rows(&ds.test_x, &[test.seed_index]).reshape(&[1, 28, 28]),
-    );
+    let seed_img =
+        Image::from_tensor(gather_rows(&ds.test_x, &[test.seed_index]).reshape(&[1, 28, 28]));
     let gen_img = Image::from_tensor(test.input.reshape(&[1, 28, 28]));
     println!(
         "\nseed #{} (all models agree)        generated (models disagree: {:?})",

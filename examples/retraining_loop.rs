@@ -48,16 +48,8 @@ fn main() {
 
     // Retrain LeNet-1 with the augmented training set.
     let mut net = zoo.model("MNI_C1");
-    let outcome = retrain_with_eval(
-        &mut net,
-        &ds.train_x,
-        &labels,
-        &extra,
-        &ds.test_x,
-        &test_labels,
-        5,
-        123,
-    );
+    let outcome =
+        retrain_with_eval(&mut net, &ds.train_x, &labels, &extra, &ds.test_x, &test_labels, 5, 123);
     println!("LeNet-1 accuracy before retraining: {:.2}%", 100.0 * outcome.initial_accuracy);
     for (e, acc) in outcome.epoch_accuracy.iter().enumerate() {
         println!("  after epoch {}: {:.2}%", e + 1, 100.0 * acc);

@@ -57,12 +57,8 @@ fn pollution_detection_recovers_flipped_samples() {
     // Small-scale §7.3: pollute 30% of the 9s as 1s, train clean and
     // polluted LeNet-1 variants, find disagreement inputs (clean says 9,
     // polluted says 1), and trace them back to training samples by SSIM.
-    let ds = mnist::generate(&mnist::MnistConfig {
-        n_train: 700,
-        n_test: 100,
-        seed: 404,
-        side: 28,
-    });
+    let ds =
+        mnist::generate(&mnist::MnistConfig { n_train: 700, n_test: 100, seed: 404, side: 28 });
     let clean_labels = ds.train_labels.classes().to_vec();
     let (polluted_labels, flipped) = pollute_labels(&clean_labels, 9, 1, 0.3, 18);
     assert!(!flipped.is_empty());
@@ -80,9 +76,8 @@ fn pollution_detection_recovers_flipped_samples() {
         CoverageConfig::default(),
         5,
     );
-    let nines: Vec<usize> = (0..ds.test_len())
-        .filter(|&i| ds.test_labels.classes()[i] == 9)
-        .collect();
+    let nines: Vec<usize> =
+        (0..ds.test_len()).filter(|&i| ds.test_labels.classes()[i] == 9).collect();
     let seeds = gather_rows(&ds.test_x, &nines);
     let result = gen.run(&seeds);
     let mut error_inputs: Vec<Tensor> = result
@@ -125,12 +120,7 @@ fn pollution_detection_recovers_flipped_samples() {
 fn suspects_are_visually_nines() {
     // Independent sanity check of the SSIM tracing idea: rank candidates
     // against an actual 9 and confirm a flipped 9 outranks true 1s.
-    let ds = mnist::generate(&mnist::MnistConfig {
-        n_train: 300,
-        n_test: 30,
-        seed: 90,
-        side: 28,
-    });
+    let ds = mnist::generate(&mnist::MnistConfig { n_train: 300, n_test: 30, seed: 90, side: 28 });
     let labels = ds.train_labels.classes();
     let nine = (0..300).find(|&i| labels[i] == 9).expect("a nine exists");
     let one_indices: Vec<usize> = (0..300).filter(|&i| labels[i] == 1).collect();

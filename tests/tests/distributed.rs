@@ -1,0 +1,172 @@
+//! End-to-end distributed campaigns on the MNIST trio: a coordinator and
+//! worker fleet over real localhost TCP sockets.
+//!
+//! This is the ISSUE's acceptance scenario: a 2-worker dist campaign
+//! reaches the same coverage target as a single-process campaign, and a
+//! SIGTERM-style drain leaves a valid checkpoint the whole fleet resumes
+//! from.
+
+use std::time::Duration;
+
+use deepxplore::constraints::Constraint;
+use deepxplore::Hyperparams;
+use dx_campaign::{Campaign, CampaignConfig, ModelSuite};
+use dx_coverage::CoverageConfig;
+use dx_dist::{run_local, serve_local, Coordinator, CoordinatorConfig, WorkerConfig};
+use dx_integration::test_zoo;
+use dx_models::DatasetKind;
+use dx_nn::util::gather_rows;
+use dx_tensor::{rng, Tensor};
+
+const LABEL: &str = "mnist@test";
+const TARGET: f32 = 0.65;
+
+fn mnist_suite() -> (ModelSuite, Tensor) {
+    let mut zoo = test_zoo();
+    let models = zoo.trio(DatasetKind::Mnist);
+    let ds = zoo.dataset(DatasetKind::Mnist).clone();
+    let suite = ModelSuite {
+        models,
+        kind: deepxplore::generator::TaskKind::Classification,
+        hp: Hyperparams { max_iters: 30, ..Hyperparams::image_defaults() },
+        constraint: Constraint::Lighting,
+        coverage: CoverageConfig::scaled(0.25),
+    };
+    let mut r = rng::rng(0xd157_0001);
+    let picks = rng::sample_without_replacement(&mut r, ds.test_len(), 12.min(ds.test_len()));
+    (suite, gather_rows(&ds.test_x, &picks))
+}
+
+fn tmp_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("dx_integration_dist_{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn two_worker_fleet_reaches_the_single_process_coverage_target() {
+    let (suite, seeds) = mnist_suite();
+    // Reference: a single-process campaign run to the target.
+    let mut solo = Campaign::new(
+        suite.clone(),
+        &seeds,
+        CampaignConfig {
+            epochs: 50,
+            batch_per_epoch: 8,
+            desired_coverage: Some(TARGET),
+            ..Default::default()
+        },
+    );
+    solo.run().unwrap();
+    assert!(
+        solo.mean_coverage() >= TARGET,
+        "single-process campaign never reached the target: {}",
+        solo.mean_coverage()
+    );
+
+    // The same campaign as a 2-worker fleet over the wire.
+    let cfg = CoordinatorConfig {
+        target_coverage: Some(TARGET),
+        batch_per_round: 8,
+        lease_size: 2,
+        ..Default::default()
+    };
+    let (report, workers) =
+        run_local(&suite, LABEL, &seeds, cfg, WorkerConfig::default(), 2).unwrap();
+    let merged = report.coverage.iter().sum::<f32>() / report.coverage.len() as f32;
+    assert!(merged >= TARGET, "fleet stopped below the target: {merged}");
+
+    // The merged union dominates every worker's local coverage, and the
+    // fleet really ran distributed work.
+    for w in &workers {
+        let local = w.coverage.iter().sum::<f32>() / w.coverage.len() as f32;
+        assert!(merged >= local - 1e-6, "merged {merged} < worker {} local {local}", w.slot);
+    }
+    assert!(report.steps_done > 0);
+    assert!(!report.report.epochs.is_empty());
+}
+
+#[test]
+fn drained_fleet_checkpoint_is_valid_and_resumable() {
+    let (suite, seeds) = mnist_suite();
+    let dir = tmp_dir("drain_resume");
+    let cfg = CoordinatorConfig {
+        checkpoint_dir: Some(dir.clone()),
+        batch_per_round: 4,
+        lease_size: 2,
+        lease_timeout: Duration::from_secs(10),
+        ..Default::default() // Unbounded: only the drain stops it.
+    };
+    let coordinator = Coordinator::new(&suite, LABEL, &seeds, cfg);
+    let handle = coordinator.drain_handle();
+    // SIGTERM stand-in while the fleet is mid-flight.
+    let stopper = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(1500));
+        handle.drain();
+    });
+    let (first, _) = serve_local(&coordinator, &suite, LABEL, WorkerConfig::default(), 2).unwrap();
+    stopper.join().unwrap();
+
+    // The drain checkpoint parses as a plain campaign checkpoint, with the
+    // global coverage union persisted exactly.
+    let state = dx_campaign::checkpoint::load(&dir).unwrap();
+    let masks = state.coverage.expect("coverage bitmaps persisted");
+    for (mask, cov) in masks.iter().zip(&first.coverage) {
+        let from_mask = mask.iter().filter(|&&c| c).count() as f32 / mask.len() as f32;
+        assert!((from_mask - cov).abs() < 1e-6, "persisted union differs: {from_mask} vs {cov}");
+    }
+
+    // ... and it is also resumable in-process by the campaign engine.
+    let resumed_solo = Campaign::resume(
+        suite.clone(),
+        CampaignConfig { checkpoint_dir: Some(dir.clone()), epochs: 1, ..Default::default() },
+    )
+    .unwrap();
+    assert_eq!(resumed_solo.coverage(), first.coverage);
+
+    // ... and the whole fleet resumes and continues counting.
+    let resumed = Coordinator::resume(
+        &suite,
+        LABEL,
+        CoordinatorConfig {
+            checkpoint_dir: Some(dir.clone()),
+            max_steps: Some(first.steps_done + 8),
+            batch_per_round: 4,
+            lease_size: 2,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(resumed.steps_done(), first.steps_done);
+    let (second, _) = serve_local(&resumed, &suite, LABEL, WorkerConfig::default(), 2).unwrap();
+    assert!(second.steps_done >= first.steps_done + 8);
+    let before = first.coverage.iter().sum::<f32>() / first.coverage.len() as f32;
+    let after = second.coverage.iter().sum::<f32>() / second.coverage.len() as f32;
+    assert!(after >= before - 1e-6, "coverage regressed across resume");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn dist_smoke_merged_coverage_dominates_single_worker() {
+    // The CI smoke: coordinator + 2 workers on a tiny budget; the merged
+    // union must be at least what a single worker achieves alone on the
+    // same seeds and budget.
+    let (suite, seeds) = mnist_suite();
+    let budget = 8;
+    let cfg = |seed: u64| CoordinatorConfig {
+        max_steps: Some(budget),
+        batch_per_round: 4,
+        lease_size: 2,
+        seed,
+        ..Default::default()
+    };
+    let (solo_run, _) =
+        run_local(&suite, LABEL, &seeds, cfg(42), WorkerConfig::default(), 1).unwrap();
+    let (duo_run, _) =
+        run_local(&suite, LABEL, &seeds, cfg(42), WorkerConfig::default(), 2).unwrap();
+    let solo = solo_run.coverage.iter().sum::<f32>() / solo_run.coverage.len() as f32;
+    let duo = duo_run.coverage.iter().sum::<f32>() / duo_run.coverage.len() as f32;
+    assert!(solo > 0.0 && duo > 0.0);
+    assert!(duo >= solo - 0.02, "2-worker merged coverage {duo} fell below single-worker {solo}");
+    assert!(duo_run.steps_done >= budget);
+}

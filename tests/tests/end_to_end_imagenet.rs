@@ -33,11 +33,7 @@ fn occlusion_differences_on_cnn_trio() {
     );
     let seeds = gather_rows(&ds.test_x, &(0..20).collect::<Vec<_>>());
     let result = gen.run(&seeds);
-    assert!(
-        result.stats.differences_found >= 1,
-        "no occlusion differences: {:?}",
-        result.stats
-    );
+    assert!(result.stats.differences_found >= 1, "no occlusion differences: {:?}", result.stats);
     // Multi-rect occlusion may only darken pixels.
     for test in &result.tests {
         let seed = gather_rows(&ds.test_x, &[test.seed_index]);

@@ -98,11 +98,7 @@ fn deepxplore_occlusion_constraints_localize_changes() {
             .zip(seed.data().iter())
             .filter(|(a, b)| (**a - **b).abs() > 1e-6)
             .count();
-        assert!(
-            changed < 28 * 28 / 2,
-            "occlusion changed {changed} of {} pixels",
-            28 * 28
-        );
+        assert!(changed < 28 * 28 / 2, "occlusion changed {changed} of {} pixels", 28 * 28);
     }
 }
 

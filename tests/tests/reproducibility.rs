@@ -48,14 +48,8 @@ fn zoo_instances_share_identical_models() {
 fn datasets_are_identical_across_zoos() {
     let mut a = test_zoo();
     let mut b = test_zoo();
-    assert_eq!(
-        a.dataset(DatasetKind::Mnist).train_x,
-        b.dataset(DatasetKind::Mnist).train_x
-    );
-    assert_eq!(
-        a.dataset(DatasetKind::Drebin).test_x,
-        b.dataset(DatasetKind::Drebin).test_x
-    );
+    assert_eq!(a.dataset(DatasetKind::Mnist).train_x, b.dataset(DatasetKind::Mnist).train_x);
+    assert_eq!(a.dataset(DatasetKind::Drebin).test_x, b.dataset(DatasetKind::Drebin).test_x);
 }
 
 #[test]
