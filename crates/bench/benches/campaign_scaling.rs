@@ -1,16 +1,19 @@
 //! Campaign worker-count scaling: seeds/sec and diffs found at 1/2/4/8
-//! workers on the MNIST test-scale trio.
+//! workers on the MNIST test-scale trio, for the paper's neuron metric
+//! and the DeepGauge multisection signal.
 //!
 //! Not a paper table — the campaign engine is this workspace's extension
 //! beyond the paper's one-shot Algorithm 1 loop. Each arm runs the same
 //! campaign (same seeds, same epoch/batch schedule, same master RNG seed)
 //! with a different worker-pool size; speedup is relative to the 1-worker
-//! arm. The work is CPU-bound gradient ascent, so scaling tracks the
-//! machine's core count — the available parallelism is printed alongside.
+//! arm of the same metric, so the neuron-vs-multisection rows also show
+//! what the finer signal costs per seed. The work is CPU-bound gradient
+//! ascent, so scaling tracks the machine's core count — the available
+//! parallelism is printed alongside.
 
 use dx_bench::BenchOut;
 use dx_campaign::{Campaign, CampaignConfig, ModelSuite};
-use dx_coverage::CoverageConfig;
+use dx_coverage::{CoverageConfig, SignalSpec};
 use dx_models::{DatasetKind, Scale, Zoo, ZooConfig};
 use dx_nn::util::gather_rows;
 use dx_tensor::rng;
@@ -35,42 +38,56 @@ fn main() {
          {cores} core(s) available"
     ));
     out.line(format!(
-        "{:<8} {:>9} {:>9} {:>9} {:>9} {:>9}",
-        "workers", "seeds/s", "diffs/s", "diffs", "cover%", "speedup"
+        "{:<16} {:<8} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "metric", "workers", "seeds/s", "diffs/s", "diffs", "cover%", "speedup"
     ));
 
-    let mut baseline = None;
-    for workers in [1usize, 2, 4, 8] {
-        let suite = ModelSuite {
-            models: models.clone(),
-            kind: setup.task,
-            hp: setup.hp,
-            constraint: setup.constraint.clone(),
-            coverage: CoverageConfig::scaled(0.25),
-        };
-        let mut campaign = Campaign::new(
-            suite,
-            &seeds,
-            CampaignConfig {
+    let neuron_spec = SignalSpec::neuron(CoverageConfig::scaled(0.25));
+    let ms_spec = SignalSpec::multisection(CoverageConfig::default(), 4, Vec::new()).primed(
+        &models,
+        &ds.train_x,
+        128.min(ds.train_x.shape()[0]),
+    );
+    for (metric_name, spec, worker_arms) in [
+        ("neuron", neuron_spec, &[1usize, 2, 4, 8][..]),
+        // The finer DeepGauge signal, on a smaller worker sweep: the
+        // interesting number is its per-seed cost vs the neuron rows.
+        ("multisection:4", ms_spec, &[1usize, 2][..]),
+    ] {
+        let mut baseline = None;
+        for &workers in worker_arms {
+            let suite = ModelSuite {
+                models: models.clone(),
+                kind: setup.task,
+                hp: setup.hp,
+                constraint: setup.constraint.clone(),
+                signal: spec.clone(),
+            };
+            let mut campaign = Campaign::new(
+                suite,
+                &seeds,
+                CampaignConfig {
+                    workers,
+                    epochs,
+                    batch_per_epoch: batch,
+                    seed: 42,
+                    ..Default::default()
+                },
+            );
+            campaign.run().expect("no checkpoint dir configured, run cannot fail");
+            let report = campaign.report();
+            let sps = report.seeds_per_sec();
+            let baseline_sps = *baseline.get_or_insert(sps);
+            out.line(format!(
+                "{:<16} {:<8} {:>9.2} {:>9.2} {:>9} {:>8.1}% {:>8.2}x",
+                metric_name,
                 workers,
-                epochs,
-                batch_per_epoch: batch,
-                seed: 42,
-                ..Default::default()
-            },
-        );
-        campaign.run().expect("no checkpoint dir configured, run cannot fail");
-        let report = campaign.report();
-        let sps = report.seeds_per_sec();
-        let baseline_sps = *baseline.get_or_insert(sps);
-        out.line(format!(
-            "{:<8} {:>9.2} {:>9.2} {:>9} {:>8.1}% {:>8.2}x",
-            workers,
-            sps,
-            report.diffs_per_sec(),
-            report.total_diffs(),
-            100.0 * campaign.mean_coverage(),
-            sps / baseline_sps,
-        ));
+                sps,
+                report.diffs_per_sec(),
+                report.total_diffs(),
+                100.0 * campaign.mean_coverage(),
+                sps / baseline_sps,
+            ));
+        }
     }
 }

@@ -15,7 +15,7 @@ use std::time::Duration;
 
 use dx_bench::BenchOut;
 use dx_campaign::{Campaign, CampaignConfig, ModelSuite};
-use dx_coverage::CoverageConfig;
+use dx_coverage::{CoverageConfig, SignalSpec};
 use dx_dist::{run_worker, Coordinator, CoordinatorConfig, WorkerConfig};
 use dx_models::{DatasetKind, Scale, Zoo, ZooConfig};
 use dx_nn::util::gather_rows;
@@ -23,27 +23,40 @@ use dx_tensor::{rng, Tensor};
 
 const LABEL: &str = "mnist@dist_scaling";
 
-fn suite_and_seeds(n_seeds: usize) -> (ModelSuite, Tensor) {
+fn suite_and_seeds(n_seeds: usize, metric: dx_coverage::MetricKind) -> (ModelSuite, Tensor) {
     let mut zoo = Zoo::new(ZooConfig::new(Scale::Test));
     let models = zoo.trio(DatasetKind::Mnist);
     let ds = zoo.dataset(DatasetKind::Mnist).clone();
     let setup = dx_bench::setup_for(DatasetKind::Mnist, &ds);
-    let suite = ModelSuite {
-        models,
-        kind: setup.task,
-        hp: setup.hp,
-        constraint: setup.constraint,
-        coverage: CoverageConfig::scaled(0.25),
+    let signal = match metric {
+        dx_coverage::MetricKind::Neuron => SignalSpec::neuron(CoverageConfig::scaled(0.25)),
+        dx_coverage::MetricKind::Multisection { k } => SignalSpec::multisection(
+            CoverageConfig::default(),
+            k,
+            Vec::new(),
+        )
+        .primed(&models, &ds.train_x, 128.min(ds.train_x.shape()[0])),
     };
+    let suite =
+        ModelSuite { models, kind: setup.task, hp: setup.hp, constraint: setup.constraint, signal };
     let mut r = rng::rng(0xca3b);
     let picks = rng::sample_without_replacement(&mut r, ds.test_len(), n_seeds.min(ds.test_len()));
     (suite, gather_rows(&ds.test_x, &picks))
 }
 
+/// The metric the fleet runs, forwarded to re-exec'd workers via env —
+/// both sides must prime identical profiles or admission fails.
+fn env_metric() -> dx_coverage::MetricKind {
+    std::env::var("DX_DIST_METRIC")
+        .ok()
+        .and_then(|m| m.parse().ok())
+        .unwrap_or(dx_coverage::MetricKind::Neuron)
+}
+
 fn main() {
     // Child mode: this binary re-exec'd as a fleet worker.
     if let Ok(addr) = std::env::var("DX_DIST_WORKER") {
-        let (suite, _) = suite_and_seeds(1);
+        let (suite, _) = suite_and_seeds(1, env_metric());
         run_worker(addr.as_str(), suite, LABEL, WorkerConfig::default())
             .expect("bench worker failed");
         return;
@@ -51,7 +64,7 @@ fn main() {
 
     let mut out = BenchOut::new("dist_scaling");
     let n_seeds = dx_bench::seed_count(24);
-    let (suite, seeds) = suite_and_seeds(n_seeds);
+    let (suite, seeds) = suite_and_seeds(n_seeds, dx_coverage::MetricKind::Neuron);
     let rounds = 3;
     let batch = 2 * seeds.shape()[0] / 3;
     let budget = rounds * batch;
@@ -133,6 +146,79 @@ fn main() {
             report.report.total_diffs(),
             100.0 * merged,
             sps / baseline_sps,
+        ));
+    }
+
+    // The multisection variant: same budget, the finer DeepGauge signal.
+    // Section deltas are denser than neuron deltas, so this arm prices the
+    // extra wire and union cost of the finer metric.
+    let ms_metric = dx_coverage::MetricKind::Multisection { k: 4 };
+    let (ms_suite, ms_seeds) = suite_and_seeds(n_seeds, ms_metric);
+    out.line("multisection:4 variant (same budget, profiles primed from 128 training inputs)");
+    let mut ms_pool = Campaign::new(
+        ms_suite.clone(),
+        &ms_seeds,
+        CampaignConfig {
+            workers: 1,
+            epochs: rounds,
+            batch_per_epoch: batch,
+            seed: 42,
+            ..Default::default()
+        },
+    );
+    ms_pool.run().expect("no checkpoint dir configured, run cannot fail");
+    let ms_pool_sps = ms_pool.report().seeds_per_sec();
+    out.line(format!(
+        "{:<16} {:>9.2} {:>9.2} {:>9} {:>8.1}% {:>8.2}x",
+        "ms pool (1 thr)",
+        ms_pool_sps,
+        ms_pool.report().diffs_per_sec(),
+        ms_pool.report().total_diffs(),
+        100.0 * ms_pool.mean_coverage(),
+        ms_pool_sps / pool_sps,
+    ));
+    for workers in [1usize, 2] {
+        let coordinator = Coordinator::new(
+            &ms_suite,
+            LABEL,
+            &ms_seeds,
+            CoordinatorConfig {
+                max_steps: Some(budget),
+                batch_per_round: batch,
+                lease_size: 4,
+                lease_timeout: Duration::from_secs(60),
+                seed: 42,
+                ..Default::default()
+            },
+        );
+        let listener = std::net::TcpListener::bind(("127.0.0.1", 0)).expect("bind");
+        let addr = listener.local_addr().expect("local addr").to_string();
+        let exe = std::env::current_exe().expect("current exe");
+        let children: Vec<_> = (0..workers)
+            .map(|_| {
+                std::process::Command::new(&exe)
+                    .env("DX_DIST_WORKER", &addr)
+                    .env("DX_DIST_METRIC", ms_metric.to_string())
+                    .env("DX_SCALE", "test")
+                    .stdout(std::process::Stdio::null())
+                    .spawn()
+                    .expect("spawn bench worker")
+            })
+            .collect();
+        let report = coordinator.serve(listener).expect("coordinator serve");
+        for mut child in children {
+            let _ = child.wait();
+        }
+        let sps = report.report.seeds_per_sec();
+        let merged = report.coverage.iter().sum::<f32>() / report.coverage.len() as f32;
+        out.line(format!(
+            "{:<16} {:>9.2} {:>9.2} {:>9} {:>8.1}% {:>8.2}x",
+            format!("ms dist ({workers} proc)"),
+            sps,
+            report.report.diffs_per_sec(),
+            report.report.total_diffs(),
+            100.0 * merged,
+            sps / ms_pool_sps,
         ));
     }
 }

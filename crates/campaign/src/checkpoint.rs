@@ -7,7 +7,7 @@
 //! | `corpus.jsonl` | one corpus entry per line, inputs inline | atomic rewrite |
 //! | `stats.jsonl` | one epoch's statistics per line | append |
 //! | `diffs.jsonl` | one found difference per line, inputs inline | append |
-//! | `coverage.json` | per-model global covered-neuron bitmaps | atomic rewrite |
+//! | `coverage.json` | metric kind, per-model covered-unit bitmaps, and (multisection) neuron profiles | atomic rewrite |
 //! | `meta.json` | epochs done, campaign seed, workers, worker RNG states | atomic rewrite |
 //!
 //! (The distributed campaign adds a sixth, `dist.json`, for lease state —
@@ -27,12 +27,14 @@ use std::path::Path;
 
 use crate::codec::{
     bad, diff_from_json, diff_json, entry_from_json, entry_json, epoch_from_json, epoch_json,
-    field_usize, parse_doc, rng_state_from_json, rng_state_json, u64_from_json, u64_json,
+    field_usize, parse_doc, ranges_from_json, ranges_json, rng_state_from_json, rng_state_json,
+    u64_from_json, u64_json,
 };
 use crate::corpus::{Corpus, CorpusEntry};
-use crate::engine::FoundDiff;
+use crate::engine::{FoundDiff, ModelSuite};
 use crate::json::{build, Json};
 use crate::report::{CampaignReport, EpochStats};
+use dx_coverage::{CoverageSignal, MetricKind, NeuronProfile};
 
 /// Campaign-level checkpoint metadata.
 #[derive(Clone, Debug)]
@@ -49,6 +51,74 @@ pub struct Meta {
     pub worker_rng: Vec<[u64; 4]>,
 }
 
+/// The coverage-signal identity persisted alongside the bitmaps: which
+/// metric the hit-sets were recorded under, and — for multisection — the
+/// per-model neuron profiles the sections were cut from. Without the
+/// profiles a resumed multisection campaign would have to re-prime from
+/// training data, which need not reproduce the checkpointed sections.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SignalCheckpoint {
+    /// The coverage metric the campaign steered by.
+    pub metric: MetricKind,
+    /// Per-model `(low, high)` profile ranges; empty for the neuron metric.
+    pub ranges: Vec<(Vec<f32>, Vec<f32>)>,
+}
+
+impl SignalCheckpoint {
+    /// The neuron-metric checkpoint (no profiles to persist).
+    pub fn neuron() -> Self {
+        Self { metric: MetricKind::Neuron, ranges: Vec::new() }
+    }
+
+    /// Derives the checkpoint from live per-model signals.
+    pub fn of(signals: &[CoverageSignal]) -> Self {
+        let metric = signals.first().map(CoverageSignal::metric).unwrap_or_default();
+        let ranges = signals
+            .iter()
+            .filter_map(|s| s.as_multisection())
+            .map(|t| {
+                let (low, high) = t.profile().ranges();
+                (low.to_vec(), high.to_vec())
+            })
+            .collect();
+        Self { metric, ranges }
+    }
+
+    /// Swaps the suite's profiles for the checkpointed ones (multisection
+    /// only; a no-op when no profiles were persisted).
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` when the persisted ranges do not fit the suite's
+    /// models.
+    pub fn restore_profiles(&self, mut suite: ModelSuite) -> io::Result<ModelSuite> {
+        if self.ranges.is_empty() {
+            return Ok(suite);
+        }
+        if self.ranges.len() != suite.models.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "checkpointed profile count does not match the model count",
+            ));
+        }
+        suite.signal.profiles = suite
+            .models
+            .iter()
+            .zip(&self.ranges)
+            .map(|(m, (low, high))| {
+                NeuronProfile::restore(
+                    m,
+                    suite.signal.config.granularity,
+                    low.clone(),
+                    high.clone(),
+                )
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+            })
+            .collect::<io::Result<Vec<_>>>()?;
+        Ok(suite)
+    }
+}
+
 /// Everything a checkpoint directory holds, parsed.
 pub struct CampaignState {
     /// Corpus entries in checkpoint order.
@@ -57,9 +127,12 @@ pub struct CampaignState {
     pub epochs: Vec<EpochStats>,
     /// Found differences.
     pub diffs: Vec<FoundDiff>,
-    /// Per-model global covered-neuron bitmaps (`None` in checkpoints
+    /// Per-model global covered-unit bitmaps (`None` in checkpoints
     /// written before coverage persistence existed).
     pub coverage: Option<Vec<Vec<bool>>>,
+    /// Metric identity and multisection profiles (neuron metric with no
+    /// profiles for checkpoints written before metrics were persisted).
+    pub signal: SignalCheckpoint,
     /// Epochs completed.
     pub epochs_done: usize,
     /// The campaign's master seed.
@@ -73,12 +146,14 @@ pub struct CampaignState {
 /// # Errors
 ///
 /// Any filesystem failure.
+#[allow(clippy::too_many_arguments)]
 pub fn save(
     dir: &Path,
     corpus: &Corpus,
     report: &CampaignReport,
     diffs: &[FoundDiff],
     coverage: &[Vec<bool>],
+    signal: &SignalCheckpoint,
     meta: &Meta,
     append: bool,
 ) -> io::Result<()> {
@@ -101,7 +176,26 @@ pub fn save(
             .map(|m| Json::Str(m.iter().map(|&c| if c { '1' } else { '0' }).collect()))
             .collect(),
     );
-    let coverage_json = build::obj(vec![("version", build::int(1)), ("masks", masks)]);
+    let mut coverage_fields = vec![
+        ("version", build::int(2)),
+        ("metric", build::str(&signal.metric.to_string())),
+        ("masks", masks),
+    ];
+    if !signal.ranges.is_empty() {
+        coverage_fields.push((
+            "profiles",
+            Json::Arr(
+                signal
+                    .ranges
+                    .iter()
+                    .map(|(low, high)| {
+                        build::obj(vec![("low", ranges_json(low)), ("high", ranges_json(high))])
+                    })
+                    .collect(),
+            ),
+        ));
+    }
+    let coverage_json = build::obj(coverage_fields);
     write_atomic(&dir.join("coverage.json"), &(coverage_json.to_string() + "\n"))?;
     let mut meta_fields = vec![
         ("version", build::int(2)),
@@ -171,23 +265,44 @@ pub fn load(dir: &Path) -> io::Result<CampaignState> {
         .iter()
         .map(diff_from_json)
         .collect::<io::Result<Vec<_>>>()?;
-    let coverage = match fs::read_to_string(dir.join("coverage.json")) {
-        Err(e) if e.kind() == io::ErrorKind::NotFound => None,
+    let (coverage, signal) = match fs::read_to_string(dir.join("coverage.json")) {
+        Err(e) if e.kind() == io::ErrorKind::NotFound => (None, SignalCheckpoint::neuron()),
         Err(e) => return Err(e),
         Ok(text) => {
             let doc = parse_doc(&text)?;
-            Some(
-                doc.get("masks")
-                    .and_then(Json::as_arr)
-                    .ok_or_else(|| bad("coverage.masks"))?
+            let masks = doc
+                .get("masks")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| bad("coverage.masks"))?
+                .iter()
+                .map(|m| {
+                    m.as_str()
+                        .map(|s| s.chars().map(|c| c == '1').collect::<Vec<bool>>())
+                        .ok_or_else(|| bad("coverage mask"))
+                })
+                .collect::<io::Result<Vec<_>>>()?;
+            // v1 checkpoints carry no metric field: they are neuron-metric.
+            let metric = match doc.get("metric") {
+                None | Some(Json::Null) => MetricKind::Neuron,
+                Some(m) => {
+                    m.as_str().and_then(|s| s.parse().ok()).ok_or_else(|| bad("coverage.metric"))?
+                }
+            };
+            let ranges = match doc.get("profiles") {
+                None | Some(Json::Null) => Vec::new(),
+                Some(profiles) => profiles
+                    .as_arr()
+                    .ok_or_else(|| bad("coverage.profiles"))?
                     .iter()
-                    .map(|m| {
-                        m.as_str()
-                            .map(|s| s.chars().map(|c| c == '1').collect::<Vec<bool>>())
-                            .ok_or_else(|| bad("coverage mask"))
+                    .map(|p| {
+                        Ok((
+                            ranges_from_json(p.get("low").ok_or_else(|| bad("profile low"))?)?,
+                            ranges_from_json(p.get("high").ok_or_else(|| bad("profile high"))?)?,
+                        ))
                     })
                     .collect::<io::Result<Vec<_>>>()?,
-            )
+            };
+            (Some(masks), SignalCheckpoint { metric, ranges })
         }
     };
     let worker_rng = match meta.get("worker_rng") {
@@ -204,6 +319,7 @@ pub fn load(dir: &Path) -> io::Result<CampaignState> {
         epochs,
         diffs,
         coverage,
+        signal,
         epochs_done: field_usize(&meta, "epochs_done")?,
         campaign_seed: meta
             .get("campaign_seed")
@@ -302,7 +418,17 @@ mod tests {
     fn save_load_round_trip() {
         let dir = tmp_dir("round_trip");
         let (corpus, report, diffs, meta) = sample_state();
-        save(&dir, &corpus, &report, &diffs, &sample_masks(), &meta, false).unwrap();
+        save(
+            &dir,
+            &corpus,
+            &report,
+            &diffs,
+            &sample_masks(),
+            &SignalCheckpoint::neuron(),
+            &meta,
+            false,
+        )
+        .unwrap();
         let state = load(&dir).unwrap();
         assert_eq!(state.coverage, Some(sample_masks()));
         assert_eq!(state.epochs_done, 1);
@@ -328,16 +454,46 @@ mod tests {
     fn save_is_rerunnable_and_appends_only_new_lines() {
         let dir = tmp_dir("rerun");
         let (corpus, mut report, mut diffs, meta) = sample_state();
-        save(&dir, &corpus, &report, &diffs, &sample_masks(), &meta, false).unwrap();
+        save(
+            &dir,
+            &corpus,
+            &report,
+            &diffs,
+            &sample_masks(),
+            &SignalCheckpoint::neuron(),
+            &meta,
+            false,
+        )
+        .unwrap();
         // Same state again: stats/diffs must not duplicate.
-        save(&dir, &corpus, &report, &diffs, &sample_masks(), &meta, true).unwrap();
+        save(
+            &dir,
+            &corpus,
+            &report,
+            &diffs,
+            &sample_masks(),
+            &SignalCheckpoint::neuron(),
+            &meta,
+            true,
+        )
+        .unwrap();
         let state = load(&dir).unwrap();
         assert_eq!(state.epochs.len(), 1);
         assert_eq!(state.diffs.len(), 1);
         // One more epoch and diff: exactly one new line each.
         report.epochs.push(EpochStats { epoch: 1, ..report.epochs[0].clone() });
         diffs.push(diffs[0].clone());
-        save(&dir, &corpus, &report, &diffs, &sample_masks(), &meta, true).unwrap();
+        save(
+            &dir,
+            &corpus,
+            &report,
+            &diffs,
+            &sample_masks(),
+            &SignalCheckpoint::neuron(),
+            &meta,
+            true,
+        )
+        .unwrap();
         let state = load(&dir).unwrap();
         assert_eq!(state.epochs.len(), 2);
         assert_eq!(state.diffs.len(), 2);
@@ -352,9 +508,68 @@ mod tests {
         fs::create_dir_all(&dir).unwrap();
         // A foreign stats file with more lines than the campaign knows.
         fs::write(dir.join("stats.jsonl"), "{}\n{}\n{}\n{}\n{}\n").unwrap();
-        save(&dir, &corpus, &report, &diffs, &sample_masks(), &meta, false).unwrap();
+        save(
+            &dir,
+            &corpus,
+            &report,
+            &diffs,
+            &sample_masks(),
+            &SignalCheckpoint::neuron(),
+            &meta,
+            false,
+        )
+        .unwrap();
         let state = load(&dir).unwrap();
         assert_eq!(state.epochs.len(), report.epochs.len());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn signal_checkpoint_round_trips_profiles() {
+        let dir = tmp_dir("signal");
+        let (corpus, report, diffs, meta) = sample_state();
+        let signal = SignalCheckpoint {
+            metric: MetricKind::Multisection { k: 4 },
+            ranges: vec![
+                // Includes the ±infinity an unprofiled neuron carries.
+                (vec![0.25, f32::INFINITY], vec![0.75, f32::NEG_INFINITY]),
+                (vec![-1.5, 0.0], vec![1.5, 2.0]),
+            ],
+        };
+        save(&dir, &corpus, &report, &diffs, &sample_masks(), &signal, &meta, false).unwrap();
+        let state = load(&dir).unwrap();
+        assert_eq!(state.signal.metric, MetricKind::Multisection { k: 4 });
+        assert_eq!(state.signal.ranges.len(), 2);
+        for ((lo, hi), (slo, shi)) in signal.ranges.iter().zip(&state.signal.ranges) {
+            let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(lo), bits(slo));
+            assert_eq!(bits(hi), bits(shi));
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn v1_coverage_files_load_as_neuron_metric() {
+        // Checkpoints written before metrics were persisted carry no
+        // `metric` field; they must load as the paper's neuron metric.
+        let dir = tmp_dir("v1_metric");
+        let (corpus, report, diffs, meta) = sample_state();
+        save(
+            &dir,
+            &corpus,
+            &report,
+            &diffs,
+            &sample_masks(),
+            &SignalCheckpoint::neuron(),
+            &meta,
+            false,
+        )
+        .unwrap();
+        fs::write(dir.join("coverage.json"), "{\"version\":1,\"masks\":[\"10\",\"01\"]}\n")
+            .unwrap();
+        let state = load(&dir).unwrap();
+        assert_eq!(state.signal, SignalCheckpoint::neuron());
+        assert_eq!(state.coverage, Some(vec![vec![true, false], vec![false, true]]));
         let _ = fs::remove_dir_all(&dir);
     }
 
@@ -362,7 +577,17 @@ mod tests {
     fn load_tolerates_missing_coverage_file() {
         let dir = tmp_dir("no_coverage");
         let (corpus, report, diffs, meta) = sample_state();
-        save(&dir, &corpus, &report, &diffs, &sample_masks(), &meta, false).unwrap();
+        save(
+            &dir,
+            &corpus,
+            &report,
+            &diffs,
+            &sample_masks(),
+            &SignalCheckpoint::neuron(),
+            &meta,
+            false,
+        )
+        .unwrap();
         fs::remove_file(dir.join("coverage.json")).unwrap();
         let state = load(&dir).unwrap();
         assert_eq!(state.coverage, None);
@@ -376,7 +601,17 @@ mod tests {
         let dir = tmp_dir("no_rng");
         let (corpus, report, diffs, mut meta) = sample_state();
         meta.worker_rng = Vec::new();
-        save(&dir, &corpus, &report, &diffs, &sample_masks(), &meta, false).unwrap();
+        save(
+            &dir,
+            &corpus,
+            &report,
+            &diffs,
+            &sample_masks(),
+            &SignalCheckpoint::neuron(),
+            &meta,
+            false,
+        )
+        .unwrap();
         let state = load(&dir).unwrap();
         assert!(state.worker_rng.is_empty());
         let _ = fs::remove_dir_all(&dir);
@@ -386,7 +621,17 @@ mod tests {
     fn load_rejects_corrupt_checkpoint() {
         let dir = tmp_dir("corrupt");
         let (corpus, report, diffs, meta) = sample_state();
-        save(&dir, &corpus, &report, &diffs, &sample_masks(), &meta, false).unwrap();
+        save(
+            &dir,
+            &corpus,
+            &report,
+            &diffs,
+            &sample_masks(),
+            &SignalCheckpoint::neuron(),
+            &meta,
+            false,
+        )
+        .unwrap();
         fs::write(dir.join("corpus.jsonl"), "{not json}\n").unwrap();
         assert!(load(&dir).is_err());
         let _ = fs::remove_dir_all(&dir);

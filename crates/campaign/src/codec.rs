@@ -68,6 +68,46 @@ pub fn rng_state_from_json(v: &Json) -> io::Result<[u64; 4]> {
     Ok(out)
 }
 
+/// A flat `f32` array that may contain non-finite values — neuron-profile
+/// ranges hold ±infinity for unprofiled neurons, which plain JSON numbers
+/// cannot carry (the emitter writes them as `null`). Non-finite entries
+/// travel as the strings `"inf"`, `"-inf"` and `"nan"`.
+pub fn ranges_json(values: &[f32]) -> Json {
+    Json::Arr(
+        values
+            .iter()
+            .map(|&v| {
+                if v.is_finite() {
+                    Json::Num(f64::from(v))
+                } else if v == f32::INFINITY {
+                    build::str("inf")
+                } else if v == f32::NEG_INFINITY {
+                    build::str("-inf")
+                } else {
+                    build::str("nan")
+                }
+            })
+            .collect(),
+    )
+}
+
+/// Reads an array written by [`ranges_json`].
+pub fn ranges_from_json(v: &Json) -> io::Result<Vec<f32>> {
+    v.as_arr()
+        .ok_or_else(|| bad("range array"))?
+        .iter()
+        .map(|x| match x {
+            Json::Str(s) => match s.as_str() {
+                "inf" => Ok(f32::INFINITY),
+                "-inf" => Ok(f32::NEG_INFINITY),
+                "nan" => Ok(f32::NAN),
+                _ => Err(bad("range element")),
+            },
+            other => other.as_f32().ok_or_else(|| bad("range element")),
+        })
+        .collect()
+}
+
 /// A tensor's `shape`/`data` fields, to inline into a containing object.
 pub fn tensor_fields(t: &Tensor) -> (Json, Json) {
     (build::ints(t.shape()), build::f32s(t.data()))
@@ -349,6 +389,21 @@ mod tests {
         let back = rng_state_from_json(&rng_state_json(&state)).unwrap();
         assert_eq!(back, state);
         assert!(rng_state_from_json(&Json::Arr(vec![u64_json(1)])).is_err());
+    }
+
+    #[test]
+    fn ranges_round_trip_including_non_finite() {
+        let values = [0.25f32, -1.5, f32::INFINITY, f32::NEG_INFINITY, 0.0, 3.25e-6];
+        let back =
+            ranges_from_json(&parse_doc(&ranges_json(&values).to_string()).unwrap()).unwrap();
+        assert_eq!(back.len(), values.len());
+        for (a, b) in values.iter().zip(&back) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // NaN survives as NaN (bit pattern normalized to the canonical one).
+        let back = ranges_from_json(&ranges_json(&[f32::NAN])).unwrap();
+        assert!(back[0].is_nan());
+        assert!(ranges_from_json(&parse_doc("[\"huge\"]").unwrap()).is_err());
     }
 
     #[test]

@@ -5,9 +5,15 @@
 //! coverage or difference-inducing inputs and decays when it yields
 //! nothing, and the scheduler samples entries energy-proportionally
 //! (discounted by how often each was already fuzzed). Inputs that covered
-//! new neurons while the models still agreed enter the corpus as children
+//! new units while the models still agreed enter the corpus as children
 //! of the seed they grew from, so productive regions of the input space
 //! are mined deeper.
+//!
+//! Energy accounting is metric-generic: "coverage" here is whatever
+//! [`dx_coverage::CoverageSignal`] the campaign steers by, so under
+//! `multisection:k` the cover bonus rewards newly hit range *sections*
+//! and the rarity model scales by section-union saturation — a strictly
+//! finer reward signal than the paper's boolean per-neuron bit.
 
 use dx_tensor::rng::Rng;
 use dx_tensor::Tensor;
@@ -62,16 +68,16 @@ mod energy {
 /// How scheduling energy responds to a step's outcome.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum EnergyModel {
-    /// DLFuzz-style: a fixed bonus per newly covered neuron or found
-    /// difference, multiplicative decay when a step yields nothing.
+    /// DLFuzz-style: a fixed bonus per newly covered unit (neuron, or
+    /// range section under multisection) or found difference,
+    /// multiplicative decay when a step yields nothing.
     #[default]
     Classic,
     /// [`EnergyModel::Classic`], with the coverage bonus scaled by
-    /// global-union rarity: a neuron that is new to the merged union when
+    /// global-union rarity: a unit that is new to the merged union when
     /// the union is already `c` saturated earns a `1/(1-c)` multiplier
-    /// (capped), so seeds that reach globally-rare neurons are mined
-    /// harder — the DeepGauge-flavored scheduling signal the merged
-    /// coverage view makes possible.
+    /// (capped), so seeds that reach globally-rare neurons — or, under
+    /// multisection, rare range sections — are mined harder.
     Rarity,
 }
 

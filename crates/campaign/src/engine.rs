@@ -5,7 +5,7 @@
 //! threads, and each worker runs [`Generator::run_seed`] on its share
 //! against its own model clones. Workers accumulate neuron coverage in
 //! private trackers and periodically fold them into a shared global union
-//! ([`CoverageTracker::merge`]), adopting the union back so no worker
+//! ([`CoverageSignal::merge`]), adopting the union back so no worker
 //! chases neurons another already covered. Between epochs the coordinator
 //! absorbs results into the corpus, records per-epoch throughput, and
 //! checkpoints everything to disk so a campaign can resume.
@@ -19,7 +19,7 @@ use deepxplore::constraints::Constraint;
 use deepxplore::diff::Prediction;
 use deepxplore::generator::{Generator, SeedRun, TaskKind};
 use deepxplore::Hyperparams;
-use dx_coverage::{CoverageConfig, CoverageTracker};
+use dx_coverage::{CoverageSignal, SignalSpec};
 use dx_nn::network::Network;
 use dx_nn::util::gather_rows;
 use dx_tensor::{rng, Tensor};
@@ -40,8 +40,9 @@ pub struct ModelSuite {
     pub hp: Hyperparams,
     /// Domain constraint for generated inputs.
     pub constraint: Constraint,
-    /// Coverage metric configuration.
-    pub coverage: CoverageConfig,
+    /// The coverage signal the campaign steers by: metric kind, coverage
+    /// config, and (for multisection) per-model training-set profiles.
+    pub signal: SignalSpec,
 }
 
 /// Campaign scheduling and persistence knobs.
@@ -119,7 +120,7 @@ pub struct FoundDiff {
 pub struct Campaign {
     config: CampaignConfig,
     workers: Vec<Generator>,
-    global: Vec<CoverageTracker>,
+    global: Vec<CoverageSignal>,
     corpus: Corpus,
     report: CampaignReport,
     diffs: Vec<FoundDiff>,
@@ -178,6 +179,21 @@ impl Campaign {
         mut config: CampaignConfig,
     ) -> io::Result<Self> {
         let state = checkpoint::load(dir)?;
+        // The metric is part of the campaign's identity too: a multisection
+        // hit-set cannot seed a neuron campaign or vice versa.
+        if state.signal.metric != suite.signal.metric {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "checkpoint metric `{}` does not match the configured `{}`",
+                    state.signal.metric, suite.signal.metric
+                ),
+            ));
+        }
+        // Checkpointed profiles are authoritative: restoring them (rather
+        // than re-priming) keeps a resumed multisection campaign
+        // bit-identical even if the training data shifted underneath.
+        let suite = state.signal.restore_profiles(suite)?;
         // The master seed is part of the campaign's identity: scheduling and
         // worker streams all derive from it, so a resume continues with the
         // seed the campaign was started with, not whatever the new config
@@ -212,14 +228,15 @@ impl Campaign {
         assert!(config.workers >= 1, "campaign needs at least one worker");
         assert!(config.epochs >= 1, "campaign needs at least one epoch");
         assert!(config.batch_per_epoch >= 1, "campaign needs a nonzero batch");
+        let signals = suite.signal.build(&suite.models);
         let mut workers: Vec<Generator> = (0..config.workers)
             .map(|w| {
-                Generator::new(
+                Generator::with_signals(
                     suite.models.clone(),
                     suite.kind,
                     suite.hp,
                     suite.constraint.clone(),
-                    suite.coverage,
+                    signals.clone(),
                     rng::derive_seed(config.seed, 1 + w as u64),
                 )
             })
@@ -231,7 +248,7 @@ impl Campaign {
                 w.set_rng_state(*state);
             }
         }
-        let mut global = workers[0].trackers().to_vec();
+        let mut global = signals;
         let masks_fit = coverage.as_ref().is_some_and(|masks| {
             masks.len() == global.len()
                 && masks.iter().zip(global.iter()).all(|(m, g)| m.len() == g.total())
@@ -245,7 +262,7 @@ impl Campaign {
             // No (or incompatible) persisted bitmaps — an older checkpoint,
             // or the coverage config changed. Rebuild a lower bound by
             // replaying the surviving corpus inputs through the metric.
-            let mut replay = workers[0].trackers().to_vec();
+            let mut replay = global.clone();
             for entry in corpus.entries() {
                 for ((model, tracker), g) in
                     suite.models.iter().zip(replay.iter_mut()).zip(global.iter_mut())
@@ -363,8 +380,18 @@ impl Campaign {
             worker_rng: self.workers.iter().map(Generator::rng_state).collect(),
         };
         let masks: Vec<Vec<bool>> = self.global.iter().map(|t| t.covered_mask().to_vec()).collect();
+        let signal = checkpoint::SignalCheckpoint::of(&self.global);
         let append = self.checkpointed_dir.as_deref() == Some(dir);
-        checkpoint::save(dir, &self.corpus, &self.report, &self.diffs, &masks, &meta, append)?;
+        checkpoint::save(
+            dir,
+            &self.corpus,
+            &self.report,
+            &self.diffs,
+            &masks,
+            &signal,
+            &meta,
+            append,
+        )?;
         self.checkpointed_dir = Some(dir.to_path_buf());
         Ok(())
     }

@@ -7,15 +7,20 @@
 //! design of DLFuzz (Guo et al., FSE 2018):
 //!
 //! - **Corpus** ([`corpus::Corpus`]): seeds carry an energy that rises when
-//!   fuzzing them yields new neuron coverage or difference-inducing inputs
+//!   fuzzing them yields new coverage or difference-inducing inputs
 //!   and decays when it yields nothing; scheduling samples seeds
-//!   energy-proportionally. Intermediate inputs that covered new neurons
+//!   energy-proportionally. Intermediate inputs that covered new units
 //!   while the models still agreed are grafted back as child seeds.
+//! - **Metric-generic signal** ([`dx_coverage::SignalSpec`]): campaigns
+//!   steer by any [`dx_coverage::CoverageSignal`] — the paper's binary
+//!   neuron coverage or DeepGauge k-multisection sections — selected per
+//!   campaign; every union/checkpoint/energy path below is written against
+//!   the signal, not a concrete tracker.
 //! - **Worker pool** ([`engine::Campaign`]): each worker thread owns model
-//!   clones and a private [`dx_coverage::CoverageTracker`], and
-//!   periodically folds it into a shared global union
-//!   ([`dx_coverage::CoverageTracker::merge`]), adopting the union back so
-//!   workers don't chase neurons someone else covered.
+//!   clones and private per-model [`dx_coverage::CoverageSignal`]s, and
+//!   periodically folds them into a shared global union
+//!   ([`dx_coverage::CoverageSignal::merge`]), adopting the union back so
+//!   workers don't chase units someone else covered.
 //! - **Persistence** ([`checkpoint`]): JSONL corpus/stats/diffs checkpoints
 //!   after every epoch; [`engine::Campaign::resume`] continues a campaign
 //!   from disk.
@@ -29,7 +34,7 @@
 //! use deepxplore::constraints::Constraint;
 //! use deepxplore::generator::TaskKind;
 //! use deepxplore::Hyperparams;
-//! use dx_coverage::CoverageConfig;
+//! use dx_coverage::{CoverageConfig, SignalSpec};
 //! use dx_nn::layer::Layer;
 //! use dx_nn::Network;
 //! use dx_tensor::rng;
@@ -44,7 +49,7 @@
 //!     kind: TaskKind::Classification,
 //!     hp: Hyperparams { step: 0.3, max_iters: 30, ..Default::default() },
 //!     constraint: Constraint::Clip,
-//!     coverage: CoverageConfig::scaled(0.25),
+//!     signal: SignalSpec::neuron(CoverageConfig::scaled(0.25)),
 //! };
 //! let seeds = rng::uniform(&mut rng::rng(4), &[10, 8], 0.2, 0.8);
 //! let mut campaign = Campaign::new(
@@ -77,7 +82,7 @@ mod tests {
     use deepxplore::constraints::Constraint;
     use deepxplore::generator::TaskKind;
     use deepxplore::Hyperparams;
-    use dx_coverage::CoverageConfig;
+    use dx_coverage::{CoverageConfig, SignalSpec};
     use dx_nn::layer::Layer;
     use dx_nn::Network;
     use dx_tensor::{rng, Tensor};
@@ -102,12 +107,22 @@ mod tests {
             kind: TaskKind::Classification,
             hp: Hyperparams { step: 0.25, lambda1: 2.0, max_iters: 40, ..Default::default() },
             constraint: Constraint::Clip,
-            coverage: CoverageConfig::scaled(0.25),
+            signal: SignalSpec::neuron(CoverageConfig::scaled(0.25)),
         }
     }
 
     fn seed_batch(seed: u64, n: usize) -> Tensor {
         rng::uniform(&mut rng::rng(seed), &[n, 16], 0.2, 0.8)
+    }
+
+    /// A suite steering by k-multisection coverage, profiles primed from
+    /// a deterministic stand-in training set.
+    fn ms_suite(seed: u64, k: usize) -> ModelSuite {
+        let mut s = suite(seed);
+        let train = rng::uniform(&mut rng::rng(seed ^ 0x7a1d), &[40, 16], 0.0, 1.0);
+        s.signal = SignalSpec::multisection(CoverageConfig::default(), k, Vec::new())
+            .primed(&s.models, &train, 40);
+        s
     }
 
     fn tmp_dir(name: &str) -> std::path::PathBuf {
@@ -260,6 +275,86 @@ mod tests {
     }
 
     #[test]
+    fn multisection_campaign_reaches_a_section_target_and_resumes_bit_identically() {
+        // The finer DeepGauge signal drives the whole stack: a campaign
+        // steering by section coverage reaches a section-level target, and
+        // a checkpoint/resume split reproduces the uninterrupted run
+        // exactly (profiles and hit-sets restored from disk).
+        let config = |epochs: usize, dir: &std::path::Path| CampaignConfig {
+            workers: 1,
+            epochs,
+            batch_per_epoch: 8,
+            checkpoint_dir: Some(dir.to_path_buf()),
+            seed: 11,
+            ..Default::default()
+        };
+        let dir_a = tmp_dir("ms_straight");
+        let mut straight = Campaign::new(ms_suite(70, 4), &seed_batch(71, 10), config(4, &dir_a));
+        straight.run().unwrap();
+        assert!(straight.mean_coverage() > 0.0, "no section coverage at all");
+
+        let dir_b = tmp_dir("ms_split");
+        let mut first = Campaign::new(ms_suite(70, 4), &seed_batch(71, 10), config(2, &dir_b));
+        first.run().unwrap();
+        // Resume with *unprimed* profiles: the checkpointed ones must be
+        // restored from disk, not re-derived.
+        let mut unprimed = suite(70);
+        unprimed.signal.metric = dx_coverage::MetricKind::Multisection { k: 4 };
+        let mut resumed = Campaign::resume(unprimed, config(2, &dir_b)).unwrap();
+        resumed.run().unwrap();
+
+        assert_eq!(resumed.epochs_done(), straight.epochs_done());
+        assert_eq!(resumed.coverage(), straight.coverage());
+        assert_eq!(resumed.diffs().len(), straight.diffs().len());
+        assert_eq!(resumed.corpus().len(), straight.corpus().len());
+        for (a, b) in resumed.corpus().entries().iter().zip(straight.corpus().entries()) {
+            assert_eq!(a.input, b.input);
+            assert_eq!(a.energy.to_bits(), b.energy.to_bits());
+        }
+
+        // A section-coverage target stops the campaign early.
+        let reached = straight.mean_coverage() * 0.5;
+        let mut targeted = Campaign::new(
+            ms_suite(70, 4),
+            &seed_batch(71, 10),
+            CampaignConfig {
+                epochs: 100,
+                batch_per_epoch: 8,
+                desired_coverage: Some(reached),
+                seed: 11,
+                ..Default::default()
+            },
+        );
+        let report = targeted.run().unwrap();
+        assert!(report.epochs.len() < 100);
+        assert!(targeted.mean_coverage() >= reached);
+        let _ = std::fs::remove_dir_all(&dir_a);
+        let _ = std::fs::remove_dir_all(&dir_b);
+    }
+
+    #[test]
+    fn resume_rejects_metric_mismatch() {
+        let dir = tmp_dir("metric_mismatch");
+        let config = CampaignConfig {
+            workers: 1,
+            epochs: 1,
+            batch_per_epoch: 4,
+            checkpoint_dir: Some(dir.clone()),
+            ..Default::default()
+        };
+        let mut neuron = Campaign::new(suite(75), &seed_batch(76, 6), config.clone());
+        neuron.run().unwrap();
+        // Resuming a neuron checkpoint under multisection must fail loudly
+        // rather than silently mixing hit-set semantics.
+        let err = match Campaign::resume(ms_suite(75, 4), config) {
+            Err(e) => e,
+            Ok(_) => panic!("metric mismatch must be rejected"),
+        };
+        assert!(err.to_string().contains("metric"), "unexpected error: {err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn rarity_energy_campaign_runs_and_is_deterministic() {
         let run = || {
             let mut campaign = Campaign::new(
@@ -330,7 +425,7 @@ mod tests {
             kind: TaskKind::Classification,
             hp: Hyperparams { step: 0.25, max_iters: 10, ..Default::default() },
             constraint: Constraint::Clip,
-            coverage: CoverageConfig::scaled(0.25),
+            signal: SignalSpec::neuron(CoverageConfig::scaled(0.25)),
         };
         let mut campaign = Campaign::new(
             twin_suite,

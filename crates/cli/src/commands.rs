@@ -6,7 +6,7 @@ use std::path::PathBuf;
 use deepxplore::generator::Generator;
 use deepxplore::hyper::NeuronPick;
 use deepxplore::{Constraint, Hyperparams};
-use dx_coverage::{CoverageConfig, CoverageTracker};
+use dx_coverage::{CoverageConfig, CoverageTracker, MetricKind, SignalSpec};
 use dx_models::{DatasetKind, Scale, Zoo, ZooConfig};
 use dx_nn::util::gather_rows;
 use dx_tensor::{rng, Image};
@@ -60,7 +60,13 @@ CAMPAIGN OPTIONS:
     --max-corpus <N>       Corpus size cap (default: 4096).
     --energy <classic|rarity>
                            Corpus energy model; `rarity` weights newly
-                           covered neurons by global-union saturation.
+                           covered units by global-union saturation.
+    --metric <neuron|multisection[:k]>
+                           Coverage signal the campaign steers by
+                           (default: neuron). `multisection:k` primes
+                           per-neuron output ranges from the training set
+                           at startup and counts range sections (DeepGauge;
+                           k defaults to 4).
     --rng <seed>           Campaign master seed (default: 42).
     (campaign also honors generate's --constraint/--lambda1/--lambda2/
      --step/--max-iters/--pick hyperparameter options.)
@@ -72,16 +78,17 @@ COORDINATOR OPTIONS:
     --lease <N>            Max jobs per worker lease (default: 4).
     --lease-timeout <secs> Requeue a silent lease after this (default: 30).
     --seeds/--checkpoint/--resume/--duration/--target-coverage/
-    --max-corpus/--energy/--rng as for campaign. Type `drain` + Enter
-    on stdin for a graceful drain + final checkpoint; EOF alone is
-    ignored, so the coordinator can run detached.
+    --max-corpus/--energy/--metric/--rng as for campaign. Type `drain`
+    + Enter on stdin for a graceful drain + final checkpoint; EOF alone
+    is ignored, so the coordinator can run detached.
 
 WORKER OPTIONS:
     --connect <addr>       Coordinator address (required).
     --lease <N>            Jobs requested per lease (default: 4).
     --heartbeat-every <N>  Heartbeat before every N-th job (default: 1).
-    (Pass the same --dataset/--full/hyperparameter flags as the
-     coordinator; the suite fingerprint is verified at admission.)
+    (Pass the same --dataset/--full/--metric/hyperparameter flags as the
+     coordinator; model shapes, the coverage metric, hyperparameters and
+     the constraint are all fingerprinted and verified at admission.)
 
 DIST OPTIONS:
     --workers <N>          Local worker processes to spawn (default: 2).
@@ -288,9 +295,15 @@ pub fn generate(args: &Args) -> CmdResult {
     Ok(())
 }
 
+/// Training inputs each process replays to prime multisection profiles.
+/// A fixed prefix of the training set, so every member of a distributed
+/// fleet derives bit-identical profiles (and thus matching fingerprints).
+const PROFILE_INPUTS: usize = 128;
+
 /// Builds the model suite a campaign/coordinator/worker runs on, plus the
 /// dataset and the suite label used as the distributed-admission
-/// fingerprint.
+/// fingerprint. With `--metric multisection[:k]`, per-model neuron
+/// profiles are primed from the training set here, at startup.
 fn build_suite(
     args: &Args,
     command: &str,
@@ -299,12 +312,29 @@ fn build_suite(
     let mut zoo = zoo_for(args);
     let models = zoo.trio(kind);
     let ds = zoo.dataset(kind).clone();
+    let metric: MetricKind = args.get_or("metric", "neuron").parse()?;
+    let mut signal =
+        SignalSpec { config: CoverageConfig::scaled(0.25), metric, profiles: Vec::new() };
+    // On resume the checkpointed profiles are authoritative and replace
+    // whatever the suite carries, so priming here would be thrown away —
+    // skip the (hundreds of) forward passes. Workers have no resume path
+    // and always prime.
+    let resuming = command != "worker" && args.get("resume").is_some();
+    if metric != MetricKind::Neuron {
+        if resuming {
+            println!("{metric} profiles will be restored from the checkpoint");
+        } else {
+            let n = PROFILE_INPUTS.min(ds.train_x.shape()[0]);
+            signal = signal.primed(&models, &ds.train_x, n);
+            println!("primed {metric} profiles from {n} training inputs");
+        }
+    }
     let suite = dx_campaign::ModelSuite {
         models,
         kind: task_for(kind),
         hp: hyperparams_for(args, kind)?,
         constraint: constraint_for(args, kind, &ds)?,
-        coverage: CoverageConfig::scaled(0.25),
+        signal,
     };
     let scale = if args.has("full") { "full" } else { "test" };
     let label = format!("{}@{scale}", kind.id());
@@ -563,6 +593,7 @@ pub fn dist(args: &Args) -> CmdResult {
         "step",
         "max-iters",
         "pick",
+        "metric",
         "lease",
         "heartbeat-every",
     ] {

@@ -3,7 +3,7 @@
 use std::time::{Duration, Instant};
 
 use dx_coverage::neuron::injection_for_neuron;
-use dx_coverage::{CoverageConfig, CoverageTracker};
+use dx_coverage::{CoverageConfig, CoverageSignal, CoverageTracker};
 use dx_nn::network::Network;
 use dx_nn::util::{gather_rows, row};
 use dx_tensor::{rng, Tensor};
@@ -72,7 +72,8 @@ pub struct SeedRun {
     pub preexisting: bool,
     /// Gradient-ascent iterations taken.
     pub iterations: usize,
-    /// Neurons newly covered across all models during this step.
+    /// Coverage units (neurons, or multisection range sections) newly
+    /// covered across all models during this step.
     pub newly_covered: usize,
     /// The last intermediate input that covered new neurons while the
     /// models still agreed — a coverage-guided corpus candidate.
@@ -99,21 +100,22 @@ pub struct GenResult {
 
 /// The DeepXplore test generator (Algorithm 1).
 ///
-/// Holds the models under test, their coverage trackers (`cov_tracker`),
-/// the joint-optimization hyperparameters and the domain constraint; it is
+/// Holds the models under test, their coverage signals (`cov_tracker` —
+/// the paper's neuron metric or any other [`CoverageSignal`]), the
+/// joint-optimization hyperparameters and the domain constraint; it is
 /// deterministic given its construction seed.
 pub struct Generator {
     models: Vec<Network>,
     kind: TaskKind,
     hp: Hyperparams,
     constraint: Constraint,
-    trackers: Vec<CoverageTracker>,
+    signals: Vec<CoverageSignal>,
     rng: rng::Rng,
 }
 
 impl Generator {
     /// Creates a generator over at least two models with identical
-    /// input/output shapes.
+    /// input/output shapes, steering by the paper's neuron metric.
     ///
     /// # Panics
     ///
@@ -126,7 +128,31 @@ impl Generator {
         coverage: CoverageConfig,
         seed: u64,
     ) -> Self {
+        let signals = models
+            .iter()
+            .map(|m| CoverageSignal::Neuron(CoverageTracker::for_network(m, coverage)))
+            .collect();
+        Self::with_signals(models, kind, hp, constraint, signals, seed)
+    }
+
+    /// [`Generator::new`] over explicit per-model coverage signals — the
+    /// metric-generic constructor campaign engines use (e.g. with
+    /// `dx_coverage::SignalSpec::build`).
+    ///
+    /// # Panics
+    ///
+    /// Panics with fewer than two models, mismatched shapes, or a signal
+    /// count different from the model count.
+    pub fn with_signals(
+        models: Vec<Network>,
+        kind: TaskKind,
+        hp: Hyperparams,
+        constraint: Constraint,
+        signals: Vec<CoverageSignal>,
+        seed: u64,
+    ) -> Self {
         assert!(models.len() >= 2, "differential testing needs at least two models");
+        assert_eq!(signals.len(), models.len(), "one coverage signal per model");
         let in_shape = models[0].input_shape().to_vec();
         let out_shape = models[0].activation_shapes().last().expect("nonempty").clone();
         for m in &models[1..] {
@@ -137,19 +163,29 @@ impl Generator {
                 "output shapes differ"
             );
         }
-        let trackers = models.iter().map(|m| CoverageTracker::for_network(m, coverage)).collect();
-        Self { models, kind, hp, constraint, trackers, rng: rng::rng(seed) }
+        Self { models, kind, hp, constraint, signals, rng: rng::rng(seed) }
     }
 
     /// Replaces the coverage trackers with ones over an explicit activation
     /// subset (Table 8 excludes dense layers this way).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the generator steers by the neuron metric — explicit
+    /// activation subsets are a neuron-coverage feature.
     pub fn with_tracked_activations(mut self, per_model: &[Vec<usize>]) -> Self {
         assert_eq!(per_model.len(), self.models.len(), "one activation list per model");
-        self.trackers = self
+        let config = *self.signals[0]
+            .as_neuron()
+            .expect("tracked-activation subsets apply to the neuron metric")
+            .config();
+        self.signals = self
             .models
             .iter()
             .zip(per_model.iter())
-            .map(|(m, acts)| CoverageTracker::for_activations(m, acts, *self.trackers[0].config()))
+            .map(|(m, acts)| {
+                CoverageSignal::Neuron(CoverageTracker::for_activations(m, acts, config))
+            })
             .collect();
         self
     }
@@ -159,38 +195,38 @@ impl Generator {
         &self.models
     }
 
-    /// Per-model neuron coverage so far.
+    /// Per-model coverage so far (under whatever metric the signals use).
     pub fn coverage(&self) -> Vec<f32> {
-        self.trackers.iter().map(|t| t.coverage()).collect()
+        self.signals.iter().map(|t| t.coverage()).collect()
     }
 
-    /// The per-model coverage trackers (same order as [`Generator::models`]).
-    pub fn trackers(&self) -> &[CoverageTracker] {
-        &self.trackers
+    /// The per-model coverage signals (same order as [`Generator::models`]).
+    pub fn signals(&self) -> &[CoverageSignal] {
+        &self.signals
     }
 
     /// Folds this generator's coverage into a global per-model union;
-    /// returns how many neurons were new to the global view.
+    /// returns how many units were new to the global view.
     ///
     /// # Panics
     ///
     /// Panics when `global` has a different model count or incompatible
-    /// trackers.
-    pub fn sync_coverage_into(&self, global: &mut [CoverageTracker]) -> usize {
-        assert_eq!(global.len(), self.trackers.len(), "one global tracker per model");
-        global.iter_mut().zip(self.trackers.iter()).map(|(g, local)| g.merge(local)).sum()
+    /// signals.
+    pub fn sync_coverage_into(&self, global: &mut [CoverageSignal]) -> usize {
+        assert_eq!(global.len(), self.signals.len(), "one global signal per model");
+        global.iter_mut().zip(self.signals.iter()).map(|(g, local)| g.merge(local)).sum()
     }
 
     /// Adopts a global per-model coverage union into this generator, so it
-    /// stops targeting neurons other workers already covered.
+    /// stops targeting units other workers already covered.
     ///
     /// # Panics
     ///
     /// Panics when `global` has a different model count or incompatible
-    /// trackers.
-    pub fn adopt_coverage(&mut self, global: &[CoverageTracker]) {
-        assert_eq!(global.len(), self.trackers.len(), "one global tracker per model");
-        for (local, g) in self.trackers.iter_mut().zip(global.iter()) {
+    /// signals.
+    pub fn adopt_coverage(&mut self, global: &[CoverageSignal]) {
+        assert_eq!(global.len(), self.signals.len(), "one global signal per model");
+        for (local, g) in self.signals.iter_mut().zip(global.iter()) {
             local.merge(g);
         }
     }
@@ -287,7 +323,7 @@ impl Generator {
         };
         let mut passes: Vec<_> = self.models.iter().map(|m| m.forward(seed_x)).collect();
         let initial = self.predictions_of(&passes);
-        for (pass, tracker) in passes.iter().zip(self.trackers.iter_mut()) {
+        for (pass, tracker) in passes.iter().zip(self.signals.iter_mut()) {
             run.newly_covered += tracker.update(pass);
         }
         if differs(&initial, threshold) {
@@ -322,7 +358,7 @@ impl Generator {
             let preds = self.predictions_of(&passes);
             let newly: usize = passes
                 .iter()
-                .zip(self.trackers.iter_mut())
+                .zip(self.signals.iter_mut())
                 .map(|(pass, tracker)| tracker.update(pass))
                 .sum();
             run.newly_covered += newly;
@@ -374,7 +410,7 @@ impl Generator {
             // The models disagree on the seed itself (Algorithm 1 line 4-5
             // assumes agreement).
             if self.hp.count_preexisting {
-                for (m, tracker) in self.models.iter().zip(self.trackers.iter_mut()) {
+                for (m, tracker) in self.models.iter().zip(self.signals.iter_mut()) {
                     tracker.update(&m.forward(seed_x));
                 }
                 return SeedOutcome::Difference(GeneratedTest {
@@ -407,7 +443,7 @@ impl Generator {
             let preds = self.predict_all(&x);
             if differs(&preds, threshold) {
                 // Lines 15-19: record the test and update cov_tracker.
-                for (m, tracker) in self.models.iter().zip(self.trackers.iter_mut()) {
+                for (m, tracker) in self.models.iter().zip(self.signals.iter_mut()) {
                     tracker.update(&m.forward(&x));
                 }
                 return SeedOutcome::Difference(GeneratedTest {
@@ -439,7 +475,7 @@ impl Generator {
         j: usize,
     ) -> Tensor {
         let mut total = Tensor::zeros(passes[0].input().shape());
-        for (m, (model, tracker)) in self.models.iter().zip(self.trackers.iter()).enumerate() {
+        for (m, (model, tracker)) in self.models.iter().zip(self.signals.iter()).enumerate() {
             let pass = &passes[m];
             let mut injections = Vec::with_capacity(2);
             // obj1 term at the output layer.
@@ -463,9 +499,12 @@ impl Generator {
                     }
                 };
                 for neuron in picked {
-                    let (idx, seed) =
-                        injection_for_neuron(model, neuron, tracker.config().granularity);
-                    injections.push((idx, seed.scale(self.hp.lambda2)));
+                    let (idx, seed) = injection_for_neuron(model, neuron, tracker.granularity());
+                    // Steer toward the metric's actual gap: the neuron
+                    // metric always raises activations, multisection may
+                    // need to lower one to reach an unhit low section.
+                    let direction = tracker.target_direction(neuron, pass);
+                    injections.push((idx, seed.scale(self.hp.lambda2 * direction)));
                 }
             }
             total += &model.input_gradient(pass, &injections);
@@ -788,13 +827,13 @@ mod tests {
                 b.run_seed(i, &x);
             }
         }
-        let mut global: Vec<_> = a.trackers().to_vec();
+        let mut global: Vec<_> = a.signals().to_vec();
         let new_from_b = b.sync_coverage_into(&mut global);
-        assert!(b.trackers().iter().map(|t| t.covered_count()).sum::<usize>() >= new_from_b);
+        assert!(b.signals().iter().map(|t| t.covered_count()).sum::<usize>() >= new_from_b);
         // After adopting, both see at least the union's coverage.
         a.adopt_coverage(&global);
         b.adopt_coverage(&global);
-        for (g, (ta, tb)) in global.iter().zip(a.trackers().iter().zip(b.trackers())) {
+        for (g, (ta, tb)) in global.iter().zip(a.signals().iter().zip(b.signals())) {
             assert_eq!(ta.covered_count(), g.covered_count());
             assert_eq!(tb.covered_count(), g.covered_count());
         }

@@ -23,8 +23,10 @@ pub mod multisection;
 pub mod neuron;
 pub mod opcov;
 pub mod overlap;
+pub mod signal;
 pub mod tracker;
 
 pub use multisection::{MultisectionTracker, NeuronProfile};
 pub use neuron::{Granularity, NeuronId};
+pub use signal::{CoverageSignal, MetricKind, SignalSpec};
 pub use tracker::{CoverageConfig, CoverageTracker};

@@ -7,17 +7,26 @@
 //! output range `[low, high]` on the training set, split it into `k`
 //! equal sections, and count the fraction of *sections* test inputs have
 //! reached. This catches test suites that hammer one operating point of a
-//! neuron and never explore the rest of its range. We include it as the
-//! natural "future work" extension of the paper's metric.
+//! neuron and never explore the rest of its range.
+//!
+//! [`MultisectionTracker`] carries the same merge / sparse-delta / mask
+//! API as [`crate::CoverageTracker`], so campaign engines can union and
+//! synchronize either metric through one code path
+//! ([`crate::CoverageSignal`]). The flat *unit* space is neuron-major
+//! sections: unit `i` is section `i % k` of neuron `i / k`.
 
 use dx_nn::network::{ForwardPass, Network};
+use dx_tensor::rng::Rng;
+use rand::Rng as _;
 
-use crate::neuron::{neuron_count, neuron_values, Granularity};
+use crate::neuron::{neuron_count, neuron_values, Granularity, NeuronId};
 
 /// Profiled output range of every tracked neuron.
 #[derive(Clone, Debug)]
 pub struct NeuronProfile {
     activations: Vec<usize>,
+    /// Base offset of each tracked activation in the flat neuron space.
+    bases: Vec<usize>,
     granularity: Granularity,
     low: Vec<f32>,
     high: Vec<f32>,
@@ -27,16 +36,44 @@ impl NeuronProfile {
     /// Starts an empty profile over the network's coverage layers.
     pub fn new(net: &Network, granularity: Granularity) -> Self {
         let activations = net.coverage_activation_indices();
-        let total: usize = activations
-            .iter()
-            .map(|&a| neuron_count(&net.activation_shapes()[a], granularity))
-            .sum();
+        let mut bases = Vec::with_capacity(activations.len());
+        let mut total = 0usize;
+        for &a in &activations {
+            bases.push(total);
+            total += neuron_count(&net.activation_shapes()[a], granularity);
+        }
         Self {
             activations,
+            bases,
             granularity,
             low: vec![f32::INFINITY; total],
             high: vec![f32::NEG_INFINITY; total],
         }
+    }
+
+    /// Rebuilds a profile from checkpointed ranges. The network and
+    /// granularity re-derive the tracked-activation layout; `low`/`high`
+    /// must have one entry per tracked neuron.
+    ///
+    /// # Errors
+    ///
+    /// When the range vectors do not match the network's neuron count.
+    pub fn restore(
+        net: &Network,
+        granularity: Granularity,
+        low: Vec<f32>,
+        high: Vec<f32>,
+    ) -> Result<Self, String> {
+        let fresh = Self::new(net, granularity);
+        if low.len() != fresh.total() || high.len() != fresh.total() {
+            return Err(format!(
+                "profile ranges ({}/{} entries) do not fit the network ({} neurons)",
+                low.len(),
+                high.len(),
+                fresh.total()
+            ));
+        }
+        Ok(Self { low, high, ..fresh })
     }
 
     /// Extends the ranges with one (batch-size-1) pass — call once per
@@ -63,6 +100,32 @@ impl NeuronProfile {
     pub fn is_primed(&self) -> bool {
         self.low.iter().any(|v| v.is_finite())
     }
+
+    /// The profiled `(low, high)` ranges, one pair per tracked neuron —
+    /// for checkpoint persistence; rebuild with [`NeuronProfile::restore`].
+    pub fn ranges(&self) -> (&[f32], &[f32]) {
+        (&self.low, &self.high)
+    }
+
+    /// The neuron granularity the profile was built with.
+    pub fn granularity(&self) -> Granularity {
+        self.granularity
+    }
+
+    /// Whether a neuron's profiled range can be sectioned at all: finite
+    /// bounds with `high > low`. Constant and unprofiled neurons are not.
+    fn coverable(&self, i: usize) -> bool {
+        self.low[i].is_finite() && self.high[i].is_finite() && self.high[i] > self.low[i]
+    }
+
+    /// Translates a flat neuron offset back to a [`NeuronId`].
+    fn id_of(&self, flat: usize) -> NeuronId {
+        let slot = match self.bases.binary_search(&flat) {
+            Ok(s) => s,
+            Err(s) => s - 1,
+        };
+        NeuronId { activation: self.activations[slot], index: flat - self.bases[slot] }
+    }
 }
 
 /// k-multisection coverage state over a profiled network.
@@ -72,6 +135,11 @@ pub struct MultisectionTracker {
     k: usize,
     /// `total × k` section-hit flags, neuron-major.
     hit: Vec<bool>,
+    /// Sections of coverable neurons — the coverage denominator. Sections
+    /// of constant/unprofiled neurons can never be hit (`update` skips
+    /// them), so counting them would make 100% coverage unreachable and
+    /// `is_full`-style drain targets would never fire.
+    coverable_units: usize,
 }
 
 impl MultisectionTracker {
@@ -84,12 +152,35 @@ impl MultisectionTracker {
         assert!(k > 0, "need at least one section per neuron");
         assert!(profile.is_primed(), "profile must observe training inputs first");
         let total = profile.total();
-        Self { profile, k, hit: vec![false; total * k] }
+        let coverable_units = (0..total).filter(|&i| profile.coverable(i)).count() * k;
+        Self { profile, k, hit: vec![false; total * k], coverable_units }
     }
 
     /// Sections per neuron.
     pub fn k(&self) -> usize {
         self.k
+    }
+
+    /// The profile this tracker sections.
+    pub fn profile(&self) -> &NeuronProfile {
+        &self.profile
+    }
+
+    /// Total units (neuron-sections), the flat index bound for
+    /// [`MultisectionTracker::apply_covered_indices`]. Includes sections
+    /// of uncoverable neurons, which stay permanently unhit.
+    pub fn total(&self) -> usize {
+        self.hit.len()
+    }
+
+    /// Sections that can actually be reached — the coverage denominator.
+    pub fn coverable_units(&self) -> usize {
+        self.coverable_units
+    }
+
+    /// Sections hit so far.
+    pub fn covered_count(&self) -> usize {
+        self.hit.iter().filter(|&&h| h).count()
     }
 
     /// Folds one (batch-size-1) pass into the hit set; returns how many new
@@ -122,14 +213,221 @@ impl MultisectionTracker {
         newly
     }
 
-    /// Fraction of all neuron-sections reached.
+    /// Fraction of *coverable* neuron-sections reached.
     pub fn coverage(&self) -> f32 {
-        if self.hit.is_empty() {
+        if self.coverable_units == 0 {
             0.0
         } else {
-            self.hit.iter().filter(|&&h| h).count() as f32 / self.hit.len() as f32
+            self.covered_count() as f32 / self.coverable_units as f32
         }
     }
+
+    /// Whether every coverable section has been hit.
+    pub fn is_full(&self) -> bool {
+        self.covered_count() == self.coverable_units
+    }
+
+    /// Whether `other` sections the same profile of the same network —
+    /// the precondition for [`MultisectionTracker::merge`].
+    pub fn compatible(&self, other: &MultisectionTracker) -> bool {
+        self.k == other.k
+            && self.profile.activations == other.profile.activations
+            && self.profile.granularity == other.profile.granularity
+            && self.profile.low.len() == other.profile.low.len()
+            && ranges_eq(&self.profile.low, &other.profile.low)
+            && ranges_eq(&self.profile.high, &other.profile.high)
+    }
+
+    /// Unions another tracker's hit set into this one; returns how many
+    /// sections were newly hit here. Commutative, idempotent and monotone,
+    /// like [`crate::CoverageTracker::merge`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the trackers are not [`MultisectionTracker::compatible`]
+    /// (different networks, `k`, or profiles).
+    pub fn merge(&mut self, other: &MultisectionTracker) -> usize {
+        assert!(
+            self.compatible(other),
+            "cannot merge multisection trackers over different profiles \
+             ({} vs {} units)",
+            self.hit.len(),
+            other.hit.len()
+        );
+        let mut newly = 0;
+        for (mine, &theirs) in self.hit.iter_mut().zip(other.hit.iter()) {
+            if theirs && !*mine {
+                *mine = true;
+                newly += 1;
+            }
+        }
+        newly
+    }
+
+    /// The raw hit mask, one flag per neuron-section — for campaign
+    /// checkpointing. Restore with [`MultisectionTracker::set_covered_mask`].
+    pub fn covered_mask(&self) -> &[bool] {
+        &self.hit
+    }
+
+    /// Flat unit offsets of all hit sections, ascending.
+    pub fn covered_indices(&self) -> Vec<usize> {
+        self.hit.iter().enumerate().filter(|(_, &h)| h).map(|(i, _)| i).collect()
+    }
+
+    /// Unit offsets hit here but not in `base` — the sparse delta the
+    /// distributed campaign ships over the wire.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the trackers are not [`MultisectionTracker::compatible`].
+    pub fn diff_indices(&self, base: &MultisectionTracker) -> Vec<usize> {
+        assert!(self.compatible(base), "cannot diff multisection trackers over different profiles");
+        self.hit
+            .iter()
+            .zip(base.hit.iter())
+            .enumerate()
+            .filter(|(_, (&mine, &theirs))| mine && !theirs)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Marks the given unit offsets hit; returns how many were newly hit.
+    /// The inverse of [`MultisectionTracker::diff_indices`]. Offsets of
+    /// uncoverable neurons are ignored (a well-formed peer never sends
+    /// them, and accepting them would push coverage past 1.0).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range offset; wire handlers must validate
+    /// indices against [`MultisectionTracker::total`] before applying.
+    pub fn apply_covered_indices(&mut self, indices: &[usize]) -> usize {
+        let mut newly = 0;
+        for &i in indices {
+            if !self.hit[i] && self.profile.coverable(i / self.k) {
+                self.hit[i] = true;
+                newly += 1;
+            }
+        }
+        newly
+    }
+
+    /// Replaces the hit set with a previously exported mask. Mask bits on
+    /// uncoverable sections are dropped, keeping coverage within `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `mask` has the wrong length for this tracker.
+    pub fn set_covered_mask(&mut self, mask: &[bool]) {
+        assert_eq!(mask.len(), self.hit.len(), "multisection mask length mismatch");
+        for (i, (mine, &theirs)) in self.hit.iter_mut().zip(mask).enumerate() {
+            *mine = theirs && self.profile.coverable(i / self.k);
+        }
+    }
+
+    /// Replaces this tracker's hit set with `other`'s.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the trackers are not [`MultisectionTracker::compatible`].
+    pub fn copy_covered_from(&mut self, other: &MultisectionTracker) {
+        assert!(
+            self.compatible(other),
+            "cannot copy coverage between multisection trackers over different profiles"
+        );
+        self.hit.copy_from_slice(&other.hit);
+    }
+
+    /// Resets the hit set.
+    pub fn reset(&mut self) {
+        self.hit.iter_mut().for_each(|h| *h = false);
+    }
+
+    /// Whether a neuron still has unhit coverable sections.
+    fn incomplete(&self, neuron: usize) -> bool {
+        self.profile.coverable(neuron)
+            && self.hit[neuron * self.k..(neuron + 1) * self.k].iter().any(|&h| !h)
+    }
+
+    /// Picks up to `n` distinct random neurons with unhit sections — the
+    /// multisection analogue of
+    /// [`crate::CoverageTracker::pick_uncovered_k`]. Pair each pick with
+    /// [`MultisectionTracker::target_direction`] so the obj2 gradient
+    /// term pushes the activation *toward* its nearest unexplored
+    /// section, not just upward.
+    pub fn pick_incomplete_k(&self, r: &mut Rng, n: usize) -> Vec<NeuronId> {
+        let mut incomplete: Vec<usize> =
+            (0..self.profile.total()).filter(|&i| self.incomplete(i)).collect();
+        let take = n.min(incomplete.len());
+        // Partial Fisher–Yates: shuffle only the prefix we need.
+        for i in 0..take {
+            let j = r.gen_range(i..incomplete.len());
+            incomplete.swap(i, j);
+        }
+        incomplete[..take].iter().map(|&i| self.profile.id_of(i)).collect()
+    }
+
+    /// Which way the obj2 gradient term should push `id`'s activation to
+    /// reach its nearest unhit coverable section given the current value
+    /// in `pass`: `1.0` to raise it, `-1.0` to lower it. Values outside
+    /// the profiled range steer back toward it. Returns `1.0` (the
+    /// neuron-metric behavior) for complete or uncoverable neurons.
+    ///
+    /// Without this, section targeting would always maximize the
+    /// activation — actively moving *away* from unhit sections that sit
+    /// below the current operating point.
+    pub fn target_direction(&self, id: NeuronId, pass: &ForwardPass) -> f32 {
+        let Some(slot) = self.profile.activations.iter().position(|&a| a == id.activation) else {
+            return 1.0;
+        };
+        let flat = self.profile.bases[slot] + id.index;
+        if !self.profile.coverable(flat) {
+            return 1.0;
+        }
+        let values = neuron_values(pass, id.activation, self.profile.granularity, false);
+        let Some(&v) = values.get(id.index) else { return 1.0 };
+        let (lo, hi) = (self.profile.low[flat], self.profile.high[flat]);
+        if v < lo {
+            return 1.0; // Below the range: raise back into it.
+        }
+        if v > hi {
+            return -1.0; // Above the range: lower back into it.
+        }
+        let current =
+            (((v - lo) / (hi - lo)) * self.k as f32).floor().min((self.k - 1) as f32) as isize;
+        let hits = &self.hit[flat * self.k..(flat + 1) * self.k];
+        let nearest = (0..self.k as isize)
+            .filter(|&s| !hits[s as usize])
+            .min_by_key(|&s| ((s - current).abs(), s));
+        match nearest {
+            Some(s) if s < current => -1.0,
+            _ => 1.0,
+        }
+    }
+
+    /// Picks the incompletely-sectioned neuron with the highest value in
+    /// `pass` — the "nearest" strategy under this metric.
+    pub fn pick_incomplete_nearest(&self, pass: &ForwardPass) -> Option<NeuronId> {
+        let mut best: Option<(usize, f32)> = None;
+        let mut base = 0;
+        for &a in &self.profile.activations {
+            let values = neuron_values(pass, a, self.profile.granularity, false);
+            for (j, &v) in values.iter().enumerate() {
+                let flat = base + j;
+                if self.incomplete(flat) && best.is_none_or(|(_, bv)| v > bv) {
+                    best = Some((flat, v));
+                }
+            }
+            base += values.len();
+        }
+        best.map(|(flat, _)| self.profile.id_of(flat))
+    }
+}
+
+/// Bitwise range equality — profiled bounds include ±infinity for
+/// unprofiled neurons, and resumes must match checkpoints exactly.
+fn ranges_eq(a: &[f32], b: &[f32]) -> bool {
+    a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
 }
 
 #[cfg(test)]
@@ -230,6 +528,189 @@ mod tests {
             t.coverage()
         };
         assert!(make(2) >= make(10), "coarser sections should cover faster");
+    }
+
+    #[test]
+    fn coverage_denominator_excludes_uncoverable_neurons() {
+        // Regression: the denominator used to be `total * k` even though
+        // `update` skips constant (`hi <= lo`) and unprofiled neurons, so
+        // a network containing one could never report full coverage.
+        let n = net(20);
+        let k = 3;
+        let mut p = primed_profile(&n, 20, 21);
+        // Force one constant neuron and one unprofiled neuron.
+        p.high[0] = p.low[0];
+        p.low[1] = f32::INFINITY;
+        p.high[1] = f32::NEG_INFINITY;
+        let mut t = MultisectionTracker::new(p, k);
+        assert_eq!(t.coverable_units(), (t.profile.total() - 2) * k);
+        assert_eq!(t.total(), t.profile.total() * k);
+        // Saturate every coverable section: coverage must reach exactly 1.
+        let coverable: Vec<bool> = (0..t.profile.total()).map(|i| t.profile.coverable(i)).collect();
+        for (i, h) in t.hit.iter_mut().enumerate() {
+            if coverable[i / k] {
+                *h = true;
+            }
+        }
+        assert_eq!(t.coverage(), 1.0);
+        assert!(t.is_full());
+    }
+
+    #[test]
+    fn constant_neuron_never_blocks_update_driven_saturation() {
+        // The same denominator property, driven through `update` only: a
+        // tracker whose constant neuron can never be hit still converges
+        // toward 1.0 rather than an unreachable ceiling below it.
+        let n = net(22);
+        let mut p = primed_profile(&n, 40, 23);
+        p.high[0] = p.low[0]; // One constant neuron.
+        let mut t = MultisectionTracker::new(p, 1);
+        let mut r = rng::rng(24);
+        for _ in 0..200 {
+            let x = rng::uniform(&mut r, &[1, 6], 0.0, 1.0);
+            t.update(&n.forward(&x));
+        }
+        // k = 1: replaying in-range inputs eventually hits every coverable
+        // neuron once; with the buggy denominator this could only approach
+        // (total-1)/total.
+        assert!(t.coverage() > 0.95, "coverage stuck at {}", t.coverage());
+        assert!(t.covered_count() <= t.coverable_units());
+    }
+
+    #[test]
+    fn merge_unions_hit_sets() {
+        let n = net(30);
+        let p = primed_profile(&n, 20, 31);
+        let mut a = MultisectionTracker::new(p.clone(), 4);
+        let mut b = MultisectionTracker::new(p, 4);
+        let mut r = rng::rng(32);
+        a.update(&n.forward(&rng::uniform(&mut r, &[1, 6], 0.0, 0.5)));
+        b.update(&n.forward(&rng::uniform(&mut r, &[1, 6], 0.5, 1.0)));
+        let (ca, cb) = (a.covered_count(), b.covered_count());
+        let newly = a.merge(&b);
+        assert!(a.covered_count() >= ca.max(cb));
+        assert_eq!(a.covered_count(), ca + newly);
+        assert_eq!(a.merge(&b), 0, "merge must be idempotent");
+    }
+
+    #[test]
+    fn index_delta_round_trips() {
+        let n = net(33);
+        let p = primed_profile(&n, 20, 34);
+        let mut local = MultisectionTracker::new(p.clone(), 3);
+        let mut base = MultisectionTracker::new(p, 3);
+        let mut r = rng::rng(35);
+        local.update(&n.forward(&rng::uniform(&mut r, &[1, 6], 0.3, 1.0)));
+        base.update(&n.forward(&rng::uniform(&mut r, &[1, 6], 0.0, 0.6)));
+        let delta = local.diff_indices(&base);
+        for &i in &delta {
+            assert!(local.covered_mask()[i]);
+            assert!(!base.covered_mask()[i]);
+        }
+        let newly = base.apply_covered_indices(&delta);
+        assert_eq!(newly, delta.len());
+        assert!(local.diff_indices(&base).is_empty());
+        assert_eq!(base.merge(&local), 0);
+        assert_eq!(base.apply_covered_indices(&delta), 0);
+    }
+
+    #[test]
+    fn mask_round_trips_and_drops_uncoverable_bits() {
+        let n = net(36);
+        let mut p = primed_profile(&n, 20, 37);
+        p.high[0] = p.low[0]; // Constant neuron: units 0..k are uncoverable.
+        let k = 2;
+        let mut t = MultisectionTracker::new(p.clone(), k);
+        t.update(&n.forward(&rng::uniform(&mut rng::rng(38), &[1, 6], 0.0, 1.0)));
+        let mask = t.covered_mask().to_vec();
+        let mut fresh = MultisectionTracker::new(p, k);
+        let mut bad_mask = mask.clone();
+        bad_mask[0] = true; // Claim an uncoverable section.
+        fresh.set_covered_mask(&bad_mask);
+        assert_eq!(fresh.covered_mask(), &mask[..], "uncoverable bit must be dropped");
+        assert_eq!(fresh.covered_count(), t.covered_count());
+    }
+
+    #[test]
+    fn incompatible_profiles_rejected() {
+        let n = net(40);
+        let p1 = primed_profile(&n, 20, 41);
+        let p2 = primed_profile(&n, 20, 42); // Different inputs → ranges.
+        let mut a = MultisectionTracker::new(p1.clone(), 4);
+        let b = MultisectionTracker::new(p2, 4);
+        assert!(!a.compatible(&b));
+        let same_profile_other_k = MultisectionTracker::new(p1, 2);
+        assert!(!a.compatible(&same_profile_other_k));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| a.merge(&b)));
+        assert!(result.is_err(), "merge of incompatible trackers must panic");
+    }
+
+    #[test]
+    fn pick_incomplete_returns_sectionable_neurons() {
+        let n = net(43);
+        let mut p = primed_profile(&n, 20, 44);
+        p.high[0] = p.low[0]; // Neuron 0 can never be picked.
+        let t = MultisectionTracker::new(p, 4);
+        let mut r = rng::rng(45);
+        let picks = t.pick_incomplete_k(&mut r, 5);
+        assert_eq!(picks.len(), 5);
+        let mut sorted = picks.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 5, "picks must be distinct: {picks:?}");
+        let constant = t.profile.id_of(0);
+        assert!(!picks.contains(&constant));
+        let x = rng::uniform(&mut r, &[1, 6], 0.0, 1.0);
+        let nearest = t.pick_incomplete_nearest(&n.forward(&x)).unwrap();
+        assert_ne!(nearest, constant);
+    }
+
+    #[test]
+    fn target_direction_steers_toward_nearest_unhit_section() {
+        let n = net(50);
+        let mut p = primed_profile(&n, 20, 51);
+        let x = rng::uniform(&mut rng::rng(52), &[1, 6], 0.0, 1.0);
+        let pass = n.forward(&x);
+        let v = neuron_values(&pass, p.activations[0], Granularity::Unit, false)[0];
+        // Pin neuron 0's range so `v` lands in section 1 of k = 4
+        // (sections are 1.0 wide on [v-1, v+3]).
+        p.low[0] = v - 1.0;
+        p.high[0] = v + 3.0;
+        let k = 4;
+        let mut t = MultisectionTracker::new(p, k);
+        let id = t.profile.id_of(0);
+        // Only section 0 (below the current value) unhit: push down.
+        for s in 1..k {
+            t.hit[s] = true;
+        }
+        assert_eq!(t.target_direction(id, &pass), -1.0);
+        // Only section 3 (above) unhit: push up.
+        t.hit.iter_mut().take(k).for_each(|h| *h = false);
+        t.hit[0] = true;
+        t.hit[1] = true;
+        t.hit[2] = true;
+        assert_eq!(t.target_direction(id, &pass), 1.0);
+        // Out-of-range values steer back toward the profiled range.
+        t.profile.low[0] = v + 1.0;
+        t.profile.high[0] = v + 2.0;
+        assert_eq!(t.target_direction(id, &pass), 1.0);
+        t.profile.low[0] = v - 2.0;
+        t.profile.high[0] = v - 1.0;
+        assert_eq!(t.target_direction(id, &pass), -1.0);
+    }
+
+    #[test]
+    fn profile_restore_round_trips() {
+        let n = net(46);
+        let p = primed_profile(&n, 15, 47);
+        let (low, high) = p.ranges();
+        let back =
+            NeuronProfile::restore(&n, Granularity::Unit, low.to_vec(), high.to_vec()).unwrap();
+        let a = MultisectionTracker::new(p, 4);
+        let b = MultisectionTracker::new(back, 4);
+        assert!(a.compatible(&b));
+        // Wrong length is rejected.
+        assert!(NeuronProfile::restore(&n, Granularity::Unit, vec![0.0], vec![1.0]).is_err());
     }
 
     #[test]

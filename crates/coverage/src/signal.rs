@@ -1,0 +1,481 @@
+//! The metric-generic coverage signal campaigns steer by.
+//!
+//! DeepXplore's generator, the campaign engine and the distributed
+//! coordinator all need the same operations from a coverage metric:
+//! fold a forward pass in, report progress, union state across workers,
+//! ship sparse deltas over the wire, and pick a target for the obj2
+//! gradient term. [`CoverageSignal`] is that interface over the two
+//! metrics this workspace implements — the paper's binary neuron
+//! coverage ([`CoverageTracker`]) and DeepGauge's k-multisection
+//! refinement ([`MultisectionTracker`]) — so every engine layer is
+//! written once against the signal, not a concrete tracker type.
+//!
+//! [`SignalSpec`] is the serializable-ish recipe (metric kind, coverage
+//! config, and — for multisection — the per-model training-set profiles)
+//! from which per-model signals are built.
+
+use dx_nn::network::{ForwardPass, Network};
+use dx_tensor::rng::Rng;
+
+use crate::multisection::{MultisectionTracker, NeuronProfile};
+use crate::neuron::{Granularity, NeuronId};
+use crate::tracker::{CoverageConfig, CoverageTracker};
+
+/// Which coverage metric a campaign steers by.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum MetricKind {
+    /// The paper's binary neuron coverage (§4.1): a neuron is covered once
+    /// its output exceeds the threshold anywhere.
+    #[default]
+    Neuron,
+    /// DeepGauge k-multisection coverage: each neuron's profiled output
+    /// range is split into `k` sections, and units are neuron-sections.
+    Multisection {
+        /// Sections per neuron.
+        k: usize,
+    },
+}
+
+impl MetricKind {
+    /// The default section count for `multisection` given without `:k`.
+    pub const DEFAULT_K: usize = 4;
+}
+
+impl std::fmt::Display for MetricKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MetricKind::Neuron => write!(f, "neuron"),
+            MetricKind::Multisection { k } => write!(f, "multisection:{k}"),
+        }
+    }
+}
+
+impl std::str::FromStr for MetricKind {
+    type Err = String;
+
+    /// Parses `neuron`, `multisection`, or `multisection:<k>`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "neuron" => Ok(MetricKind::Neuron),
+            "multisection" => Ok(MetricKind::Multisection { k: Self::DEFAULT_K }),
+            other => match other.strip_prefix("multisection:") {
+                Some(k) => match k.parse::<usize>() {
+                    Ok(k) if k > 0 => Ok(MetricKind::Multisection { k }),
+                    _ => Err(format!("multisection needs a positive k, got `{k}`")),
+                },
+                None => Err(format!("unknown metric `{other}` (neuron|multisection[:k])")),
+            },
+        }
+    }
+}
+
+/// The recipe a campaign builds its per-model coverage signals from.
+#[derive(Clone, Debug)]
+pub struct SignalSpec {
+    /// Threshold/scaling/granularity knobs. The threshold and per-layer
+    /// scaling apply to the neuron metric; granularity applies to both.
+    pub config: CoverageConfig,
+    /// Which metric to steer by.
+    pub metric: MetricKind,
+    /// Per-model training-set profiles, one per model in suite order.
+    /// Required (and primed) for [`MetricKind::Multisection`]; empty for
+    /// [`MetricKind::Neuron`].
+    pub profiles: Vec<NeuronProfile>,
+}
+
+impl SignalSpec {
+    /// The paper's neuron-coverage signal under `config`.
+    pub fn neuron(config: CoverageConfig) -> Self {
+        Self { config, metric: MetricKind::Neuron, profiles: Vec::new() }
+    }
+
+    /// A k-multisection signal over primed per-model profiles.
+    pub fn multisection(config: CoverageConfig, k: usize, profiles: Vec<NeuronProfile>) -> Self {
+        Self { config, metric: MetricKind::Multisection { k }, profiles }
+    }
+
+    /// Builds one signal per model.
+    ///
+    /// # Panics
+    ///
+    /// For multisection: when the profile count does not match the model
+    /// count, or a profile is unprimed.
+    pub fn build(&self, models: &[Network]) -> Vec<CoverageSignal> {
+        match self.metric {
+            MetricKind::Neuron => models
+                .iter()
+                .map(|m| CoverageSignal::Neuron(CoverageTracker::for_network(m, self.config)))
+                .collect(),
+            MetricKind::Multisection { k } => {
+                assert_eq!(
+                    self.profiles.len(),
+                    models.len(),
+                    "multisection needs one primed profile per model"
+                );
+                self.profiles
+                    .iter()
+                    .map(|p| CoverageSignal::Multisection(MultisectionTracker::new(p.clone(), k)))
+                    .collect()
+            }
+        }
+    }
+
+    /// Primes per-model multisection profiles from training inputs (rows
+    /// of `train_x`) and returns the spec with them attached. A no-op for
+    /// the neuron metric. Every process of a distributed fleet primes
+    /// from the same rows, so profiles agree bit-for-bit.
+    pub fn primed(mut self, models: &[Network], train_x: &dx_tensor::Tensor, rows: usize) -> Self {
+        if self.metric == MetricKind::Neuron {
+            return self;
+        }
+        let n = rows.min(train_x.shape()[0]);
+        self.profiles = models
+            .iter()
+            .map(|m| {
+                let mut p = NeuronProfile::new(m, self.config.granularity);
+                for i in 0..n {
+                    p.observe(&m.forward(&dx_nn::util::gather_rows(train_x, &[i])));
+                }
+                p
+            })
+            .collect();
+        self
+    }
+}
+
+/// One model's coverage state under a campaign's chosen metric.
+///
+/// Every method panics on mixed-metric operations (merging a neuron
+/// signal into a multisection one), exactly as the underlying trackers
+/// panic on incompatible shapes — metric agreement is established once at
+/// admission/construction time, not re-negotiated per call.
+#[derive(Clone, Debug)]
+pub enum CoverageSignal {
+    /// Binary neuron coverage.
+    Neuron(CoverageTracker),
+    /// k-multisection coverage.
+    Multisection(MultisectionTracker),
+}
+
+impl CoverageSignal {
+    /// The metric this signal implements.
+    pub fn metric(&self) -> MetricKind {
+        match self {
+            CoverageSignal::Neuron(_) => MetricKind::Neuron,
+            CoverageSignal::Multisection(t) => MetricKind::Multisection { k: t.k() },
+        }
+    }
+
+    /// The neuron granularity the signal tracks at.
+    pub fn granularity(&self) -> Granularity {
+        match self {
+            CoverageSignal::Neuron(t) => t.config().granularity,
+            CoverageSignal::Multisection(t) => t.profile().granularity(),
+        }
+    }
+
+    /// Total tracked units (neurons, or neuron-sections) — the flat index
+    /// bound for [`CoverageSignal::apply_covered_indices`].
+    pub fn total(&self) -> usize {
+        match self {
+            CoverageSignal::Neuron(t) => t.total(),
+            CoverageSignal::Multisection(t) => t.total(),
+        }
+    }
+
+    /// Units covered so far.
+    pub fn covered_count(&self) -> usize {
+        match self {
+            CoverageSignal::Neuron(t) => t.covered_count(),
+            CoverageSignal::Multisection(t) => t.covered_count(),
+        }
+    }
+
+    /// Coverage in `[0, 1]` (fraction of coverable units).
+    pub fn coverage(&self) -> f32 {
+        match self {
+            CoverageSignal::Neuron(t) => t.coverage(),
+            CoverageSignal::Multisection(t) => t.coverage(),
+        }
+    }
+
+    /// Whether every coverable unit is covered.
+    pub fn is_full(&self) -> bool {
+        match self {
+            CoverageSignal::Neuron(t) => t.is_full(),
+            CoverageSignal::Multisection(t) => t.is_full(),
+        }
+    }
+
+    /// Folds one (batch-size-1) pass in; returns newly covered units.
+    pub fn update(&mut self, pass: &ForwardPass) -> usize {
+        match self {
+            CoverageSignal::Neuron(t) => t.update(pass),
+            CoverageSignal::Multisection(t) => t.update(pass),
+        }
+    }
+
+    /// Whether `other` tracks the same units under the same metric — the
+    /// precondition for [`CoverageSignal::merge`].
+    pub fn compatible(&self, other: &CoverageSignal) -> bool {
+        match (self, other) {
+            (CoverageSignal::Neuron(a), CoverageSignal::Neuron(b)) => a.compatible(b),
+            (CoverageSignal::Multisection(a), CoverageSignal::Multisection(b)) => a.compatible(b),
+            _ => false,
+        }
+    }
+
+    /// Unions another signal's covered set into this one; returns newly
+    /// covered units. Commutative, idempotent and monotone.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the signals are not [`CoverageSignal::compatible`]
+    /// (different metrics, networks, or profiles).
+    pub fn merge(&mut self, other: &CoverageSignal) -> usize {
+        match (self, other) {
+            (CoverageSignal::Neuron(a), CoverageSignal::Neuron(b)) => a.merge(b),
+            (CoverageSignal::Multisection(a), CoverageSignal::Multisection(b)) => a.merge(b),
+            _ => panic!("cannot merge coverage signals of different metrics"),
+        }
+    }
+
+    /// The raw covered mask, one flag per unit — for checkpointing.
+    pub fn covered_mask(&self) -> &[bool] {
+        match self {
+            CoverageSignal::Neuron(t) => t.covered_mask(),
+            CoverageSignal::Multisection(t) => t.covered_mask(),
+        }
+    }
+
+    /// Replaces the covered set with a previously exported mask.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `mask` has the wrong length.
+    pub fn set_covered_mask(&mut self, mask: &[bool]) {
+        match self {
+            CoverageSignal::Neuron(t) => t.set_covered_mask(mask),
+            CoverageSignal::Multisection(t) => t.set_covered_mask(mask),
+        }
+    }
+
+    /// Flat offsets of all covered units, ascending.
+    pub fn covered_indices(&self) -> Vec<usize> {
+        match self {
+            CoverageSignal::Neuron(t) => t.covered_indices(),
+            CoverageSignal::Multisection(t) => t.covered_indices(),
+        }
+    }
+
+    /// Offsets covered here but not in `base` — the sparse per-metric
+    /// delta the distributed campaign ships over the wire.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the signals are not [`CoverageSignal::compatible`].
+    pub fn diff_indices(&self, base: &CoverageSignal) -> Vec<usize> {
+        match (self, base) {
+            (CoverageSignal::Neuron(a), CoverageSignal::Neuron(b)) => a.diff_indices(b),
+            (CoverageSignal::Multisection(a), CoverageSignal::Multisection(b)) => a.diff_indices(b),
+            _ => panic!("cannot diff coverage signals of different metrics"),
+        }
+    }
+
+    /// Marks the given offsets covered; returns newly covered units. The
+    /// inverse of [`CoverageSignal::diff_indices`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range offset; wire handlers must validate
+    /// indices against [`CoverageSignal::total`] before applying.
+    pub fn apply_covered_indices(&mut self, indices: &[usize]) -> usize {
+        match self {
+            CoverageSignal::Neuron(t) => t.apply_covered_indices(indices),
+            CoverageSignal::Multisection(t) => t.apply_covered_indices(indices),
+        }
+    }
+
+    /// Replaces this signal's covered set with `other`'s.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the signals are not [`CoverageSignal::compatible`].
+    pub fn copy_covered_from(&mut self, other: &CoverageSignal) {
+        match (self, other) {
+            (CoverageSignal::Neuron(a), CoverageSignal::Neuron(b)) => a.copy_covered_from(b),
+            (CoverageSignal::Multisection(a), CoverageSignal::Multisection(b)) => {
+                a.copy_covered_from(b)
+            }
+            _ => panic!("cannot copy coverage between signals of different metrics"),
+        }
+    }
+
+    /// Resets the covered set.
+    pub fn reset(&mut self) {
+        match self {
+            CoverageSignal::Neuron(t) => t.reset(),
+            CoverageSignal::Multisection(t) => t.reset(),
+        }
+    }
+
+    /// Picks up to `k` distinct obj2 target neurons: uncovered neurons
+    /// under the neuron metric, neurons with unhit range sections under
+    /// multisection (pushing their activation explores the range).
+    pub fn pick_uncovered_k(&self, r: &mut Rng, k: usize) -> Vec<NeuronId> {
+        match self {
+            CoverageSignal::Neuron(t) => t.pick_uncovered_k(r, k),
+            CoverageSignal::Multisection(t) => t.pick_incomplete_k(r, k),
+        }
+    }
+
+    /// Picks the obj2 target nearest to progress in `pass` (highest
+    /// current value among still-improvable neurons).
+    pub fn pick_uncovered_nearest(&self, pass: &ForwardPass) -> Option<NeuronId> {
+        match self {
+            CoverageSignal::Neuron(t) => t.pick_uncovered_nearest(pass),
+            CoverageSignal::Multisection(t) => t.pick_incomplete_nearest(pass),
+        }
+    }
+
+    /// Which way the obj2 gradient term should push `id`'s activation:
+    /// always up (`1.0`) under the neuron metric; toward the nearest
+    /// unhit range section (`±1.0`) under multisection, where unhit
+    /// sections can sit below the current operating point.
+    pub fn target_direction(&self, id: NeuronId, pass: &ForwardPass) -> f32 {
+        match self {
+            CoverageSignal::Neuron(_) => 1.0,
+            CoverageSignal::Multisection(t) => t.target_direction(id, pass),
+        }
+    }
+
+    /// The underlying neuron tracker, when this is the neuron metric.
+    pub fn as_neuron(&self) -> Option<&CoverageTracker> {
+        match self {
+            CoverageSignal::Neuron(t) => Some(t),
+            CoverageSignal::Multisection(_) => None,
+        }
+    }
+
+    /// The underlying multisection tracker, when this is that metric.
+    pub fn as_multisection(&self) -> Option<&MultisectionTracker> {
+        match self {
+            CoverageSignal::Neuron(_) => None,
+            CoverageSignal::Multisection(t) => Some(t),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dx_nn::layer::Layer;
+    use dx_tensor::rng;
+
+    fn net(seed: u64) -> Network {
+        let mut n = Network::new(
+            &[6],
+            vec![Layer::dense(6, 8), Layer::tanh(), Layer::dense(8, 3), Layer::softmax()],
+        );
+        n.init_weights(&mut rng::rng(seed));
+        n
+    }
+
+    #[test]
+    fn metric_kind_parses_and_displays() {
+        assert_eq!("neuron".parse::<MetricKind>().unwrap(), MetricKind::Neuron);
+        assert_eq!(
+            "multisection".parse::<MetricKind>().unwrap(),
+            MetricKind::Multisection { k: MetricKind::DEFAULT_K }
+        );
+        assert_eq!(
+            "multisection:7".parse::<MetricKind>().unwrap(),
+            MetricKind::Multisection { k: 7 }
+        );
+        assert!("multisection:0".parse::<MetricKind>().is_err());
+        assert!("multisection:x".parse::<MetricKind>().is_err());
+        assert!("sections".parse::<MetricKind>().is_err());
+        for m in [MetricKind::Neuron, MetricKind::Multisection { k: 12 }] {
+            assert_eq!(m.to_string().parse::<MetricKind>().unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn spec_builds_one_signal_per_model() {
+        let models = vec![net(1), net(2)];
+        let train = rng::uniform(&mut rng::rng(3), &[20, 6], 0.0, 1.0);
+        let neuron = SignalSpec::neuron(CoverageConfig::scaled(0.25)).build(&models);
+        assert_eq!(neuron.len(), 2);
+        assert_eq!(neuron[0].metric(), MetricKind::Neuron);
+
+        let spec = SignalSpec {
+            config: CoverageConfig::default(),
+            metric: MetricKind::Multisection { k: 4 },
+            profiles: Vec::new(),
+        }
+        .primed(&models, &train, 10);
+        let ms = spec.build(&models);
+        assert_eq!(ms.len(), 2);
+        assert_eq!(ms[0].metric(), MetricKind::Multisection { k: 4 });
+        assert!(ms[0].total() > 0);
+    }
+
+    #[test]
+    fn signal_ops_work_for_both_metrics() {
+        let m = net(4);
+        let train = rng::uniform(&mut rng::rng(5), &[20, 6], 0.0, 1.0);
+        let specs = [
+            SignalSpec::neuron(CoverageConfig::scaled(0.25)),
+            SignalSpec {
+                config: CoverageConfig::default(),
+                metric: MetricKind::Multisection { k: 3 },
+                profiles: Vec::new(),
+            }
+            .primed(std::slice::from_ref(&m), &train, 15),
+        ];
+        for spec in specs {
+            let mut a = spec.build(std::slice::from_ref(&m)).remove(0);
+            let mut b = a.clone();
+            let mut r = rng::rng(6);
+            a.update(&m.forward(&rng::uniform(&mut r, &[1, 6], 0.0, 0.5)));
+            b.update(&m.forward(&rng::uniform(&mut r, &[1, 6], 0.5, 1.0)));
+            assert!(a.compatible(&b));
+            // Sparse-delta sync converges to the same union as merge.
+            let mut merged = a.clone();
+            merged.merge(&b);
+            let mut synced = a.clone();
+            let delta = b.diff_indices(&a);
+            assert!(delta.iter().all(|&i| i < b.total()));
+            synced.apply_covered_indices(&delta);
+            assert_eq!(synced.covered_mask(), merged.covered_mask());
+            assert_eq!(synced.coverage(), merged.coverage());
+            // Mask round trip.
+            let mut fresh = spec.build(std::slice::from_ref(&m)).remove(0);
+            fresh.set_covered_mask(merged.covered_mask());
+            assert_eq!(fresh.covered_count(), merged.covered_count());
+            // Picks stay within the tracked space.
+            let picks = merged.pick_uncovered_k(&mut r, 3);
+            assert!(picks.len() <= 3);
+            merged.reset();
+            assert_eq!(merged.covered_count(), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different metrics")]
+    fn mixed_metric_merge_panics() {
+        let m = net(7);
+        let train = rng::uniform(&mut rng::rng(8), &[10, 6], 0.0, 1.0);
+        let mut a =
+            SignalSpec::neuron(CoverageConfig::default()).build(std::slice::from_ref(&m)).remove(0);
+        let b = SignalSpec {
+            config: CoverageConfig::default(),
+            metric: MetricKind::Multisection { k: 2 },
+            profiles: Vec::new(),
+        }
+        .primed(std::slice::from_ref(&m), &train, 10)
+        .build(std::slice::from_ref(&m))
+        .remove(0);
+        a.merge(&b);
+    }
+}

@@ -1,5 +1,7 @@
-//! Property-based tests of coverage-tracker invariants.
+//! Property-based tests of coverage-tracker invariants — for the paper's
+//! binary neuron metric and the DeepGauge multisection refinement alike.
 
+use dx_coverage::multisection::{MultisectionTracker, NeuronProfile};
 use dx_coverage::{CoverageConfig, CoverageTracker, Granularity};
 use dx_nn::layer::Layer;
 use dx_nn::network::Network;
@@ -23,6 +25,18 @@ fn net(seed: u64) -> Network {
 
 fn input() -> impl Strategy<Value = Tensor> {
     proptest::collection::vec(0.0f32..1.0, 36).prop_map(|v| Tensor::from_vec(v, &[1, 1, 6, 6]))
+}
+
+/// A multisection tracker over a deterministically primed profile of
+/// `net(seed)` — every call with the same arguments sections identically,
+/// so trackers are mutually compatible.
+fn ms_tracker(n: &Network, prime_seed: u64, k: usize) -> MultisectionTracker {
+    let mut profile = NeuronProfile::new(n, Granularity::ChannelMean);
+    let mut r = rng::rng(prime_seed);
+    for _ in 0..12 {
+        profile.observe(&n.forward(&rng::uniform(&mut r, &[1, 1, 6, 6], 0.0, 1.0)));
+    }
+    MultisectionTracker::new(profile, k)
 }
 
 proptest! {
@@ -145,5 +159,105 @@ proptest! {
             prop_assert!(global.covered_count() >= local.covered_count());
             last = global.covered_count();
         }
+    }
+
+    // The same invariants for the multisection metric — campaigns union
+    // and delta-sync either signal through one code path, so both must
+    // honor the same algebra.
+
+    #[test]
+    fn ms_merge_is_commutative(xa in input(), xb in input(), k in 1usize..6) {
+        let n = net(9);
+        let mut a = ms_tracker(&n, 90, k);
+        let mut b = ms_tracker(&n, 90, k);
+        a.update(&n.forward(&xa));
+        b.update(&n.forward(&xb));
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(ab.covered_count(), ba.covered_count());
+        prop_assert_eq!(ab.covered_mask(), ba.covered_mask());
+    }
+
+    #[test]
+    fn ms_merge_is_idempotent(xa in input(), xb in input()) {
+        let n = net(10);
+        let mut a = ms_tracker(&n, 91, 4);
+        let mut b = ms_tracker(&n, 91, 4);
+        a.update(&n.forward(&xa));
+        b.update(&n.forward(&xb));
+        a.merge(&b);
+        let covered = a.covered_count();
+        prop_assert_eq!(a.merge(&b), 0);
+        prop_assert_eq!(a.covered_count(), covered);
+        let self_clone = a.clone();
+        prop_assert_eq!(a.merge(&self_clone), 0);
+    }
+
+    #[test]
+    fn ms_sparse_delta_sync_converges_to_merge(
+        xs_a in proptest::collection::vec(input(), 1..4),
+        xs_b in proptest::collection::vec(input(), 1..4),
+        k in 1usize..6,
+    ) {
+        // Two workers accumulating independently: syncing their hit sets
+        // through diff_indices/apply_covered_indices must reach exactly
+        // the union a direct merge computes, in either sync order.
+        let n = net(11);
+        let mut a = ms_tracker(&n, 92, k);
+        let mut b = ms_tracker(&n, 92, k);
+        for x in &xs_a { a.update(&n.forward(x)); }
+        for x in &xs_b { b.update(&n.forward(x)); }
+        let mut merged = a.clone();
+        merged.merge(&b);
+
+        let mut synced = a.clone();
+        let delta_b = b.diff_indices(&synced);
+        prop_assert!(delta_b.iter().all(|&i| i < b.total()));
+        let newly = synced.apply_covered_indices(&delta_b);
+        prop_assert_eq!(newly, delta_b.len());
+        prop_assert_eq!(synced.covered_mask(), merged.covered_mask());
+
+        // Round trip back: b catches up to the union through a delta too.
+        let delta_a = synced.diff_indices(&b);
+        b.apply_covered_indices(&delta_a);
+        prop_assert_eq!(b.covered_mask(), merged.covered_mask());
+        // Once converged, both deltas are empty (idempotent sync).
+        prop_assert!(synced.diff_indices(&b).is_empty());
+        prop_assert!(b.diff_indices(&synced).is_empty());
+    }
+
+    #[test]
+    fn ms_covered_indices_match_mask(x in input()) {
+        let n = net(12);
+        let mut t = ms_tracker(&n, 93, 3);
+        t.update(&n.forward(&x));
+        let idx = t.covered_indices();
+        prop_assert_eq!(idx.len(), t.covered_count());
+        let empty = ms_tracker(&n, 93, 3);
+        prop_assert_eq!(t.diff_indices(&empty), idx);
+        // Applying a tracker's own indices onto a fresh peer reproduces it.
+        let mut fresh = ms_tracker(&n, 93, 3);
+        fresh.apply_covered_indices(&t.covered_indices());
+        prop_assert_eq!(fresh.covered_mask(), t.covered_mask());
+    }
+
+    #[test]
+    fn ms_coverage_stays_within_unit_interval(
+        xs in proptest::collection::vec(input(), 1..6),
+        k in 1usize..6,
+    ) {
+        let n = net(13);
+        let mut t = ms_tracker(&n, 94, k);
+        let mut last = 0.0f32;
+        for x in &xs {
+            t.update(&n.forward(x));
+            let c = t.coverage();
+            prop_assert!((0.0..=1.0).contains(&c));
+            prop_assert!(c >= last);
+            last = c;
+        }
+        prop_assert!(t.covered_count() <= t.coverable_units());
     }
 }

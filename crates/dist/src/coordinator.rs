@@ -37,7 +37,7 @@ use dx_campaign::codec::{
 };
 use dx_campaign::json::{build, Json};
 use dx_campaign::{CampaignReport, Corpus, EnergyModel, EpochStats, FoundDiff, ModelSuite};
-use dx_coverage::CoverageTracker;
+use dx_coverage::CoverageSignal;
 use dx_nn::util::gather_rows;
 use dx_tensor::{rng, Tensor};
 
@@ -175,7 +175,7 @@ struct RoundAccum {
 
 struct State {
     corpus: Corpus,
-    global: Vec<CoverageTracker>,
+    global: Vec<CoverageSignal>,
     diffs: Vec<FoundDiff>,
     epochs: Vec<EpochStats>,
     round: RoundAccum,
@@ -200,9 +200,9 @@ struct State {
 pub struct Coordinator {
     cfg: CoordinatorConfig,
     fingerprint: Fingerprint,
-    /// Empty trackers, cloned as each connection's model of what its
+    /// Empty signals, cloned as each connection's model of what its
     /// worker knows about global coverage.
-    template: Vec<CoverageTracker>,
+    template: Vec<CoverageSignal>,
     state: Mutex<State>,
     drain: Arc<AtomicBool>,
     force_close: AtomicBool,
@@ -221,6 +221,7 @@ struct CheckpointJob {
     report: CampaignReport,
     diffs: Vec<FoundDiff>,
     masks: Vec<Vec<bool>>,
+    signal: checkpoint::SignalCheckpoint,
     meta: checkpoint::Meta,
     dist_doc: String,
 }
@@ -287,6 +288,18 @@ impl Coordinator {
         cfg: CoordinatorConfig,
     ) -> io::Result<Self> {
         let state = checkpoint::load(dir)?;
+        if state.signal.metric != suite.signal.metric {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "checkpoint metric `{}` does not match the configured `{}`",
+                    state.signal.metric, suite.signal.metric
+                ),
+            ));
+        }
+        // Checkpointed multisection profiles are authoritative, exactly as
+        // in `dx_campaign::Campaign::resume_from`.
+        let suite = &state.signal.restore_profiles(suite.clone())?;
         let dist = DistState::load(dir)?;
         let corpus =
             Corpus::from_entries(state.corpus, cfg.max_corpus).with_energy_model(cfg.energy);
@@ -333,8 +346,7 @@ impl Coordinator {
     ) -> Self {
         assert!(cfg.batch_per_round >= 1, "batch_per_round must be at least 1");
         assert!(cfg.lease_size >= 1, "lease_size must be at least 1");
-        let template: Vec<CoverageTracker> =
-            suite.models.iter().map(|m| CoverageTracker::for_network(m, suite.coverage)).collect();
+        let template: Vec<CoverageSignal> = suite.signal.build(&suite.models);
         let mut global = template.clone();
         let masks_fit = coverage.as_ref().is_some_and(|masks| {
             masks.len() == global.len()
@@ -598,7 +610,7 @@ impl Coordinator {
         &self,
         msg: Msg,
         slot: &mut Option<u64>,
-        view: &mut [CoverageTracker],
+        view: &mut [CoverageSignal],
     ) -> (Reply, Option<CheckpointJob>) {
         let mut ckpt = None;
         let reply = match msg {
@@ -687,7 +699,7 @@ impl Coordinator {
                 let mut st = self.lock();
                 // Validate delta indices before touching the union.
                 for (m, idx) in cov.iter().enumerate() {
-                    let total = st.global.get(m).map_or(0, CoverageTracker::total);
+                    let total = st.global.get(m).map_or(0, CoverageSignal::total);
                     if m >= st.global.len() || idx.iter().any(|&i| i >= total) {
                         let reason = "coverage delta out of range".to_string();
                         return (Reply::SendThenClose(Msg::Reject { reason }), None);
@@ -852,6 +864,7 @@ impl Coordinator {
             report: CampaignReport { epochs: st.epochs.clone(), workers },
             diffs: st.diffs.clone(),
             masks: st.global.iter().map(|t| t.covered_mask().to_vec()).collect(),
+            signal: checkpoint::SignalCheckpoint::of(&st.global),
             meta: checkpoint::Meta {
                 epochs_done: st.epochs.len(),
                 campaign_seed: self.cfg.seed,
@@ -884,6 +897,7 @@ impl Coordinator {
             &job.report,
             &job.diffs,
             &job.masks,
+            &job.signal,
             &job.meta,
             append,
         )?;
@@ -912,7 +926,7 @@ impl Coordinator {
                     epochs: st.epochs.clone(),
                     workers: st.per_worker.len().max(1),
                 },
-                coverage: st.global.iter().map(CoverageTracker::coverage).collect(),
+                coverage: st.global.iter().map(CoverageSignal::coverage).collect(),
                 steps_done: st.steps_done,
                 per_worker: st.per_worker.iter().map(|(&s, w)| (s, w.clone())).collect(),
                 diffs: st.diffs.len(),
@@ -926,11 +940,11 @@ impl Coordinator {
     }
 }
 
-fn mean_coverage(global: &[CoverageTracker]) -> f32 {
+fn mean_coverage(global: &[CoverageSignal]) -> f32 {
     if global.is_empty() {
         return 0.0;
     }
-    global.iter().map(CoverageTracker::coverage).sum::<f32>() / global.len() as f32
+    global.iter().map(CoverageSignal::coverage).sum::<f32>() / global.len() as f32
 }
 
 /// The dist-specific checkpoint extension (`dist.json`): seeds owed to the

@@ -9,7 +9,7 @@
 //!   coverage union, hands out energy-weighted seed leases, and folds back
 //!   worker results — step outcomes, difference-inducing inputs,
 //!   productive mutants, and sparse coverage bitmap deltas
-//!   ([`dx_coverage::CoverageTracker::diff_indices`]).
+//!   ([`dx_coverage::CoverageSignal::diff_indices`]).
 //! - **Workers** ([`worker::run_worker`]) are thin wrappers around the
 //!   existing generator step loop ([`deepxplore::Generator::run_seed`]);
 //!   their RNG streams derive from `(campaign seed, slot)` exactly like
@@ -30,7 +30,7 @@
 //! use deepxplore::constraints::Constraint;
 //! use deepxplore::generator::TaskKind;
 //! use deepxplore::Hyperparams;
-//! use dx_coverage::CoverageConfig;
+//! use dx_coverage::{CoverageConfig, SignalSpec};
 //! use dx_dist::{run_local, CoordinatorConfig, WorkerConfig};
 //! use dx_nn::{layer::Layer, Network};
 //! use dx_tensor::rng;
@@ -45,7 +45,7 @@
 //!     kind: TaskKind::Classification,
 //!     hp: Hyperparams { step: 0.3, max_iters: 20, ..Default::default() },
 //!     constraint: Constraint::Clip,
-//!     coverage: CoverageConfig::scaled(0.25),
+//!     signal: SignalSpec::neuron(CoverageConfig::scaled(0.25)),
 //! };
 //! let seeds = rng::uniform(&mut rng::rng(4), &[8, 8], 0.2, 0.8);
 //! let cfg = CoordinatorConfig { max_steps: Some(8), batch_per_round: 4, ..Default::default() };
@@ -66,21 +66,107 @@ pub use coordinator::{Coordinator, CoordinatorConfig, DistReport, DrainHandle, W
 pub use proto::{Fingerprint, PROTOCOL_VERSION};
 pub use worker::{run_worker, WorkerConfig, WorkerSummary};
 
+use deepxplore::constraints::Constraint;
+use deepxplore::Hyperparams;
 use dx_campaign::ModelSuite;
-use dx_coverage::CoverageTracker;
+use dx_coverage::CoverageSignal;
 
-/// The admission fingerprint of a model suite: a label both sides agree on
-/// plus each model's tracked-neuron total under the suite's coverage
-/// config — cheap to compute, and any model/metric mismatch changes it.
+/// The admission fingerprint of a model suite: a label both sides agree
+/// on, the coverage metric, each model's tracked-unit total under it, a
+/// digest of the multisection profile boundaries, and canonical digests
+/// of the generation semantics (Algorithm 1 hyperparameters, task
+/// oracle, coverage config) and the domain constraint — cheap to
+/// compute, and any mismatch in them changes it. Without the digests, a
+/// worker running a different step size, oracle threshold or coverage
+/// threshold would be silently admitted and pollute the corpus with
+/// irreproducible results.
 pub fn suite_fingerprint(suite: &ModelSuite, label: &str) -> proto::Fingerprint {
     proto::Fingerprint {
         label: label.to_string(),
-        neurons: suite
-            .models
-            .iter()
-            .map(|m| CoverageTracker::for_network(m, suite.coverage).total())
-            .collect(),
+        metric: suite.signal.metric.to_string(),
+        units: suite.signal.build(&suite.models).iter().map(CoverageSignal::total).collect(),
+        profiles: profile_digest(&suite.signal.profiles),
+        hyper: hyper_digest(suite),
+        constraint: constraint_digest(&suite.constraint),
     }
+}
+
+/// Digest of the multisection profile boundaries. Two processes
+/// sectioning the same neurons over *different* profiled ranges (training
+/// data drifted, or one side restored checkpointed profiles) would ship
+/// semantically incompatible section indices — this makes that a rejected
+/// admission, not a silently corrupted union.
+fn profile_digest(profiles: &[dx_coverage::NeuronProfile]) -> String {
+    if profiles.is_empty() {
+        return "none".into();
+    }
+    let bytes: Vec<u8> = profiles
+        .iter()
+        .flat_map(|p| {
+            let (low, high) = p.ranges();
+            low.iter().chain(high).flat_map(|v| v.to_bits().to_le_bytes()).collect::<Vec<u8>>()
+        })
+        .collect();
+    format!("fnv:{:016x}", fnv1a64(&bytes))
+}
+
+/// Canonical, order-stable rendering of everything besides the models
+/// and constraint that shapes a worker's generation stream: the
+/// Algorithm 1 hyperparameters, the task oracle (a regression
+/// direction-threshold mismatch changes which runs count as
+/// differences), and the coverage config (a threshold/scaling mismatch
+/// changes which units the same activations cover). Rust float `Debug`
+/// is shortest-exact, so equal values digest equally across processes
+/// and hosts.
+fn hyper_digest(suite: &ModelSuite) -> String {
+    let hp: &Hyperparams = &suite.hp;
+    let cov = &suite.signal.config;
+    format!(
+        "l1={:?} l2={:?} s={:?} iters={} dc={:?} pre={} pick={:?} npm={} \
+         task={:?} cov_t={:?} cov_scaled={} gran={:?}",
+        hp.lambda1,
+        hp.lambda2,
+        hp.step,
+        hp.max_iters,
+        hp.desired_coverage,
+        hp.count_preexisting,
+        hp.neuron_pick,
+        hp.neurons_per_model,
+        suite.kind,
+        cov.threshold,
+        cov.scale_per_layer,
+        cov.granularity,
+    )
+}
+
+/// Canonical digest of a domain constraint, parameters included. Bulky
+/// vector parameters (feature masks/scales) are FNV-hashed rather than
+/// inlined, so the fingerprint stays one short frame.
+fn constraint_digest(c: &Constraint) -> String {
+    match c {
+        Constraint::Clip => "clip".into(),
+        Constraint::Lighting => "lighting".into(),
+        Constraint::SingleRect { h, w } => format!("single_rect:{h}x{w}"),
+        Constraint::MultiRects { size, count } => format!("multi_rects:{size}x{count}"),
+        Constraint::DrebinManifest { manifest_mask } => {
+            let bytes: Vec<u8> = manifest_mask.iter().map(|&b| b as u8).collect();
+            format!("drebin_manifest:{}:{:016x}", manifest_mask.len(), fnv1a64(&bytes))
+        }
+        Constraint::PdfFeatures { scale } => {
+            let bytes: Vec<u8> = scale.iter().flat_map(|v| v.to_bits().to_le_bytes()).collect();
+            format!("pdf_features:{}:{:016x}", scale.len(), fnv1a64(&bytes))
+        }
+    }
+}
+
+/// FNV-1a 64-bit — a dependency-free stable hash for fingerprint digests.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 /// Runs a whole fleet inside one process over real localhost sockets: a
@@ -150,7 +236,7 @@ mod tests {
     use deepxplore::generator::TaskKind;
     use deepxplore::Hyperparams;
     use dx_campaign::EnergyModel;
-    use dx_coverage::CoverageConfig;
+    use dx_coverage::{CoverageConfig, SignalSpec};
     use dx_nn::layer::Layer;
     use dx_nn::Network;
     use dx_tensor::{rng, Tensor};
@@ -177,12 +263,23 @@ mod tests {
             kind: TaskKind::Classification,
             hp: Hyperparams { step: 0.25, lambda1: 2.0, max_iters: 30, ..Default::default() },
             constraint: Constraint::Clip,
-            coverage: CoverageConfig::scaled(0.25),
+            signal: SignalSpec::neuron(CoverageConfig::scaled(0.25)),
         }
     }
 
     fn seed_batch(seed: u64, n: usize) -> Tensor {
         rng::uniform(&mut rng::rng(seed), &[n, 16], 0.2, 0.8)
+    }
+
+    /// A suite steering by k-multisection sections; every process primes
+    /// the same profiles from the same stand-in training rows, exactly as
+    /// CLI coordinator/worker processes prime from the shared dataset.
+    fn ms_suite(seed: u64, k: usize) -> ModelSuite {
+        let mut s = suite(seed);
+        let train = rng::uniform(&mut rng::rng(seed ^ 0x7a1d), &[40, 16], 0.0, 1.0);
+        s.signal = SignalSpec::multisection(CoverageConfig::default(), k, Vec::new())
+            .primed(&s.models, &train, 40);
+        s
     }
 
     fn tmp_dir(name: &str) -> std::path::PathBuf {
@@ -256,6 +353,70 @@ mod tests {
                 .unwrap();
         let merged: f32 = report.coverage.iter().sum::<f32>() / report.coverage.len() as f32;
         assert!(merged >= 0.10, "fleet stopped at {merged}");
+    }
+
+    #[test]
+    fn multisection_fleet_matches_single_process_coverage_union() {
+        // The finer signal flows end to end: section deltas over the wire,
+        // section unions at the coordinator, and a 2-worker fleet reaches
+        // the same section-coverage target a single-process campaign does.
+        let target = 0.08f32;
+        let s = ms_suite(90, 4);
+        let mut solo = dx_campaign::Campaign::new(
+            s.clone(),
+            &seed_batch(91, 10),
+            dx_campaign::CampaignConfig {
+                epochs: 100,
+                batch_per_epoch: 6,
+                desired_coverage: Some(target),
+                ..Default::default()
+            },
+        );
+        solo.run().unwrap();
+        assert!(solo.mean_coverage() >= target, "solo stalled at {}", solo.mean_coverage());
+
+        let cfg = CoordinatorConfig {
+            target_coverage: Some(target),
+            batch_per_round: 6,
+            lease_size: 2,
+            ..Default::default()
+        };
+        let (report, workers) =
+            run_local(&s, "ms@test", &seed_batch(91, 10), cfg, WorkerConfig::default(), 2).unwrap();
+        let merged: f32 = report.coverage.iter().sum::<f32>() / report.coverage.len() as f32;
+        assert!(merged >= target, "fleet stopped at {merged}");
+        // The merged section union dominates every worker's local view.
+        for w in &workers {
+            let local: f32 = w.coverage.iter().sum::<f32>() / w.coverage.len() as f32;
+            assert!(merged >= local - 1e-6, "merged {merged} < worker {local}");
+        }
+    }
+
+    #[test]
+    fn profile_boundary_mismatch_changes_fingerprint() {
+        let a = suite_fingerprint(&ms_suite(95, 4), "x");
+        // Re-prime from different training data: identical unit counts,
+        // different section boundaries — must not be admissible.
+        let mut other = ms_suite(95, 4);
+        let train = rng::uniform(&mut rng::rng(0xbeef), &[40, 16], 0.0, 1.0);
+        let reprimed = other.signal.clone().primed(&other.models, &train, 40);
+        other.signal = reprimed;
+        let b = suite_fingerprint(&other, "x");
+        assert_eq!(a.units, b.units, "unit totals are boundary-blind by design");
+        assert_ne!(a.profiles, b.profiles, "boundary drift must change the digest");
+        assert_ne!(a, b);
+        // Identical priming digests identically; neuron metric has none.
+        assert_eq!(a, suite_fingerprint(&ms_suite(95, 4), "x"));
+        assert_eq!(suite_fingerprint(&suite(95), "x").profiles, "none");
+        // The task oracle and the coverage config are fingerprinted too:
+        // either mismatch silently changes what counts as a difference or
+        // as covered, so it must not be admissible.
+        let mut oracle = suite(95);
+        oracle.kind = TaskKind::Regression { direction_threshold: 0.2 };
+        assert_ne!(suite_fingerprint(&suite(95), "x"), suite_fingerprint(&oracle, "x"));
+        let mut threshold = suite(95);
+        threshold.signal.config.threshold = 0.9;
+        assert_ne!(suite_fingerprint(&suite(95), "x"), suite_fingerprint(&threshold, "x"));
     }
 
     #[test]
@@ -496,15 +657,46 @@ mod tests {
         let handle = coordinator.drain_handle();
         std::thread::scope(|scope| {
             scope.spawn(move || {
-                let wrong = Fingerprint { label: "other@test".into(), neurons: vec![1, 2, 3] };
+                let wrong =
+                    Fingerprint { label: "other@test".into(), ..suite_fingerprint(&s, "x") };
                 let replies = worker::scripted(
                     addr,
                     &[Msg::Hello { version: PROTOCOL_VERSION, fingerprint: wrong }],
                 )
                 .unwrap();
                 assert!(matches!(&replies[0], Msg::Reject { .. }), "{:?}", replies[0]);
+                // A worker with mismatched hyperparameters (here: a
+                // different step size) is rejected, not silently admitted.
+                let mut hp_suite = s.clone();
+                hp_suite.hp.step = 0.5;
+                let hp_mismatch = suite_fingerprint(&hp_suite, "unit@test");
+                let replies = worker::scripted(
+                    addr,
+                    &[Msg::Hello { version: PROTOCOL_VERSION, fingerprint: hp_mismatch }],
+                )
+                .unwrap();
+                assert!(matches!(&replies[0], Msg::Reject { .. }), "{:?}", replies[0]);
+                // So is one with a mismatched constraint...
+                let mut c_suite = s.clone();
+                c_suite.constraint = Constraint::Lighting;
+                let c_mismatch = suite_fingerprint(&c_suite, "unit@test");
+                let replies = worker::scripted(
+                    addr,
+                    &[Msg::Hello { version: PROTOCOL_VERSION, fingerprint: c_mismatch }],
+                )
+                .unwrap();
+                assert!(matches!(&replies[0], Msg::Reject { .. }), "{:?}", replies[0]);
+                // ...or a mismatched coverage metric.
+                let mut m_fp = suite_fingerprint(&s, "unit@test");
+                m_fp.metric = "multisection:4".into();
+                let replies = worker::scripted(
+                    addr,
+                    &[Msg::Hello { version: PROTOCOL_VERSION, fingerprint: m_fp }],
+                )
+                .unwrap();
+                assert!(matches!(&replies[0], Msg::Reject { .. }), "{:?}", replies[0]);
                 // A stale protocol version is rejected too.
-                let fp = Fingerprint { label: "unit@test".into(), neurons: vec![1] };
+                let fp = suite_fingerprint(&s, "unit@test");
                 let replies = worker::scripted(
                     addr,
                     &[Msg::Hello { version: PROTOCOL_VERSION + 1, fingerprint: fp }],

@@ -18,7 +18,7 @@
 //! ```
 //!
 //! Coverage flows as sparse per-model index deltas
-//! ([`dx_coverage::CoverageTracker::diff_indices`]) relative to what each
+//! ([`dx_coverage::CoverageSignal::diff_indices`]) relative to what each
 //! side already told the other, so steady-state sync cost is proportional
 //! to *new* coverage, not model size. Seeds (`u64`) and RNG words travel
 //! as decimal strings — JSON numbers cannot carry 64-bit integers exactly.
@@ -31,49 +31,78 @@ use dx_campaign::codec::{
     tensor_fields, tensor_from_json, u64_from_json, u64_json,
 };
 use dx_campaign::json::{build, Json};
-use dx_coverage::CoverageTracker;
+use dx_coverage::CoverageSignal;
 use dx_tensor::Tensor;
 
 /// Bumped on any incompatible message or codec change; a mismatch is
-/// rejected at `hello` time.
-pub const PROTOCOL_VERSION: u64 = 1;
+/// rejected at `hello` time. v2: metric-generic coverage units plus
+/// hyperparameter/constraint fingerprinting.
+pub const PROTOCOL_VERSION: u64 = 2;
 
 /// What the coordinator checks before admitting a worker: both sides must
-/// be fuzzing the same model suite under the same coverage metric.
+/// be fuzzing the same model suite, under the same coverage metric, with
+/// the same generation hyperparameters and domain constraint — a worker
+/// with a mismatched step size or iteration budget would silently pollute
+/// the corpus with irreproducible results.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Fingerprint {
     /// Human-readable suite label (e.g. `mnist@test`).
     pub label: String,
-    /// Per-model tracked-neuron totals — a cheap structural hash of the
-    /// models and the coverage configuration.
-    pub neurons: Vec<usize>,
+    /// The coverage metric, in `MetricKind` display form
+    /// (`neuron` / `multisection:<k>`).
+    pub metric: String,
+    /// Per-model tracked-unit totals (neurons, or neuron-sections) — a
+    /// cheap structural hash of the models and the coverage configuration.
+    pub units: Vec<usize>,
+    /// Digest of the multisection profile ranges (`none` for the neuron
+    /// metric). Two processes sectioning the same neurons at different
+    /// boundaries would union semantically different indices; the digest
+    /// rejects them at admission instead.
+    pub profiles: String,
+    /// Canonical digest of the Algorithm 1 hyperparameters.
+    pub hyper: String,
+    /// Canonical digest of the domain constraint (parameters included).
+    pub constraint: String,
 }
 
 impl Fingerprint {
     fn to_json(&self) -> Json {
         build::obj(vec![
             ("label", build::str(&self.label)),
-            ("neurons", build::ints(&self.neurons)),
+            ("metric", build::str(&self.metric)),
+            ("units", build::ints(&self.units)),
+            ("profiles", build::str(&self.profiles)),
+            ("hyper", build::str(&self.hyper)),
+            ("constraint", build::str(&self.constraint)),
         ])
     }
 
     fn from_json(v: &Json) -> io::Result<Self> {
+        let str_field = |key: &str| {
+            v.get(key).and_then(Json::as_str).map(str::to_string).ok_or_else(|| bad(key))
+        };
         Ok(Self {
-            label: v.get("label").and_then(Json::as_str).ok_or_else(|| bad("label"))?.to_string(),
-            neurons: usizes(v.get("neurons").ok_or_else(|| bad("neurons"))?, "neurons")?,
+            label: str_field("label")?,
+            metric: str_field("metric")?,
+            units: usizes(v.get("units").ok_or_else(|| bad("units"))?, "units")?,
+            profiles: str_field("profiles")?,
+            hyper: str_field("hyper")?,
+            constraint: str_field("constraint")?,
         })
     }
 }
 
-/// Per-model sparse coverage delta: newly covered flat neuron offsets.
+/// Per-model sparse coverage delta: newly covered flat unit offsets
+/// (neurons under the paper's metric, neuron-sections under
+/// multisection — whichever metric the fingerprint admitted).
 pub type CovDelta = Vec<Vec<usize>>;
 
 /// The delta routine both protocol sides share: everything `source`
 /// covers that `view` (the model of what the peer already knows) does
 /// not, after which the view catches up. The coordinator calls it with
 /// the global union against a per-connection view; the worker with its
-/// local trackers against its known-to-coordinator view.
-pub fn coverage_news(source: &[CoverageTracker], view: &mut [CoverageTracker]) -> CovDelta {
+/// local signals against its known-to-coordinator view.
+pub fn coverage_news(source: &[CoverageSignal], view: &mut [CoverageSignal]) -> CovDelta {
     source
         .iter()
         .zip(view.iter_mut())
@@ -354,7 +383,14 @@ mod tests {
     }
 
     fn fp() -> Fingerprint {
-        Fingerprint { label: "mnist@test".into(), neurons: vec![52, 148, 268] }
+        Fingerprint {
+            label: "mnist@test".into(),
+            metric: "multisection:4".into(),
+            units: vec![52, 148, 268],
+            profiles: "fnv:00000000deadbeef".into(),
+            hyper: "l1=1 l2=0.1 s=0.04 iters=50 dc=None pre=false pick=Random npm=1".into(),
+            constraint: "clip".into(),
+        }
     }
 
     #[test]

@@ -17,7 +17,7 @@ use std::time::Duration;
 
 use deepxplore::generator::Generator;
 use dx_campaign::ModelSuite;
-use dx_coverage::CoverageTracker;
+use dx_coverage::CoverageSignal;
 use dx_tensor::rng;
 
 use crate::proto::{coverage_news, CovDelta, Fingerprint, JobResult, Msg, PROTOCOL_VERSION};
@@ -104,12 +104,13 @@ pub fn run_worker(
     let mut stream = connect(addr, &cfg)?;
     stream.set_nodelay(true)?;
     let (slot, campaign_seed, rng_state) = hello(&mut stream, fingerprint)?;
-    let mut generator = Generator::new(
+    let signals = suite.signal.build(&suite.models);
+    let mut generator = Generator::with_signals(
         suite.models.clone(),
         suite.kind,
         suite.hp,
         suite.constraint.clone(),
-        suite.coverage,
+        signals,
         rng::derive_seed(campaign_seed, 1 + slot),
     );
     if let Some(state) = rng_state {
@@ -118,7 +119,7 @@ pub fn run_worker(
     }
     // What the coordinator knows we know; deltas in both directions are
     // relative to this.
-    let mut known: Vec<CoverageTracker> = generator.trackers().to_vec();
+    let mut known: Vec<CoverageSignal> = generator.signals().to_vec();
     let mut summary = WorkerSummary { slot, steps: 0, diffs_found: 0, coverage: Vec::new() };
     loop {
         let reply =
@@ -185,7 +186,7 @@ fn hello(
 /// the generator's own trackers.
 fn adopt(
     generator: &mut Generator,
-    known: &mut [CoverageTracker],
+    known: &mut [CoverageSignal],
     cov: &CovDelta,
 ) -> io::Result<()> {
     if cov.len() != known.len() {
@@ -203,8 +204,8 @@ fn adopt(
 
 /// Coverage this worker found that the coordinator hasn't heard about,
 /// after which the known-view catches up.
-fn local_news(generator: &Generator, known: &mut [CoverageTracker]) -> CovDelta {
-    coverage_news(generator.trackers(), known)
+fn local_news(generator: &Generator, known: &mut [CoverageSignal]) -> CovDelta {
+    coverage_news(generator.signals(), known)
 }
 
 /// A raw scripted exchange for protocol tests: sends `msgs` in order and

@@ -11,7 +11,7 @@ use std::time::Duration;
 use deepxplore::constraints::Constraint;
 use deepxplore::Hyperparams;
 use dx_campaign::{Campaign, CampaignConfig, ModelSuite};
-use dx_coverage::CoverageConfig;
+use dx_coverage::{CoverageConfig, SignalSpec};
 use dx_dist::{run_local, serve_local, Coordinator, CoordinatorConfig, WorkerConfig};
 use dx_integration::test_zoo;
 use dx_models::DatasetKind;
@@ -30,7 +30,7 @@ fn mnist_suite() -> (ModelSuite, Tensor) {
         kind: deepxplore::generator::TaskKind::Classification,
         hp: Hyperparams { max_iters: 30, ..Hyperparams::image_defaults() },
         constraint: Constraint::Lighting,
-        coverage: CoverageConfig::scaled(0.25),
+        signal: SignalSpec::neuron(CoverageConfig::scaled(0.25)),
     };
     let mut r = rng::rng(0xd157_0001);
     let picks = rng::sample_without_replacement(&mut r, ds.test_len(), 12.min(ds.test_len()));

@@ -4,7 +4,7 @@
 
 use deepxplore::generator::{Generator, TaskKind};
 use deepxplore::{Constraint, Hyperparams};
-use dx_coverage::CoverageConfig;
+use dx_coverage::{CoverageConfig, SignalSpec};
 use dx_integration::test_zoo;
 use dx_models::{arch, DatasetKind, Scale, Zoo, ZooConfig};
 use dx_nn::serialize::{read_weights, write_weights};
@@ -95,7 +95,7 @@ fn campaign_with_one_worker_replays_bit_for_bit() {
             kind: TaskKind::Classification,
             hp: Hyperparams::image_defaults(),
             constraint: Constraint::Lighting,
-            coverage: CoverageConfig::scaled(0.25),
+            signal: SignalSpec::neuron(CoverageConfig::scaled(0.25)),
         };
         let mut campaign = dx_campaign::Campaign::new(
             suite,
@@ -152,7 +152,7 @@ fn campaign_checkpoint_round_trips_corpus_exactly() {
         kind: TaskKind::Classification,
         hp: Hyperparams::image_defaults(),
         constraint: Constraint::Lighting,
-        coverage: CoverageConfig::scaled(0.25),
+        signal: SignalSpec::neuron(CoverageConfig::scaled(0.25)),
     };
     let mut campaign = dx_campaign::Campaign::new(suite.clone(), &seeds, config.clone());
     campaign.run().unwrap();
