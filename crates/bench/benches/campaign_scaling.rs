@@ -1,6 +1,7 @@
 //! Campaign worker-count scaling: seeds/sec and diffs found at 1/2/4/8
-//! workers on the MNIST test-scale trio, for the paper's neuron metric
-//! and the DeepGauge multisection signal.
+//! workers on the MNIST test-scale trio, for the paper's neuron metric,
+//! the DeepGauge multisection signal, its boundary/corner complement,
+//! and the multisection+boundary composite.
 //!
 //! Not a paper table — the campaign engine is this workspace's extension
 //! beyond the paper's one-shot Algorithm 1 loop. Each arm runs the same
@@ -48,11 +49,21 @@ fn main() {
         &ds.train_x,
         128.min(ds.train_x.shape()[0]),
     );
+    // Boundary and the composite share the multisection profiles — same
+    // ranges, so the arms differ only in which units they count.
+    let boundary_spec = SignalSpec::boundary(CoverageConfig::default(), ms_spec.profiles.clone());
+    let composite_spec = SignalSpec::of(
+        CoverageConfig::default(),
+        "multisection:4+boundary".parse().expect("spec"),
+        ms_spec.profiles.clone(),
+    );
     for (metric_name, spec, worker_arms) in [
         ("neuron", neuron_spec, &[1usize, 2, 4, 8][..]),
-        // The finer DeepGauge signal, on a smaller worker sweep: the
-        // interesting number is its per-seed cost vs the neuron rows.
+        // The finer DeepGauge signals, on a smaller worker sweep: the
+        // interesting number is their per-seed cost vs the neuron rows.
         ("multisection:4", ms_spec, &[1usize, 2][..]),
+        ("boundary", boundary_spec, &[1usize, 2][..]),
+        ("ms:4+boundary", composite_spec, &[1usize, 2][..]),
     ] {
         let mut baseline = None;
         for &workers in worker_arms {

@@ -23,19 +23,19 @@ use dx_tensor::{rng, Tensor};
 
 const LABEL: &str = "mnist@dist_scaling";
 
-fn suite_and_seeds(n_seeds: usize, metric: dx_coverage::MetricKind) -> (ModelSuite, Tensor) {
+fn suite_and_seeds(n_seeds: usize, metric: &dx_coverage::MetricSpec) -> (ModelSuite, Tensor) {
     let mut zoo = Zoo::new(ZooConfig::new(Scale::Test));
     let models = zoo.trio(DatasetKind::Mnist);
     let ds = zoo.dataset(DatasetKind::Mnist).clone();
     let setup = dx_bench::setup_for(DatasetKind::Mnist, &ds);
-    let signal = match metric {
-        dx_coverage::MetricKind::Neuron => SignalSpec::neuron(CoverageConfig::scaled(0.25)),
-        dx_coverage::MetricKind::Multisection { k } => SignalSpec::multisection(
-            CoverageConfig::default(),
-            k,
-            Vec::new(),
+    let signal = if metric.needs_profiles() {
+        SignalSpec::of(CoverageConfig::default(), metric.clone(), Vec::new()).primed(
+            &models,
+            &ds.train_x,
+            128.min(ds.train_x.shape()[0]),
         )
-        .primed(&models, &ds.train_x, 128.min(ds.train_x.shape()[0])),
+    } else {
+        SignalSpec::of(CoverageConfig::scaled(0.25), metric.clone(), Vec::new())
     };
     let suite =
         ModelSuite { models, kind: setup.task, hp: setup.hp, constraint: setup.constraint, signal };
@@ -46,17 +46,17 @@ fn suite_and_seeds(n_seeds: usize, metric: dx_coverage::MetricKind) -> (ModelSui
 
 /// The metric the fleet runs, forwarded to re-exec'd workers via env —
 /// both sides must prime identical profiles or admission fails.
-fn env_metric() -> dx_coverage::MetricKind {
+fn env_metric() -> dx_coverage::MetricSpec {
     std::env::var("DX_DIST_METRIC")
         .ok()
         .and_then(|m| m.parse().ok())
-        .unwrap_or(dx_coverage::MetricKind::Neuron)
+        .unwrap_or_else(|| dx_coverage::MetricKind::Neuron.into())
 }
 
 fn main() {
     // Child mode: this binary re-exec'd as a fleet worker.
     if let Ok(addr) = std::env::var("DX_DIST_WORKER") {
-        let (suite, _) = suite_and_seeds(1, env_metric());
+        let (suite, _) = suite_and_seeds(1, &env_metric());
         run_worker(addr.as_str(), suite, LABEL, WorkerConfig::default())
             .expect("bench worker failed");
         return;
@@ -64,7 +64,7 @@ fn main() {
 
     let mut out = BenchOut::new("dist_scaling");
     let n_seeds = dx_bench::seed_count(24);
-    let (suite, seeds) = suite_and_seeds(n_seeds, dx_coverage::MetricKind::Neuron);
+    let (suite, seeds) = suite_and_seeds(n_seeds, &dx_coverage::MetricKind::Neuron.into());
     let rounds = 3;
     let batch = 2 * seeds.shape()[0] / 3;
     let budget = rounds * batch;
@@ -149,76 +149,83 @@ fn main() {
         ));
     }
 
-    // The multisection variant: same budget, the finer DeepGauge signal.
-    // Section deltas are denser than neuron deltas, so this arm prices the
-    // extra wire and union cost of the finer metric.
-    let ms_metric = dx_coverage::MetricKind::Multisection { k: 4 };
-    let (ms_suite, ms_seeds) = suite_and_seeds(n_seeds, ms_metric);
-    out.line("multisection:4 variant (same budget, profiles primed from 128 training inputs)");
-    let mut ms_pool = Campaign::new(
-        ms_suite.clone(),
-        &ms_seeds,
-        CampaignConfig {
-            workers: 1,
-            epochs: rounds,
-            batch_per_epoch: batch,
-            seed: 42,
-            ..Default::default()
-        },
-    );
-    ms_pool.run().expect("no checkpoint dir configured, run cannot fail");
-    let ms_pool_sps = ms_pool.report().seeds_per_sec();
-    out.line(format!(
-        "{:<16} {:>9.2} {:>9.2} {:>9} {:>8.1}% {:>8.2}x",
-        "ms pool (1 thr)",
-        ms_pool_sps,
-        ms_pool.report().diffs_per_sec(),
-        ms_pool.report().total_diffs(),
-        100.0 * ms_pool.mean_coverage(),
-        ms_pool_sps / pool_sps,
-    ));
-    for workers in [1usize, 2] {
-        let coordinator = Coordinator::new(
-            &ms_suite,
-            LABEL,
-            &ms_seeds,
-            CoordinatorConfig {
-                max_steps: Some(budget),
-                batch_per_round: batch,
-                lease_size: 4,
-                lease_timeout: Duration::from_secs(60),
+    // The profile-based variants: same budget, the finer DeepGauge
+    // signals. Section/corner deltas are denser than neuron deltas, so
+    // these arms price the extra wire and union cost of each metric; the
+    // composite arm additionally prices the component-prefixed deltas.
+    for (tag, metric) in [
+        ("ms", "multisection:4".parse::<dx_coverage::MetricSpec>().expect("spec")),
+        ("ms+b", "multisection:4+boundary".parse().expect("spec")),
+    ] {
+        let (var_suite, var_seeds) = suite_and_seeds(n_seeds, &metric);
+        out.line(format!(
+            "{metric} variant (same budget, profiles primed from 128 training inputs)"
+        ));
+        let mut var_pool = Campaign::new(
+            var_suite.clone(),
+            &var_seeds,
+            CampaignConfig {
+                workers: 1,
+                epochs: rounds,
+                batch_per_epoch: batch,
                 seed: 42,
                 ..Default::default()
             },
         );
-        let listener = std::net::TcpListener::bind(("127.0.0.1", 0)).expect("bind");
-        let addr = listener.local_addr().expect("local addr").to_string();
-        let exe = std::env::current_exe().expect("current exe");
-        let children: Vec<_> = (0..workers)
-            .map(|_| {
-                std::process::Command::new(&exe)
-                    .env("DX_DIST_WORKER", &addr)
-                    .env("DX_DIST_METRIC", ms_metric.to_string())
-                    .env("DX_SCALE", "test")
-                    .stdout(std::process::Stdio::null())
-                    .spawn()
-                    .expect("spawn bench worker")
-            })
-            .collect();
-        let report = coordinator.serve(listener).expect("coordinator serve");
-        for mut child in children {
-            let _ = child.wait();
-        }
-        let sps = report.report.seeds_per_sec();
-        let merged = report.coverage.iter().sum::<f32>() / report.coverage.len() as f32;
+        var_pool.run().expect("no checkpoint dir configured, run cannot fail");
+        let var_pool_sps = var_pool.report().seeds_per_sec();
         out.line(format!(
             "{:<16} {:>9.2} {:>9.2} {:>9} {:>8.1}% {:>8.2}x",
-            format!("ms dist ({workers} proc)"),
-            sps,
-            report.report.diffs_per_sec(),
-            report.report.total_diffs(),
-            100.0 * merged,
-            sps / ms_pool_sps,
+            format!("{tag} pool (1 thr)"),
+            var_pool_sps,
+            var_pool.report().diffs_per_sec(),
+            var_pool.report().total_diffs(),
+            100.0 * var_pool.mean_coverage(),
+            var_pool_sps / pool_sps,
         ));
+        for workers in [1usize, 2] {
+            let coordinator = Coordinator::new(
+                &var_suite,
+                LABEL,
+                &var_seeds,
+                CoordinatorConfig {
+                    max_steps: Some(budget),
+                    batch_per_round: batch,
+                    lease_size: 4,
+                    lease_timeout: Duration::from_secs(60),
+                    seed: 42,
+                    ..Default::default()
+                },
+            );
+            let listener = std::net::TcpListener::bind(("127.0.0.1", 0)).expect("bind");
+            let addr = listener.local_addr().expect("local addr").to_string();
+            let exe = std::env::current_exe().expect("current exe");
+            let children: Vec<_> = (0..workers)
+                .map(|_| {
+                    std::process::Command::new(&exe)
+                        .env("DX_DIST_WORKER", &addr)
+                        .env("DX_DIST_METRIC", metric.to_string())
+                        .env("DX_SCALE", "test")
+                        .stdout(std::process::Stdio::null())
+                        .spawn()
+                        .expect("spawn bench worker")
+                })
+                .collect();
+            let report = coordinator.serve(listener).expect("coordinator serve");
+            for mut child in children {
+                let _ = child.wait();
+            }
+            let sps = report.report.seeds_per_sec();
+            let merged = report.coverage.iter().sum::<f32>() / report.coverage.len() as f32;
+            out.line(format!(
+                "{:<16} {:>9.2} {:>9.2} {:>9} {:>8.1}% {:>8.2}x",
+                format!("{tag} dist ({workers} proc)"),
+                sps,
+                report.report.diffs_per_sec(),
+                report.report.total_diffs(),
+                100.0 * merged,
+                sps / var_pool_sps,
+            ));
+        }
     }
 }

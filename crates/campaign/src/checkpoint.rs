@@ -7,7 +7,7 @@
 //! | `corpus.jsonl` | one corpus entry per line, inputs inline | atomic rewrite |
 //! | `stats.jsonl` | one epoch's statistics per line | append |
 //! | `diffs.jsonl` | one found difference per line, inputs inline | append |
-//! | `coverage.json` | metric kind, per-model covered-unit bitmaps, and (multisection) neuron profiles | atomic rewrite |
+//! | `coverage.json` | metric spec (composite-capable, v3), per-model covered-unit bitmaps in the combined flat space, and (profile-based metrics) neuron profiles | atomic rewrite |
 //! | `meta.json` | epochs done, campaign seed, workers, worker RNG states | atomic rewrite |
 //!
 //! (The distributed campaign adds a sixth, `dist.json`, for lease state —
@@ -34,7 +34,7 @@ use crate::corpus::{Corpus, CorpusEntry};
 use crate::engine::{FoundDiff, ModelSuite};
 use crate::json::{build, Json};
 use crate::report::{CampaignReport, EpochStats};
-use dx_coverage::{CoverageSignal, MetricKind, NeuronProfile};
+use dx_coverage::{CoverageSignal, MetricKind, MetricSpec, NeuronProfile};
 
 /// Campaign-level checkpoint metadata.
 #[derive(Clone, Debug)]
@@ -52,22 +52,24 @@ pub struct Meta {
 }
 
 /// The coverage-signal identity persisted alongside the bitmaps: which
-/// metric the hit-sets were recorded under, and — for multisection — the
-/// per-model neuron profiles the sections were cut from. Without the
-/// profiles a resumed multisection campaign would have to re-prime from
-/// training data, which need not reproduce the checkpointed sections.
+/// metric spec (possibly composite) the hit-sets were recorded under,
+/// and — for profile-based metrics — the per-model neuron profiles the
+/// sections/corners were cut from. Without the profiles a resumed
+/// campaign would have to re-prime from training data, which need not
+/// reproduce the checkpointed ranges.
 #[derive(Clone, Debug, PartialEq)]
 pub struct SignalCheckpoint {
-    /// The coverage metric the campaign steered by.
-    pub metric: MetricKind,
-    /// Per-model `(low, high)` profile ranges; empty for the neuron metric.
+    /// The coverage metric spec the campaign steered by.
+    pub metric: MetricSpec,
+    /// Per-model `(low, high)` profile ranges; empty for the pure neuron
+    /// metric. One entry per model — composite components share a profile.
     pub ranges: Vec<(Vec<f32>, Vec<f32>)>,
 }
 
 impl SignalCheckpoint {
     /// The neuron-metric checkpoint (no profiles to persist).
     pub fn neuron() -> Self {
-        Self { metric: MetricKind::Neuron, ranges: Vec::new() }
+        Self { metric: MetricKind::Neuron.into(), ranges: Vec::new() }
     }
 
     /// Derives the checkpoint from live per-model signals.
@@ -75,17 +77,17 @@ impl SignalCheckpoint {
         let metric = signals.first().map(CoverageSignal::metric).unwrap_or_default();
         let ranges = signals
             .iter()
-            .filter_map(|s| s.as_multisection())
-            .map(|t| {
-                let (low, high) = t.profile().ranges();
+            .filter_map(CoverageSignal::profile)
+            .map(|p| {
+                let (low, high) = p.ranges();
                 (low.to_vec(), high.to_vec())
             })
             .collect();
         Self { metric, ranges }
     }
 
-    /// Swaps the suite's profiles for the checkpointed ones (multisection
-    /// only; a no-op when no profiles were persisted).
+    /// Swaps the suite's profiles for the checkpointed ones (profile-based
+    /// metrics only; a no-op when no profiles were persisted).
     ///
     /// # Errors
     ///
@@ -177,7 +179,9 @@ pub fn save(
             .collect(),
     );
     let mut coverage_fields = vec![
-        ("version", build::int(2)),
+        // v3: the metric field may be a composite spec (`a+b`), and masks
+        // then cover the combined component-major unit space.
+        ("version", build::int(3)),
         ("metric", build::str(&signal.metric.to_string())),
         ("masks", masks),
     ];
@@ -282,11 +286,18 @@ pub fn load(dir: &Path) -> io::Result<CampaignState> {
                 })
                 .collect::<io::Result<Vec<_>>>()?;
             // v1 checkpoints carry no metric field: they are neuron-metric.
+            // Unknown or malformed specs are a clear error, not a panic —
+            // a checkpoint from a newer build (or a corrupted one) should
+            // say what it found.
             let metric = match doc.get("metric") {
-                None | Some(Json::Null) => MetricKind::Neuron,
-                Some(m) => {
-                    m.as_str().and_then(|s| s.parse().ok()).ok_or_else(|| bad("coverage.metric"))?
-                }
+                None | Some(Json::Null) => MetricKind::Neuron.into(),
+                Some(m) => m
+                    .as_str()
+                    .ok_or_else(|| bad("coverage.metric"))?
+                    .parse::<MetricSpec>()
+                    .map_err(|e| {
+                        io::Error::new(io::ErrorKind::InvalidData, format!("coverage.metric: {e}"))
+                    })?,
             };
             let ranges = match doc.get("profiles") {
                 None | Some(Json::Null) => Vec::new(),
@@ -381,9 +392,10 @@ mod tests {
             preexisting: false,
             iterations: 4,
             newly_covered: 2,
+            newly_by_component: vec![2],
             corpus_candidate: Some(rng::uniform(&mut rng::rng(9), &[1, 6], 0.0, 1.0)),
         };
-        corpus.absorb(1, &run, 0.0);
+        corpus.absorb(1, &run, &[]);
         let report = CampaignReport {
             epochs: vec![EpochStats {
                 epoch: 0,
@@ -392,6 +404,7 @@ mod tests {
                 iterations: 12,
                 newly_covered: 5,
                 mean_coverage: 0.375,
+                component_coverage: vec![0.375],
                 corpus_len: 4,
                 elapsed: Duration::from_micros(123_456),
             }],
@@ -529,7 +542,7 @@ mod tests {
         let dir = tmp_dir("signal");
         let (corpus, report, diffs, meta) = sample_state();
         let signal = SignalCheckpoint {
-            metric: MetricKind::Multisection { k: 4 },
+            metric: MetricKind::Multisection { k: 4 }.into(),
             ranges: vec![
                 // Includes the ±infinity an unprofiled neuron carries.
                 (vec![0.25, f32::INFINITY], vec![0.75, f32::NEG_INFINITY]),
@@ -538,12 +551,39 @@ mod tests {
         };
         save(&dir, &corpus, &report, &diffs, &sample_masks(), &signal, &meta, false).unwrap();
         let state = load(&dir).unwrap();
-        assert_eq!(state.signal.metric, MetricKind::Multisection { k: 4 });
+        assert_eq!(state.signal.metric, MetricKind::Multisection { k: 4 }.into());
         assert_eq!(state.signal.ranges.len(), 2);
         for ((lo, hi), (slo, shi)) in signal.ranges.iter().zip(&state.signal.ranges) {
             let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
             assert_eq!(bits(lo), bits(slo));
             assert_eq!(bits(hi), bits(shi));
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn composite_metric_round_trips_and_malformed_metric_is_a_clear_error() {
+        let dir = tmp_dir("composite_metric");
+        let (corpus, report, diffs, meta) = sample_state();
+        let signal = SignalCheckpoint {
+            metric: "multisection:4+boundary".parse().unwrap(),
+            ranges: vec![(vec![0.0, 1.0], vec![1.0, 2.0]), (vec![0.5, 0.0], vec![1.5, 1.0])],
+        };
+        save(&dir, &corpus, &report, &diffs, &sample_masks(), &signal, &meta, false).unwrap();
+        let state = load(&dir).unwrap();
+        assert_eq!(state.signal.metric, signal.metric);
+        assert_eq!(state.signal.metric.to_string(), "multisection:4+boundary");
+        // An unknown/malformed metric string is an InvalidData error that
+        // names the problem, not a panic.
+        for bad_metric in ["warp", "multisection:4+", "boundary+boundary"] {
+            let doc = format!("{{\"version\":3,\"metric\":\"{bad_metric}\",\"masks\":[]}}\n");
+            fs::write(dir.join("coverage.json"), doc).unwrap();
+            let err = match load(&dir) {
+                Err(e) => e,
+                Ok(_) => panic!("metric `{bad_metric}` was accepted"),
+            };
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{bad_metric}");
+            assert!(err.to_string().contains("coverage.metric"), "{err}");
         }
         let _ = fs::remove_dir_all(&dir);
     }

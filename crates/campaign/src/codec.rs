@@ -218,6 +218,7 @@ pub fn epoch_json(e: &EpochStats) -> Json {
         ("iterations", build::int(e.iterations)),
         ("newly_covered", build::int(e.newly_covered)),
         ("mean_coverage", build::num(e.mean_coverage)),
+        ("component_coverage", build::f32s(&e.component_coverage)),
         ("corpus_len", build::int(e.corpus_len)),
         ("elapsed_us", Json::Num(e.elapsed.as_micros() as f64)),
         ("seeds_per_sec", Json::Num(e.seeds_per_sec())),
@@ -225,7 +226,9 @@ pub fn epoch_json(e: &EpochStats) -> Json {
     ])
 }
 
-/// Reads epoch statistics written by [`epoch_json`].
+/// Reads epoch statistics written by [`epoch_json`]. Records from before
+/// composite metrics carry no `component_coverage`; they load with an
+/// empty vector (rendered without the per-component column).
 pub fn epoch_from_json(v: &Json) -> io::Result<EpochStats> {
     Ok(EpochStats {
         epoch: field_usize(v, "epoch")?,
@@ -234,6 +237,15 @@ pub fn epoch_from_json(v: &Json) -> io::Result<EpochStats> {
         iterations: field_usize(v, "iterations")?,
         newly_covered: field_usize(v, "newly_covered")?,
         mean_coverage: field_f32(v, "mean_coverage")?,
+        component_coverage: match v.get("component_coverage") {
+            None | Some(Json::Null) => Vec::new(),
+            Some(c) => c
+                .as_arr()
+                .ok_or_else(|| bad("component_coverage"))?
+                .iter()
+                .map(|x| x.as_f32().ok_or_else(|| bad("component_coverage entry")))
+                .collect::<io::Result<_>>()?,
+        },
         corpus_len: field_usize(v, "corpus_len")?,
         elapsed: std::time::Duration::from_micros(
             v.get("elapsed_us").and_then(Json::as_u64).ok_or_else(|| bad("elapsed_us"))?,
@@ -299,11 +311,14 @@ pub fn seed_run_json(r: &SeedRun) -> Json {
         ("preexisting", Json::Bool(r.preexisting)),
         ("iterations", build::int(r.iterations)),
         ("newly_covered", build::int(r.newly_covered)),
+        ("newly_by_component", build::ints(&r.newly_by_component)),
         ("candidate", r.corpus_candidate.as_ref().map_or(Json::Null, tensor_json)),
     ])
 }
 
-/// Reads a seed run written by [`seed_run_json`].
+/// Reads a seed run written by [`seed_run_json`]. A missing
+/// `newly_by_component` (pre-composite peers) loads as empty; energy
+/// accounting then falls back to the pooled `newly_covered` count.
 pub fn seed_run_from_json(v: &Json) -> io::Result<SeedRun> {
     Ok(SeedRun {
         test: match v.get("test") {
@@ -316,6 +331,15 @@ pub fn seed_run_from_json(v: &Json) -> io::Result<SeedRun> {
             .ok_or_else(|| bad("preexisting"))?,
         iterations: field_usize(v, "iterations")?,
         newly_covered: field_usize(v, "newly_covered")?,
+        newly_by_component: match v.get("newly_by_component") {
+            None | Some(Json::Null) => Vec::new(),
+            Some(c) => c
+                .as_arr()
+                .ok_or_else(|| bad("newly_by_component"))?
+                .iter()
+                .map(|x| x.as_usize().ok_or_else(|| bad("newly_by_component entry")))
+                .collect::<io::Result<_>>()?,
+        },
         corpus_candidate: match v.get("candidate") {
             Some(Json::Null) | None => None,
             Some(t) => Some(tensor_from_json(t)?),
@@ -345,12 +369,14 @@ mod tests {
             preexisting: false,
             iterations: 9,
             newly_covered: 5,
+            newly_by_component: vec![3, 2],
             corpus_candidate: Some(rng::uniform(&mut rng::rng(2), &[1, 5], 0.0, 1.0)),
         };
         let back =
             seed_run_from_json(&parse_doc(&seed_run_json(&run).to_string()).unwrap()).unwrap();
         assert_eq!(back.iterations, 9);
         assert_eq!(back.newly_covered, 5);
+        assert_eq!(back.newly_by_component, vec![3, 2]);
         assert!(!back.preexisting);
         let (t, bt) = (run.test.unwrap(), back.test.unwrap());
         assert_eq!(t.input, bt.input);
@@ -365,6 +391,7 @@ mod tests {
             preexisting: true,
             iterations: 0,
             newly_covered: 0,
+            newly_by_component: Vec::new(),
             corpus_candidate: None,
         };
         let back =
@@ -372,6 +399,19 @@ mod tests {
         assert!(back.test.is_none());
         assert!(back.preexisting);
         assert!(back.corpus_candidate.is_none());
+        assert!(back.newly_by_component.is_empty());
+    }
+
+    #[test]
+    fn seed_run_without_component_field_loads_with_empty_split() {
+        // Pre-composite documents have no `newly_by_component`.
+        let doc = parse_doc(
+            r#"{"test":null,"preexisting":false,"iterations":2,"newly_covered":4,"candidate":null}"#,
+        )
+        .unwrap();
+        let run = seed_run_from_json(&doc).unwrap();
+        assert_eq!(run.newly_covered, 4);
+        assert!(run.newly_by_component.is_empty());
     }
 
     #[test]

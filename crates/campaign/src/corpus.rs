@@ -13,7 +13,11 @@
 //! [`dx_coverage::CoverageSignal`] the campaign steers by, so under
 //! `multisection:k` the cover bonus rewards newly hit range *sections*
 //! and the rarity model scales by section-union saturation — a strictly
-//! finer reward signal than the paper's boolean per-neuron bit.
+//! finer reward signal than the paper's boolean per-neuron bit. Under a
+//! composite metric (`multisection:4+boundary`) the bonus is computed
+//! **per component**, each scaled by *that component's* union saturation,
+//! so a seed that reaches a rare boundary corner is mined harder than one
+//! that hits yet another section of an almost-drained component.
 
 use dx_tensor::rng::Rng;
 use dx_tensor::Tensor;
@@ -226,21 +230,22 @@ impl Corpus {
     /// scheduled entry's energy and statistics, and grafts the step's
     /// corpus candidate (if any) as a child. Returns the child's id.
     ///
-    /// `global_coverage` is the mean coverage of the merged global union
-    /// when the step ran; [`EnergyModel::Classic`] ignores it, while
-    /// [`EnergyModel::Rarity`] uses it to weight how rare the step's newly
-    /// covered neurons were. Pass `0.0` when no global view exists.
+    /// `global_coverage` is the per-metric-component mean coverage of the
+    /// merged global union when the step ran (one entry for simple
+    /// metrics); [`EnergyModel::Classic`] ignores it, while
+    /// [`EnergyModel::Rarity`] uses it to weight how rare each component's
+    /// newly covered units were. Pass `&[]` when no global view exists.
     ///
     /// An unknown `id` is a no-op returning `None`: with the corpus at its
     /// size cap, an entry scheduled at the start of an epoch can be evicted
     /// by an earlier absorb in the same epoch before its own result lands.
-    pub fn absorb(&mut self, id: usize, run: &SeedRun, global_coverage: f32) -> Option<usize> {
+    pub fn absorb(&mut self, id: usize, run: &SeedRun, global_coverage: &[f32]) -> Option<usize> {
         let max_len = self.max_len;
-        let rarity_scale = match self.energy_model {
+        let model = self.energy_model;
+        let rarity = move |saturation: f32| match model {
             EnergyModel::Classic => 1.0,
-            EnergyModel::Rarity => (1.0
-                / (1.0 - global_coverage.clamp(0.0, 1.0)).max(f32::EPSILON))
-            .clamp(1.0, energy::RARITY_MAX),
+            EnergyModel::Rarity => (1.0 / (1.0 - saturation.clamp(0.0, 1.0)).max(f32::EPSILON))
+                .clamp(1.0, energy::RARITY_MAX),
         };
         let entry = self.get_mut(id)?;
         entry.times_fuzzed += 1;
@@ -259,9 +264,27 @@ impl Corpus {
             productive = true;
         }
         if run.newly_covered > 0 {
-            entry.energy += (run.newly_covered as f32 * energy::COVER_BONUS)
-                .min(energy::COVER_BONUS_CAP)
-                * rarity_scale;
+            // Per-component cover bonus: each component's find is capped
+            // and rarity-scaled by that component's own union saturation.
+            // Runs without a per-component split (older wire peers) fall
+            // back to one pooled component, which reproduces the previous
+            // single-metric arithmetic exactly.
+            let pooled = [run.newly_covered];
+            let per_component: &[usize] =
+                if run.newly_by_component.is_empty() { &pooled } else { &run.newly_by_component };
+            let pooled_saturation = if global_coverage.is_empty() {
+                0.0
+            } else {
+                global_coverage.iter().sum::<f32>() / global_coverage.len() as f32
+            };
+            for (c, &newly) in per_component.iter().enumerate() {
+                if newly == 0 {
+                    continue;
+                }
+                let saturation = global_coverage.get(c).copied().unwrap_or(pooled_saturation);
+                entry.energy += (newly as f32 * energy::COVER_BONUS).min(energy::COVER_BONUS_CAP)
+                    * rarity(saturation);
+            }
             productive = true;
         }
         if !productive {
@@ -340,6 +363,7 @@ mod tests {
             preexisting: false,
             iterations: 5,
             newly_covered: 0,
+            newly_by_component: Vec::new(),
             corpus_candidate: None,
         }
     }
@@ -389,9 +413,9 @@ mod tests {
         let mut classic = Corpus::new(seed_tensors(1), 64);
         let mut early = Corpus::new(seed_tensors(1), 64).with_energy_model(EnergyModel::Rarity);
         let mut late = Corpus::new(seed_tensors(1), 64).with_energy_model(EnergyModel::Rarity);
-        classic.absorb(0, &productive, 0.9);
-        early.absorb(0, &productive, 0.0);
-        late.absorb(0, &productive, 0.9);
+        classic.absorb(0, &productive, &[0.9]);
+        early.absorb(0, &productive, &[0.0]);
+        late.absorb(0, &productive, &[0.9]);
         // Classic ignores the global view entirely; rarity at zero
         // saturation matches it, and near-saturation finds earn more.
         assert_eq!(classic.entries()[0].energy.to_bits(), early.entries()[0].energy.to_bits());
@@ -402,7 +426,7 @@ mod tests {
     fn rarity_multiplier_is_capped() {
         let productive = SeedRun { newly_covered: 100, ..barren_run() };
         let mut c = Corpus::new(seed_tensors(1), 64).with_energy_model(EnergyModel::Rarity);
-        c.absorb(0, &productive, 1.0); // Would be an infinite multiplier uncapped.
+        c.absorb(0, &productive, &[1.0]); // Would be an infinite multiplier uncapped.
         assert!(c.entries()[0].energy.is_finite());
         assert!(c.entries()[0].energy <= 1.0 + 0.4 * 8.0 + f32::EPSILON);
     }
@@ -419,10 +443,10 @@ mod tests {
         let mut corpus = Corpus::new(seed_tensors(1), 64);
         let before = corpus.entries[0].energy;
         let productive = SeedRun { newly_covered: 3, ..barren_run() };
-        corpus.absorb(0, &productive, 0.0);
+        corpus.absorb(0, &productive, &[]);
         assert!(corpus.entries[0].energy > before);
         let raised = corpus.entries[0].energy;
-        corpus.absorb(0, &barren_run(), 0.0);
+        corpus.absorb(0, &barren_run(), &[]);
         assert!(corpus.entries[0].energy < raised);
         assert_eq!(corpus.entries[0].times_fuzzed, 2);
     }
@@ -435,7 +459,7 @@ mod tests {
             corpus_candidate: Some(rng::uniform(&mut rng::rng(9), &[1, 4], 0.0, 1.0)),
             ..barren_run()
         };
-        let child = corpus.absorb(0, &run, 0.0).expect("child grafted");
+        let child = corpus.absorb(0, &run, &[]).expect("child grafted");
         assert_eq!(corpus.len(), 2);
         let c = corpus.get(child).unwrap();
         assert_eq!(c.parent, Some(0));
@@ -447,7 +471,7 @@ mod tests {
     fn preexisting_exhausts_entry() {
         let mut corpus = Corpus::new(seed_tensors(1), 64);
         let run = SeedRun { preexisting: true, iterations: 0, ..barren_run() };
-        corpus.absorb(0, &run, 0.0);
+        corpus.absorb(0, &run, &[]);
         assert!(corpus.entries[0].exhausted);
         assert!(corpus.all_exhausted());
         let mut r = rng::rng(3);
@@ -463,7 +487,7 @@ mod tests {
                 corpus_candidate: Some(rng::uniform(&mut rng::rng(100 + step), &[1, 4], 0.0, 1.0)),
                 ..barren_run()
             };
-            corpus.absorb(step as usize % 3, &run, 0.0);
+            corpus.absorb(step as usize % 3, &run, &[]);
         }
         assert!(corpus.len() <= 4, "len {}", corpus.len());
         for id in 0..3 {
@@ -485,12 +509,12 @@ mod tests {
                     corpus_candidate: Some(rng::uniform(&mut rng::rng(5), &[1, 4], 0.0, 1.0)),
                     ..barren_run()
                 },
-                0.0,
+                &[],
             )
             .unwrap();
         // Simulate the child's eviction, then a result for it arriving.
         corpus.entries.retain(|e| e.id != child);
-        assert_eq!(corpus.absorb(child, &barren_run(), 0.0), None);
+        assert_eq!(corpus.absorb(child, &barren_run(), &[]), None);
         assert_eq!(corpus.len(), 1);
     }
 
@@ -502,7 +526,7 @@ mod tests {
             corpus_candidate: Some(rng::uniform(&mut rng::rng(7), &[1, 4], 0.0, 1.0)),
             ..barren_run()
         };
-        let child = corpus.absorb(1, &run, 0.0).unwrap();
+        let child = corpus.absorb(1, &run, &[]).unwrap();
         let reloaded = Corpus::from_entries(corpus.entries().to_vec(), 64);
         assert_eq!(reloaded.next_id, child + 1);
     }

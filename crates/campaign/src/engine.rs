@@ -329,6 +329,19 @@ impl Campaign {
         self.global.iter().map(|t| t.coverage()).collect()
     }
 
+    /// Covered units in the global union, summed across models — under
+    /// whatever metric (spec) the campaign steers by, so composite
+    /// campaigns count every component's units.
+    pub fn covered_units(&self) -> usize {
+        self.global.iter().map(CoverageSignal::covered_count).sum()
+    }
+
+    /// Mean global coverage per metric component (one entry for simple
+    /// metrics).
+    pub fn component_coverage(&self) -> Vec<f32> {
+        dx_coverage::mean_component_coverage(&self.global)
+    }
+
     /// Mean global coverage across models.
     pub fn mean_coverage(&self) -> f32 {
         let c = self.coverage();
@@ -379,7 +392,7 @@ impl Campaign {
             workers: self.config.workers,
             worker_rng: self.workers.iter().map(Generator::rng_state).collect(),
         };
-        let masks: Vec<Vec<bool>> = self.global.iter().map(|t| t.covered_mask().to_vec()).collect();
+        let masks: Vec<Vec<bool>> = self.global.iter().map(CoverageSignal::covered_mask).collect();
         let signal = checkpoint::SignalCheckpoint::of(&self.global);
         let append = self.checkpointed_dir.as_deref() == Some(dir);
         checkpoint::save(
@@ -410,7 +423,7 @@ impl Campaign {
             let input = self.corpus.get(id).expect("scheduled id exists").input.clone();
             assignments[i % n_workers].push((id, input));
         }
-        let covered_before: usize = self.global.iter().map(|t| t.covered_count()).sum();
+        let covered_before = self.covered_units();
         let merge_every = self.config.merge_every.max(1);
         let global = Mutex::new(std::mem::take(&mut self.global));
         let per_worker: Vec<Vec<(usize, SeedRun)>> = std::thread::scope(|scope| {
@@ -448,8 +461,11 @@ impl Campaign {
         let mut diffs_found = 0;
         let mut iterations = 0;
         // The rarity energy model credits steps against the union as it
-        // stood when they ran (one epoch's granularity).
-        let global_coverage = self.mean_coverage();
+        // stood when they ran (one epoch's granularity), per metric
+        // component — a boundary corner found while the section union is
+        // nearly saturated still earns the full rarity multiplier of the
+        // (much emptier) boundary component.
+        let global_coverage = dx_coverage::mean_component_coverage(&self.global);
         for i in 0..ids.len() {
             let (id, run) = cursors[i % n_workers].next().expect("one result per job");
             iterations += run.iterations;
@@ -465,9 +481,9 @@ impl Campaign {
                     target_model: test.target_model,
                 });
             }
-            self.corpus.absorb(id, &run, global_coverage);
+            self.corpus.absorb(id, &run, &global_coverage);
         }
-        let covered_after: usize = self.global.iter().map(|t| t.covered_count()).sum();
+        let covered_after = self.covered_units();
         self.report.epochs.push(EpochStats {
             epoch,
             seeds_run: ids.len(),
@@ -475,6 +491,10 @@ impl Campaign {
             iterations,
             newly_covered: covered_after - covered_before,
             mean_coverage: self.mean_coverage(),
+            // `self.global` has not changed since `global_coverage` was
+            // computed (absorb only touches the corpus), so the energy
+            // model's saturation view and the reported column agree.
+            component_coverage: global_coverage,
             corpus_len: self.corpus.len(),
             elapsed: started.elapsed(),
         });

@@ -299,7 +299,7 @@ mod tests {
         // Resume with *unprimed* profiles: the checkpointed ones must be
         // restored from disk, not re-derived.
         let mut unprimed = suite(70);
-        unprimed.signal.metric = dx_coverage::MetricKind::Multisection { k: 4 };
+        unprimed.signal.metric = dx_coverage::MetricKind::Multisection { k: 4 }.into();
         let mut resumed = Campaign::resume(unprimed, config(2, &dir_b)).unwrap();
         resumed.run().unwrap();
 

@@ -17,6 +17,11 @@ pub struct EpochStats {
     pub newly_covered: usize,
     /// Mean global coverage after the epoch, in `[0, 1]`.
     pub mean_coverage: f32,
+    /// Mean global coverage per metric component after the epoch (one
+    /// entry for simple metrics, one per component for composites like
+    /// `multisection:4+boundary`; empty in records loaded from checkpoints
+    /// written before composite metrics existed).
+    pub component_coverage: Vec<f32>,
     /// Corpus size after the epoch.
     pub corpus_len: usize,
     /// Wall-clock time of the epoch.
@@ -92,16 +97,23 @@ impl CampaignReport {
             .collect()
     }
 
-    /// Renders the report as a human-readable table.
+    /// Renders the report as a human-readable table. Campaigns steering by
+    /// a composite metric get an extra per-component coverage column
+    /// (`a+b%`, in the metric spec's component order).
     pub fn render(&self) -> String {
         let mut out = String::new();
+        let composite = self.epochs.iter().any(|e| e.component_coverage.len() > 1);
         out.push_str(&format!(
-            "{:>5} {:>7} {:>7} {:>8} {:>8} {:>9} {:>10} {:>10} {:>8}\n",
+            "{:>5} {:>7} {:>7} {:>8} {:>8} {:>9} {:>10} {:>10} {:>8}",
             "epoch", "seeds", "diffs", "new-cov", "cover%", "corpus", "seeds/s", "diffs/s", "secs"
         ));
+        if composite {
+            out.push_str("  per-component%");
+        }
+        out.push('\n');
         for e in &self.epochs {
             out.push_str(&format!(
-                "{:>5} {:>7} {:>7} {:>8} {:>7.2}% {:>9} {:>10.2} {:>10.2} {:>8.2}\n",
+                "{:>5} {:>7} {:>7} {:>8} {:>7.2}% {:>9} {:>10.2} {:>10.2} {:>8.2}",
                 e.epoch,
                 e.seeds_run,
                 e.diffs_found,
@@ -112,6 +124,12 @@ impl CampaignReport {
                 e.diffs_per_sec(),
                 e.elapsed.as_secs_f64(),
             ));
+            if composite {
+                let per: Vec<String> =
+                    e.component_coverage.iter().map(|c| format!("{:.2}", 100.0 * c)).collect();
+                out.push_str(&format!("  {}", per.join("+")));
+            }
+            out.push('\n');
         }
         out.push_str(&format!(
             "total: {} seeds, {} diffs in {:.2}s with {} worker(s) \
@@ -139,6 +157,7 @@ mod tests {
             iterations: seeds * 10,
             newly_covered: 3,
             mean_coverage: 0.1 * (i + 1) as f32,
+            component_coverage: vec![0.1 * (i + 1) as f32],
             corpus_len: seeds + i,
             elapsed: Duration::from_millis(ms),
         }
@@ -165,6 +184,18 @@ mod tests {
         let text = report.render();
         assert!(text.contains("seeds/s"));
         assert!(text.contains("total: 5 seeds, 1 diffs"));
+    }
+
+    #[test]
+    fn render_adds_per_component_column_for_composite_metrics() {
+        let single = CampaignReport { epochs: vec![epoch(0, 5, 1, 100)], workers: 1 };
+        assert!(!single.render().contains("per-component%"));
+        let mut comp = epoch(0, 5, 1, 100);
+        comp.component_coverage = vec![0.25, 0.0625];
+        let report = CampaignReport { epochs: vec![comp], workers: 1 };
+        let text = report.render();
+        assert!(text.contains("per-component%"), "{text}");
+        assert!(text.contains("25.00+6.25"), "{text}");
     }
 
     #[test]

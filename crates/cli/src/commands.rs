@@ -6,7 +6,7 @@ use std::path::PathBuf;
 use deepxplore::generator::Generator;
 use deepxplore::hyper::NeuronPick;
 use deepxplore::{Constraint, Hyperparams};
-use dx_coverage::{CoverageConfig, CoverageTracker, MetricKind, SignalSpec};
+use dx_coverage::{CoverageConfig, CoverageTracker, MetricSpec, SignalSpec};
 use dx_models::{DatasetKind, Scale, Zoo, ZooConfig};
 use dx_nn::util::gather_rows;
 use dx_tensor::{rng, Image};
@@ -61,12 +61,17 @@ CAMPAIGN OPTIONS:
     --energy <classic|rarity>
                            Corpus energy model; `rarity` weights newly
                            covered units by global-union saturation.
-    --metric <neuron|multisection[:k]>
-                           Coverage signal the campaign steers by
-                           (default: neuron). `multisection:k` primes
-                           per-neuron output ranges from the training set
-                           at startup and counts range sections (DeepGauge;
-                           k defaults to 4).
+    --metric <spec>        Coverage signal the campaign steers by
+                           (default: neuron). spec = metric[+metric...],
+                           metric = neuron | multisection[:k] | boundary.
+                           `multisection:k` primes per-neuron output ranges
+                           from the training set at startup and counts
+                           range sections (DeepGauge; k defaults to 4);
+                           `boundary` counts the corner regions outside
+                           those ranges (below low / above high). Joining
+                           metrics with `+` (e.g. multisection:8+boundary)
+                           steers by the union of the components, with
+                           per-component report columns and rarity energy.
     --rng <seed>           Campaign master seed (default: 42).
     (campaign also honors generate's --constraint/--lambda1/--lambda2/
      --step/--max-iters/--pick hyperparameter options.)
@@ -302,8 +307,9 @@ const PROFILE_INPUTS: usize = 128;
 
 /// Builds the model suite a campaign/coordinator/worker runs on, plus the
 /// dataset and the suite label used as the distributed-admission
-/// fingerprint. With `--metric multisection[:k]`, per-model neuron
-/// profiles are primed from the training set here, at startup.
+/// fingerprint. With a profile-based `--metric` (any spec mentioning
+/// `multisection` or `boundary`), per-model neuron profiles are primed
+/// from the training set here, at startup.
 fn build_suite(
     args: &Args,
     command: &str,
@@ -312,15 +318,17 @@ fn build_suite(
     let mut zoo = zoo_for(args);
     let models = zoo.trio(kind);
     let ds = zoo.dataset(kind).clone();
-    let metric: MetricKind = args.get_or("metric", "neuron").parse()?;
-    let mut signal =
-        SignalSpec { config: CoverageConfig::scaled(0.25), metric, profiles: Vec::new() };
+    let metric: MetricSpec = args
+        .get_or("metric", "neuron")
+        .parse()
+        .map_err(|e: String| format!("option --metric: {e}"))?;
+    let mut signal = SignalSpec::of(CoverageConfig::scaled(0.25), metric.clone(), Vec::new());
     // On resume the checkpointed profiles are authoritative and replace
     // whatever the suite carries, so priming here would be thrown away —
     // skip the (hundreds of) forward passes. Workers have no resume path
     // and always prime.
     let resuming = command != "worker" && args.get("resume").is_some();
-    if metric != MetricKind::Neuron {
+    if metric.needs_profiles() {
         if resuming {
             println!("{metric} profiles will be restored from the checkpoint");
         } else {

@@ -72,9 +72,14 @@ pub struct SeedRun {
     pub preexisting: bool,
     /// Gradient-ascent iterations taken.
     pub iterations: usize,
-    /// Coverage units (neurons, or multisection range sections) newly
-    /// covered across all models during this step.
+    /// Coverage units (neurons, multisection range sections, or boundary
+    /// corners) newly covered across all models during this step.
     pub newly_covered: usize,
+    /// [`SeedRun::newly_covered`] split by metric component, in the
+    /// signal's component order (one entry for simple metrics). Campaign
+    /// energy models use this to reward progress per component — a rare
+    /// boundary corner is worth more than yet another neuron section.
+    pub newly_by_component: Vec<usize>,
     /// The last intermediate input that covered new neurons while the
     /// models still agreed — a coverage-guided corpus candidate.
     pub corpus_candidate: Option<Tensor>,
@@ -319,12 +324,13 @@ impl Generator {
             preexisting: false,
             iterations: 0,
             newly_covered: 0,
+            newly_by_component: vec![0; self.signals[0].n_components()],
             corpus_candidate: None,
         };
         let mut passes: Vec<_> = self.models.iter().map(|m| m.forward(seed_x)).collect();
         let initial = self.predictions_of(&passes);
         for (pass, tracker) in passes.iter().zip(self.signals.iter_mut()) {
-            run.newly_covered += tracker.update(pass);
+            run.newly_covered += tracker.update_accum(pass, &mut run.newly_by_component);
         }
         if differs(&initial, threshold) {
             run.preexisting = true;
@@ -359,7 +365,7 @@ impl Generator {
             let newly: usize = passes
                 .iter()
                 .zip(self.signals.iter_mut())
-                .map(|(pass, tracker)| tracker.update(pass))
+                .map(|(pass, tracker)| tracker.update_accum(pass, &mut run.newly_by_component))
                 .sum();
             run.newly_covered += newly;
             let found = differs(&preds, threshold);

@@ -19,6 +19,7 @@
 
 #![warn(missing_docs)]
 
+pub mod boundary;
 pub mod multisection;
 pub mod neuron;
 pub mod opcov;
@@ -26,7 +27,8 @@ pub mod overlap;
 pub mod signal;
 pub mod tracker;
 
+pub use boundary::BoundaryTracker;
 pub use multisection::{MultisectionTracker, NeuronProfile};
 pub use neuron::{Granularity, NeuronId};
-pub use signal::{CoverageSignal, MetricKind, SignalSpec};
+pub use signal::{mean_component_coverage, CoverageSignal, MetricKind, MetricSpec, SignalSpec};
 pub use tracker::{CoverageConfig, CoverageTracker};

@@ -21,15 +21,17 @@ use rand::Rng as _;
 
 use crate::neuron::{neuron_count, neuron_values, Granularity, NeuronId};
 
-/// Profiled output range of every tracked neuron.
+/// Profiled output range of every tracked neuron. Shared by the
+/// multisection tracker (sections *inside* the range) and the boundary
+/// tracker (`crate::boundary`, the corner regions *outside* it).
 #[derive(Clone, Debug)]
 pub struct NeuronProfile {
-    activations: Vec<usize>,
+    pub(crate) activations: Vec<usize>,
     /// Base offset of each tracked activation in the flat neuron space.
-    bases: Vec<usize>,
-    granularity: Granularity,
-    low: Vec<f32>,
-    high: Vec<f32>,
+    pub(crate) bases: Vec<usize>,
+    pub(crate) granularity: Granularity,
+    pub(crate) low: Vec<f32>,
+    pub(crate) high: Vec<f32>,
 }
 
 impl NeuronProfile {
@@ -114,17 +116,24 @@ impl NeuronProfile {
 
     /// Whether a neuron's profiled range can be sectioned at all: finite
     /// bounds with `high > low`. Constant and unprofiled neurons are not.
-    fn coverable(&self, i: usize) -> bool {
+    pub(crate) fn coverable(&self, i: usize) -> bool {
         self.low[i].is_finite() && self.high[i].is_finite() && self.high[i] > self.low[i]
     }
 
     /// Translates a flat neuron offset back to a [`NeuronId`].
-    fn id_of(&self, flat: usize) -> NeuronId {
+    pub(crate) fn id_of(&self, flat: usize) -> NeuronId {
         let slot = match self.bases.binary_search(&flat) {
             Ok(s) => s,
             Err(s) => s - 1,
         };
         NeuronId { activation: self.activations[slot], index: flat - self.bases[slot] }
+    }
+
+    /// The inverse of [`NeuronProfile::id_of`]: the flat offset of a
+    /// [`NeuronId`], or `None` when its activation is not tracked.
+    pub(crate) fn flat_of(&self, id: NeuronId) -> Option<usize> {
+        let slot = self.activations.iter().position(|&a| a == id.activation)?;
+        Some(self.bases[slot] + id.index)
     }
 }
 
@@ -188,7 +197,7 @@ impl MultisectionTracker {
     pub fn update(&mut self, pass: &ForwardPass) -> usize {
         let mut newly = 0;
         let mut base = 0;
-        for &a in &self.profile.activations.clone() {
+        for &a in &self.profile.activations {
             let values = neuron_values(pass, a, self.profile.granularity, false);
             for (j, &v) in values.iter().enumerate() {
                 let i = base + j;
@@ -196,8 +205,15 @@ impl MultisectionTracker {
                 if !lo.is_finite() || !hi.is_finite() || hi <= lo {
                     continue; // Unprofiled or constant neuron.
                 }
+                if !v.is_finite() {
+                    // NaN passes both range guards below and `NaN as usize`
+                    // saturates to 0, which used to spuriously mark section
+                    // 0 as hit; ±inf would index out of range.
+                    continue;
+                }
                 if v < lo || v > hi {
-                    continue; // Outside the profiled range (corner region).
+                    continue; // Outside the profiled range (corner region —
+                              // tracked by `crate::boundary`, not here).
                 }
                 let section = (((v - lo) / (hi - lo)) * self.k as f32)
                     .floor()
@@ -349,6 +365,13 @@ impl MultisectionTracker {
             && self.hit[neuron * self.k..(neuron + 1) * self.k].iter().any(|&h| !h)
     }
 
+    /// Whether the obj2 term can still make progress on `id` under this
+    /// metric — composite signals use this to route direction queries to
+    /// the component that actually wants the neuron.
+    pub fn neuron_incomplete(&self, id: NeuronId) -> bool {
+        self.profile.flat_of(id).is_some_and(|flat| self.incomplete(flat))
+    }
+
     /// Picks up to `n` distinct random neurons with unhit sections — the
     /// multisection analogue of
     /// [`crate::CoverageTracker::pick_uncovered_k`]. Pair each pick with
@@ -377,10 +400,9 @@ impl MultisectionTracker {
     /// activation — actively moving *away* from unhit sections that sit
     /// below the current operating point.
     pub fn target_direction(&self, id: NeuronId, pass: &ForwardPass) -> f32 {
-        let Some(slot) = self.profile.activations.iter().position(|&a| a == id.activation) else {
+        let Some(flat) = self.profile.flat_of(id) else {
             return 1.0;
         };
-        let flat = self.profile.bases[slot] + id.index;
         if !self.profile.coverable(flat) {
             return 1.0;
         }
@@ -426,7 +448,7 @@ impl MultisectionTracker {
 
 /// Bitwise range equality — profiled bounds include ±infinity for
 /// unprofiled neurons, and resumes must match checkpoints exactly.
-fn ranges_eq(a: &[f32], b: &[f32]) -> bool {
+pub(crate) fn ranges_eq(a: &[f32], b: &[f32]) -> bool {
     a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
 }
 
@@ -434,7 +456,7 @@ fn ranges_eq(a: &[f32], b: &[f32]) -> bool {
 mod tests {
     use super::*;
     use dx_nn::layer::Layer;
-    use dx_tensor::rng;
+    use dx_tensor::{rng, Tensor};
 
     fn net(seed: u64) -> Network {
         let mut n = Network::new(
@@ -575,6 +597,29 @@ mod tests {
         // (total-1)/total.
         assert!(t.coverage() > 0.95, "coverage stuck at {}", t.coverage());
         assert!(t.covered_count() <= t.coverable_units());
+    }
+
+    #[test]
+    fn nan_activations_hit_no_sections() {
+        // Regression: a NaN activation passed both `v < lo` and `v > hi`
+        // guards, and `NaN as usize` saturates to 0 — so section 0 of every
+        // NaN-valued neuron was spuriously marked hit.
+        let n = net(60);
+        let p = primed_profile(&n, 20, 61);
+        let mut t = MultisectionTracker::new(p, 4);
+        // A NaN input propagates NaN through the whole forward pass.
+        let nan_x = Tensor::from_vec(vec![f32::NAN; 6], &[1, 6]);
+        let pass = n.forward(&nan_x);
+        assert!(
+            neuron_values(&pass, t.profile.activations[0], Granularity::Unit, false)
+                .iter()
+                .any(|v| v.is_nan()),
+            "test needs a NaN-producing pass"
+        );
+        assert_eq!(t.update(&pass), 0, "NaN activations must not hit sections");
+        assert_eq!(t.covered_count(), 0);
+        // Idempotent: replaying the NaN pass stays at zero.
+        assert_eq!(t.update(&pass), 0);
     }
 
     #[test]

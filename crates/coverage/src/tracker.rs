@@ -150,6 +150,16 @@ impl CoverageTracker {
         self.covered.iter().enumerate().filter(|(_, &c)| !c).map(|(i, _)| self.id_of(i)).collect()
     }
 
+    /// Whether a specific neuron is still uncovered (`false` for neurons
+    /// on untracked activations) — composite signals use this to route
+    /// obj2 direction queries to the component that wants the neuron.
+    pub fn is_uncovered(&self, id: NeuronId) -> bool {
+        let Some(slot) = self.activations.iter().position(|&a| a == id.activation) else {
+            return false;
+        };
+        self.covered.get(self.bases[slot] + id.index).is_some_and(|&c| !c)
+    }
+
     /// Picks a random uncovered neuron (Algorithm 1 line 33), or `None` when
     /// coverage is complete.
     pub fn pick_uncovered(&self, r: &mut Rng) -> Option<NeuronId> {

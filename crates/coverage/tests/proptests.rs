@@ -1,8 +1,10 @@
 //! Property-based tests of coverage-tracker invariants — for the paper's
-//! binary neuron metric and the DeepGauge multisection refinement alike.
+//! binary neuron metric, the DeepGauge multisection refinement, its
+//! boundary/corner complement, and composite multi-signal coverage alike.
 
+use dx_coverage::boundary::BoundaryTracker;
 use dx_coverage::multisection::{MultisectionTracker, NeuronProfile};
-use dx_coverage::{CoverageConfig, CoverageTracker, Granularity};
+use dx_coverage::{CoverageConfig, CoverageSignal, CoverageTracker, Granularity, SignalSpec};
 use dx_nn::layer::Layer;
 use dx_nn::network::Network;
 use dx_tensor::{rng, Tensor};
@@ -27,16 +29,42 @@ fn input() -> impl Strategy<Value = Tensor> {
     proptest::collection::vec(0.0f32..1.0, 36).prop_map(|v| Tensor::from_vec(v, &[1, 1, 6, 6]))
 }
 
-/// A multisection tracker over a deterministically primed profile of
-/// `net(seed)` — every call with the same arguments sections identically,
-/// so trackers are mutually compatible.
-fn ms_tracker(n: &Network, prime_seed: u64, k: usize) -> MultisectionTracker {
+/// Inputs well outside the profiling distribution, so boundary corners
+/// actually get hit.
+fn wild_input() -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(-4.0f32..4.0, 36).prop_map(|v| Tensor::from_vec(v, &[1, 1, 6, 6]))
+}
+
+/// A deterministically primed profile of `net(seed)` — every call with
+/// the same arguments profiles identically, so trackers over it are
+/// mutually compatible.
+fn primed(n: &Network, prime_seed: u64) -> NeuronProfile {
     let mut profile = NeuronProfile::new(n, Granularity::ChannelMean);
     let mut r = rng::rng(prime_seed);
     for _ in 0..12 {
         profile.observe(&n.forward(&rng::uniform(&mut r, &[1, 1, 6, 6], 0.0, 1.0)));
     }
-    MultisectionTracker::new(profile, k)
+    profile
+}
+
+/// A multisection tracker over a deterministically primed profile.
+fn ms_tracker(n: &Network, prime_seed: u64, k: usize) -> MultisectionTracker {
+    MultisectionTracker::new(primed(n, prime_seed), k)
+}
+
+/// A boundary tracker over the same deterministic profiles.
+fn b_tracker(n: &Network, prime_seed: u64) -> BoundaryTracker {
+    BoundaryTracker::new(primed(n, prime_seed))
+}
+
+/// A composite multisection+boundary signal over the same profiles.
+fn composite_signal(n: &Network, prime_seed: u64, k: usize) -> CoverageSignal {
+    let spec = SignalSpec::of(
+        CoverageConfig::default(),
+        format!("multisection:{k}+boundary").parse().expect("spec"),
+        vec![primed(n, prime_seed)],
+    );
+    spec.build(std::slice::from_ref(n)).remove(0)
 }
 
 proptest! {
@@ -259,5 +287,141 @@ proptest! {
             last = c;
         }
         prop_assert!(t.covered_count() <= t.coverable_units());
+    }
+
+    // Boundary/corner coverage: the same algebra over the units the
+    // multisection metric skips.
+
+    #[test]
+    fn boundary_merge_is_commutative_and_dominates_inputs(
+        xa in wild_input(),
+        xb in wild_input(),
+    ) {
+        let n = net(14);
+        let mut a = b_tracker(&n, 95);
+        let mut b = b_tracker(&n, 95);
+        a.update(&n.forward(&xa));
+        b.update(&n.forward(&xb));
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(ab.covered_count(), ba.covered_count());
+        prop_assert_eq!(ab.covered_mask(), ba.covered_mask());
+        // The merged union dominates each input.
+        prop_assert!(ab.covered_count() >= a.covered_count().max(b.covered_count()));
+        // Idempotent: merging again changes nothing.
+        prop_assert_eq!(ab.merge(&b), 0);
+    }
+
+    #[test]
+    fn boundary_delta_sync_round_trips(
+        xs_a in proptest::collection::vec(wild_input(), 1..4),
+        xs_b in proptest::collection::vec(wild_input(), 1..4),
+    ) {
+        let n = net(15);
+        let mut a = b_tracker(&n, 96);
+        let mut b = b_tracker(&n, 96);
+        for x in &xs_a { a.update(&n.forward(x)); }
+        for x in &xs_b { b.update(&n.forward(x)); }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        // diff/apply converges to the same union as merge, both ways.
+        let mut synced = a.clone();
+        let delta_b = b.diff_indices(&synced);
+        prop_assert!(delta_b.iter().all(|&i| i < b.total()));
+        prop_assert_eq!(synced.apply_covered_indices(&delta_b), delta_b.len());
+        prop_assert_eq!(synced.covered_mask(), merged.covered_mask());
+        let delta_a = synced.diff_indices(&b);
+        b.apply_covered_indices(&delta_a);
+        prop_assert_eq!(b.covered_mask(), merged.covered_mask());
+        prop_assert!(synced.diff_indices(&b).is_empty());
+        prop_assert!(b.diff_indices(&synced).is_empty());
+        prop_assert!(merged.covered_count() <= merged.coverable_units());
+    }
+
+    // Composite signals: the component-prefixed flat space must honor the
+    // same merge/delta algebra, because campaigns and the dist wire treat
+    // simple and composite signals through one code path.
+
+    #[test]
+    fn composite_merge_is_commutative_idempotent_and_monotone(
+        xa in wild_input(),
+        xb in wild_input(),
+        k in 1usize..5,
+    ) {
+        let n = net(16);
+        let mut a = composite_signal(&n, 97, k);
+        let mut b = composite_signal(&n, 97, k);
+        a.update(&n.forward(&xa));
+        b.update(&n.forward(&xb));
+        prop_assert!(a.compatible(&b));
+        let mut ab = a.clone();
+        let newly = ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(ab.covered_count(), ba.covered_count());
+        prop_assert_eq!(ab.covered_mask(), ba.covered_mask());
+        prop_assert_eq!(ab.covered_count(), a.covered_count() + newly);
+        prop_assert!(ab.covered_count() >= a.covered_count().max(b.covered_count()));
+        prop_assert_eq!(ab.merge(&b), 0);
+        let ab_clone = ab.clone();
+        prop_assert_eq!(ab.merge(&ab_clone), 0);
+    }
+
+    #[test]
+    fn composite_delta_sync_converges_to_merge(
+        xs_a in proptest::collection::vec(wild_input(), 1..4),
+        xs_b in proptest::collection::vec(wild_input(), 1..4),
+        k in 1usize..5,
+    ) {
+        let n = net(17);
+        let mut a = composite_signal(&n, 98, k);
+        let mut b = composite_signal(&n, 98, k);
+        for x in &xs_a { a.update(&n.forward(x)); }
+        for x in &xs_b { b.update(&n.forward(x)); }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        let mut synced = a.clone();
+        let delta = b.diff_indices(&synced);
+        prop_assert!(delta.iter().all(|&i| i < b.total()));
+        prop_assert_eq!(synced.apply_covered_indices(&delta), delta.len());
+        prop_assert_eq!(synced.covered_mask(), merged.covered_mask());
+        prop_assert_eq!(synced.coverage(), merged.coverage());
+        // Round trip back and idempotence.
+        let delta_a = synced.diff_indices(&b);
+        b.apply_covered_indices(&delta_a);
+        prop_assert_eq!(b.covered_mask(), merged.covered_mask());
+        prop_assert!(synced.diff_indices(&b).is_empty());
+    }
+
+    #[test]
+    fn composite_units_and_indices_are_component_consistent(
+        xs in proptest::collection::vec(wild_input(), 1..4),
+        k in 1usize..5,
+    ) {
+        let n = net(18);
+        let mut s = composite_signal(&n, 99, k);
+        for x in &xs { s.update(&n.forward(x)); }
+        // Totals and covered counts are the component sums.
+        let comp_total: usize = s.components().iter().map(CoverageSignal::total).sum();
+        let comp_covered: usize =
+            s.components().iter().map(CoverageSignal::covered_count).sum();
+        prop_assert_eq!(s.total(), comp_total);
+        prop_assert_eq!(s.covered_count(), comp_covered);
+        // Covered indices match the mask, stay in range, and reproduce the
+        // signal when applied to a fresh peer.
+        let idx = s.covered_indices();
+        prop_assert_eq!(idx.len(), s.covered_count());
+        prop_assert!(idx.iter().all(|&i| i < s.total()));
+        let mask = s.covered_mask();
+        prop_assert!(idx.iter().all(|&i| mask[i]));
+        let mut fresh = composite_signal(&n, 99, k);
+        fresh.apply_covered_indices(&idx);
+        prop_assert_eq!(fresh.covered_mask(), mask);
+        // Mask round trip through set_covered_mask.
+        let mut restored = composite_signal(&n, 99, k);
+        restored.set_covered_mask(&s.covered_mask());
+        prop_assert_eq!(restored.covered_count(), s.covered_count());
     }
 }

@@ -780,7 +780,9 @@ impl Coordinator {
     /// to seeds this worker legitimately holds. Returns a checkpoint
     /// snapshot to write (outside the state lock) when a round closed.
     fn absorb_items(&self, st: &mut State, s: u64, items: &[&JobResult]) -> Option<CheckpointJob> {
-        let global_coverage = mean_coverage(&st.global);
+        // Per-component saturation, so the rarity energy model credits a
+        // find against its own component's union, not the pooled mean.
+        let global_coverage = dx_coverage::mean_component_coverage(&st.global);
         let epoch = st.epochs.len();
         for item in items {
             st.steps_done += 1;
@@ -800,7 +802,7 @@ impl Coordinator {
                     target_model: test.target_model,
                 });
             }
-            st.corpus.absorb(item.seed_id, &item.run, global_coverage);
+            st.corpus.absorb(item.seed_id, &item.run, &global_coverage);
         }
         let ckpt = if st.round.seeds_run >= self.cfg.batch_per_round {
             self.flush_round(st)
@@ -844,6 +846,7 @@ impl Coordinator {
             iterations: round.iterations,
             newly_covered: round.newly_covered,
             mean_coverage: mean_coverage(&st.global),
+            component_coverage: dx_coverage::mean_component_coverage(&st.global),
             corpus_len: st.corpus.len(),
             elapsed: st.round_started.elapsed(),
         });
@@ -863,7 +866,7 @@ impl Coordinator {
             corpus: st.corpus.clone(),
             report: CampaignReport { epochs: st.epochs.clone(), workers },
             diffs: st.diffs.clone(),
-            masks: st.global.iter().map(|t| t.covered_mask().to_vec()).collect(),
+            masks: st.global.iter().map(CoverageSignal::covered_mask).collect(),
             signal: checkpoint::SignalCheckpoint::of(&st.global),
             meta: checkpoint::Meta {
                 epochs_done: st.epochs.len(),

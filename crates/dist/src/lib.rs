@@ -282,6 +282,16 @@ mod tests {
         s
     }
 
+    /// A suite steering by a composite metric spec (e.g.
+    /// `multisection:4+boundary`), profiles primed like [`ms_suite`].
+    fn composite_suite(seed: u64, spec: &str) -> ModelSuite {
+        let mut s = suite(seed);
+        let train = rng::uniform(&mut rng::rng(seed ^ 0x7a1d), &[40, 16], 0.0, 1.0);
+        s.signal = SignalSpec::of(CoverageConfig::default(), spec.parse().unwrap(), Vec::new())
+            .primed(&s.models, &train, 40);
+        s
+    }
+
     fn tmp_dir(name: &str) -> std::path::PathBuf {
         let dir = std::env::temp_dir().join(format!("dx_dist_{name}"));
         let _ = std::fs::remove_dir_all(&dir);
@@ -390,6 +400,74 @@ mod tests {
             let local: f32 = w.coverage.iter().sum::<f32>() / w.coverage.len() as f32;
             assert!(merged >= local - 1e-6, "merged {merged} < worker {local}");
         }
+    }
+
+    #[test]
+    fn composite_metric_fleet_unions_every_component() {
+        // A 2-worker fleet steering by multisection+boundary: the
+        // component-prefixed deltas flow over the wire and the merged
+        // union dominates every worker's local view — including the
+        // boundary corners only one worker may have reached.
+        let s = composite_suite(97, "multisection:4+boundary");
+        let (report, workers) = run_local(
+            &s,
+            "comp@test",
+            &seed_batch(98, 10),
+            quick_cfg(12),
+            WorkerConfig::default(),
+            2,
+        )
+        .unwrap();
+        assert!(report.steps_done >= 12);
+        let merged: f32 = report.coverage.iter().sum::<f32>() / report.coverage.len() as f32;
+        assert!(merged > 0.0);
+        for w in &workers {
+            let local: f32 = w.coverage.iter().sum::<f32>() / w.coverage.len() as f32;
+            assert!(merged >= local - 1e-6, "merged {merged} < worker {local}");
+        }
+        // Rounds report per-component coverage columns.
+        let last = report.report.epochs.last().unwrap();
+        assert_eq!(last.component_coverage.len(), 2);
+    }
+
+    #[test]
+    fn mismatched_composite_metric_is_rejected_at_hello() {
+        // A worker running the bare multisection metric (or the same
+        // components in a different order) must not join a composite
+        // campaign: its flat unit offsets would mean different units.
+        let s = composite_suite(99, "multisection:4+boundary");
+        let coordinator = Coordinator::new(&s, "comp@test", &seed_batch(100, 4), quick_cfg(4));
+        let listener = std::net::TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = coordinator.drain_handle();
+        std::thread::scope(|scope| {
+            scope.spawn(move || {
+                for wrong_spec in ["multisection:4", "boundary+multisection:4", "boundary"] {
+                    let wrong = suite_fingerprint(&composite_suite(99, wrong_spec), "comp@test");
+                    let replies = worker::scripted(
+                        addr,
+                        &[Msg::Hello { version: PROTOCOL_VERSION, fingerprint: wrong }],
+                    )
+                    .unwrap();
+                    assert!(
+                        matches!(&replies[0], Msg::Reject { .. }),
+                        "`{wrong_spec}` admitted: {:?}",
+                        replies[0]
+                    );
+                }
+                // The matching composite spec is admitted.
+                let right =
+                    suite_fingerprint(&composite_suite(99, "multisection:4+boundary"), "comp@test");
+                let replies = worker::scripted(
+                    addr,
+                    &[Msg::Hello { version: PROTOCOL_VERSION, fingerprint: right }],
+                )
+                .unwrap();
+                assert!(matches!(&replies[0], Msg::Welcome { .. }), "{:?}", replies[0]);
+                handle.drain();
+            });
+            coordinator.serve(listener).unwrap();
+        });
     }
 
     #[test]
@@ -607,6 +685,7 @@ mod tests {
                             preexisting: false,
                             iterations: 1,
                             newly_covered: 0,
+                            newly_by_component: Vec::new(),
                             corpus_candidate: None,
                         },
                     })

@@ -36,8 +36,10 @@ use dx_tensor::Tensor;
 
 /// Bumped on any incompatible message or codec change; a mismatch is
 /// rejected at `hello` time. v2: metric-generic coverage units plus
-/// hyperparameter/constraint fingerprinting.
-pub const PROTOCOL_VERSION: u64 = 2;
+/// hyperparameter/constraint fingerprinting. v3: composite metric specs
+/// (component-prefixed coverage deltas) and per-component
+/// `newly_by_component` splits in seed-run results.
+pub const PROTOCOL_VERSION: u64 = 3;
 
 /// What the coordinator checks before admitting a worker: both sides must
 /// be fuzzing the same model suite, under the same coverage metric, with
@@ -48,8 +50,11 @@ pub const PROTOCOL_VERSION: u64 = 2;
 pub struct Fingerprint {
     /// Human-readable suite label (e.g. `mnist@test`).
     pub label: String,
-    /// The coverage metric, in `MetricKind` display form
-    /// (`neuron` / `multisection:<k>`).
+    /// The coverage metric spec, in `MetricSpec` display form
+    /// (`neuron`, `multisection:<k>`, `boundary`, or a `+`-joined
+    /// composite like `multisection:4+boundary`). A worker steering by a
+    /// different spec — or the same components in a different order, which
+    /// changes the composite unit-space layout — is rejected at hello.
     pub metric: String,
     /// Per-model tracked-unit totals (neurons, or neuron-sections) — a
     /// cheap structural hash of the models and the coverage configuration.
@@ -94,7 +99,11 @@ impl Fingerprint {
 
 /// Per-model sparse coverage delta: newly covered flat unit offsets
 /// (neurons under the paper's metric, neuron-sections under
-/// multisection — whichever metric the fingerprint admitted).
+/// multisection, corners under boundary — whichever metric the
+/// fingerprint admitted). Under a composite metric the offsets are
+/// component-prefixed: each component's units are shifted by the
+/// preceding components' totals, so one flat list carries every
+/// component's news (see `dx_coverage::CoverageSignal::diff_indices`).
 pub type CovDelta = Vec<Vec<usize>>;
 
 /// The delta routine both protocol sides share: everything `source`
@@ -447,6 +456,7 @@ mod tests {
                     preexisting: false,
                     iterations: 12,
                     newly_covered: 3,
+                    newly_by_component: vec![3],
                     corpus_candidate: Some(input.clone()),
                 },
             }],

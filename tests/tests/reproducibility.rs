@@ -168,6 +168,89 @@ fn campaign_checkpoint_round_trips_corpus_exactly() {
 }
 
 #[test]
+fn composite_campaign_outcovers_multisection_and_resumes_bit_identically() {
+    // The corner-region acceptance property on the MNIST trio: steering by
+    // `multisection:4+boundary` must find strictly more covered units than
+    // `multisection:4` alone (the corner regions are invisible to the
+    // latter), and a composite campaign interrupted at its checkpoint must
+    // continue bit-identically to the uninterrupted run.
+    let mut zoo = test_zoo();
+    let models = zoo.trio(DatasetKind::Mnist);
+    let ds = zoo.dataset(DatasetKind::Mnist).clone();
+    let seeds = gather_rows(&ds.test_x, &(0..8).collect::<Vec<_>>());
+    let prime = 64.min(ds.train_x.shape()[0]);
+    let ms =
+        SignalSpec::of(CoverageConfig::scaled(0.25), "multisection:4".parse().unwrap(), Vec::new())
+            .primed(&models, &ds.train_x, prime);
+    // The composite shares the multisection profiles: same ranges, so the
+    // two campaigns disagree only in which units they can count.
+    let composite = SignalSpec::of(
+        CoverageConfig::scaled(0.25),
+        "multisection:4+boundary".parse().unwrap(),
+        ms.profiles.clone(),
+    );
+    let suite_with = |signal: SignalSpec| dx_campaign::ModelSuite {
+        models: models.clone(),
+        kind: TaskKind::Classification,
+        hp: Hyperparams::image_defaults(),
+        constraint: Constraint::Lighting,
+        signal,
+    };
+    let cfg = |epochs: usize, dir: Option<std::path::PathBuf>| dx_campaign::CampaignConfig {
+        workers: 1,
+        epochs,
+        batch_per_epoch: 6,
+        checkpoint_dir: dir,
+        seed: 321,
+        ..Default::default()
+    };
+
+    let mut ms_campaign = dx_campaign::Campaign::new(suite_with(ms), &seeds, cfg(2, None));
+    ms_campaign.run().unwrap();
+    let mut comp_campaign =
+        dx_campaign::Campaign::new(suite_with(composite.clone()), &seeds, cfg(2, None));
+    comp_campaign.run().unwrap();
+    assert!(
+        comp_campaign.covered_units() > ms_campaign.covered_units(),
+        "composite must cover corner units multisection cannot ({} vs {})",
+        comp_campaign.covered_units(),
+        ms_campaign.covered_units()
+    );
+    // Both components show progress in the per-component view.
+    let per = comp_campaign.component_coverage();
+    assert_eq!(per.len(), 2);
+    assert!(per[0] > 0.0, "section component stalled: {per:?}");
+    assert!(per[1] > 0.0, "boundary component never hit a corner: {per:?}");
+
+    // Bit-identical resume: 4 uninterrupted epochs vs 2 + checkpoint + 2.
+    let dir = std::env::temp_dir().join("dx_composite_resume");
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut full = dx_campaign::Campaign::new(suite_with(composite.clone()), &seeds, cfg(4, None));
+    full.run().unwrap();
+    let mut half = dx_campaign::Campaign::new(
+        suite_with(composite.clone()),
+        &seeds,
+        cfg(2, Some(dir.clone())),
+    );
+    half.run().unwrap();
+    let mut resumed =
+        dx_campaign::Campaign::resume(suite_with(composite), cfg(2, Some(dir.clone()))).unwrap();
+    resumed.run().unwrap();
+    assert_eq!(resumed.epochs_done(), full.epochs_done());
+    assert_eq!(resumed.covered_units(), full.covered_units());
+    assert_eq!(resumed.coverage(), full.coverage());
+    assert_eq!(resumed.diffs().len(), full.diffs().len());
+    assert_eq!(resumed.corpus().len(), full.corpus().len());
+    for (ea, eb) in resumed.corpus().entries().iter().zip(full.corpus().entries()) {
+        assert_eq!(ea.id, eb.id);
+        assert_eq!(ea.input, eb.input, "entry {} diverged across resume", ea.id);
+        assert_eq!(ea.energy.to_bits(), eb.energy.to_bits());
+        assert_eq!(ea.times_fuzzed, eb.times_fuzzed);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn scale_separation_in_cache_names() {
     // Test- and full-scale weights must never collide in the cache.
     let dir = std::env::temp_dir().join("dx_scale_sep");
