@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Compares per-arm seeds/s between two bench_results directories and fails
+# when any arm regressed more than the allowed percentage.
+#
+# Usage: ci/check_bench_regression.sh <baseline_dir> <fresh_dir> [max_regression_pct]
+#
+# The scaling bench tables end every data row with the speedup column
+# ("1.23x"); the seeds/s value is always the 4th field from the end, and
+# everything before it is the arm name. New arms present only in the fresh
+# results are reported but do not fail the check (baselines are updated by
+# the PR that introduces the arm); arms *missing* from the fresh results
+# fail it.
+set -euo pipefail
+
+baseline_dir=${1:?usage: check_bench_regression.sh <baseline_dir> <fresh_dir> [max_pct]}
+fresh_dir=${2:?usage: check_bench_regression.sh <baseline_dir> <fresh_dir> [max_pct]}
+max_pct=${3:-25}
+
+extract() {
+  awk '$NF ~ /^[0-9]+\.[0-9]+x$/ {
+    name = $1
+    for (i = 2; i <= NF - 5; i++) name = name " " $i
+    print name "\t" $(NF - 4)
+  }' "$1"
+}
+
+fail=0
+for bench in campaign_scaling dist_scaling; do
+  base_file="$baseline_dir/$bench.txt"
+  fresh_file="$fresh_dir/$bench.txt"
+  if [ ! -f "$base_file" ]; then
+    echo "FAIL $bench: missing baseline $base_file"
+    fail=1
+    continue
+  fi
+  if [ ! -f "$fresh_file" ]; then
+    echo "FAIL $bench: missing fresh results $fresh_file"
+    fail=1
+    continue
+  fi
+  base_table=$(extract "$base_file")
+  fresh_table=$(extract "$fresh_file")
+  if [ -z "$base_table" ]; then
+    echo "FAIL $bench: no parseable arms in $base_file"
+    fail=1
+    continue
+  fi
+  while IFS=$'\t' read -r arm base_value; do
+    fresh_value=$(printf '%s\n' "$fresh_table" | awk -F'\t' -v a="$arm" '$1 == a { print $2; exit }')
+    if [ -z "$fresh_value" ]; then
+      echo "FAIL $bench / $arm: arm missing from fresh results"
+      fail=1
+      continue
+    fi
+    if ! awk -v base="$base_value" -v fresh="$fresh_value" -v max="$max_pct" \
+             -v tag="$bench / $arm" 'BEGIN {
+          floor = base * (1 - max / 100)
+          if (fresh < floor) {
+            printf "FAIL %s: %.2f seeds/s < %.2f floor (baseline %.2f, max -%s%%)\n",
+                   tag, fresh, floor, base, max
+            exit 1
+          }
+          printf "ok   %s: %.2f seeds/s (baseline %.2f)\n", tag, fresh, base
+        }'; then
+      fail=1
+    fi
+  done <<< "$base_table"
+done
+exit $fail

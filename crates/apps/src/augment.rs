@@ -7,7 +7,7 @@ use dx_nn::Optimizer;
 use dx_tensor::Tensor;
 
 /// Labels an input by majority vote among several models (the paper's
-/// automatic labelling rule, after Freund & Schapire [23]).
+/// automatic labelling rule, after Freund & Schapire \[23\]).
 ///
 /// Returns `None` on a tie — such inputs are discarded rather than
 /// mislabelled.

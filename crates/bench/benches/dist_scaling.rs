@@ -54,11 +54,13 @@ fn env_metric() -> dx_coverage::MetricSpec {
 }
 
 fn main() {
-    // Child mode: this binary re-exec'd as a fleet worker.
+    // Child mode: this binary re-exec'd as a fleet worker. The verified
+    // arm's fleet secret arrives via DX_AUTH_TOKEN, like the CLI's.
     if let Ok(addr) = std::env::var("DX_DIST_WORKER") {
         let (suite, _) = suite_and_seeds(1, &env_metric());
-        run_worker(addr.as_str(), suite, LABEL, WorkerConfig::default())
-            .expect("bench worker failed");
+        let cfg =
+            WorkerConfig { auth_token: std::env::var("DX_AUTH_TOKEN").ok(), ..Default::default() };
+        run_worker(addr.as_str(), suite, LABEL, cfg).expect("bench worker failed");
         return;
     }
 
@@ -141,6 +143,61 @@ fn main() {
         out.line(format!(
             "{:<16} {:>9.2} {:>9.2} {:>9} {:>8.1}% {:>8.2}x",
             format!("dist ({workers} proc)"),
+            sps,
+            report.report.diffs_per_sec(),
+            report.report.total_diffs(),
+            100.0 * merged,
+            sps / baseline_sps,
+        ));
+    }
+
+    // The trust layer's price: HMAC-authenticated admission, every
+    // claimed diff re-executed through the coordinator's own models
+    // (spot-check rate 1.0 — the worst case), and adaptive lease sizing.
+    // Speedup is relative to the unverified 1-process dist arm, so the
+    // column reads directly as verification overhead.
+    for workers in [1usize, 2] {
+        let coordinator = Coordinator::new(
+            &suite,
+            LABEL,
+            &seeds,
+            CoordinatorConfig {
+                max_steps: Some(budget),
+                batch_per_round: batch,
+                lease_size: 4,
+                lease_max: 16,
+                lease_timeout: Duration::from_secs(60),
+                seed: 42,
+                auth_token: Some("bench-fleet-secret".into()),
+                spot_check_rate: 1.0,
+                ..Default::default()
+            },
+        );
+        let listener = std::net::TcpListener::bind(("127.0.0.1", 0)).expect("bind");
+        let addr = listener.local_addr().expect("local addr").to_string();
+        let exe = std::env::current_exe().expect("current exe");
+        let children: Vec<_> = (0..workers)
+            .map(|_| {
+                std::process::Command::new(&exe)
+                    .env("DX_DIST_WORKER", &addr)
+                    .env("DX_AUTH_TOKEN", "bench-fleet-secret")
+                    .env("DX_SCALE", "test")
+                    .stdout(std::process::Stdio::null())
+                    .spawn()
+                    .expect("spawn bench worker")
+            })
+            .collect();
+        let report = coordinator.serve(listener).expect("coordinator serve");
+        for mut child in children {
+            let _ = child.wait();
+        }
+        assert_eq!(report.quarantined, 0, "honest bench workers were quarantined");
+        let sps = report.report.seeds_per_sec();
+        let merged = report.coverage.iter().sum::<f32>() / report.coverage.len() as f32;
+        let baseline_sps = baseline.expect("dist arms ran first");
+        out.line(format!(
+            "{:<16} {:>9.2} {:>9.2} {:>9} {:>8.1}% {:>8.2}x",
+            format!("vrf dist ({workers} proc)"),
             sps,
             report.report.diffs_per_sec(),
             report.report.total_diffs(),

@@ -45,6 +45,65 @@ pub struct ModelSuite {
     pub signal: SignalSpec,
 }
 
+impl ModelSuite {
+    /// Each model's prediction on `input` (batched `[1, ...]`), under the
+    /// suite's task oracle. This is the ground truth a distributed
+    /// coordinator re-derives when spot-checking a worker's claimed
+    /// difference-inducing input.
+    pub fn predictions(&self, input: &Tensor) -> Vec<Prediction> {
+        self.models
+            .iter()
+            .map(|m| {
+                let pass = m.forward(input);
+                match self.kind {
+                    TaskKind::Classification => deepxplore::diff::class_of(pass.output()),
+                    TaskKind::Regression { .. } => deepxplore::diff::value_of(pass.output()),
+                }
+            })
+            .collect()
+    }
+
+    /// The oracle's disagreement dead zone: zero for classifiers, the
+    /// direction threshold for steering regressors.
+    pub fn oracle_threshold(&self) -> f32 {
+        match self.kind {
+            TaskKind::Classification => 0.0,
+            TaskKind::Regression { direction_threshold } => direction_threshold,
+        }
+    }
+
+    /// Whether `input` really is difference-inducing *and* the claimed
+    /// predictions match what the suite's own models say (classes exactly;
+    /// steering values by direction, which is what the oracle compares).
+    /// `false` for any shape- or kind-mismatched claim — fabricated
+    /// results must fail the check, not crash it.
+    pub fn reproduces_difference(&self, input: &Tensor, claimed: &[Prediction]) -> bool {
+        // A wrong-shaped tensor is a failed claim, not a panic inside the
+        // forward pass.
+        let shape_fits = |m: &Network| {
+            input.shape().len() == 1 + m.input_shape().len()
+                && input.shape()[0] == 1
+                && &input.shape()[1..] == m.input_shape()
+        };
+        if !self.models.iter().all(shape_fits) {
+            return false;
+        }
+        let threshold = self.oracle_threshold();
+        let actual = self.predictions(input);
+        if actual.len() != claimed.len() || !deepxplore::diff::differs(&actual, threshold) {
+            return false;
+        }
+        actual.iter().zip(claimed).all(|(a, c)| match (a, c) {
+            (Prediction::Class(a), Prediction::Class(c)) => a == c,
+            (Prediction::Value(a), Prediction::Value(c)) => {
+                deepxplore::diff::direction(*a, threshold)
+                    == deepxplore::diff::direction(*c, threshold)
+            }
+            _ => false,
+        })
+    }
+}
+
 /// Campaign scheduling and persistence knobs.
 #[derive(Clone, Debug)]
 pub struct CampaignConfig {

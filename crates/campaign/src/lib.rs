@@ -418,6 +418,24 @@ mod tests {
     }
 
     #[test]
+    fn reproduces_difference_rejects_malformed_claims_without_panicking() {
+        let s = suite(200);
+        let good = seed_batch(201, 1);
+        let preds = s.predictions(&good);
+        assert_eq!(preds.len(), 3);
+        // A wrong-shaped tensor (a fabricated worker claim) is a failed
+        // check, not a crash inside the forward pass.
+        let bad_shape = rng::uniform(&mut rng::rng(1), &[1, 8], 0.0, 1.0);
+        assert!(!s.reproduces_difference(&bad_shape, &preds));
+        let unbatched = rng::uniform(&mut rng::rng(2), &[16], 0.0, 1.0);
+        assert!(!s.reproduces_difference(&unbatched, &preds));
+        // A claim with the wrong model count fails too.
+        assert!(!s.reproduces_difference(&good, &preds[..1]));
+        // And agreeing models mean the claim cannot reproduce at all.
+        assert!(!s.reproduces_difference(&good, &preds));
+    }
+
+    #[test]
     fn identical_models_yield_no_diffs_but_still_cover() {
         let base = classifier(60);
         let twin_suite = ModelSuite {

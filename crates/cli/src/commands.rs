@@ -80,8 +80,20 @@ COORDINATOR OPTIONS:
     --listen <addr>        Bind address (default: 127.0.0.1:4787).
     --steps <N>            Total seed-step budget; omit for unbounded.
     --batch <N>            Steps per statistics round (default: 32).
-    --lease <N>            Max jobs per worker lease (default: 4).
+    --lease <N>            Jobs per worker lease (default: 4).
+    --lease-max <N>        Adaptive lease ceiling: when above --lease,
+                           per-worker lease sizes grow toward this for
+                           fast workers (default: 0 = fixed leases).
     --lease-timeout <secs> Requeue a silent lease after this (default: 30).
+    --auth-token <secret>  Require workers to prove this shared secret at
+                           admission (HMAC challenge/response). Prefer the
+                           DX_AUTH_TOKEN env var: argv is visible in `ps`.
+    --spot-check-rate <p>  Re-execute this fraction of reported diffs
+                           through the coordinator's own models; claims
+                           that do not reproduce are quarantined and the
+                           worker's lease discarded (default: 0 = off).
+    --trust-threshold <p>  Evict a worker once more than this fraction of
+                           its spot-checked claims failed (default: 0.5).
     --seeds/--checkpoint/--resume/--duration/--target-coverage/
     --max-corpus/--energy/--metric/--rng as for campaign. Type `drain`
     + Enter on stdin for a graceful drain + final checkpoint; EOF alone
@@ -89,15 +101,20 @@ COORDINATOR OPTIONS:
 
 WORKER OPTIONS:
     --connect <addr>       Coordinator address (required).
-    --lease <N>            Jobs requested per lease (default: 4).
+    --lease <N>            Jobs requested per lease (default: 4; advisory —
+                           an adaptive coordinator may grant more).
     --heartbeat-every <N>  Heartbeat before every N-th job (default: 1).
+    --auth-token <secret>  Shared secret answering the coordinator's auth
+                           challenge (or the DX_AUTH_TOKEN env var).
     (Pass the same --dataset/--full/--metric/hyperparameter flags as the
      coordinator; model shapes, the coverage metric, hyperparameters and
      the constraint are all fingerprinted and verified at admission.)
 
 DIST OPTIONS:
     --workers <N>          Local worker processes to spawn (default: 2).
-    (Plus all coordinator options; --listen defaults to an ephemeral port.)
+    (Plus all coordinator options; --listen defaults to an ephemeral port.
+     The auth token is forwarded to spawned workers via DX_AUTH_TOKEN,
+     never via argv.)
 
 COVERAGE OPTIONS:
     --model <id>           Model id (default: the dataset's C1).
@@ -452,7 +469,23 @@ pub fn campaign(args: &Args) -> CmdResult {
     Ok(())
 }
 
+/// The shared fleet secret: `--auth-token` or the `DX_AUTH_TOKEN`
+/// environment variable (preferred — argv is world-readable via `ps`).
+fn auth_token(args: &Args) -> Option<String> {
+    args.get("auth-token")
+        .map(str::to_string)
+        .or_else(|| std::env::var("DX_AUTH_TOKEN").ok().filter(|t| !t.is_empty()))
+}
+
 fn dist_config(args: &Args) -> Result<dx_dist::CoordinatorConfig, Box<dyn Error>> {
+    let spot_check_rate: f32 = args.get_num("spot-check-rate", 0.0)?;
+    if !(0.0..=1.0).contains(&spot_check_rate) {
+        return Err("option --spot-check-rate must be in [0, 1]".into());
+    }
+    let trust_threshold: f32 = args.get_num("trust-threshold", 0.5)?;
+    if !(0.0..=1.0).contains(&trust_threshold) {
+        return Err("option --trust-threshold must be in [0, 1]".into());
+    }
     let cfg = dx_dist::CoordinatorConfig {
         batch_per_round: args.get_num("batch", 32)?,
         max_steps: match args.get("steps") {
@@ -464,6 +497,7 @@ fn dist_config(args: &Args) -> Result<dx_dist::CoordinatorConfig, Box<dyn Error>
         duration: parse_duration(args)?,
         target_coverage: parse_target_coverage(args)?,
         lease_size: args.get_num("lease", 4)?,
+        lease_max: args.get_num("lease-max", 0)?,
         lease_timeout: std::time::Duration::try_from_secs_f64(args.get_num("lease-timeout", 30.0)?)
             .map_err(|_| "option --lease-timeout: expects a non-negative duration".to_string())?,
         checkpoint_dir: args.get("checkpoint").or_else(|| args.get("resume")).map(PathBuf::from),
@@ -471,6 +505,9 @@ fn dist_config(args: &Args) -> Result<dx_dist::CoordinatorConfig, Box<dyn Error>
         seed: args.get_num("rng", 42)?,
         energy: args.get_num("energy", dx_campaign::EnergyModel::Classic)?,
         verbose: true,
+        auth_token: auth_token(args),
+        spot_check_rate,
+        trust_threshold,
     };
     for (flag, value) in [("batch", cfg.batch_per_round), ("lease", cfg.lease_size)] {
         if value == 0 {
@@ -521,6 +558,11 @@ pub fn coordinator(args: &Args) -> CmdResult {
     let coordinator = build_coordinator(args, &suite, &ds, &label)?;
     let listener = std::net::TcpListener::bind(args.get_or("listen", "127.0.0.1:4787"))?;
     println!("coordinator serving `{label}` on {}", listener.local_addr()?);
+    println!(
+        "worker auth: {}; spot-check rate: {}",
+        if auth_token(args).is_some() { "required" } else { "off" },
+        args.get_or("spot-check-rate", "0")
+    );
     println!("type `drain` + Enter for a graceful drain");
     let handle = coordinator.drain_handle();
     std::thread::spawn(move || {
@@ -551,6 +593,7 @@ pub fn worker(args: &Args) -> CmdResult {
     let cfg = dx_dist::WorkerConfig {
         lease_size: args.get_num("lease", 4)?,
         heartbeat_every: args.get_num("heartbeat-every", 1)?,
+        auth_token: auth_token(args),
         ..Default::default()
     };
     println!("worker joining `{label}` at {addr}");
@@ -612,7 +655,14 @@ pub fn dist(args: &Args) -> CmdResult {
     }
     let mut children = Vec::new();
     for _ in 0..n_workers {
-        children.push(std::process::Command::new(&exe).args(&forwarded).spawn()?);
+        let mut cmd = std::process::Command::new(&exe);
+        cmd.args(&forwarded);
+        // The fleet secret travels by environment, never argv (visible in
+        // `ps`); spawned workers answer the coordinator's challenge with it.
+        if let Some(token) = auth_token(args) {
+            cmd.env("DX_AUTH_TOKEN", token);
+        }
+        children.push(cmd.spawn()?);
     }
     // Watch the fleet: if every worker process exits (crash, reject, OOM
     // kill) the coordinator would otherwise serve an empty campaign

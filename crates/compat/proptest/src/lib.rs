@@ -140,7 +140,7 @@ pub mod collection {
     use rand::Rng as _;
     use std::ops::Range;
 
-    /// A length specification for [`vec`]: a fixed `usize` or `lo..hi`.
+    /// A length specification for [`vec`](fn@vec): a fixed `usize` or `lo..hi`.
     pub trait IntoSizeRange {
         /// `(min, max_exclusive)` bounds on the length.
         fn bounds(self) -> (usize, usize);
@@ -158,7 +158,7 @@ pub mod collection {
         }
     }
 
-    /// The strategy returned by [`vec`].
+    /// The strategy returned by [`vec`](fn@vec).
     pub struct VecStrategy<S> {
         element: S,
         min: usize,

@@ -23,7 +23,7 @@ pub fn random_selection(pool: &Tensor, n: usize, seed: u64) -> Tensor {
 /// `[0, 1]`.
 ///
 /// This is the adversarial baseline of the paper's Figure 9/10 comparison
-/// ([26] in the paper).
+/// (\[26\] in the paper).
 pub fn fgsm_classifier(model: &Network, x: &Tensor, label: usize, epsilon: f32) -> Tensor {
     let pass = model.forward(x);
     // Ascend -log p_label ⇔ descend p_label: seed the output with -1 at the

@@ -14,6 +14,17 @@
 //! coverage but are otherwise dropped. A dead connection requeues its
 //! leases immediately.
 //!
+//! **Trust.** The coordinator does not take workers at their word. With
+//! an auth token configured, admission requires an HMAC challenge/response
+//! ([`crate::auth`]) before any campaign state is revealed. With a
+//! spot-check rate configured, a sample of every worker's claimed
+//! difference-inducing inputs is re-executed through the coordinator's own
+//! model copies; claims that do not reproduce are quarantined, the lease's
+//! results discarded and its seeds requeued, and a worker whose
+//! fabrication rate crosses the trust threshold is evicted. Lease sizes
+//! can also adapt per worker (`lease_max`), growing for workers that turn
+//! leases around quickly.
+//!
 //! **Drain.** A drain (budget reached, coverage target met, corpus
 //! exhausted, or an external [`DrainHandle`]) answers every following
 //! lease request with `drain`, waits for outstanding leases to land or
@@ -33,7 +44,8 @@ use std::time::{Duration, Instant};
 
 use dx_campaign::checkpoint::{self, write_atomic};
 use dx_campaign::codec::{
-    field_usize, parse_doc, rng_state_from_json, rng_state_json, u64_from_json, u64_json,
+    diff_from_json, diff_json, field_usize, parse_doc, rng_state_from_json, rng_state_json,
+    u64_from_json, u64_json,
 };
 use dx_campaign::json::{build, Json};
 use dx_campaign::{CampaignReport, Corpus, EnergyModel, EpochStats, FoundDiff, ModelSuite};
@@ -41,9 +53,10 @@ use dx_coverage::CoverageSignal;
 use dx_nn::util::gather_rows;
 use dx_tensor::{rng, Tensor};
 
+use crate::auth;
 use crate::proto::{coverage_news, Fingerprint, Job, JobResult, Msg, PROTOCOL_VERSION};
 use crate::suite_fingerprint;
-use crate::wire::{write_frame, FrameReader};
+use crate::wire::{write_frame, FrameReader, MAX_FRAME};
 
 /// How often connection handlers and the accept loop wake up to check
 /// deadlines and flags.
@@ -52,6 +65,24 @@ const POLL: Duration = Duration::from_millis(100);
 /// Idle polls (no traffic from a drained, lease-less worker) before its
 /// connection is closed server-side.
 const DRAIN_GRACE_POLLS: u32 = 20;
+
+/// Frame cap for connections that have not completed admission: big
+/// enough for any hello/auth frame, small enough that a stranger's
+/// four-byte length prefix cannot demand a quarter-gigabyte allocation.
+const HELLO_FRAME_CAP: usize = 1 << 16;
+
+/// How long a connection may sit without completing admission before it
+/// is closed — a garbage or silent client must not park a handler thread
+/// (and a listener backlog slot) forever.
+const HELLO_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Spot-checks a worker must accumulate before its fabrication rate can
+/// evict it — one unlucky sample should not kill a fleet member.
+const TRUST_MIN_CHECKS: usize = 2;
+
+/// Quarantined diffs kept in memory/checkpoints for inspection; beyond
+/// this only the counter grows (a fabricator must not balloon `dist.json`).
+const QUARANTINE_KEEP: usize = 256;
 
 /// Coordinator scheduling, budget and persistence knobs.
 #[derive(Clone, Debug)]
@@ -82,6 +113,26 @@ pub struct CoordinatorConfig {
     pub energy: EnergyModel,
     /// Print connection and lease events to stderr.
     pub verbose: bool,
+    /// Shared secret workers must prove at admission via the HMAC
+    /// challenge/response ([`crate::auth`]); `None` disables
+    /// authentication and admits any fingerprint-matching peer.
+    pub auth_token: Option<String>,
+    /// Fraction of reported difference-inducing inputs the coordinator
+    /// re-executes through its own models (`0.0` disables spot-checking,
+    /// `1.0` re-checks every claim). Non-reproducing claims are
+    /// quarantined, the whole lease's results are dropped and its seeds
+    /// requeued.
+    pub spot_check_rate: f32,
+    /// Fabrication-rate ceiling: once a worker has failed more than this
+    /// fraction of its spot-checks (after a small minimum number of
+    /// checks), it is evicted and its leases requeued.
+    pub trust_threshold: f32,
+    /// Adaptive lease ceiling: when above `lease_size`, per-worker lease
+    /// sizes grow toward this bound for workers whose observed throughput
+    /// finishes leases quickly (and shrink back toward 1 for slow ones),
+    /// so fast workers stop round-tripping tiny leases. `0` (the default)
+    /// keeps every lease at `lease_size`.
+    pub lease_max: usize,
 }
 
 impl Default for CoordinatorConfig {
@@ -98,6 +149,10 @@ impl Default for CoordinatorConfig {
             seed: 42,
             energy: EnergyModel::Classic,
             verbose: false,
+            auth_token: None,
+            spot_check_rate: 0.0,
+            trust_threshold: 0.5,
+            lease_max: 0,
         }
     }
 }
@@ -111,6 +166,23 @@ pub struct WorkerStats {
     pub diffs: usize,
     /// Neurons it was first to cover in the global union.
     pub contributed_neurons: usize,
+    /// Claimed diffs re-executed by the coordinator.
+    pub spot_checked: usize,
+    /// Re-executions that failed to reproduce (fabrications).
+    pub spot_failed: usize,
+    /// Whether the worker was evicted for crossing the trust threshold.
+    pub evicted: bool,
+}
+
+impl WorkerStats {
+    /// The fraction of spot-checks this worker failed (0 when unchecked).
+    pub fn fabrication_rate(&self) -> f32 {
+        if self.spot_checked == 0 {
+            0.0
+        } else {
+            self.spot_failed as f32 / self.spot_checked as f32
+        }
+    }
 }
 
 /// What a finished dist campaign reports.
@@ -127,20 +199,35 @@ pub struct DistReport {
     pub per_worker: Vec<(u64, WorkerStats)>,
     /// Difference-inducing inputs found (this serve call and resumed-from).
     pub diffs: usize,
+    /// Claimed diffs that failed a spot-check and were quarantined
+    /// (cumulative, across resumes).
+    pub quarantined: usize,
 }
 
 impl DistReport {
-    /// Renders the report plus a per-worker contribution table.
+    /// Renders the report plus a per-worker contribution and trust table.
     pub fn render(&self) -> String {
         let mut out = self.report.render();
         out.push_str(&format!(
-            "{:<8} {:>9} {:>9} {:>14}\n",
-            "slot", "steps", "diffs", "new-neurons"
+            "{:<8} {:>9} {:>9} {:>11} {:>9} {:>9}  {}\n",
+            "slot", "steps", "diffs", "new-units", "spot-ok", "spot-bad", "status"
         ));
         for (slot, w) in &self.per_worker {
             out.push_str(&format!(
-                "{:<8} {:>9} {:>9} {:>14}\n",
-                slot, w.steps, w.diffs, w.contributed_neurons
+                "{:<8} {:>9} {:>9} {:>11} {:>9} {:>9}  {}\n",
+                slot,
+                w.steps,
+                w.diffs,
+                w.contributed_neurons,
+                w.spot_checked - w.spot_failed,
+                w.spot_failed,
+                if w.evicted { "evicted" } else { "ok" },
+            ));
+        }
+        if self.quarantined > 0 {
+            out.push_str(&format!(
+                "{} claimed diff(s) failed spot-checks and were quarantined\n",
+                self.quarantined
             ));
         }
         out
@@ -163,6 +250,15 @@ struct Lease {
     slot: u64,
     seed_ids: Vec<usize>,
     deadline: Instant,
+    /// When the lease was granted — the adaptive sizer measures worker
+    /// throughput as (results arrival − issue) / jobs.
+    issued: Instant,
+    /// Results for this lease arrived and are being spot-checked outside
+    /// the state lock. The lease stays on the books so its seeds remain
+    /// invisible to the scheduler (no double-lease), the drain check
+    /// still sees work in flight, and housekeeping does not expire it
+    /// mid-verification; a duplicate results frame meanwhile is ignored.
+    checking: bool,
 }
 
 #[derive(Default)]
@@ -177,6 +273,10 @@ struct State {
     corpus: Corpus,
     global: Vec<CoverageSignal>,
     diffs: Vec<FoundDiff>,
+    /// Claimed diffs that failed re-execution, kept for inspection (capped
+    /// at [`QUARANTINE_KEEP`]; `quarantined_total` keeps counting).
+    quarantined: Vec<FoundDiff>,
+    quarantined_total: usize,
     epochs: Vec<EpochStats>,
     round: RoundAccum,
     round_started: Instant,
@@ -189,7 +289,12 @@ struct State {
     next_slot: u64,
     worker_rng: BTreeMap<u64, [u64; 4]>,
     per_worker: BTreeMap<u64, WorkerStats>,
+    /// Per-slot adaptive lease size (absent = `cfg.lease_size`).
+    lease_quota: BTreeMap<u64, usize>,
     sched_rng: rng::Rng,
+    /// Drives spot-check sampling, independently of scheduling so
+    /// enabling verification never changes which seeds get fuzzed.
+    spot_rng: rng::Rng,
     connected: usize,
     /// Monotonic checkpoint snapshot counter; the writer discards stale
     /// snapshots that lost the race to a newer one.
@@ -200,6 +305,12 @@ struct State {
 pub struct Coordinator {
     cfg: CoordinatorConfig,
     fingerprint: Fingerprint,
+    /// The coordinator's own copy of the models under test, used to
+    /// re-execute spot-checked claims. Never mutated.
+    suite: ModelSuite,
+    /// The shape every result tensor must have (`[1, sample dims...]`);
+    /// anything else from a worker is a protocol violation, not a panic.
+    sample_shape: Vec<usize>,
     /// Empty signals, cloned as each connection's model of what its
     /// worker knows about global coverage.
     template: Vec<CoverageSignal>,
@@ -210,6 +321,52 @@ pub struct Coordinator {
     /// written (None until the first write this process, which therefore
     /// rewrites instead of appending).
     ckpt_io: Mutex<Option<u64>>,
+}
+
+/// Per-connection protocol state, owned by the handler thread.
+struct Conn {
+    /// Assigned slot, once admitted.
+    slot: Option<u64>,
+    /// What this worker is known to know about global coverage.
+    view: Vec<CoverageSignal>,
+    /// Fingerprint parked at `hello` until the auth proof arrives.
+    pending_fp: Option<Fingerprint>,
+    /// The outstanding challenge nonce (auth-enabled coordinators only).
+    nonce: Option<String>,
+}
+
+/// State restored from (or initialized for) a campaign, bundled so the
+/// constructor does not take a dozen positional arguments.
+struct Restored {
+    corpus: Corpus,
+    diffs: Vec<FoundDiff>,
+    quarantined: Vec<FoundDiff>,
+    quarantined_total: usize,
+    epochs: Vec<EpochStats>,
+    coverage: Option<Vec<Vec<bool>>>,
+    steps_done: usize,
+    pending: VecDeque<usize>,
+    worker_rng: BTreeMap<u64, [u64; 4]>,
+    per_worker: BTreeMap<u64, WorkerStats>,
+    next_lease: u64,
+}
+
+impl Restored {
+    fn fresh(corpus: Corpus) -> Self {
+        Self {
+            corpus,
+            diffs: Vec::new(),
+            quarantined: Vec::new(),
+            quarantined_total: 0,
+            epochs: Vec::new(),
+            coverage: None,
+            steps_done: 0,
+            pending: VecDeque::new(),
+            worker_rng: BTreeMap::new(),
+            per_worker: BTreeMap::new(),
+            next_lease: 0,
+        }
+    }
 }
 
 /// A full-state checkpoint snapshot, taken under the state lock (cheap
@@ -223,7 +380,7 @@ struct CheckpointJob {
     masks: Vec<Vec<bool>>,
     signal: checkpoint::SignalCheckpoint,
     meta: checkpoint::Meta,
-    dist_doc: String,
+    dist: DistState,
 }
 
 enum Reply {
@@ -245,19 +402,7 @@ impl Coordinator {
         assert!(seeds.shape()[0] > 0, "dist campaign needs at least one seed");
         let inputs = (0..seeds.shape()[0]).map(|i| gather_rows(seeds, &[i])).collect();
         let corpus = Corpus::new(inputs, cfg.max_corpus).with_energy_model(cfg.energy);
-        Self::with_state(
-            suite,
-            label,
-            cfg,
-            corpus,
-            Vec::new(),
-            Vec::new(),
-            None,
-            0,
-            VecDeque::new(),
-            BTreeMap::new(),
-            0,
-        )
+        Self::with_state(suite, label, cfg, Restored::fresh(corpus))
     }
 
     /// Resumes a coordinator from the checkpoint in `cfg.checkpoint_dir`:
@@ -313,71 +458,76 @@ impl Coordinator {
             .as_ref()
             .map(|d| d.pending.iter().copied().filter(|&id| corpus.get(id).is_some()).collect())
             .unwrap_or_default();
-        let worker_rng = dist.as_ref().map(|d| d.worker_rng.clone()).unwrap_or_default();
-        let next_lease = dist.as_ref().map(|d| d.next_lease).unwrap_or(0);
-        Ok(Self::with_state(
-            suite,
-            label,
-            cfg,
+        let restored = Restored {
             corpus,
-            state.diffs,
-            state.epochs,
-            state.coverage,
+            diffs: state.diffs,
+            quarantined: dist.as_ref().map(|d| d.quarantined.clone()).unwrap_or_default(),
+            quarantined_total: dist.as_ref().map(|d| d.quarantined_total).unwrap_or(0),
+            epochs: state.epochs,
+            coverage: state.coverage,
             steps_done,
             pending,
-            worker_rng,
-            next_lease,
-        ))
+            worker_rng: dist.as_ref().map(|d| d.worker_rng.clone()).unwrap_or_default(),
+            per_worker: dist.as_ref().map(|d| d.trust.clone()).unwrap_or_default(),
+            next_lease: dist.as_ref().map(|d| d.next_lease).unwrap_or(0),
+        };
+        Ok(Self::with_state(suite, label, cfg, restored))
     }
 
-    #[allow(clippy::too_many_arguments)]
     fn with_state(
         suite: &ModelSuite,
         label: &str,
         cfg: CoordinatorConfig,
-        corpus: Corpus,
-        diffs: Vec<FoundDiff>,
-        epochs: Vec<EpochStats>,
-        coverage: Option<Vec<Vec<bool>>>,
-        steps_done: usize,
-        pending: VecDeque<usize>,
-        worker_rng: BTreeMap<u64, [u64; 4]>,
-        next_lease: u64,
+        restored: Restored,
     ) -> Self {
         assert!(cfg.batch_per_round >= 1, "batch_per_round must be at least 1");
         assert!(cfg.lease_size >= 1, "lease_size must be at least 1");
+        assert!((0.0..=1.0).contains(&cfg.spot_check_rate), "spot_check_rate must be in [0, 1]");
         let template: Vec<CoverageSignal> = suite.signal.build(&suite.models);
         let mut global = template.clone();
-        let masks_fit = coverage.as_ref().is_some_and(|masks| {
+        let masks_fit = restored.coverage.as_ref().is_some_and(|masks| {
             masks.len() == global.len()
                 && masks.iter().zip(global.iter()).all(|(m, g)| m.len() == g.total())
         });
         if masks_fit {
-            for (g, mask) in global.iter_mut().zip(coverage.as_ref().expect("checked")) {
+            for (g, mask) in global.iter_mut().zip(restored.coverage.as_ref().expect("checked")) {
                 g.set_covered_mask(mask);
             }
         }
+        let sample_shape = restored
+            .corpus
+            .entries()
+            .first()
+            .map(|e| e.input.shape().to_vec())
+            .expect("corpus is never empty");
         let fingerprint = suite_fingerprint(suite, label);
         let sched_rng = rng::rng(rng::derive_seed(cfg.seed, 0xd157));
+        let spot_rng = rng::rng(rng::derive_seed(cfg.seed, 0x5b07));
         Self {
             cfg,
             fingerprint,
+            suite: suite.clone(),
+            sample_shape,
             template,
             state: Mutex::new(State {
-                corpus,
+                corpus: restored.corpus,
                 global,
-                diffs,
-                epochs,
+                diffs: restored.diffs,
+                quarantined: restored.quarantined,
+                quarantined_total: restored.quarantined_total,
+                epochs: restored.epochs,
                 round: RoundAccum::default(),
                 round_started: Instant::now(),
-                steps_done,
+                steps_done: restored.steps_done,
                 leases: HashMap::new(),
-                pending,
-                next_lease,
+                pending: restored.pending,
+                next_lease: restored.next_lease,
                 next_slot: 0,
-                worker_rng,
-                per_worker: BTreeMap::new(),
+                worker_rng: restored.worker_rng,
+                per_worker: restored.per_worker,
+                lease_quota: BTreeMap::new(),
                 sched_rng,
+                spot_rng,
                 connected: 0,
                 ckpt_seq: 0,
             }),
@@ -400,6 +550,16 @@ impl Coordinator {
     /// Seed steps absorbed so far (including resumed-from steps).
     pub fn steps_done(&self) -> usize {
         self.lock().steps_done
+    }
+
+    /// Leases currently out with workers.
+    pub fn outstanding_leases(&self) -> usize {
+        self.lock().leases.len()
+    }
+
+    /// Claimed diffs that failed spot-checks so far (cumulative).
+    pub fn quarantined(&self) -> usize {
+        self.lock().quarantined_total
     }
 
     /// Mean global coverage across models.
@@ -493,8 +653,12 @@ impl Coordinator {
         }
         let mut st = self.lock();
         let now = Instant::now();
-        let expired: Vec<u64> =
-            st.leases.iter().filter(|(_, l)| now >= l.deadline).map(|(&id, _)| id).collect();
+        let expired: Vec<u64> = st
+            .leases
+            .iter()
+            .filter(|(_, l)| now >= l.deadline && !l.checking)
+            .map(|(&id, _)| id)
+            .collect();
         for id in expired {
             let lease = st.leases.remove(&id).expect("collected above");
             self.log(format!(
@@ -525,12 +689,19 @@ impl Coordinator {
     }
 
     /// One worker connection, request/response until it closes.
+    ///
+    /// Hostile-input posture: unadmitted connections read through a small
+    /// frame cap (no length-prefix allocation bombs) and are closed after
+    /// [`HELLO_TIMEOUT`] if admission never completes; a malformed or
+    /// oversized frame gets a best-effort `reject` and closes only *this*
+    /// connection — the accept loop and every other worker keep going.
     fn handle(&self, mut stream: TcpStream) {
         let _ = stream.set_nodelay(true);
         let _ = stream.set_read_timeout(Some(POLL));
-        let mut reader = FrameReader::new();
-        let mut slot: Option<u64> = None;
-        let mut view = self.template.clone();
+        let mut reader = FrameReader::with_cap(HELLO_FRAME_CAP);
+        let mut conn =
+            Conn { slot: None, view: self.template.clone(), pending_fp: None, nonce: None };
+        let opened = Instant::now();
         let mut idle_polls: u32 = 0;
         let result: io::Result<()> = (|| loop {
             match reader.poll(&mut stream) {
@@ -538,8 +709,15 @@ impl Coordinator {
                     if self.force_close.load(Ordering::SeqCst) {
                         return Ok(());
                     }
+                    if conn.slot.is_none() && opened.elapsed() >= HELLO_TIMEOUT {
+                        // A silent or garbage peer must not park this
+                        // handler thread forever.
+                        let reject = Msg::Reject { reason: "admission timed out".into() };
+                        let _ = write_frame(&mut stream, &reject.to_json());
+                        return Ok(());
+                    }
                     if self.drain.load(Ordering::SeqCst) {
-                        let has_lease = match slot {
+                        let has_lease = match conn.slot {
                             Some(s) => self.lock().leases.values().any(|l| l.slot == s),
                             None => false,
                         };
@@ -555,8 +733,22 @@ impl Coordinator {
                 }
                 Ok(Some(doc)) => {
                     idle_polls = 0;
-                    let msg = Msg::from_json(&doc)?;
-                    let (reply, ckpt) = self.reply_for(msg, &mut slot, &mut view);
+                    let msg = match Msg::from_json(&doc) {
+                        Ok(m) => m,
+                        Err(e) => {
+                            // Well-framed JSON that is not a protocol
+                            // message: say why, then drop the connection.
+                            let reject = Msg::Reject { reason: format!("malformed message: {e}") };
+                            let _ = write_frame(&mut stream, &reject.to_json());
+                            return Err(e);
+                        }
+                    };
+                    let (reply, ckpt) = self.reply_for(msg, &mut conn);
+                    if conn.slot.is_some() {
+                        // Admitted: results frames carry tensors, so the
+                        // connection earns the full frame allowance.
+                        reader.set_cap(MAX_FRAME);
+                    }
                     // Reply first — the checkpoint write is this handler's
                     // own time, not the worker's.
                     let closing = match reply {
@@ -579,6 +771,14 @@ impl Coordinator {
                         return Ok(());
                     }
                 }
+                Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                    // Oversized length prefix or a non-JSON payload: a
+                    // clean per-connection error, never a panic or a
+                    // stalled accept loop.
+                    let reject = Msg::Reject { reason: format!("bad frame: {e}") };
+                    let _ = write_frame(&mut stream, &reject.to_json());
+                    return Err(e);
+                }
                 Err(e) => return Err(e),
             }
         })();
@@ -587,7 +787,7 @@ impl Coordinator {
                 self.log(format!("connection error: {e}"));
             }
         }
-        if let Some(s) = slot {
+        if let Some(s) = conn.slot {
             self.disconnect(s);
         }
     }
@@ -606,40 +806,75 @@ impl Coordinator {
         self.log(format!("worker {slot} disconnected"));
     }
 
-    fn reply_for(
-        &self,
-        msg: Msg,
-        slot: &mut Option<u64>,
-        view: &mut [CoverageSignal],
-    ) -> (Reply, Option<CheckpointJob>) {
-        let mut ckpt = None;
+    /// Verifies the fingerprint and assigns a slot — the step that first
+    /// reveals campaign state, so an auth-enabled coordinator only gets
+    /// here after a valid proof.
+    fn admit(&self, fingerprint: Fingerprint, conn: &mut Conn) -> Reply {
+        if fingerprint != self.fingerprint {
+            let reason = format!(
+                "suite fingerprint {:?} != coordinator {:?}",
+                fingerprint, self.fingerprint
+            );
+            return Reply::SendThenClose(Msg::Reject { reason });
+        }
+        let mut st = self.lock();
+        // Slots are reused across resumes so a returning fleet picks its
+        // RNG streams (and trust history) back up in order — but a slot
+        // whose record says `evicted` is burned: a fresh worker must not
+        // inherit a fabricator's history (and its instant re-eviction).
+        while st.per_worker.get(&st.next_slot).is_some_and(|w| w.evicted) {
+            st.next_slot += 1;
+        }
+        let s = st.next_slot;
+        st.next_slot += 1;
+        st.connected += 1;
+        st.per_worker.entry(s).or_default();
+        let rng_state = st.worker_rng.get(&s).copied();
+        drop(st);
+        conn.slot = Some(s);
+        self.log(format!("worker {s} joined"));
+        Reply::Send(Msg::Welcome { slot: s, campaign_seed: self.cfg.seed, rng_state })
+    }
+
+    fn reply_for(&self, msg: Msg, conn: &mut Conn) -> (Reply, Option<CheckpointJob>) {
         let reply = match msg {
             Msg::Hello { version, fingerprint } => {
+                if conn.slot.is_some() {
+                    let reason = "already admitted".to_string();
+                    return (Reply::SendThenClose(Msg::Reject { reason }), None);
+                }
                 if version != PROTOCOL_VERSION {
                     let reason =
                         format!("protocol version {version} != coordinator {PROTOCOL_VERSION}");
                     return (Reply::SendThenClose(Msg::Reject { reason }), None);
                 }
-                if fingerprint != self.fingerprint {
-                    let reason = format!(
-                        "suite fingerprint {:?} != coordinator {:?}",
-                        fingerprint, self.fingerprint
-                    );
+                if self.cfg.auth_token.is_some() {
+                    // Authentication first: even the fingerprint verdict
+                    // waits until the peer proves it holds the secret.
+                    let nonce = auth::nonce();
+                    conn.nonce = Some(nonce.clone());
+                    conn.pending_fp = Some(fingerprint);
+                    Reply::Send(Msg::Challenge { nonce })
+                } else {
+                    self.admit(fingerprint, conn)
+                }
+            }
+            Msg::AuthProof { proof } => {
+                let (Some(token), Some(nonce), Some(fingerprint)) =
+                    (&self.cfg.auth_token, conn.nonce.take(), conn.pending_fp.take())
+                else {
+                    let reason = "no challenge outstanding".to_string();
+                    return (Reply::SendThenClose(Msg::Reject { reason }), None);
+                };
+                if !auth::verify(token, &nonce, &proof) {
+                    self.log("rejected a peer with an invalid auth proof");
+                    let reason = "authentication failed".to_string();
                     return (Reply::SendThenClose(Msg::Reject { reason }), None);
                 }
-                let mut st = self.lock();
-                let s = st.next_slot;
-                st.next_slot += 1;
-                st.connected += 1;
-                st.per_worker.entry(s).or_default();
-                let rng_state = st.worker_rng.get(&s).copied();
-                drop(st);
-                *slot = Some(s);
-                self.log(format!("worker {s} joined"));
-                Reply::Send(Msg::Welcome { slot: s, campaign_seed: self.cfg.seed, rng_state })
+                self.admit(fingerprint, conn)
             }
             Msg::LeaseRequest { slot: s, want } => {
-                if Some(s) != *slot {
+                if Some(s) != conn.slot {
                     let reason = "say hello first".to_string();
                     return (Reply::SendThenClose(Msg::Reject { reason }), None);
                 }
@@ -647,8 +882,8 @@ impl Coordinator {
                     return (Reply::Send(Msg::Drain), None);
                 }
                 let mut st = self.lock();
-                let want = want.clamp(1, self.cfg.lease_size);
-                let ids = self.pick_seeds(&mut st, want);
+                let grant = self.lease_grant(&mut st, s, want);
+                let ids = self.pick_seeds(&mut st, grant);
                 if ids.is_empty() {
                     if st.corpus.all_exhausted() && st.leases.is_empty() {
                         self.drain.store(true, Ordering::SeqCst);
@@ -666,19 +901,22 @@ impl Coordinator {
                         input: st.corpus.get(id).expect("picked from corpus").input.clone(),
                     })
                     .collect();
+                let now = Instant::now();
                 st.leases.insert(
                     lease,
                     Lease {
                         slot: s,
                         seed_ids: ids,
-                        deadline: Instant::now() + self.cfg.lease_timeout,
+                        deadline: now + self.cfg.lease_timeout,
+                        issued: now,
+                        checking: false,
                     },
                 );
-                let cov = coverage_news(&st.global, view);
+                let cov = coverage_news(&st.global, &mut conn.view);
                 Reply::Send(Msg::Lease { lease, jobs, cov })
             }
             Msg::Heartbeat { slot: s, lease } => {
-                if Some(s) != *slot {
+                if Some(s) != conn.slot {
                     let reason = "say hello first".to_string();
                     return (Reply::SendThenClose(Msg::Reject { reason }), None);
                 }
@@ -688,77 +926,15 @@ impl Coordinator {
                         l.deadline = Instant::now() + self.cfg.lease_timeout;
                     }
                 }
-                let cov = coverage_news(&st.global, view);
+                let cov = coverage_news(&st.global, &mut conn.view);
                 Reply::Send(Msg::Ack { cov })
             }
             Msg::Results { slot: s, lease, items, cov, rng_state } => {
-                if Some(s) != *slot {
+                if Some(s) != conn.slot {
                     let reason = "say hello first".to_string();
                     return (Reply::SendThenClose(Msg::Reject { reason }), None);
                 }
-                let mut st = self.lock();
-                // Validate delta indices before touching the union.
-                for (m, idx) in cov.iter().enumerate() {
-                    let total = st.global.get(m).map_or(0, CoverageSignal::total);
-                    if m >= st.global.len() || idx.iter().any(|&i| i >= total) {
-                        let reason = "coverage delta out of range".to_string();
-                        return (Reply::SendThenClose(Msg::Reject { reason }), None);
-                    }
-                }
-                let mut contributed = 0;
-                for (g, idx) in st.global.iter_mut().zip(&cov) {
-                    contributed += g.apply_covered_indices(idx);
-                }
-                // The worker evidently knows this coverage already — fold
-                // it into the connection view too, or the next cov_news
-                // would echo the worker's own delta straight back at it.
-                for (v, idx) in view.iter_mut().zip(&cov) {
-                    v.apply_covered_indices(idx);
-                }
-                st.worker_rng.insert(s, rng_state);
-                {
-                    let w = st.per_worker.entry(s).or_default();
-                    w.contributed_neurons += contributed;
-                }
-                st.round.newly_covered += contributed;
-                match st.leases.remove(&lease) {
-                    Some(l) if l.slot == s => {
-                        // Only absorb what was actually leased.
-                        let leased: Vec<&JobResult> =
-                            items.iter().filter(|i| l.seed_ids.contains(&i.seed_id)).collect();
-                        ckpt = self.absorb_items(&mut st, s, &leased);
-                    }
-                    Some(l) => {
-                        // Lease id collision with another slot: put it back.
-                        st.leases.insert(lease, l);
-                    }
-                    None => {
-                        // The lease expired — e.g. a single seed step
-                        // outlasted the timeout. Its seeds were requeued;
-                        // any still waiting in the queue are salvaged
-                        // (counted instead of redone), so one slow step
-                        // cannot livelock a budgeted campaign. Seeds
-                        // already re-leased to someone else are dropped.
-                        let salvage: Vec<&JobResult> =
-                            items.iter().filter(|i| st.pending.contains(&i.seed_id)).collect();
-                        for item in &salvage {
-                            st.pending.retain(|&id| id != item.seed_id);
-                        }
-                        let dropped = items.len() - salvage.len();
-                        ckpt = self.absorb_items(&mut st, s, &salvage);
-                        self.log(format!(
-                            "results for expired lease {lease} from worker {s}: \
-                             {} runs salvaged, {dropped} dropped",
-                            salvage.len()
-                        ));
-                    }
-                }
-                let cov = coverage_news(&st.global, view);
-                if self.drain.load(Ordering::SeqCst) {
-                    Reply::Send(Msg::Drain)
-                } else {
-                    Reply::Send(Msg::Ack { cov })
-                }
+                return self.handle_results(s, lease, items, cov, rng_state, conn);
             }
             Msg::Bye => Reply::Close,
             // Worker-bound messages arriving at the coordinator.
@@ -767,9 +943,255 @@ impl Coordinator {
             | Msg::Wait { .. }
             | Msg::Ack { .. }
             | Msg::Drain
+            | Msg::Challenge { .. }
             | Msg::Reject { .. } => {
                 Reply::SendThenClose(Msg::Reject { reason: "unexpected message".into() })
             }
+        };
+        (reply, None)
+    }
+
+    /// Jobs to grant a worker: the fixed `lease_size`, or — with adaptive
+    /// sizing on — the per-worker quota learned from observed throughput.
+    /// Under adaptive sizing the worker's `want` is advisory (protocol
+    /// v4): a fast worker is deliberately granted more than it asks for.
+    fn lease_grant(&self, st: &mut State, s: u64, want: usize) -> usize {
+        if self.cfg.lease_max > self.cfg.lease_size {
+            st.lease_quota.get(&s).copied().unwrap_or(self.cfg.lease_size).max(1)
+        } else {
+            want.clamp(1, self.cfg.lease_size)
+        }
+    }
+
+    /// Learns a worker's next lease size from how fast it turned the last
+    /// one around: aim for leases that take about a quarter of the lease
+    /// timeout, moving at most a factor of two per lease so one noisy
+    /// measurement cannot whipsaw the quota. `turnaround` is measured at
+    /// results arrival, so coordinator-side spot-check time is excluded.
+    fn update_lease_quota(&self, st: &mut State, s: u64, turnaround: Duration, absorbed: usize) {
+        if self.cfg.lease_max <= self.cfg.lease_size {
+            return;
+        }
+        let quota = st.lease_quota.get(&s).copied().unwrap_or(self.cfg.lease_size);
+        let per_step = (turnaround.as_secs_f64() / absorbed.max(1) as f64).max(1e-6);
+        let target = (self.cfg.lease_timeout.as_secs_f64() / 4.0).max(1e-3);
+        let ideal = (target / per_step) as usize;
+        let next =
+            ideal.clamp((quota / 2).max(1), quota.saturating_mul(2)).clamp(1, self.cfg.lease_max);
+        if next != quota {
+            self.log(format!("worker {s} lease quota {quota} -> {next}"));
+        }
+        st.lease_quota.insert(s, next);
+    }
+
+    /// Handles a `results` frame in three phases: validate and plan under
+    /// the state lock, re-execute sampled diff claims *outside* it (model
+    /// forward passes must not stall every other connection), then apply
+    /// or punish under the lock again.
+    fn handle_results(
+        &self,
+        s: u64,
+        lease: u64,
+        items: Vec<JobResult>,
+        cov: crate::proto::CovDelta,
+        rng_state: [u64; 4],
+        conn: &mut Conn,
+    ) -> (Reply, Option<CheckpointJob>) {
+        enum Plan {
+            /// A live lease owned by the sender. `turnaround` is issue →
+            /// results arrival, measured before any spot-check work so
+            /// the coordinator's own verification time is not billed to
+            /// the worker's adaptive quota.
+            Lease { seed_ids: Vec<usize>, turnaround: Duration },
+            /// Lease id owned by another slot: ignore the items.
+            Collision,
+            /// The lease already expired; salvage what is still pending.
+            Expired,
+        }
+        // Phase 1 (locked): validate the frame, claim the lease, sample
+        // which claimed diffs to re-execute.
+        let (plan, checks) = {
+            let mut st = self.lock();
+            // Validate delta indices before anything touches the union.
+            for (m, idx) in cov.iter().enumerate() {
+                let total = st.global.get(m).map_or(0, CoverageSignal::total);
+                if m >= st.global.len() || idx.iter().any(|&i| i >= total) {
+                    let reason = "coverage delta out of range".to_string();
+                    return (Reply::SendThenClose(Msg::Reject { reason }), None);
+                }
+            }
+            // Validate result tensor shapes: a fabricated tensor of the
+            // wrong shape would otherwise panic a forward pass (here at a
+            // spot-check, or later in whatever resumes the corpus).
+            let shape_ok = items.iter().all(|i| {
+                i.run.test.as_ref().is_none_or(|t| t.input.shape() == self.sample_shape)
+                    && i.run
+                        .corpus_candidate
+                        .as_ref()
+                        .is_none_or(|c| c.shape() == self.sample_shape)
+            });
+            if !shape_ok {
+                let reason = "result tensor shape mismatch".to_string();
+                return (Reply::SendThenClose(Msg::Reject { reason }), None);
+            }
+            // A lease id this coordinator never issued is a fabrication,
+            // not an expiry — nothing about such a frame (coverage
+            // included) is credible.
+            if lease >= st.next_lease {
+                let reason = "unknown lease id".to_string();
+                return (Reply::SendThenClose(Msg::Reject { reason }), None);
+            }
+            // The lease stays in the map, marked `checking`, while its
+            // claims are re-executed outside the lock: its seeds must
+            // remain excluded from scheduling, the drain check must still
+            // see work in flight, and a duplicate results frame for the
+            // same lease must not absorb twice. Phase 3 removes it.
+            let plan = match st.leases.get_mut(&lease) {
+                Some(l) if l.slot == s && !l.checking => {
+                    let now = Instant::now();
+                    l.checking = true;
+                    let turnaround = now.duration_since(l.issued);
+                    l.deadline = now + self.cfg.lease_timeout;
+                    Plan::Lease { seed_ids: l.seed_ids.clone(), turnaround }
+                }
+                Some(_) => Plan::Collision,
+                None => Plan::Expired,
+            };
+            // Sample claimed diffs among items that could be absorbed.
+            let mut checks = Vec::new();
+            if self.cfg.spot_check_rate > 0.0 {
+                use rand::Rng as _;
+                for item in &items {
+                    let absorbable = match &plan {
+                        Plan::Lease { seed_ids, .. } => seed_ids.contains(&item.seed_id),
+                        Plan::Expired => st.pending.contains(&item.seed_id),
+                        Plan::Collision => false,
+                    };
+                    if !absorbable || !item.run.found_difference() {
+                        continue;
+                    }
+                    if st.spot_rng.gen_range(0.0f32..1.0) < self.cfg.spot_check_rate {
+                        let test = item.run.test.as_ref().expect("found_difference has a test");
+                        checks.push((item.seed_id, test.clone()));
+                    }
+                }
+            }
+            (plan, checks)
+        };
+        // Phase 2 (unlocked): re-execute the sampled claims through the
+        // coordinator's own models.
+        let failed: Vec<_> = checks
+            .iter()
+            .filter(|(_, t)| !self.suite.reproduces_difference(&t.input, &t.predictions))
+            .collect();
+        // Phase 3 (locked): punish or apply.
+        let mut st = self.lock();
+        {
+            let w = st.per_worker.entry(s).or_default();
+            w.spot_checked += checks.len();
+            w.spot_failed += failed.len();
+        }
+        if !failed.is_empty() {
+            let epoch = st.epochs.len();
+            for (seed_id, t) in &failed {
+                st.quarantined_total += 1;
+                if st.quarantined.len() < QUARANTINE_KEEP {
+                    st.quarantined.push(FoundDiff {
+                        seed_id: *seed_id,
+                        epoch,
+                        input: t.input.clone(),
+                        predictions: t.predictions.clone(),
+                        iterations: t.iterations,
+                        target_model: t.target_model,
+                    });
+                }
+            }
+            // Nothing from this frame is trusted: no coverage union, no
+            // corpus absorption, no RNG persistence. The lease's seeds go
+            // back to the queue for an honest worker.
+            if let Plan::Lease { seed_ids, .. } = plan {
+                st.leases.remove(&lease);
+                st.pending.extend(seed_ids);
+            }
+            let w = st.per_worker.entry(s).or_default();
+            let (checked, bad) = (w.spot_checked, w.spot_failed);
+            self.log(format!(
+                "worker {s}: {} of {} spot-checked claims failed; lease {lease} discarded",
+                failed.len(),
+                checks.len()
+            ));
+            if checked >= TRUST_MIN_CHECKS && w.fabrication_rate() > self.cfg.trust_threshold {
+                w.evicted = true;
+                drop(st);
+                self.log(format!("worker {s} evicted ({bad}/{checked} fabricated)"));
+                let reason =
+                    format!("evicted: {bad} of {checked} spot-checked diffs failed to reproduce");
+                return (Reply::SendThenClose(Msg::Reject { reason }), None);
+            }
+            let cov = coverage_news(&st.global, &mut conn.view);
+            let reply = if self.drain.load(Ordering::SeqCst) {
+                Reply::Send(Msg::Drain)
+            } else {
+                Reply::Send(Msg::Ack { cov })
+            };
+            return (reply, None);
+        }
+        // All sampled claims reproduced: fold the frame in.
+        let mut contributed = 0;
+        for (g, idx) in st.global.iter_mut().zip(&cov) {
+            contributed += g.apply_covered_indices(idx);
+        }
+        // The worker evidently knows this coverage already — fold it into
+        // the connection view too, or the next cov_news would echo the
+        // worker's own delta straight back at it.
+        for (v, idx) in conn.view.iter_mut().zip(&cov) {
+            v.apply_covered_indices(idx);
+        }
+        st.worker_rng.insert(s, rng_state);
+        {
+            let w = st.per_worker.entry(s).or_default();
+            w.contributed_neurons += contributed;
+        }
+        st.round.newly_covered += contributed;
+        let mut ckpt = None;
+        match plan {
+            Plan::Lease { seed_ids, turnaround } => {
+                st.leases.remove(&lease);
+                // Only absorb what was actually leased.
+                let leased: Vec<&JobResult> =
+                    items.iter().filter(|i| seed_ids.contains(&i.seed_id)).collect();
+                self.update_lease_quota(&mut st, s, turnaround, leased.len());
+                ckpt = self.absorb_items(&mut st, s, &leased);
+            }
+            Plan::Collision => {
+                // Lease id owned by another slot: the items are not ours
+                // to count (the lease stays with its owner).
+            }
+            Plan::Expired => {
+                // The lease expired — e.g. a single seed step outlasted
+                // the timeout. Its seeds were requeued; any still waiting
+                // in the queue are salvaged (counted instead of redone),
+                // so one slow step cannot livelock a budgeted campaign.
+                // Seeds already re-leased to someone else are dropped.
+                let salvage: Vec<&JobResult> =
+                    items.iter().filter(|i| st.pending.contains(&i.seed_id)).collect();
+                for item in &salvage {
+                    st.pending.retain(|&id| id != item.seed_id);
+                }
+                let dropped = items.len() - salvage.len();
+                ckpt = self.absorb_items(&mut st, s, &salvage);
+                self.log(format!(
+                    "results for expired lease {lease} from worker {s}: \
+                     {} runs salvaged, {dropped} dropped",
+                    salvage.len()
+                ));
+            }
+        }
+        let cov = coverage_news(&st.global, &mut conn.view);
+        let reply = if self.drain.load(Ordering::SeqCst) {
+            Reply::Send(Msg::Drain)
+        } else {
+            Reply::Send(Msg::Ack { cov })
         };
         (reply, ckpt)
     }
@@ -877,7 +1299,7 @@ impl Coordinator {
                 // this checkpoint re-derives streams from the master seed.
                 worker_rng: Vec::new(),
             },
-            dist_doc: DistState::doc(st).to_string() + "\n",
+            dist: DistState::snapshot(st),
         })
     }
 
@@ -904,7 +1326,7 @@ impl Coordinator {
             &job.meta,
             append,
         )?;
-        write_atomic(&dir.join("dist.json"), &job.dist_doc)?;
+        write_atomic(&dir.join("dist.json"), &(job.dist.doc().to_string() + "\n"))?;
         *last = Some(job.seq);
         Ok(())
     }
@@ -933,6 +1355,7 @@ impl Coordinator {
                 steps_done: st.steps_done,
                 per_worker: st.per_worker.iter().map(|(&s, w)| (s, w.clone())).collect(),
                 diffs: st.diffs.len(),
+                quarantined: st.quarantined_total,
             };
             (ckpt, report)
         };
@@ -951,43 +1374,79 @@ fn mean_coverage(global: &[CoverageSignal]) -> f32 {
 }
 
 /// The dist-specific checkpoint extension (`dist.json`): seeds owed to the
-/// queue (requeued plus outstanding at save time) and per-slot worker RNG
-/// states.
+/// queue (requeued plus outstanding at save time), per-slot worker RNG
+/// states, and — since v2 — per-slot trust accounting plus the
+/// quarantined diffs that failed spot-checks.
 struct DistState {
     steps_done: usize,
     next_lease: u64,
     pending: Vec<usize>,
     worker_rng: BTreeMap<u64, [u64; 4]>,
+    trust: BTreeMap<u64, WorkerStats>,
+    quarantined: Vec<FoundDiff>,
+    quarantined_total: usize,
 }
 
 impl DistState {
-    /// The `dist.json` document for the current state (leased seeds fold
-    /// into `pending`, since a checkpoint outlives every lease).
-    fn doc(st: &State) -> Json {
-        let pending: Vec<usize> = st
-            .pending
-            .iter()
-            .copied()
-            .chain(st.leases.values().flat_map(|l| l.seed_ids.iter().copied()))
-            .collect();
+    /// Snapshots the dist extension's state under the coordinator lock —
+    /// cheap field clones only. Leased seeds fold into `pending`, since a
+    /// checkpoint outlives every lease. JSON rendering (the expensive
+    /// part, with up to [`QUARANTINE_KEEP`] inlined tensors) happens in
+    /// [`DistState::doc`], outside the lock.
+    fn snapshot(st: &State) -> Self {
+        Self {
+            steps_done: st.steps_done,
+            next_lease: st.next_lease,
+            pending: st
+                .pending
+                .iter()
+                .copied()
+                .chain(st.leases.values().flat_map(|l| l.seed_ids.iter().copied()))
+                .collect(),
+            worker_rng: st.worker_rng.clone(),
+            trust: st.per_worker.clone(),
+            quarantined: st.quarantined.clone(),
+            quarantined_total: st.quarantined_total,
+        }
+    }
+
+    /// The `dist.json` document for a snapshot.
+    fn doc(&self) -> Json {
         let workers = Json::Arr(
-            st.worker_rng
+            self.worker_rng
                 .iter()
                 .map(|(&slot, state)| {
                     build::obj(vec![("slot", u64_json(slot)), ("state", rng_state_json(state))])
                 })
                 .collect(),
         );
+        let trust = Json::Arr(
+            self.trust
+                .iter()
+                .map(|(&slot, w)| {
+                    build::obj(vec![
+                        ("slot", u64_json(slot)),
+                        ("checked", build::int(w.spot_checked)),
+                        ("failed", build::int(w.spot_failed)),
+                        ("evicted", Json::Bool(w.evicted)),
+                    ])
+                })
+                .collect(),
+        );
         build::obj(vec![
-            ("version", build::int(1)),
-            ("steps_done", build::int(st.steps_done)),
-            ("next_lease", u64_json(st.next_lease)),
-            ("pending", build::ints(&pending)),
+            ("version", build::int(2)),
+            ("steps_done", build::int(self.steps_done)),
+            ("next_lease", u64_json(self.next_lease)),
+            ("pending", build::ints(&self.pending)),
             ("worker_rng", workers),
+            ("trust", trust),
+            ("quarantined_total", build::int(self.quarantined_total)),
+            ("quarantined", Json::Arr(self.quarantined.iter().map(diff_json).collect())),
         ])
     }
 
     /// `Ok(None)` when the file is absent — a plain campaign checkpoint.
+    /// v1 files (no trust/quarantine fields) load with empty trust state.
     fn load(dir: &Path) -> io::Result<Option<Self>> {
         let text = match std::fs::read_to_string(dir.join("dist.json")) {
             Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
@@ -1012,11 +1471,37 @@ impl DistState {
                 worker_rng.insert(slot, state);
             }
         }
+        let mut trust = BTreeMap::new();
+        if let Some(entries) = doc.get("trust").and_then(Json::as_arr) {
+            for e in entries {
+                let slot = e.get("slot").and_then(u64_from_json).ok_or_else(|| {
+                    io::Error::new(io::ErrorKind::InvalidData, "dist.json trust slot")
+                })?;
+                trust.insert(
+                    slot,
+                    WorkerStats {
+                        spot_checked: field_usize(e, "checked")?,
+                        spot_failed: field_usize(e, "failed")?,
+                        evicted: e.get("evicted").and_then(Json::as_bool).unwrap_or(false),
+                        ..WorkerStats::default()
+                    },
+                );
+            }
+        }
+        let quarantined = match doc.get("quarantined").and_then(Json::as_arr) {
+            None => Vec::new(),
+            Some(entries) => entries.iter().map(diff_from_json).collect::<io::Result<Vec<_>>>()?,
+        };
+        let quarantined_total =
+            doc.get("quarantined_total").and_then(Json::as_usize).unwrap_or(quarantined.len());
         Ok(Some(Self {
             steps_done: field_usize(&doc, "steps_done")?,
             next_lease: doc.get("next_lease").and_then(u64_from_json).unwrap_or(0),
             pending,
             worker_rng,
+            trust,
+            quarantined,
+            quarantined_total,
         }))
     }
 }

@@ -22,6 +22,15 @@
 //!   (campaign JSONL plus `dist.json` lease state) from which
 //!   [`Coordinator::resume`] restarts the whole fleet — or
 //!   [`dx_campaign::Campaign::resume`] continues in-process.
+//! - Trust comes from three layers ([`auth`], [`coordinator`]): a shared
+//!   secret proven via HMAC challenge/response before any campaign state
+//!   is revealed; spot-checking, where the coordinator re-executes a
+//!   sample of claimed difference-inducing inputs through its own model
+//!   copies, quarantining non-reproducing claims and evicting workers
+//!   whose fabrication rate crosses a threshold; and structural frame
+//!   validation (shape checks, pre-admission frame caps, hello
+//!   timeouts), so a hostile peer can be rejected but never crash or
+//!   stall the service.
 //!
 //! # Example (in-process fleet over real sockets)
 //!
@@ -57,6 +66,7 @@
 
 #![warn(missing_docs)]
 
+pub mod auth;
 pub mod coordinator;
 pub mod proto;
 pub mod wire;
@@ -707,6 +717,461 @@ mod tests {
             coordinator.serve(listener).unwrap()
         });
         assert_eq!(report.steps_done, 3, "expired-lease results were not salvaged");
+    }
+
+    /// Scripted raw frame exchange against `addr`; returns the reply.
+    fn raw_exchange(stream: &mut std::net::TcpStream, msg: &Msg) -> std::io::Result<Msg> {
+        crate::wire::write_frame(stream, &msg.to_json())?;
+        Msg::from_json(&crate::wire::read_frame(stream)?)
+    }
+
+    fn empty_run(iterations: usize) -> deepxplore::SeedRun {
+        deepxplore::SeedRun {
+            test: None,
+            preexisting: false,
+            iterations,
+            newly_covered: 0,
+            newly_by_component: Vec::new(),
+            corpus_candidate: None,
+        }
+    }
+
+    #[test]
+    fn wrong_token_is_rejected_at_hello_without_revealing_state() {
+        let s = suite(110);
+        let cfg = CoordinatorConfig { auth_token: Some("fleet-secret".into()), ..quick_cfg(4) };
+        let coordinator = Coordinator::new(&s, "unit@test", &seed_batch(111, 4), cfg);
+        let fingerprint = coordinator.fingerprint().clone();
+        let listener = std::net::TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = coordinator.drain_handle();
+        std::thread::scope(|scope| {
+            let fp = fingerprint.clone();
+            scope.spawn(move || {
+                // Wrong token: challenged, then rejected — and the reject
+                // must not leak any campaign state (fingerprint, seed).
+                let replies = worker::scripted_with_token(
+                    addr,
+                    Some("wrong-secret"),
+                    &[Msg::Hello { version: PROTOCOL_VERSION, fingerprint: fp.clone() }],
+                )
+                .unwrap();
+                match &replies[0] {
+                    Msg::Reject { reason } => {
+                        assert!(reason.contains("authentication"), "{reason}");
+                        assert!(!reason.contains("fingerprint"), "leaked state: {reason}");
+                    }
+                    other => panic!("wrong token admitted: {other:?}"),
+                }
+                // No token at all: the challenge goes unanswered; trying to
+                // push past it without a proof is rejected too.
+                let replies = worker::scripted(
+                    addr,
+                    &[
+                        Msg::Hello { version: PROTOCOL_VERSION, fingerprint: fp.clone() },
+                        Msg::LeaseRequest { slot: 0, want: 1 },
+                    ],
+                )
+                .unwrap();
+                assert!(matches!(&replies[0], Msg::Challenge { .. }), "{:?}", replies[0]);
+                assert!(matches!(&replies[1], Msg::Reject { .. }), "{:?}", replies[1]);
+                // A proof without an outstanding challenge is rejected.
+                let replies =
+                    worker::scripted(addr, &[Msg::AuthProof { proof: "00".into() }]).unwrap();
+                assert!(matches!(&replies[0], Msg::Reject { .. }), "{:?}", replies[0]);
+                // The right token is admitted.
+                let replies = worker::scripted_with_token(
+                    addr,
+                    Some("fleet-secret"),
+                    &[Msg::Hello { version: PROTOCOL_VERSION, fingerprint: fp }],
+                )
+                .unwrap();
+                assert!(matches!(&replies[0], Msg::Welcome { .. }), "{:?}", replies[0]);
+                handle.drain();
+            });
+            coordinator.serve(listener).unwrap();
+        });
+    }
+
+    #[test]
+    fn authenticated_fleet_completes_a_budget() {
+        let s = suite(115);
+        let cfg = CoordinatorConfig { auth_token: Some("tok".into()), ..quick_cfg(8) };
+        let worker_cfg = WorkerConfig { auth_token: Some("tok".into()), ..Default::default() };
+        let (report, workers) =
+            run_local(&s, "unit@test", &seed_batch(116, 8), cfg, worker_cfg, 2).unwrap();
+        assert!(report.steps_done >= 8);
+        assert_eq!(workers.len(), 2);
+        // A worker without the token cannot join the same kind of fleet.
+        let cfg = CoordinatorConfig { auth_token: Some("tok".into()), ..quick_cfg(4) };
+        let (_, summaries) = run_local(
+            &s,
+            "unit@test",
+            &seed_batch(116, 8),
+            CoordinatorConfig { duration: Some(Duration::from_millis(800)), ..cfg },
+            WorkerConfig::default(), // no token
+            1,
+        )
+        .unwrap();
+        assert!(summaries.is_empty(), "tokenless worker joined an authenticated fleet");
+    }
+
+    #[test]
+    fn fabricated_diffs_are_quarantined_and_the_worker_evicted() {
+        let s = suite(120);
+        let coordinator = Coordinator::new(
+            &s,
+            "unit@test",
+            &seed_batch(121, 8),
+            CoordinatorConfig { spot_check_rate: 1.0, ..quick_cfg(8) },
+        );
+        let fingerprint = coordinator.fingerprint().clone();
+        let listener = std::net::TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let report = std::thread::scope(|scope| {
+            let s2 = s.clone();
+            let coord = &coordinator;
+            // The fabricator runs first; once it is evicted, the same
+            // thread checks that nothing it claimed stuck, then an honest
+            // worker finishes the campaign on the requeued seeds.
+            scope.spawn(move || {
+                let mut stream = std::net::TcpStream::connect(addr).unwrap();
+                let hello = Msg::Hello { version: PROTOCOL_VERSION, fingerprint };
+                let welcome = raw_exchange(&mut stream, &hello).unwrap();
+                let Msg::Welcome { slot, .. } = welcome else { panic!("{welcome:?}") };
+                let req = Msg::LeaseRequest { slot, want: 2 };
+                let reply = raw_exchange(&mut stream, &req).unwrap();
+                let Msg::Lease { lease, jobs, .. } = reply else { panic!("{reply:?}") };
+                assert!(jobs.len() >= 2, "need two jobs to cross TRUST_MIN_CHECKS");
+                // Fabricate a difference claim per job: the models agree on
+                // these plain seeds, so re-execution cannot reproduce the
+                // claimed disagreement. Also claim a fat coverage delta —
+                // it must be discarded along with the lease.
+                let items: Vec<crate::proto::JobResult> = jobs
+                    .iter()
+                    .map(|j| crate::proto::JobResult {
+                        seed_id: j.seed_id,
+                        run: deepxplore::SeedRun {
+                            test: Some(deepxplore::GeneratedTest {
+                                seed_index: j.seed_id,
+                                input: j.input.clone(),
+                                iterations: 3,
+                                predictions: vec![
+                                    deepxplore::diff::Prediction::Class(0),
+                                    deepxplore::diff::Prediction::Class(1),
+                                    deepxplore::diff::Prediction::Class(2),
+                                ],
+                                target_model: 0,
+                            }),
+                            ..empty_run(3)
+                        },
+                    })
+                    .collect();
+                let signals = s2.signal.build(&s2.models);
+                let fat_cov: Vec<Vec<usize>> =
+                    signals.iter().map(|sig| (0..sig.total()).collect()).collect();
+                let results =
+                    Msg::Results { slot, lease, items, cov: fat_cov, rng_state: [1, 2, 3, 4] };
+                let verdict = raw_exchange(&mut stream, &results).unwrap();
+                let Msg::Reject { reason } = verdict else {
+                    panic!("fabricator was not evicted: {verdict:?}")
+                };
+                assert!(reason.contains("evicted"), "{reason}");
+                // Nothing the fabricator claimed entered campaign state.
+                assert!(coord.quarantined() >= 2, "claims were not quarantined");
+                assert_eq!(coord.mean_coverage(), 0.0, "fabricated coverage polluted the union");
+                assert_eq!(coord.steps_done(), 0, "fabricated steps were absorbed");
+                run_worker(addr, s2, "unit@test", WorkerConfig::default()).unwrap();
+            });
+            coordinator.serve(listener).unwrap()
+        });
+        assert!(report.steps_done >= 8, "campaign starved: {} steps", report.steps_done);
+        assert!(report.quarantined >= 2);
+        let evicted: Vec<_> = report.per_worker.iter().filter(|(_, w)| w.evicted).collect();
+        assert_eq!(evicted.len(), 1, "exactly the fabricator is evicted: {:?}", report.per_worker);
+        assert!(evicted[0].1.spot_failed >= 2);
+    }
+
+    #[test]
+    fn honest_fleet_results_are_unchanged_by_spot_checking() {
+        // Verification must be free for the innocent: a single-worker
+        // fleet (deterministic) produces bit-identical corpus, coverage
+        // and diffs whether every claim is re-checked or none is.
+        let run = |rate: f32| {
+            let dir = tmp_dir(&format!("spotrate_{}", (rate * 100.0) as u32));
+            let cfg = CoordinatorConfig {
+                spot_check_rate: rate,
+                checkpoint_dir: Some(dir.clone()),
+                ..quick_cfg(10)
+            };
+            let (report, _) = run_local(
+                &suite(130),
+                "unit@test",
+                &seed_batch(131, 8),
+                cfg,
+                WorkerConfig::default(),
+                1,
+            )
+            .unwrap();
+            let state = dx_campaign::checkpoint::load(&dir).unwrap();
+            let _ = std::fs::remove_dir_all(&dir);
+            (report, state)
+        };
+        let (unchecked, state_a) = run(0.0);
+        let (checked, state_b) = run(1.0);
+        assert_eq!(unchecked.steps_done, checked.steps_done);
+        assert_eq!(unchecked.coverage, checked.coverage);
+        assert_eq!(unchecked.diffs, checked.diffs);
+        assert_eq!(checked.quarantined, 0, "honest claims were quarantined");
+        assert_eq!(state_a.corpus.len(), state_b.corpus.len());
+        for (a, b) in state_a.corpus.iter().zip(&state_b.corpus) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.input, b.input);
+            assert_eq!(a.energy.to_bits(), b.energy.to_bits());
+        }
+        // And the honest worker's claims really were checked.
+        let w_checked: usize = checked.per_worker.iter().map(|(_, w)| w.spot_checked).sum();
+        assert_eq!(w_checked, checked.diffs, "spot-check sampling at rate 1.0 missed claims");
+    }
+
+    #[test]
+    fn adaptive_leases_grow_for_fast_workers() {
+        let s = suite(140);
+        let coordinator = Coordinator::new(
+            &s,
+            "unit@test",
+            &seed_batch(141, 32),
+            CoordinatorConfig {
+                lease_size: 4,
+                lease_max: 16,
+                max_steps: Some(64),
+                batch_per_round: 16,
+                ..Default::default()
+            },
+        );
+        let fingerprint = coordinator.fingerprint().clone();
+        let listener = std::net::TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = coordinator.drain_handle();
+        std::thread::scope(|scope| {
+            scope.spawn(move || {
+                let mut stream = std::net::TcpStream::connect(addr).unwrap();
+                let hello = Msg::Hello { version: PROTOCOL_VERSION, fingerprint };
+                let Msg::Welcome { slot, .. } = raw_exchange(&mut stream, &hello).unwrap() else {
+                    panic!("not welcomed")
+                };
+                let mut sizes = Vec::new();
+                for _ in 0..3 {
+                    // `want: 1` is advisory — the adaptive coordinator
+                    // grants its learned quota instead.
+                    let req = Msg::LeaseRequest { slot, want: 1 };
+                    let reply = raw_exchange(&mut stream, &req).unwrap();
+                    let Msg::Lease { lease, jobs, .. } = reply else { panic!("{reply:?}") };
+                    sizes.push(jobs.len());
+                    // Instant (empty but honest) results: maximum observed
+                    // throughput, so the quota should double.
+                    let items = jobs
+                        .iter()
+                        .map(|j| crate::proto::JobResult { seed_id: j.seed_id, run: empty_run(1) })
+                        .collect();
+                    let results = Msg::Results {
+                        slot,
+                        lease,
+                        items,
+                        cov: vec![Vec::new(); 3],
+                        rng_state: [5, 6, 7, 8],
+                    };
+                    match raw_exchange(&mut stream, &results).unwrap() {
+                        Msg::Ack { .. } | Msg::Drain => {}
+                        other => panic!("{other:?}"),
+                    }
+                }
+                assert_eq!(sizes, vec![4, 8, 16], "lease quota failed to grow");
+                handle.drain();
+            });
+            coordinator.serve(listener).unwrap();
+        });
+    }
+
+    #[test]
+    fn garbage_frames_get_a_clean_reject_and_never_stall_the_service() {
+        use std::io::{Read as _, Write as _};
+        let s = suite(150);
+        let coordinator = Coordinator::new(&s, "unit@test", &seed_batch(151, 6), quick_cfg(6));
+        let listener = std::net::TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let report = std::thread::scope(|scope| {
+            scope.spawn(move || {
+                // (a) An oversized length prefix (a 4 GiB frame claim).
+                // Nothing past the prefix: the server closes after its
+                // reject, and unread bytes would turn that close into a
+                // TCP reset racing the reject frame.
+                let mut a = std::net::TcpStream::connect(addr).unwrap();
+                a.write_all(&[0xff, 0xff, 0xff, 0xff]).unwrap();
+                match Msg::from_json(&crate::wire::read_frame(&mut a).unwrap()) {
+                    Ok(Msg::Reject { reason }) => assert!(reason.contains("frame"), "{reason}"),
+                    other => panic!("no clean reject for the length bomb: {other:?}"),
+                }
+                // The coordinator closed its side after the reject.
+                let mut rest = Vec::new();
+                assert_eq!(a.read_to_end(&mut rest).unwrap(), 0);
+                // (b) A well-framed payload that is not JSON.
+                let mut b = std::net::TcpStream::connect(addr).unwrap();
+                b.write_all(&7u32.to_be_bytes()).unwrap();
+                b.write_all(b"GET /!!").unwrap();
+                match Msg::from_json(&crate::wire::read_frame(&mut b).unwrap()) {
+                    Ok(Msg::Reject { .. }) => {}
+                    other => panic!("no clean reject for non-JSON: {other:?}"),
+                }
+                // (c) Valid JSON that is not a protocol message.
+                let mut c = std::net::TcpStream::connect(addr).unwrap();
+                let doc = dx_campaign::json::build::obj(vec![(
+                    "type",
+                    dx_campaign::json::build::str("warp"),
+                )]);
+                crate::wire::write_frame(&mut c, &doc).unwrap();
+                match Msg::from_json(&crate::wire::read_frame(&mut c).unwrap()) {
+                    Ok(Msg::Reject { reason }) => assert!(reason.contains("malformed"), "{reason}"),
+                    other => panic!("no clean reject for a bogus message: {other:?}"),
+                }
+                // (d) A connection that says nothing at all, held open
+                // while the real campaign runs below.
+                std::net::TcpStream::connect(addr).unwrap()
+            });
+            // The accept loop is unfazed: an honest worker joins after all
+            // that and the campaign completes.
+            let honest = {
+                let s = s.clone();
+                scope.spawn(move || run_worker(addr, s, "unit@test", WorkerConfig::default()))
+            };
+            let report = coordinator.serve(listener).unwrap();
+            honest.join().unwrap().unwrap();
+            report
+        });
+        assert!(report.steps_done >= 6, "garbage clients stalled the campaign");
+    }
+
+    #[test]
+    fn never_issued_lease_id_is_rejected_with_its_coverage() {
+        // An admitted worker reporting results for a lease id this
+        // coordinator never issued: nothing about the frame — its fat
+        // coverage claim included — is credible.
+        let s = suite(155);
+        let coordinator = Coordinator::new(&s, "unit@test", &seed_batch(156, 6), quick_cfg(6));
+        let fingerprint = coordinator.fingerprint().clone();
+        let listener = std::net::TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = coordinator.drain_handle();
+        std::thread::scope(|scope| {
+            let coord = &coordinator;
+            scope.spawn(move || {
+                let mut stream = std::net::TcpStream::connect(addr).unwrap();
+                let hello = Msg::Hello { version: PROTOCOL_VERSION, fingerprint };
+                let welcome = raw_exchange(&mut stream, &hello).unwrap();
+                let Msg::Welcome { slot, .. } = welcome else { panic!("{welcome:?}") };
+                let bogus = Msg::Results {
+                    slot,
+                    lease: 9999,
+                    items: Vec::new(),
+                    cov: vec![(0..5).collect(); 3],
+                    rng_state: [1; 4],
+                };
+                match raw_exchange(&mut stream, &bogus).unwrap() {
+                    Msg::Reject { reason } => assert!(reason.contains("lease"), "{reason}"),
+                    other => panic!("never-issued lease accepted: {other:?}"),
+                }
+                assert_eq!(coord.mean_coverage(), 0.0, "bogus coverage entered the union");
+                handle.drain();
+            });
+            coordinator.serve(listener).unwrap();
+        });
+    }
+
+    #[test]
+    fn trust_state_round_trips_through_dist_json() {
+        // Quarantine and per-slot trust survive a drain + resume.
+        let dir = tmp_dir("trust_resume");
+        let s = suite(160);
+        let coordinator = Coordinator::new(
+            &s,
+            "unit@test",
+            &seed_batch(161, 6),
+            CoordinatorConfig {
+                spot_check_rate: 1.0,
+                checkpoint_dir: Some(dir.clone()),
+                ..quick_cfg(6)
+            },
+        );
+        let fingerprint = coordinator.fingerprint().clone();
+        let listener = std::net::TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::scope(|scope| {
+            scope.spawn(move || {
+                let mut stream = std::net::TcpStream::connect(addr).unwrap();
+                let hello = Msg::Hello { version: PROTOCOL_VERSION, fingerprint };
+                let Msg::Welcome { slot, .. } = raw_exchange(&mut stream, &hello).unwrap() else {
+                    panic!("not welcomed")
+                };
+                let req = Msg::LeaseRequest { slot, want: 2 };
+                let Msg::Lease { lease, jobs, .. } = raw_exchange(&mut stream, &req).unwrap()
+                else {
+                    panic!("no lease")
+                };
+                let items = jobs
+                    .iter()
+                    .map(|j| crate::proto::JobResult {
+                        seed_id: j.seed_id,
+                        run: deepxplore::SeedRun {
+                            test: Some(deepxplore::GeneratedTest {
+                                seed_index: j.seed_id,
+                                input: j.input.clone(),
+                                iterations: 1,
+                                predictions: vec![
+                                    deepxplore::diff::Prediction::Class(0),
+                                    deepxplore::diff::Prediction::Class(1),
+                                    deepxplore::diff::Prediction::Class(2),
+                                ],
+                                target_model: 0,
+                            }),
+                            ..empty_run(1)
+                        },
+                    })
+                    .collect();
+                let results = Msg::Results {
+                    slot,
+                    lease,
+                    items,
+                    cov: vec![Vec::new(); 3],
+                    rng_state: [1; 4],
+                };
+                let _ = raw_exchange(&mut stream, &results);
+            });
+            let honest = {
+                let s = s.clone();
+                scope.spawn(move || {
+                    std::thread::sleep(Duration::from_millis(200));
+                    run_worker(addr, s, "unit@test", WorkerConfig::default())
+                })
+            };
+            let report = coordinator.serve(listener).unwrap();
+            honest.join().unwrap().unwrap();
+            assert!(report.quarantined >= 1);
+        });
+        let quarantined_before = {
+            let resumed = Coordinator::resume(
+                &s,
+                "unit@test",
+                CoordinatorConfig {
+                    spot_check_rate: 1.0,
+                    checkpoint_dir: Some(dir.clone()),
+                    ..quick_cfg(12)
+                },
+            )
+            .unwrap();
+            resumed.quarantined()
+        };
+        assert!(quarantined_before >= 1, "quarantine lost across resume");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

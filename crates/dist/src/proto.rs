@@ -5,8 +5,10 @@
 //!
 //! ```text
 //! worker                          coordinator
-//!   | -- hello {version, fp} ------> |   verify, assign a slot
-//!   | <- welcome {slot, seed, rng} - |
+//!   | -- hello {version, fp} ------> |   version check
+//!   | <- challenge {nonce} --------- |   (only when auth is enabled)
+//!   | -- auth {proof} -------------> |   HMAC-SHA256(token, nonce)
+//!   | <- welcome {slot, seed, rng} - |   verify fp, assign a slot
 //!   | -- lease_req {slot, want} ---> |   energy-weighted batch + cov delta
 //!   | <- lease {id, jobs, cov} ----- |   (or wait / drain)
 //!   | -- heartbeat {slot, lease} --> |   extends the lease deadline
@@ -38,8 +40,11 @@ use dx_tensor::Tensor;
 /// rejected at `hello` time. v2: metric-generic coverage units plus
 /// hyperparameter/constraint fingerprinting. v3: composite metric specs
 /// (component-prefixed coverage deltas) and per-component
-/// `newly_by_component` splits in seed-run results.
-pub const PROTOCOL_VERSION: u64 = 3;
+/// `newly_by_component` splits in seed-run results. v4: the
+/// challenge/auth admission handshake (shared-secret worker
+/// authentication), and `want` in `lease_req` became advisory — an
+/// adaptive coordinator may grant larger leases than requested.
+pub const PROTOCOL_VERSION: u64 = 4;
 
 /// What the coordinator checks before admitting a worker: both sides must
 /// be fuzzing the same model suite, under the same coverage metric, with
@@ -163,16 +168,33 @@ pub enum Msg {
         /// a checkpointed fleet, so streams continue instead of restarting.
         rng_state: Option<[u64; 4]>,
     },
-    /// Admission refused (version/fingerprint mismatch, malformed frame).
+    /// Admission refused (version/fingerprint/auth mismatch, malformed
+    /// frame, or an eviction).
     Reject {
         /// Human-readable cause.
         reason: String,
     },
-    /// Worker asks for up to `want` jobs.
+    /// Authentication demanded before admission proceeds: the coordinator
+    /// runs with a shared secret and reveals no campaign state (not even
+    /// the fingerprint verdict) until the peer proves it holds the same
+    /// secret. Sent in reply to `hello`.
+    Challenge {
+        /// Fresh per-connection nonce the proof must cover.
+        nonce: String,
+    },
+    /// The worker's answer to a `challenge`:
+    /// `hex(HMAC-SHA256(token, nonce))` (see [`crate::auth::proof`]).
+    AuthProof {
+        /// The hex-encoded MAC.
+        proof: String,
+    },
+    /// Worker asks for jobs. `want` is advisory: a coordinator running
+    /// adaptive lease sizing may grant more (workers process whatever a
+    /// lease carries), a busy corpus may yield fewer.
     LeaseRequest {
         /// Sender's slot.
         slot: u64,
-        /// Max jobs wanted.
+        /// Jobs wanted.
         want: usize,
     },
     /// A batch of jobs on a deadline, plus the coordinator's coverage news.
@@ -282,6 +304,8 @@ impl Msg {
                 ],
             ),
             Msg::Reject { reason } => tagged("reject", vec![("reason", build::str(reason))]),
+            Msg::Challenge { nonce } => tagged("challenge", vec![("nonce", build::str(nonce))]),
+            Msg::AuthProof { proof } => tagged("auth", vec![("proof", build::str(proof))]),
             Msg::LeaseRequest { slot, want } => {
                 tagged("lease_req", vec![("slot", u64_json(*slot)), ("want", build::int(*want))])
             }
@@ -339,6 +363,20 @@ impl Msg {
                     .get("reason")
                     .and_then(Json::as_str)
                     .ok_or_else(|| bad("reason"))?
+                    .to_string(),
+            },
+            "challenge" => Msg::Challenge {
+                nonce: v
+                    .get("nonce")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| bad("nonce"))?
+                    .to_string(),
+            },
+            "auth" => Msg::AuthProof {
+                proof: v
+                    .get("proof")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| bad("proof"))?
                     .to_string(),
             },
             "lease_req" => {
@@ -483,6 +521,22 @@ mod tests {
             round_trip(&Msg::Heartbeat { slot: 2, lease: 7 }),
             Msg::Heartbeat { slot: 2, lease: 7 }
         ));
+    }
+
+    #[test]
+    fn auth_messages_round_trip() {
+        match round_trip(&Msg::Challenge { nonce: "00ff".into() }) {
+            Msg::Challenge { nonce } => assert_eq!(nonce, "00ff"),
+            other => panic!("{other:?}"),
+        }
+        match round_trip(&Msg::AuthProof { proof: "deadbeef".into() }) {
+            Msg::AuthProof { proof } => assert_eq!(proof, "deadbeef"),
+            other => panic!("{other:?}"),
+        }
+        for text in [r#"{"type":"challenge"}"#, r#"{"type":"auth","proof":7}"#] {
+            let doc = parse_doc(text).unwrap();
+            assert!(Msg::from_json(&doc).is_err(), "accepted `{text}`");
+        }
     }
 
     #[test]

@@ -16,11 +16,15 @@ use dx_campaign::json::Json;
 /// length prefix would otherwise ask for gigabytes.
 pub const MAX_FRAME: usize = 1 << 28;
 
-fn oversized(len: usize) -> io::Error {
+fn oversized_for(len: usize, cap: usize) -> io::Error {
     io::Error::new(
         io::ErrorKind::InvalidData,
-        format!("frame of {len} bytes exceeds the {MAX_FRAME}-byte cap"),
+        format!("frame of {len} bytes exceeds the {cap}-byte cap"),
     )
+}
+
+fn oversized(len: usize) -> io::Error {
+    oversized_for(len, MAX_FRAME)
 }
 
 /// Writes one framed message and flushes.
@@ -68,17 +72,40 @@ fn decode(payload: &[u8]) -> io::Result<Json> {
 /// the bytes already consumed. `FrameReader` instead accumulates partial
 /// header/payload bytes across calls, so a server can poll a connection
 /// (checking drain flags between polls) without ever corrupting framing.
-#[derive(Default)]
 pub struct FrameReader {
     buf: Vec<u8>,
     /// Payload length once the 4-byte header is complete.
     need: Option<usize>,
+    /// Per-reader frame cap (≤ [`MAX_FRAME`]); servers start unadmitted
+    /// connections small so a stranger cannot demand a huge allocation
+    /// with a four-byte length prefix.
+    cap: usize,
+}
+
+impl Default for FrameReader {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl FrameReader {
-    /// A reader with no partial state.
+    /// A reader with no partial state and the default [`MAX_FRAME`] cap.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_cap(MAX_FRAME)
+    }
+
+    /// A reader capped at `cap` bytes per frame (clamped to
+    /// [`MAX_FRAME`]). A length prefix over the cap is `InvalidData`
+    /// *before* any payload allocation happens.
+    pub fn with_cap(cap: usize) -> Self {
+        Self { buf: Vec::new(), need: None, cap: cap.min(MAX_FRAME) }
+    }
+
+    /// Raises (or lowers) the cap for subsequent frames — e.g. once a
+    /// connection has authenticated and earned the full allowance. Takes
+    /// effect from the next length prefix read.
+    pub fn set_cap(&mut self, cap: usize) {
+        self.cap = cap.min(MAX_FRAME);
     }
 
     /// Reads whatever is available; returns `Ok(Some(msg))` once a full
@@ -106,8 +133,8 @@ impl FrameReader {
                 // Header complete: learn the payload length and keep going.
                 let len = u32::from_be_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]])
                     as usize;
-                if len > MAX_FRAME {
-                    return Err(oversized(len));
+                if len > self.cap {
+                    return Err(oversized_for(len, self.cap));
                 }
                 self.need = Some(len);
                 continue;
@@ -229,6 +256,25 @@ mod tests {
         let mut reader = FrameReader::new();
         let mut r = &buf[..];
         assert_eq!(reader.poll(&mut r).unwrap_err().kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn per_reader_cap_rejects_frames_the_default_would_allow() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &sample()).unwrap();
+        // A cap below the frame size rejects at the length prefix...
+        let mut small = FrameReader::with_cap(8);
+        let mut r = &buf[..];
+        assert_eq!(small.poll(&mut r).unwrap_err().kind(), io::ErrorKind::InvalidData);
+        // ...and raising the cap (fresh frame boundary) admits it again.
+        let mut raised = FrameReader::with_cap(8);
+        raised.set_cap(MAX_FRAME);
+        let mut r = &buf[..];
+        assert_eq!(raised.poll(&mut r).unwrap().unwrap(), sample());
+        // with_cap never exceeds the global MAX_FRAME guard.
+        let mut huge = FrameReader::with_cap(usize::MAX);
+        let mut r: &[u8] = &[0xff, 0xff, 0xff, 0xff, 0, 0];
+        assert_eq!(huge.poll(&mut r).unwrap_err().kind(), io::ErrorKind::InvalidData);
     }
 
     #[test]

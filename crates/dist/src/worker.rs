@@ -27,7 +27,8 @@ use crate::wire::{read_frame, write_frame};
 /// Worker-side knobs.
 #[derive(Clone, Debug)]
 pub struct WorkerConfig {
-    /// Jobs requested per lease.
+    /// Jobs requested per lease. Advisory since protocol v4: a
+    /// coordinator running adaptive lease sizing may grant more.
     pub lease_size: usize,
     /// Heartbeat before every this-many-th job within a lease; with the
     /// default of 1, every job starts on a fresh lease deadline, so the
@@ -38,6 +39,10 @@ pub struct WorkerConfig {
     pub connect_retries: u32,
     /// Pause between connection attempts.
     pub retry_delay: Duration,
+    /// Shared secret answering the coordinator's auth challenge
+    /// ([`crate::auth`]). Required when the coordinator runs with one;
+    /// ignored (never sent) when it does not.
+    pub auth_token: Option<String>,
 }
 
 impl Default for WorkerConfig {
@@ -47,6 +52,7 @@ impl Default for WorkerConfig {
             heartbeat_every: 1,
             connect_retries: 50,
             retry_delay: Duration::from_millis(100),
+            auth_token: None,
         }
     }
 }
@@ -103,7 +109,8 @@ pub fn run_worker(
     let fingerprint = suite_fingerprint(&suite, label);
     let mut stream = connect(addr, &cfg)?;
     stream.set_nodelay(true)?;
-    let (slot, campaign_seed, rng_state) = hello(&mut stream, fingerprint)?;
+    let (slot, campaign_seed, rng_state) =
+        hello(&mut stream, fingerprint, cfg.auth_token.as_deref())?;
     let signals = suite.signal.build(&suite.models);
     let mut generator = Generator::with_signals(
         suite.models.clone(),
@@ -174,8 +181,20 @@ pub fn run_worker(
 fn hello(
     stream: &mut TcpStream,
     fingerprint: Fingerprint,
+    auth_token: Option<&str>,
 ) -> io::Result<(u64, u64, Option<[u64; 4]>)> {
-    match exchange(stream, &Msg::Hello { version: PROTOCOL_VERSION, fingerprint })? {
+    let mut reply = exchange(stream, &Msg::Hello { version: PROTOCOL_VERSION, fingerprint })?;
+    if let Msg::Challenge { nonce } = &reply {
+        // The coordinator demands authentication before admitting anyone.
+        let Some(token) = auth_token else {
+            return Err(proto_err(
+                "coordinator requires authentication; configure the shared \
+                 token (--auth-token / DX_AUTH_TOKEN)",
+            ));
+        };
+        reply = exchange(stream, &Msg::AuthProof { proof: crate::auth::proof(token, nonce) })?;
+    }
+    match reply {
         Msg::Welcome { slot, campaign_seed, rng_state } => Ok((slot, campaign_seed, rng_state)),
         Msg::Reject { reason } => Err(proto_err(format!("rejected: {reason}"))),
         other => Err(proto_err(format!("unexpected {other:?}"))),
@@ -212,10 +231,27 @@ fn local_news(generator: &Generator, known: &mut [CoverageSignal]) -> CovDelta {
 /// returns each reply (not used by real workers).
 #[cfg(test)]
 pub(crate) fn scripted(addr: std::net::SocketAddr, msgs: &[Msg]) -> io::Result<Vec<Msg>> {
+    scripted_with_token(addr, None, msgs)
+}
+
+/// [`scripted`], answering an auth challenge after the first `hello` with
+/// a proof derived from `token` (when given). The challenge reply is not
+/// recorded — callers see the post-auth verdict, as a real worker would.
+#[cfg(test)]
+pub(crate) fn scripted_with_token(
+    addr: std::net::SocketAddr,
+    token: Option<&str>,
+    msgs: &[Msg],
+) -> io::Result<Vec<Msg>> {
     let mut stream = TcpStream::connect(addr)?;
     let mut out = Vec::new();
     for m in msgs {
-        out.push(exchange(&mut stream, m)?);
+        let mut reply = exchange(&mut stream, m)?;
+        if let (Msg::Challenge { nonce }, Some(token)) = (&reply, token) {
+            reply =
+                exchange(&mut stream, &Msg::AuthProof { proof: crate::auth::proof(token, nonce) })?;
+        }
+        out.push(reply);
     }
     Ok(out)
 }

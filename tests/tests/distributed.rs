@@ -146,6 +146,155 @@ fn drained_fleet_checkpoint_is_valid_and_resumable() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+// ---------------------------------------------------------------------------
+// Worker death mid-lease: a real OS process takes a lease at gunpoint of
+// SIGKILL. Uses a synthetic model suite (deterministic from seeds, no zoo)
+// so the re-exec'd child derives the identical admission fingerprint
+// without touching the training cache.
+
+const DEATH_LABEL: &str = "death@test";
+const DEATH_TOKEN: &str = "death-fleet-secret";
+
+fn synthetic_suite() -> (ModelSuite, Tensor) {
+    use dx_nn::layer::Layer;
+    let mut base = dx_nn::Network::new(
+        &[16],
+        vec![Layer::dense(16, 14), Layer::relu(), Layer::dense(14, 3), Layer::softmax()],
+    );
+    base.init_weights(&mut rng::rng(0xdead));
+    let suite = ModelSuite {
+        models: vec![
+            base.clone(),
+            base.perturbed(0.04, 0xdead + 1),
+            base.perturbed(0.04, 0xdead + 2),
+        ],
+        kind: deepxplore::generator::TaskKind::Classification,
+        hp: Hyperparams { step: 0.25, lambda1: 2.0, max_iters: 30, ..Default::default() },
+        constraint: Constraint::Clip,
+        signal: SignalSpec::neuron(CoverageConfig::scaled(0.25)),
+    };
+    let seeds = rng::uniform(&mut rng::rng(0xbeef), &[10, 16], 0.2, 0.8);
+    (suite, seeds)
+}
+
+/// Not a test on its own: the re-exec'd child role for
+/// [`worker_death_mid_lease_requeues_and_resumes_with_trust_state`]. With
+/// the env var unset (every normal test run) it is an instant no-op; in
+/// the child process it authenticates, takes a lease, and then hangs
+/// holding it until the parent SIGKILLs the process.
+#[test]
+fn lease_holder_child() {
+    let Ok(addr) = std::env::var("DX_TEST_LEASE_HOLDER") else { return };
+    use dx_dist::proto::Msg;
+    use dx_dist::wire::{read_frame, write_frame};
+    let exchange = |stream: &mut std::net::TcpStream, msg: &Msg| -> Msg {
+        write_frame(stream, &msg.to_json()).unwrap();
+        Msg::from_json(&read_frame(stream).unwrap()).unwrap()
+    };
+    let (suite, _) = synthetic_suite();
+    let fingerprint = dx_dist::suite_fingerprint(&suite, DEATH_LABEL);
+    let mut stream = std::net::TcpStream::connect(addr).unwrap();
+    let mut reply =
+        exchange(&mut stream, &Msg::Hello { version: dx_dist::PROTOCOL_VERSION, fingerprint });
+    if let Msg::Challenge { nonce } = &reply {
+        let proof = dx_dist::auth::proof(DEATH_TOKEN, nonce);
+        reply = exchange(&mut stream, &Msg::AuthProof { proof });
+    }
+    let Msg::Welcome { slot, .. } = reply else { panic!("child not welcomed: {reply:?}") };
+    let reply = exchange(&mut stream, &Msg::LeaseRequest { slot, want: 3 });
+    let Msg::Lease { lease, .. } = reply else { panic!("child got no lease: {reply:?}") };
+    // Keep the lease alive once, then go catatonic holding it.
+    let _ = exchange(&mut stream, &Msg::Heartbeat { slot, lease });
+    std::thread::sleep(Duration::from_secs(300));
+}
+
+#[test]
+fn worker_death_mid_lease_requeues_and_resumes_with_trust_state() {
+    let (suite, seeds) = synthetic_suite();
+    let dir = tmp_dir("worker_death");
+    let budget = 10;
+    let cfg = CoordinatorConfig {
+        max_steps: Some(budget),
+        batch_per_round: 4,
+        lease_size: 3,
+        lease_timeout: Duration::from_millis(500),
+        checkpoint_dir: Some(dir.clone()),
+        auth_token: Some(DEATH_TOKEN.into()),
+        spot_check_rate: 1.0,
+        ..Default::default()
+    };
+    let coordinator = Coordinator::new(&suite, DEATH_LABEL, &seeds, cfg.clone());
+    let listener = std::net::TcpListener::bind(("127.0.0.1", 0)).unwrap();
+    let addr = listener.local_addr().unwrap();
+    let first = std::thread::scope(|scope| {
+        // Re-exec this test binary as the doomed lease holder.
+        let exe = std::env::current_exe().unwrap();
+        let mut child = std::process::Command::new(exe)
+            .args(["lease_holder_child", "--exact", "--nocapture"])
+            .env("DX_TEST_LEASE_HOLDER", addr.to_string())
+            .stdout(std::process::Stdio::null())
+            .stderr(std::process::Stdio::null())
+            .spawn()
+            .unwrap();
+        let honest = {
+            let suite = suite.clone();
+            let coord = &coordinator;
+            scope.spawn(move || {
+                // Wait until the child process really holds a lease, then
+                // kill it (SIGKILL — no goodbye frame, no flush).
+                let deadline = std::time::Instant::now() + Duration::from_secs(60);
+                while coord.outstanding_leases() == 0 {
+                    assert!(std::time::Instant::now() < deadline, "child never took a lease");
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                child.kill().unwrap();
+                child.wait().unwrap();
+                // An honest worker must be able to finish the whole budget,
+                // including the seeds the corpse still nominally held.
+                let wcfg = dx_dist::WorkerConfig {
+                    auth_token: Some(DEATH_TOKEN.into()),
+                    ..Default::default()
+                };
+                dx_dist::run_worker(addr, suite, DEATH_LABEL, wcfg).unwrap()
+            })
+        };
+        let report = coordinator.serve(listener).unwrap();
+        honest.join().unwrap();
+        report
+    });
+    assert!(first.steps_done >= budget, "requeue failed: {} steps", first.steps_done);
+
+    // The checkpoint's dist.json carries the trust layer's state.
+    let dist_json = std::fs::read_to_string(dir.join("dist.json")).unwrap();
+    assert!(dist_json.contains("\"trust\""), "no trust state in dist.json: {dist_json}");
+    assert!(dist_json.contains("\"quarantined_total\""), "{dist_json}");
+
+    // Resume restores the fleet exactly: steps continue counting, and the
+    // coverage union equals the persisted bitmaps bit for bit.
+    let resumed = Coordinator::resume(
+        &suite,
+        DEATH_LABEL,
+        CoordinatorConfig { max_steps: Some(first.steps_done + 4), ..cfg },
+    )
+    .unwrap();
+    assert_eq!(resumed.steps_done(), first.steps_done);
+    let state = dx_campaign::checkpoint::load(&dir).unwrap();
+    let masks = state.coverage.expect("coverage bitmaps persisted");
+    for (mask, cov) in masks.iter().zip(&first.coverage) {
+        let from_mask = mask.iter().filter(|&&c| c).count() as f32 / mask.len() as f32;
+        assert_eq!(from_mask.to_bits(), cov.to_bits(), "resume not bit-identical");
+    }
+    let wcfg = dx_dist::WorkerConfig { auth_token: Some(DEATH_TOKEN.into()), ..Default::default() };
+    let (second, _) = serve_local(&resumed, &suite, DEATH_LABEL, wcfg, 1).unwrap();
+    assert!(second.steps_done >= first.steps_done + 4);
+    // Trust accounting survived the round trip: the honest worker's
+    // spot-check history is still on the books.
+    let checked_first: usize = first.per_worker.iter().map(|(_, w)| w.spot_checked).sum();
+    let checked_second: usize = second.per_worker.iter().map(|(_, w)| w.spot_checked).sum();
+    assert!(checked_second >= checked_first, "trust state lost across resume");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn dist_smoke_merged_coverage_dominates_single_worker() {
     // The CI smoke: coordinator + 2 workers on a tiny budget; the merged
