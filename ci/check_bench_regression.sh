@@ -1,26 +1,41 @@
 #!/usr/bin/env bash
-# Compares per-arm seeds/s between two bench_results directories and fails
-# when any arm regressed more than the allowed percentage.
+# Compares per-arm *scaling* between two bench_results directories and
+# fails when any arm regressed more than the allowed percentage.
 #
-# Usage: ci/check_bench_regression.sh <baseline_dir> <fresh_dir> [max_regression_pct]
+# Usage: ci/check_bench_regression.sh <baseline_dir> <fresh_dir> \
+#            [max_regression_pct] [max_overhead_pct]
 #
-# The scaling bench tables end every data row with the speedup column
-# ("1.23x"); the seeds/s value is always the 4th field from the end, and
-# everything before it is the arm name. New arms present only in the fresh
-# results are reported but do not fail the check (baselines are updated by
-# the PR that introduces the arm); arms *missing* from the fresh results
-# fail it.
+# What is compared is the speedup column — the last field of every data
+# row ("1.23x"). Speedup is a *same-run* ratio: each arm is normalized
+# against its own run's baseline arm, so the comparison survives the
+# baselines having been recorded on different hardware. Raw seeds/s is
+# deliberately NOT compared — absolute throughput across machines (CI
+# runner vs the laptop that committed the baseline) is noise, and gating
+# on it produced both false failures and false passes.
+#
+# New arms present only in the fresh results are reported but do not fail
+# the check (baselines are updated by the PR that introduces the arm);
+# arms *missing* from the fresh results fail it.
+#
+# The campaign_scaling bench also emits a "telemetry overhead:" line — a
+# same-run pair of identical arms with the hot-path phase timers disabled
+# vs enabled. That overhead must stay under max_overhead_pct (default 5).
 set -euo pipefail
 
-baseline_dir=${1:?usage: check_bench_regression.sh <baseline_dir> <fresh_dir> [max_pct]}
-fresh_dir=${2:?usage: check_bench_regression.sh <baseline_dir> <fresh_dir> [max_pct]}
+baseline_dir=${1:?usage: check_bench_regression.sh <baseline_dir> <fresh_dir> [max_pct] [max_overhead_pct]}
+fresh_dir=${2:?usage: check_bench_regression.sh <baseline_dir> <fresh_dir> [max_pct] [max_overhead_pct]}
 max_pct=${3:-25}
+max_overhead_pct=${4:-5}
 
+# Data rows end with the speedup column; everything before the numeric
+# columns is the arm name. Emits "<arm>\t<speedup>" with the x stripped.
 extract() {
   awk '$NF ~ /^[0-9]+\.[0-9]+x$/ {
     name = $1
     for (i = 2; i <= NF - 5; i++) name = name " " $i
-    print name "\t" $(NF - 4)
+    ratio = $NF
+    sub(/x$/, "", ratio)
+    print name "\t" ratio
   }' "$1"
 }
 
@@ -56,14 +71,40 @@ for bench in campaign_scaling dist_scaling; do
              -v tag="$bench / $arm" 'BEGIN {
           floor = base * (1 - max / 100)
           if (fresh < floor) {
-            printf "FAIL %s: %.2f seeds/s < %.2f floor (baseline %.2f, max -%s%%)\n",
+            printf "FAIL %s: %.2fx speedup < %.2fx floor (baseline %.2fx, max -%s%%)\n",
                    tag, fresh, floor, base, max
             exit 1
           }
-          printf "ok   %s: %.2f seeds/s (baseline %.2f)\n", tag, fresh, base
+          printf "ok   %s: %.2fx speedup (baseline %.2fx)\n", tag, fresh, base
         }'; then
       fail=1
     fi
   done <<< "$base_table"
+  # Arms only in the fresh results: informational, baselines catch up with
+  # the next commit to bench_results/.
+  while IFS=$'\t' read -r arm _; do
+    [ -z "$arm" ] && continue
+    known=$(printf '%s\n' "$base_table" | awk -F'\t' -v a="$arm" '$1 == a { print 1; exit }')
+    if [ -z "$known" ]; then
+      echo "new  $bench / $arm: no baseline yet"
+    fi
+  done <<< "$fresh_table"
 done
+
+# Instrumentation-overhead budget: timers-on vs timers-off, same run,
+# same machine. Negative overhead (noise) passes.
+overhead=$(awk '/^telemetry overhead:/ { v = $3; sub(/%$/, "", v); print v; exit }' \
+  "$fresh_dir/campaign_scaling.txt" 2>/dev/null || true)
+if [ -z "$overhead" ]; then
+  echo "FAIL campaign_scaling: no 'telemetry overhead:' line in fresh results"
+  fail=1
+elif ! awk -v o="$overhead" -v max="$max_overhead_pct" 'BEGIN {
+    if (o > max) {
+      printf "FAIL telemetry overhead: %.1f%% > %s%% budget\n", o, max
+      exit 1
+    }
+    printf "ok   telemetry overhead: %.1f%% (budget %s%%)\n", o, max
+  }'; then
+  fail=1
+fi
 exit $fail

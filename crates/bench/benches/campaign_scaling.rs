@@ -17,7 +17,29 @@ use dx_campaign::{Campaign, CampaignConfig, ModelSuite};
 use dx_coverage::{CoverageConfig, SignalSpec};
 use dx_models::{DatasetKind, Scale, Zoo, ZooConfig};
 use dx_nn::util::gather_rows;
+use dx_telemetry::phase::{set_timing_enabled, Phase, TIME_BUCKETS};
+use dx_telemetry::MetricsRegistry;
 use dx_tensor::rng;
+
+/// Renders the generator's per-phase wall-clock split as recorded in
+/// `registry` during one campaign arm, e.g.
+/// `forward 52.1%  gradient 39.0%  constraint 5.6%  coverage 3.3%`.
+fn phase_breakdown(registry: &MetricsRegistry) -> String {
+    let sums: Vec<(&str, f64)> = Phase::ALL
+        .iter()
+        .map(|p| {
+            let h = registry.histogram("dx_phase_seconds", &[("phase", p.name())], &TIME_BUCKETS);
+            (p.name(), h.sum())
+        })
+        .collect();
+    let total: f64 = sums.iter().map(|(_, s)| s).sum();
+    if total <= 0.0 {
+        return "no phase samples".into();
+    }
+    let parts: Vec<String> =
+        sums.iter().map(|(n, s)| format!("{n} {:.1}%", 100.0 * s / total)).collect();
+    parts.join("  ")
+}
 
 fn main() {
     let mut out = BenchOut::new("campaign_scaling");
@@ -74,6 +96,9 @@ fn main() {
                 constraint: setup.constraint.clone(),
                 signal: spec.clone(),
             };
+            // A fresh registry per arm so the phase breakdown below is
+            // this arm's split, not a running total across arms.
+            let registry = MetricsRegistry::new();
             let mut campaign = Campaign::new(
                 suite,
                 &seeds,
@@ -82,6 +107,7 @@ fn main() {
                     epochs,
                     batch_per_epoch: batch,
                     seed: 42,
+                    registry: registry.clone(),
                     ..Default::default()
                 },
             );
@@ -99,6 +125,50 @@ fn main() {
                 100.0 * campaign.mean_coverage(),
                 sps / baseline_sps,
             ));
+            out.line(format!("    phases: {}", phase_breakdown(&registry)));
         }
     }
+
+    // Instrumentation overhead: the same single-worker neuron arm with the
+    // hot-path phase timers compiled in but disabled, vs enabled. The gate
+    // script asserts the enabled arms stay within a few percent. Reps are
+    // interleaved off/on and the best of each side kept, so slow drift
+    // (thermal, co-tenant load) hits both sides alike instead of whichever
+    // side happened to run last.
+    let overhead_reps = 5;
+    let sps_once = |timing: bool| -> f64 {
+        set_timing_enabled(timing);
+        let suite = ModelSuite {
+            models: models.clone(),
+            kind: setup.task,
+            hp: setup.hp,
+            constraint: setup.constraint.clone(),
+            signal: SignalSpec::neuron(CoverageConfig::scaled(0.25)),
+        };
+        let mut campaign = Campaign::new(
+            suite,
+            &seeds,
+            CampaignConfig {
+                workers: 1,
+                epochs,
+                batch_per_epoch: batch,
+                seed: 42,
+                registry: MetricsRegistry::new(),
+                ..Default::default()
+            },
+        );
+        campaign.run().expect("no checkpoint dir configured, run cannot fail");
+        campaign.report().seeds_per_sec()
+    };
+    let (mut off, mut on) = (0.0f64, 0.0f64);
+    for _ in 0..overhead_reps {
+        off = off.max(sps_once(false));
+        on = on.max(sps_once(true));
+    }
+    set_timing_enabled(true);
+    out.line(format!(
+        "telemetry overhead: {:.1}% (timers on {on:.2} vs off {off:.2} seeds/s, \
+         best of {overhead_reps} interleaved reps each)",
+        100.0 * (off - on) / off,
+    ));
 }

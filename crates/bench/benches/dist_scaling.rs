@@ -19,9 +19,31 @@ use dx_coverage::{CoverageConfig, SignalSpec};
 use dx_dist::{run_worker, Coordinator, CoordinatorConfig, WorkerConfig};
 use dx_models::{DatasetKind, Scale, Zoo, ZooConfig};
 use dx_nn::util::gather_rows;
+use dx_telemetry::phase::{Phase, TIME_BUCKETS};
+use dx_telemetry::MetricsRegistry;
 use dx_tensor::{rng, Tensor};
 
 const LABEL: &str = "mnist@dist_scaling";
+
+/// The workers' hot-path phase split as folded into the coordinator's
+/// registry from shipped telemetry — the dist-plane view of where the
+/// fleet's cycles went.
+fn phase_breakdown(registry: &MetricsRegistry) -> String {
+    let sums: Vec<(&str, f64)> = Phase::ALL
+        .iter()
+        .map(|p| {
+            let h = registry.histogram("dx_phase_seconds", &[("phase", p.name())], &TIME_BUCKETS);
+            (p.name(), h.sum())
+        })
+        .collect();
+    let total: f64 = sums.iter().map(|(_, s)| s).sum();
+    if total <= 0.0 {
+        return "no phase samples".into();
+    }
+    let parts: Vec<String> =
+        sums.iter().map(|(n, s)| format!("{n} {:.1}%", 100.0 * s / total)).collect();
+    parts.join("  ")
+}
 
 fn suite_and_seeds(n_seeds: usize, metric: &dx_coverage::MetricSpec) -> (ModelSuite, Tensor) {
     let mut zoo = Zoo::new(ZooConfig::new(Scale::Test));
@@ -107,6 +129,7 @@ fn main() {
 
     let mut baseline = None;
     for workers in [1usize, 2, 4] {
+        let registry = MetricsRegistry::new();
         let coordinator = Coordinator::new(
             &suite,
             LABEL,
@@ -117,6 +140,7 @@ fn main() {
                 lease_size: 4,
                 lease_timeout: Duration::from_secs(60),
                 seed: 42,
+                registry: registry.clone(),
                 ..Default::default()
             },
         );
@@ -149,6 +173,7 @@ fn main() {
             100.0 * merged,
             sps / baseline_sps,
         ));
+        out.line(format!("    phases: {}", phase_breakdown(&registry)));
     }
 
     // The trust layer's price: HMAC-authenticated admission, every
@@ -157,6 +182,7 @@ fn main() {
     // Speedup is relative to the unverified 1-process dist arm, so the
     // column reads directly as verification overhead.
     for workers in [1usize, 2] {
+        let registry = MetricsRegistry::new();
         let coordinator = Coordinator::new(
             &suite,
             LABEL,
@@ -170,6 +196,7 @@ fn main() {
                 seed: 42,
                 auth_token: Some("bench-fleet-secret".into()),
                 spot_check_rate: 1.0,
+                registry: registry.clone(),
                 ..Default::default()
             },
         );
@@ -204,6 +231,7 @@ fn main() {
             100.0 * merged,
             sps / baseline_sps,
         ));
+        out.line(format!("    phases: {}", phase_breakdown(&registry)));
     }
 
     // The profile-based variants: same budget, the finer DeepGauge

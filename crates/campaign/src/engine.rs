@@ -22,7 +22,11 @@ use deepxplore::Hyperparams;
 use dx_coverage::{CoverageSignal, SignalSpec};
 use dx_nn::network::Network;
 use dx_nn::util::gather_rows;
+use dx_telemetry::events::{emit, Level};
+use dx_telemetry::phase::{Phase, PhaseAccum, TIME_BUCKETS};
+use dx_telemetry::{Counter, Gauge, Histogram, MetricsRegistry, Span};
 use dx_tensor::{rng, Tensor};
+use std::sync::Arc;
 
 use crate::checkpoint;
 use crate::corpus::{Corpus, EnergyModel};
@@ -129,6 +133,10 @@ pub struct CampaignConfig {
     pub seed: u64,
     /// How corpus energy responds to step outcomes.
     pub energy: EnergyModel,
+    /// Where campaign metrics land. The default is a fresh private
+    /// registry (isolated, e.g. under parallel tests); the CLI injects
+    /// [`dx_telemetry::global()`] so `--metrics-addr` serves them.
+    pub registry: MetricsRegistry,
 }
 
 impl Default for CampaignConfig {
@@ -144,6 +152,59 @@ impl Default for CampaignConfig {
             max_corpus: 4096,
             seed: 42,
             energy: EnergyModel::Classic,
+            registry: MetricsRegistry::new(),
+        }
+    }
+}
+
+/// Cached registry handles for the campaign's per-epoch updates, so the
+/// epoch loop never touches the registry's name lookup.
+struct EngineMetrics {
+    seeds: Arc<Counter>,
+    diffs: Arc<Counter>,
+    epoch_seconds: Arc<Histogram>,
+    lock_wait: Arc<Histogram>,
+    corpus_size: Arc<Gauge>,
+    energy_min: Arc<Gauge>,
+    energy_mean: Arc<Gauge>,
+    energy_max: Arc<Gauge>,
+    /// `dx_new_units_total{component=...}`, in the metric's component
+    /// order.
+    new_units: Vec<Arc<Counter>>,
+    phase_seconds: Vec<Arc<Histogram>>,
+}
+
+impl EngineMetrics {
+    fn new(registry: &MetricsRegistry, metric: &dx_coverage::MetricSpec) -> Self {
+        registry.set_help("dx_seeds_total", "Seed steps processed");
+        registry.set_help("dx_diffs_total", "Difference-inducing inputs found");
+        registry.set_help("dx_new_units_total", "Coverage units newly covered, per component");
+        registry.set_help("dx_epoch_seconds", "Wall-clock time per campaign epoch");
+        registry.set_help("dx_lock_wait_seconds", "Worker wait for the global coverage lock");
+        registry.set_help("dx_phase_seconds", "Generator hot-path time per phase");
+        registry.set_help("dx_corpus_size", "Corpus entries");
+        registry.set_help("dx_corpus_energy", "Corpus energy distribution (min/mean/max)");
+        let epoch_bounds: Vec<f64> = TIME_BUCKETS.iter().map(|b| b * 100.0).collect();
+        Self {
+            seeds: registry.counter("dx_seeds_total", &[]),
+            diffs: registry.counter("dx_diffs_total", &[]),
+            epoch_seconds: registry.histogram("dx_epoch_seconds", &[], &epoch_bounds),
+            lock_wait: registry.histogram("dx_lock_wait_seconds", &[], &TIME_BUCKETS),
+            corpus_size: registry.gauge("dx_corpus_size", &[]),
+            energy_min: registry.gauge("dx_corpus_energy", &[("stat", "min")]),
+            energy_mean: registry.gauge("dx_corpus_energy", &[("stat", "mean")]),
+            energy_max: registry.gauge("dx_corpus_energy", &[("stat", "max")]),
+            new_units: metric
+                .components
+                .iter()
+                .map(|c| registry.counter("dx_new_units_total", &[("component", &c.to_string())]))
+                .collect(),
+            phase_seconds: Phase::ALL
+                .iter()
+                .map(|p| {
+                    registry.histogram("dx_phase_seconds", &[("phase", p.name())], &TIME_BUCKETS)
+                })
+                .collect(),
         }
     }
 }
@@ -183,6 +244,7 @@ pub struct Campaign {
     corpus: Corpus,
     report: CampaignReport,
     diffs: Vec<FoundDiff>,
+    metrics: EngineMetrics,
     epochs_done: usize,
     /// The directory this campaign last checkpointed to in this process.
     /// Stats/diffs appends are only safe into our own earlier write; any
@@ -333,6 +395,7 @@ impl Campaign {
             }
         }
         report.workers = config.workers;
+        let metrics = EngineMetrics::new(&config.registry, &suite.signal.metric);
         let mut campaign = Self {
             config,
             workers,
@@ -340,6 +403,7 @@ impl Campaign {
             corpus,
             report,
             diffs,
+            metrics,
             epochs_done,
             checkpointed_dir: None,
         };
@@ -471,6 +535,7 @@ impl Campaign {
     fn run_epoch(&mut self) {
         let epoch = self.epochs_done;
         let started = Instant::now();
+        let _epoch_span = Span::new(self.metrics.epoch_seconds.clone());
         // The epoch scheduler RNG derives from (campaign seed, epoch), so
         // scheduling is independent of where a resume happened.
         let mut sched_rng =
@@ -492,19 +557,27 @@ impl Campaign {
                 .zip(assignments)
                 .map(|(worker, jobs)| {
                     let global = &global;
+                    let lock_wait = self.metrics.lock_wait.clone();
                     scope.spawn(move || {
+                        // Sync points are rare (every merge_every jobs),
+                        // so observing the shared histogram directly is
+                        // fine — only the per-iterate loop needs the
+                        // non-atomic accumulator.
+                        let sync = |worker: &mut Generator| {
+                            let waited = Instant::now();
+                            let mut union = global.lock().expect("coverage lock");
+                            lock_wait.observe(waited.elapsed().as_secs_f64());
+                            worker.sync_coverage_into(&mut union);
+                            worker.adopt_coverage(&union);
+                        };
                         let mut out = Vec::with_capacity(jobs.len());
                         for (k, (id, input)) in jobs.into_iter().enumerate() {
                             out.push((id, worker.run_seed(id, &input)));
                             if (k + 1) % merge_every == 0 {
-                                let mut union = global.lock().expect("coverage lock");
-                                worker.sync_coverage_into(&mut union);
-                                worker.adopt_coverage(&union);
+                                sync(worker);
                             }
                         }
-                        let mut union = global.lock().expect("coverage lock");
-                        worker.sync_coverage_into(&mut union);
-                        worker.adopt_coverage(&union);
+                        sync(worker);
                         out
                     })
                 })
@@ -525,9 +598,13 @@ impl Campaign {
         // nearly saturated still earns the full rarity multiplier of the
         // (much emptier) boundary component.
         let global_coverage = dx_coverage::mean_component_coverage(&self.global);
+        let mut new_by_component = vec![0usize; self.metrics.new_units.len()];
         for i in 0..ids.len() {
             let (id, run) = cursors[i % n_workers].next().expect("one result per job");
             iterations += run.iterations;
+            for (total, newly) in new_by_component.iter_mut().zip(&run.newly_by_component) {
+                *total += newly;
+            }
             if run.found_difference() {
                 let test = run.test.as_ref().expect("found_difference implies a test");
                 diffs_found += 1;
@@ -542,7 +619,42 @@ impl Campaign {
             }
             self.corpus.absorb(id, &run, &global_coverage);
         }
+        self.metrics.seeds.inc_by(ids.len() as u64);
+        self.metrics.diffs.inc_by(diffs_found as u64);
+        for (counter, &n) in self.metrics.new_units.iter().zip(&new_by_component) {
+            counter.inc_by(n as u64);
+        }
+        // Fold each worker's hot-path phase deltas into the registry.
+        let mut phases = PhaseAccum::new();
+        for worker in &mut self.workers {
+            phases.merge(&worker.take_phase_stats());
+        }
+        for (hist, phase) in self.metrics.phase_seconds.iter().zip(Phase::ALL) {
+            hist.merge_local(phases.get(phase));
+        }
+        self.metrics.corpus_size.set(self.corpus.len() as f64);
+        let energies: Vec<f64> =
+            self.corpus.entries().iter().map(|e| f64::from(e.energy)).collect();
+        if !energies.is_empty() {
+            let sum: f64 = energies.iter().sum();
+            self.metrics.energy_min.set(energies.iter().copied().fold(f64::INFINITY, f64::min));
+            self.metrics.energy_mean.set(sum / energies.len() as f64);
+            self.metrics.energy_max.set(energies.iter().copied().fold(f64::NEG_INFINITY, f64::max));
+        }
         let covered_after = self.covered_units();
+        emit(
+            Level::Debug,
+            "campaign",
+            "epoch_done",
+            &[
+                ("epoch", (epoch as u64).into()),
+                ("seeds_run", (ids.len() as u64).into()),
+                ("diffs_found", (diffs_found as u64).into()),
+                ("newly_covered", ((covered_after - covered_before) as u64).into()),
+                ("corpus_len", (self.corpus.len() as u64).into()),
+                ("elapsed", started.elapsed().into()),
+            ],
+        );
         self.report.epochs.push(EpochStats {
             epoch,
             seeds_run: ids.len(),

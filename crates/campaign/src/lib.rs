@@ -454,4 +454,37 @@ mod tests {
         assert!(campaign.diffs().is_empty());
         assert!(campaign.mean_coverage() > 0.0);
     }
+
+    #[test]
+    fn campaign_reports_metrics_into_its_registry() {
+        use dx_telemetry::phase::{Phase, TIME_BUCKETS};
+        let registry = dx_telemetry::MetricsRegistry::new();
+        let config = CampaignConfig {
+            epochs: 3,
+            batch_per_epoch: 8,
+            registry: registry.clone(),
+            ..Default::default()
+        };
+        let mut campaign = Campaign::new(suite(7), &seed_batch(8, 10), config);
+        campaign.run().unwrap();
+        let seeds_run: usize = campaign.report().epochs.iter().map(|e| e.seeds_run).sum();
+        assert_eq!(registry.counter("dx_seeds_total", &[]).get(), seeds_run as u64);
+        let total_diffs: usize = campaign.report().epochs.iter().map(|e| e.diffs_found).sum();
+        assert_eq!(registry.counter("dx_diffs_total", &[]).get(), total_diffs as u64);
+        // Every epoch timed, and hot-path phases observed at least one
+        // iterate each (forward always runs; gradient too since the
+        // models agree on in-distribution seeds).
+        assert_eq!(registry.histogram("dx_epoch_seconds", &[], &[]).count(), 3);
+        for phase in [Phase::Forward, Phase::Gradient, Phase::Constraint, Phase::Coverage] {
+            let h =
+                registry.histogram("dx_phase_seconds", &[("phase", phase.name())], &TIME_BUCKETS);
+            assert!(h.count() > 0, "no observations for {}", phase.name());
+        }
+        // Per-component new-unit counters agree with the report.
+        let newly: u64 = registry.counter("dx_new_units_total", &[("component", "neuron")]).get();
+        assert!(newly > 0, "a fresh campaign must cover something");
+        assert!(registry.gauge("dx_corpus_size", &[]).get() >= 10.0);
+        let text = registry.render_prometheus();
+        assert!(text.contains("dx_phase_seconds_bucket{phase=\"forward\",le=\"+Inf\"}"), "{text}");
+    }
 }

@@ -29,11 +29,22 @@ COMMANDS:
     worker      Join a distributed campaign as a fuzzing worker.
     dist        Single-machine fleet: coordinator + N local worker processes.
     coverage    Measure neuron coverage of test inputs on a model.
+    metrics-dump One-shot scrape of a running process's metrics endpoint.
     help        Show this message.
 
 COMMON OPTIONS:
     --dataset <mnist|imagenet|driving|pdf|drebin|all>   (default: mnist)
     --full                 Use bench-scale datasets/training (default: test scale).
+
+OBSERVABILITY OPTIONS (campaign/coordinator/worker/dist):
+    --log-level <trace|debug|info|warn|error|off>
+                           Stderr threshold for the structured JSONL event
+                           stream (default: info).
+    --trace-out <file>     Append every event (any level) to <file> as JSONL.
+    --metrics-addr <addr>  Serve live Prometheus-text metrics on <addr>
+                           (e.g. 127.0.0.1:9890) for the command's lifetime;
+                           scrape /metrics, or `deepxplore metrics-dump
+                           --connect <addr>` for a one-shot dump.
 
 GENERATE OPTIONS:
     --seeds <N>            Seed inputs to grow from (default: 50).
@@ -123,6 +134,44 @@ COVERAGE OPTIONS:
 ";
 
 type CmdResult = Result<(), Box<dyn Error>>;
+
+/// Applies the observability flags shared by the long-running commands:
+/// `--log-level` sets the stderr threshold of the structured event
+/// stream, `--trace-out` appends every event to a JSONL file, and
+/// `--metrics-addr` serves the process-global metrics registry as
+/// Prometheus text. The returned server (if any) answers scrapes for as
+/// long as the caller holds it — keep it alive for the whole command.
+fn init_telemetry(
+    args: &Args,
+) -> Result<Option<dx_telemetry::http::MetricsServer>, Box<dyn Error>> {
+    if let Some(level) = args.get("log-level") {
+        let level = level
+            .parse::<dx_telemetry::events::Level>()
+            .map_err(|e| format!("option --log-level: {e}"))?;
+        dx_telemetry::events::set_level(level);
+    }
+    if let Some(path) = args.get("trace-out") {
+        dx_telemetry::events::set_trace_file(path)
+            .map_err(|e| format!("option --trace-out: {e}"))?;
+    }
+    match args.get("metrics-addr") {
+        None => Ok(None),
+        Some(addr) => {
+            let server = dx_telemetry::http::serve(addr, dx_telemetry::global().clone())
+                .map_err(|e| format!("option --metrics-addr: {e}"))?;
+            println!("metrics endpoint on http://{}/metrics", server.addr());
+            Ok(Some(server))
+        }
+    }
+}
+
+/// `deepxplore metrics-dump`: one-shot scrape of a `--metrics-addr`
+/// endpoint, printed as Prometheus text.
+pub fn metrics_dump(args: &Args) -> CmdResult {
+    let addr = args.get("connect").ok_or("metrics-dump needs --connect <host:port>")?;
+    print!("{}", dx_telemetry::http::scrape(addr)?);
+    Ok(())
+}
 
 fn zoo_for(args: &Args) -> Zoo {
     let scale = if args.has("full") { Scale::Full } else { Scale::Test };
@@ -404,6 +453,7 @@ fn initial_seeds(
 
 /// `deepxplore campaign`.
 pub fn campaign(args: &Args) -> CmdResult {
+    let _metrics = init_telemetry(args)?;
     let (_, suite, ds, _) = build_suite(args, "campaign")?;
     let resume_dir = args.get("resume").map(PathBuf::from);
     let checkpoint_dir = args.get("checkpoint").map(PathBuf::from).or_else(|| resume_dir.clone());
@@ -417,6 +467,7 @@ pub fn campaign(args: &Args) -> CmdResult {
         seed: args.get_num("rng", 42)?,
         max_corpus: args.get_num("max-corpus", 4096)?,
         energy: args.get_num("energy", dx_campaign::EnergyModel::Classic)?,
+        registry: dx_telemetry::global().clone(),
         ..Default::default()
     };
     for (flag, value) in [
@@ -504,7 +555,7 @@ fn dist_config(args: &Args) -> Result<dx_dist::CoordinatorConfig, Box<dyn Error>
         max_corpus: args.get_num("max-corpus", 4096)?,
         seed: args.get_num("rng", 42)?,
         energy: args.get_num("energy", dx_campaign::EnergyModel::Classic)?,
-        verbose: true,
+        registry: dx_telemetry::global().clone(),
         auth_token: auth_token(args),
         spot_check_rate,
         trust_threshold,
@@ -554,6 +605,7 @@ fn print_dist_report(report: &dx_dist::DistReport, checkpoint: Option<&str>) {
 
 /// `deepxplore coordinator`.
 pub fn coordinator(args: &Args) -> CmdResult {
+    let _metrics = init_telemetry(args)?;
     let (_, suite, ds, label) = build_suite(args, "coordinator")?;
     let coordinator = build_coordinator(args, &suite, &ds, &label)?;
     let listener = std::net::TcpListener::bind(args.get_or("listen", "127.0.0.1:4787"))?;
@@ -573,7 +625,12 @@ pub fn coordinator(args: &Args) -> CmdResult {
             match std::io::BufRead::read_line(&mut stdin.lock(), &mut line) {
                 Ok(0) | Err(_) => return, // EOF: keep serving (daemon-style).
                 Ok(_) if line.trim() == "drain" => {
-                    eprintln!("coordinator: drain requested");
+                    dx_telemetry::events::emit(
+                        dx_telemetry::events::Level::Info,
+                        "coordinator",
+                        "drain_requested",
+                        &[("source", "stdin".into())],
+                    );
                     handle.drain();
                     return;
                 }
@@ -588,6 +645,7 @@ pub fn coordinator(args: &Args) -> CmdResult {
 
 /// `deepxplore worker`.
 pub fn worker(args: &Args) -> CmdResult {
+    let _metrics = init_telemetry(args)?;
     let (_, suite, _, label) = build_suite(args, "worker")?;
     let addr = args.get("connect").ok_or("worker needs --connect <host:port>")?;
     let cfg = dx_dist::WorkerConfig {
@@ -615,6 +673,7 @@ pub fn worker(args: &Args) -> CmdResult {
 
 /// `deepxplore dist`: coordinator plus N spawned local worker processes.
 pub fn dist(args: &Args) -> CmdResult {
+    let _metrics = init_telemetry(args)?;
     // Building the suite here also warms the zoo weight cache, so the
     // spawned workers load instead of racing to train.
     let (_, suite, ds, label) = build_suite(args, "dist")?;
@@ -647,6 +706,7 @@ pub fn dist(args: &Args) -> CmdResult {
         "metric",
         "lease",
         "heartbeat-every",
+        "log-level",
     ] {
         if let Some(v) = args.get(flag) {
             forwarded.push(format!("--{flag}"));

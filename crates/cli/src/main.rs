@@ -9,6 +9,7 @@
 //! deepxplore worker --connect HOST:PORT         join a distributed campaign
 //! deepxplore dist --workers N [options]         coordinator + N local worker processes
 //! deepxplore coverage --dataset X [options]     measure neuron coverage
+//! deepxplore metrics-dump --connect HOST:PORT   scrape a live metrics endpoint
 //! deepxplore help                               this text
 //! ```
 
@@ -38,6 +39,7 @@ fn main() {
         "worker" => commands::worker(&parsed),
         "dist" => commands::dist(&parsed),
         "coverage" => commands::coverage(&parsed),
+        "metrics-dump" => commands::metrics_dump(&parsed),
         "help" | "--help" | "-h" => {
             print!("{}", commands::HELP);
             Ok(())

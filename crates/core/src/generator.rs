@@ -6,6 +6,8 @@ use dx_coverage::neuron::injection_for_neuron;
 use dx_coverage::{CoverageConfig, CoverageSignal, CoverageTracker};
 use dx_nn::network::Network;
 use dx_nn::util::{gather_rows, row};
+use dx_telemetry::phase::{Phase, PhaseAccum};
+use dx_telemetry::phase_timer;
 use dx_tensor::{rng, Tensor};
 use rand::Rng as _;
 
@@ -116,6 +118,10 @@ pub struct Generator {
     constraint: Constraint,
     signals: Vec<CoverageSignal>,
     rng: rng::Rng,
+    /// Per-phase hot-path timing since the last
+    /// [`Generator::take_phase_stats`]; plain (non-atomic) because each
+    /// generator is owned by exactly one worker thread.
+    phases: PhaseAccum,
 }
 
 impl Generator {
@@ -168,7 +174,15 @@ impl Generator {
                 "output shapes differ"
             );
         }
-        Self { models, kind, hp, constraint, signals, rng: rng::rng(seed) }
+        Self {
+            models,
+            kind,
+            hp,
+            constraint,
+            signals,
+            rng: rng::rng(seed),
+            phases: PhaseAccum::new(),
+        }
     }
 
     /// Replaces the coverage trackers with ones over an explicit activation
@@ -246,6 +260,13 @@ impl Generator {
     /// Restores an RNG state exported by [`Generator::rng_state`].
     pub fn set_rng_state(&mut self, state: [u64; 4]) {
         self.rng = rng::rng_from_state(state);
+    }
+
+    /// Drains the per-phase timing accumulated by [`Generator::run_seed`]
+    /// since the last call — the delta a campaign worker folds into its
+    /// registry (or ships to its coordinator) at a sync boundary.
+    pub fn take_phase_stats(&mut self) -> PhaseAccum {
+        self.phases.take()
     }
 
     /// Mean neuron coverage across models.
@@ -327,11 +348,17 @@ impl Generator {
             newly_by_component: vec![0; self.signals[0].n_components()],
             corpus_candidate: None,
         };
-        let mut passes: Vec<_> = self.models.iter().map(|m| m.forward(seed_x)).collect();
+        let mut passes: Vec<_> = phase_timer!(
+            self.phases,
+            Phase::Forward,
+            self.models.iter().map(|m| m.forward(seed_x)).collect()
+        );
         let initial = self.predictions_of(&passes);
-        for (pass, tracker) in passes.iter().zip(self.signals.iter_mut()) {
-            run.newly_covered += tracker.update_accum(pass, &mut run.newly_by_component);
-        }
+        phase_timer!(self.phases, Phase::Coverage, {
+            for (pass, tracker) in passes.iter().zip(self.signals.iter_mut()) {
+                run.newly_covered += tracker.update_accum(pass, &mut run.newly_by_component);
+            }
+        });
         if differs(&initial, threshold) {
             run.preexisting = true;
             if self.hp.count_preexisting {
@@ -352,21 +379,34 @@ impl Generator {
         let j = self.rng.gen_range(0..self.models.len());
         let mut x = seed_x.clone();
         for iter in 1..=self.hp.max_iters {
-            let grad = self.joint_gradient_from(&passes, c, j);
-            let next = self.constraint.step(&x, &grad, self.hp.step);
+            let grad =
+                phase_timer!(self.phases, Phase::Gradient, self.joint_gradient_from(&passes, c, j));
+            let next = phase_timer!(
+                self.phases,
+                Phase::Constraint,
+                self.constraint.step(&x, &grad, self.hp.step)
+            );
             if next == x {
                 // The constraint admits no further movement from here.
                 return run;
             }
             x = next;
             run.iterations = iter;
-            passes = self.models.iter().map(|m| m.forward(&x)).collect();
+            passes = phase_timer!(
+                self.phases,
+                Phase::Forward,
+                self.models.iter().map(|m| m.forward(&x)).collect()
+            );
             let preds = self.predictions_of(&passes);
-            let newly: usize = passes
-                .iter()
-                .zip(self.signals.iter_mut())
-                .map(|(pass, tracker)| tracker.update_accum(pass, &mut run.newly_by_component))
-                .sum();
+            let newly: usize = phase_timer!(
+                self.phases,
+                Phase::Coverage,
+                passes
+                    .iter()
+                    .zip(self.signals.iter_mut())
+                    .map(|(pass, tracker)| tracker.update_accum(pass, &mut run.newly_by_component))
+                    .sum()
+            );
             run.newly_covered += newly;
             let found = differs(&preds, threshold);
             if newly > 0 && !found {

@@ -51,10 +51,15 @@ use dx_campaign::json::{build, Json};
 use dx_campaign::{CampaignReport, Corpus, EnergyModel, EpochStats, FoundDiff, ModelSuite};
 use dx_coverage::CoverageSignal;
 use dx_nn::util::gather_rows;
+use dx_telemetry::events::{emit, Level};
+use dx_telemetry::phase::{Phase, TIME_BUCKETS};
+use dx_telemetry::{Counter, Gauge, Histogram, MetricsRegistry};
 use dx_tensor::{rng, Tensor};
 
 use crate::auth;
-use crate::proto::{coverage_news, Fingerprint, Job, JobResult, Msg, PROTOCOL_VERSION};
+use crate::proto::{
+    coverage_news, Fingerprint, Job, JobResult, Msg, TelemetrySnapshot, PROTOCOL_VERSION,
+};
 use crate::suite_fingerprint;
 use crate::wire::{write_frame, FrameReader, MAX_FRAME};
 
@@ -111,8 +116,12 @@ pub struct CoordinatorConfig {
     pub seed: u64,
     /// Corpus energy model.
     pub energy: EnergyModel,
-    /// Print connection and lease events to stderr.
-    pub verbose: bool,
+    /// Registry receiving coordinator metrics (lease/trust counters,
+    /// per-worker turnaround and heartbeat histograms, phase histograms
+    /// merged from worker telemetry). Defaults to a private registry so
+    /// parallel tests never share series; the CLI injects
+    /// [`dx_telemetry::global`] so `--metrics-addr` serves them.
+    pub registry: MetricsRegistry,
     /// Shared secret workers must prove at admission via the HMAC
     /// challenge/response ([`crate::auth`]); `None` disables
     /// authentication and admits any fingerprint-matching peer.
@@ -148,7 +157,7 @@ impl Default for CoordinatorConfig {
             max_corpus: 4096,
             seed: 42,
             energy: EnergyModel::Classic,
-            verbose: false,
+            registry: MetricsRegistry::new(),
             auth_token: None,
             spot_check_rate: 0.0,
             trust_threshold: 0.5,
@@ -269,6 +278,100 @@ struct RoundAccum {
     newly_covered: usize,
 }
 
+/// Cached registry handles for the coordinator's unlabeled series, plus
+/// constructors for the per-slot series minted on demand. The per-slot
+/// spot-check counters and eviction gauges are the *source of truth* for
+/// trust accounting: [`WorkerStats`] rows in reports and `dist.json` are
+/// populated from them at snapshot time, never the other way around.
+struct CoordMetrics {
+    registry: MetricsRegistry,
+    steps: Arc<Counter>,
+    diffs: Arc<Counter>,
+    leases: Arc<Counter>,
+    lease_expired: Arc<Counter>,
+    heartbeats: Arc<Counter>,
+    requeue_depth: Arc<Gauge>,
+    connected: Arc<Gauge>,
+}
+
+impl CoordMetrics {
+    fn new(registry: &MetricsRegistry) -> Self {
+        registry.set_help("dx_seeds_total", "Seed steps absorbed by the coordinator.");
+        registry.set_help("dx_diffs_total", "Difference-inducing inputs absorbed.");
+        registry.set_help("dx_leases_total", "Leases granted to workers.");
+        registry.set_help("dx_lease_expired_total", "Leases that timed out and were requeued.");
+        registry.set_help("dx_heartbeats_total", "Heartbeat frames handled.");
+        registry.set_help("dx_requeue_depth", "Seeds waiting in the requeue.");
+        registry.set_help("dx_workers_connected", "Currently admitted worker connections.");
+        registry.set_help("dx_lease_turnaround_seconds", "Lease issue-to-results time, per slot.");
+        registry.set_help("dx_spot_checks_total", "Spot-checked diff claims by slot and verdict.");
+        registry.set_help("dx_worker_evicted", "1 once the slot was evicted for fabrication.");
+        registry.set_help("dx_heartbeat_rtt_seconds", "Worker-observed heartbeat round-trip time.");
+        registry
+            .set_help("dx_phase_seconds", "Generator hot-path phase time from worker telemetry.");
+        Self {
+            registry: registry.clone(),
+            steps: registry.counter("dx_seeds_total", &[]),
+            diffs: registry.counter("dx_diffs_total", &[]),
+            leases: registry.counter("dx_leases_total", &[]),
+            lease_expired: registry.counter("dx_lease_expired_total", &[]),
+            heartbeats: registry.counter("dx_heartbeats_total", &[]),
+            requeue_depth: registry.gauge("dx_requeue_depth", &[]),
+            connected: registry.gauge("dx_workers_connected", &[]),
+        }
+    }
+
+    /// Lease turnaround histogram for a slot; leases run seconds, not
+    /// microseconds, so the shared phase ladder is scaled up.
+    fn turnaround(&self, slot: u64) -> Arc<Histogram> {
+        let bounds: Vec<f64> = TIME_BUCKETS.iter().map(|b| b * 100.0).collect();
+        let slot = slot.to_string();
+        self.registry.histogram("dx_lease_turnaround_seconds", &[("slot", &slot)], &bounds)
+    }
+
+    fn spot(&self, slot: u64, verdict: &str) -> Arc<Counter> {
+        let slot = slot.to_string();
+        self.registry.counter("dx_spot_checks_total", &[("slot", &slot), ("verdict", verdict)])
+    }
+
+    /// `(checked, failed)` spot-check totals for a slot.
+    fn spot_counts(&self, slot: u64) -> (usize, usize) {
+        let ok = self.spot(slot, "ok").get() as usize;
+        let bad = self.spot(slot, "bad").get() as usize;
+        (ok + bad, bad)
+    }
+
+    fn evicted_gauge(&self, slot: u64) -> Arc<Gauge> {
+        let slot = slot.to_string();
+        self.registry.gauge("dx_worker_evicted", &[("slot", &slot)])
+    }
+
+    fn is_evicted(&self, slot: u64) -> bool {
+        self.evicted_gauge(slot).get() > 0.0
+    }
+
+    /// Tops the registry's trust series up to a resumed checkpoint's
+    /// totals. Written as a top-up (not a blind increment) so resuming
+    /// into a registry that already holds this campaign's counts — the
+    /// process-global one, across serve calls — never double-counts.
+    fn seed_trust(&self, per_worker: &BTreeMap<u64, WorkerStats>) {
+        for (&slot, w) in per_worker {
+            let (checked, bad) = self.spot_counts(slot);
+            let ok_want = w.spot_checked.saturating_sub(w.spot_failed);
+            let ok_have = checked - bad;
+            if ok_want > ok_have {
+                self.spot(slot, "ok").inc_by((ok_want - ok_have) as u64);
+            }
+            if w.spot_failed > bad {
+                self.spot(slot, "bad").inc_by((w.spot_failed - bad) as u64);
+            }
+            if w.evicted {
+                self.evicted_gauge(slot).set(1.0);
+            }
+        }
+    }
+}
+
 struct State {
     corpus: Corpus,
     global: Vec<CoverageSignal>,
@@ -314,6 +417,7 @@ pub struct Coordinator {
     /// Empty signals, cloned as each connection's model of what its
     /// worker knows about global coverage.
     template: Vec<CoverageSignal>,
+    metrics: CoordMetrics,
     state: Mutex<State>,
     drain: Arc<AtomicBool>,
     force_close: AtomicBool,
@@ -387,6 +491,16 @@ enum Reply {
     Send(Msg),
     SendThenClose(Msg),
     Close,
+}
+
+/// The payload of a `results` frame, bundled for
+/// [`Coordinator::handle_results`].
+struct ResultsFrame {
+    lease: u64,
+    items: Vec<JobResult>,
+    cov: crate::proto::CovDelta,
+    rng_state: [u64; 4],
+    telemetry: Option<TelemetrySnapshot>,
 }
 
 impl Coordinator {
@@ -503,12 +617,17 @@ impl Coordinator {
         let fingerprint = suite_fingerprint(suite, label);
         let sched_rng = rng::rng(rng::derive_seed(cfg.seed, 0xd157));
         let spot_rng = rng::rng(rng::derive_seed(cfg.seed, 0x5b07));
+        let metrics = CoordMetrics::new(&cfg.registry);
+        // Fabrication history (and burned slots) must survive restarts.
+        metrics.seed_trust(&restored.per_worker);
+        metrics.requeue_depth.set(restored.pending.len() as f64);
         Self {
             cfg,
             fingerprint,
             suite: suite.clone(),
             sample_shape,
             template,
+            metrics,
             state: Mutex::new(State {
                 corpus: restored.corpus,
                 global,
@@ -572,12 +691,6 @@ impl Coordinator {
         self.state.lock().expect("coordinator state lock")
     }
 
-    fn log(&self, msg: impl AsRef<str>) {
-        if self.cfg.verbose {
-            eprintln!("coordinator: {}", msg.as_ref());
-        }
-    }
-
     /// Serves the campaign on `listener` until it drains (budget, coverage
     /// target, corpus exhaustion, or [`DrainHandle`]), then waits for
     /// outstanding leases, writes the final checkpoint, and reports.
@@ -627,7 +740,12 @@ impl Coordinator {
                 }
                 match listener.accept() {
                     Ok((stream, peer)) => {
-                        self.log(format!("connection from {peer}"));
+                        emit(
+                            Level::Debug,
+                            "coordinator",
+                            "connection",
+                            &[("peer", peer.to_string().into())],
+                        );
                         scope.spawn(move || self.handle(stream));
                     }
                     Err(e)
@@ -661,13 +779,20 @@ impl Coordinator {
             .collect();
         for id in expired {
             let lease = st.leases.remove(&id).expect("collected above");
-            self.log(format!(
-                "lease {id} (slot {}, {} seeds) expired; requeued",
-                lease.slot,
-                lease.seed_ids.len()
-            ));
+            self.metrics.lease_expired.inc();
+            emit(
+                Level::Info,
+                "coordinator",
+                "lease_expired",
+                &[
+                    ("lease", id.into()),
+                    ("slot", lease.slot.into()),
+                    ("seeds", lease.seed_ids.len().into()),
+                ],
+            );
             st.pending.extend(lease.seed_ids);
         }
+        self.metrics.requeue_depth.set(st.pending.len() as f64);
         self.check_targets(&mut st);
         Ok(())
     }
@@ -764,7 +889,12 @@ impl Coordinator {
                     };
                     if let Some(job) = ckpt {
                         if let Err(e) = self.write_checkpoint(job) {
-                            self.log(format!("checkpoint failed: {e}"));
+                            emit(
+                                Level::Error,
+                                "coordinator",
+                                "checkpoint_failed",
+                                &[("error", e.to_string().into())],
+                            );
                         }
                     }
                     if closing {
@@ -784,7 +914,12 @@ impl Coordinator {
         })();
         if let Err(e) = &result {
             if e.kind() != io::ErrorKind::UnexpectedEof {
-                self.log(format!("connection error: {e}"));
+                emit(
+                    Level::Warn,
+                    "coordinator",
+                    "connection_error",
+                    &[("error", e.to_string().into())],
+                );
             }
         }
         if let Some(s) = conn.slot {
@@ -795,6 +930,7 @@ impl Coordinator {
     fn disconnect(&self, slot: u64) {
         let mut st = self.lock();
         st.connected = st.connected.saturating_sub(1);
+        self.metrics.connected.set(st.connected as f64);
         // A dead worker's leases go straight back to the queue.
         let orphaned: Vec<u64> =
             st.leases.iter().filter(|(_, l)| l.slot == slot).map(|(&id, _)| id).collect();
@@ -802,8 +938,9 @@ impl Coordinator {
             let lease = st.leases.remove(&id).expect("collected above");
             st.pending.extend(lease.seed_ids);
         }
+        self.metrics.requeue_depth.set(st.pending.len() as f64);
         drop(st);
-        self.log(format!("worker {slot} disconnected"));
+        emit(Level::Debug, "coordinator", "worker_disconnected", &[("slot", slot.into())]);
     }
 
     /// Verifies the fingerprint and assigns a slot — the step that first
@@ -820,19 +957,20 @@ impl Coordinator {
         let mut st = self.lock();
         // Slots are reused across resumes so a returning fleet picks its
         // RNG streams (and trust history) back up in order — but a slot
-        // whose record says `evicted` is burned: a fresh worker must not
+        // whose eviction gauge is set is burned: a fresh worker must not
         // inherit a fabricator's history (and its instant re-eviction).
-        while st.per_worker.get(&st.next_slot).is_some_and(|w| w.evicted) {
+        while self.metrics.is_evicted(st.next_slot) {
             st.next_slot += 1;
         }
         let s = st.next_slot;
         st.next_slot += 1;
         st.connected += 1;
+        self.metrics.connected.set(st.connected as f64);
         st.per_worker.entry(s).or_default();
         let rng_state = st.worker_rng.get(&s).copied();
         drop(st);
         conn.slot = Some(s);
-        self.log(format!("worker {s} joined"));
+        emit(Level::Info, "coordinator", "worker_joined", &[("slot", s.into())]);
         Reply::Send(Msg::Welcome { slot: s, campaign_seed: self.cfg.seed, rng_state })
     }
 
@@ -867,7 +1005,7 @@ impl Coordinator {
                     return (Reply::SendThenClose(Msg::Reject { reason }), None);
                 };
                 if !auth::verify(token, &nonce, &proof) {
-                    self.log("rejected a peer with an invalid auth proof");
+                    emit(Level::Warn, "coordinator", "auth_failed", &[]);
                     let reason = "authentication failed".to_string();
                     return (Reply::SendThenClose(Msg::Reject { reason }), None);
                 }
@@ -902,6 +1040,7 @@ impl Coordinator {
                     })
                     .collect();
                 let now = Instant::now();
+                let granted = ids.len();
                 st.leases.insert(
                     lease,
                     Lease {
@@ -912,6 +1051,14 @@ impl Coordinator {
                         checking: false,
                     },
                 );
+                self.metrics.leases.inc();
+                self.metrics.requeue_depth.set(st.pending.len() as f64);
+                emit(
+                    Level::Debug,
+                    "coordinator",
+                    "lease_granted",
+                    &[("lease", lease.into()), ("slot", s.into()), ("seeds", granted.into())],
+                );
                 let cov = coverage_news(&st.global, &mut conn.view);
                 Reply::Send(Msg::Lease { lease, jobs, cov })
             }
@@ -920,6 +1067,7 @@ impl Coordinator {
                     let reason = "say hello first".to_string();
                     return (Reply::SendThenClose(Msg::Reject { reason }), None);
                 }
+                self.metrics.heartbeats.inc();
                 let mut st = self.lock();
                 if let Some(l) = st.leases.get_mut(&lease) {
                     if l.slot == s {
@@ -929,12 +1077,13 @@ impl Coordinator {
                 let cov = coverage_news(&st.global, &mut conn.view);
                 Reply::Send(Msg::Ack { cov })
             }
-            Msg::Results { slot: s, lease, items, cov, rng_state } => {
+            Msg::Results { slot: s, lease, items, cov, rng_state, telemetry } => {
                 if Some(s) != conn.slot {
                     let reason = "say hello first".to_string();
                     return (Reply::SendThenClose(Msg::Reject { reason }), None);
                 }
-                return self.handle_results(s, lease, items, cov, rng_state, conn);
+                let frame = ResultsFrame { lease, items, cov, rng_state, telemetry };
+                return self.handle_results(s, frame, conn);
             }
             Msg::Bye => Reply::Close,
             // Worker-bound messages arriving at the coordinator.
@@ -979,7 +1128,12 @@ impl Coordinator {
         let next =
             ideal.clamp((quota / 2).max(1), quota.saturating_mul(2)).clamp(1, self.cfg.lease_max);
         if next != quota {
-            self.log(format!("worker {s} lease quota {quota} -> {next}"));
+            emit(
+                Level::Debug,
+                "coordinator",
+                "lease_quota",
+                &[("slot", s.into()), ("from", quota.into()), ("to", next.into())],
+            );
         }
         st.lease_quota.insert(s, next);
     }
@@ -991,12 +1145,10 @@ impl Coordinator {
     fn handle_results(
         &self,
         s: u64,
-        lease: u64,
-        items: Vec<JobResult>,
-        cov: crate::proto::CovDelta,
-        rng_state: [u64; 4],
+        frame: ResultsFrame,
         conn: &mut Conn,
     ) -> (Reply, Option<CheckpointJob>) {
+        let ResultsFrame { lease, items, cov, rng_state, telemetry } = frame;
         enum Plan {
             /// A live lease owned by the sender. `turnaround` is issue →
             /// results arrival, measured before any spot-check work so
@@ -1084,13 +1236,14 @@ impl Coordinator {
             .iter()
             .filter(|(_, t)| !self.suite.reproduces_difference(&t.input, &t.predictions))
             .collect();
-        // Phase 3 (locked): punish or apply.
-        let mut st = self.lock();
-        {
-            let w = st.per_worker.entry(s).or_default();
-            w.spot_checked += checks.len();
-            w.spot_failed += failed.len();
+        // Phase 3 (locked): punish or apply. The registry's per-slot
+        // spot-check counters are the trust ledger; `per_worker` keeps
+        // only throughput tallies (report rows re-read the registry).
+        if !checks.is_empty() {
+            self.metrics.spot(s, "ok").inc_by((checks.len() - failed.len()) as u64);
+            self.metrics.spot(s, "bad").inc_by(failed.len() as u64);
         }
+        let mut st = self.lock();
         if !failed.is_empty() {
             let epoch = st.epochs.len();
             for (seed_id, t) in &failed {
@@ -1112,18 +1265,30 @@ impl Coordinator {
             if let Plan::Lease { seed_ids, .. } = plan {
                 st.leases.remove(&lease);
                 st.pending.extend(seed_ids);
+                self.metrics.requeue_depth.set(st.pending.len() as f64);
             }
-            let w = st.per_worker.entry(s).or_default();
-            let (checked, bad) = (w.spot_checked, w.spot_failed);
-            self.log(format!(
-                "worker {s}: {} of {} spot-checked claims failed; lease {lease} discarded",
-                failed.len(),
-                checks.len()
-            ));
-            if checked >= TRUST_MIN_CHECKS && w.fabrication_rate() > self.cfg.trust_threshold {
-                w.evicted = true;
+            let (checked, bad) = self.metrics.spot_counts(s);
+            emit(
+                Level::Warn,
+                "coordinator",
+                "spot_check_failed",
+                &[
+                    ("slot", s.into()),
+                    ("lease", lease.into()),
+                    ("failed", failed.len().into()),
+                    ("sampled", checks.len().into()),
+                ],
+            );
+            let rate = if checked == 0 { 0.0 } else { bad as f32 / checked as f32 };
+            if checked >= TRUST_MIN_CHECKS && rate > self.cfg.trust_threshold {
+                self.metrics.evicted_gauge(s).set(1.0);
                 drop(st);
-                self.log(format!("worker {s} evicted ({bad}/{checked} fabricated)"));
+                emit(
+                    Level::Warn,
+                    "coordinator",
+                    "worker_evicted",
+                    &[("slot", s.into()), ("failed", bad.into()), ("checked", checked.into())],
+                );
                 let reason =
                     format!("evicted: {bad} of {checked} spot-checked diffs failed to reproduce");
                 return (Reply::SendThenClose(Msg::Reject { reason }), None);
@@ -1136,7 +1301,11 @@ impl Coordinator {
             };
             return (reply, None);
         }
-        // All sampled claims reproduced: fold the frame in.
+        // All sampled claims reproduced: fold the frame in, advisory
+        // telemetry included (an untrusted frame never gets this far).
+        if let Some(t) = &telemetry {
+            self.merge_worker_telemetry(s, t);
+        }
         let mut contributed = 0;
         for (g, idx) in st.global.iter_mut().zip(&cov) {
             contributed += g.apply_covered_indices(idx);
@@ -1157,6 +1326,7 @@ impl Coordinator {
         match plan {
             Plan::Lease { seed_ids, turnaround } => {
                 st.leases.remove(&lease);
+                self.metrics.turnaround(s).observe(turnaround.as_secs_f64());
                 // Only absorb what was actually leased.
                 let leased: Vec<&JobResult> =
                     items.iter().filter(|i| seed_ids.contains(&i.seed_id)).collect();
@@ -1179,12 +1349,20 @@ impl Coordinator {
                     st.pending.retain(|&id| id != item.seed_id);
                 }
                 let dropped = items.len() - salvage.len();
+                self.metrics.requeue_depth.set(st.pending.len() as f64);
+                let salvaged = salvage.len();
                 ckpt = self.absorb_items(&mut st, s, &salvage);
-                self.log(format!(
-                    "results for expired lease {lease} from worker {s}: \
-                     {} runs salvaged, {dropped} dropped",
-                    salvage.len()
-                ));
+                emit(
+                    Level::Debug,
+                    "coordinator",
+                    "lease_salvaged",
+                    &[
+                        ("lease", lease.into()),
+                        ("slot", s.into()),
+                        ("salvaged", salvaged.into()),
+                        ("dropped", dropped.into()),
+                    ],
+                );
             }
         }
         let cov = coverage_news(&st.global, &mut conn.view);
@@ -1194,6 +1372,43 @@ impl Coordinator {
             Reply::Send(Msg::Ack { cov })
         };
         (reply, ckpt)
+    }
+
+    /// Folds a worker's advisory telemetry snapshot into the registry.
+    /// Phase names are matched against the known set, so a hostile worker
+    /// cannot mint unbounded label values; histograms with a foreign
+    /// bucket layout are dropped by `merge_local` for the same reason.
+    fn merge_worker_telemetry(&self, s: u64, t: &TelemetrySnapshot) {
+        let reg = &self.cfg.registry;
+        for (name, hist) in &t.phases {
+            let Some(phase) = Phase::ALL.iter().find(|p| p.name() == name) else { continue };
+            reg.histogram("dx_phase_seconds", &[("phase", phase.name())], &TIME_BUCKETS)
+                .merge_local(hist);
+        }
+        if let Some(hb) = &t.heartbeat {
+            let slot = s.to_string();
+            reg.histogram("dx_heartbeat_rtt_seconds", &[("slot", &slot)], &TIME_BUCKETS)
+                .merge_local(hb);
+        }
+    }
+
+    /// Per-slot report rows with the trust columns read back from the
+    /// registry — the counters are the source of truth; the stored structs
+    /// only carry steps/diffs/contribution tallies.
+    fn trust_rows(&self, st: &State) -> Vec<(u64, WorkerStats)> {
+        st.per_worker
+            .iter()
+            .map(|(&slot, w)| {
+                let (checked, bad) = self.metrics.spot_counts(slot);
+                let row = WorkerStats {
+                    spot_checked: checked,
+                    spot_failed: bad,
+                    evicted: self.metrics.is_evicted(slot),
+                    ..w.clone()
+                };
+                (slot, row)
+            })
+            .collect()
     }
 
     /// Folds completed job results from `slot` into the campaign: corpus
@@ -1226,6 +1441,8 @@ impl Coordinator {
             }
             st.corpus.absorb(item.seed_id, &item.run, &global_coverage);
         }
+        self.metrics.steps.inc_by(items.len() as u64);
+        self.metrics.diffs.inc_by(items.iter().filter(|i| i.run.found_difference()).count() as u64);
         let ckpt = if st.round.seeds_run >= self.cfg.batch_per_round {
             self.flush_round(st)
         } else {
@@ -1299,7 +1516,7 @@ impl Coordinator {
                 // this checkpoint re-derives streams from the master seed.
                 worker_rng: Vec::new(),
             },
-            dist: DistState::snapshot(st),
+            dist: DistState::snapshot(st, self.trust_rows(st).into_iter().collect()),
         })
     }
 
@@ -1341,6 +1558,7 @@ impl Coordinator {
                 let lease = st.leases.remove(&id).expect("keys collected above");
                 st.pending.extend(lease.seed_ids);
             }
+            self.metrics.requeue_depth.set(st.pending.len() as f64);
             let ckpt = if st.round.seeds_run > 0 {
                 self.flush_round(&mut st)
             } else {
@@ -1353,7 +1571,7 @@ impl Coordinator {
                 },
                 coverage: st.global.iter().map(CoverageSignal::coverage).collect(),
                 steps_done: st.steps_done,
-                per_worker: st.per_worker.iter().map(|(&s, w)| (s, w.clone())).collect(),
+                per_worker: self.trust_rows(&st),
                 diffs: st.diffs.len(),
                 quarantined: st.quarantined_total,
             };
@@ -1390,10 +1608,12 @@ struct DistState {
 impl DistState {
     /// Snapshots the dist extension's state under the coordinator lock —
     /// cheap field clones only. Leased seeds fold into `pending`, since a
-    /// checkpoint outlives every lease. JSON rendering (the expensive
-    /// part, with up to [`QUARANTINE_KEEP`] inlined tensors) happens in
-    /// [`DistState::doc`], outside the lock.
-    fn snapshot(st: &State) -> Self {
+    /// checkpoint outlives every lease. The trust rows arrive prepared by
+    /// the caller ([`Coordinator::trust_rows`]) because their spot-check
+    /// columns live in the metrics registry, not in [`State`]. JSON
+    /// rendering (the expensive part, with up to [`QUARANTINE_KEEP`]
+    /// inlined tensors) happens in [`DistState::doc`], outside the lock.
+    fn snapshot(st: &State, trust: BTreeMap<u64, WorkerStats>) -> Self {
         Self {
             steps_done: st.steps_done,
             next_lease: st.next_lease,
@@ -1404,7 +1624,7 @@ impl DistState {
                 .chain(st.leases.values().flat_map(|l| l.seed_ids.iter().copied()))
                 .collect(),
             worker_rng: st.worker_rng.clone(),
-            trust: st.per_worker.clone(),
+            trust,
             quarantined: st.quarantined.clone(),
             quarantined_total: st.quarantined_total,
         }

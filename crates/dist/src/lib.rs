@@ -230,7 +230,12 @@ pub fn serve_local(
             .filter_map(|h| match h.join().expect("worker thread panicked") {
                 Ok(summary) => Some(summary),
                 Err(e) => {
-                    eprintln!("dist worker failed: {e}");
+                    dx_telemetry::events::emit(
+                        dx_telemetry::events::Level::Error,
+                        "dist",
+                        "worker_failed",
+                        &[("error", e.to_string().into())],
+                    );
                     None
                 }
             })
@@ -706,6 +711,7 @@ mod tests {
                     items,
                     cov: vec![Vec::new(); 3],
                     rng_state: [1, 2, 3, 4],
+                    telemetry: None,
                 };
                 crate::wire::write_frame(&mut stream, &results.to_json()).unwrap();
                 let ack = Msg::from_json(&crate::wire::read_frame(&mut stream).unwrap()).unwrap();
@@ -870,8 +876,14 @@ mod tests {
                 let signals = s2.signal.build(&s2.models);
                 let fat_cov: Vec<Vec<usize>> =
                     signals.iter().map(|sig| (0..sig.total()).collect()).collect();
-                let results =
-                    Msg::Results { slot, lease, items, cov: fat_cov, rng_state: [1, 2, 3, 4] };
+                let results = Msg::Results {
+                    slot,
+                    lease,
+                    items,
+                    cov: fat_cov,
+                    rng_state: [1, 2, 3, 4],
+                    telemetry: None,
+                };
                 let verdict = raw_exchange(&mut stream, &results).unwrap();
                 let Msg::Reject { reason } = verdict else {
                     panic!("fabricator was not evicted: {verdict:?}")
@@ -980,6 +992,7 @@ mod tests {
                         items,
                         cov: vec![Vec::new(); 3],
                         rng_state: [5, 6, 7, 8],
+                        telemetry: None,
                     };
                     match raw_exchange(&mut stream, &results).unwrap() {
                         Msg::Ack { .. } | Msg::Drain => {}
@@ -1075,6 +1088,7 @@ mod tests {
                     items: Vec::new(),
                     cov: vec![(0..5).collect(); 3],
                     rng_state: [1; 4],
+                    telemetry: None,
                 };
                 match raw_exchange(&mut stream, &bogus).unwrap() {
                     Msg::Reject { reason } => assert!(reason.contains("lease"), "{reason}"),
@@ -1143,6 +1157,7 @@ mod tests {
                     items,
                     cov: vec![Vec::new(); 3],
                     rng_state: [1; 4],
+                    telemetry: None,
                 };
                 let _ = raw_exchange(&mut stream, &results);
             });
@@ -1157,6 +1172,7 @@ mod tests {
             honest.join().unwrap().unwrap();
             assert!(report.quarantined >= 1);
         });
+        let registry = dx_telemetry::MetricsRegistry::new();
         let quarantined_before = {
             let resumed = Coordinator::resume(
                 &s,
@@ -1164,6 +1180,7 @@ mod tests {
                 CoordinatorConfig {
                     spot_check_rate: 1.0,
                     checkpoint_dir: Some(dir.clone()),
+                    registry: registry.clone(),
                     ..quick_cfg(12)
                 },
             )
@@ -1171,6 +1188,10 @@ mod tests {
             resumed.quarantined()
         };
         assert!(quarantined_before >= 1, "quarantine lost across resume");
+        // The resume seeded the registry's trust ledger from dist.json, so
+        // fabrication history carries across restarts.
+        let bad = registry.counter("dx_spot_checks_total", &[("slot", "0"), ("verdict", "bad")]);
+        assert!(bad.get() >= 1, "trust counters not seeded from checkpoint");
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -1251,5 +1272,87 @@ mod tests {
             });
             coordinator.serve(listener).unwrap();
         });
+    }
+
+    #[test]
+    fn dist_report_render_is_stable() {
+        // Satellite guard: the per-worker table must render byte-for-byte
+        // as it did when the trust columns lived on the structs, now that
+        // they are read back from the metrics registry.
+        let report = DistReport {
+            report: dx_campaign::CampaignReport { epochs: Vec::new(), workers: 2 },
+            coverage: vec![0.5, 0.5],
+            steps_done: 12,
+            per_worker: vec![
+                (
+                    0,
+                    WorkerStats {
+                        steps: 8,
+                        diffs: 1,
+                        contributed_neurons: 5,
+                        spot_checked: 3,
+                        spot_failed: 0,
+                        evicted: false,
+                    },
+                ),
+                (
+                    1,
+                    WorkerStats {
+                        steps: 4,
+                        diffs: 0,
+                        contributed_neurons: 2,
+                        spot_checked: 2,
+                        spot_failed: 2,
+                        evicted: true,
+                    },
+                ),
+            ],
+            diffs: 1,
+            quarantined: 2,
+        };
+        let full = report.render();
+        let table = full.strip_prefix(&report.report.render()).expect("campaign prefix");
+        let expected = "slot         steps     diffs   new-units   spot-ok  spot-bad  status\n\
+                        0                8         1           5         3         0  ok\n\
+                        1                4         0           2         0         2  evicted\n\
+                        2 claimed diff(s) failed spot-checks and were quarantined\n";
+        assert_eq!(table, expected);
+    }
+
+    #[test]
+    fn fleet_metrics_are_scrapable_over_http() {
+        // End-to-end observability: a 2-worker fleet with full
+        // spot-checking reports its hot-path and trust series through the
+        // injected registry, served over the Prometheus endpoint.
+        let registry = dx_telemetry::MetricsRegistry::new();
+        let cfg =
+            CoordinatorConfig { registry: registry.clone(), spot_check_rate: 1.0, ..quick_cfg(10) };
+        let (report, _) = run_local(
+            &suite(200),
+            "unit@test",
+            &seed_batch(201, 8),
+            cfg,
+            WorkerConfig::default(),
+            2,
+        )
+        .unwrap();
+        let server = dx_telemetry::http::serve("127.0.0.1:0", registry.clone()).unwrap();
+        let text = dx_telemetry::http::scrape(server.addr()).unwrap();
+        let series = |name: &str| {
+            text.lines()
+                .filter(|l| l.starts_with(name))
+                .filter_map(|l| l.rsplit(' ').next()?.parse::<f64>().ok())
+                .sum::<f64>()
+        };
+        assert_eq!(series("dx_seeds_total") as usize, report.steps_done, "{text}");
+        assert!(series("dx_leases_total") >= 1.0, "{text}");
+        assert!(series("dx_lease_turnaround_seconds_count{") >= 1.0, "{text}");
+        assert!(series("dx_spot_checks_total{") >= 1.0, "{text}");
+        // Worker-shipped phase deltas were merged under the known names.
+        assert!(series("dx_phase_seconds_count{phase=\"forward\"}") >= 1.0, "{text}");
+        assert!(series("dx_phase_seconds_count{phase=\"gradient\"}") >= 1.0, "{text}");
+        // Trust columns in the report agree with the registry counters.
+        let checked: usize = report.per_worker.iter().map(|(_, w)| w.spot_checked).sum();
+        assert_eq!(series("dx_spot_checks_total{") as usize, checked);
     }
 }

@@ -34,6 +34,7 @@ use dx_campaign::codec::{
 };
 use dx_campaign::json::{build, Json};
 use dx_coverage::CoverageSignal;
+use dx_telemetry::phase::LocalHist;
 use dx_tensor::Tensor;
 
 /// Bumped on any incompatible message or codec change; a mismatch is
@@ -43,8 +44,11 @@ use dx_tensor::Tensor;
 /// `newly_by_component` splits in seed-run results. v4: the
 /// challenge/auth admission handshake (shared-secret worker
 /// authentication), and `want` in `lease_req` became advisory — an
-/// adaptive coordinator may grant larger leases than requested.
-pub const PROTOCOL_VERSION: u64 = 4;
+/// adaptive coordinator may grant larger leases than requested. v5:
+/// `results` may carry an advisory `telemetry` snapshot (per-phase
+/// hot-path histogram deltas plus heartbeat round-trip times), which the
+/// coordinator folds into its metrics registry.
+pub const PROTOCOL_VERSION: u64 = 5;
 
 /// What the coordinator checks before admitting a worker: both sides must
 /// be fuzzing the same model suite, under the same coverage metric, with
@@ -126,6 +130,29 @@ pub fn coverage_news(source: &[CoverageSignal], view: &mut [CoverageSignal]) -> 
             delta
         })
         .collect()
+}
+
+/// Advisory worker-side telemetry shipped with `results` (protocol v5):
+/// per-phase hot-path histogram deltas and heartbeat round-trip times
+/// accumulated since the worker's previous report, all over the shared
+/// [`dx_telemetry::phase::TIME_BUCKETS`] layout. Advisory means the
+/// coordinator merges what fits into its registry and ignores the rest —
+/// fabricated timing can only distort its own slot's latency series,
+/// never campaign state.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TelemetrySnapshot {
+    /// `(phase name, delta)` pairs in [`dx_telemetry::phase::Phase`]
+    /// naming (`forward`, `gradient`, `constraint`, `coverage`).
+    pub phases: Vec<(String, LocalHist)>,
+    /// Heartbeat round-trip delta, when any heartbeats were sent.
+    pub heartbeat: Option<LocalHist>,
+}
+
+impl TelemetrySnapshot {
+    /// Whether there is anything to ship.
+    pub fn is_empty(&self) -> bool {
+        self.phases.iter().all(|(_, h)| h.is_empty()) && self.heartbeat.is_none()
+    }
 }
 
 /// One leased fuzzing job.
@@ -235,6 +262,9 @@ pub enum Msg {
         cov: CovDelta,
         /// Worker generator RNG state after the lease.
         rng_state: [u64; 4],
+        /// Advisory timing deltas since the previous report (`None` from
+        /// workers with nothing to report, e.g. timing disabled).
+        telemetry: Option<TelemetrySnapshot>,
     },
     /// Acknowledgement carrying the coordinator's coverage news.
     Ack {
@@ -281,6 +311,56 @@ fn item_from_json(v: &Json) -> io::Result<JobResult> {
     })
 }
 
+fn hist_json(h: &LocalHist) -> Json {
+    let counts: Vec<usize> = h.counts.iter().map(|&c| c as usize).collect();
+    build::obj(vec![
+        ("counts", build::ints(&counts)),
+        ("sum", build::num(h.sum)),
+        ("count", u64_json(h.count)),
+    ])
+}
+
+fn hist_from_json(v: &Json) -> io::Result<LocalHist> {
+    Ok(LocalHist {
+        counts: usizes(v.get("counts").ok_or_else(|| bad("counts"))?, "counts")?
+            .into_iter()
+            .map(|c| c as u64)
+            .collect(),
+        sum: v.get("sum").and_then(Json::as_f64).ok_or_else(|| bad("sum"))?,
+        count: v.get("count").and_then(u64_from_json).ok_or_else(|| bad("count"))?,
+    })
+}
+
+fn telemetry_json(t: &TelemetrySnapshot) -> Json {
+    let phases = t
+        .phases
+        .iter()
+        .map(|(name, h)| build::obj(vec![("phase", build::str(name)), ("hist", hist_json(h))]))
+        .collect();
+    build::obj(vec![
+        ("phases", Json::Arr(phases)),
+        ("heartbeat", t.heartbeat.as_ref().map_or(Json::Null, hist_json)),
+    ])
+}
+
+fn telemetry_from_json(v: &Json) -> io::Result<TelemetrySnapshot> {
+    let phases = v
+        .get("phases")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| bad("phases"))?
+        .iter()
+        .map(|p| {
+            let name = p.get("phase").and_then(Json::as_str).ok_or_else(|| bad("phase"))?;
+            Ok((name.to_string(), hist_from_json(p.get("hist").ok_or_else(|| bad("hist"))?)?))
+        })
+        .collect::<io::Result<_>>()?;
+    let heartbeat = match v.get("heartbeat") {
+        None | Some(Json::Null) => None,
+        Some(h) => Some(hist_from_json(h)?),
+    };
+    Ok(TelemetrySnapshot { phases, heartbeat })
+}
+
 fn tagged(tag: &str, mut fields: Vec<(&str, Json)>) -> Json {
     let mut all = vec![("type", build::str(tag))];
     all.append(&mut fields);
@@ -322,16 +402,19 @@ impl Msg {
             Msg::Heartbeat { slot, lease } => {
                 tagged("heartbeat", vec![("slot", u64_json(*slot)), ("lease", u64_json(*lease))])
             }
-            Msg::Results { slot, lease, items, cov, rng_state } => tagged(
-                "results",
-                vec![
+            Msg::Results { slot, lease, items, cov, rng_state, telemetry } => {
+                let mut fields = vec![
                     ("slot", u64_json(*slot)),
                     ("lease", u64_json(*lease)),
                     ("items", Json::Arr(items.iter().map(item_json).collect())),
                     ("cov", cov_json(cov)),
                     ("rng_state", rng_state_json(rng_state)),
-                ],
-            ),
+                ];
+                if let Some(t) = telemetry {
+                    fields.push(("telemetry", telemetry_json(t)));
+                }
+                tagged("results", fields)
+            }
             Msg::Ack { cov } => tagged("ack", vec![("cov", cov_json(cov))]),
             Msg::Bye => tagged("bye", vec![]),
         }
@@ -410,6 +493,10 @@ impl Msg {
                 rng_state: rng_state_from_json(
                     v.get("rng_state").ok_or_else(|| bad("rng_state"))?,
                 )?,
+                telemetry: match v.get("telemetry") {
+                    None | Some(Json::Null) => None,
+                    Some(t) => Some(telemetry_from_json(t)?),
+                },
             },
             "ack" => Msg::Ack { cov: cov_from_json(v.get("cov").ok_or_else(|| bad("cov"))?)? },
             "bye" => Msg::Bye,
@@ -500,16 +587,56 @@ mod tests {
             }],
             cov: vec![vec![1], vec![2, 3]],
             rng_state: [9, 8, 7, 6],
+            telemetry: None,
         };
         match round_trip(&results) {
-            Msg::Results { items, cov, rng_state, .. } => {
+            Msg::Results { items, cov, rng_state, telemetry, .. } => {
                 assert_eq!(items[0].run.iterations, 12);
                 assert_eq!(items[0].run.corpus_candidate.as_ref(), Some(&input));
                 assert_eq!(cov, vec![vec![1], vec![2, 3]]);
                 assert_eq!(rng_state, [9, 8, 7, 6]);
+                assert_eq!(telemetry, None);
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn results_telemetry_round_trips() {
+        let mut forward = LocalHist::new();
+        forward.record(0.0001);
+        forward.record(0.02);
+        let mut heartbeat = LocalHist::new();
+        heartbeat.record(0.0005);
+        let snapshot = TelemetrySnapshot {
+            phases: vec![("forward".into(), forward.clone())],
+            heartbeat: Some(heartbeat.clone()),
+        };
+        let results = Msg::Results {
+            slot: 2,
+            lease: 11,
+            items: vec![],
+            cov: vec![],
+            rng_state: [1, 2, 3, 4],
+            telemetry: Some(snapshot.clone()),
+        };
+        match round_trip(&results) {
+            Msg::Results { telemetry: Some(t), .. } => {
+                assert_eq!(t, snapshot);
+                assert_eq!(t.phases[0].1.count, 2);
+                assert_eq!(t.heartbeat.as_ref().unwrap().counts, heartbeat.counts);
+            }
+            other => panic!("{other:?}"),
+        }
+        // A pre-telemetry frame (no field at all) decodes as None.
+        let text = r#"{"type":"results","slot":"0","lease":"1","items":[],"cov":[],"rng_state":["1","2","3","4"]}"#;
+        match Msg::from_json(&parse_doc(text).unwrap()).unwrap() {
+            Msg::Results { telemetry: None, .. } => {}
+            other => panic!("{other:?}"),
+        }
+        // A malformed snapshot is InvalidData, like any other bad field.
+        let text = r#"{"type":"results","slot":"0","lease":"1","items":[],"cov":[],"rng_state":["1","2","3","4"],"telemetry":{"phases":[{"phase":"forward"}]}}"#;
+        assert!(Msg::from_json(&parse_doc(text).unwrap()).is_err());
     }
 
     #[test]

@@ -8,13 +8,42 @@
 //! same value are byte-identical.
 
 use std::io::{self, Read, Write};
+use std::sync::{Arc, OnceLock};
 
 use dx_campaign::codec::parse_doc;
 use dx_campaign::json::Json;
+use dx_telemetry::Counter;
 
 /// Upper bound on one frame's payload, as a corruption guard: a garbage
 /// length prefix would otherwise ask for gigabytes.
 pub const MAX_FRAME: usize = 1 << 28;
+
+/// Process-wide wire traffic counters (`dx_frames_total` /
+/// `dx_bytes_total` by direction), registered on the global registry so
+/// any `--metrics-addr` endpoint in the process — coordinator or worker —
+/// shows its own traffic. Cached: the framing hot path must not take the
+/// registry lock per frame.
+struct WireMetrics {
+    frames_in: Arc<Counter>,
+    frames_out: Arc<Counter>,
+    bytes_in: Arc<Counter>,
+    bytes_out: Arc<Counter>,
+}
+
+fn wire_metrics() -> &'static WireMetrics {
+    static METRICS: OnceLock<WireMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let reg = dx_telemetry::global();
+        reg.set_help("dx_frames_total", "Wire frames sent/received by this process.");
+        reg.set_help("dx_bytes_total", "Wire bytes sent/received by this process.");
+        WireMetrics {
+            frames_in: reg.counter("dx_frames_total", &[("dir", "in")]),
+            frames_out: reg.counter("dx_frames_total", &[("dir", "out")]),
+            bytes_in: reg.counter("dx_bytes_total", &[("dir", "in")]),
+            bytes_out: reg.counter("dx_bytes_total", &[("dir", "out")]),
+        }
+    })
+}
 
 fn oversized_for(len: usize, cap: usize) -> io::Error {
     io::Error::new(
@@ -39,7 +68,11 @@ pub fn write_frame(w: &mut impl Write, msg: &Json) -> io::Result<()> {
     }
     w.write_all(&(payload.len() as u32).to_be_bytes())?;
     w.write_all(payload.as_bytes())?;
-    w.flush()
+    w.flush()?;
+    let m = wire_metrics();
+    m.frames_out.inc();
+    m.bytes_out.inc_by(4 + payload.len() as u64);
+    Ok(())
 }
 
 /// Reads one framed message, blocking until it is complete.
@@ -57,6 +90,9 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Json> {
     }
     let mut payload = vec![0u8; len];
     r.read_exact(&mut payload)?;
+    let m = wire_metrics();
+    m.frames_in.inc();
+    m.bytes_in.inc_by(4 + len as u64);
     decode(&payload)
 }
 
@@ -128,6 +164,9 @@ impl FrameReader {
                     let msg = decode(&self.buf[4..4 + len])?;
                     self.buf.clear();
                     self.need = None;
+                    let m = wire_metrics();
+                    m.frames_in.inc();
+                    m.bytes_in.inc_by(4 + len as u64);
                     return Ok(Some(msg));
                 }
                 // Header complete: learn the payload length and keep going.

@@ -13,14 +13,17 @@
 
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use deepxplore::generator::Generator;
 use dx_campaign::ModelSuite;
 use dx_coverage::CoverageSignal;
+use dx_telemetry::phase::{LocalHist, Phase};
 use dx_tensor::rng;
 
-use crate::proto::{coverage_news, CovDelta, Fingerprint, JobResult, Msg, PROTOCOL_VERSION};
+use crate::proto::{
+    coverage_news, CovDelta, Fingerprint, JobResult, Msg, TelemetrySnapshot, PROTOCOL_VERSION,
+};
 use crate::suite_fingerprint;
 use crate::wire::{read_frame, write_frame};
 
@@ -128,6 +131,9 @@ pub fn run_worker(
     // relative to this.
     let mut known: Vec<CoverageSignal> = generator.signals().to_vec();
     let mut summary = WorkerSummary { slot, steps: 0, diffs_found: 0, coverage: Vec::new() };
+    // Heartbeat round-trips since the last results report, shipped as
+    // part of the advisory telemetry snapshot.
+    let mut heartbeat_rtt = LocalHist::new();
     loop {
         let reply =
             exchange(&mut stream, &Msg::LeaseRequest { slot, want: cfg.lease_size.max(1) })?;
@@ -145,7 +151,10 @@ pub fn run_worker(
                     // results on arrival as long as the seeds were not
                     // re-leased meanwhile.)
                     if k > 0 && cfg.heartbeat_every > 0 && k % cfg.heartbeat_every == 0 {
-                        match exchange(&mut stream, &Msg::Heartbeat { slot, lease })? {
+                        let sent = Instant::now();
+                        let reply = exchange(&mut stream, &Msg::Heartbeat { slot, lease })?;
+                        heartbeat_rtt.record(sent.elapsed().as_secs_f64());
+                        match reply {
                             Msg::Ack { cov } => adopt(&mut generator, &mut known, &cov)?,
                             Msg::Drain => {} // Finish the lease; exit after reporting.
                             other => return Err(proto_err(format!("unexpected {other:?}"))),
@@ -159,8 +168,15 @@ pub fn run_worker(
                     items.push(JobResult { seed_id: job.seed_id, run });
                 }
                 let cov = local_news(&generator, &mut known);
-                let results =
-                    Msg::Results { slot, lease, items, cov, rng_state: generator.rng_state() };
+                let telemetry = take_telemetry(&mut generator, &mut heartbeat_rtt);
+                let results = Msg::Results {
+                    slot,
+                    lease,
+                    items,
+                    cov,
+                    rng_state: generator.rng_state(),
+                    telemetry,
+                };
                 match exchange(&mut stream, &results)? {
                     Msg::Ack { cov } => adopt(&mut generator, &mut known, &cov)?,
                     Msg::Drain => break,
@@ -176,6 +192,28 @@ pub fn run_worker(
     let _ = write_frame(&mut stream, &Msg::Bye.to_json());
     summary.coverage = generator.coverage();
     Ok(summary)
+}
+
+/// Drains the generator's phase accumulator and the heartbeat RTT delta
+/// into a wire snapshot for the next `results` frame. The coordinator
+/// owns folding these into a registry — the worker only ships deltas, so
+/// an in-process fleet (coordinator and workers sharing one registry)
+/// never counts a phase twice. Returns `None` when there is nothing to
+/// report.
+fn take_telemetry(
+    generator: &mut Generator,
+    heartbeat_rtt: &mut LocalHist,
+) -> Option<TelemetrySnapshot> {
+    let phases = generator.take_phase_stats();
+    let snapshot = TelemetrySnapshot {
+        phases: Phase::ALL
+            .into_iter()
+            .filter(|p| !phases.get(*p).is_empty())
+            .map(|p| (p.name().to_string(), phases.get(p).clone()))
+            .collect(),
+        heartbeat: (!heartbeat_rtt.is_empty()).then(|| std::mem::take(heartbeat_rtt)),
+    };
+    (!snapshot.is_empty()).then_some(snapshot)
 }
 
 fn hello(

@@ -1,0 +1,171 @@
+//! A minimal Prometheus scrape endpoint and its matching one-shot
+//! client.
+//!
+//! Deliberately tiny: one listener thread, one blocking connection at a
+//! time, HTTP/1.0 semantics (close after response). A scrape renders the
+//! registry fresh on every request, so the endpoint needs no
+//! coordination with the code updating the metrics. The listener polls
+//! with a short accept timeout (the same nonblocking-accept pattern as
+//! the dist coordinator's serve loop) so shutdown is prompt.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::MetricsRegistry;
+
+/// Accept-poll interval; bounds shutdown latency.
+const POLL: Duration = Duration::from_millis(50);
+/// Per-connection read/write timeout.
+const IO_TIMEOUT: Duration = Duration::from_secs(5);
+/// Request cap: a scrape request line plus headers is tiny.
+const MAX_REQUEST: usize = 8 * 1024;
+
+/// A running metrics endpoint. Dropping it stops the listener thread.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Binds `addr` (e.g. `127.0.0.1:9184`, port 0 for an ephemeral port)
+/// and serves `registry` at `/metrics` until the returned handle drops.
+///
+/// # Errors
+///
+/// Bind failures.
+pub fn serve(addr: impl ToSocketAddrs, registry: MetricsRegistry) -> io::Result<MetricsServer> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_flag = stop.clone();
+    let handle = std::thread::spawn(move || {
+        while !stop_flag.load(Ordering::Relaxed) {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    // Serve inline: scrapes are rare and tiny, and one
+                    // thread keeps the footprint predictable.
+                    let _ = answer(stream, &registry);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(POLL),
+                Err(_) => std::thread::sleep(POLL),
+            }
+        }
+    });
+    Ok(MetricsServer { addr, stop, handle: Some(handle) })
+}
+
+fn answer(mut stream: TcpStream, registry: &MetricsRegistry) -> io::Result<()> {
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    let request = read_request(&mut stream)?;
+    let path = request.split_whitespace().nth(1).unwrap_or("");
+    let response = if path == "/metrics" || path == "/" {
+        let body = registry.render_prometheus();
+        format!(
+            "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        )
+    } else {
+        "HTTP/1.0 404 Not Found\r\nContent-Length: 0\r\nConnection: close\r\n\r\n".to_string()
+    };
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+/// Reads until the blank line ending the request headers (or the cap).
+fn read_request(stream: &mut TcpStream) -> io::Result<String> {
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 1024];
+    while !buf.windows(4).any(|w| w == b"\r\n\r\n") && buf.len() < MAX_REQUEST {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(String::from_utf8_lossy(&buf).into_owned())
+}
+
+/// Fetches `/metrics` from a running endpoint and returns the body —
+/// the `deepxplore metrics-dump` one-shot and the CI scrape smoke both
+/// go through here.
+///
+/// # Errors
+///
+/// Connection failures, or a non-200 response.
+pub fn scrape(addr: impl ToSocketAddrs) -> io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    stream.write_all(b"GET /metrics HTTP/1.0\r\nHost: metrics\r\n\r\n")?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "malformed HTTP response"))?;
+    let status = head.lines().next().unwrap_or("");
+    if !status.contains(" 200 ") {
+        return Err(io::Error::other(format!("scrape failed: {status}")));
+    }
+    Ok(body.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serve_and_scrape_round_trip() {
+        let registry = MetricsRegistry::new();
+        registry.counter("dx_seeds_total", &[]).inc_by(42);
+        let server = serve("127.0.0.1:0", registry.clone()).unwrap();
+        let body = scrape(server.addr()).unwrap();
+        assert!(body.contains("dx_seeds_total 42\n"), "{body}");
+        // Values are rendered fresh per scrape.
+        registry.counter("dx_seeds_total", &[]).inc();
+        let body = scrape(server.addr()).unwrap();
+        assert!(body.contains("dx_seeds_total 43\n"), "{body}");
+    }
+
+    #[test]
+    fn unknown_path_is_404() {
+        let server = serve("127.0.0.1:0", MetricsRegistry::new()).unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream.write_all(b"GET /nope HTTP/1.0\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.0 404"), "{response}");
+    }
+
+    #[test]
+    fn shutdown_frees_the_port() {
+        let server = serve("127.0.0.1:0", MetricsRegistry::new()).unwrap();
+        let addr = server.addr();
+        drop(server);
+        // The listener is gone; a fresh bind on the same port succeeds.
+        let _rebound = TcpListener::bind(addr).unwrap();
+    }
+}

@@ -1,0 +1,109 @@
+//! Property tests of the metric primitives under the same access
+//! pattern the campaign worker pool produces: many threads hammering
+//! shared counter/histogram handles, plus per-thread local accumulators
+//! merged at a sync point. The invariant either way: merged totals equal
+//! the sum of per-thread contributions exactly (counters, bucket counts)
+//! or to float tolerance (sums).
+
+use dx_telemetry::phase::{LocalHist, Phase, PhaseAccum, TIME_BUCKETS};
+use dx_telemetry::MetricsRegistry;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Concurrent shared-handle updates: no increment is lost.
+    #[test]
+    fn concurrent_updates_equal_per_thread_sums(
+        per_thread in proptest::collection::vec(
+            proptest::collection::vec(0.00001f64..2.0, 1..40),
+            2..6,
+        ),
+    ) {
+        let reg = MetricsRegistry::new();
+        std::thread::scope(|s| {
+            for observations in &per_thread {
+                let c = reg.counter("dx_seeds_total", &[]);
+                let h = reg.histogram("dx_phase_seconds", &[("phase", "forward")], &TIME_BUCKETS);
+                s.spawn(move || {
+                    for &v in observations {
+                        c.inc();
+                        h.observe(v);
+                    }
+                });
+            }
+        });
+        let expected_count: u64 = per_thread.iter().map(|o| o.len() as u64).sum();
+        let expected_sum: f64 = per_thread.iter().flatten().sum();
+        prop_assert_eq!(reg.counter("dx_seeds_total", &[]).get(), expected_count);
+        let h = reg.histogram("dx_phase_seconds", &[("phase", "forward")], &TIME_BUCKETS);
+        prop_assert_eq!(h.count(), expected_count);
+        prop_assert_eq!(h.bucket_counts().iter().sum::<u64>(), expected_count);
+        prop_assert!((h.sum() - expected_sum).abs() < 1e-6 * expected_count.max(1) as f64);
+    }
+
+    /// The fold path the pool actually uses: thread-local accumulators
+    /// merged into one registry histogram at the epoch boundary.
+    #[test]
+    fn merged_locals_equal_per_thread_sums(
+        per_thread in proptest::collection::vec(
+            proptest::collection::vec(0.00001f64..2.0, 1..40),
+            2..6,
+        ),
+    ) {
+        let reg = MetricsRegistry::new();
+        let locals: Vec<LocalHist> = std::thread::scope(|s| {
+            let handles: Vec<_> = per_thread
+                .iter()
+                .map(|observations| {
+                    s.spawn(move || {
+                        let mut local = LocalHist::new();
+                        for &v in observations {
+                            local.record(v);
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let h = reg.histogram("dx_phase_seconds", &[("phase", "gradient")], &TIME_BUCKETS);
+        for local in &locals {
+            h.merge_local(local);
+        }
+        let expected_count: u64 = per_thread.iter().map(|o| o.len() as u64).sum();
+        let expected_sum: f64 = per_thread.iter().flatten().sum();
+        prop_assert_eq!(h.count(), expected_count);
+        prop_assert_eq!(h.bucket_counts().iter().sum::<u64>(), expected_count);
+        prop_assert!((h.sum() - expected_sum).abs() < 1e-6 * expected_count.max(1) as f64);
+        // Per-bucket counts agree with a sequential replay of the same data.
+        let mut replay = LocalHist::new();
+        for &v in per_thread.iter().flatten() {
+            replay.record(v);
+        }
+        prop_assert_eq!(h.bucket_counts(), replay.counts);
+    }
+
+    /// PhaseAccum::merge matches element-wise LocalHist addition.
+    #[test]
+    fn accum_merge_is_elementwise(
+        counts in proptest::collection::vec(1usize..20, 2..5),
+    ) {
+        let mut merged = PhaseAccum::new();
+        let mut totals = [0u64; 4];
+        for (i, &n) in counts.iter().enumerate() {
+            let mut one = PhaseAccum::new();
+            let phase = Phase::ALL[i % 4];
+            for k in 0..n {
+                let timer = dx_telemetry::phase::PhaseTimer::start();
+                let _ = k; // Body is irrelevant; we only need a duration.
+                one.record(phase, timer);
+            }
+            totals[i % 4] += n as u64;
+            merged.merge(&one);
+        }
+        for (i, phase) in Phase::ALL.into_iter().enumerate() {
+            prop_assert_eq!(merged.get(phase).count, totals[i]);
+        }
+    }
+}
