@@ -14,11 +14,13 @@
 use std::time::Duration;
 
 use dx_bench::BenchOut;
+use dx_campaign::json::Json;
 use dx_campaign::{Campaign, CampaignConfig, ModelSuite};
 use dx_coverage::{CoverageConfig, SignalSpec};
 use dx_dist::{run_worker, Coordinator, CoordinatorConfig, WorkerConfig};
 use dx_models::{DatasetKind, Scale, Zoo, ZooConfig};
 use dx_nn::util::gather_rows;
+use dx_service::{CampaignSpec, Service, ServiceConfig};
 use dx_telemetry::phase::{Phase, TIME_BUCKETS};
 use dx_telemetry::MetricsRegistry;
 use dx_tensor::{rng, Tensor};
@@ -229,6 +231,97 @@ fn main() {
             report.report.diffs_per_sec(),
             report.report.total_diffs(),
             100.0 * merged,
+            sps / baseline_sps,
+        ));
+        out.line(format!("    phases: {}", phase_breakdown(&registry)));
+    }
+
+    // The service plane's price: the same budget split across two tenant
+    // campaigns multiplexed over one 2-process fleet by the control-plane
+    // dispatcher (stride fairness, per-tenant corpus/coverage/checkpoint
+    // state). Speedup is relative to the unverified 1-process dist arm,
+    // so the column reads directly as multi-tenancy overhead.
+    {
+        let registry = MetricsRegistry::new();
+        let svc = std::sync::Arc::new(
+            Service::new(
+                &suite,
+                LABEL,
+                &seeds,
+                ServiceConfig {
+                    batch_per_round: batch,
+                    lease_size: 4,
+                    lease_timeout: Duration::from_secs(60),
+                    registry: registry.clone(),
+                    ..Default::default()
+                },
+            )
+            .expect("service"),
+        );
+        let half = seeds.shape()[0] / 2;
+        let ids: Vec<u64> = [("bench-a", 0), ("bench-b", half)]
+            .iter()
+            .map(|&(name, offset)| {
+                let spec = CampaignSpec {
+                    seed: 42,
+                    seeds: half,
+                    seed_offset: offset,
+                    max_steps: Some(budget / 2),
+                    ..CampaignSpec::named(name)
+                };
+                let granted = svc.submit(spec).expect("submit");
+                granted.get("id").and_then(Json::as_u64).expect("submit grants an id")
+            })
+            .collect();
+        let listener = std::net::TcpListener::bind(("127.0.0.1", 0)).expect("bind");
+        let addr = listener.local_addr().expect("local addr").to_string();
+        let stop = svc.stop_handle();
+        let started = std::time::Instant::now();
+        let server = {
+            let svc = std::sync::Arc::clone(&svc);
+            std::thread::spawn(move || svc.serve(listener))
+        };
+        let exe = std::env::current_exe().expect("current exe");
+        let children: Vec<_> = (0..2)
+            .map(|_| {
+                std::process::Command::new(&exe)
+                    .env("DX_DIST_WORKER", &addr)
+                    .env("DX_SCALE", "test")
+                    .stdout(std::process::Stdio::null())
+                    .spawn()
+                    .expect("spawn bench worker")
+            })
+            .collect();
+        let tenant_field = |id: u64, field: &str| -> f64 {
+            svc.status(id).ok().and_then(|s| s.get(field).and_then(Json::as_f64)).unwrap_or(0.0)
+        };
+        while !ids.iter().all(|&id| {
+            svc.status(id)
+                .ok()
+                .and_then(|s| s.get("status").map(|v| v.as_str() == Some("done")))
+                .unwrap_or(false)
+        }) {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        let elapsed = started.elapsed().as_secs_f64().max(1e-9);
+        stop.stop();
+        server.join().expect("service thread").expect("service serve");
+        for mut child in children {
+            let _ = child.wait();
+        }
+        let steps: f64 = ids.iter().map(|&id| tenant_field(id, "steps_done")).sum();
+        let diffs: f64 = ids.iter().map(|&id| tenant_field(id, "diffs")).sum();
+        let cover: f64 =
+            ids.iter().map(|&id| tenant_field(id, "mean_coverage")).sum::<f64>() / ids.len() as f64;
+        let sps = steps / elapsed;
+        let baseline_sps = baseline.expect("dist arms ran first");
+        out.line(format!(
+            "{:<16} {:>9.2} {:>9.2} {:>9} {:>8.1}% {:>8.2}x",
+            "svc (2x2 proc)",
+            sps,
+            diffs / elapsed,
+            diffs as usize,
+            100.0 * cover,
             sps / baseline_sps,
         ));
         out.line(format!("    phases: {}", phase_breakdown(&registry)));

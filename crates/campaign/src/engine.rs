@@ -482,26 +482,41 @@ impl Campaign {
     pub fn run(&mut self) -> io::Result<&CampaignReport> {
         let started = Instant::now();
         let end_epoch = self.epochs_done + self.config.epochs;
-        while self.epochs_done < end_epoch {
+        while self.epochs_done < end_epoch && self.can_step() {
             if let Some(budget) = self.config.duration {
                 if started.elapsed() >= budget {
                     break;
                 }
             }
-            if let Some(target) = self.config.desired_coverage {
-                if self.mean_coverage() >= target {
-                    break;
-                }
-            }
-            if self.corpus.all_exhausted() {
-                break;
-            }
-            self.run_epoch();
-            if let Some(dir) = self.config.checkpoint_dir.clone() {
-                self.checkpoint(&dir)?;
-            }
+            self.step()?;
         }
         Ok(&self.report)
+    }
+
+    /// True when another [`step`](Self::step) can make progress: the
+    /// corpus is not exhausted and the coverage target (when set) is
+    /// still unmet.
+    pub fn can_step(&self) -> bool {
+        !self.corpus.all_exhausted()
+            && self.config.desired_coverage.is_none_or(|target| self.mean_coverage() < target)
+    }
+
+    /// Runs exactly one epoch, then checkpoints when a checkpoint
+    /// directory is configured — the externally-driven core of
+    /// [`run`](Self::run). Ignores the epoch-count and duration budgets:
+    /// a driver that steps the campaign as a state machine (the service
+    /// daemon's scheduler, say) owns pacing, pause, and stop itself.
+    ///
+    /// # Errors
+    ///
+    /// Fails only on checkpoint I/O errors; the in-memory campaign
+    /// state stays valid either way.
+    pub fn step(&mut self) -> io::Result<()> {
+        self.run_epoch();
+        if let Some(dir) = self.config.checkpoint_dir.clone() {
+            self.checkpoint(&dir)?;
+        }
+        Ok(())
     }
 
     /// Writes the full campaign state to `dir` (JSONL corpus/stats/diffs

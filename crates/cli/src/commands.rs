@@ -30,6 +30,10 @@ COMMANDS:
     dist        Single-machine fleet: coordinator + N local worker processes.
     coverage    Measure neuron coverage of test inputs on a model.
     metrics-dump One-shot scrape of a running process's metrics endpoint.
+    serve       Run the multi-tenant campaign service daemon.
+    submit      Submit a campaign to a running service daemon.
+    status      Query a service daemon's campaigns (all, one, or a report).
+    cancel      Cancel a service campaign.
     help        Show this message.
 
 COMMON OPTIONS:
@@ -131,6 +135,30 @@ COVERAGE OPTIONS:
     --model <id>           Model id (default: the dataset's C1).
     --inputs <N>           Random test inputs to measure (default: 100).
     --threshold <t>        Activation threshold (default: 0.25, scaled).
+
+SERVE OPTIONS (the long-running multi-tenant daemon):
+    --listen <addr>        Worker-fleet bind address (default: 127.0.0.1:4787).
+    --api-addr <addr>      HTTP control-plane address (default: 127.0.0.1:8787);
+                           also serves per-tenant /metrics.
+    --state-dir <dir>      Per-tenant checkpoints under <dir>/<id>/; the
+                           daemon resumes every tenant from here on restart.
+    --max-tenants <N>      Live (non-terminal) campaign cap (default: 8).
+    --seeds <N>            Rows in the shared seed pool tenants slice
+                           (default: 64), drawn with --rng as elsewhere.
+    --batch <N>            Absorbed steps per tenant statistics round
+                           (default: 16).
+    --lease/--lease-timeout/--max-corpus/--energy/--auth-token as for
+    coordinator. SIGTERM or Ctrl-C drains in-flight leases and writes a
+    final checkpoint for every tenant before exiting.
+
+SERVICE CLIENT OPTIONS (submit/status/cancel):
+    --api <addr>           Daemon API address (default: 127.0.0.1:8787).
+    submit: --name <campaign> (required); --seeds <N> --seed-offset <N>
+            --rng <seed> --steps <N> --target-coverage <p> --quota <p>
+            --weight <x>; --metric/--constraint assert the fleet's setup.
+    status: --id <N> for one campaign (add --report for the rendered
+            campaign report); no --id lists all campaigns.
+    cancel: --id <N> (required).
 ";
 
 type CmdResult = Result<(), Box<dyn Error>>;
@@ -603,11 +631,33 @@ fn print_dist_report(report: &dx_dist::DistReport, checkpoint: Option<&str>) {
     }
 }
 
+/// Installs SIGTERM/SIGINT handlers and turns the first signal into a
+/// graceful drain on `handle` (the second signal kills the process — see
+/// `dx_dist::shutdown`). The watcher thread is detached; it dies with
+/// the process.
+fn drain_on_signal(handle: dx_dist::DrainHandle) {
+    dx_dist::shutdown::install();
+    std::thread::spawn(move || loop {
+        if dx_dist::shutdown::requested() {
+            dx_telemetry::events::emit(
+                dx_telemetry::events::Level::Info,
+                "coordinator",
+                "drain_requested",
+                &[("source", "signal".into())],
+            );
+            handle.drain();
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(200));
+    });
+}
+
 /// `deepxplore coordinator`.
 pub fn coordinator(args: &Args) -> CmdResult {
     let _metrics = init_telemetry(args)?;
     let (_, suite, ds, label) = build_suite(args, "coordinator")?;
     let coordinator = build_coordinator(args, &suite, &ds, &label)?;
+    drain_on_signal(coordinator.drain_handle());
     let listener = std::net::TcpListener::bind(args.get_or("listen", "127.0.0.1:4787"))?;
     println!("coordinator serving `{label}` on {}", listener.local_addr()?);
     println!(
@@ -615,7 +665,7 @@ pub fn coordinator(args: &Args) -> CmdResult {
         if auth_token(args).is_some() { "required" } else { "off" },
         args.get_or("spot-check-rate", "0")
     );
-    println!("type `drain` + Enter for a graceful drain");
+    println!("type `drain` + Enter (or send SIGTERM) for a graceful drain");
     let handle = coordinator.drain_handle();
     std::thread::spawn(move || {
         let stdin = std::io::stdin();
@@ -682,6 +732,7 @@ pub fn dist(args: &Args) -> CmdResult {
         return Err("option --workers must be at least 1".into());
     }
     let coordinator = build_coordinator(args, &suite, &ds, &label)?;
+    drain_on_signal(coordinator.drain_handle());
     let listener = std::net::TcpListener::bind(args.get_or("listen", "127.0.0.1:0"))?;
     let addr = listener.local_addr()?;
     println!("dist campaign `{label}` on {addr} with {n_workers} local worker processes");
@@ -785,5 +836,112 @@ pub fn coverage(args: &Args) -> CmdResult {
     for (k, c) in curve {
         println!("  {k:>5} inputs: {:>5.1}%", 100.0 * c);
     }
+    Ok(())
+}
+
+/// `deepxplore serve`: the multi-tenant campaign service daemon — one
+/// worker fleet, many concurrent campaigns, driven over HTTP.
+pub fn serve(args: &Args) -> CmdResult {
+    let _metrics = init_telemetry(args)?;
+    let (_, suite, ds, label) = build_suite(args, "serve")?;
+    let pool = initial_seeds(args, &ds)?;
+    let cfg = dx_service::ServiceConfig {
+        state_dir: args.get("state-dir").map(PathBuf::from),
+        max_tenants: args.get_num("max-tenants", 8)?,
+        batch_per_round: args.get_num("batch", 16)?,
+        lease_size: args.get_num("lease", 4)?,
+        lease_timeout: std::time::Duration::try_from_secs_f64(args.get_num("lease-timeout", 30.0)?)
+            .map_err(|_| "option --lease-timeout: expects a non-negative duration".to_string())?,
+        max_corpus: args.get_num("max-corpus", 4096)?,
+        energy: args.get_num("energy", dx_campaign::EnergyModel::Classic)?,
+        auth_token: auth_token(args),
+        registry: dx_telemetry::global().clone(),
+    };
+    for (flag, value) in [
+        ("batch", cfg.batch_per_round),
+        ("lease", cfg.lease_size),
+        ("max-tenants", cfg.max_tenants),
+    ] {
+        if value == 0 {
+            return Err(format!("option --{flag} must be at least 1").into());
+        }
+    }
+    let svc = std::sync::Arc::new(dx_service::Service::new(&suite, &label, &pool, cfg)?);
+    // The first SIGTERM/Ctrl-C drains (Service::serve polls the flag);
+    // the second kills the process outright.
+    dx_dist::shutdown::install();
+    let api = dx_service::api::router(std::sync::Arc::clone(&svc))
+        .serve(args.get_or("api-addr", "127.0.0.1:8787"))?;
+    let listener = std::net::TcpListener::bind(args.get_or("listen", "127.0.0.1:4787"))?;
+    println!(
+        "service `{label}`: fleet on {}, API on http://{}",
+        listener.local_addr()?,
+        api.addr()
+    );
+    println!(
+        "worker auth: {}; seed pool: {} rows; {} tenant(s) resumed",
+        if auth_token(args).is_some() { "required" } else { "off" },
+        svc.pool_rows(),
+        match svc.list() {
+            dx_campaign::json::Json::Arr(a) => a.len(),
+            _ => 0,
+        }
+    );
+    println!("SIGTERM or Ctrl-C drains the fleet and checkpoints every tenant");
+    svc.serve(listener)?;
+    drop(api);
+    println!("service drained");
+    Ok(())
+}
+
+/// One request to a `deepxplore serve` daemon's API; errors carry the
+/// HTTP status and the daemon's reason.
+fn api_call(args: &Args, method: &str, path: &str, body: &str) -> Result<String, Box<dyn Error>> {
+    let addr = args.get_or("api", "127.0.0.1:8787");
+    let (status, body) = dx_telemetry::http::request(addr, method, path, body)?;
+    if status != 200 {
+        return Err(format!("HTTP {status}: {body}").into());
+    }
+    Ok(body)
+}
+
+/// `deepxplore submit`: start a campaign on a running service daemon.
+pub fn submit(args: &Args) -> CmdResult {
+    let name = args.get("name").ok_or("submit needs --name <campaign>")?;
+    let mut spec = dx_service::CampaignSpec::named(name);
+    spec.seed = args.get_num("rng", spec.seed)?;
+    spec.seeds = args.get_num("seeds", spec.seeds)?;
+    spec.seed_offset = args.get_num("seed-offset", spec.seed_offset)?;
+    spec.max_steps = match args.get("steps") {
+        None => None,
+        Some(v) => Some(v.parse().map_err(|_| format!("option --steps: cannot parse `{v}`"))?),
+    };
+    spec.target_coverage = parse_target_coverage(args)?;
+    spec.quota = args.get_num("quota", spec.quota)?;
+    spec.weight = args.get_num("weight", spec.weight)?;
+    spec.metric = args.get("metric").map(str::to_string);
+    spec.constraint = args.get("constraint").map(str::to_string);
+    println!("{}", api_call(args, "POST", "/campaigns", &spec.to_json().to_string())?);
+    Ok(())
+}
+
+/// `deepxplore status`: list campaigns, or show one (optionally as its
+/// rendered report).
+pub fn status(args: &Args) -> CmdResult {
+    let body = match args.get("id") {
+        None => api_call(args, "GET", "/campaigns", "")?,
+        Some(id) if args.has("report") => {
+            api_call(args, "GET", &format!("/campaigns/{id}/report"), "")?
+        }
+        Some(id) => api_call(args, "GET", &format!("/campaigns/{id}"), "")?,
+    };
+    println!("{}", body.trim_end());
+    Ok(())
+}
+
+/// `deepxplore cancel`: cancel a service campaign.
+pub fn cancel(args: &Args) -> CmdResult {
+    let id = args.get("id").ok_or("cancel needs --id <campaign id>")?;
+    println!("{}", api_call(args, "POST", &format!("/campaigns/{id}/cancel"), "")?);
     Ok(())
 }

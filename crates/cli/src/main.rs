@@ -10,6 +10,10 @@
 //! deepxplore dist --workers N [options]         coordinator + N local worker processes
 //! deepxplore coverage --dataset X [options]     measure neuron coverage
 //! deepxplore metrics-dump --connect HOST:PORT   scrape a live metrics endpoint
+//! deepxplore serve    [options]                 multi-tenant campaign service daemon
+//! deepxplore submit   --name X [options]        submit a campaign to a service daemon
+//! deepxplore status   [--id N] [--report]       query a service daemon's campaigns
+//! deepxplore cancel   --id N                    cancel a service campaign
 //! deepxplore help                               this text
 //! ```
 
@@ -18,7 +22,7 @@ mod commands;
 
 use args::Args;
 
-const SWITCHES: &[&str] = &["full", "save-images", "preexisting"];
+const SWITCHES: &[&str] = &["full", "save-images", "preexisting", "report"];
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -40,6 +44,10 @@ fn main() {
         "dist" => commands::dist(&parsed),
         "coverage" => commands::coverage(&parsed),
         "metrics-dump" => commands::metrics_dump(&parsed),
+        "serve" => commands::serve(&parsed),
+        "submit" => commands::submit(&parsed),
+        "status" => commands::status(&parsed),
+        "cancel" => commands::cancel(&parsed),
         "help" | "--help" | "-h" => {
             print!("{}", commands::HELP);
             Ok(())

@@ -7,14 +7,19 @@
 //!
 //! ```text
 //! worker                          coordinator
-//!   | -- hello ------------------>  |   version check only
+//!   | -- hello {worker_id} ------>  |   version check only
 //!   | <- challenge {nonce} -------  |   fresh per-connection nonce
-//!   | -- auth {proof} ----------->  |   proof = HMAC-SHA256(token, nonce)
-//!   | <- welcome / reject --------  |
+//!   | -- auth {proof} ----------->  |   proof = HMAC-SHA256(token,
+//!   | <- welcome / reject --------  |           nonce "|" worker_id)
 //! ```
 //!
 //! The nonce is fresh per connection, so a captured proof cannot be
-//! replayed against a later handshake. SHA-256 and HMAC are implemented
+//! replayed against a later handshake. Since protocol v6 the proof also
+//! covers the identity the worker announced in `hello`, so the
+//! coordinator's trust records (spot-check verdicts, quarantine,
+//! eviction) are keyed to an *authenticated* identity: a peer cannot
+//! replay someone else's proof under a different name to inherit or
+//! shed a record. SHA-256 and HMAC are implemented
 //! here (FIPS 180-4 / RFC 2104) because the workspace is dependency-free
 //! by policy; the vectors in the tests pin them to the RFC 4231 and NIST
 //! reference values.
@@ -112,16 +117,19 @@ fn hex(bytes: &[u8]) -> String {
 }
 
 /// The proof a worker presents for a challenge nonce:
-/// `hex(HMAC-SHA256(token, nonce))`.
-pub fn proof(token: &str, nonce: &str) -> String {
-    hex(&hmac_sha256(token.as_bytes(), nonce.as_bytes()))
+/// `hex(HMAC-SHA256(token, nonce "|" worker_id))`. Binding the identity
+/// announced at `hello` into the MAC makes the identity as trustworthy
+/// as the token itself.
+pub fn proof(token: &str, nonce: &str, worker_id: &str) -> String {
+    let msg = format!("{nonce}|{worker_id}");
+    hex(&hmac_sha256(token.as_bytes(), msg.as_bytes()))
 }
 
 /// Verifies a presented proof against the expected one without an early
 /// exit, so the comparison time does not leak how long the matching
 /// prefix was.
-pub fn verify(token: &str, nonce: &str, presented: &str) -> bool {
-    let expected = proof(token, nonce);
+pub fn verify(token: &str, nonce: &str, worker_id: &str, presented: &str) -> bool {
+    let expected = proof(token, nonce, worker_id);
     let mut diff = expected.len() ^ presented.len();
     for (a, b) in expected.bytes().zip(presented.bytes()) {
         diff |= (a ^ b) as usize;
@@ -196,14 +204,16 @@ mod tests {
     }
 
     #[test]
-    fn proof_verifies_only_with_the_right_token_and_nonce() {
+    fn proof_verifies_only_with_the_right_token_nonce_and_identity() {
         let n = nonce();
-        let p = proof("secret", &n);
-        assert!(verify("secret", &n, &p));
-        assert!(!verify("other", &n, &p));
-        assert!(!verify("secret", &nonce(), &p));
-        assert!(!verify("secret", &n, ""));
-        assert!(!verify("secret", &n, &format!("{p}00")));
+        let p = proof("secret", &n, "w-1");
+        assert!(verify("secret", &n, "w-1", &p));
+        assert!(!verify("other", &n, "w-1", &p));
+        assert!(!verify("secret", &nonce(), "w-1", &p));
+        // A proof cannot be replayed under a different identity.
+        assert!(!verify("secret", &n, "w-2", &p));
+        assert!(!verify("secret", &n, "w-1", ""));
+        assert!(!verify("secret", &n, "w-1", &format!("{p}00")));
     }
 
     #[test]

@@ -390,6 +390,15 @@ struct State {
     pending: VecDeque<usize>,
     next_lease: u64,
     next_slot: u64,
+    /// Persistent worker identity per slot (protocol v6). Trust records
+    /// are keyed by slot internally, but admission resolves an identity
+    /// back to its historical slot first — so an evicted worker's
+    /// reconnect lands on its burned slot and is rejected instead of
+    /// minting a fresh record.
+    identities: BTreeMap<u64, String>,
+    /// Slots with a live admitted connection; a second connection
+    /// claiming the same identity is rejected while the first lives.
+    live_slots: std::collections::HashSet<u64>,
     worker_rng: BTreeMap<u64, [u64; 4]>,
     per_worker: BTreeMap<u64, WorkerStats>,
     /// Per-slot adaptive lease size (absent = `cfg.lease_size`).
@@ -435,6 +444,9 @@ struct Conn {
     view: Vec<CoverageSignal>,
     /// Fingerprint parked at `hello` until the auth proof arrives.
     pending_fp: Option<Fingerprint>,
+    /// The identity announced at `hello`; the auth proof must be bound
+    /// to it before admission trusts it.
+    worker_id: Option<String>,
     /// The outstanding challenge nonce (auth-enabled coordinators only).
     nonce: Option<String>,
 }
@@ -452,6 +464,7 @@ struct Restored {
     pending: VecDeque<usize>,
     worker_rng: BTreeMap<u64, [u64; 4]>,
     per_worker: BTreeMap<u64, WorkerStats>,
+    identities: BTreeMap<u64, String>,
     next_lease: u64,
 }
 
@@ -468,6 +481,7 @@ impl Restored {
             pending: VecDeque::new(),
             worker_rng: BTreeMap::new(),
             per_worker: BTreeMap::new(),
+            identities: BTreeMap::new(),
             next_lease: 0,
         }
     }
@@ -583,6 +597,7 @@ impl Coordinator {
             pending,
             worker_rng: dist.as_ref().map(|d| d.worker_rng.clone()).unwrap_or_default(),
             per_worker: dist.as_ref().map(|d| d.trust.clone()).unwrap_or_default(),
+            identities: dist.as_ref().map(|d| d.identities.clone()).unwrap_or_default(),
             next_lease: dist.as_ref().map(|d| d.next_lease).unwrap_or(0),
         };
         Ok(Self::with_state(suite, label, cfg, restored))
@@ -642,6 +657,8 @@ impl Coordinator {
                 pending: restored.pending,
                 next_lease: restored.next_lease,
                 next_slot: 0,
+                identities: restored.identities,
+                live_slots: std::collections::HashSet::new(),
                 worker_rng: restored.worker_rng,
                 per_worker: restored.per_worker,
                 lease_quota: BTreeMap::new(),
@@ -824,8 +841,13 @@ impl Coordinator {
         let _ = stream.set_nodelay(true);
         let _ = stream.set_read_timeout(Some(POLL));
         let mut reader = FrameReader::with_cap(HELLO_FRAME_CAP);
-        let mut conn =
-            Conn { slot: None, view: self.template.clone(), pending_fp: None, nonce: None };
+        let mut conn = Conn {
+            slot: None,
+            view: self.template.clone(),
+            pending_fp: None,
+            worker_id: None,
+            nonce: None,
+        };
         let opened = Instant::now();
         let mut idle_polls: u32 = 0;
         let result: io::Result<()> = (|| loop {
@@ -929,6 +951,7 @@ impl Coordinator {
 
     fn disconnect(&self, slot: u64) {
         let mut st = self.lock();
+        st.live_slots.remove(&slot);
         st.connected = st.connected.saturating_sub(1);
         self.metrics.connected.set(st.connected as f64);
         // A dead worker's leases go straight back to the queue.
@@ -945,8 +968,13 @@ impl Coordinator {
 
     /// Verifies the fingerprint and assigns a slot — the step that first
     /// reveals campaign state, so an auth-enabled coordinator only gets
-    /// here after a valid proof.
-    fn admit(&self, fingerprint: Fingerprint, conn: &mut Conn) -> Reply {
+    /// here after a valid proof. Since protocol v6 slots are resolved by
+    /// the worker's authenticated *identity*: a returning identity gets
+    /// its historical slot back (trust records and RNG stream follow it),
+    /// an evicted identity is refused outright — reconnecting under the
+    /// same name cannot shed a fabrication record — and a fresh identity
+    /// gets a fresh slot, skipping burned ones.
+    fn admit(&self, fingerprint: Fingerprint, worker_id: &str, conn: &mut Conn) -> Reply {
         if fingerprint != self.fingerprint {
             let reason = format!(
                 "suite fingerprint {:?} != coordinator {:?}",
@@ -955,28 +983,60 @@ impl Coordinator {
             return Reply::SendThenClose(Msg::Reject { reason });
         }
         let mut st = self.lock();
-        // Slots are reused across resumes so a returning fleet picks its
-        // RNG streams (and trust history) back up in order — but a slot
-        // whose eviction gauge is set is burned: a fresh worker must not
-        // inherit a fabricator's history (and its instant re-eviction).
-        while self.metrics.is_evicted(st.next_slot) {
-            st.next_slot += 1;
-        }
-        let s = st.next_slot;
-        st.next_slot += 1;
+        let known = st.identities.iter().find(|(_, id)| id.as_str() == worker_id).map(|(&s, _)| s);
+        let s = match known {
+            Some(s) if self.metrics.is_evicted(s) => {
+                drop(st);
+                emit(
+                    Level::Warn,
+                    "coordinator",
+                    "evicted_identity_rejected",
+                    &[("slot", s.into()), ("worker_id", worker_id.to_string().into())],
+                );
+                let reason = "worker identity is evicted".to_string();
+                return Reply::SendThenClose(Msg::Reject { reason });
+            }
+            Some(s) if st.live_slots.contains(&s) => {
+                drop(st);
+                let reason = "worker identity already connected".to_string();
+                return Reply::SendThenClose(Msg::Reject { reason });
+            }
+            Some(s) => s,
+            None => {
+                // Fresh identity: next free slot. A slot whose eviction
+                // gauge is set is burned — a fresh worker must not inherit
+                // a fabricator's history (and its instant re-eviction) —
+                // and a live slot belongs to a returning identity that
+                // reclaimed it out of connection order.
+                while self.metrics.is_evicted(st.next_slot) || st.live_slots.contains(&st.next_slot)
+                {
+                    st.next_slot += 1;
+                }
+                let s = st.next_slot;
+                st.next_slot += 1;
+                s
+            }
+        };
+        st.identities.insert(s, worker_id.to_string());
+        st.live_slots.insert(s);
         st.connected += 1;
         self.metrics.connected.set(st.connected as f64);
         st.per_worker.entry(s).or_default();
         let rng_state = st.worker_rng.get(&s).copied();
         drop(st);
         conn.slot = Some(s);
-        emit(Level::Info, "coordinator", "worker_joined", &[("slot", s.into())]);
+        emit(
+            Level::Info,
+            "coordinator",
+            "worker_joined",
+            &[("slot", s.into()), ("worker_id", worker_id.to_string().into())],
+        );
         Reply::Send(Msg::Welcome { slot: s, campaign_seed: self.cfg.seed, rng_state })
     }
 
     fn reply_for(&self, msg: Msg, conn: &mut Conn) -> (Reply, Option<CheckpointJob>) {
         let reply = match msg {
-            Msg::Hello { version, fingerprint } => {
+            Msg::Hello { version, fingerprint, worker_id } => {
                 if conn.slot.is_some() {
                     let reason = "already admitted".to_string();
                     return (Reply::SendThenClose(Msg::Reject { reason }), None);
@@ -986,30 +1046,38 @@ impl Coordinator {
                         format!("protocol version {version} != coordinator {PROTOCOL_VERSION}");
                     return (Reply::SendThenClose(Msg::Reject { reason }), None);
                 }
+                if worker_id.is_empty() {
+                    let reason = "empty worker identity".to_string();
+                    return (Reply::SendThenClose(Msg::Reject { reason }), None);
+                }
                 if self.cfg.auth_token.is_some() {
                     // Authentication first: even the fingerprint verdict
                     // waits until the peer proves it holds the secret.
                     let nonce = auth::nonce();
                     conn.nonce = Some(nonce.clone());
                     conn.pending_fp = Some(fingerprint);
+                    conn.worker_id = Some(worker_id);
                     Reply::Send(Msg::Challenge { nonce })
                 } else {
-                    self.admit(fingerprint, conn)
+                    self.admit(fingerprint, &worker_id, conn)
                 }
             }
             Msg::AuthProof { proof } => {
-                let (Some(token), Some(nonce), Some(fingerprint)) =
-                    (&self.cfg.auth_token, conn.nonce.take(), conn.pending_fp.take())
-                else {
+                let (Some(token), Some(nonce), Some(fingerprint), Some(worker_id)) = (
+                    &self.cfg.auth_token,
+                    conn.nonce.take(),
+                    conn.pending_fp.take(),
+                    conn.worker_id.clone(),
+                ) else {
                     let reason = "no challenge outstanding".to_string();
                     return (Reply::SendThenClose(Msg::Reject { reason }), None);
                 };
-                if !auth::verify(token, &nonce, &proof) {
+                if !auth::verify(token, &nonce, &worker_id, &proof) {
                     emit(Level::Warn, "coordinator", "auth_failed", &[]);
                     let reason = "authentication failed".to_string();
                     return (Reply::SendThenClose(Msg::Reject { reason }), None);
                 }
-                self.admit(fingerprint, conn)
+                self.admit(fingerprint, &worker_id, conn)
             }
             Msg::LeaseRequest { slot: s, want } => {
                 if Some(s) != conn.slot {
@@ -1060,7 +1128,15 @@ impl Coordinator {
                     &[("lease", lease.into()), ("slot", s.into()), ("seeds", granted.into())],
                 );
                 let cov = coverage_news(&st.global, &mut conn.view);
-                Reply::Send(Msg::Lease { lease, jobs, cov })
+                let rng_state = st.worker_rng.get(&s).copied();
+                Reply::Send(Msg::Lease {
+                    lease,
+                    jobs,
+                    cov,
+                    campaign: 0,
+                    campaign_seed: self.cfg.seed,
+                    rng_state,
+                })
             }
             Msg::Heartbeat { slot: s, lease } => {
                 if Some(s) != conn.slot {
@@ -1077,9 +1153,13 @@ impl Coordinator {
                 let cov = coverage_news(&st.global, &mut conn.view);
                 Reply::Send(Msg::Ack { cov })
             }
-            Msg::Results { slot: s, lease, items, cov, rng_state, telemetry } => {
+            Msg::Results { slot: s, lease, campaign, items, cov, rng_state, telemetry } => {
                 if Some(s) != conn.slot {
                     let reason = "say hello first".to_string();
+                    return (Reply::SendThenClose(Msg::Reject { reason }), None);
+                }
+                if campaign != 0 {
+                    let reason = format!("unknown campaign {campaign}");
                     return (Reply::SendThenClose(Msg::Reject { reason }), None);
                 }
                 let frame = ResultsFrame { lease, items, cov, rng_state, telemetry };
@@ -1593,14 +1673,17 @@ fn mean_coverage(global: &[CoverageSignal]) -> f32 {
 
 /// The dist-specific checkpoint extension (`dist.json`): seeds owed to the
 /// queue (requeued plus outstanding at save time), per-slot worker RNG
-/// states, and — since v2 — per-slot trust accounting plus the
-/// quarantined diffs that failed spot-checks.
+/// states, since v2 per-slot trust accounting plus the quarantined diffs
+/// that failed spot-checks, and since v3 the worker identity bound to each
+/// slot — so eviction survives a restart keyed to the identity, not the
+/// connection order.
 struct DistState {
     steps_done: usize,
     next_lease: u64,
     pending: Vec<usize>,
     worker_rng: BTreeMap<u64, [u64; 4]>,
     trust: BTreeMap<u64, WorkerStats>,
+    identities: BTreeMap<u64, String>,
     quarantined: Vec<FoundDiff>,
     quarantined_total: usize,
 }
@@ -1625,6 +1708,7 @@ impl DistState {
                 .collect(),
             worker_rng: st.worker_rng.clone(),
             trust,
+            identities: st.identities.clone(),
             quarantined: st.quarantined.clone(),
             quarantined_total: st.quarantined_total,
         }
@@ -1653,13 +1737,22 @@ impl DistState {
                 })
                 .collect(),
         );
+        let identities = Json::Arr(
+            self.identities
+                .iter()
+                .map(|(&slot, id)| {
+                    build::obj(vec![("slot", u64_json(slot)), ("worker_id", build::str(id))])
+                })
+                .collect(),
+        );
         build::obj(vec![
-            ("version", build::int(2)),
+            ("version", build::int(3)),
             ("steps_done", build::int(self.steps_done)),
             ("next_lease", u64_json(self.next_lease)),
             ("pending", build::ints(&self.pending)),
             ("worker_rng", workers),
             ("trust", trust),
+            ("identities", identities),
             ("quarantined_total", build::int(self.quarantined_total)),
             ("quarantined", Json::Arr(self.quarantined.iter().map(diff_json).collect())),
         ])
@@ -1708,6 +1801,20 @@ impl DistState {
                 );
             }
         }
+        // v2 files predate identity-keyed slots: absent → empty map, and
+        // returning workers are treated as fresh identities on new slots.
+        let mut identities = BTreeMap::new();
+        if let Some(entries) = doc.get("identities").and_then(Json::as_arr) {
+            for e in entries {
+                let slot = e.get("slot").and_then(u64_from_json).ok_or_else(|| {
+                    io::Error::new(io::ErrorKind::InvalidData, "dist.json identity slot")
+                })?;
+                let id = e.get("worker_id").and_then(Json::as_str).ok_or_else(|| {
+                    io::Error::new(io::ErrorKind::InvalidData, "dist.json identity worker_id")
+                })?;
+                identities.insert(slot, id.to_string());
+            }
+        }
         let quarantined = match doc.get("quarantined").and_then(Json::as_arr) {
             None => Vec::new(),
             Some(entries) => entries.iter().map(diff_from_json).collect::<io::Result<Vec<_>>>()?,
@@ -1720,6 +1827,7 @@ impl DistState {
             pending,
             worker_rng,
             trust,
+            identities,
             quarantined,
             quarantined_total,
         }))

@@ -69,6 +69,7 @@
 pub mod auth;
 pub mod coordinator;
 pub mod proto;
+pub mod shutdown;
 pub mod wire;
 pub mod worker;
 
@@ -286,6 +287,11 @@ mod tests {
         rng::uniform(&mut rng::rng(seed), &[n, 16], 0.2, 0.8)
     }
 
+    /// A current-version `hello` under a fresh worker identity.
+    fn hello_msg(fingerprint: Fingerprint) -> Msg {
+        Msg::Hello { version: PROTOCOL_VERSION, fingerprint, worker_id: worker::fresh_worker_id() }
+    }
+
     /// A suite steering by k-multisection sections; every process primes
     /// the same profiles from the same stand-in training rows, exactly as
     /// CLI coordinator/worker processes prime from the shared dataset.
@@ -459,11 +465,7 @@ mod tests {
             scope.spawn(move || {
                 for wrong_spec in ["multisection:4", "boundary+multisection:4", "boundary"] {
                     let wrong = suite_fingerprint(&composite_suite(99, wrong_spec), "comp@test");
-                    let replies = worker::scripted(
-                        addr,
-                        &[Msg::Hello { version: PROTOCOL_VERSION, fingerprint: wrong }],
-                    )
-                    .unwrap();
+                    let replies = worker::scripted(addr, &[hello_msg(wrong)]).unwrap();
                     assert!(
                         matches!(&replies[0], Msg::Reject { .. }),
                         "`{wrong_spec}` admitted: {:?}",
@@ -473,11 +475,7 @@ mod tests {
                 // The matching composite spec is admitted.
                 let right =
                     suite_fingerprint(&composite_suite(99, "multisection:4+boundary"), "comp@test");
-                let replies = worker::scripted(
-                    addr,
-                    &[Msg::Hello { version: PROTOCOL_VERSION, fingerprint: right }],
-                )
-                .unwrap();
+                let replies = worker::scripted(addr, &[hello_msg(right)]).unwrap();
                 assert!(matches!(&replies[0], Msg::Welcome { .. }), "{:?}", replies[0]);
                 handle.drain();
             });
@@ -632,10 +630,7 @@ mod tests {
             scope.spawn(move || {
                 let replies = worker::scripted(
                     addr,
-                    &[
-                        Msg::Hello { version: PROTOCOL_VERSION, fingerprint },
-                        Msg::LeaseRequest { slot: 0, want: 3 },
-                    ],
+                    &[hello_msg(fingerprint), Msg::LeaseRequest { slot: 0, want: 3 }],
                 )
                 .unwrap();
                 assert!(matches!(replies[0], Msg::Welcome { slot: 0, .. }));
@@ -682,7 +677,7 @@ mod tests {
         let report = std::thread::scope(|scope| {
             scope.spawn(move || {
                 let mut stream = std::net::TcpStream::connect(addr).unwrap();
-                let hello = Msg::Hello { version: PROTOCOL_VERSION, fingerprint };
+                let hello = hello_msg(fingerprint);
                 crate::wire::write_frame(&mut stream, &hello.to_json()).unwrap();
                 let _ = crate::wire::read_frame(&mut stream).unwrap();
                 let req = Msg::LeaseRequest { slot: 0, want: 3 };
@@ -708,6 +703,7 @@ mod tests {
                 let results = Msg::Results {
                     slot: 0,
                     lease,
+                    campaign: 0,
                     items,
                     cov: vec![Vec::new(); 3],
                     rng_state: [1, 2, 3, 4],
@@ -759,7 +755,7 @@ mod tests {
                 let replies = worker::scripted_with_token(
                     addr,
                     Some("wrong-secret"),
-                    &[Msg::Hello { version: PROTOCOL_VERSION, fingerprint: fp.clone() }],
+                    &[hello_msg(fp.clone())],
                 )
                 .unwrap();
                 match &replies[0] {
@@ -773,10 +769,7 @@ mod tests {
                 // push past it without a proof is rejected too.
                 let replies = worker::scripted(
                     addr,
-                    &[
-                        Msg::Hello { version: PROTOCOL_VERSION, fingerprint: fp.clone() },
-                        Msg::LeaseRequest { slot: 0, want: 1 },
-                    ],
+                    &[hello_msg(fp.clone()), Msg::LeaseRequest { slot: 0, want: 1 }],
                 )
                 .unwrap();
                 assert!(matches!(&replies[0], Msg::Challenge { .. }), "{:?}", replies[0]);
@@ -786,12 +779,9 @@ mod tests {
                     worker::scripted(addr, &[Msg::AuthProof { proof: "00".into() }]).unwrap();
                 assert!(matches!(&replies[0], Msg::Reject { .. }), "{:?}", replies[0]);
                 // The right token is admitted.
-                let replies = worker::scripted_with_token(
-                    addr,
-                    Some("fleet-secret"),
-                    &[Msg::Hello { version: PROTOCOL_VERSION, fingerprint: fp }],
-                )
-                .unwrap();
+                let replies =
+                    worker::scripted_with_token(addr, Some("fleet-secret"), &[hello_msg(fp)])
+                        .unwrap();
                 assert!(matches!(&replies[0], Msg::Welcome { .. }), "{:?}", replies[0]);
                 handle.drain();
             });
@@ -842,7 +832,7 @@ mod tests {
             // worker finishes the campaign on the requeued seeds.
             scope.spawn(move || {
                 let mut stream = std::net::TcpStream::connect(addr).unwrap();
-                let hello = Msg::Hello { version: PROTOCOL_VERSION, fingerprint };
+                let hello = hello_msg(fingerprint);
                 let welcome = raw_exchange(&mut stream, &hello).unwrap();
                 let Msg::Welcome { slot, .. } = welcome else { panic!("{welcome:?}") };
                 let req = Msg::LeaseRequest { slot, want: 2 };
@@ -879,6 +869,7 @@ mod tests {
                 let results = Msg::Results {
                     slot,
                     lease,
+                    campaign: 0,
                     items,
                     cov: fat_cov,
                     rng_state: [1, 2, 3, 4],
@@ -902,6 +893,130 @@ mod tests {
         let evicted: Vec<_> = report.per_worker.iter().filter(|(_, w)| w.evicted).collect();
         assert_eq!(evicted.len(), 1, "exactly the fabricator is evicted: {:?}", report.per_worker);
         assert!(evicted[0].1.spot_failed >= 2);
+    }
+
+    #[test]
+    fn evicted_identity_cannot_rejoin_by_reconnecting() {
+        let dir = tmp_dir("evict_identity");
+        let s = suite(170);
+        let cfg = CoordinatorConfig {
+            spot_check_rate: 1.0,
+            checkpoint_dir: Some(dir.clone()),
+            ..quick_cfg(6)
+        };
+        let coordinator = Coordinator::new(&s, "unit@test", &seed_batch(171, 6), cfg);
+        let fp = coordinator.fingerprint().clone();
+        let listener = std::net::TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::scope(|scope| {
+            let s2 = s.clone();
+            let fp2 = fp.clone();
+            scope.spawn(move || {
+                let named = |id: &str| Msg::Hello {
+                    version: PROTOCOL_VERSION,
+                    fingerprint: fp2.clone(),
+                    worker_id: id.into(),
+                };
+                // "mallory" fabricates diff claims and is evicted.
+                let mut stream = std::net::TcpStream::connect(addr).unwrap();
+                let w = raw_exchange(&mut stream, &named("mallory")).unwrap();
+                let Msg::Welcome { slot, .. } = w else { panic!("{w:?}") };
+                let reply =
+                    raw_exchange(&mut stream, &Msg::LeaseRequest { slot, want: 2 }).unwrap();
+                let Msg::Lease { lease, jobs, .. } = reply else { panic!("{reply:?}") };
+                let items = jobs
+                    .iter()
+                    .map(|j| crate::proto::JobResult {
+                        seed_id: j.seed_id,
+                        run: deepxplore::SeedRun {
+                            test: Some(deepxplore::GeneratedTest {
+                                seed_index: j.seed_id,
+                                input: j.input.clone(),
+                                iterations: 1,
+                                predictions: vec![
+                                    deepxplore::diff::Prediction::Class(0),
+                                    deepxplore::diff::Prediction::Class(1),
+                                    deepxplore::diff::Prediction::Class(2),
+                                ],
+                                target_model: 0,
+                            }),
+                            ..empty_run(1)
+                        },
+                    })
+                    .collect();
+                let results = Msg::Results {
+                    slot,
+                    lease,
+                    campaign: 0,
+                    items,
+                    cov: vec![Vec::new(); 3],
+                    rng_state: [1; 4],
+                    telemetry: None,
+                };
+                let verdict = raw_exchange(&mut stream, &results).unwrap();
+                assert!(
+                    matches!(&verdict, Msg::Reject { reason } if reason.contains("evicted")),
+                    "{verdict:?}"
+                );
+                drop(stream);
+                // Reconnecting under the same identity is refused at
+                // admission: eviction is keyed to the identity, not the
+                // connection slot.
+                let replies = worker::scripted(addr, &[named("mallory")]).unwrap();
+                match &replies[0] {
+                    Msg::Reject { reason } => assert!(reason.contains("evicted"), "{reason}"),
+                    other => panic!("evicted identity re-admitted: {other:?}"),
+                }
+                // A fresh identity gets a fresh slot — never the burned one.
+                let mut live = std::net::TcpStream::connect(addr).unwrap();
+                let w = raw_exchange(&mut live, &named("trent")).unwrap();
+                let Msg::Welcome { slot: trent_slot, .. } = w else { panic!("{w:?}") };
+                assert_ne!(trent_slot, slot, "fresh identity inherited the burned slot");
+                // While "trent" is live, a second connection claiming the
+                // same identity is refused.
+                let replies = worker::scripted(addr, &[named("trent")]).unwrap();
+                match &replies[0] {
+                    Msg::Reject { reason } => assert!(reason.contains("connected"), "{reason}"),
+                    other => panic!("duplicate live identity admitted: {other:?}"),
+                }
+                drop(live);
+                run_worker(addr, s2, "unit@test", WorkerConfig::default()).unwrap();
+            });
+            coordinator.serve(listener).unwrap();
+        });
+        // The identity→slot binding and the eviction survive a restart via
+        // dist.json v3: "mallory" stays locked out of the resumed fleet.
+        let resumed = Coordinator::resume(
+            &s,
+            "unit@test",
+            CoordinatorConfig {
+                spot_check_rate: 1.0,
+                checkpoint_dir: Some(dir.clone()),
+                ..quick_cfg(12)
+            },
+        )
+        .unwrap();
+        let listener = std::net::TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = resumed.drain_handle();
+        let fp2 = fp.clone();
+        std::thread::scope(|scope| {
+            scope.spawn(move || {
+                let hello = Msg::Hello {
+                    version: PROTOCOL_VERSION,
+                    fingerprint: fp2,
+                    worker_id: "mallory".into(),
+                };
+                let replies = worker::scripted(addr, &[hello]).unwrap();
+                match &replies[0] {
+                    Msg::Reject { reason } => assert!(reason.contains("evicted"), "{reason}"),
+                    other => panic!("eviction lost across restart: {other:?}"),
+                }
+                handle.drain();
+            });
+            resumed.serve(listener).unwrap();
+        });
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
@@ -968,7 +1083,7 @@ mod tests {
         std::thread::scope(|scope| {
             scope.spawn(move || {
                 let mut stream = std::net::TcpStream::connect(addr).unwrap();
-                let hello = Msg::Hello { version: PROTOCOL_VERSION, fingerprint };
+                let hello = hello_msg(fingerprint);
                 let Msg::Welcome { slot, .. } = raw_exchange(&mut stream, &hello).unwrap() else {
                     panic!("not welcomed")
                 };
@@ -989,6 +1104,7 @@ mod tests {
                     let results = Msg::Results {
                         slot,
                         lease,
+                        campaign: 0,
                         items,
                         cov: vec![Vec::new(); 3],
                         rng_state: [5, 6, 7, 8],
@@ -1079,12 +1195,13 @@ mod tests {
             let coord = &coordinator;
             scope.spawn(move || {
                 let mut stream = std::net::TcpStream::connect(addr).unwrap();
-                let hello = Msg::Hello { version: PROTOCOL_VERSION, fingerprint };
+                let hello = hello_msg(fingerprint);
                 let welcome = raw_exchange(&mut stream, &hello).unwrap();
                 let Msg::Welcome { slot, .. } = welcome else { panic!("{welcome:?}") };
                 let bogus = Msg::Results {
                     slot,
                     lease: 9999,
+                    campaign: 0,
                     items: Vec::new(),
                     cov: vec![(0..5).collect(); 3],
                     rng_state: [1; 4],
@@ -1122,7 +1239,7 @@ mod tests {
         std::thread::scope(|scope| {
             scope.spawn(move || {
                 let mut stream = std::net::TcpStream::connect(addr).unwrap();
-                let hello = Msg::Hello { version: PROTOCOL_VERSION, fingerprint };
+                let hello = hello_msg(fingerprint);
                 let Msg::Welcome { slot, .. } = raw_exchange(&mut stream, &hello).unwrap() else {
                     panic!("not welcomed")
                 };
@@ -1154,6 +1271,7 @@ mod tests {
                 let results = Msg::Results {
                     slot,
                     lease,
+                    campaign: 0,
                     items,
                     cov: vec![Vec::new(); 3],
                     rng_state: [1; 4],
@@ -1224,47 +1342,35 @@ mod tests {
             scope.spawn(move || {
                 let wrong =
                     Fingerprint { label: "other@test".into(), ..suite_fingerprint(&s, "x") };
-                let replies = worker::scripted(
-                    addr,
-                    &[Msg::Hello { version: PROTOCOL_VERSION, fingerprint: wrong }],
-                )
-                .unwrap();
+                let replies = worker::scripted(addr, &[hello_msg(wrong)]).unwrap();
                 assert!(matches!(&replies[0], Msg::Reject { .. }), "{:?}", replies[0]);
                 // A worker with mismatched hyperparameters (here: a
                 // different step size) is rejected, not silently admitted.
                 let mut hp_suite = s.clone();
                 hp_suite.hp.step = 0.5;
                 let hp_mismatch = suite_fingerprint(&hp_suite, "unit@test");
-                let replies = worker::scripted(
-                    addr,
-                    &[Msg::Hello { version: PROTOCOL_VERSION, fingerprint: hp_mismatch }],
-                )
-                .unwrap();
+                let replies = worker::scripted(addr, &[hello_msg(hp_mismatch)]).unwrap();
                 assert!(matches!(&replies[0], Msg::Reject { .. }), "{:?}", replies[0]);
                 // So is one with a mismatched constraint...
                 let mut c_suite = s.clone();
                 c_suite.constraint = Constraint::Lighting;
                 let c_mismatch = suite_fingerprint(&c_suite, "unit@test");
-                let replies = worker::scripted(
-                    addr,
-                    &[Msg::Hello { version: PROTOCOL_VERSION, fingerprint: c_mismatch }],
-                )
-                .unwrap();
+                let replies = worker::scripted(addr, &[hello_msg(c_mismatch)]).unwrap();
                 assert!(matches!(&replies[0], Msg::Reject { .. }), "{:?}", replies[0]);
                 // ...or a mismatched coverage metric.
                 let mut m_fp = suite_fingerprint(&s, "unit@test");
                 m_fp.metric = "multisection:4".into();
-                let replies = worker::scripted(
-                    addr,
-                    &[Msg::Hello { version: PROTOCOL_VERSION, fingerprint: m_fp }],
-                )
-                .unwrap();
+                let replies = worker::scripted(addr, &[hello_msg(m_fp)]).unwrap();
                 assert!(matches!(&replies[0], Msg::Reject { .. }), "{:?}", replies[0]);
                 // A stale protocol version is rejected too.
                 let fp = suite_fingerprint(&s, "unit@test");
                 let replies = worker::scripted(
                     addr,
-                    &[Msg::Hello { version: PROTOCOL_VERSION + 1, fingerprint: fp }],
+                    &[Msg::Hello {
+                        version: PROTOCOL_VERSION + 1,
+                        fingerprint: fp,
+                        worker_id: "t-stale".into(),
+                    }],
                 )
                 .unwrap();
                 assert!(matches!(&replies[0], Msg::Reject { .. }), "{:?}", replies[0]);

@@ -47,8 +47,15 @@ use dx_tensor::Tensor;
 /// adaptive coordinator may grant larger leases than requested. v5:
 /// `results` may carry an advisory `telemetry` snapshot (per-phase
 /// hot-path histogram deltas plus heartbeat round-trip times), which the
-/// coordinator folds into its metrics registry.
-pub const PROTOCOL_VERSION: u64 = 5;
+/// coordinator folds into its metrics registry. v6: multi-tenant
+/// dispatch — `hello` carries a persistent `worker_id` (bound into the
+/// auth proof, and what eviction/quarantine records are keyed by), and
+/// `lease`/`results` are tagged with a campaign id; each lease also
+/// carries its campaign's master seed plus the worker's saved generator
+/// RNG state for that campaign, so one fleet serves many campaigns and
+/// a worker builds per-campaign generator state lazily from the leases
+/// it is handed.
+pub const PROTOCOL_VERSION: u64 = 6;
 
 /// What the coordinator checks before admitting a worker: both sides must
 /// be fuzzing the same model suite, under the same coverage metric, with
@@ -182,6 +189,12 @@ pub enum Msg {
         version: u64,
         /// Sender's model-suite fingerprint.
         fingerprint: Fingerprint,
+        /// The worker's persistent identity. Stable across reconnects
+        /// (configured, or derived once per process), bound into the
+        /// auth proof when the fleet runs a shared secret, and the key
+        /// for the coordinator's trust records — an evicted identity
+        /// stays evicted no matter how often it reconnects.
+        worker_id: String,
     },
     /// Admission: the worker's slot and the campaign master seed (the
     /// worker derives its generator stream from them, exactly like an
@@ -228,9 +241,22 @@ pub enum Msg {
     Lease {
         /// Lease id, echoed in heartbeats and results.
         lease: u64,
+        /// The campaign these jobs belong to (`0` on a single-campaign
+        /// coordinator; a tenant id under the service daemon).
+        campaign: u64,
+        /// The campaign's master seed. The worker derives its generator
+        /// stream for this campaign from `(campaign_seed, slot)` on the
+        /// first lease that mentions the campaign.
+        campaign_seed: u64,
+        /// The worker's saved generator RNG state for this campaign —
+        /// present when the dispatcher checkpointed one (fleet resume),
+        /// honored only on the lease that first introduces the campaign
+        /// to this worker.
+        rng_state: Option<[u64; 4]>,
         /// The leased jobs.
         jobs: Vec<Job>,
-        /// Global-union coverage the worker hasn't seen yet.
+        /// Global-union coverage (of this campaign) the worker hasn't
+        /// seen yet.
         cov: CovDelta,
     },
     /// Nothing schedulable right now (everything leased out); retry after
@@ -256,11 +282,15 @@ pub enum Msg {
         slot: u64,
         /// The lease these results answer.
         lease: u64,
+        /// The campaign the lease was issued under, echoed back.
+        campaign: u64,
         /// Per-seed outcomes, in lease order.
         items: Vec<JobResult>,
-        /// Coverage the worker found that it hasn't reported yet.
+        /// Coverage the worker found (in the lease's campaign) that it
+        /// hasn't reported yet.
         cov: CovDelta,
-        /// Worker generator RNG state after the lease.
+        /// Worker generator RNG state for the lease's campaign, after
+        /// the lease.
         rng_state: [u64; 4],
         /// Advisory timing deltas since the previous report (`None` from
         /// workers with nothing to report, e.g. timing disabled).
@@ -371,9 +401,13 @@ impl Msg {
     /// Encodes the message as one JSON document.
     pub fn to_json(&self) -> Json {
         match self {
-            Msg::Hello { version, fingerprint } => tagged(
+            Msg::Hello { version, fingerprint, worker_id } => tagged(
                 "hello",
-                vec![("version", u64_json(*version)), ("fp", fingerprint.to_json())],
+                vec![
+                    ("version", u64_json(*version)),
+                    ("fp", fingerprint.to_json()),
+                    ("worker_id", build::str(worker_id)),
+                ],
             ),
             Msg::Welcome { slot, campaign_seed, rng_state } => tagged(
                 "welcome",
@@ -389,10 +423,13 @@ impl Msg {
             Msg::LeaseRequest { slot, want } => {
                 tagged("lease_req", vec![("slot", u64_json(*slot)), ("want", build::int(*want))])
             }
-            Msg::Lease { lease, jobs, cov } => tagged(
+            Msg::Lease { lease, campaign, campaign_seed, rng_state, jobs, cov } => tagged(
                 "lease",
                 vec![
                     ("lease", u64_json(*lease)),
+                    ("campaign", u64_json(*campaign)),
+                    ("campaign_seed", u64_json(*campaign_seed)),
+                    ("rng_state", rng_state.as_ref().map_or(Json::Null, rng_state_json)),
                     ("jobs", Json::Arr(jobs.iter().map(job_json).collect())),
                     ("cov", cov_json(cov)),
                 ],
@@ -402,10 +439,11 @@ impl Msg {
             Msg::Heartbeat { slot, lease } => {
                 tagged("heartbeat", vec![("slot", u64_json(*slot)), ("lease", u64_json(*lease))])
             }
-            Msg::Results { slot, lease, items, cov, rng_state, telemetry } => {
+            Msg::Results { slot, lease, campaign, items, cov, rng_state, telemetry } => {
                 let mut fields = vec![
                     ("slot", u64_json(*slot)),
                     ("lease", u64_json(*lease)),
+                    ("campaign", u64_json(*campaign)),
                     ("items", Json::Arr(items.iter().map(item_json).collect())),
                     ("cov", cov_json(cov)),
                     ("rng_state", rng_state_json(rng_state)),
@@ -432,6 +470,11 @@ impl Msg {
             "hello" => Msg::Hello {
                 version: u64_field("version")?,
                 fingerprint: Fingerprint::from_json(v.get("fp").ok_or_else(|| bad("fp"))?)?,
+                worker_id: v
+                    .get("worker_id")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| bad("worker_id"))?
+                    .to_string(),
             },
             "welcome" => Msg::Welcome {
                 slot: u64_field("slot")?,
@@ -467,6 +510,12 @@ impl Msg {
             }
             "lease" => Msg::Lease {
                 lease: u64_field("lease")?,
+                campaign: u64_field("campaign")?,
+                campaign_seed: u64_field("campaign_seed")?,
+                rng_state: match v.get("rng_state") {
+                    None | Some(Json::Null) => None,
+                    Some(s) => Some(rng_state_from_json(s)?),
+                },
                 jobs: v
                     .get("jobs")
                     .and_then(Json::as_arr)
@@ -482,6 +531,7 @@ impl Msg {
             "results" => Msg::Results {
                 slot: u64_field("slot")?,
                 lease: u64_field("lease")?,
+                campaign: u64_field("campaign")?,
                 items: v
                     .get("items")
                     .and_then(Json::as_arr)
@@ -529,13 +579,21 @@ mod tests {
 
     #[test]
     fn hello_welcome_round_trip() {
-        match round_trip(&Msg::Hello { version: PROTOCOL_VERSION, fingerprint: fp() }) {
-            Msg::Hello { version, fingerprint } => {
+        match round_trip(&Msg::Hello {
+            version: PROTOCOL_VERSION,
+            fingerprint: fp(),
+            worker_id: "w-cafe".into(),
+        }) {
+            Msg::Hello { version, fingerprint, worker_id } => {
                 assert_eq!(version, PROTOCOL_VERSION);
                 assert_eq!(fingerprint, fp());
+                assert_eq!(worker_id, "w-cafe");
             }
             other => panic!("{other:?}"),
         }
+        // A v5-style hello without an identity is malformed in v6.
+        let text = r#"{"type":"hello","version":"6","fp":{"label":"x","metric":"neuron","units":[],"profiles":"none","hyper":"h","constraint":"c"}}"#;
+        assert!(Msg::from_json(&parse_doc(text).unwrap()).is_err());
         match round_trip(&Msg::Welcome {
             slot: 3,
             campaign_seed: u64::MAX,
@@ -559,21 +617,39 @@ mod tests {
         let input = rng::uniform(&mut rng::rng(1), &[1, 6], 0.0, 1.0);
         let lease = Msg::Lease {
             lease: 9,
+            campaign: 7,
+            campaign_seed: u64::MAX - 1,
+            rng_state: Some([4, 3, 2, 1]),
             jobs: vec![Job { seed_id: 4, input: input.clone() }],
             cov: vec![vec![0, 5, 9], vec![]],
         };
         match round_trip(&lease) {
-            Msg::Lease { lease, jobs, cov } => {
+            Msg::Lease { lease, campaign, campaign_seed, rng_state, jobs, cov } => {
                 assert_eq!(lease, 9);
+                assert_eq!(campaign, 7);
+                assert_eq!(campaign_seed, u64::MAX - 1, "seeds above 2^53 must survive");
+                assert_eq!(rng_state, Some([4, 3, 2, 1]));
                 assert_eq!(jobs[0].seed_id, 4);
                 assert_eq!(jobs[0].input, input);
                 assert_eq!(cov, vec![vec![0, 5, 9], vec![]]);
             }
             other => panic!("{other:?}"),
         }
+        match round_trip(&Msg::Lease {
+            lease: 1,
+            campaign: 0,
+            campaign_seed: 42,
+            rng_state: None,
+            jobs: vec![],
+            cov: vec![],
+        }) {
+            Msg::Lease { rng_state: None, .. } => {}
+            other => panic!("{other:?}"),
+        }
         let results = Msg::Results {
             slot: 1,
             lease: 9,
+            campaign: 7,
             items: vec![JobResult {
                 seed_id: 4,
                 run: SeedRun {
@@ -590,7 +666,8 @@ mod tests {
             telemetry: None,
         };
         match round_trip(&results) {
-            Msg::Results { items, cov, rng_state, telemetry, .. } => {
+            Msg::Results { campaign, items, cov, rng_state, telemetry, .. } => {
+                assert_eq!(campaign, 7);
                 assert_eq!(items[0].run.iterations, 12);
                 assert_eq!(items[0].run.corpus_candidate.as_ref(), Some(&input));
                 assert_eq!(cov, vec![vec![1], vec![2, 3]]);
@@ -615,6 +692,7 @@ mod tests {
         let results = Msg::Results {
             slot: 2,
             lease: 11,
+            campaign: 0,
             items: vec![],
             cov: vec![],
             rng_state: [1, 2, 3, 4],
@@ -628,14 +706,14 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
-        // A pre-telemetry frame (no field at all) decodes as None.
-        let text = r#"{"type":"results","slot":"0","lease":"1","items":[],"cov":[],"rng_state":["1","2","3","4"]}"#;
+        // A frame without a telemetry field decodes as None.
+        let text = r#"{"type":"results","slot":"0","lease":"1","campaign":"0","items":[],"cov":[],"rng_state":["1","2","3","4"]}"#;
         match Msg::from_json(&parse_doc(text).unwrap()).unwrap() {
             Msg::Results { telemetry: None, .. } => {}
             other => panic!("{other:?}"),
         }
         // A malformed snapshot is InvalidData, like any other bad field.
-        let text = r#"{"type":"results","slot":"0","lease":"1","items":[],"cov":[],"rng_state":["1","2","3","4"],"telemetry":{"phases":[{"phase":"forward"}]}}"#;
+        let text = r#"{"type":"results","slot":"0","lease":"1","campaign":"0","items":[],"cov":[],"rng_state":["1","2","3","4"],"telemetry":{"phases":[{"phase":"forward"}]}}"#;
         assert!(Msg::from_json(&parse_doc(text).unwrap()).is_err());
     }
 
@@ -672,7 +750,11 @@ mod tests {
             r#"{"type":"warp"}"#,
             r#"{"no_type":1}"#,
             r#"{"type":"lease","lease":"1"}"#,
-            r#"{"type":"results","slot":"0","lease":"1","items":[{"seed_id":0}],"cov":[],"rng_state":["1","2","3","4"]}"#,
+            // A v5-style lease with no campaign tag.
+            r#"{"type":"lease","lease":"1","jobs":[],"cov":[]}"#,
+            // A v5-style results frame with no campaign tag.
+            r#"{"type":"results","slot":"0","lease":"1","items":[],"cov":[],"rng_state":["1","2","3","4"]}"#,
+            r#"{"type":"results","slot":"0","lease":"1","campaign":"0","items":[{"seed_id":0}],"cov":[],"rng_state":["1","2","3","4"]}"#,
         ] {
             let doc = parse_doc(text).unwrap();
             assert!(Msg::from_json(&doc).is_err(), "accepted `{text}`");

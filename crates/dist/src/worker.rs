@@ -1,19 +1,26 @@
 //! The campaign worker: a thin network wrapper around the generator's
 //! per-seed step loop.
 //!
-//! A worker owns clones of the models and a [`deepxplore::Generator`]
-//! whose RNG stream derives from `(campaign_seed, slot)` exactly like an
-//! in-process pool worker's — a dist fleet of N workers and an in-process
-//! pool of N workers draw from the same per-worker streams. It leases
-//! seed batches, runs [`deepxplore::Generator::run_seed`] on each,
-//! heartbeats during long leases, and reports outcomes plus a sparse
-//! coverage delta; the coordinator's acks carry the global union's news
-//! back, which the generator adopts so it stops chasing neurons another
-//! worker already covered.
+//! A worker owns clones of the models and, per campaign it is leased
+//! work for, a [`deepxplore::Generator`] whose RNG stream derives from
+//! `(campaign_seed, slot)` exactly like an in-process pool worker's — a
+//! dist fleet of N workers and an in-process pool of N workers draw from
+//! the same per-worker streams, and a multi-tenant fleet runs each
+//! tenant's stream exactly as a dedicated fleet would. Campaign state is
+//! built lazily from the leases the dispatcher hands out (protocol v6
+//! tags each lease with a campaign id and master seed); a worker behind
+//! a single-campaign coordinator only ever sees campaign `0`. The
+//! worker leases seed batches, runs [`deepxplore::Generator::run_seed`]
+//! on each, heartbeats during long leases, and reports outcomes plus a
+//! sparse coverage delta; the coordinator's acks carry the global
+//! union's news back, which the generator adopts so it stops chasing
+//! neurons another worker already covered.
 
+use std::collections::HashMap;
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
-use std::time::{Duration, Instant};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 use deepxplore::generator::Generator;
 use dx_campaign::ModelSuite;
@@ -46,6 +53,14 @@ pub struct WorkerConfig {
     /// ([`crate::auth`]). Required when the coordinator runs with one;
     /// ignored (never sent) when it does not.
     pub auth_token: Option<String>,
+    /// Persistent worker identity announced at `hello` and bound into
+    /// the auth proof. `None` derives a fresh unique one per
+    /// [`run_worker`] call (worker threads sharing a process stay
+    /// distinct); operators who want identities that survive
+    /// reconnects and restarts — which is what makes eviction stick to
+    /// the worker rather than the connection — set one explicitly
+    /// (`--worker-id` / `DX_WORKER_ID`).
+    pub worker_id: Option<String>,
 }
 
 impl Default for WorkerConfig {
@@ -56,6 +71,7 @@ impl Default for WorkerConfig {
             connect_retries: 50,
             retry_delay: Duration::from_millis(100),
             auth_token: None,
+            worker_id: None,
         }
     }
 }
@@ -69,12 +85,39 @@ pub struct WorkerSummary {
     pub steps: usize,
     /// Difference-inducing inputs found.
     pub diffs_found: usize,
-    /// The worker's final local per-model coverage (its union view).
+    /// The worker's final local per-model coverage: across campaigns,
+    /// the best (max) coverage this worker's union views reached.
     pub coverage: Vec<f32>,
+}
+
+/// Per-campaign worker state: the generator (own RNG stream, own local
+/// coverage trackers) and the coordinator's model of what this worker
+/// knows, which both directions' deltas are relative to.
+struct CampaignCtx {
+    generator: Generator,
+    known: Vec<CoverageSignal>,
 }
 
 fn proto_err(what: impl AsRef<str>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, what.as_ref().to_string())
+}
+
+/// A fresh default identity: hashed from the pid, the clock, and a
+/// process-wide counter, so every worker that does not announce an
+/// explicit id is distinct — including worker threads sharing one
+/// process (an in-process fleet).
+pub(crate) fn fresh_worker_id() -> String {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let pid = u64::from(std::process::id());
+    let count = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let nanos =
+        SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_nanos() as u64).unwrap_or(0);
+    let mut seed = pid.to_le_bytes().to_vec();
+    seed.extend_from_slice(&count.to_le_bytes());
+    seed.extend_from_slice(&nanos.to_le_bytes());
+    let digest = crate::auth::sha256(&seed);
+    let hex: String = digest[..8].iter().map(|b| format!("{b:02x}")).collect();
+    format!("w-{hex}")
 }
 
 fn connect(addr: impl ToSocketAddrs + Clone, cfg: &WorkerConfig) -> io::Result<TcpStream> {
@@ -110,26 +153,11 @@ pub fn run_worker(
     cfg: WorkerConfig,
 ) -> io::Result<WorkerSummary> {
     let fingerprint = suite_fingerprint(&suite, label);
+    let worker_id = cfg.worker_id.clone().unwrap_or_else(fresh_worker_id);
     let mut stream = connect(addr, &cfg)?;
     stream.set_nodelay(true)?;
-    let (slot, campaign_seed, rng_state) =
-        hello(&mut stream, fingerprint, cfg.auth_token.as_deref())?;
-    let signals = suite.signal.build(&suite.models);
-    let mut generator = Generator::with_signals(
-        suite.models.clone(),
-        suite.kind,
-        suite.hp,
-        suite.constraint.clone(),
-        signals,
-        rng::derive_seed(campaign_seed, 1 + slot),
-    );
-    if let Some(state) = rng_state {
-        // A resumed fleet: continue the checkpointed stream.
-        generator.set_rng_state(state);
-    }
-    // What the coordinator knows we know; deltas in both directions are
-    // relative to this.
-    let mut known: Vec<CoverageSignal> = generator.signals().to_vec();
+    let slot = hello(&mut stream, fingerprint, &worker_id, cfg.auth_token.as_deref())?;
+    let mut contexts: HashMap<u64, CampaignCtx> = HashMap::new();
     let mut summary = WorkerSummary { slot, steps: 0, diffs_found: 0, coverage: Vec::new() };
     // Heartbeat round-trips since the last results report, shipped as
     // part of the advisory telemetry snapshot.
@@ -138,8 +166,11 @@ pub fn run_worker(
         let reply =
             exchange(&mut stream, &Msg::LeaseRequest { slot, want: cfg.lease_size.max(1) })?;
         match reply {
-            Msg::Lease { lease, jobs, cov } => {
-                adopt(&mut generator, &mut known, &cov)?;
+            Msg::Lease { lease, campaign, campaign_seed, rng_state, jobs, cov } => {
+                let ctx = contexts.entry(campaign).or_insert_with(|| {
+                    context_for(&suite, slot, campaign_seed, rng_state.as_ref())
+                });
+                adopt(&mut ctx.generator, &mut ctx.known, &cov)?;
                 let mut items = Vec::with_capacity(jobs.len());
                 for (k, job) in jobs.into_iter().enumerate() {
                     // Heartbeat *before* later jobs (every one, at the
@@ -155,30 +186,31 @@ pub fn run_worker(
                         let reply = exchange(&mut stream, &Msg::Heartbeat { slot, lease })?;
                         heartbeat_rtt.record(sent.elapsed().as_secs_f64());
                         match reply {
-                            Msg::Ack { cov } => adopt(&mut generator, &mut known, &cov)?,
+                            Msg::Ack { cov } => adopt(&mut ctx.generator, &mut ctx.known, &cov)?,
                             Msg::Drain => {} // Finish the lease; exit after reporting.
                             other => return Err(proto_err(format!("unexpected {other:?}"))),
                         }
                     }
-                    let run = generator.run_seed(job.seed_id, &job.input);
+                    let run = ctx.generator.run_seed(job.seed_id, &job.input);
                     summary.steps += 1;
                     if run.found_difference() {
                         summary.diffs_found += 1;
                     }
                     items.push(JobResult { seed_id: job.seed_id, run });
                 }
-                let cov = local_news(&generator, &mut known);
-                let telemetry = take_telemetry(&mut generator, &mut heartbeat_rtt);
+                let cov = local_news(&ctx.generator, &mut ctx.known);
+                let telemetry = take_telemetry(&mut ctx.generator, &mut heartbeat_rtt);
                 let results = Msg::Results {
                     slot,
                     lease,
+                    campaign,
                     items,
                     cov,
-                    rng_state: generator.rng_state(),
+                    rng_state: ctx.generator.rng_state(),
                     telemetry,
                 };
                 match exchange(&mut stream, &results)? {
-                    Msg::Ack { cov } => adopt(&mut generator, &mut known, &cov)?,
+                    Msg::Ack { cov } => adopt(&mut ctx.generator, &mut ctx.known, &cov)?,
                     Msg::Drain => break,
                     other => return Err(proto_err(format!("unexpected {other:?}"))),
                 }
@@ -190,8 +222,39 @@ pub fn run_worker(
         }
     }
     let _ = write_frame(&mut stream, &Msg::Bye.to_json());
-    summary.coverage = generator.coverage();
+    // A worker that drained before its first lease covered nothing.
+    summary.coverage = vec![0.0; suite.models.len()];
+    for ctx in contexts.values() {
+        for (best, c) in summary.coverage.iter_mut().zip(ctx.generator.coverage()) {
+            *best = best.max(c);
+        }
+    }
     Ok(summary)
+}
+
+/// Fresh per-campaign state: the generator stream derives from the
+/// campaign seed and the worker's slot, continued from the dispatcher's
+/// checkpointed RNG state when the lease carried one (fleet resume).
+fn context_for(
+    suite: &ModelSuite,
+    slot: u64,
+    campaign_seed: u64,
+    rng_state: Option<&[u64; 4]>,
+) -> CampaignCtx {
+    let signals = suite.signal.build(&suite.models);
+    let mut generator = Generator::with_signals(
+        suite.models.clone(),
+        suite.kind,
+        suite.hp,
+        suite.constraint.clone(),
+        signals,
+        rng::derive_seed(campaign_seed, 1 + slot),
+    );
+    if let Some(state) = rng_state {
+        generator.set_rng_state(*state);
+    }
+    let known = generator.signals().to_vec();
+    CampaignCtx { generator, known }
 }
 
 /// Drains the generator's phase accumulator and the heartbeat RTT delta
@@ -219,9 +282,13 @@ fn take_telemetry(
 fn hello(
     stream: &mut TcpStream,
     fingerprint: Fingerprint,
+    worker_id: &str,
     auth_token: Option<&str>,
-) -> io::Result<(u64, u64, Option<[u64; 4]>)> {
-    let mut reply = exchange(stream, &Msg::Hello { version: PROTOCOL_VERSION, fingerprint })?;
+) -> io::Result<u64> {
+    let mut reply = exchange(
+        stream,
+        &Msg::Hello { version: PROTOCOL_VERSION, fingerprint, worker_id: worker_id.to_string() },
+    )?;
     if let Msg::Challenge { nonce } = &reply {
         // The coordinator demands authentication before admitting anyone.
         let Some(token) = auth_token else {
@@ -230,10 +297,13 @@ fn hello(
                  token (--auth-token / DX_AUTH_TOKEN)",
             ));
         };
-        reply = exchange(stream, &Msg::AuthProof { proof: crate::auth::proof(token, nonce) })?;
+        reply = exchange(
+            stream,
+            &Msg::AuthProof { proof: crate::auth::proof(token, nonce, worker_id) },
+        )?;
     }
     match reply {
-        Msg::Welcome { slot, campaign_seed, rng_state } => Ok((slot, campaign_seed, rng_state)),
+        Msg::Welcome { slot, .. } => Ok(slot),
         Msg::Reject { reason } => Err(proto_err(format!("rejected: {reason}"))),
         other => Err(proto_err(format!("unexpected {other:?}"))),
     }
@@ -275,6 +345,8 @@ pub(crate) fn scripted(addr: std::net::SocketAddr, msgs: &[Msg]) -> io::Result<V
 /// [`scripted`], answering an auth challenge after the first `hello` with
 /// a proof derived from `token` (when given). The challenge reply is not
 /// recorded — callers see the post-auth verdict, as a real worker would.
+/// The proof is bound to the identity in the preceding `hello` frame
+/// (or a fresh default when the script starts elsewhere).
 #[cfg(test)]
 pub(crate) fn scripted_with_token(
     addr: std::net::SocketAddr,
@@ -283,11 +355,17 @@ pub(crate) fn scripted_with_token(
 ) -> io::Result<Vec<Msg>> {
     let mut stream = TcpStream::connect(addr)?;
     let mut out = Vec::new();
+    let mut identity = fresh_worker_id();
     for m in msgs {
+        if let Msg::Hello { worker_id, .. } = m {
+            identity = worker_id.clone();
+        }
         let mut reply = exchange(&mut stream, m)?;
         if let (Msg::Challenge { nonce }, Some(token)) = (&reply, token) {
-            reply =
-                exchange(&mut stream, &Msg::AuthProof { proof: crate::auth::proof(token, nonce) })?;
+            reply = exchange(
+                &mut stream,
+                &Msg::AuthProof { proof: crate::auth::proof(token, nonce, &identity) },
+            )?;
         }
         out.push(reply);
     }

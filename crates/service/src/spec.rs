@@ -1,0 +1,279 @@
+//! Tenant campaign specifications: what a `POST /campaigns` body may say.
+//!
+//! A spec is everything a tenant chooses about its campaign — which rows
+//! of the daemon's seed pool to fuzz, the master seed its worker RNG
+//! streams derive from, stop conditions, and its share of the fleet
+//! (scheduling weight and lease quota). Everything else (the model suite,
+//! the coverage metric, the domain constraint) is fixed per daemon, so a
+//! spec may only *assert* those via the optional `metric`/`constraint`
+//! fields; a mismatch is a `400`, not a silently different campaign.
+
+use dx_campaign::json::{build, Json};
+use dx_dist::Fingerprint;
+
+/// A submitted campaign: seeds, budget, and fleet-share knobs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CampaignSpec {
+    /// Tenant name: the `tenant` label on metrics and the human handle in
+    /// reports. Must be unique for the daemon's lifetime (including
+    /// checkpointed tenants), `[A-Za-z0-9_-]+`, at most 64 bytes.
+    pub name: String,
+    /// Campaign master seed; worker generator streams derive from it
+    /// exactly as in a dedicated coordinator, so a service tenant and a
+    /// dedicated run of the same spec produce the same stream.
+    pub seed: u64,
+    /// How many rows of the daemon's seed pool this tenant fuzzes.
+    pub seeds: usize,
+    /// First pool row of this tenant's slice — two tenants may share rows
+    /// or partition the pool.
+    pub seed_offset: usize,
+    /// Total seed-step budget; `None` is unbounded.
+    pub max_steps: Option<usize>,
+    /// Stop once mean global coverage reaches this level.
+    pub target_coverage: Option<f32>,
+    /// Ceiling on this tenant's share of in-flight leased jobs, in
+    /// `(0, 1]`. Every runnable tenant is always guaranteed one lease.
+    pub quota: f32,
+    /// Deficit-weighted fair-share weight (> 0): a weight-2 tenant is
+    /// granted twice the jobs of a weight-1 tenant under contention.
+    pub weight: f32,
+    /// Optional assertion of the fleet's coverage metric (e.g. `neuron`).
+    pub metric: Option<String>,
+    /// Optional assertion of the fleet's constraint digest (e.g.
+    /// `lighting`).
+    pub constraint: Option<String>,
+}
+
+impl CampaignSpec {
+    /// A spec with defaults for everything but the name.
+    pub fn named(name: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            seed: 42,
+            seeds: 8,
+            seed_offset: 0,
+            max_steps: None,
+            target_coverage: None,
+            quota: 1.0,
+            weight: 1.0,
+            metric: None,
+            constraint: None,
+        }
+    }
+
+    /// Parses a submission body. Unknown fields are ignored; wrong types
+    /// and a missing name are errors (the HTTP layer's `400`).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable reason, returned verbatim in the response body.
+    pub fn from_json(doc: &Json) -> Result<Self, String> {
+        let Json::Obj(_) = doc else { return Err("body must be a JSON object".into()) };
+        let name = match doc.get("name") {
+            Some(v) => v.as_str().ok_or("`name` must be a string")?.to_string(),
+            None => return Err("`name` is required".into()),
+        };
+        let mut spec = Self::named(&name);
+        if let Some(v) = doc.get("seed") {
+            // Accepts both a plain number and the decimal-string form
+            // `to_json` writes (full u64 seeds don't fit in an f64).
+            spec.seed =
+                dx_campaign::codec::u64_from_json(v).ok_or("`seed` must be an unsigned integer")?;
+        }
+        if let Some(v) = doc.get("seeds") {
+            spec.seeds = v.as_usize().ok_or("`seeds` must be an unsigned integer")?;
+        }
+        if let Some(v) = doc.get("seed_offset") {
+            spec.seed_offset = v.as_usize().ok_or("`seed_offset` must be an unsigned integer")?;
+        }
+        if let Some(v) = doc.get("max_steps") {
+            spec.max_steps = Some(v.as_usize().ok_or("`max_steps` must be an unsigned integer")?);
+        }
+        if let Some(v) = doc.get("target_coverage") {
+            let t = v.as_f64().ok_or("`target_coverage` must be a number")? as f32;
+            spec.target_coverage = Some(t);
+        }
+        if let Some(v) = doc.get("quota") {
+            spec.quota = v.as_f64().ok_or("`quota` must be a number")? as f32;
+        }
+        if let Some(v) = doc.get("weight") {
+            spec.weight = v.as_f64().ok_or("`weight` must be a number")? as f32;
+        }
+        if let Some(v) = doc.get("metric") {
+            spec.metric = Some(v.as_str().ok_or("`metric` must be a string")?.to_string());
+        }
+        if let Some(v) = doc.get("constraint") {
+            spec.constraint = Some(v.as_str().ok_or("`constraint` must be a string")?.to_string());
+        }
+        Ok(spec)
+    }
+
+    /// Validates a parsed spec against the daemon's fleet: name shape,
+    /// knob ranges, the seed slice against the pool, and the optional
+    /// metric/constraint assertions against the admission fingerprint.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable reason (the HTTP layer's `400`).
+    pub fn validate(&self, fp: &Fingerprint, pool_rows: usize) -> Result<(), String> {
+        if self.name.is_empty() || self.name.len() > 64 {
+            return Err("`name` must be 1..=64 bytes".into());
+        }
+        if !self.name.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_') {
+            return Err("`name` may only contain [A-Za-z0-9_-]".into());
+        }
+        if self.seeds == 0 {
+            return Err("`seeds` must be at least 1".into());
+        }
+        if self.seed_offset.saturating_add(self.seeds) > pool_rows {
+            return Err(format!(
+                "seed slice {}..{} exceeds the daemon's pool of {pool_rows} rows",
+                self.seed_offset,
+                self.seed_offset + self.seeds
+            ));
+        }
+        if !(self.quota > 0.0 && self.quota <= 1.0) {
+            return Err("`quota` must be in (0, 1]".into());
+        }
+        if !(self.weight > 0.0 && self.weight.is_finite()) {
+            return Err("`weight` must be a positive finite number".into());
+        }
+        if let Some(t) = self.target_coverage {
+            if !(t > 0.0 && t <= 1.0) {
+                return Err("`target_coverage` must be in (0, 1]".into());
+            }
+        }
+        if let Some(m) = &self.metric {
+            if m != &fp.metric {
+                return Err(format!("requested metric `{m}` but the fleet runs `{}`", fp.metric));
+            }
+        }
+        if let Some(c) = &self.constraint {
+            if c != &fp.constraint {
+                return Err(format!(
+                    "requested constraint `{c}` but the fleet runs `{}`",
+                    fp.constraint
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// The spec as JSON — submission echo and `tenant.json` persistence.
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("name", build::str(&self.name)),
+            ("seed", dx_campaign::codec::u64_json(self.seed)),
+            ("seeds", build::int(self.seeds)),
+            ("seed_offset", build::int(self.seed_offset)),
+            ("quota", build::num(f64::from(self.quota))),
+            ("weight", build::num(f64::from(self.weight))),
+        ];
+        if let Some(m) = self.max_steps {
+            fields.push(("max_steps", build::int(m)));
+        }
+        if let Some(t) = self.target_coverage {
+            fields.push(("target_coverage", build::num(f64::from(t))));
+        }
+        if let Some(m) = &self.metric {
+            fields.push(("metric", build::str(m)));
+        }
+        if let Some(c) = &self.constraint {
+            fields.push(("constraint", build::str(c)));
+        }
+        build::obj(fields)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp() -> Fingerprint {
+        Fingerprint {
+            label: "t@test".into(),
+            metric: "neuron".into(),
+            units: vec![10, 10],
+            profiles: "none".into(),
+            hyper: "h".into(),
+            constraint: "lighting".into(),
+        }
+    }
+
+    #[test]
+    fn parses_full_and_minimal_bodies() {
+        let doc = dx_campaign::codec::parse_doc(
+            r#"{"name":"acme","seed":7,"seeds":4,"seed_offset":2,"max_steps":100,
+                "target_coverage":0.5,"quota":0.25,"weight":2.0,"metric":"neuron"}"#,
+        )
+        .unwrap();
+        let spec = CampaignSpec::from_json(&doc).unwrap();
+        assert_eq!(spec.name, "acme");
+        assert_eq!(spec.seed, 7);
+        assert_eq!(spec.seeds, 4);
+        assert_eq!(spec.seed_offset, 2);
+        assert_eq!(spec.max_steps, Some(100));
+        assert_eq!(spec.quota, 0.25);
+        assert_eq!(spec.weight, 2.0);
+        spec.validate(&fp(), 8).unwrap();
+
+        let minimal = dx_campaign::codec::parse_doc(r#"{"name":"n"}"#).unwrap();
+        let spec = CampaignSpec::from_json(&minimal).unwrap();
+        assert_eq!(spec, CampaignSpec::named("n"));
+        spec.validate(&fp(), 8).unwrap();
+    }
+
+    #[test]
+    fn rejects_malformed_bodies() {
+        for (body, why) in [
+            (r#"[1,2]"#, "object"),
+            (r#"{"seeds":4}"#, "`name`"),
+            (r#"{"name":7}"#, "`name`"),
+            (r#"{"name":"n","seeds":"four"}"#, "`seeds`"),
+            (r#"{"name":"n","quota":"all"}"#, "`quota`"),
+        ] {
+            let doc = dx_campaign::codec::parse_doc(body).unwrap();
+            let err = CampaignSpec::from_json(&doc).unwrap_err();
+            assert!(err.contains(why), "{body}: {err}");
+        }
+    }
+
+    #[test]
+    fn validation_bounds_every_knob() {
+        #[allow(clippy::type_complexity)]
+        let cases: Vec<(Box<dyn Fn(&mut CampaignSpec)>, &str)> = vec![
+            (Box::new(|s| s.name = String::new()), "name"),
+            (Box::new(|s| s.name = "bad name!".into()), "name"),
+            (Box::new(|s| s.seeds = 0), "seeds"),
+            (Box::new(|s| s.seed_offset = 7), "pool"),
+            (Box::new(|s| s.quota = 0.0), "quota"),
+            (Box::new(|s| s.quota = 1.5), "quota"),
+            (Box::new(|s| s.weight = 0.0), "weight"),
+            (Box::new(|s| s.weight = f32::NAN), "weight"),
+            (Box::new(|s| s.target_coverage = Some(0.0)), "target_coverage"),
+            (Box::new(|s| s.metric = Some("multisection".into())), "metric"),
+            (Box::new(|s| s.constraint = Some("clip".into())), "constraint"),
+        ];
+        for (mutate, why) in cases {
+            let mut spec = CampaignSpec::named("ok");
+            spec.seeds = 4;
+            mutate(&mut spec);
+            let err = spec.validate(&fp(), 8).unwrap_err();
+            assert!(err.to_lowercase().contains(why), "{why}: {err}");
+        }
+    }
+
+    #[test]
+    fn spec_round_trips_through_json() {
+        let mut spec = CampaignSpec::named("acme");
+        spec.seed = 9;
+        spec.seeds = 3;
+        spec.max_steps = Some(50);
+        spec.target_coverage = Some(0.75);
+        spec.quota = 0.5;
+        spec.weight = 3.0;
+        spec.metric = Some("neuron".into());
+        let doc = dx_campaign::codec::parse_doc(&spec.to_json().to_string()).unwrap();
+        assert_eq!(CampaignSpec::from_json(&doc).unwrap(), spec);
+    }
+}

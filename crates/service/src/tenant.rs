@@ -1,0 +1,409 @@
+//! One tenant: an isolated campaign sharing the fleet.
+//!
+//! A tenant owns everything a dedicated coordinator would — corpus,
+//! global coverage union, found diffs, round statistics, requeue, its
+//! own scheduling RNG — plus the service-specific extras: a pausable
+//! status machine, a per-tenant metrics registry whose series surface
+//! with a `tenant` label, an append-only JSONL event feed, and worker
+//! generator RNG streams keyed by *worker identity* (a worker may serve
+//! many tenants, and its stream for each must survive reconnects).
+//!
+//! On disk a tenant is one directory under the daemon's state dir, named
+//! by its campaign id: the standard campaign checkpoint files (readable
+//! by `dx_campaign::Campaign::resume_from` and every existing tool),
+//! plus `tenant.json` (spec, status, requeue, per-identity RNG) and
+//! `events.jsonl`.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::io;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
+
+use dx_campaign::checkpoint::{self, Meta, SignalCheckpoint};
+use dx_campaign::codec::{
+    field_usize, parse_doc, rng_state_from_json, rng_state_json, u64_from_json, u64_json,
+};
+use dx_campaign::json::{build, Json};
+use dx_campaign::{CampaignReport, Corpus, EnergyModel, EpochStats, FoundDiff};
+use dx_coverage::CoverageSignal;
+use dx_telemetry::{Counter, Gauge, MetricsRegistry};
+use dx_tensor::{rng, Tensor};
+
+use crate::spec::CampaignSpec;
+
+/// A tenant's lifecycle state. `Running → Paused` and back are the only
+/// reversible edges; `Done` and `Cancelled` are terminal.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Status {
+    /// Schedulable: the dispatcher may grant its seeds to workers.
+    Running,
+    /// Not schedulable; outstanding leases still land normally.
+    Paused,
+    /// Finished by budget, coverage target, or corpus exhaustion.
+    Done,
+    /// Cancelled by the tenant; terminal.
+    Cancelled,
+}
+
+impl Status {
+    /// The wire/disk name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Status::Running => "running",
+            Status::Paused => "paused",
+            Status::Done => "done",
+            Status::Cancelled => "cancelled",
+        }
+    }
+
+    /// Parses a disk/wire name.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "running" => Some(Status::Running),
+            "paused" => Some(Status::Paused),
+            "done" => Some(Status::Done),
+            "cancelled" => Some(Status::Cancelled),
+            _ => None,
+        }
+    }
+
+    /// Whether no further scheduling can ever happen.
+    pub fn is_terminal(self) -> bool {
+        matches!(self, Status::Done | Status::Cancelled)
+    }
+}
+
+/// Per-round accumulators, flushed into an [`EpochStats`] line.
+#[derive(Default)]
+pub(crate) struct RoundAccum {
+    pub seeds_run: usize,
+    pub diffs_found: usize,
+    pub iterations: usize,
+    pub newly_covered: usize,
+}
+
+/// Cached handles for the tenant registry's series. The registry itself
+/// is rendered with a `tenant="<name>"` label by the daemon's `/metrics`.
+pub(crate) struct TenantMetrics {
+    pub registry: MetricsRegistry,
+    pub steps: Arc<Counter>,
+    pub diffs: Arc<Counter>,
+    pub leases: Arc<Counter>,
+    pub requeue_depth: Arc<Gauge>,
+    pub corpus_size: Arc<Gauge>,
+    pub coverage_mean: Arc<Gauge>,
+}
+
+impl TenantMetrics {
+    fn new() -> Self {
+        let registry = MetricsRegistry::new();
+        registry.set_help("dx_seeds_total", "Seed steps absorbed for this tenant.");
+        registry.set_help("dx_diffs_total", "Difference-inducing inputs absorbed.");
+        registry.set_help("dx_leases_total", "Leases granted to workers.");
+        registry.set_help("dx_requeue_depth", "Seeds waiting in the requeue.");
+        registry.set_help("dx_corpus_size", "Corpus entries.");
+        registry.set_help("dx_coverage_mean", "Mean global coverage across models.");
+        Self {
+            steps: registry.counter("dx_seeds_total", &[]),
+            diffs: registry.counter("dx_diffs_total", &[]),
+            leases: registry.counter("dx_leases_total", &[]),
+            requeue_depth: registry.gauge("dx_requeue_depth", &[]),
+            corpus_size: registry.gauge("dx_corpus_size", &[]),
+            coverage_mean: registry.gauge("dx_coverage_mean", &[]),
+            registry,
+        }
+    }
+}
+
+/// One tenant's full in-memory state; see the module docs.
+pub struct Tenant {
+    pub(crate) id: u64,
+    pub(crate) spec: CampaignSpec,
+    pub(crate) status: Status,
+    pub(crate) corpus: Corpus,
+    pub(crate) global: Vec<CoverageSignal>,
+    pub(crate) diffs: Vec<FoundDiff>,
+    pub(crate) epochs: Vec<EpochStats>,
+    pub(crate) round: RoundAccum,
+    pub(crate) round_started: Instant,
+    pub(crate) steps_done: usize,
+    /// Requeued seed ids (expired/abandoned leases), served before fresh
+    /// scheduling.
+    pub(crate) pending: VecDeque<usize>,
+    pub(crate) sched_rng: rng::Rng,
+    /// Worker generator RNG streams, keyed by authenticated worker
+    /// identity — a worker keeps its per-tenant stream across reconnects
+    /// even if it lands on a different fleet slot.
+    pub(crate) worker_rng: BTreeMap<String, [u64; 4]>,
+    /// Stride-scheduling virtual time: grows by `granted / weight` on
+    /// every grant; the runnable tenant with the smallest pass goes next.
+    pub(crate) pass: f64,
+    /// Jobs currently out on this tenant's leases.
+    pub(crate) outstanding: usize,
+    /// The JSONL event feed, in memory; persisted whole at checkpoints.
+    pub(crate) events: Vec<String>,
+    pub(crate) metrics: TenantMetrics,
+    /// Monotonic checkpoint snapshot counter (see the daemon's writer).
+    pub(crate) ckpt_seq: u64,
+}
+
+impl Tenant {
+    /// A fresh tenant over `inputs` (one tensor per seed row).
+    pub(crate) fn new(
+        id: u64,
+        spec: CampaignSpec,
+        inputs: Vec<Tensor>,
+        template: &[CoverageSignal],
+        max_corpus: usize,
+        energy: EnergyModel,
+    ) -> Self {
+        let corpus = Corpus::new(inputs, max_corpus).with_energy_model(energy);
+        let sched_rng = rng::rng(rng::derive_seed(spec.seed, 0xd157));
+        let metrics = TenantMetrics::new();
+        metrics.corpus_size.set(corpus.len() as f64);
+        Self {
+            id,
+            spec,
+            status: Status::Running,
+            corpus,
+            global: template.to_vec(),
+            diffs: Vec::new(),
+            epochs: Vec::new(),
+            round: RoundAccum::default(),
+            round_started: Instant::now(),
+            steps_done: 0,
+            pending: VecDeque::new(),
+            sched_rng,
+            worker_rng: BTreeMap::new(),
+            pass: 0.0,
+            outstanding: 0,
+            events: Vec::new(),
+            metrics,
+            ckpt_seq: 0,
+        }
+    }
+
+    /// Restores a tenant from its directory: `tenant.json` + the campaign
+    /// checkpoint + the event feed. The tenant id is re-read from
+    /// `tenant.json`, not the directory name.
+    ///
+    /// # Errors
+    ///
+    /// Missing or malformed files.
+    pub(crate) fn load(
+        dir: &Path,
+        template: &[CoverageSignal],
+        max_corpus: usize,
+        energy: EnergyModel,
+    ) -> io::Result<Self> {
+        let doc = parse_doc(&std::fs::read_to_string(dir.join("tenant.json"))?)?;
+        let id = doc
+            .get("id")
+            .and_then(u64_from_json)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "tenant.json id"))?;
+        let status = doc
+            .get("status")
+            .and_then(Json::as_str)
+            .and_then(Status::parse)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "tenant.json status"))?;
+        let spec = CampaignSpec::from_json(
+            doc.get("spec")
+                .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "tenant.json spec"))?,
+        )
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        let state = checkpoint::load(dir)?;
+        let corpus = Corpus::from_entries(state.corpus, max_corpus).with_energy_model(energy);
+        let mut global = template.to_vec();
+        let masks_fit = state.coverage.as_ref().is_some_and(|masks| {
+            masks.len() == global.len()
+                && masks.iter().zip(global.iter()).all(|(m, g)| m.len() == g.total())
+        });
+        if masks_fit {
+            for (g, mask) in global.iter_mut().zip(state.coverage.as_ref().expect("checked")) {
+                g.set_covered_mask(mask);
+            }
+        }
+        let pending: VecDeque<usize> = doc
+            .get("pending")
+            .and_then(Json::as_arr)
+            .map(|xs| {
+                xs.iter()
+                    .filter_map(Json::as_usize)
+                    .filter(|&sid| corpus.get(sid).is_some())
+                    .collect()
+            })
+            .unwrap_or_default();
+        let mut worker_rng = BTreeMap::new();
+        if let Some(entries) = doc.get("worker_rng").and_then(Json::as_arr) {
+            for e in entries {
+                let wid = e.get("worker_id").and_then(Json::as_str).ok_or_else(|| {
+                    io::Error::new(io::ErrorKind::InvalidData, "tenant.json worker_id")
+                })?;
+                let rng_state = rng_state_from_json(e.get("state").ok_or_else(|| {
+                    io::Error::new(io::ErrorKind::InvalidData, "tenant.json worker state")
+                })?)?;
+                worker_rng.insert(wid.to_string(), rng_state);
+            }
+        }
+        let events: Vec<String> = std::fs::read_to_string(dir.join("events.jsonl"))
+            .map(|t| t.lines().map(str::to_string).collect())
+            .unwrap_or_default();
+        let steps_done = field_usize(&doc, "steps_done")?;
+        // Not persisted (the coordinator's precedent): a restart
+        // re-derives the stream; scheduling stays well-distributed, just
+        // not replay-identical.
+        let sched_rng = rng::rng(rng::derive_seed(spec.seed, 0xd157));
+        let metrics = TenantMetrics::new();
+        // The feed and the counters describe the same history; resuming
+        // tops the fresh registry up so `/metrics` never moves backwards
+        // across a daemon restart.
+        metrics.steps.inc_by(steps_done as u64);
+        metrics.diffs.inc_by(state.diffs.len() as u64);
+        metrics.requeue_depth.set(pending.len() as f64);
+        metrics.corpus_size.set(corpus.len() as f64);
+        metrics.coverage_mean.set(f64::from(mean_coverage(&global)));
+        Ok(Self {
+            id,
+            spec,
+            status,
+            corpus,
+            global,
+            diffs: state.diffs,
+            epochs: state.epochs,
+            round: RoundAccum::default(),
+            round_started: Instant::now(),
+            steps_done,
+            pending,
+            sched_rng,
+            worker_rng,
+            pass: 0.0,
+            outstanding: 0,
+            events,
+            metrics,
+            ckpt_seq: 0,
+        })
+    }
+
+    /// Appends a JSONL event (`{"event":...,"steps":...,...}`) to the
+    /// in-memory feed; persistence rides the next checkpoint write.
+    pub(crate) fn event(&mut self, kind: &str, extra: Vec<(&str, Json)>) {
+        let mut fields = vec![
+            ("event", build::str(kind)),
+            ("seq", build::int(self.events.len())),
+            ("steps", build::int(self.steps_done)),
+            ("coverage", build::num(f64::from(mean_coverage(&self.global)))),
+        ];
+        fields.extend(extra);
+        self.events.push(build::obj(fields).to_string());
+    }
+
+    /// Mean global coverage across models.
+    pub(crate) fn mean_coverage(&self) -> f32 {
+        mean_coverage(&self.global)
+    }
+
+    /// The tenant's public status document.
+    pub(crate) fn status_json(&self) -> Json {
+        build::obj(vec![
+            // Ids are small counters; a plain number is kinder to curl
+            // and jq than the string form big u64s need.
+            ("id", build::int(usize::try_from(self.id).expect("tenant ids are small"))),
+            ("name", build::str(&self.spec.name)),
+            ("status", build::str(self.status.as_str())),
+            ("steps_done", build::int(self.steps_done)),
+            ("diffs", build::int(self.diffs.len())),
+            ("mean_coverage", build::num(f64::from(self.mean_coverage()))),
+            ("corpus", build::int(self.corpus.len())),
+            ("epochs", build::int(self.epochs.len())),
+            ("outstanding", build::int(self.outstanding)),
+            ("pending", build::int(self.pending.len())),
+            ("spec", self.spec.to_json()),
+        ])
+    }
+
+    /// The `tenant.json` document.
+    pub(crate) fn doc(&self, pending: &[usize]) -> Json {
+        let worker_rng = Json::Arr(
+            self.worker_rng
+                .iter()
+                .map(|(wid, st)| {
+                    build::obj(vec![("worker_id", build::str(wid)), ("state", rng_state_json(st))])
+                })
+                .collect(),
+        );
+        build::obj(vec![
+            ("version", build::int(1)),
+            ("id", u64_json(self.id)),
+            ("status", build::str(self.status.as_str())),
+            ("steps_done", build::int(self.steps_done)),
+            ("pending", build::ints(pending)),
+            ("spec", self.spec.to_json()),
+            ("worker_rng", worker_rng),
+        ])
+    }
+
+    /// Snapshots everything the tenant's checkpoint writer needs — cheap
+    /// clones under the service lock; serialization happens outside it.
+    pub(crate) fn snapshot(&mut self, leased: Vec<usize>) -> TenantCkpt {
+        self.ckpt_seq += 1;
+        let mut pending: Vec<usize> = self.pending.iter().copied().collect();
+        pending.extend(leased);
+        let workers = self.worker_rng.len().max(1);
+        TenantCkpt {
+            tenant: self.id,
+            seq: self.ckpt_seq,
+            corpus: self.corpus.clone(),
+            report: CampaignReport { epochs: self.epochs.clone(), workers },
+            diffs: self.diffs.clone(),
+            masks: self.global.iter().map(CoverageSignal::covered_mask).collect(),
+            signal: SignalCheckpoint::of(&self.global),
+            meta: Meta {
+                epochs_done: self.epochs.len(),
+                campaign_seed: self.spec.seed,
+                workers,
+                // Streams are keyed by identity in tenant.json, not by
+                // the in-process worker index.
+                worker_rng: Vec::new(),
+            },
+            doc: self.doc(&pending),
+            events: self.events.join("\n") + "\n",
+        }
+    }
+}
+
+/// A tenant checkpoint snapshot, written outside the service lock.
+pub(crate) struct TenantCkpt {
+    pub tenant: u64,
+    pub seq: u64,
+    pub corpus: Corpus,
+    pub report: CampaignReport,
+    pub diffs: Vec<FoundDiff>,
+    pub masks: Vec<Vec<bool>>,
+    pub signal: SignalCheckpoint,
+    pub meta: Meta,
+    pub doc: Json,
+    pub events: String,
+}
+
+pub(crate) fn mean_coverage(global: &[CoverageSignal]) -> f32 {
+    if global.is_empty() {
+        return 0.0;
+    }
+    global.iter().map(CoverageSignal::coverage).sum::<f32>() / global.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_machine_names_round_trip() {
+        for s in [Status::Running, Status::Paused, Status::Done, Status::Cancelled] {
+            assert_eq!(Status::parse(s.as_str()), Some(s));
+        }
+        assert_eq!(Status::parse("zombie"), None);
+        assert!(Status::Done.is_terminal() && Status::Cancelled.is_terminal());
+        assert!(!Status::Running.is_terminal() && !Status::Paused.is_terminal());
+    }
+}

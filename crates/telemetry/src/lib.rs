@@ -284,6 +284,16 @@ impl MetricsRegistry {
     /// values, and cumulative histogram buckets ending in `+Inf` plus
     /// `_sum` / `_count` series.
     pub fn render_prometheus(&self) -> String {
+        self.render_prometheus_labeled(&[])
+    }
+
+    /// Like [`render_prometheus`](Self::render_prometheus), but injects
+    /// `extra` as constant labels at the front of every series' label
+    /// block — how a per-tenant registry surfaces `tenant="..."` on the
+    /// daemon's shared `/metrics` endpoint without every call site
+    /// threading the tenant name through.
+    pub fn render_prometheus_labeled(&self, extra: &[(&str, &str)]) -> String {
+        let extra: Labels = extra.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect();
         let families = self.inner.families.lock().unwrap_or_else(|e| e.into_inner());
         let helps = self.inner.helps.lock().unwrap_or_else(|e| e.into_inner());
         let mut out = String::new();
@@ -293,6 +303,9 @@ impl MetricsRegistry {
             }
             let _ = writeln!(out, "# TYPE {name} {}", family.kind.name());
             for (labels, series) in &family.series {
+                let mut merged = extra.clone();
+                merged.extend(labels.iter().cloned());
+                let labels = &merged;
                 match series {
                     Series::Counter(c) => {
                         let _ = writeln!(out, "{name}{} {}", label_block(labels, None), c.get());
@@ -307,6 +320,26 @@ impl MetricsRegistry {
         }
         out
     }
+}
+
+/// Concatenates several rendered expositions into one legal document by
+/// dropping repeated `# HELP` / `# TYPE` header lines (the text format
+/// allows each at most once per metric name). Used by the service
+/// daemon to serve the global registry plus one registry per tenant
+/// from a single `/metrics` endpoint.
+pub fn merge_renders(parts: &[String]) -> String {
+    let mut seen = std::collections::BTreeSet::new();
+    let mut out = String::new();
+    for part in parts {
+        for line in part.lines() {
+            if line.starts_with("# ") && !seen.insert(line.to_string()) {
+                continue;
+            }
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    out
 }
 
 fn render_histogram(out: &mut String, name: &str, labels: &Labels, h: &Histogram) {
@@ -467,6 +500,40 @@ mod tests {
         assert!(text.contains("# HELP dx_seeds_total Seeds processed\\nacross all workers\n"));
         assert!(text.contains("# TYPE dx_seeds_total counter\n"));
         assert!(text.contains("dx_seeds_total 1\n"));
+    }
+
+    #[test]
+    fn labeled_render_injects_constant_labels() {
+        let reg = MetricsRegistry::new();
+        reg.counter("dx_seeds_total", &[]).inc_by(7);
+        reg.counter("dx_new_units_total", &[("component", "neuron")]).inc_by(3);
+        reg.histogram("dx_t", &[], &[1.0]).observe(0.5);
+        let text = reg.render_prometheus_labeled(&[("tenant", "acme")]);
+        assert!(text.contains("dx_seeds_total{tenant=\"acme\"} 7\n"), "{text}");
+        assert!(
+            text.contains("dx_new_units_total{tenant=\"acme\",component=\"neuron\"} 3\n"),
+            "{text}"
+        );
+        assert!(text.contains("dx_t_bucket{tenant=\"acme\",le=\"1\"} 1\n"), "{text}");
+        assert!(text.contains("dx_t_count{tenant=\"acme\"} 1\n"), "{text}");
+    }
+
+    #[test]
+    fn merge_renders_dedupes_headers() {
+        let a = MetricsRegistry::new();
+        let b = MetricsRegistry::new();
+        for reg in [&a, &b] {
+            reg.counter("dx_seeds_total", &[]).inc();
+            reg.set_help("dx_seeds_total", "Seeds processed");
+        }
+        let merged = merge_renders(&[
+            a.render_prometheus_labeled(&[("tenant", "a")]),
+            b.render_prometheus_labeled(&[("tenant", "b")]),
+        ]);
+        assert_eq!(merged.matches("# TYPE dx_seeds_total counter").count(), 1, "{merged}");
+        assert_eq!(merged.matches("# HELP dx_seeds_total").count(), 1, "{merged}");
+        assert!(merged.contains("dx_seeds_total{tenant=\"a\"} 1\n"), "{merged}");
+        assert!(merged.contains("dx_seeds_total{tenant=\"b\"} 1\n"), "{merged}");
     }
 
     #[test]

@@ -193,11 +193,18 @@ fn lease_holder_child() {
     };
     let (suite, _) = synthetic_suite();
     let fingerprint = dx_dist::suite_fingerprint(&suite, DEATH_LABEL);
+    let worker_id = format!("lease-holder-{}", std::process::id());
     let mut stream = std::net::TcpStream::connect(addr).unwrap();
-    let mut reply =
-        exchange(&mut stream, &Msg::Hello { version: dx_dist::PROTOCOL_VERSION, fingerprint });
+    let mut reply = exchange(
+        &mut stream,
+        &Msg::Hello {
+            version: dx_dist::PROTOCOL_VERSION,
+            fingerprint,
+            worker_id: worker_id.clone(),
+        },
+    );
     if let Msg::Challenge { nonce } = &reply {
-        let proof = dx_dist::auth::proof(DEATH_TOKEN, nonce);
+        let proof = dx_dist::auth::proof(DEATH_TOKEN, nonce, &worker_id);
         reply = exchange(&mut stream, &Msg::AuthProof { proof });
     }
     let Msg::Welcome { slot, .. } = reply else { panic!("child not welcomed: {reply:?}") };
