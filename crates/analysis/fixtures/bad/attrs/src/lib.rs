@@ -1,0 +1,3 @@
+//! A crate root with no `#![forbid(unsafe_code)]`.
+
+pub fn noop() {}

@@ -1,0 +1,24 @@
+//! Seeded checkpoint-schema violations: `save` writes a key `load`
+//! never reads, and `load` reads a key `save` never writes.
+
+use crate::json::{build, field_usize, Json};
+
+pub struct State {
+    pub epochs: usize,
+    pub budget: usize,
+}
+
+pub fn save(state: &State) -> Json {
+    build::obj(vec![
+        ("version", build::int(1)),
+        ("epochs", build::int(state.epochs)),
+        ("orphan_key", build::int(7)),
+    ])
+}
+
+pub fn load(doc: &Json) -> State {
+    State {
+        epochs: field_usize(doc, "epochs"),
+        budget: doc.get("ghost_key").map_or(0, Json::as_usize),
+    }
+}

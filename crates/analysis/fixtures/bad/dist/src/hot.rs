@@ -1,0 +1,29 @@
+//! Seeded panic-path and allow-hygiene violations on a hot-plane group.
+
+/// Every panic flavor the lint covers.
+pub fn handle(results: Option<Vec<u32>>, slots: &[u32], id: usize) -> u32 {
+    let rs = results.unwrap();
+    let first = rs.first().copied().expect("results are never empty");
+    if id > slots.len() {
+        panic!("slot out of range");
+    }
+    first + slots[id]
+}
+
+/// A stale allow: the line below it panics nowhere.
+pub fn quiet() -> u32 {
+    // analysis: allow(panic): left over from a removed unwrap
+    7
+}
+
+/// An allow with no justification does not suppress its finding.
+pub fn unjustified(v: Option<u32>) -> u32 {
+    // analysis: allow(panic)
+    v.unwrap()
+}
+
+/// An allow naming a check that does not exist.
+pub fn misspelled() -> u32 {
+    // analysis: allow(panics): the check id is `panic`, not `panics`
+    11
+}

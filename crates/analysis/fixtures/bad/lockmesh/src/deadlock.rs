@@ -1,0 +1,41 @@
+//! Seeded lock-order violations: a two-lock cycle and a reentrant
+//! acquisition. Never compiled — lexed by the fixture-regression test.
+
+use std::sync::Mutex;
+
+pub struct Mesh {
+    corpus: Mutex<Vec<u32>>,
+    stats: Mutex<u32>,
+    journal: Mutex<String>,
+}
+
+impl Mesh {
+    /// Takes `corpus` then `stats` — one half of the cycle.
+    pub fn absorb(&self) {
+        let corpus = &self.corpus;
+        let stats = &self.stats;
+        let c = corpus.lock().unwrap();
+        let s = stats.lock().unwrap();
+        drop(s);
+        drop(c);
+    }
+
+    /// Takes `stats` then `corpus` — the opposite order.
+    pub fn report(&self) {
+        let corpus = &self.corpus;
+        let stats = &self.stats;
+        let s = stats.lock().unwrap();
+        let c = corpus.lock().unwrap();
+        drop(c);
+        drop(s);
+    }
+
+    /// Re-acquires `journal` while already holding it.
+    pub fn append_twice(&self) {
+        let journal = &self.journal;
+        let first = journal.lock().unwrap();
+        let second = journal.lock().unwrap();
+        drop(second);
+        drop(first);
+    }
+}

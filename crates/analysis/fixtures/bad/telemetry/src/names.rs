@@ -1,0 +1,7 @@
+//! Seeded catalog violations: a duplicate entry, an illegal name, and
+//! a dead entry nothing registers.
+
+pub const SEEDS_TOTAL: &str = "dx_seeds_total";
+pub const SEEDS_TOTAL_AGAIN: &str = "dx_seeds_total";
+pub const BAD_CASE: &str = "dx_BadName";
+pub const DEAD: &str = "dx_dead_metric";

@@ -1,0 +1,10 @@
+//! Seeded registration violations: a metric the catalog does not know
+//! and an event with an illegal component name.
+
+use crate::{events, Registry};
+
+pub fn register(r: &Registry) {
+    let _ = r.counter("dx_seeds_total", &[]);
+    let _ = r.counter("dx_rogue_total", &[]);
+    events::emit(events::Level::Info, "Fleet-Manager", "worker_joined", &[]);
+}

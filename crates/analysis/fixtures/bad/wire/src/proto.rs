@@ -1,0 +1,51 @@
+//! Seeded protocol-drift violations: a `Msg` variant with no decode
+//! arm and a `Fingerprint` field the reader lost.
+
+pub const PROTOCOL_VERSION: u32 = 9;
+
+pub enum Msg {
+    Hello,
+    Results,
+    Shutdown,
+}
+
+pub struct Fingerprint {
+    pub models: String,
+    pub seed: u64,
+}
+
+impl Msg {
+    pub fn to_json(&self) -> String {
+        match self {
+            Msg::Hello => "{\"t\":\"hello\"}".to_string(),
+            Msg::Results => "{\"t\":\"results\"}".to_string(),
+            Msg::Shutdown => "{\"t\":\"shutdown\"}".to_string(),
+        }
+    }
+
+    pub fn from_json(text: &str) -> Option<Self> {
+        match text {
+            "hello" => Some(Msg::Hello),
+            "results" => Some(Msg::Results),
+            _ => None,
+        }
+    }
+}
+
+impl Fingerprint {
+    pub fn to_json(&self) -> String {
+        obj(&[("models", self.models.clone()), ("seed", self.seed.to_string())])
+    }
+
+    pub fn from_json(doc: &str) -> Self {
+        Self { models: field(doc, "models"), seed: 0 }
+    }
+}
+
+fn obj(_pairs: &[(&str, String)]) -> String {
+    String::new()
+}
+
+fn field(_doc: &str, _key: &str) -> String {
+    String::new()
+}

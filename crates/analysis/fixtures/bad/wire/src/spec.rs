@@ -1,0 +1,24 @@
+//! Seeded spec-drift violations: a second `PROTOCOL_VERSION`, a
+//! shadowed fingerprint field `validate` forgot, and a reference to a
+//! fingerprint field that no longer exists.
+
+use crate::proto::Fingerprint;
+
+pub const PROTOCOL_VERSION: u32 = 9;
+
+pub struct CampaignSpec {
+    pub models: String,
+    pub seed: u64,
+}
+
+impl CampaignSpec {
+    pub fn validate(&self, fp: &Fingerprint) -> Result<(), String> {
+        if self.models != fp.models {
+            return Err("model zoo mismatch".to_string());
+        }
+        if fp.arch.is_empty() {
+            return Err("no architecture".to_string());
+        }
+        Ok(())
+    }
+}

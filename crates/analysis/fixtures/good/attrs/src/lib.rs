@@ -1,0 +1,5 @@
+//! A crate root carrying the required attribute.
+
+#![forbid(unsafe_code)]
+
+pub fn noop() {}

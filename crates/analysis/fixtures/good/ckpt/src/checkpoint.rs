@@ -1,0 +1,20 @@
+//! A symmetric codec: every key `save` writes, `load` reads.
+
+use crate::json::{build, field_usize, Json};
+
+pub struct State {
+    pub epochs: usize,
+    pub budget: usize,
+}
+
+pub fn save(state: &State) -> Json {
+    build::obj(vec![
+        ("version", build::int(1)),
+        ("epochs", build::int(state.epochs)),
+        ("budget", build::int(state.budget)),
+    ])
+}
+
+pub fn load(doc: &Json) -> State {
+    State { epochs: field_usize(doc, "epochs"), budget: field_usize(doc, "budget") }
+}

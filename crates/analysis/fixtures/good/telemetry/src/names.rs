@@ -1,0 +1,4 @@
+//! A healthy catalog: unique, snake_case, registered, documented.
+
+pub const SEEDS_TOTAL: &str = "dx_seeds_total";
+pub const CORPUS_SIZE: &str = "dx_corpus_size";

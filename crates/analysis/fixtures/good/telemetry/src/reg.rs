@@ -1,0 +1,9 @@
+//! Registrations that match the catalog, and a legal event name.
+
+use crate::{events, Registry};
+
+pub fn register(r: &Registry) {
+    let _ = r.counter("dx_seeds_total", &[]);
+    let _ = r.gauge("dx_corpus_size", &[]);
+    events::emit(events::Level::Info, "fleet_manager", "worker_joined", &[]);
+}

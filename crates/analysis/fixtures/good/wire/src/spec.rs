@@ -1,0 +1,21 @@
+//! A drift-free spec: every shadowed fingerprint field is validated,
+//! and only real fingerprint fields are referenced.
+
+use crate::proto::Fingerprint;
+
+pub struct CampaignSpec {
+    pub models: String,
+    pub seed: u64,
+}
+
+impl CampaignSpec {
+    pub fn validate(&self, fp: &Fingerprint) -> Result<(), String> {
+        if self.models != fp.models {
+            return Err("model zoo mismatch".to_string());
+        }
+        if self.seed != fp.seed {
+            return Err("seed mismatch".to_string());
+        }
+        Ok(())
+    }
+}

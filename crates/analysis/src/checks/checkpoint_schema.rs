@@ -1,0 +1,131 @@
+//! Checkpoint-schema parity check.
+//!
+//! Each versioned checkpoint codec is a writer function building JSON
+//! keys by hand and a reader function pulling the same keys back out —
+//! in different functions, sometimes hundreds of lines apart. This
+//! check extracts the key sets from both sides and fails on asymmetry:
+//! a key written but never read is dead weight (or a reader that lost a
+//! field), a key read but never written is a silent `None` on every
+//! resume. The `version` key is exempt — readers sniff it rather than
+//! require it, so old checkpoints still load.
+//!
+//! Covered codecs: `dist.json` (`DistState::doc`/`load` in
+//! `coordinator.rs`), `tenant.json` (`Tenant::doc`/`load` in
+//! `tenant.rs`), and `coverage.json`+`meta.json` (`save`/`load` in
+//! `campaign/src/checkpoint.rs`).
+
+use std::collections::BTreeMap;
+
+use super::{code_toks, fn_bodies, snake_legal};
+use crate::lexer::{Kind, Tok};
+use crate::{Check, Finding, Workspace};
+
+/// The checkpoint-schema parity check (`ckpt-schema`).
+pub struct CheckpointSchema;
+
+/// (label, file suffix, writer fn, reader fn)
+const CODECS: [(&str, &str, &str, &str); 3] = [
+    ("dist.json", "coordinator.rs", "doc", "load"),
+    ("tenant.json", "tenant.rs", "doc", "load"),
+    ("coverage.json", "checkpoint.rs", "save", "load"),
+];
+
+impl Check for CheckpointSchema {
+    fn id(&self) -> &'static str {
+        "ckpt-schema"
+    }
+
+    fn describe(&self) -> &'static str {
+        "writer/reader JSON key parity for the dist.json, tenant.json and coverage.json codecs"
+    }
+
+    fn run(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        for (label, file_suffix, writer, reader) in CODECS {
+            let Some(file) = ws.file_named(file_suffix) else { continue };
+            let toks = code_toks(file);
+            let bodies = fn_bodies(&toks);
+            let find = |name: &str| bodies.iter().find(|b| b.name == name && !file.in_test(b.line));
+            let (Some(w), Some(r)) = (find(writer), find(reader)) else { continue };
+            let written = written_keys(&toks[w.open..w.close]);
+            let read = read_keys(&toks[r.open..r.close]);
+            for (key, line) in &written {
+                if *key != "version" && !read.contains_key(key) {
+                    out.push(Finding {
+                        file: file.rel.clone(),
+                        line: *line,
+                        check: "ckpt-schema",
+                        message: format!(
+                            "{label}: key `{key}` is written by `{writer}` but never read \
+                             by `{reader}`"
+                        ),
+                        hint: "read it on resume or stop writing it".to_string(),
+                    });
+                }
+            }
+            for (key, line) in &read {
+                if !written.contains_key(key) {
+                    out.push(Finding {
+                        file: file.rel.clone(),
+                        line: *line,
+                        check: "ckpt-schema",
+                        message: format!(
+                            "{label}: key `{key}` is read by `{reader}` but never written \
+                             by `{writer}`"
+                        ),
+                        hint: "the field silently defaults on every resume".to_string(),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// JSON keys a writer emits: the string in `("key", …)` tuple position.
+/// Error strings never match — they are not snake_case or not directly
+/// after `(` with a `,` behind them.
+fn written_keys(toks: &[&Tok]) -> BTreeMap<String, usize> {
+    let mut keys = BTreeMap::new();
+    for i in 0..toks.len().saturating_sub(2) {
+        if toks[i].is_punct('(') && toks[i + 1].kind == Kind::Str && toks[i + 2].is_punct(',') {
+            if let Some(key) = toks[i + 1].str_value() {
+                if snake_legal(key) {
+                    keys.entry(key.to_string()).or_insert(toks[i + 1].line);
+                }
+            }
+        }
+    }
+    keys
+}
+
+/// JSON keys a reader consumes: the first string argument of `get(…)`
+/// or a `field_…(…, "key")` helper.
+fn read_keys(toks: &[&Tok]) -> BTreeMap<String, usize> {
+    let mut keys = BTreeMap::new();
+    for i in 0..toks.len().saturating_sub(1) {
+        let is_getter = toks[i].kind == Kind::Ident
+            && (toks[i].text == "get" || toks[i].text.starts_with("field_"))
+            && toks[i + 1].is_punct('(');
+        if !is_getter {
+            continue;
+        }
+        let mut depth = 0i32;
+        for t in &toks[i + 1..] {
+            if t.is_punct('(') {
+                depth += 1;
+            } else if t.is_punct(')') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if t.kind == Kind::Str && depth == 1 {
+                if let Some(key) = t.str_value() {
+                    if snake_legal(key) {
+                        keys.entry(key.to_string()).or_insert(t.line);
+                    }
+                }
+                break;
+            }
+        }
+    }
+    keys
+}

@@ -1,0 +1,74 @@
+//! Crate-attribute check: `#![forbid(unsafe_code)]` stays present.
+//!
+//! Every crate entry file (`src/lib.rs`, `src/main.rs`) must carry
+//! `#![forbid(unsafe_code)]`. A crate with a narrowly-scoped unsafe
+//! dependency (the dist plane's signal handler) may carry
+//! `#![deny(unsafe_code)]` instead — deniable locally with a visible
+//! `#[allow(unsafe_code)]`, which forbid would reject — but the
+//! attribute must still be there. The analysis crate itself must also
+//! carry `#![deny(missing_docs)]`: the check catalog is documentation.
+
+use super::code_toks;
+use crate::lexer::Tok;
+use crate::{Check, Finding, Workspace};
+
+/// The crate-attribute check (`crate-attrs`).
+pub struct CrateAttrs;
+
+impl Check for CrateAttrs {
+    fn id(&self) -> &'static str {
+        "crate-attrs"
+    }
+
+    fn describe(&self) -> &'static str {
+        "#![forbid(unsafe_code)] on every crate root (and #![deny(missing_docs)] on dx-analysis)"
+    }
+
+    fn run(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        for file in &ws.files {
+            let entry = file.rel.ends_with("/src/lib.rs") || file.rel.ends_with("/src/main.rs");
+            if !entry {
+                continue;
+            }
+            let toks = code_toks(file);
+            let forbid = has_inner_attr(&toks, "forbid", "unsafe_code");
+            let deny = has_inner_attr(&toks, "deny", "unsafe_code");
+            if !forbid && !deny {
+                out.push(Finding {
+                    file: file.rel.clone(),
+                    line: 1,
+                    check: "crate-attrs",
+                    message: "crate root lacks `#![forbid(unsafe_code)]`".to_string(),
+                    hint: "add the attribute (or `#![deny(unsafe_code)]` if the crate has a \
+                           justified unsafe block)"
+                        .to_string(),
+                });
+            }
+            if file.group == "analysis"
+                && file.rel.ends_with("/src/lib.rs")
+                && !has_inner_attr(&toks, "deny", "missing_docs")
+            {
+                out.push(Finding {
+                    file: file.rel.clone(),
+                    line: 1,
+                    check: "crate-attrs",
+                    message: "dx-analysis must carry `#![deny(missing_docs)]`".to_string(),
+                    hint: "the check catalog is documentation; keep it enforced".to_string(),
+                });
+            }
+        }
+    }
+}
+
+/// Whether the token stream contains `#![level(lint)]`.
+fn has_inner_attr(toks: &[&Tok], level: &str, lint: &str) -> bool {
+    toks.windows(7).any(|w| {
+        w[0].is_punct('#')
+            && w[1].is_punct('!')
+            && w[2].is_punct('[')
+            && w[3].is_ident(level)
+            && w[4].is_punct('(')
+            && w[5].is_ident(lint)
+            && w[6].is_punct(')')
+    })
+}

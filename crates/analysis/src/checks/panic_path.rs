@@ -1,0 +1,126 @@
+//! Panic-path lint for fleet hot loops.
+//!
+//! A panic in `crates/{tensor,campaign,dist,service}` does not just
+//! kill a test — it poisons the coordinator or service state mutex and
+//! tears down a fleet, and on the dist/service planes some panics are
+//! reachable from worker-supplied wire data. This check flags
+//! `unwrap()`, `expect("…")`, `panic!`-family macros, and (on the
+//! dist/service planes only) slice/map indexing in non-test code.
+//!
+//! `assert!`/`debug_assert!` are deliberately not flagged: they state
+//! contracts. Indexing is scoped to `dist` and `service` because the
+//! tensor/campaign kernels are saturated with loop-bounded slice math
+//! where an index panic is a local bug, not a remotely-reachable fleet
+//! hazard. Sound-but-unprovable sites take a
+//! `// analysis: allow(panic): why` comment.
+
+use super::code_toks;
+use crate::lexer::Kind;
+use crate::{Check, Finding, Workspace};
+
+/// The panic-path lint (`panic`).
+pub struct PanicPath;
+
+/// Groups in scope for unwrap/expect/panic!.
+const HOT_GROUPS: [&str; 4] = ["tensor", "campaign", "dist", "service"];
+/// Groups additionally in scope for the indexing rule.
+const INDEX_GROUPS: [&str; 2] = ["dist", "service"];
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+impl Check for PanicPath {
+    fn id(&self) -> &'static str {
+        "panic"
+    }
+
+    fn describe(&self) -> &'static str {
+        "unwrap/expect/panic!/indexing on the tensor, campaign, dist and service hot paths"
+    }
+
+    fn run(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        for file in &ws.files {
+            if !HOT_GROUPS.contains(&file.group.as_str()) || file.is_test_target() {
+                continue;
+            }
+            let index_rule = INDEX_GROUPS.contains(&file.group.as_str());
+            let toks = code_toks(file);
+            for (i, t) in toks.iter().enumerate() {
+                if file.in_test(t.line) {
+                    continue;
+                }
+                let mut report = |line: usize, what: String, hint: &str| {
+                    out.push(Finding {
+                        file: file.rel.clone(),
+                        line,
+                        check: "panic",
+                        message: what,
+                        hint: hint.to_string(),
+                    });
+                };
+                if t.is_punct('.') && i + 3 < toks.len() {
+                    let (m, a1, a2) = (&toks[i + 1], &toks[i + 2], &toks[i + 3]);
+                    if m.is_ident("unwrap") && a1.is_punct('(') && a2.is_punct(')') {
+                        report(
+                            m.line,
+                            "`.unwrap()` on a hot path".to_string(),
+                            "propagate the error, use a fallback, or justify with \
+                             `// analysis: allow(panic): …`",
+                        );
+                    } else if m.is_ident("expect") && a1.is_punct('(') && a2.kind == Kind::Str {
+                        report(
+                            m.line,
+                            format!("`.expect({})` on a hot path", a2.text),
+                            "restructure with let-else / unwrap_or_else, or justify with \
+                             `// analysis: allow(panic): …`",
+                        );
+                    }
+                } else if t.kind == Kind::Ident
+                    && PANIC_MACROS.contains(&t.text.as_str())
+                    && toks.get(i + 1).is_some_and(|n| n.is_punct('!'))
+                {
+                    report(
+                        t.line,
+                        format!("`{}!` on a hot path", t.text),
+                        "return an error instead of panicking",
+                    );
+                } else if index_rule && t.is_punct('[') && i > 0 {
+                    let prev = &toks[i - 1];
+                    // A keyword before `[` means a pattern or type
+                    // position (`let [a, b] = …`), not an indexing
+                    // expression.
+                    let keyword = prev.kind == Kind::Ident
+                        && matches!(
+                            prev.text.as_str(),
+                            "let"
+                                | "mut"
+                                | "in"
+                                | "return"
+                                | "if"
+                                | "else"
+                                | "match"
+                                | "ref"
+                                | "move"
+                                | "as"
+                                | "break"
+                                | "const"
+                                | "static"
+                        );
+                    let indexable = prev.kind == Kind::Ident && !keyword
+                        || prev.is_punct(')')
+                        || prev.is_punct(']');
+                    // `for x in arr[..]`-style expression positions only:
+                    // types (`: [u8; 4]`), attributes (`#[…]`), array
+                    // literals (`= […]`) and macros (`vec![…]`) have a
+                    // non-expression token before the bracket.
+                    if indexable {
+                        report(
+                            t.line,
+                            "slice/map indexing on the dist/service plane can panic".to_string(),
+                            "use .get()/.get_mut() with a graceful miss, or justify with \
+                             `// analysis: allow(panic): …`",
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Protocol-drift check: `proto.rs` vs itself and vs `service/spec.rs`.
+//!
+//! The wire protocol is string-typed by design (dependency-free JSON),
+//! which means rustc cannot see when a `Msg` variant is added without a
+//! parse arm, a `Fingerprint` field stops being serialized, or the
+//! service spec keeps "validating" a fingerprint field that no longer
+//! exists. This check cross-references:
+//!
+//! 1. `PROTOCOL_VERSION` — declared exactly once, in `proto.rs`.
+//! 2. every `Msg` variant appears in both `Msg::to_json` and
+//!    `Msg::from_json`;
+//! 3. every `Fingerprint` struct field is written by
+//!    `Fingerprint::to_json` and read by `Fingerprint::from_json` as a
+//!    JSON key;
+//! 4. every `CampaignSpec` field that shadows a `Fingerprint` field is
+//!    actually compared against `fp.<field>` in `CampaignSpec::validate`,
+//!    and `validate` never references a fingerprint field that is gone.
+
+use super::{code_toks, contains_ident, fn_bodies, impl_span, struct_fields};
+use crate::lexer::Kind;
+use crate::{Check, Finding, SourceFile, Workspace};
+
+/// The protocol-drift check (`proto-drift`).
+pub struct ProtocolDrift;
+
+impl Check for ProtocolDrift {
+    fn id(&self) -> &'static str {
+        "proto-drift"
+    }
+
+    fn describe(&self) -> &'static str {
+        "PROTOCOL_VERSION, Msg variants and Fingerprint fields vs their codecs and spec.rs"
+    }
+
+    fn run(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        let proto = ws.file_named("proto.rs");
+        let spec = ws.file_named("spec.rs");
+        // One PROTOCOL_VERSION, and it lives in proto.rs.
+        let mut decls = Vec::new();
+        for f in &ws.files {
+            let toks = code_toks(f);
+            for (i, t) in toks.iter().enumerate() {
+                if t.is_ident("const")
+                    && toks.get(i + 1).is_some_and(|n| n.is_ident("PROTOCOL_VERSION"))
+                {
+                    decls.push((f.rel.clone(), t.line));
+                }
+            }
+        }
+        if let Some(proto) = proto {
+            if decls.is_empty() {
+                out.push(Finding {
+                    file: proto.rel.clone(),
+                    line: 1,
+                    check: "proto-drift",
+                    message: "no `const PROTOCOL_VERSION` declared".to_string(),
+                    hint: "declare the wire version once in proto.rs".to_string(),
+                });
+            }
+            for (file, line) in decls.iter().filter(|(f, _)| f != &proto.rel) {
+                out.push(Finding {
+                    file: file.clone(),
+                    line: *line,
+                    check: "proto-drift",
+                    message: "`PROTOCOL_VERSION` declared outside proto.rs".to_string(),
+                    hint: "proto.rs is the single source of truth for the wire version".to_string(),
+                });
+            }
+            if decls.iter().filter(|(f, _)| f == &proto.rel).count() > 1 {
+                out.push(Finding {
+                    file: proto.rel.clone(),
+                    line: decls[0].1,
+                    check: "proto-drift",
+                    message: "`PROTOCOL_VERSION` declared more than once".to_string(),
+                    hint: "keep a single declaration".to_string(),
+                });
+            }
+            self.check_msg(proto, out);
+            self.check_fingerprint(proto, spec, out);
+        }
+    }
+}
+
+impl ProtocolDrift {
+    fn check_msg(&self, proto: &SourceFile, out: &mut Vec<Finding>) {
+        let toks = code_toks(proto);
+        let variants = enum_variants(&toks, "Msg");
+        let Some((open, close)) = impl_span(&toks, "Msg") else { return };
+        let bodies = fn_bodies(&toks[open..close]);
+        let to_json = bodies.iter().find(|b| b.name == "to_json");
+        let from_json = bodies.iter().find(|b| b.name == "from_json");
+        for (name, line) in &variants {
+            for (dir, body) in [("to_json", to_json), ("from_json", from_json)] {
+                let present =
+                    body.is_some_and(|b| contains_ident(&toks[open..close], b.open..b.close, name));
+                if !present {
+                    out.push(Finding {
+                        file: proto.rel.clone(),
+                        line: *line,
+                        check: "proto-drift",
+                        message: format!("`Msg::{name}` is missing from `{dir}`"),
+                        hint: format!("add a `{dir}` arm for the variant or delete it"),
+                    });
+                }
+            }
+        }
+    }
+
+    fn check_fingerprint(
+        &self,
+        proto: &SourceFile,
+        spec: Option<&SourceFile>,
+        out: &mut Vec<Finding>,
+    ) {
+        let toks = code_toks(proto);
+        let fields = struct_fields(&toks, "Fingerprint");
+        if let Some((open, close)) = impl_span(&toks, "Fingerprint") {
+            let bodies = fn_bodies(&toks[open..close]);
+            for dir in ["to_json", "from_json"] {
+                let Some(body) = bodies.iter().find(|b| b.name == dir) else { continue };
+                for field in &fields {
+                    let present = toks[open..close][body.open..body.close]
+                        .iter()
+                        .any(|t| t.str_value() == Some(field));
+                    if !present {
+                        out.push(Finding {
+                            file: proto.rel.clone(),
+                            line: proto
+                                .toks
+                                .iter()
+                                .find(|t| t.is_ident(field))
+                                .map_or(1, |t| t.line),
+                            check: "proto-drift",
+                            message: format!(
+                                "Fingerprint field `{field}` is not a JSON key in `{dir}`"
+                            ),
+                            hint: "serialize every fingerprint field or remove it".to_string(),
+                        });
+                    }
+                }
+            }
+        }
+        // spec.rs: shadowed fields must be validated; validated fields
+        // must still exist.
+        let Some(spec) = spec else { return };
+        let stoks = code_toks(spec);
+        let spec_fields = struct_fields(&stoks, "CampaignSpec");
+        let Some(validate) = fn_bodies(&stoks).into_iter().find(|b| b.name == "validate") else {
+            return;
+        };
+        for field in spec_fields.iter().filter(|f| fields.contains(f)) {
+            let compared = (validate.open..validate.close.saturating_sub(2)).any(|i| {
+                stoks[i].is_ident("fp")
+                    && stoks[i + 1].is_punct('.')
+                    && stoks[i + 2].is_ident(field)
+            });
+            if !compared {
+                out.push(Finding {
+                    file: spec.rel.clone(),
+                    line: validate.line,
+                    check: "proto-drift",
+                    message: format!(
+                        "CampaignSpec::validate no longer asserts `{field}` against the \
+                         fleet fingerprint"
+                    ),
+                    hint: format!("compare self.{field} with fp.{field} (mismatch is a 400)"),
+                });
+            }
+        }
+        for i in validate.open..validate.close.saturating_sub(2) {
+            if stoks[i].is_ident("fp")
+                && stoks[i + 1].is_punct('.')
+                && stoks[i + 2].kind == Kind::Ident
+                && !fields.contains(&stoks[i + 2].text)
+            {
+                out.push(Finding {
+                    file: spec.rel.clone(),
+                    line: stoks[i + 2].line,
+                    check: "proto-drift",
+                    message: format!(
+                        "validate references `fp.{}`, which is not a Fingerprint field",
+                        stoks[i + 2].text
+                    ),
+                    hint: "the fingerprint schema moved; update spec.rs".to_string(),
+                });
+            }
+        }
+    }
+}
+
+/// Variant names of `enum Name { … }` with their lines: idents at
+/// depth 1 that open a variant (preceded by `{`, `,` or `]` — the `]`
+/// closes a variant attribute).
+fn enum_variants(toks: &[&crate::lexer::Tok], name: &str) -> Vec<(String, usize)> {
+    let mut i = 0;
+    while i + 2 < toks.len() {
+        if toks[i].is_ident("enum") && toks[i + 1].is_ident(name) {
+            let mut j = i + 2;
+            while j < toks.len() && !toks[j].is_punct('{') {
+                j += 1;
+            }
+            let close = super::match_brace(toks, j);
+            let mut variants = Vec::new();
+            let mut depth = 0usize;
+            for k in j..close {
+                if toks[k].is_punct('{') || toks[k].is_punct('(') || toks[k].is_punct('[') {
+                    depth += 1;
+                } else if toks[k].is_punct('}') || toks[k].is_punct(')') || toks[k].is_punct(']') {
+                    depth = depth.saturating_sub(1);
+                } else if depth == 1 && toks[k].kind == Kind::Ident && k > j {
+                    let prev = &toks[k - 1];
+                    if prev.is_punct('{') || prev.is_punct(',') || prev.is_punct(']') {
+                        variants.push((toks[k].text.clone(), toks[k].line));
+                    }
+                }
+            }
+            return variants;
+        }
+        i += 1;
+    }
+    Vec::new()
+}

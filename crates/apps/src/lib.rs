@@ -10,6 +10,7 @@
 //!   error-inducing inputs back to their most structurally similar (SSIM)
 //!   training samples (the 95.6%-detection experiment).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod augment;

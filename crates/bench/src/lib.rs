@@ -10,6 +10,7 @@
 //! on a laptop CPU. Set `DX_SEEDS=<n>` to raise the seed count and
 //! `DX_SCALE=test` to run everything at smoke-test size.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::fs::File;

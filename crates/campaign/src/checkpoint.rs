@@ -325,6 +325,18 @@ pub fn load(dir: &Path) -> io::Result<CampaignState> {
             .map(rng_state_from_json)
             .collect::<io::Result<Vec<_>>>()?,
     };
+    // `workers` records the fleet width the checkpoint was written with.
+    // When per-worker RNG streams are present the two must agree, or the
+    // streams would be replayed against the wrong worker lanes.
+    if let Some(w) = meta.get("workers").filter(|v| !matches!(v, Json::Null)) {
+        let w = w.as_usize().ok_or_else(|| bad("meta.workers"))?;
+        if !worker_rng.is_empty() && w != worker_rng.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("meta.workers is {w} but worker_rng has {} entries", worker_rng.len()),
+            ));
+        }
+    }
     Ok(CampaignState {
         corpus,
         epochs,

@@ -374,9 +374,9 @@ impl Campaign {
             masks.len() == global.len()
                 && masks.iter().zip(global.iter()).all(|(m, g)| m.len() == g.total())
         });
-        if masks_fit {
+        if let Some(masks) = coverage.as_ref().filter(|_| masks_fit) {
             // The exact global union, persisted by the checkpoint.
-            for (g, mask) in global.iter_mut().zip(coverage.as_ref().expect("checked")) {
+            for (g, mask) in global.iter_mut().zip(masks) {
                 g.set_covered_mask(mask);
             }
         } else if epochs_done > 0 {
@@ -559,8 +559,8 @@ impl Campaign {
         let n_workers = self.workers.len();
         let mut assignments: Vec<Vec<(usize, Tensor)>> = vec![Vec::new(); n_workers];
         for (i, &id) in ids.iter().enumerate() {
-            let input = self.corpus.get(id).expect("scheduled id exists").input.clone();
-            assignments[i % n_workers].push((id, input));
+            let Some(entry) = self.corpus.get(id) else { continue };
+            assignments[i % n_workers].push((id, entry.input.clone()));
         }
         let covered_before = self.covered_units();
         let merge_every = self.config.merge_every.max(1);
@@ -580,7 +580,11 @@ impl Campaign {
                         // non-atomic accumulator.
                         let sync = |worker: &mut Generator| {
                             let waited = Instant::now();
-                            let mut union = global.lock().expect("coverage lock");
+                            // Poison-tolerant: coverage union updates are
+                            // idempotent bit-ors, safe to resume after a
+                            // sibling worker panicked.
+                            let mut union =
+                                global.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
                             lock_wait.observe(waited.elapsed().as_secs_f64());
                             worker.sync_coverage_into(&mut union);
                             worker.adopt_coverage(&union);
@@ -597,9 +601,15 @@ impl Campaign {
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("campaign worker panicked")).collect()
+            handles
+                .into_iter()
+                // analysis: allow(panic): a panicked in-process worker is
+                // unrecoverable mid-epoch; std::thread::scope re-raises the
+                // panic at scope exit regardless of how join is handled
+                .map(|h| h.join().expect("campaign worker panicked"))
+                .collect()
         });
-        self.global = global.into_inner().expect("coverage lock");
+        self.global = global.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner);
         // Fold results back in scheduling order (round-robin inverse), so
         // corpus mutation order — and therefore child ids — is independent
         // of worker count.
@@ -615,13 +625,13 @@ impl Campaign {
         let global_coverage = dx_coverage::mean_component_coverage(&self.global);
         let mut new_by_component = vec![0usize; self.metrics.new_units.len()];
         for i in 0..ids.len() {
-            let (id, run) = cursors[i % n_workers].next().expect("one result per job");
+            let Some((id, run)) = cursors[i % n_workers].next() else { continue };
             iterations += run.iterations;
             for (total, newly) in new_by_component.iter_mut().zip(&run.newly_by_component) {
                 *total += newly;
             }
-            if run.found_difference() {
-                let test = run.test.as_ref().expect("found_difference implies a test");
+            let diff_test = if run.found_difference() { run.test.as_ref() } else { None };
+            if let Some(test) = diff_test {
                 diffs_found += 1;
                 self.diffs.push(FoundDiff {
                     seed_id: id,

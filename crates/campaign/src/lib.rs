@@ -63,6 +63,7 @@
 //! assert!(campaign.mean_coverage() > 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod checkpoint;

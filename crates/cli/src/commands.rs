@@ -34,6 +34,7 @@ COMMANDS:
     submit      Submit a campaign to a running service daemon.
     status      Query a service daemon's campaigns (all, one, or a report).
     cancel      Cancel a service campaign.
+    analyze     Run the in-tree whitebox static analysis (dx-analysis).
     help        Show this message.
 
 COMMON OPTIONS:
@@ -159,6 +160,14 @@ SERVICE CLIENT OPTIONS (submit/status/cancel):
     status: --id <N> for one campaign (add --report for the rendered
             campaign report); no --id lists all campaigns.
     cancel: --id <N> (required).
+
+ANALYZE OPTIONS:
+    --path <dir>           Scan <dir> instead of the enclosing workspace.
+    --fix-hints            Print a remediation hint under each finding.
+    (Checks: lock-order deadlock cycles, hot-path panics, protocol and
+     checkpoint-schema drift, the telemetry-name catalog, and crate
+     attributes. Exits non-zero on any finding; suppress one — never
+     silently — with `// analysis: allow(check): justification`.)
 ";
 
 type CmdResult = Result<(), Box<dyn Error>>;
@@ -944,4 +953,35 @@ pub fn cancel(args: &Args) -> CmdResult {
     let id = args.get("id").ok_or("cancel needs --id <campaign id>")?;
     println!("{}", api_call(args, "POST", &format!("/campaigns/{id}/cancel"), "")?);
     Ok(())
+}
+
+/// `deepxplore analyze`: the in-tree whitebox static analysis pass
+/// (`dx-analysis`) over the workspace or a given path.
+pub fn analyze(args: &Args) -> CmdResult {
+    let root = match args.get("path") {
+        Some(p) => PathBuf::from(p),
+        None => {
+            let cwd = std::env::current_dir()?;
+            let root = dx_analysis::workspace_root(&cwd)
+                .ok_or("no enclosing cargo workspace; pass --path <dir>")?;
+            std::env::set_current_dir(&root)
+                .map_err(|e| format!("cannot enter workspace root {}: {e}", root.display()))?;
+            PathBuf::from(".")
+        }
+    };
+    let ws = dx_analysis::Workspace::load(&root)
+        .map_err(|e| format!("cannot scan {}: {e}", root.display()))?;
+    let findings = dx_analysis::run_all(&ws);
+    for f in &findings {
+        println!("{f}");
+        if args.has("fix-hints") && !f.hint.is_empty() {
+            println!("    hint: {}", f.hint);
+        }
+    }
+    if findings.is_empty() {
+        eprintln!("dx-analysis: clean ({} checks)", dx_analysis::checks::all().len());
+        Ok(())
+    } else {
+        Err(format!("{} finding(s)", findings.len()).into())
+    }
 }

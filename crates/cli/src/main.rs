@@ -14,15 +14,18 @@
 //! deepxplore submit   --name X [options]        submit a campaign to a service daemon
 //! deepxplore status   [--id N] [--report]       query a service daemon's campaigns
 //! deepxplore cancel   --id N                    cancel a service campaign
+//! deepxplore analyze  [--path DIR] [--fix-hints]  in-tree whitebox static analysis
 //! deepxplore help                               this text
 //! ```
+
+#![forbid(unsafe_code)]
 
 mod args;
 mod commands;
 
 use args::Args;
 
-const SWITCHES: &[&str] = &["full", "save-images", "preexisting", "report"];
+const SWITCHES: &[&str] = &["full", "save-images", "preexisting", "report", "fix-hints"];
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -48,6 +51,7 @@ fn main() {
         "submit" => commands::submit(&parsed),
         "status" => commands::status(&parsed),
         "cancel" => commands::cancel(&parsed),
+        "analyze" => commands::analyze(&parsed),
         "help" | "--help" | "-h" => {
             print!("{}", commands::HELP);
             Ok(())

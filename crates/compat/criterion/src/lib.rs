@@ -7,6 +7,7 @@
 //! samples and prints min/mean/max per iteration — enough to eyeball
 //! regressions without any external dependency.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::hint::black_box as hint_black_box;

@@ -10,6 +10,7 @@
 //! reports the case number and message only. Every run samples the same
 //! cases, so failures reproduce exactly.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 /// Test-case execution: configuration, runner, error type.

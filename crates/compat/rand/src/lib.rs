@@ -11,6 +11,7 @@
 //! this workspace only relies on determinism given a seed, never on a
 //! specific stream.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::ops::{Range, RangeInclusive};

@@ -78,6 +78,7 @@
 //! [`Generator::sync_coverage_into`] / [`Generator::adopt_coverage`].
 //! From the command line: `deepxplore campaign --dataset mnist --workers 4`.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod baselines;

@@ -17,6 +17,7 @@
 //! operator kernels to reproduce the paper's "any single input reaches 100%
 //! code coverage" comparison (Table 6).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod boundary;

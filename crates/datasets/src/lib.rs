@@ -19,6 +19,7 @@
 //! | [`pdf`] | Contagio/VirusTotal | malware detection over 135 integer features |
 //! | [`drebin`] | Drebin | malware detection over sparse binary features |
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod common;

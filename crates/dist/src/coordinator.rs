@@ -527,8 +527,9 @@ impl Coordinator {
     /// Panics on an empty seed tensor or a config with zero
     /// `batch_per_round`/`lease_size`.
     pub fn new(suite: &ModelSuite, label: &str, seeds: &Tensor, cfg: CoordinatorConfig) -> Self {
-        assert!(seeds.shape()[0] > 0, "dist campaign needs at least one seed");
-        let inputs = (0..seeds.shape()[0]).map(|i| gather_rows(seeds, &[i])).collect();
+        let n = seeds.shape().first().copied().unwrap_or(0);
+        assert!(n > 0, "dist campaign needs at least one seed");
+        let inputs = (0..n).map(|i| gather_rows(seeds, &[i])).collect();
         let corpus = Corpus::new(inputs, cfg.max_corpus).with_energy_model(cfg.energy);
         Self::with_state(suite, label, cfg, Restored::fresh(corpus))
     }
@@ -618,8 +619,8 @@ impl Coordinator {
             masks.len() == global.len()
                 && masks.iter().zip(global.iter()).all(|(m, g)| m.len() == g.total())
         });
-        if masks_fit {
-            for (g, mask) in global.iter_mut().zip(restored.coverage.as_ref().expect("checked")) {
+        if let Some(masks) = restored.coverage.as_ref().filter(|_| masks_fit) {
+            for (g, mask) in global.iter_mut().zip(masks) {
                 g.set_covered_mask(mask);
             }
         }
@@ -628,6 +629,8 @@ impl Coordinator {
             .entries()
             .first()
             .map(|e| e.input.shape().to_vec())
+            // analysis: allow(panic): constructor contract — `new` asserts a
+            // non-empty seed set and checkpoints never persist an empty corpus
             .expect("corpus is never empty");
         let fingerprint = suite_fingerprint(suite, label);
         let sched_rng = rng::rng(rng::derive_seed(cfg.seed, 0xd157));
@@ -701,11 +704,14 @@ impl Coordinator {
     /// Mean global coverage across models.
     pub fn mean_coverage(&self) -> f32 {
         let st = self.lock();
-        mean_coverage(&st.global)
+        mean_coverage_of(&st.global)
     }
 
     fn lock(&self) -> MutexGuard<'_, State> {
-        self.state.lock().expect("coordinator state lock")
+        // A panicking worker thread must not wedge the whole fleet: take
+        // the state even if a holder panicked mid-update (the State
+        // mutations are individually small and re-checked each round).
+        self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     /// Serves the campaign on `listener` until it drains (budget, coverage
@@ -795,7 +801,7 @@ impl Coordinator {
             .map(|(&id, _)| id)
             .collect();
         for id in expired {
-            let lease = st.leases.remove(&id).expect("collected above");
+            let Some(lease) = st.leases.remove(&id) else { continue };
             self.metrics.lease_expired.inc();
             emit(
                 Level::Info,
@@ -821,7 +827,7 @@ impl Coordinator {
             }
         }
         if let Some(target) = self.cfg.target_coverage {
-            if mean_coverage(&st.global) >= target {
+            if mean_coverage_of(&st.global) >= target {
                 self.drain.store(true, Ordering::SeqCst);
             }
         }
@@ -958,7 +964,7 @@ impl Coordinator {
         let orphaned: Vec<u64> =
             st.leases.iter().filter(|(_, l)| l.slot == slot).map(|(&id, _)| id).collect();
         for id in orphaned {
-            let lease = st.leases.remove(&id).expect("collected above");
+            let Some(lease) = st.leases.remove(&id) else { continue };
             st.pending.extend(lease.seed_ids);
         }
         self.metrics.requeue_depth.set(st.pending.len() as f64);
@@ -1102,9 +1108,8 @@ impl Coordinator {
                 st.next_lease += 1;
                 let jobs: Vec<Job> = ids
                     .iter()
-                    .map(|&id| Job {
-                        seed_id: id,
-                        input: st.corpus.get(id).expect("picked from corpus").input.clone(),
+                    .filter_map(|&id| {
+                        Some(Job { seed_id: id, input: st.corpus.get(id)?.input.clone() })
                     })
                     .collect();
                 let now = Instant::now();
@@ -1303,8 +1308,9 @@ impl Coordinator {
                         continue;
                     }
                     if st.spot_rng.gen_range(0.0f32..1.0) < self.cfg.spot_check_rate {
-                        let test = item.run.test.as_ref().expect("found_difference has a test");
-                        checks.push((item.seed_id, test.clone()));
+                        if let Some(test) = item.run.test.as_ref() {
+                            checks.push((item.seed_id, test.clone()));
+                        }
                     }
                 }
             }
@@ -1506,8 +1512,8 @@ impl Coordinator {
             st.round.seeds_run += 1;
             st.round.iterations += item.run.iterations;
             st.per_worker.entry(s).or_default().steps += 1;
-            if item.run.found_difference() {
-                let test = item.run.test.as_ref().expect("found_difference has a test");
+            let diff_test = if item.run.found_difference() { item.run.test.as_ref() } else { None };
+            if let Some(test) = diff_test {
                 st.round.diffs_found += 1;
                 st.per_worker.entry(s).or_default().diffs += 1;
                 st.diffs.push(FoundDiff {
@@ -1564,7 +1570,7 @@ impl Coordinator {
             diffs_found: round.diffs_found,
             iterations: round.iterations,
             newly_covered: round.newly_covered,
-            mean_coverage: mean_coverage(&st.global),
+            mean_coverage: mean_coverage_of(&st.global),
             component_coverage: dx_coverage::mean_component_coverage(&st.global),
             corpus_len: st.corpus.len(),
             elapsed: st.round_started.elapsed(),
@@ -1606,7 +1612,9 @@ impl Coordinator {
     /// state, so the newest write is always the most complete.
     fn write_checkpoint(&self, job: CheckpointJob) -> io::Result<()> {
         let Some(dir) = self.cfg.checkpoint_dir.clone() else { return Ok(()) };
-        let mut last = self.ckpt_io.lock().expect("checkpoint io lock");
+        // Poison-tolerant for the same reason as `lock()`: checkpoint I/O
+        // must keep working after an unrelated thread panic.
+        let mut last = self.ckpt_io.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         if last.is_some_and(|l| l >= job.seq) {
             return Ok(());
         }
@@ -1635,7 +1643,7 @@ impl Coordinator {
             let mut st = self.lock();
             let outstanding: Vec<u64> = st.leases.keys().copied().collect();
             for id in outstanding {
-                let lease = st.leases.remove(&id).expect("keys collected above");
+                let Some(lease) = st.leases.remove(&id) else { continue };
                 st.pending.extend(lease.seed_ids);
             }
             self.metrics.requeue_depth.set(st.pending.len() as f64);
@@ -1664,7 +1672,7 @@ impl Coordinator {
     }
 }
 
-fn mean_coverage(global: &[CoverageSignal]) -> f32 {
+fn mean_coverage_of(global: &[CoverageSignal]) -> f32 {
     if global.is_empty() {
         return 0.0;
     }

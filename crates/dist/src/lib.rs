@@ -64,6 +64,7 @@
 //! assert_eq!(workers.len(), 2);
 //! ```
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod auth;
@@ -228,14 +229,23 @@ pub fn serve_local(
         let report = coordinator.serve(listener)?;
         let summaries: Vec<WorkerSummary> = handles
             .into_iter()
-            .filter_map(|h| match h.join().expect("worker thread panicked") {
-                Ok(summary) => Some(summary),
-                Err(e) => {
+            .filter_map(|h| match h.join() {
+                Ok(Ok(summary)) => Some(summary),
+                Ok(Err(e)) => {
                     dx_telemetry::events::emit(
                         dx_telemetry::events::Level::Error,
                         "dist",
                         "worker_failed",
                         &[("error", e.to_string().into())],
+                    );
+                    None
+                }
+                Err(_) => {
+                    dx_telemetry::events::emit(
+                        dx_telemetry::events::Level::Error,
+                        "dist",
+                        "worker_failed",
+                        &[("error", "worker thread panicked".into())],
                     );
                     None
                 }

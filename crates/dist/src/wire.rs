@@ -161,7 +161,7 @@ impl FrameReader {
             };
             if self.buf.len() == target {
                 if let Some(len) = self.need {
-                    let msg = decode(&self.buf[4..4 + len])?;
+                    let msg = decode(self.buf.get(4..).unwrap_or_default())?;
                     self.buf.clear();
                     self.need = None;
                     let m = wire_metrics();
@@ -170,8 +170,8 @@ impl FrameReader {
                     return Ok(Some(msg));
                 }
                 // Header complete: learn the payload length and keep going.
-                let len = u32::from_be_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]])
-                    as usize;
+                let len =
+                    self.buf.iter().take(4).fold(0usize, |acc, &b| (acc << 8) | usize::from(b));
                 if len > self.cap {
                     return Err(oversized_for(len, self.cap));
                 }
@@ -180,6 +180,7 @@ impl FrameReader {
             }
             let mut chunk = [0u8; 4096];
             let want = (target - self.buf.len()).min(chunk.len());
+            // analysis: allow(panic): `want` is min-clamped to chunk.len()
             match r.read(&mut chunk[..want]) {
                 Ok(0) => {
                     return Err(io::Error::new(
@@ -187,6 +188,7 @@ impl FrameReader {
                         "peer closed the connection",
                     ))
                 }
+                // analysis: allow(panic): `n <= want <= chunk.len()` by the Read contract
                 Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
                 Err(e)
                     if e.kind() == io::ErrorKind::WouldBlock

@@ -116,7 +116,7 @@ pub(crate) fn fresh_worker_id() -> String {
     seed.extend_from_slice(&count.to_le_bytes());
     seed.extend_from_slice(&nanos.to_le_bytes());
     let digest = crate::auth::sha256(&seed);
-    let hex: String = digest[..8].iter().map(|b| format!("{b:02x}")).collect();
+    let hex: String = digest.iter().take(8).map(|b| format!("{b:02x}")).collect();
     format!("w-{hex}")
 }
 

@@ -15,6 +15,7 @@
 //! probe how similar two models can be before differential testing stops
 //! finding disagreements.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod arch;

@@ -48,6 +48,7 @@
 //! assert_eq!(g.shape(), sample.shape());
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cost;

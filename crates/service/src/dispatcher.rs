@@ -284,7 +284,7 @@ impl Service {
         let expired: Vec<u64> =
             st.leases.iter().filter(|(_, l)| now >= l.deadline).map(|(&id, _)| id).collect();
         for id in expired {
-            let lease = st.leases.remove(&id).expect("collected above");
+            let Some(lease) = st.leases.remove(&id) else { continue };
             self.metrics.lease_expired.inc();
             emit(
                 Level::Info,
@@ -314,7 +314,7 @@ impl Service {
         let mut jobs = Vec::new();
         for id in ids {
             let leased = leased_ids(st, id);
-            let t = st.tenants.get_mut(&id).expect("keys collected above");
+            let Some(t) = st.tenants.get_mut(&id) else { continue };
             if t.status != Status::Running {
                 continue;
             }
@@ -342,7 +342,7 @@ impl Service {
             let mut st = self.lock();
             let outstanding: Vec<u64> = st.leases.keys().copied().collect();
             for id in outstanding {
-                let lease = st.leases.remove(&id).expect("keys collected above");
+                let Some(lease) = st.leases.remove(&id) else { continue };
                 if let Some(t) = st.tenants.get_mut(&lease.tenant) {
                     t.outstanding = t.outstanding.saturating_sub(lease.seed_ids.len());
                     if !t.status.is_terminal() {
@@ -353,7 +353,7 @@ impl Service {
             let mut jobs = self.retire_finished(&mut st);
             let ids: Vec<u64> = st.tenants.keys().copied().collect();
             for id in ids {
-                let t = st.tenants.get_mut(&id).expect("keys collected above");
+                let Some(t) = st.tenants.get_mut(&id) else { continue };
                 if t.round.seeds_run > 0 {
                     flush_round(t);
                 }
@@ -477,7 +477,7 @@ impl Service {
         let orphaned: Vec<u64> =
             st.leases.iter().filter(|(_, l)| l.slot == slot).map(|(&id, _)| id).collect();
         for id in orphaned {
-            let lease = st.leases.remove(&id).expect("collected above");
+            let Some(lease) = st.leases.remove(&id) else { continue };
             if let Some(t) = st.tenants.get_mut(&lease.tenant) {
                 t.outstanding = t.outstanding.saturating_sub(lease.seed_ids.len());
                 if !t.status.is_terminal() {
@@ -589,11 +589,16 @@ impl Service {
                 if self.drain.load(Ordering::SeqCst) {
                     return (Reply::Send(Msg::Drain), Vec::new());
                 }
-                let worker = conn.worker.clone().expect("admitted connections carry an identity");
+                let Some(worker) = conn.worker.clone() else {
+                    let reason = "authenticate first".to_string();
+                    return (Reply::SendThenClose(Msg::Reject { reason }), Vec::new());
+                };
                 let mut st = self.lock();
-                match self.grant(&mut st, s, &worker, want) {
-                    Some(grant) => {
-                        let t = st.tenants.get(&grant.campaign).expect("granted from tenants");
+                match self
+                    .grant(&mut st, s, &worker, want)
+                    .and_then(|grant| st.tenants.get(&grant.campaign).map(|t| (grant, t)))
+                {
+                    Some((grant, t)) => {
                         let view = conn
                             .views
                             .entry(grant.campaign)
@@ -672,15 +677,18 @@ impl Service {
     fn grant(&self, st: &mut SvcState, slot: u64, worker: &str, want: usize) -> Option<Grant> {
         let cap = want.clamp(1, self.cfg.lease_size);
         let total_out: usize = st.tenants.values().map(|t| t.outstanding).sum();
-        let mut order: Vec<u64> =
-            st.tenants.values().filter(|t| t.status == Status::Running).map(|t| t.id).collect();
+        let mut order: Vec<(u64, f64)> = st
+            .tenants
+            .values()
+            .filter(|t| t.status == Status::Running)
+            .map(|t| (t.id, t.pass))
+            .collect();
         order.sort_by(|a, b| {
-            let (pa, pb) = (st.tenants[a].pass, st.tenants[b].pass);
-            pa.partial_cmp(&pb).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(b))
+            a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
         });
-        for id in order {
+        for (id, _) in order {
             let leased = leased_ids(st, id);
-            let t = st.tenants.get_mut(&id).expect("ordered from tenants");
+            let Some(t) = st.tenants.get_mut(&id) else { continue };
             let allowed = quota_allowance(t.outstanding, total_out, t.spec.quota, cap);
             if allowed == 0 {
                 continue;
@@ -692,9 +700,8 @@ impl Service {
             let granted = ids.len();
             let jobs: Vec<Job> = ids
                 .iter()
-                .map(|&sid| Job {
-                    seed_id: sid,
-                    input: t.corpus.get(sid).expect("picked from corpus").input.clone(),
+                .filter_map(|&sid| {
+                    Some(Job { seed_id: sid, input: t.corpus.get(sid)?.input.clone() })
                 })
                 .collect();
             t.pass += granted as f64 / f64::from(t.spec.weight);
@@ -781,21 +788,27 @@ impl Service {
                 let reason = format!("lease {lease} is not for campaign {campaign}");
                 return (Reply::SendThenClose(Msg::Reject { reason }), Vec::new());
             }
-            Some(l) if l.slot == s => {
-                let l = st.leases.remove(&lease).expect("present above");
-                Plan::Lease(l.seed_ids)
-            }
+            Some(l) if l.slot == s => match st.leases.remove(&lease) {
+                Some(l) => Plan::Lease(l.seed_ids),
+                None => Plan::Expired,
+            },
             Some(_) => Plan::Collision,
             None => Plan::Expired,
         };
         if let Some(snap) = &telemetry {
             self.merge_worker_telemetry(snap);
         }
-        let worker = conn.worker.clone().expect("admitted connections carry an identity");
+        let Some(worker) = conn.worker.clone() else {
+            let reason = "authenticate first".to_string();
+            return (Reply::SendThenClose(Msg::Reject { reason }), Vec::new());
+        };
         let leased_now = leased_ids(&st, campaign);
         let batch = self.cfg.batch_per_round;
         let persist = self.cfg.state_dir.is_some();
-        let t = st.tenants.get_mut(&campaign).expect("validated above");
+        let Some(t) = st.tenants.get_mut(&campaign) else {
+            let reason = format!("unknown campaign {campaign}");
+            return (Reply::SendThenClose(Msg::Reject { reason }), Vec::new());
+        };
         // The worker's delta goes into the tenant union *and* this
         // connection's view of it — otherwise the next news would echo
         // the worker's own delta straight back at it.
@@ -838,11 +851,16 @@ impl Service {
         }
         jobs.extend(self.retire_finished(&mut st));
         // Fresh news for this campaign (covers the no-op case too: the
-        // view was already folded above).
-        let t = st.tenants.get(&campaign).expect("validated above");
-        let view = conn.views.get_mut(&campaign).expect("created above");
-        let cov = coverage_news(&t.global, view);
-        t.metrics.coverage_mean.set(f64::from(t.mean_coverage()));
+        // view was already folded above). `retire_finished` never removes
+        // tenants, but a graceful empty delta beats trusting that.
+        let cov = match (st.tenants.get(&campaign), conn.views.get_mut(&campaign)) {
+            (Some(t), Some(view)) => {
+                let cov = coverage_news(&t.global, view);
+                t.metrics.coverage_mean.set(f64::from(t.mean_coverage()));
+                cov
+            }
+            _ => vec![Vec::new(); self.template.len()],
+        };
         let reply = if self.drain.load(Ordering::SeqCst) {
             Reply::Send(Msg::Drain)
         } else {
@@ -877,8 +895,8 @@ fn absorb_items(t: &mut Tenant, items: &[&JobResult]) {
         t.steps_done += 1;
         t.round.seeds_run += 1;
         t.round.iterations += item.run.iterations;
-        if item.run.found_difference() {
-            let test = item.run.test.as_ref().expect("found_difference has a test");
+        let diff_test = if item.run.found_difference() { item.run.test.as_ref() } else { None };
+        if let Some(test) = diff_test {
             t.round.diffs_found += 1;
             diffs += 1;
             t.diffs.push(FoundDiff {

@@ -37,6 +37,8 @@
 //! yet); run service fleets with workers you trust, or behind the
 //! coordinator for adversarial settings.
 
+#![forbid(unsafe_code)]
+
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::io;
 use std::path::PathBuf;
@@ -233,13 +235,16 @@ impl Service {
         pool: &Tensor,
         cfg: ServiceConfig,
     ) -> io::Result<Self> {
-        assert!(pool.shape()[0] > 0, "service needs a non-empty seed pool");
+        let rows = pool.shape().first().copied().unwrap_or(0);
+        assert!(rows > 0, "service needs a non-empty seed pool");
         assert!(cfg.batch_per_round >= 1, "batch_per_round must be at least 1");
         assert!(cfg.lease_size >= 1, "lease_size must be at least 1");
         let template: Vec<CoverageSignal> = suite.signal.build(&suite.models);
         let sample_shape = {
             let mut s = pool.shape().to_vec();
-            s[0] = 1;
+            if let Some(first) = s.first_mut() {
+                *first = 1;
+            }
             s
         };
         let fingerprint = suite_fingerprint(suite, label);
@@ -306,11 +311,13 @@ impl Service {
 
     /// Rows in the shared seed pool.
     pub fn pool_rows(&self) -> usize {
-        self.pool.shape()[0]
+        self.pool.shape().first().copied().unwrap_or(0)
     }
 
     pub(crate) fn lock(&self) -> MutexGuard<'_, SvcState> {
-        self.state.lock().expect("service state lock")
+        // Poison-tolerant: a panicking connection thread must not wedge
+        // the daemon; tenant state mutations are small and re-validated.
+        self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     // ---------------------------------------------------------------
@@ -535,7 +542,8 @@ impl Service {
     /// one for the same tenant is discarded.
     pub(crate) fn write_ckpt(&self, job: TenantCkpt) -> io::Result<()> {
         let Some(root) = self.cfg.state_dir.clone() else { return Ok(()) };
-        let mut last = self.ckpt_io.lock().expect("service checkpoint io lock");
+        // Poison-tolerant for the same reason as `lock()`.
+        let mut last = self.ckpt_io.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         let prev = last.get(&job.tenant).copied();
         if prev.is_some_and(|l| l >= job.seq) {
             return Ok(());

@@ -219,8 +219,8 @@ impl Tenant {
             masks.len() == global.len()
                 && masks.iter().zip(global.iter()).all(|(m, g)| m.len() == g.total())
         });
-        if masks_fit {
-            for (g, mask) in global.iter_mut().zip(state.coverage.as_ref().expect("checked")) {
+        if let Some(masks) = state.coverage.as_ref().filter(|_| masks_fit) {
+            for (g, mask) in global.iter_mut().zip(masks) {
                 g.set_covered_mask(mask);
             }
         }
@@ -308,7 +308,7 @@ impl Tenant {
         build::obj(vec![
             // Ids are small counters; a plain number is kinder to curl
             // and jq than the string form big u64s need.
-            ("id", build::int(usize::try_from(self.id).expect("tenant ids are small"))),
+            ("id", build::int(usize::try_from(self.id).unwrap_or(usize::MAX))),
             ("name", build::str(&self.spec.name)),
             ("status", build::str(self.status.as_str())),
             ("steps_done", build::int(self.steps_done)),

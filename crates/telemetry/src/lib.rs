@@ -24,8 +24,11 @@
 //!   optional trace file, replacing scattered `eprintln!` calls with
 //!   machine-parseable records.
 
+#![forbid(unsafe_code)]
+
 pub mod events;
 pub mod http;
+pub mod names;
 pub mod phase;
 
 use std::collections::BTreeMap;

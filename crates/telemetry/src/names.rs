@@ -1,0 +1,125 @@
+//! The canonical catalog of every Prometheus metric name this
+//! workspace emits.
+//!
+//! Metric names are stringly-typed at each registration site, in the
+//! README's metrics table, and in the scrape scripts; nothing but
+//! convention keeps them aligned. This module is the single place a
+//! name is *declared*, and `dx-analysis`'s `telemetry-name` check
+//! enforces the convention mechanically: every name registered in
+//! non-test code must appear here, every name here must be registered
+//! somewhere and documented in the README, and every `dx_…` token in
+//! the docs must resolve back to this catalog.
+//!
+//! Names follow Prometheus conventions: `dx_` namespace prefix,
+//! snake_case, `_total` for counters, `_seconds` for time histograms.
+//! Label dimensions (`{phase=}`, `{slot=}`, `{tenant=}`, …) are chosen
+//! at the registration site and are not part of the catalog key.
+
+// ---- engine / generator (dx-campaign) ----------------------------------
+
+/// Counter: seed steps processed by the joint-optimization loop.
+pub const SEEDS_TOTAL: &str = "dx_seeds_total";
+/// Counter: difference-inducing inputs found.
+pub const DIFFS_TOTAL: &str = "dx_diffs_total";
+/// Counter, `{component=}`: coverage units newly covered.
+pub const NEW_UNITS_TOTAL: &str = "dx_new_units_total";
+/// Histogram: wall-clock time per campaign epoch.
+pub const EPOCH_SECONDS: &str = "dx_epoch_seconds";
+/// Histogram: worker wait for the global coverage lock.
+pub const LOCK_WAIT_SECONDS: &str = "dx_lock_wait_seconds";
+/// Histogram, `{phase=}`: generator hot-path time per phase
+/// (forward / gradient / constraint / coverage).
+pub const PHASE_SECONDS: &str = "dx_phase_seconds";
+/// Gauge: corpus entries.
+pub const CORPUS_SIZE: &str = "dx_corpus_size";
+/// Gauge, `{stat=}`: corpus energy distribution (min/mean/max).
+pub const CORPUS_ENERGY: &str = "dx_corpus_energy";
+
+// ---- coordinator / fleet (dx-dist) -------------------------------------
+
+/// Counter: leases granted to workers.
+pub const LEASES_TOTAL: &str = "dx_leases_total";
+/// Counter: leases that timed out and were requeued.
+pub const LEASE_EXPIRED_TOTAL: &str = "dx_lease_expired_total";
+/// Counter: heartbeat frames handled by the coordinator.
+pub const HEARTBEATS_TOTAL: &str = "dx_heartbeats_total";
+/// Gauge: seeds waiting in the requeue.
+pub const REQUEUE_DEPTH: &str = "dx_requeue_depth";
+/// Gauge: currently admitted worker connections.
+pub const WORKERS_CONNECTED: &str = "dx_workers_connected";
+/// Histogram, `{slot=}`: lease issue-to-results time.
+pub const LEASE_TURNAROUND_SECONDS: &str = "dx_lease_turnaround_seconds";
+/// Counter, `{slot=,verdict=}`: spot-checked diff claims (the trust
+/// plane — these counters are the fleet report's spot-ok/spot-bad).
+pub const SPOT_CHECKS_TOTAL: &str = "dx_spot_checks_total";
+/// Gauge, `{slot=}`: 1 once the slot was evicted for fabrication.
+pub const WORKER_EVICTED: &str = "dx_worker_evicted";
+/// Histogram, `{slot=}`: worker-observed heartbeat round-trip time.
+pub const HEARTBEAT_RTT_SECONDS: &str = "dx_heartbeat_rtt_seconds";
+
+// ---- wire protocol (dx-dist) -------------------------------------------
+
+/// Counter, `{dir=}`: wire frames sent/received by this process.
+pub const FRAMES_TOTAL: &str = "dx_frames_total";
+/// Counter, `{dir=}`: wire bytes sent/received by this process.
+pub const BYTES_TOTAL: &str = "dx_bytes_total";
+
+// ---- multi-tenant service (dx-service) ---------------------------------
+
+/// Gauge: mean global coverage across models, per tenant.
+pub const COVERAGE_MEAN: &str = "dx_coverage_mean";
+/// Gauge: live (non-terminal) tenant campaigns.
+pub const SERVICE_TENANTS: &str = "dx_service_tenants";
+/// Counter: leases granted across all tenants.
+pub const SERVICE_LEASES_TOTAL: &str = "dx_service_leases_total";
+/// Counter: leases that timed out, across all tenants.
+pub const SERVICE_LEASE_EXPIRED_TOTAL: &str = "dx_service_lease_expired_total";
+/// Counter: heartbeat frames handled by the service daemon.
+pub const SERVICE_HEARTBEATS_TOTAL: &str = "dx_service_heartbeats_total";
+
+/// Every catalog name, in declaration order. Handy for exhaustive
+/// checks in tests and tooling.
+pub const ALL: [&str; 24] = [
+    SEEDS_TOTAL,
+    DIFFS_TOTAL,
+    NEW_UNITS_TOTAL,
+    EPOCH_SECONDS,
+    LOCK_WAIT_SECONDS,
+    PHASE_SECONDS,
+    CORPUS_SIZE,
+    CORPUS_ENERGY,
+    LEASES_TOTAL,
+    LEASE_EXPIRED_TOTAL,
+    HEARTBEATS_TOTAL,
+    REQUEUE_DEPTH,
+    WORKERS_CONNECTED,
+    LEASE_TURNAROUND_SECONDS,
+    SPOT_CHECKS_TOTAL,
+    WORKER_EVICTED,
+    HEARTBEAT_RTT_SECONDS,
+    FRAMES_TOTAL,
+    BYTES_TOTAL,
+    COVERAGE_MEAN,
+    SERVICE_TENANTS,
+    SERVICE_LEASES_TOTAL,
+    SERVICE_LEASE_EXPIRED_TOTAL,
+    SERVICE_HEARTBEATS_TOTAL,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::ALL;
+
+    #[test]
+    fn catalog_is_unique_prefixed_and_snake_case() {
+        let mut seen = std::collections::BTreeSet::new();
+        for name in ALL {
+            assert!(seen.insert(name), "duplicate catalog entry {name}");
+            assert!(name.starts_with("dx_"), "{name} lacks the dx_ namespace");
+            assert!(
+                name.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'),
+                "{name} is not snake_case"
+            );
+        }
+    }
+}

@@ -30,6 +30,7 @@
 //! assert_eq!(c.data(), a.data());
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod image;
