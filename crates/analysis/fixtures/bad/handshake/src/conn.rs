@@ -1,0 +1,26 @@
+//! Seeded handshake violations: the reader opens at the big cap, the
+//! cap is raised without an admission guard, and the hello version is
+//! hardcoded.
+
+use crate::admit::FrameReader;
+
+pub const MAX_FRAME: usize = 1 << 28;
+pub const HELLO_FRAME_CAP: usize = 1 << 16;
+
+pub struct Hello {
+    pub version: u64,
+}
+
+pub fn handle(stream: std::net::TcpStream) {
+    let mut reader = FrameReader::with_cap(MAX_FRAME);
+    let hello = Hello { version: 7 };
+    if hello.version == 6 {
+        reject(&stream);
+    }
+    reader.set_cap(MAX_FRAME);
+    serve(reader, stream);
+}
+
+fn reject(_stream: &std::net::TcpStream) {}
+
+fn serve(_reader: FrameReader, _stream: std::net::TcpStream) {}

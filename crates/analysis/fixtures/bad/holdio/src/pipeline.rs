@@ -1,0 +1,45 @@
+//! Seeded blocking-under-lock violations: frame writes, sleeps and
+//! (transitive) file I/O while the contended pipeline state lock is
+//! held.
+
+use std::sync::Mutex;
+
+pub struct State {
+    pub pending: usize,
+}
+
+pub struct Pipeline {
+    state: Mutex<State>,
+}
+
+impl Pipeline {
+    pub fn submit(&self, stream: &mut std::net::TcpStream, doc: &str) {
+        let mut st = self.state.lock().unwrap();
+        st.pending += 1;
+        write_frame(stream, doc);
+    }
+
+    pub fn drain(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.pending = 0;
+    }
+
+    pub fn throttle(&self) {
+        let st = self.state.lock().unwrap();
+        if st.pending > 64 {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+    }
+
+    pub fn checkpoint(&self, path: &str) {
+        let st = self.state.lock().unwrap();
+        persist(path, st.pending);
+    }
+}
+
+fn persist(path: &str, pending: usize) {
+    let mut f = std::fs::File::create(path).unwrap();
+    f.write_all(pending.to_string().as_bytes()).unwrap();
+}
+
+fn write_frame(_stream: &mut std::net::TcpStream, _doc: &str) {}

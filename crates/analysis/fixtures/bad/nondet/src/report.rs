@@ -1,0 +1,22 @@
+//! Seeded nondeterministic iteration: hash-map order escaping into a
+//! collected row set and a rendered report.
+
+use std::collections::HashMap;
+
+pub struct Report {
+    scores: HashMap<String, f32>,
+}
+
+impl Report {
+    pub fn rows(&self) -> Vec<String> {
+        self.scores.iter().map(|(k, v)| format!("{k}={v}")).collect()
+    }
+
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in self.scores.iter() {
+            out.push_str(&format!("{k}={v}\n"));
+        }
+        out
+    }
+}

@@ -1,0 +1,19 @@
+//! The wire constants, declared once each: the handshake cap is the
+//! tight one and `conn.rs` imports rather than redeclares.
+
+pub const MAX_FRAME: usize = 1 << 28;
+pub const HELLO_FRAME_CAP: usize = 1 << 16;
+
+pub struct FrameReader {
+    pub cap: usize,
+}
+
+impl FrameReader {
+    pub fn with_cap(cap: usize) -> Self {
+        Self { cap }
+    }
+
+    pub fn set_cap(&mut self, cap: usize) {
+        self.cap = cap;
+    }
+}

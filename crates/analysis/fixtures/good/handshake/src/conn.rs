@@ -1,0 +1,30 @@
+//! A safe handshake: the reader starts at the hello cap, only grows
+//! after admission, and the version always comes from
+//! `PROTOCOL_VERSION`.
+
+use crate::admit::{FrameReader, HELLO_FRAME_CAP, MAX_FRAME};
+use crate::proto::PROTOCOL_VERSION;
+
+pub struct Hello {
+    pub version: u64,
+}
+
+pub struct Conn {
+    pub slot: Option<u64>,
+}
+
+pub fn handle(conn: &mut Conn, stream: std::net::TcpStream) {
+    let mut reader = FrameReader::with_cap(HELLO_FRAME_CAP);
+    let hello = Hello { version: PROTOCOL_VERSION };
+    if hello.version != PROTOCOL_VERSION {
+        reject(&stream);
+    }
+    if conn.slot.is_some() {
+        reader.set_cap(MAX_FRAME);
+    }
+    serve(reader, stream);
+}
+
+fn reject(_stream: &std::net::TcpStream) {}
+
+fn serve(_reader: FrameReader, _stream: std::net::TcpStream) {}

@@ -1,0 +1,54 @@
+//! Blocking I/O done right: compute under the lock, drop the guard,
+//! then block. The single-acquirer `ckpt_io` mutex serializes file
+//! writes — blocking under it is the point, and with one acquirer it
+//! is exempt by construction.
+
+use std::sync::Mutex;
+
+pub struct State {
+    pub pending: usize,
+}
+
+pub struct Pipeline {
+    state: Mutex<State>,
+    ckpt_io: Mutex<()>,
+}
+
+impl Pipeline {
+    pub fn submit(&self, stream: &mut std::net::TcpStream, doc: &str) {
+        let frame = {
+            let mut st = self.state.lock().unwrap();
+            st.pending += 1;
+            render(doc, st.pending)
+        };
+        write_frame(stream, &frame);
+    }
+
+    pub fn drain(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.pending = 0;
+    }
+
+    pub fn checkpoint(&self, path: &str) {
+        let pending = {
+            let st = self.state.lock().unwrap();
+            st.pending
+        };
+        let _io = self.ckpt_io.lock().unwrap();
+        persist(path, pending);
+    }
+}
+
+fn render(doc: &str, pending: usize) -> String {
+    let mut s = doc.to_string();
+    s.push(' ');
+    s.push_str(&pending.to_string());
+    s
+}
+
+fn persist(path: &str, pending: usize) {
+    let mut f = std::fs::File::create(path).unwrap();
+    f.write_all(pending.to_string().as_bytes()).unwrap();
+}
+
+fn write_frame(_stream: &mut std::net::TcpStream, _frame: &str) {}

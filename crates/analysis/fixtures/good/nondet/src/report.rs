@@ -1,0 +1,24 @@
+//! Deterministic iteration: an ordered map where order escapes, and a
+//! hash map that is only ever read point-wise or through
+//! order-insensitive terminals.
+
+use std::collections::{BTreeMap, HashMap};
+
+pub struct Report {
+    scores: BTreeMap<String, f32>,
+    cache: HashMap<String, f32>,
+}
+
+impl Report {
+    pub fn rows(&self) -> Vec<String> {
+        self.scores.iter().map(|(k, v)| format!("{k}={v}")).collect()
+    }
+
+    pub fn hot(&self) -> usize {
+        self.cache.values().filter(|v| **v > 0.5).count()
+    }
+
+    pub fn lookup(&self, key: &str) -> Option<f32> {
+        self.cache.get(key).copied()
+    }
+}

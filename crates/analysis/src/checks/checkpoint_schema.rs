@@ -11,8 +11,14 @@
 //!
 //! Covered codecs: `dist.json` (`DistState::doc`/`load` in
 //! `coordinator.rs`), `tenant.json` (`Tenant::doc`/`load` in
-//! `tenant.rs`), and `coverage.json`+`meta.json` (`save`/`load` in
-//! `campaign/src/checkpoint.rs`).
+//! `tenant.rs`), `coverage.json`+`meta.json` (`save`/`load` in
+//! `campaign/src/checkpoint.rs`), and the campaign-spec echo
+//! (`CampaignSpec::to_json`/`from_json` in `spec.rs`).
+//!
+//! The `events.jsonl` feed has no reader to diff against (consumers are
+//! external), so it gets a required-key rule instead: every event the
+//! `event()` builder emits must carry `event` and `seq` — the fields
+//! the replay tooling sorts and dedups by.
 
 use std::collections::BTreeMap;
 
@@ -24,11 +30,16 @@ use crate::{Check, Finding, Workspace};
 pub struct CheckpointSchema;
 
 /// (label, file suffix, writer fn, reader fn)
-const CODECS: [(&str, &str, &str, &str); 3] = [
+const CODECS: [(&str, &str, &str, &str); 4] = [
     ("dist.json", "coordinator.rs", "doc", "load"),
     ("tenant.json", "tenant.rs", "doc", "load"),
     ("coverage.json", "checkpoint.rs", "save", "load"),
+    ("spec", "spec.rs", "to_json", "from_json"),
 ];
+
+/// Keys every `events.jsonl` record must carry, per the `event()`
+/// builder in `tenant.rs`.
+const EVENT_REQUIRED: [&str; 2] = ["event", "seq"];
 
 impl Check for CheckpointSchema {
     fn id(&self) -> &'static str {
@@ -36,7 +47,7 @@ impl Check for CheckpointSchema {
     }
 
     fn describe(&self) -> &'static str {
-        "writer/reader JSON key parity for the dist.json, tenant.json and coverage.json codecs"
+        "writer/reader JSON key parity for the checkpoint codecs; events.jsonl required keys"
     }
 
     fn run(&self, ws: &Workspace, out: &mut Vec<Finding>) {
@@ -76,6 +87,33 @@ impl Check for CheckpointSchema {
                     });
                 }
             }
+        }
+        check_event_feed(ws, out);
+    }
+}
+
+/// The `events.jsonl` rule: the `event()` builder in `tenant.rs` must
+/// emit every required key.
+fn check_event_feed(ws: &Workspace, out: &mut Vec<Finding>) {
+    let Some(file) = ws.file_named("tenant.rs") else { return };
+    let toks = code_toks(file);
+    let bodies = fn_bodies(&toks);
+    let Some(b) = bodies.iter().find(|b| b.name == "event" && !file.in_test(b.line)) else {
+        return;
+    };
+    let written = written_keys(&toks[b.open..b.close]);
+    for key in EVENT_REQUIRED {
+        if !written.contains_key(key) {
+            out.push(Finding {
+                file: file.rel.clone(),
+                line: b.line,
+                check: "ckpt-schema",
+                message: format!(
+                    "events.jsonl: `event()` no longer emits required key `{key}` — \
+                     replay tooling sorts and dedups the feed by it"
+                ),
+                hint: format!("emit `{key}` in every event record"),
+            });
         }
     }
 }

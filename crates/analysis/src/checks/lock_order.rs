@@ -1,73 +1,29 @@
-//! Lock-order deadlock detector.
+//! Lock-order deadlock detector, on the syntax/dataflow layer.
 //!
-//! For every crate group, the check extracts per-function lock
-//! acquisition sequences from `.lock()` / `.read()` / `.write()` call
-//! sites, plus an approximate intra-crate call graph (an identifier
-//! applied to arguments whose name matches a function defined in the
-//! same crate). From those it builds a lock-acquisition order graph —
-//! an edge `A → B` means some path acquires `B` while holding `A` —
-//! and fails on cycles, the classic two-thread deadlock shape. It also
-//! flags *reentrant* acquisition (taking a `std::sync::Mutex` you
-//! already hold), which self-deadlocks without needing a second thread.
+//! For every crate group, the check builds a [`GroupEnv`] (lock-typed
+//! struct fields, functions resolved by qualified name) and extracts a
+//! per-function event stream with real guard binding, drop and scope
+//! tracking ([`crate::dataflow`]). From those it builds a
+//! lock-acquisition order graph — an edge `A → B` means some path
+//! acquires `B` while holding `A` — and fails on cycles, the classic
+//! two-thread deadlock shape. It also flags *reentrant* acquisition
+//! (taking a `std::sync::Mutex` you already hold), which self-deadlocks
+//! without needing a second thread.
 //!
-//! Guard lifetimes are tracked heuristically: a `let g = x.lock()…;`
-//! binding holds the lock until `drop(g)` or the end of its block; an
-//! unbound acquisition (`self.lock().field`) is a statement-scoped
-//! temporary. A local `fn lock`/`read`/`write` wrapper (the
-//! `self.lock()` idiom) counts as acquiring whatever its body acquires.
-//! The approximations are deliberately conservative in what they track
-//! and loose in name resolution (same-name methods merge), so any
-//! finding deserves a look but may name more call sites than strictly
-//! reach the cycle.
+//! Unlike the token-level version this replaces, callees resolve by
+//! path (`Self::m`, `Type::m`, or a unique bare name — never same-name
+//! merging), `.read()`/`.write()` only count on receivers known to be
+//! `RwLock` fields, guards bound through `unwrap`/`expect`/`?` stay
+//! bound while anything else is a statement temporary, and a guard
+//! acquired inside a branch dies with that branch's scope.
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use super::{code_toks, fn_bodies};
-use crate::lexer::{Kind, Tok};
+use crate::dataflow::{extract, simulate, Ev, FnFacts, GroupEnv};
 use crate::{Check, Finding, Workspace};
 
 /// The lock-order deadlock detector (`lock-order`).
 pub struct LockOrder;
-
-const ACQUIRE_METHODS: [&str; 3] = ["lock", "read", "write"];
-/// Receivers that look like locks but are not mutexes.
-const NOT_LOCKS: [&str; 3] = ["stdin", "stdout", "stderr"];
-
-#[derive(Clone, Debug)]
-enum Event {
-    /// Acquire a named lock. `bound` carries the guard variable.
-    Acquire {
-        lock: String,
-        line: usize,
-        bound: Option<String>,
-    },
-    /// Call a function defined in the same group. `bound` carries the
-    /// guard variable when the result is `let`-bound (a lock wrapper).
-    Call {
-        callee: String,
-        line: usize,
-        bound: Option<String>,
-    },
-    /// `drop(var)`.
-    Drop {
-        var: String,
-    },
-    /// Brace depth change.
-    Open,
-    Close,
-}
-
-#[derive(Default)]
-struct FnInfo {
-    file: String,
-    line: usize,
-    events: Vec<Event>,
-    /// Locks acquired directly in this body.
-    direct: BTreeSet<String>,
-    /// Locks acquired here or in any (transitive) callee.
-    exposed: BTreeSet<String>,
-    callees: BTreeSet<String>,
-}
 
 impl Check for LockOrder {
     fn id(&self) -> &'static str {
@@ -80,158 +36,174 @@ impl Check for LockOrder {
 
     fn run(&self, ws: &Workspace, out: &mut Vec<Finding>) {
         for group in ws.group_names() {
-            self.run_group(ws, &group, out);
+            run_group(ws, &group, out);
         }
     }
 }
 
-impl LockOrder {
-    fn run_group(&self, ws: &Workspace, group: &str, out: &mut Vec<Finding>) {
-        // Pass 1: extract events per function.
-        let mut fns: BTreeMap<String, FnInfo> = BTreeMap::new();
-        let files: Vec<_> = ws.group(group).collect();
-        let names: BTreeSet<String> = files
-            .iter()
-            .flat_map(|f| {
-                let toks = code_toks(f);
-                fn_bodies(&toks).into_iter().map(|b| b.name)
-            })
-            .collect();
-        for file in &files {
-            if file.is_test_target() {
-                continue;
-            }
-            let toks = code_toks(file);
-            for body in fn_bodies(&toks) {
-                if file.in_test(body.line) {
-                    continue;
-                }
-                let info = fns.entry(body.name.clone()).or_default();
-                if info.file.is_empty() {
-                    info.file = file.rel.clone();
-                    info.line = body.line;
-                }
-                extract_events(&toks, body.open, body.close, &names, &body.name, info);
-            }
-        }
+/// Display form of a qualified name: the bare function name.
+fn bare(qname: &str) -> &str {
+    qname.rsplit("::").next().unwrap_or(qname)
+}
 
-        // Pass 2: fixpoint of exposed lock sets over the call graph.
-        for info in fns.values_mut() {
-            info.exposed = info.direct.clone();
+fn run_group(ws: &Workspace, group: &str, out: &mut Vec<Finding>) {
+    let files: Vec<_> = ws.group(group).collect();
+    let env = GroupEnv::build(&files);
+
+    // Pass 1: extract events per function (non-test only).
+    let mut facts: BTreeMap<String, FnFacts> = BTreeMap::new();
+    let mut meta: BTreeMap<String, (String, usize)> = BTreeMap::new();
+    for (qname, info) in &env.fns {
+        if info.in_test || info.def.body.is_none() {
+            continue;
         }
-        loop {
-            let mut changed = false;
-            let snapshot: BTreeMap<String, BTreeSet<String>> =
-                fns.iter().map(|(n, i)| (n.clone(), i.exposed.clone())).collect();
-            for info in fns.values_mut() {
-                for callee in &info.callees {
-                    if let Some(locks) = snapshot.get(callee) {
-                        for l in locks {
-                            changed |= info.exposed.insert(l.clone());
+        meta.insert(qname.clone(), (info.file.rel.clone(), info.def.line));
+        facts.insert(qname.clone(), extract(&env, info));
+    }
+
+    // Pass 2: fixpoint of exposed lock sets over the call graph.
+    let mut exposed: BTreeMap<String, BTreeSet<String>> =
+        facts.iter().map(|(q, f)| (q.clone(), f.direct.clone())).collect();
+    loop {
+        let mut changed = false;
+        let snapshot = exposed.clone();
+        for (qname, f) in &facts {
+            let mine = exposed.get_mut(qname).expect("seeded above");
+            for callee in &f.callees {
+                if let Some(locks) = snapshot.get(callee) {
+                    for l in locks {
+                        changed |= mine.insert(l.clone());
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Pass 3: simulate each function, building order edges and catching
+    // reentrancy.
+    let mut edges: BTreeMap<(String, String), (String, usize, String)> = BTreeMap::new();
+    for (qname, f) in &facts {
+        let (file, _) = &meta[qname];
+        simulate(&f.events, |ev, held| match ev {
+            Ev::Acquire { lock, line, .. } => {
+                for h in held {
+                    if h.lock == *lock {
+                        out.push(Finding {
+                            file: file.clone(),
+                            line: *line,
+                            check: "lock-order",
+                            message: format!(
+                                "`{group}::{lock}` re-acquired while already held \
+                                 (guard taken at line {}) — \
+                                 std::sync::Mutex self-deadlocks",
+                                h.line,
+                            ),
+                            hint: "reuse the held guard or drop it first".to_string(),
+                        });
+                    } else {
+                        edges
+                            .entry((h.lock.clone(), lock.clone()))
+                            .or_insert_with(|| (file.clone(), *line, bare(qname).to_string()));
+                    }
+                }
+            }
+            Ev::CallLocal { qname: callee, line, .. } => {
+                let Some(target) = exposed.get(callee) else { return };
+                for h in held {
+                    for l in target {
+                        if *l == h.lock {
+                            out.push(Finding {
+                                file: file.clone(),
+                                line: *line,
+                                check: "lock-order",
+                                message: format!(
+                                    "calls `{callee}()` while holding \
+                                     `{group}::{}`, which `{callee}` \
+                                     (re-)acquires — self-deadlock",
+                                    h.lock,
+                                    callee = bare(callee),
+                                ),
+                                hint: format!(
+                                    "pass the held guard into `{}` or drop it \
+                                     before the call",
+                                    bare(callee)
+                                ),
+                            });
+                        } else {
+                            edges
+                                .entry((h.lock.clone(), l.clone()))
+                                .or_insert_with(|| (file.clone(), *line, bare(qname).to_string()));
                         }
                     }
                 }
             }
-            if !changed {
-                break;
-            }
-        }
+            _ => {}
+        });
+    }
 
-        // Pass 3: simulate each function, building order edges and
-        // catching reentrancy.
-        let mut edges: BTreeMap<(String, String), (String, usize, String)> = BTreeMap::new();
-        for (name, info) in &fns {
-            let mut held: Vec<(String, Option<String>, usize, usize)> = Vec::new();
-            let mut depth = 0usize;
-            for ev in &info.events {
-                match ev {
-                    Event::Open => depth += 1,
-                    Event::Close => {
-                        depth = depth.saturating_sub(1);
-                        held.retain(|(_, _, d, _)| *d <= depth);
-                    }
-                    Event::Drop { var } => {
-                        held.retain(|(_, v, _, _)| v.as_deref() != Some(var.as_str()));
-                    }
-                    Event::Acquire { lock, line, bound } => {
-                        for (h, _, _, hline) in &held {
-                            if h == lock {
-                                out.push(Finding {
-                                    file: info.file.clone(),
-                                    line: *line,
-                                    check: "lock-order",
-                                    message: format!(
-                                        "`{group}::{lock}` re-acquired while already held \
-                                         (guard taken at line {hline}) — \
-                                         std::sync::Mutex self-deadlocks",
-                                    ),
-                                    hint: "reuse the held guard or drop it first".to_string(),
-                                });
-                            } else {
-                                edges
-                                    .entry((h.clone(), lock.clone()))
-                                    .or_insert_with(|| (info.file.clone(), *line, name.clone()));
-                            }
-                        }
-                        if let Some(var) = bound {
-                            held.push((lock.clone(), Some(var.clone()), depth, *line));
-                        }
-                    }
-                    Event::Call { callee, line, bound } => {
-                        let Some(target) = fns.get(callee) else { continue };
-                        for (h, _, _, _) in &held {
-                            for l in &target.exposed {
-                                if l == h {
-                                    out.push(Finding {
-                                        file: info.file.clone(),
+    // A guard bound from a wrapper call (`let st = self.lock();`) holds
+    // the wrapper's direct locks from the call until drop/scope end —
+    // replay with those acquisitions substituted in.
+    let mut wrapper_events: BTreeMap<String, Vec<Ev>> = BTreeMap::new();
+    for (qname, f) in &facts {
+        if f.events.iter().any(
+            |e| matches!(e, Ev::CallLocal { qname: c, bound: Some(_), .. } if env.returns_guard(c)),
+        ) {
+            let replayed: Vec<Ev> = f
+                .events
+                .iter()
+                .flat_map(|e| match e {
+                    Ev::CallLocal { qname: c, line, bound: Some(b) } if env.returns_guard(c) => {
+                        facts
+                            .get(c)
+                            .map(|cf| {
+                                cf.direct
+                                    .iter()
+                                    .map(|l| Ev::Acquire {
+                                        lock: l.clone(),
                                         line: *line,
-                                        check: "lock-order",
-                                        message: format!(
-                                            "calls `{callee}()` while holding \
-                                             `{group}::{h}`, which `{callee}` \
-                                             (re-)acquires — self-deadlock",
-                                        ),
-                                        hint: format!(
-                                            "pass the held guard into `{callee}` or drop it \
-                                             before the call"
-                                        ),
-                                    });
-                                } else {
-                                    edges.entry((h.clone(), l.clone())).or_insert_with(|| {
-                                        (info.file.clone(), *line, name.clone())
-                                    });
-                                }
-                            }
-                        }
-                        // A bound call to a lock-wrapper (`let st =
-                        // self.lock()`) holds the wrapper's direct locks.
-                        // Only `lock`-shaped names count: a `let r =
-                        // self.write_checkpoint()` result is not a guard.
-                        if let Some(var) = bound {
-                            if ACQUIRE_METHODS.contains(&callee.as_str()) {
-                                for l in &target.direct {
-                                    held.push((l.clone(), Some(var.clone()), depth, *line));
-                                }
-                            }
-                        }
+                                        bound: Some(b.clone()),
+                                    })
+                                    .collect::<Vec<_>>()
+                            })
+                            .unwrap_or_default()
+                    }
+                    other => vec![other.clone()],
+                })
+                .collect();
+            wrapper_events.insert(qname.clone(), replayed);
+        }
+    }
+    for (qname, events) in &wrapper_events {
+        let (file, _) = &meta[qname];
+        simulate(events, |ev, held| {
+            if let Ev::Acquire { lock, line, .. } = ev {
+                for h in held {
+                    if h.lock != *lock {
+                        edges
+                            .entry((h.lock.clone(), lock.clone()))
+                            .or_insert_with(|| (file.clone(), *line, bare(qname).to_string()));
                     }
                 }
             }
-        }
+        });
+    }
 
-        // Pass 4: cycles in the order graph.
-        let graph: BTreeMap<&str, Vec<&str>> = {
-            let mut g: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
-            for (a, b) in edges.keys() {
-                g.entry(a.as_str()).or_default().push(b.as_str());
-            }
-            g
-        };
-        let mut reported: BTreeSet<Vec<String>> = BTreeSet::new();
-        for start in graph.keys() {
-            let mut path = vec![*start];
-            dfs_cycles(&graph, start, &mut path, &mut reported, &edges, group, out);
+    // Pass 4: cycles in the order graph.
+    let graph: BTreeMap<&str, Vec<&str>> = {
+        let mut g: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+        for (a, b) in edges.keys() {
+            g.entry(a.as_str()).or_default().push(b.as_str());
         }
+        g
+    };
+    let mut reported: BTreeSet<Vec<String>> = BTreeSet::new();
+    for start in graph.keys() {
+        let mut path = vec![*start];
+        dfs_cycles(&graph, start, &mut path, &mut reported, &edges, group, out);
     }
 }
 
@@ -290,96 +262,4 @@ fn dfs_cycles<'a>(
         dfs_cycles(graph, next, path, reported, edges, group, out);
         path.pop();
     }
-}
-
-/// Walks one function body, appending events to `info`.
-fn extract_events(
-    toks: &[&Tok],
-    open: usize,
-    close: usize,
-    local_fns: &BTreeSet<String>,
-    self_name: &str,
-    info: &mut FnInfo,
-) {
-    let mut i = open;
-    while i < close {
-        let t = toks[i];
-        if t.is_punct('{') {
-            info.events.push(Event::Open);
-        } else if t.is_punct('}') {
-            info.events.push(Event::Close);
-        } else if t.is_ident("drop")
-            && i + 3 < close
-            && toks[i + 1].is_punct('(')
-            && toks[i + 2].kind == Kind::Ident
-            && toks[i + 3].is_punct(')')
-        {
-            info.events.push(Event::Drop { var: toks[i + 2].text.clone() });
-        } else if t.is_punct('.')
-            && i + 3 < close
-            && toks[i + 1].kind == Kind::Ident
-            && ACQUIRE_METHODS.contains(&toks[i + 1].text.as_str())
-            && toks[i + 2].is_punct('(')
-            && toks[i + 3].is_punct(')')
-        {
-            // `.lock()` / `.read()` / `.write()` with no arguments.
-            let method = toks[i + 1].text.clone();
-            let line = toks[i + 1].line;
-            let recv = (i > 0 && toks[i - 1].kind == Kind::Ident).then(|| &toks[i - 1].text);
-            match recv.map(String::as_str) {
-                // `self.lock()` — a call to the crate's own wrapper.
-                Some("self") if local_fns.contains(&method) && method != self_name => {
-                    info.callees.insert(method.clone());
-                    info.events.push(Event::Call {
-                        callee: method,
-                        line,
-                        bound: binding_of(toks, i, open),
-                    });
-                }
-                Some(name) if !NOT_LOCKS.contains(&name) => {
-                    let bound = binding_of(toks, i, open);
-                    info.direct.insert(name.to_string());
-                    info.events.push(Event::Acquire { lock: name.to_string(), line, bound });
-                }
-                _ => {}
-            }
-            i += 4;
-            continue;
-        } else if t.kind == Kind::Ident
-            && i + 1 < close
-            && toks[i + 1].is_punct('(')
-            && local_fns.contains(&t.text)
-            && t.text != self_name
-            && !ACQUIRE_METHODS.contains(&t.text.as_str())
-            && !(i > 0 && toks[i - 1].is_ident("fn"))
-        {
-            info.callees.insert(t.text.clone());
-            info.events.push(Event::Call { callee: t.text.clone(), line: t.line, bound: None });
-        }
-        i += 1;
-    }
-}
-
-/// If the statement containing token `i` is a `let [mut] var = …`
-/// binding, returns `var`. The statement start is the nearest `;`, `{`
-/// or `}` before `i`.
-fn binding_of(toks: &[&Tok], i: usize, floor: usize) -> Option<String> {
-    let mut j = i;
-    while j > floor {
-        j -= 1;
-        let t = toks[j];
-        if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
-            j += 1;
-            break;
-        }
-    }
-    if !toks.get(j)?.is_ident("let") {
-        return None;
-    }
-    let mut k = j + 1;
-    if toks.get(k)?.is_ident("mut") {
-        k += 1;
-    }
-    let var = toks.get(k)?;
-    (var.kind == Kind::Ident && toks.get(k + 1)?.is_punct('=')).then(|| var.text.clone())
 }

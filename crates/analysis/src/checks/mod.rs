@@ -2,10 +2,13 @@
 
 mod checkpoint_schema;
 mod crate_attrs;
+mod hold_blocking;
 mod lock_order;
+mod nondet_order;
 mod panic_path;
 mod protocol_drift;
 mod telemetry_names;
+mod wire_compat;
 
 use crate::lexer::{Kind, Tok};
 use crate::{Check, SourceFile};
@@ -14,6 +17,9 @@ use crate::{Check, SourceFile};
 pub fn all() -> Vec<Box<dyn Check>> {
     vec![
         Box::new(lock_order::LockOrder),
+        Box::new(hold_blocking::HoldBlocking),
+        Box::new(nondet_order::NondetOrder),
+        Box::new(wire_compat::WireCompat),
         Box::new(panic_path::PanicPath),
         Box::new(protocol_drift::ProtocolDrift),
         Box::new(telemetry_names::TelemetryNames),

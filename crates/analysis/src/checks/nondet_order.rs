@@ -1,0 +1,432 @@
+//! Nondeterministic-iteration-order detector.
+//!
+//! `HashMap`/`HashSet` iteration order changes between runs and between
+//! processes (`RandomState`). When that order flows into anything
+//! observable — a checkpoint codec, a wire frame, a report, a work
+//! queue — identical campaigns produce different artifacts, which
+//! breaks byte-stable checkpoint diffs and cross-process coverage
+//! resume.
+//!
+//! The check walks each function's syntax tree and classifies method
+//! chains rooted at a hash-typed place (a `HashMap`/`HashSet` struct
+//! field or local). An enumeration (`iter`, `keys`, `values`, `drain`,
+//! …) may flow through order-preserving adapters (`map`, `filter`,
+//! `flat_map`, …) into an order-*insensitive* terminal (`any`, `count`,
+//! `max_by_key`, `sum`, …) — that is fine. Reaching anything else —
+//! `collect`, `fold`, `for_each`, a `for` loop body — is a finding:
+//! the order escapes. The fix is almost always mechanical: use a
+//! `BTreeMap`/`BTreeSet`, or sort before collecting.
+
+use std::collections::BTreeSet;
+
+use crate::ast::{self, Block, Expr, Stmt};
+use crate::dataflow::GroupEnv;
+use crate::{Check, Finding, SourceFile, Workspace};
+
+/// The nondeterministic-iteration-order detector (`nondet-order`).
+pub struct NondetOrder;
+
+/// Methods that begin an enumeration of a hash container.
+const ENUM_METHODS: [&str; 9] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "drain",
+    "into_keys",
+    "into_values",
+];
+
+/// Iterator adapters that preserve (nondeterministic) order.
+const PRESERVING: [&str; 16] = [
+    "map",
+    "filter",
+    "filter_map",
+    "flat_map",
+    "copied",
+    "cloned",
+    "chain",
+    "enumerate",
+    "take",
+    "skip",
+    "zip",
+    "rev",
+    "flatten",
+    "inspect",
+    "by_ref",
+    "peekable",
+];
+
+/// Terminals whose result does not depend on iteration order.
+const INSENSITIVE: [&str; 15] = [
+    "any",
+    "all",
+    "count",
+    "sum",
+    "product",
+    "max",
+    "min",
+    "max_by",
+    "min_by",
+    "max_by_key",
+    "min_by_key",
+    "find",
+    "find_map",
+    "position",
+    "last",
+];
+
+impl Check for NondetOrder {
+    fn id(&self) -> &'static str {
+        "nondet-order"
+    }
+
+    fn describe(&self) -> &'static str {
+        "HashMap/HashSet iteration order escaping into collections, codecs or loops"
+    }
+
+    fn run(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        for group in ws.group_names() {
+            let files: Vec<_> = ws.group(&group).collect();
+            let env = GroupEnv::build(&files);
+            for info in env.fns.values() {
+                if info.in_test || info.def.body.is_none() {
+                    continue;
+                }
+                let mut v = Visitor {
+                    file: info.file,
+                    group: &group,
+                    hash_fields: &env.hash_fields,
+                    locals: BTreeSet::new(),
+                    out,
+                };
+                for p in &info.def.params {
+                    if p.ty.contains("HashMap<") || p.ty.contains("HashSet<") {
+                        v.locals.insert(p.name.clone());
+                    }
+                }
+                if let Some(body) = &info.def.body {
+                    v.collect_locals(body);
+                    v.walk_block(body);
+                }
+            }
+        }
+    }
+}
+
+struct Visitor<'a, 'o> {
+    file: &'a SourceFile,
+    group: &'a str,
+    hash_fields: &'a BTreeSet<String>,
+    locals: BTreeSet<String>,
+    out: &'o mut Vec<Finding>,
+}
+
+/// Chain classification result.
+enum Chain {
+    /// An enumeration of the named hash place, unordered.
+    Unordered(String),
+    /// Anything order-safe.
+    Plain,
+}
+
+impl Visitor<'_, '_> {
+    /// The place text of a simple receiver (`self.leases` → `leases`).
+    fn hash_place(&self, e: &Expr) -> Option<String> {
+        match e {
+            Expr::Path { segs, .. } => {
+                let last = segs.last()?;
+                (self.locals.contains(last) || self.hash_fields.contains(last))
+                    .then(|| last.clone())
+            }
+            Expr::Field { name, .. } => (self.hash_fields.contains(name)
+                || self.locals.contains(name))
+            .then(|| name.clone()),
+            Expr::Unary { inner } | Expr::Try { inner } => self.hash_place(inner),
+            Expr::Tuple { items, .. } if items.len() == 1 => self.hash_place(&items[0]),
+            _ => None,
+        }
+    }
+
+    /// Registers locals of hash type from every `let` in the body.
+    fn collect_locals(&mut self, b: &Block) {
+        visit_blocks(b, &mut |stmt| {
+            if let Stmt::Let(l) = stmt {
+                if l.names.len() != 1 {
+                    return;
+                }
+                let is_hash = l.ty.contains("HashMap<")
+                    || l.ty.contains("HashSet<")
+                    || l.init.as_ref().is_some_and(constructs_hash)
+                    || l.init.as_ref().is_some_and(|e| self.hash_place(e).is_some());
+                if is_hash {
+                    self.locals.insert(l.names[0].clone());
+                }
+            }
+        });
+    }
+
+    /// Classifies a method chain, reporting at the first order-sensitive
+    /// escape. Returns the classification of this expression's value.
+    fn classify(&mut self, e: &Expr) -> Chain {
+        let Expr::MethodCall { recv, method, line, .. } = e else {
+            return Chain::Plain;
+        };
+        if ENUM_METHODS.contains(&method.as_str()) {
+            if let Some(place) = self.hash_place(recv) {
+                return Chain::Unordered(place);
+            }
+        }
+        match self.classify(recv) {
+            Chain::Unordered(place) => {
+                if PRESERVING.contains(&method.as_str()) {
+                    Chain::Unordered(place)
+                } else if INSENSITIVE.contains(&method.as_str()) {
+                    Chain::Plain
+                } else {
+                    self.report(*line, &place, &format!("`{method}()`"));
+                    Chain::Plain
+                }
+            }
+            Chain::Plain => Chain::Plain,
+        }
+    }
+
+    fn report(&mut self, line: usize, place: &str, sink: &str) {
+        self.out.push(Finding {
+            file: self.file.rel.clone(),
+            line,
+            check: "nondet-order",
+            message: format!(
+                "iteration over `{}::{place}` (HashMap/HashSet) escapes into {sink} — \
+                 the order differs across runs and processes",
+                self.group,
+            ),
+            hint: "use a BTreeMap/BTreeSet, or sort before collecting".to_string(),
+        });
+    }
+
+    fn walk_block(&mut self, b: &Block) {
+        for stmt in &b.stmts {
+            match stmt {
+                Stmt::Let(l) => {
+                    if let Some(init) = &l.init {
+                        self.walk_expr(init);
+                    }
+                    if let Some(eb) = &l.else_block {
+                        self.walk_block(eb);
+                    }
+                }
+                Stmt::Expr(e) => self.walk_expr(e),
+                Stmt::Item(_) => {}
+            }
+        }
+    }
+
+    fn walk_expr(&mut self, e: &Expr) {
+        match e {
+            Expr::MethodCall { recv, args, .. } => {
+                self.classify(e);
+                // Recurse into the chain's base and every link's args
+                // for nested chains.
+                self.walk_expr(recv);
+                for a in args {
+                    self.walk_expr(a);
+                }
+            }
+            Expr::For { iter, body, line, .. } => {
+                let unordered = match self.classify(iter) {
+                    Chain::Unordered(p) => Some(p),
+                    Chain::Plain => self.hash_place(iter),
+                };
+                if let Some(place) = unordered {
+                    self.report(*line, &place, "a `for` loop body");
+                } else {
+                    self.walk_expr(iter);
+                }
+                self.walk_block(body);
+            }
+            Expr::Call { callee, args, .. } => {
+                self.walk_expr(callee);
+                for a in args {
+                    self.walk_expr(a);
+                }
+            }
+            Expr::Macro { args, .. } => {
+                for a in args {
+                    self.walk_expr(a);
+                }
+            }
+            Expr::Field { recv, .. } => self.walk_expr(recv),
+            Expr::Index { recv, index, .. } => {
+                self.walk_expr(recv);
+                self.walk_expr(index);
+            }
+            Expr::Try { inner } | Expr::Unary { inner } => self.walk_expr(inner),
+            Expr::Binary { lhs, rhs, .. } => {
+                self.walk_expr(lhs);
+                self.walk_expr(rhs);
+            }
+            Expr::Assign { target, value, .. } => {
+                self.walk_expr(target);
+                self.walk_expr(value);
+            }
+            Expr::Block(b) => self.walk_block(b),
+            Expr::If { cond, then, alt, .. } => {
+                self.walk_expr(cond);
+                self.walk_block(then);
+                if let Some(alt) = alt {
+                    self.walk_expr(alt);
+                }
+            }
+            Expr::Match { scrutinee, arms, .. } => {
+                self.walk_expr(scrutinee);
+                for arm in arms {
+                    if let Some(g) = &arm.guard {
+                        self.walk_expr(g);
+                    }
+                    self.walk_expr(&arm.body);
+                }
+            }
+            Expr::While { cond, body, .. } => {
+                self.walk_expr(cond);
+                self.walk_block(body);
+            }
+            Expr::Loop { body, .. } => self.walk_block(body),
+            Expr::Closure { body, .. } => self.walk_expr(body),
+            Expr::StructLit { fields, .. } => {
+                for (_, v) in fields {
+                    self.walk_expr(v);
+                }
+            }
+            Expr::Tuple { items, .. } | Expr::Array { items, .. } => {
+                for i in items {
+                    self.walk_expr(i);
+                }
+            }
+            Expr::Ret { inner, .. } => {
+                if let Some(i) = inner {
+                    self.walk_expr(i);
+                }
+            }
+            Expr::Path { .. } | Expr::Lit { .. } | Expr::Other { .. } => {}
+        }
+    }
+}
+
+/// Whether an initializer constructs a hash container.
+fn constructs_hash(e: &Expr) -> bool {
+    match e {
+        Expr::Call { callee, .. } => {
+            if let Expr::Path { segs, .. } = callee.as_ref() {
+                segs.len() >= 2 && matches!(segs[segs.len() - 2].as_str(), "HashMap" | "HashSet")
+            } else {
+                false
+            }
+        }
+        Expr::MethodCall { recv, method, .. }
+            if matches!(method.as_str(), "unwrap" | "expect" | "clone") =>
+        {
+            constructs_hash(recv)
+        }
+        _ => false,
+    }
+}
+
+/// Applies `f` to every statement in the block, nested blocks included.
+fn visit_blocks(b: &Block, f: &mut impl FnMut(&Stmt)) {
+    for stmt in &b.stmts {
+        f(stmt);
+        match stmt {
+            Stmt::Let(l) => {
+                if let Some(init) = &l.init {
+                    visit_expr_blocks(init, f);
+                }
+                if let Some(eb) = &l.else_block {
+                    visit_blocks(eb, f);
+                }
+            }
+            Stmt::Expr(e) => visit_expr_blocks(e, f),
+            Stmt::Item(ast::Item::Fn(d)) => {
+                if let Some(body) = &d.body {
+                    visit_blocks(body, f);
+                }
+            }
+            Stmt::Item(_) => {}
+        }
+    }
+}
+
+fn visit_expr_blocks(e: &Expr, f: &mut impl FnMut(&Stmt)) {
+    match e {
+        Expr::Block(b) | Expr::Loop { body: b, .. } => visit_blocks(b, f),
+        Expr::If { cond, then, alt, .. } => {
+            visit_expr_blocks(cond, f);
+            visit_blocks(then, f);
+            if let Some(alt) = alt {
+                visit_expr_blocks(alt, f);
+            }
+        }
+        Expr::Match { scrutinee, arms, .. } => {
+            visit_expr_blocks(scrutinee, f);
+            for arm in arms {
+                visit_expr_blocks(&arm.body, f);
+            }
+        }
+        Expr::While { cond, body, .. } => {
+            visit_expr_blocks(cond, f);
+            visit_blocks(body, f);
+        }
+        Expr::For { iter, body, .. } => {
+            visit_expr_blocks(iter, f);
+            visit_blocks(body, f);
+        }
+        Expr::Closure { body, .. } | Expr::Try { inner: body } | Expr::Unary { inner: body } => {
+            visit_expr_blocks(body, f);
+        }
+        Expr::MethodCall { recv, args, .. } => {
+            visit_expr_blocks(recv, f);
+            for a in args {
+                visit_expr_blocks(a, f);
+            }
+        }
+        Expr::Call { callee, args, .. } => {
+            visit_expr_blocks(callee, f);
+            for a in args {
+                visit_expr_blocks(a, f);
+            }
+        }
+        Expr::Binary { lhs, rhs, .. } => {
+            visit_expr_blocks(lhs, f);
+            visit_expr_blocks(rhs, f);
+        }
+        Expr::Assign { target, value, .. } => {
+            visit_expr_blocks(target, f);
+            visit_expr_blocks(value, f);
+        }
+        Expr::Field { recv, .. } => visit_expr_blocks(recv, f),
+        Expr::Index { recv, index, .. } => {
+            visit_expr_blocks(recv, f);
+            visit_expr_blocks(index, f);
+        }
+        Expr::StructLit { fields, .. } => {
+            for (_, v) in fields {
+                visit_expr_blocks(v, f);
+            }
+        }
+        Expr::Tuple { items, .. } | Expr::Array { items, .. } => {
+            for i in items {
+                visit_expr_blocks(i, f);
+            }
+        }
+        Expr::Macro { args, .. } => {
+            for a in args {
+                visit_expr_blocks(a, f);
+            }
+        }
+        Expr::Ret { inner: Some(i), .. } => visit_expr_blocks(i, f),
+        _ => {}
+    }
+}

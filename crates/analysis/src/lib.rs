@@ -32,7 +32,9 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod ast;
 pub mod checks;
+pub mod dataflow;
 pub mod lexer;
 
 use std::collections::BTreeMap;
@@ -99,6 +101,13 @@ pub struct SourceFile {
     pub group: String,
     /// Allow comments parsed from this file.
     pub allows: Vec<Allow>,
+    /// The parsed syntax tree; `None` when [`ast::parse`] failed
+    /// structurally (the reason is in [`SourceFile::parse_err`]). The
+    /// AST-based checks skip such files, so the CI self-scan asserts
+    /// this never happens on workspace sources.
+    pub ast: Option<ast::File>,
+    /// Why [`SourceFile::ast`] is `None`, if it is.
+    pub parse_err: Option<String>,
 }
 
 impl SourceFile {
@@ -110,7 +119,11 @@ impl SourceFile {
         let test_lines = mark_test_lines(&toks, lines);
         let group = group_of(&rel);
         let allows = parse_allows(&toks);
-        Self { rel, text, toks, test_lines, group, allows }
+        let (ast, parse_err) = match ast::parse(&toks) {
+            Ok(file) => (Some(file), None),
+            Err(e) => (None, Some(e)),
+        };
+        Self { rel, text, toks, test_lines, group, allows, ast, parse_err }
     }
 
     /// Whether the given 1-based line is inside a `#[cfg(test)]` item.

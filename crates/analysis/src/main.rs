@@ -9,7 +9,9 @@
 //! `[workspace]`). Exits non-zero when any finding is reported. With
 //! `--expect FILE`, instead compares the findings against the expected
 //! lines in FILE (the fixture-regression mode CI uses) and fails on any
-//! difference.
+//! difference. With `--parse-stats`, reports how many files the syntax
+//! layer parsed and fails if any fell back to token mode — the CI
+//! self-scan that keeps the AST checks honest.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -21,12 +23,14 @@ use dx_analysis::{checks, run_all, workspace_root, Finding, Workspace};
 
 fn main() -> ExitCode {
     let mut fix_hints = false;
+    let mut parse_stats = false;
     let mut expect: Option<PathBuf> = None;
     let mut paths: Vec<PathBuf> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--fix-hints" => fix_hints = true,
+            "--parse-stats" => parse_stats = true,
             "--expect" => match args.next() {
                 Some(f) => expect = Some(PathBuf::from(f)),
                 None => {
@@ -60,14 +64,31 @@ fn main() -> ExitCode {
     }
 
     let mut findings = Vec::new();
+    let mut parsed = 0usize;
+    let mut fallbacks: Vec<(String, String)> = Vec::new();
     for path in &paths {
         match Workspace::load(path) {
-            Ok(ws) => findings.extend(run_all(&ws)),
+            Ok(ws) => {
+                for f in &ws.files {
+                    match &f.parse_err {
+                        None => parsed += 1,
+                        Some(e) => fallbacks.push((f.rel.clone(), e.clone())),
+                    }
+                }
+                findings.extend(run_all(&ws));
+            }
             Err(err) => {
                 eprintln!("error: cannot scan {}: {err}", path.display());
                 return ExitCode::FAILURE;
             }
         }
+    }
+    if parse_stats {
+        println!("dx-analysis: {parsed} file(s) parsed, {} fallback(s)", fallbacks.len());
+        for (rel, why) in &fallbacks {
+            println!("  token-mode fallback: {rel}: {why}");
+        }
+        return if fallbacks.is_empty() { ExitCode::SUCCESS } else { ExitCode::FAILURE };
     }
     findings.sort_by(|a, b| {
         (a.file.as_str(), a.line, a.check).cmp(&(b.file.as_str(), b.line, b.check))
@@ -126,11 +147,13 @@ fn check_expectations(findings: &[Finding], expect: &Path) -> ExitCode {
 fn print_help() {
     println!(
         "dx-analysis — in-tree whitebox static analysis\n\n\
-         usage: cargo run -p dx-analysis -- [--fix-hints] [--expect FILE] [paths...]\n\n\
+         usage: cargo run -p dx-analysis -- [--fix-hints] [--parse-stats] [--expect FILE] [paths...]\n\n\
          With no paths, scans the enclosing cargo workspace and exits\n\
          non-zero on any finding. --fix-hints prints a remediation hint\n\
          under each finding. --expect FILE compares findings against the\n\
-         expected lines in FILE (fixture-regression mode).\n\nchecks:"
+         expected lines in FILE (fixture-regression mode). --parse-stats\n\
+         reports syntax-layer coverage and fails if any file fell back\n\
+         to token mode.\n\nchecks:"
     );
     for check in checks::all() {
         println!("  {:<15} {}", check.id(), check.describe());

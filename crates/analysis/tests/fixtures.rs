@@ -42,6 +42,9 @@ fn bad_fixtures_surface_every_seeded_violation() {
     // check while the others still fire should not pass.
     for check in [
         "lock-order",
+        "hold-blocking",
+        "nondet-order",
+        "wire-compat",
         "panic",
         "proto-drift",
         "telemetry-name",

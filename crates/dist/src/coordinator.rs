@@ -34,7 +34,7 @@
 //! the whole fleet, and `dx_campaign::Campaign::resume` can continue the
 //! same checkpoint in-process.
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::io;
 use std::net::{TcpListener, TcpStream};
 use std::path::Path;
@@ -384,7 +384,10 @@ struct State {
     round: RoundAccum,
     round_started: Instant,
     steps_done: usize,
-    leases: HashMap<u64, Lease>,
+    // BTreeMap, not HashMap: lease ids iterate in issue order, so the
+    // snapshot in dist.json and the housekeeping sweep are
+    // deterministic across runs.
+    leases: BTreeMap<u64, Lease>,
     /// Requeued seed ids (expired/abandoned leases), served before fresh
     /// scheduling.
     pending: VecDeque<usize>,
@@ -656,7 +659,7 @@ impl Coordinator {
                 round: RoundAccum::default(),
                 round_started: Instant::now(),
                 steps_done: restored.steps_done,
-                leases: HashMap::new(),
+                leases: BTreeMap::new(),
                 pending: restored.pending,
                 next_lease: restored.next_lease,
                 next_slot: 0,

@@ -16,7 +16,7 @@
 //! union's news back, which the generator adopts so it stops chasing
 //! neurons another worker already covered.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -157,7 +157,8 @@ pub fn run_worker(
     let mut stream = connect(addr, &cfg)?;
     stream.set_nodelay(true)?;
     let slot = hello(&mut stream, fingerprint, &worker_id, cfg.auth_token.as_deref())?;
-    let mut contexts: HashMap<u64, CampaignCtx> = HashMap::new();
+    // BTreeMap so the telemetry fold over contexts is deterministic.
+    let mut contexts: BTreeMap<u64, CampaignCtx> = BTreeMap::new();
     let mut summary = WorkerSummary { slot, steps: 0, diffs_found: 0, coverage: Vec::new() };
     // Heartbeat round-trips since the last results report, shipped as
     // part of the advisory telemetry snapshot.

@@ -39,7 +39,7 @@
 
 #![forbid(unsafe_code)]
 
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, HashSet};
 use std::io;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -173,7 +173,9 @@ pub(crate) struct SvcState {
     pub identities: BTreeMap<u64, String>,
     pub live_slots: HashSet<u64>,
     pub next_slot: u64,
-    pub leases: HashMap<u64, SvcLease>,
+    // BTreeMap, not HashMap: lease ids iterate in issue order, so
+    // `leased_ids` snapshots and dispatcher sweeps are deterministic.
+    pub leases: BTreeMap<u64, SvcLease>,
     pub next_lease: u64,
     pub connected: usize,
 }
@@ -288,7 +290,7 @@ impl Service {
                 identities: BTreeMap::new(),
                 live_slots: HashSet::new(),
                 next_slot: 0,
-                leases: HashMap::new(),
+                leases: BTreeMap::new(),
                 next_lease: 0,
                 connected: 0,
             }),
