@@ -3,7 +3,7 @@
 # fails when any arm regressed more than the allowed percentage.
 #
 # Usage: ci/check_bench_regression.sh <baseline_dir> <fresh_dir> \
-#            [max_regression_pct] [max_overhead_pct]
+#            [max_regression_pct] [max_overhead_pct] [min_batched_ratio]
 #
 # What is compared is the speedup column — the last field of every data
 # row ("1.23x"). Speedup is a *same-run* ratio: each arm is normalized
@@ -20,12 +20,22 @@
 # The campaign_scaling bench also emits a "telemetry overhead:" line — a
 # same-run pair of identical arms with the hot-path phase timers disabled
 # vs enabled. That overhead must stay under max_overhead_pct (default 5).
+#
+# It further emits a "batched speedup:" line — the same-run seeds/s ratio
+# of the tile-8 batched generator arm over the tile-1 scalar arm, on
+# bit-identical work. That ratio must stay at or above min_batched_ratio
+# (default 0.85): on the conv-dominated test-scale workload the two arms
+# measure at parity (per-sample im2col dominates), so the gate's job is
+# to catch the batched path regressing into a pessimization, with a 15%
+# noise allowance. Raise the floor if batched conv lands and the measured
+# ratio moves.
 set -euo pipefail
 
-baseline_dir=${1:?usage: check_bench_regression.sh <baseline_dir> <fresh_dir> [max_pct] [max_overhead_pct]}
-fresh_dir=${2:?usage: check_bench_regression.sh <baseline_dir> <fresh_dir> [max_pct] [max_overhead_pct]}
+baseline_dir=${1:?usage: check_bench_regression.sh <baseline_dir> <fresh_dir> [max_pct] [max_overhead_pct] [min_batched_ratio]}
+fresh_dir=${2:?usage: check_bench_regression.sh <baseline_dir> <fresh_dir> [max_pct] [max_overhead_pct] [min_batched_ratio]}
 max_pct=${3:-25}
 max_overhead_pct=${4:-5}
+min_batched_ratio=${5:-0.85}
 
 # Data rows end with the speedup column; everything before the numeric
 # columns is the arm name. Emits "<arm>\t<speedup>" with the x stripped.
@@ -104,6 +114,24 @@ elif ! awk -v o="$overhead" -v max="$max_overhead_pct" 'BEGIN {
       exit 1
     }
     printf "ok   telemetry overhead: %.1f%% (budget %s%%)\n", o, max
+  }'; then
+  fail=1
+fi
+
+# Batched/scalar floor: the tile-8 and tile-1 arms run identical work in
+# the same process, so the ratio is hardware-independent. Below the floor
+# the batched path has stopped paying for itself.
+batched=$(awk '/^batched speedup:/ { v = $3; sub(/x$/, "", v); print v; exit }' \
+  "$fresh_dir/campaign_scaling.txt" 2>/dev/null || true)
+if [ -z "$batched" ]; then
+  echo "FAIL campaign_scaling: no 'batched speedup:' line in fresh results"
+  fail=1
+elif ! awk -v r="$batched" -v min="$min_batched_ratio" 'BEGIN {
+    if (r < min) {
+      printf "FAIL batched speedup: %.2fx < %sx floor (batched generator path regressed vs scalar)\n", r, min
+      exit 1
+    }
+    printf "ok   batched speedup: %.2fx (floor %sx)\n", r, min
   }'; then
   fail=1
 fi

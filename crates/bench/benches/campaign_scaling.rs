@@ -129,6 +129,78 @@ fn main() {
         }
     }
 
+    // Batched tiling sweep: the same single-worker neuron campaign at
+    // generator tile widths 1/4/8, with merge-every pinned to 8 across
+    // the arms (the effective tile is min(batch, merge-every), and the
+    // coverage-sync cadence must match for the arms to do identical
+    // work). Tiling is pure — every arm lands on bit-identical corpus
+    // and coverage state, so the cover% column must agree — and the
+    // speedup column is the batched kernels' throughput win over the
+    // scalar (tile-1) path on identical work. The nightly gate reads the
+    // "batched speedup:" line below and fails if the tile-8 arm stops
+    // paying for itself.
+    // Short arms are noisy on a busy CI runner, so the sweep interleaves
+    // reps across the widths and keeps each width's best rep — slow drift
+    // (thermal, co-tenant load) then hits every width alike instead of
+    // whichever arm happened to run last.
+    const TILES: [usize; 3] = [1, 4, 8];
+    let tile_reps = 3;
+    let mut best: [(f64, f64, usize, f32); TILES.len()] = [(0.0, 0.0, 0, 0.0); TILES.len()];
+    let mut breakdowns: Vec<String> = vec![String::new(); TILES.len()];
+    for _ in 0..tile_reps {
+        for (slot, &tile) in TILES.iter().enumerate() {
+            let suite = ModelSuite {
+                models: models.clone(),
+                kind: setup.task,
+                hp: setup.hp,
+                constraint: setup.constraint.clone(),
+                signal: SignalSpec::neuron(CoverageConfig::scaled(0.25)),
+            };
+            let registry = MetricsRegistry::new();
+            let mut campaign = Campaign::new(
+                suite,
+                &seeds,
+                CampaignConfig {
+                    workers: 1,
+                    epochs,
+                    batch_per_epoch: batch,
+                    batch: tile,
+                    merge_every: 8,
+                    seed: 42,
+                    registry: registry.clone(),
+                    ..Default::default()
+                },
+            );
+            campaign.run().expect("no checkpoint dir configured, run cannot fail");
+            let report = campaign.report();
+            let sps = report.seeds_per_sec();
+            if sps > best[slot].0 {
+                best[slot] =
+                    (sps, report.diffs_per_sec(), report.total_diffs(), campaign.mean_coverage());
+                breakdowns[slot] = phase_breakdown(&registry);
+            }
+        }
+    }
+    let tile1_sps = best[0].0;
+    for (slot, &tile) in TILES.iter().enumerate() {
+        let (sps, dps, diffs, cover) = best[slot];
+        out.line(format!(
+            "{:<16} {:<8} {:>9.2} {:>9.2} {:>9} {:>8.1}% {:>8.2}x",
+            format!("tile:{tile}"),
+            1,
+            sps,
+            dps,
+            diffs,
+            100.0 * cover,
+            sps / tile1_sps,
+        ));
+        out.line(format!("    phases: {}", breakdowns[slot]));
+    }
+    out.line(format!(
+        "batched speedup: {:.2}x (tile 8 vs tile 1, best of {tile_reps} interleaved reps each)",
+        best[TILES.len() - 1].0 / tile1_sps,
+    ));
+
     // Instrumentation overhead: the same single-worker neuron arm with the
     // hot-path phase timers compiled in but disabled, vs enabled. The gate
     // script asserts the enabled arms stay within a few percent. Reps are

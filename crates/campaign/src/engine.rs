@@ -118,6 +118,13 @@ pub struct CampaignConfig {
     pub epochs: usize,
     /// Corpus entries scheduled per epoch.
     pub batch_per_epoch: usize,
+    /// Seeds grown per batched generator call — the execution tile width
+    /// of [`Generator::run_batch_tiled`]. Pure tiling: campaign results
+    /// are bit-identical for every width (the CI batch-parity smoke holds
+    /// a full campaign to this). The effective tile is capped by
+    /// `merge_every`, which fixes the batched call boundaries (and so the
+    /// coverage-sync cadence) independently of `batch`.
+    pub batch: usize,
     /// Wall-clock budget for one [`Campaign::run`] call; `None` is
     /// unbounded.
     pub duration: Option<Duration>,
@@ -145,6 +152,7 @@ impl Default for CampaignConfig {
             workers: 1,
             epochs: 4,
             batch_per_epoch: 16,
+            batch: 4,
             duration: None,
             desired_coverage: None,
             checkpoint_dir: None,
@@ -564,6 +572,7 @@ impl Campaign {
         }
         let covered_before = self.covered_units();
         let merge_every = self.config.merge_every.max(1);
+        let batch = self.config.batch.max(1);
         let global = Mutex::new(std::mem::take(&mut self.global));
         let per_worker: Vec<Vec<(usize, SeedRun)>> = std::thread::scope(|scope| {
             let handles: Vec<_> = self
@@ -589,14 +598,22 @@ impl Campaign {
                             worker.sync_coverage_into(&mut union);
                             worker.adopt_coverage(&union);
                         };
+                        // Chunk by merge_every — each chunk is one batched
+                        // generator call (the batch-width invariance
+                        // interval) followed by a coverage sync, so both
+                        // the sync cadence and the results are independent
+                        // of the tile width.
                         let mut out = Vec::with_capacity(jobs.len());
-                        for (k, (id, input)) in jobs.into_iter().enumerate() {
-                            out.push((id, worker.run_seed(id, &input)));
-                            if (k + 1) % merge_every == 0 {
-                                sync(worker);
-                            }
+                        for chunk in jobs.chunks(merge_every) {
+                            let ids: Vec<usize> = chunk.iter().map(|(id, _)| *id).collect();
+                            let stacked = stack_inputs(chunk);
+                            let runs = worker.run_batch_tiled(&ids, &stacked, batch);
+                            out.extend(ids.into_iter().zip(runs));
+                            sync(worker);
                         }
-                        sync(worker);
+                        if jobs.is_empty() {
+                            sync(worker);
+                        }
                         out
                     })
                 })
@@ -696,4 +713,16 @@ impl Campaign {
         });
         self.epochs_done += 1;
     }
+}
+
+/// Stacks a chunk of `[1, ...]` corpus inputs into one `[C, ...]` batch for
+/// the generator's batched path.
+fn stack_inputs(chunk: &[(usize, Tensor)]) -> Tensor {
+    let mut data = Vec::with_capacity(chunk.len() * chunk[0].1.len());
+    for (_, input) in chunk {
+        data.extend_from_slice(input.data());
+    }
+    let mut shape = chunk[0].1.shape().to_vec();
+    shape[0] = chunk.len();
+    Tensor::from_vec(data, &shape)
 }

@@ -66,7 +66,15 @@ GENERATE OPTIONS:
 CAMPAIGN OPTIONS:
     --workers <N>          Worker threads (default: 1; 1 is deterministic).
     --epochs <N>           Epochs to run (default: 8).
-    --batch <N>            Corpus entries fuzzed per epoch (default: 32).
+    --batch <N>            Seeds grown per batched generator call — the
+                           execution tile width (default: 4). Pure tiling:
+                           results are bit-identical for any width. Tiles
+                           are capped by --merge-every, which fixes the
+                           batched-call boundaries.
+    --batch-per-epoch <N>  Corpus entries fuzzed per epoch (default: 32).
+    --merge-every <N>      Jobs per worker between coverage syncs with the
+                           global union — also the batched-call chunk size
+                           (default: 4).
     --duration <secs>      Wall-clock budget; stops at the epoch boundary.
     --seeds <N>            Initial corpus seeds from the test set (default: 64).
     --checkpoint <dir>     Write JSONL corpus/stats/diffs checkpoints to <dir>.
@@ -119,7 +127,10 @@ WORKER OPTIONS:
     --connect <addr>       Coordinator address (required).
     --lease <N>            Jobs requested per lease (default: 4; advisory —
                            an adaptive coordinator may grant more).
-    --heartbeat-every <N>  Heartbeat before every N-th job (default: 1).
+    --batch <N>            Seeds grown per batched generator call within a
+                           lease (default: 4).
+    --heartbeat-every <N>  Heartbeat once this many jobs ran since the last
+                           one, between batched calls (default: 1).
     --auth-token <secret>  Shared secret answering the coordinator's auth
                            challenge (or the DX_AUTH_TOKEN env var).
     (Pass the same --dataset/--full/--metric/hyperparameter flags as the
@@ -497,7 +508,9 @@ pub fn campaign(args: &Args) -> CmdResult {
     let config = dx_campaign::CampaignConfig {
         workers: args.get_num("workers", 1)?,
         epochs: args.get_num("epochs", 8)?,
-        batch_per_epoch: args.get_num("batch", 32)?,
+        batch_per_epoch: args.get_num("batch-per-epoch", 32)?,
+        batch: args.get_num("batch", 4)?,
+        merge_every: args.get_num("merge-every", 4)?,
         duration: parse_duration(args)?,
         desired_coverage: parse_target_coverage(args)?,
         checkpoint_dir,
@@ -505,12 +518,13 @@ pub fn campaign(args: &Args) -> CmdResult {
         max_corpus: args.get_num("max-corpus", 4096)?,
         energy: args.get_num("energy", dx_campaign::EnergyModel::Classic)?,
         registry: dx_telemetry::global().clone(),
-        ..Default::default()
     };
     for (flag, value) in [
         ("workers", config.workers),
         ("epochs", config.epochs),
-        ("batch", config.batch_per_epoch),
+        ("batch-per-epoch", config.batch_per_epoch),
+        ("batch", config.batch),
+        ("merge-every", config.merge_every),
         ("max-corpus", config.max_corpus),
     ] {
         if value == 0 {
@@ -709,6 +723,7 @@ pub fn worker(args: &Args) -> CmdResult {
     let addr = args.get("connect").ok_or("worker needs --connect <host:port>")?;
     let cfg = dx_dist::WorkerConfig {
         lease_size: args.get_num("lease", 4)?,
+        batch: args.get_num("batch", 4)?,
         heartbeat_every: args.get_num("heartbeat-every", 1)?,
         auth_token: auth_token(args),
         ..Default::default()

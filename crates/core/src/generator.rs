@@ -1,14 +1,15 @@
 //! Algorithm 1: test-input generation via joint optimization.
 
+use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
 use dx_coverage::neuron::injection_for_neuron;
 use dx_coverage::{CoverageConfig, CoverageSignal, CoverageTracker};
-use dx_nn::network::Network;
+use dx_nn::network::{ForwardPass, Network};
 use dx_nn::util::{gather_rows, row};
 use dx_telemetry::phase::{Phase, PhaseAccum};
 use dx_telemetry::phase_timer;
-use dx_tensor::{rng, Tensor};
+use dx_tensor::{rng, Tensor, Workspace};
 use rand::Rng as _;
 
 use crate::constraints::Constraint;
@@ -122,6 +123,10 @@ pub struct Generator {
     /// [`Generator::take_phase_stats`]; plain (non-atomic) because each
     /// generator is owned by exactly one worker thread.
     phases: PhaseAccum,
+    /// Buffer arena shared by the scalar and batched hot paths; every
+    /// intermediate activation and gradient is drawn from (and recycled
+    /// into) this pool, so steady-state iterates allocate nothing.
+    ws: Workspace,
 }
 
 impl Generator {
@@ -182,6 +187,7 @@ impl Generator {
             signals,
             rng: rng::rng(seed),
             phases: PhaseAccum::new(),
+            ws: Workspace::new(),
         }
     }
 
@@ -348,11 +354,7 @@ impl Generator {
             newly_by_component: vec![0; self.signals[0].n_components()],
             corpus_candidate: None,
         };
-        let mut passes: Vec<_> = phase_timer!(
-            self.phases,
-            Phase::Forward,
-            self.models.iter().map(|m| m.forward(seed_x)).collect()
-        );
+        let mut passes = phase_timer!(self.phases, Phase::Forward, self.forward_all_lite(seed_x));
         let initial = self.predictions_of(&passes);
         phase_timer!(self.phases, Phase::Coverage, {
             for (pass, tracker) in passes.iter().zip(self.signals.iter_mut()) {
@@ -370,6 +372,7 @@ impl Generator {
                     target_model: 0,
                 });
             }
+            self.recycle_passes(passes);
             return run;
         }
         let c = match initial[0] {
@@ -386,17 +389,16 @@ impl Generator {
                 Phase::Constraint,
                 self.constraint.step(&x, &grad, self.hp.step)
             );
+            self.ws.put_tensor(grad);
             if next == x {
                 // The constraint admits no further movement from here.
+                self.recycle_passes(passes);
                 return run;
             }
             x = next;
             run.iterations = iter;
-            passes = phase_timer!(
-                self.phases,
-                Phase::Forward,
-                self.models.iter().map(|m| m.forward(&x)).collect()
-            );
+            let fresh = phase_timer!(self.phases, Phase::Forward, self.forward_all_lite(&x));
+            self.recycle_passes(std::mem::replace(&mut passes, fresh));
             let preds = self.predictions_of(&passes);
             let newly: usize = phase_timer!(
                 self.phases,
@@ -420,10 +422,341 @@ impl Generator {
                     predictions: preds,
                     target_model: j,
                 });
+                self.recycle_passes(passes);
                 return run;
             }
         }
+        self.recycle_passes(passes);
         run
+    }
+
+    /// One cache-light forward per model, all buffers from the arena.
+    fn forward_all_lite(&mut self, x: &Tensor) -> Vec<ForwardPass> {
+        let Self { models, ws, .. } = self;
+        models.iter().map(|m| m.forward_lite(x, ws)).collect()
+    }
+
+    /// Returns a set of per-model passes to the arena.
+    fn recycle_passes(&mut self, passes: Vec<ForwardPass>) {
+        for p in passes {
+            p.recycle(&mut self.ws);
+        }
+    }
+
+    /// Batched campaign step: grows every seed in `seeds` (`[N, ...]`, one
+    /// row per entry of `seed_indices`) with one stacked forward and one
+    /// batched joint-objective backward per model per iterate, processing
+    /// all `N` rows as a single tile.
+    ///
+    /// Results are bit-identical per seed to [`Generator::run_batch_tiled`]
+    /// at any tile width — see there for the invariance contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `seeds` has one row per seed index.
+    pub fn run_batch(&mut self, seed_indices: &[usize], seeds: &Tensor) -> Vec<SeedRun> {
+        self.run_batch_tiled(seed_indices, seeds, seed_indices.len().max(1))
+    }
+
+    /// [`Generator::run_batch`] with an explicit tile width: rows are
+    /// processed `batch` at a time (the last tile may be narrower).
+    ///
+    /// `batch` is pure execution tiling — for a fixed job list the results
+    /// are bit-identical for every width, because the per-job random and
+    /// coverage state is fixed at call entry:
+    ///
+    /// - One RNG lane seed is drawn from the generator RNG per job,
+    ///   upfront, in job order; every per-job random decision (the target
+    ///   model `j`, obj2 neuron picks) comes from that job's own lane in
+    ///   (iterate, model) order.
+    /// - Each job steers against a clone of the coverage signals as of
+    ///   call entry; the clones merge back into the generator's signals in
+    ///   job order before the call returns, and each job's
+    ///   [`SeedRun::newly_covered`] counts against its own clone.
+    ///
+    /// The CI batch-parity smoke holds a whole campaign to this contract
+    /// (`--batch 1` vs `--batch 8` checkpoints diff bit-identical).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `seeds` has one row per seed index.
+    pub fn run_batch_tiled(
+        &mut self,
+        seed_indices: &[usize],
+        seeds: &Tensor,
+        batch: usize,
+    ) -> Vec<SeedRun> {
+        let n = seed_indices.len();
+        assert_eq!(seeds.shape()[0], n, "one seed row per seed index");
+        let mut runs: Vec<SeedRun> = (0..n)
+            .map(|_| SeedRun {
+                test: None,
+                preexisting: false,
+                iterations: 0,
+                newly_covered: 0,
+                newly_by_component: vec![0; self.signals[0].n_components()],
+                corpus_candidate: None,
+            })
+            .collect();
+        if n == 0 {
+            return runs;
+        }
+        let mut lanes: Vec<rng::Rng> =
+            (0..n).map(|_| rng::rng(self.rng.gen_range(0..u64::MAX))).collect();
+        let mut job_signals: Vec<Vec<CoverageSignal>> =
+            (0..n).map(|_| self.signals.clone()).collect();
+        let batch = batch.max(1);
+        let mut start = 0;
+        while start < n {
+            let end = (start + batch).min(n);
+            let tile: Vec<usize> = (start..end).collect();
+            self.run_tile(&tile, seed_indices, seeds, &mut lanes, &mut job_signals, &mut runs);
+            start = end;
+        }
+        for local in &job_signals {
+            for (global, l) in self.signals.iter_mut().zip(local.iter()) {
+                global.merge(l);
+            }
+        }
+        runs
+    }
+
+    /// Grows one tile of jobs in lockstep. `tile` holds job indices into
+    /// `seed_indices`/`runs`; `lanes`/`job_signals` are the per-job RNG
+    /// lanes and coverage clones owned by [`Generator::run_batch_tiled`].
+    fn run_tile(
+        &mut self,
+        tile: &[usize],
+        seed_indices: &[usize],
+        seeds: &Tensor,
+        lanes: &mut [rng::Rng],
+        job_signals: &mut [Vec<CoverageSignal>],
+        runs: &mut [SeedRun],
+    ) {
+        let threshold = self.direction_threshold();
+        // `rows[a]` is the job whose input occupies row `a` of `x` (and of
+        // every batched pass); `live[a]` is false once that job retired. A
+        // retired row keeps its slot (with zeroed objectives) until the
+        // next constraint step rebuilds `x` from live rows only — batched
+        // passes cannot drop rows in place.
+        let mut rows: Vec<usize> = tile.to_vec();
+        let mut x = gather_rows(seeds, tile);
+        let mut passes = phase_timer!(self.phases, Phase::Forward, self.forward_all_lite(&x));
+        let mut row_passes = self.row_passes_of(&passes, rows.len());
+        phase_timer!(self.phases, Phase::Coverage, {
+            for (a, &ji) in rows.iter().enumerate() {
+                let r = &mut runs[ji];
+                for (rp, tracker) in row_passes[a].iter().zip(job_signals[ji].iter_mut()) {
+                    r.newly_covered += tracker.update_accum(rp, &mut r.newly_by_component);
+                }
+            }
+        });
+        // Algorithm 1 lines 4-6 per job: agreement check, common class c,
+        // target model j (from the job's own lane).
+        let mut cs = vec![0usize; runs.len()];
+        let mut js = vec![0usize; runs.len()];
+        let mut live = vec![false; rows.len()];
+        for (a, &ji) in rows.iter().enumerate() {
+            let initial = self.predictions_of(&row_passes[a]);
+            if differs(&initial, threshold) {
+                runs[ji].preexisting = true;
+                if self.hp.count_preexisting {
+                    runs[ji].test = Some(GeneratedTest {
+                        seed_index: seed_indices[ji],
+                        input: gather_rows(seeds, &[ji]),
+                        iterations: 0,
+                        predictions: initial,
+                        target_model: 0,
+                    });
+                }
+                continue;
+            }
+            cs[ji] = match initial[0] {
+                Prediction::Class(c) => c,
+                Prediction::Value(_) => 0,
+            };
+            js[ji] = lanes[ji].gen_range(0..self.models.len());
+            live[a] = true;
+        }
+        for iter in 1..=self.hp.max_iters {
+            if !live.iter().any(|&l| l) {
+                break;
+            }
+            let grad = phase_timer!(
+                self.phases,
+                Phase::Gradient,
+                self.tile_gradient(
+                    &passes,
+                    &row_passes,
+                    &rows,
+                    &live,
+                    &cs,
+                    &js,
+                    lanes,
+                    job_signals
+                )
+            );
+            // Per-row constraint steps, in job order; exhausted rows (and
+            // rows already retired) drop out of the next tile.
+            let mut kept: Vec<usize> = Vec::with_capacity(rows.len());
+            let mut next_rows: Vec<Tensor> = Vec::with_capacity(rows.len());
+            phase_timer!(self.phases, Phase::Constraint, {
+                for (a, &ji) in rows.iter().enumerate() {
+                    if !live[a] {
+                        continue;
+                    }
+                    let xa = gather_rows(&x, &[a]);
+                    let ga = gather_rows(&grad, &[a]);
+                    let next = self.constraint.step(&xa, &ga, self.hp.step);
+                    if next == xa {
+                        // The constraint admits no further movement.
+                        continue;
+                    }
+                    kept.push(ji);
+                    next_rows.push(next);
+                }
+            });
+            self.ws.put_tensor(grad);
+            self.recycle_passes(passes);
+            for rp in row_passes {
+                self.recycle_passes(rp);
+            }
+            if kept.is_empty() {
+                return;
+            }
+            for &ji in &kept {
+                runs[ji].iterations = iter;
+            }
+            self.ws.put_tensor(x);
+            x = stack_rows(&next_rows, &mut self.ws);
+            for t in next_rows {
+                self.ws.put_tensor(t);
+            }
+            rows = kept;
+            live = vec![true; rows.len()];
+            passes = phase_timer!(self.phases, Phase::Forward, self.forward_all_lite(&x));
+            row_passes = self.row_passes_of(&passes, rows.len());
+            let mut newly_now = vec![0usize; rows.len()];
+            phase_timer!(self.phases, Phase::Coverage, {
+                for (a, &ji) in rows.iter().enumerate() {
+                    let r = &mut runs[ji];
+                    for (rp, tracker) in row_passes[a].iter().zip(job_signals[ji].iter_mut()) {
+                        let nc = tracker.update_accum(rp, &mut r.newly_by_component);
+                        r.newly_covered += nc;
+                        newly_now[a] += nc;
+                    }
+                }
+            });
+            for (a, &ji) in rows.iter().enumerate() {
+                let preds = self.predictions_of(&row_passes[a]);
+                let found = differs(&preds, threshold);
+                if newly_now[a] > 0 && !found {
+                    runs[ji].corpus_candidate = Some(gather_rows(&x, &[a]));
+                }
+                if found {
+                    runs[ji].test = Some(GeneratedTest {
+                        seed_index: seed_indices[ji],
+                        input: gather_rows(&x, &[a]),
+                        iterations: iter,
+                        predictions: preds,
+                        target_model: js[ji],
+                    });
+                    live[a] = false;
+                }
+            }
+        }
+        self.recycle_passes(passes);
+        for rp in row_passes {
+            self.recycle_passes(rp);
+        }
+        self.ws.put_tensor(x);
+    }
+
+    /// Per-job `[1, ...]` views of each model's batched pass, for the
+    /// batch-1 consumers (coverage trackers, oracle, neuron picks).
+    fn row_passes_of(&mut self, passes: &[ForwardPass], n_rows: usize) -> Vec<Vec<ForwardPass>> {
+        let Self { ws, .. } = self;
+        (0..n_rows).map(|a| passes.iter().map(|p| p.row_pass_ws(a, ws)).collect()).collect()
+    }
+
+    /// [`Generator::joint_gradient_from`] over a whole tile: one batched
+    /// backward per model, with every live row's obj1/obj2 injections
+    /// accumulated into shared `[A, ...]` seed tensors (keyed by activation
+    /// index; `BTreeMap` so sites apply in ascending, deterministic order).
+    #[allow(clippy::too_many_arguments)]
+    fn tile_gradient(
+        &mut self,
+        passes: &[ForwardPass],
+        row_passes: &[Vec<ForwardPass>],
+        rows: &[usize],
+        live: &[bool],
+        cs: &[usize],
+        js: &[usize],
+        lanes: &mut [rng::Rng],
+        job_signals: &[Vec<CoverageSignal>],
+    ) -> Tensor {
+        let mut total = self.ws.take_tensor(passes[0].input().shape());
+        for (m, model) in self.models.iter().enumerate() {
+            let pass = &passes[m];
+            let mut batched: BTreeMap<usize, Tensor> = BTreeMap::new();
+            // obj1 rows at the output layer.
+            let out_shape = pass.output().shape().to_vec();
+            let k: usize = out_shape[1..].iter().product();
+            let mut out_seed = self.ws.take_tensor(&out_shape);
+            for (a, &ji) in rows.iter().enumerate() {
+                if !live[a] {
+                    continue;
+                }
+                let weight = if m == js[ji] { -self.hp.lambda1 } else { 1.0 };
+                match self.kind {
+                    TaskKind::Classification => out_seed.data_mut()[a * k + cs[ji]] = weight,
+                    TaskKind::Regression { .. } => {
+                        out_seed.data_mut()[a * k..(a + 1) * k].fill(weight);
+                    }
+                }
+            }
+            batched.insert(model.num_layers(), out_seed);
+            // obj2 rows: per live job, picks from the job's own coverage
+            // clone and RNG lane — the same (iterate, model) draw order a
+            // width-1 tile would make.
+            if self.hp.lambda2 != 0.0 {
+                for (a, &ji) in rows.iter().enumerate() {
+                    if !live[a] {
+                        continue;
+                    }
+                    let tracker = &job_signals[ji][m];
+                    let picked: Vec<_> = match self.hp.neuron_pick {
+                        crate::hyper::NeuronPick::Random => tracker
+                            .pick_uncovered_k(&mut lanes[ji], self.hp.neurons_per_model.max(1)),
+                        crate::hyper::NeuronPick::Nearest => {
+                            tracker.pick_uncovered_nearest(&row_passes[a][m]).into_iter().collect()
+                        }
+                    };
+                    for neuron in picked {
+                        let (idx, seed) =
+                            injection_for_neuron(model, neuron, tracker.granularity());
+                        let direction = tracker.target_direction(neuron, &row_passes[a][m]);
+                        let scale = self.hp.lambda2 * direction;
+                        let entry = batched
+                            .entry(idx)
+                            .or_insert_with(|| self.ws.take_tensor(pass.activations[idx].shape()));
+                        let per = entry.len() / rows.len();
+                        let dst = &mut entry.data_mut()[a * per..(a + 1) * per];
+                        for (d, &s) in dst.iter_mut().zip(seed.data().iter()) {
+                            *d += s * scale;
+                        }
+                    }
+                }
+            }
+            let injections: Vec<(usize, Tensor)> = batched.into_iter().collect();
+            let g = model.input_gradient_ws(pass, &injections, &mut self.ws);
+            total += &g;
+            self.ws.put_tensor(g);
+            for (_, t) in injections {
+                self.ws.put_tensor(t);
+            }
+        }
+        total
     }
 
     fn predictions_of(&self, passes: &[dx_nn::network::ForwardPass]) -> Vec<Prediction> {
@@ -514,20 +847,15 @@ impl Generator {
     /// [`Generator::joint_gradient`] over precomputed forward passes (one
     /// per model, at the same input) — lets callers that already ran the
     /// oracle reuse its passes.
-    fn joint_gradient_from(
-        &mut self,
-        passes: &[dx_nn::network::ForwardPass],
-        c: usize,
-        j: usize,
-    ) -> Tensor {
-        let mut total = Tensor::zeros(passes[0].input().shape());
+    fn joint_gradient_from(&mut self, passes: &[ForwardPass], c: usize, j: usize) -> Tensor {
+        let mut total = self.ws.take_tensor(passes[0].input().shape());
         for (m, (model, tracker)) in self.models.iter().zip(self.signals.iter()).enumerate() {
             let pass = &passes[m];
             let mut injections = Vec::with_capacity(2);
             // obj1 term at the output layer.
             let out_shape = pass.output().shape().to_vec();
             let weight = if m == j { -self.hp.lambda1 } else { 1.0 };
-            let mut out_seed = Tensor::zeros(&out_shape);
+            let mut out_seed = self.ws.take_tensor(&out_shape);
             match self.kind {
                 TaskKind::Classification => out_seed.set(&[0, c], weight),
                 TaskKind::Regression { .. } => out_seed.data_mut().fill(weight),
@@ -553,7 +881,12 @@ impl Generator {
                     injections.push((idx, seed.scale(self.hp.lambda2 * direction)));
                 }
             }
-            total += &model.input_gradient(pass, &injections);
+            let g = model.input_gradient_ws(pass, &injections, &mut self.ws);
+            total += &g;
+            self.ws.put_tensor(g);
+            for (_, t) in injections {
+                self.ws.put_tensor(t);
+            }
         }
         total
     }
@@ -563,6 +896,18 @@ enum SeedOutcome {
     Difference(GeneratedTest),
     Preexisting,
     Exhausted,
+}
+
+/// Concatenates `[1, ...]` rows into one `[A, ...]` batch, buffer from the
+/// arena.
+fn stack_rows(rows: &[Tensor], ws: &mut Workspace) -> Tensor {
+    let mut buf = ws.take_empty(rows.len() * rows[0].len());
+    for r in rows {
+        buf.extend_from_slice(r.data());
+    }
+    let mut shape = rows[0].shape().to_vec();
+    shape[0] = rows.len();
+    Tensor::from_vec(buf, &shape)
 }
 
 /// Average iterations to the first difference between exactly two models —
@@ -883,6 +1228,120 @@ mod tests {
             assert_eq!(ta.covered_count(), g.covered_count());
             assert_eq!(tb.covered_count(), g.covered_count());
         }
+    }
+
+    #[test]
+    fn run_batch_is_invariant_to_tile_width() {
+        let seeds = rng::uniform(&mut rng::rng(80), &[9, 20], 0.2, 0.8);
+        let indices: Vec<usize> = (0..9).collect();
+        let runs_of = |batch: usize| {
+            let mut g = default_gen(81);
+            let runs = g.run_batch_tiled(&indices, &seeds, batch);
+            (runs, g.rng_state(), g.coverage())
+        };
+        let (r1, s1, c1) = runs_of(1);
+        for batch in [3, 8, 9, 16] {
+            let (rb, sb, cb) = runs_of(batch);
+            assert_eq!(s1, sb, "rng state differs at batch {batch}");
+            assert_eq!(c1, cb, "coverage differs at batch {batch}");
+            for (i, (a, b)) in r1.iter().zip(rb.iter()).enumerate() {
+                assert_eq!(a.preexisting, b.preexisting, "seed {i} batch {batch}");
+                assert_eq!(a.iterations, b.iterations, "seed {i} batch {batch}");
+                assert_eq!(a.newly_covered, b.newly_covered, "seed {i} batch {batch}");
+                assert_eq!(a.newly_by_component, b.newly_by_component, "seed {i} batch {batch}");
+                assert_eq!(a.corpus_candidate, b.corpus_candidate, "seed {i} batch {batch}");
+                assert_eq!(a.test.is_some(), b.test.is_some(), "seed {i} batch {batch}");
+                if let (Some(ta), Some(tb)) = (&a.test, &b.test) {
+                    assert_eq!(ta.input, tb.input, "seed {i} batch {batch}");
+                    assert_eq!(ta.predictions, tb.predictions, "seed {i} batch {batch}");
+                    assert_eq!(ta.target_model, tb.target_model, "seed {i} batch {batch}");
+                    assert_eq!(ta.iterations, tb.iterations, "seed {i} batch {batch}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn run_batch_tile_width_invariance_holds_for_multi_neuron_objective() {
+        // Wider obj2 injections exercise the shared-seed accumulation path.
+        let mk = || {
+            Generator::new(
+                similar_trio(1),
+                TaskKind::Classification,
+                Hyperparams {
+                    step: 0.2,
+                    lambda1: 2.0,
+                    max_iters: 60,
+                    neurons_per_model: 4,
+                    ..Default::default()
+                },
+                Constraint::Clip,
+                CoverageConfig::default(),
+                86,
+            )
+        };
+        let seeds = rng::uniform(&mut rng::rng(87), &[6, 20], 0.2, 0.8);
+        let indices: Vec<usize> = (0..6).collect();
+        let mut g1 = mk();
+        let mut g8 = mk();
+        let r1 = g1.run_batch_tiled(&indices, &seeds, 1);
+        let r8 = g8.run_batch_tiled(&indices, &seeds, 8);
+        assert_eq!(g1.rng_state(), g8.rng_state());
+        assert_eq!(g1.coverage(), g8.coverage());
+        for (a, b) in r1.iter().zip(r8.iter()) {
+            assert_eq!(a.iterations, b.iterations);
+            assert_eq!(a.newly_covered, b.newly_covered);
+            assert_eq!(
+                a.test.as_ref().map(|t| t.input.clone()),
+                b.test.as_ref().map(|t| t.input.clone())
+            );
+        }
+    }
+
+    #[test]
+    fn run_batch_reports_real_differences() {
+        let mut g = default_gen(82);
+        let seeds = rng::uniform(&mut rng::rng(83), &[12, 20], 0.2, 0.8);
+        let indices: Vec<usize> = (0..12).collect();
+        let runs = g.run_batch_tiled(&indices, &seeds, 4);
+        let mut found = 0;
+        for (i, run) in runs.iter().enumerate() {
+            if let Some(t) = &run.test {
+                found += 1;
+                assert_eq!(t.seed_index, i);
+                assert!(differs(&t.predictions, 0.0));
+                assert!(t.iterations >= 1);
+                assert_eq!(t.iterations, run.iterations);
+            }
+            if let Some(c) = &run.corpus_candidate {
+                assert!(!differs(&g.predict_all(c), 0.0));
+            }
+        }
+        assert!(found > 0, "no differences found via run_batch");
+        assert!(g.mean_coverage() > 0.0);
+    }
+
+    #[test]
+    fn run_batch_flags_preexisting_rows() {
+        let mut g = default_gen(84);
+        let seeds = rng::uniform(&mut rng::rng(85), &[40, 20], 0.2, 0.8);
+        let diff = (0..40)
+            .find_map(|i| g.run_seed(i, &gather_rows(&seeds, &[i])).test)
+            .expect("needs at least one difference");
+        let mut data = gather_rows(&seeds, &[0]).data().to_vec();
+        data.extend_from_slice(diff.input.data());
+        let two = Tensor::from_vec(data, &[2, 20]);
+        let runs = g.run_batch(&[7, 8], &two);
+        assert!(!runs[0].preexisting);
+        assert!(runs[1].preexisting);
+        assert!(runs[1].test.is_none(), "count_preexisting is off by default");
+        assert_eq!(runs[1].iterations, 0);
+    }
+
+    #[test]
+    fn run_batch_of_nothing_is_empty() {
+        let mut g = default_gen(88);
+        assert!(g.run_batch(&[], &Tensor::zeros(&[0, 20])).is_empty());
     }
 
     #[test]

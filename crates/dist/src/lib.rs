@@ -11,7 +11,7 @@
 //!   productive mutants, and sparse coverage bitmap deltas
 //!   ([`dx_coverage::CoverageSignal::diff_indices`]).
 //! - **Workers** ([`worker::run_worker`]) are thin wrappers around the
-//!   existing generator step loop ([`deepxplore::Generator::run_seed`]);
+//!   generator's batched step loop ([`deepxplore::Generator::run_batch`]);
 //!   their RNG streams derive from `(campaign seed, slot)` exactly like
 //!   in-process pool workers'.
 //! - Transport is a hand-rolled length-prefixed JSON framing

@@ -10,8 +10,10 @@
 //! built lazily from the leases the dispatcher hands out (protocol v6
 //! tags each lease with a campaign id and master seed); a worker behind
 //! a single-campaign coordinator only ever sees campaign `0`. The
-//! worker leases seed batches, runs [`deepxplore::Generator::run_seed`]
-//! on each, heartbeats during long leases, and reports outcomes plus a
+//! worker leases seed batches, runs them in tiles through
+//! [`deepxplore::Generator::run_batch`] (one stacked forward and one
+//! batched backward per model per iterate — see `WorkerConfig::batch`),
+//! heartbeats during long leases, and reports outcomes plus a
 //! sparse coverage delta; the coordinator's acks carry the global
 //! union's news back, which the generator adopts so it stops chasing
 //! neurons another worker already covered.
@@ -29,7 +31,7 @@ use dx_telemetry::phase::{LocalHist, Phase};
 use dx_tensor::rng;
 
 use crate::proto::{
-    coverage_news, CovDelta, Fingerprint, JobResult, Msg, TelemetrySnapshot, PROTOCOL_VERSION,
+    coverage_news, CovDelta, Fingerprint, Job, JobResult, Msg, TelemetrySnapshot, PROTOCOL_VERSION,
 };
 use crate::suite_fingerprint;
 use crate::wire::{read_frame, write_frame};
@@ -40,6 +42,12 @@ pub struct WorkerConfig {
     /// Jobs requested per lease. Advisory since protocol v4: a
     /// coordinator running adaptive lease sizing may grant more.
     pub lease_size: usize,
+    /// Seeds grown per batched generator call
+    /// ([`Generator::run_batch`]): lease jobs run `batch` at a
+    /// time through one stacked forward/backward per model per iterate.
+    /// Heartbeats fire between tiles, so the coordinator's lease
+    /// deadline must cover `max(batch, heartbeat_every)` seed steps.
+    pub batch: usize,
     /// Heartbeat before every this-many-th job within a lease; with the
     /// default of 1, every job starts on a fresh lease deadline, so the
     /// coordinator's `lease_timeout` only needs to cover one seed step.
@@ -67,6 +75,7 @@ impl Default for WorkerConfig {
     fn default() -> Self {
         Self {
             lease_size: 4,
+            batch: 4,
             heartbeat_every: 1,
             connect_retries: 50,
             retry_delay: Duration::from_millis(100),
@@ -100,6 +109,24 @@ struct CampaignCtx {
 
 fn proto_err(what: impl AsRef<str>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, what.as_ref().to_string())
+}
+
+/// Stacks one tile of lease jobs' `[1, ...]` inputs into a `[C, ...]`
+/// batch for the generator's batched path. Empty tiles (which
+/// `chunks()` never yields) stack to an empty `[0]` tensor.
+fn stack_jobs(tile: &[Job]) -> dx_tensor::Tensor {
+    let Some(first) = tile.first() else {
+        return dx_tensor::Tensor::zeros(&[0]);
+    };
+    let mut data = Vec::with_capacity(tile.len() * first.input.len());
+    for job in tile {
+        data.extend_from_slice(job.input.data());
+    }
+    let mut shape = first.input.shape().to_vec();
+    if let Some(lead) = shape.first_mut() {
+        *lead = tile.len();
+    }
+    dx_tensor::Tensor::from_vec(data, &shape)
 }
 
 /// A fresh default identity: hashed from the pid, the clock, and a
@@ -173,16 +200,21 @@ pub fn run_worker(
                 });
                 adopt(&mut ctx.generator, &mut ctx.known, &cov)?;
                 let mut items = Vec::with_capacity(jobs.len());
-                for (k, job) in jobs.into_iter().enumerate() {
-                    // Heartbeat *before* later jobs (every one, at the
-                    // default heartbeat_every = 1), resetting the lease
-                    // deadline so the timeout only needs to cover
-                    // heartbeat_every seed steps, not a whole lease. (A
-                    // stretch of steps that still outlasts the timeout
-                    // expires the lease; the coordinator salvages those
-                    // results on arrival as long as the seeds were not
-                    // re-leased meanwhile.)
-                    if k > 0 && cfg.heartbeat_every > 0 && k % cfg.heartbeat_every == 0 {
+                let mut since_beat = 0usize;
+                for tile in jobs.chunks(cfg.batch.max(1)) {
+                    // Heartbeat *between* tiles (before every one, at the
+                    // default heartbeat_every = 1 with batch = 1),
+                    // resetting the lease deadline so the timeout only
+                    // needs to cover max(batch, heartbeat_every) seed
+                    // steps, not a whole lease. (A stretch of steps that
+                    // still outlasts the timeout expires the lease; the
+                    // coordinator salvages those results on arrival as
+                    // long as the seeds were not re-leased meanwhile.)
+                    if since_beat > 0
+                        && cfg.heartbeat_every > 0
+                        && since_beat >= cfg.heartbeat_every
+                    {
+                        since_beat = 0;
                         let sent = Instant::now();
                         let reply = exchange(&mut stream, &Msg::Heartbeat { slot, lease })?;
                         heartbeat_rtt.record(sent.elapsed().as_secs_f64());
@@ -192,12 +224,17 @@ pub fn run_worker(
                             other => return Err(proto_err(format!("unexpected {other:?}"))),
                         }
                     }
-                    let run = ctx.generator.run_seed(job.seed_id, &job.input);
-                    summary.steps += 1;
-                    if run.found_difference() {
-                        summary.diffs_found += 1;
+                    let ids: Vec<usize> = tile.iter().map(|j| j.seed_id).collect();
+                    let stacked = stack_jobs(tile);
+                    let runs = ctx.generator.run_batch(&ids, &stacked);
+                    since_beat += tile.len();
+                    for (seed_id, run) in ids.into_iter().zip(runs) {
+                        summary.steps += 1;
+                        if run.found_difference() {
+                            summary.diffs_found += 1;
+                        }
+                        items.push(JobResult { seed_id, run });
                     }
-                    items.push(JobResult { seed_id: job.seed_id, run });
                 }
                 let cov = local_news(&ctx.generator, &mut ctx.known);
                 let telemetry = take_telemetry(&mut ctx.generator, &mut heartbeat_rtt);

@@ -1,6 +1,6 @@
 //! Elementwise activations and the row-wise softmax.
 
-use dx_tensor::Tensor;
+use dx_tensor::{Tensor, Workspace};
 
 use crate::layer::Cache;
 
@@ -61,6 +61,31 @@ pub fn softmax_forward(x: &Tensor) -> (Tensor, Cache) {
         }
     }
     (y.clone(), Cache::Output(y))
+}
+
+/// Row-wise softmax into a workspace buffer, cache-free.
+///
+/// Bit-identical to [`softmax_forward`] (same per-row max/exp/denominator
+/// order); the output is recoverable from the recorded activations, so the
+/// lite forward path stores no cache.
+pub(crate) fn softmax_forward_ws(x: &Tensor, ws: &mut Workspace) -> Tensor {
+    assert_eq!(x.rank(), 2, "softmax expects [N, K], got {:?}", x.shape());
+    let (n, k) = (x.shape()[0], x.shape()[1]);
+    let mut buf = ws.take(n * k);
+    for i in 0..n {
+        let row = &x.data()[i * k..(i + 1) * k];
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut denom = 0.0;
+        let out_row = &mut buf[i * k..(i + 1) * k];
+        for (o, &v) in out_row.iter_mut().zip(row.iter()) {
+            *o = (v - max).exp();
+            denom += *o;
+        }
+        for o in out_row.iter_mut() {
+            *o /= denom;
+        }
+    }
+    Tensor::from_vec(buf, x.shape())
 }
 
 /// Softmax backward: per row, `dx = y ⊙ (dy - <dy, y>)`.

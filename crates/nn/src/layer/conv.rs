@@ -1,6 +1,6 @@
 //! 2-D convolution via im2col + matmul.
 
-use dx_tensor::{rng::Rng, Tensor};
+use dx_tensor::{kernels, rng::Rng, Tensor, Workspace};
 
 use crate::init::Init;
 use crate::layer::Cache;
@@ -129,6 +129,102 @@ impl Conv2d {
             }
         }
         (out, Cache::Input(x.clone()))
+    }
+
+    /// Forward pass over `[N, C, H, W]` with all intermediates (im2col
+    /// matrix, per-sample matmul output, result) drawn from the workspace.
+    ///
+    /// Bit-identical to [`Conv2d::forward`]: the `[out_ch, C·k·k]` weight
+    /// view is the weight's own contiguous buffer (the reshape the old path
+    /// cloned per call), and the per-sample matmul runs the same blocked
+    /// kernel. Returns [`Cache::Shape`] — the input-gradient backward needs
+    /// only the input shape, not the input.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatches.
+    pub fn forward_ws(&self, x: &Tensor, ws: &mut Workspace) -> (Tensor, Cache) {
+        assert_eq!(x.rank(), 4, "Conv2d expects [N, C, H, W], got {:?}", x.shape());
+        let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+        assert_eq!(c, self.in_ch, "Conv2d expects {} channels, got {:?}", self.in_ch, x.shape());
+        let (oh, ow) = self.out_hw(h, w);
+        let k = self.kernel;
+        let rows = c * k * k;
+        let cols = oh * ow;
+        let w_mat = self.weight.data();
+        let sample_in = c * h * w;
+        let sample_out = self.out_ch * oh * ow;
+        let mut out = ws.take(n * sample_out);
+        let mut col_buf = ws.take(rows * cols);
+        let mut y_buf = ws.take(sample_out);
+        for i in 0..n {
+            let xin = &x.data()[i * sample_in..(i + 1) * sample_in];
+            im2col(xin, c, h, w, k, self.stride, self.pad, oh, ow, &mut col_buf);
+            y_buf.fill(0.0);
+            kernels::matmul_acc(w_mat, &col_buf, self.out_ch, rows, cols, &mut y_buf);
+            let dst = &mut out[i * sample_out..(i + 1) * sample_out];
+            for oc in 0..self.out_ch {
+                let b = self.bias.data()[oc];
+                let src = &y_buf[oc * cols..(oc + 1) * cols];
+                let d = &mut dst[oc * cols..(oc + 1) * cols];
+                for (dv, &sv) in d.iter_mut().zip(src.iter()) {
+                    *dv = sv + b;
+                }
+            }
+        }
+        ws.put(col_buf);
+        ws.put(y_buf);
+        (Tensor::from_vec(out, &[n, self.out_ch, oh, ow]), Cache::Shape(x.shape().to_vec()))
+    }
+
+    /// Input gradient only, with all intermediates (transposed weight view,
+    /// per-sample column gradients, result) drawn from the workspace.
+    ///
+    /// The transposed weight is built once per call and amortized across the
+    /// batch — same cost shape as [`Conv2d::backward`], minus its per-sample
+    /// `g.to_vec()` clone and matmul allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grad_out` does not match the output shape for `in_shape`.
+    pub fn backward_input_ws(
+        &self,
+        in_shape: &[usize],
+        grad_out: &Tensor,
+        ws: &mut Workspace,
+    ) -> Tensor {
+        let (n, c, h, w) = (in_shape[0], in_shape[1], in_shape[2], in_shape[3]);
+        let (oh, ow) = self.out_hw(h, w);
+        assert_eq!(
+            grad_out.shape(),
+            &[n, self.out_ch, oh, ow],
+            "Conv2d backward: grad shape {:?} does not match output",
+            grad_out.shape()
+        );
+        let k = self.kernel;
+        let rows = c * k * k;
+        let cols = oh * ow;
+        let w_mat = self.weight.data();
+        let mut w_mat_t = ws.take(rows * self.out_ch);
+        for oc in 0..self.out_ch {
+            for (r, &wv) in w_mat[oc * rows..(oc + 1) * rows].iter().enumerate() {
+                w_mat_t[r * self.out_ch + oc] = wv;
+            }
+        }
+        let sample_in = c * h * w;
+        let sample_out = self.out_ch * oh * ow;
+        let mut dx = ws.take(n * sample_in);
+        let mut dcols = ws.take(rows * cols);
+        for i in 0..n {
+            let g = &grad_out.data()[i * sample_out..(i + 1) * sample_out];
+            dcols.fill(0.0);
+            kernels::matmul_acc(&w_mat_t, g, rows, self.out_ch, cols, &mut dcols);
+            let dxi = &mut dx[i * sample_in..(i + 1) * sample_in];
+            col2im(&dcols, c, h, w, k, self.stride, self.pad, oh, ow, dxi);
+        }
+        ws.put(w_mat_t);
+        ws.put(dcols);
+        Tensor::from_vec(dx, in_shape)
     }
 
     /// Backward pass: `(dx, [dW, db])`. The im2col matrix is re-derived from

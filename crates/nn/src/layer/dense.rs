@@ -1,6 +1,6 @@
 //! Fully connected layer.
 
-use dx_tensor::{rng::Rng, Tensor};
+use dx_tensor::{kernels, rng::Rng, FusedAct, Tensor, Workspace};
 
 use crate::init::Init;
 use crate::layer::Cache;
@@ -88,6 +88,60 @@ impl Dense {
             }
         }
         (y, Cache::Input(x.clone()))
+    }
+
+    /// Forward pass over `[N, I]` through the fused matmul+bias kernel,
+    /// writing into a workspace buffer.
+    ///
+    /// Bit-identical to [`Dense::forward`] (the fused kernel completes the
+    /// matmul sum before adding the bias, exactly like the separate steps)
+    /// but allocation-free in steady state and cache-light: the returned
+    /// [`Cache::None`] reflects that the input-gradient backward needs no
+    /// cached tensors at all (`dx = g · Wᵀ` only touches the weight).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input is not `[N, in_features]`.
+    pub fn forward_ws(&self, x: &Tensor, ws: &mut Workspace) -> (Tensor, Cache) {
+        assert_eq!(x.rank(), 2, "Dense expects [N, I], got {:?}", x.shape());
+        assert_eq!(
+            x.shape()[1],
+            self.in_features,
+            "Dense({}→{}) got input shape {:?}",
+            self.in_features,
+            self.out_features,
+            x.shape()
+        );
+        let n = x.shape()[0];
+        let mut out = ws.take(n * self.out_features);
+        kernels::matmul_bias_act(
+            x.data(),
+            self.weight.data(),
+            self.bias.data(),
+            n,
+            self.in_features,
+            self.out_features,
+            FusedAct::Identity,
+            &mut out,
+        );
+        (Tensor::from_vec(out, &[n, self.out_features]), Cache::None)
+    }
+
+    /// Input gradient only, via the transposed-rhs kernel into a workspace
+    /// buffer: `dx = g · Wᵀ` without materializing the transpose.
+    pub fn backward_input_ws(&self, grad_out: &Tensor, ws: &mut Workspace) -> Tensor {
+        assert_eq!(grad_out.rank(), 2, "Dense backward expects [N, O], got {:?}", grad_out.shape());
+        let n = grad_out.shape()[0];
+        let mut out = ws.take(n * self.in_features);
+        kernels::matmul_bt_acc(
+            grad_out.data(),
+            self.weight.data(),
+            n,
+            self.out_features,
+            self.in_features,
+            &mut out,
+        );
+        Tensor::from_vec(out, &[n, self.in_features])
     }
 
     /// Backward pass: `(dx, [dW, db])`.

@@ -20,7 +20,7 @@ pub use norm::{BatchNorm, Dropout};
 pub use pool::{AvgPool2d, MaxPool2d};
 pub use residual::Residual;
 
-use dx_tensor::{rng::Rng, Tensor};
+use dx_tensor::{rng::Rng, Tensor, Workspace};
 
 use crate::init::Init;
 
@@ -269,6 +269,53 @@ impl Layer {
             Layer::Dropout(_) => (x.clone(), Cache::None),
             Layer::BatchNorm(b) => b.forward_eval(x),
             Layer::Residual(r) => r.forward(x),
+        }
+    }
+
+    /// Evaluation-mode forward pass drawing intermediates from a workspace
+    /// and recording only the *lite* caches the input-gradient backward
+    /// needs.
+    ///
+    /// Bit-identical outputs to [`Layer::forward`], but: dense and conv run
+    /// through the workspace kernels, elementwise activations write straight
+    /// into pooled buffers, and no derivative tensors (masks, output copies)
+    /// are materialized — the backward sweep re-derives them from the
+    /// recorded activations (see `Network::input_gradient_ws`). Layers
+    /// without a lite path (pooling, batch-norm, dropout, residual) fall
+    /// back to [`Layer::forward`], whose caches the backward dispatch also
+    /// accepts.
+    ///
+    /// Passes built this way support input gradients but **not**
+    /// `backward_params` (dense/conv inputs are not cached) — the campaign
+    /// hot path never trains.
+    pub fn forward_lite(&self, x: &Tensor, ws: &mut Workspace) -> (Tensor, Cache) {
+        match self {
+            Layer::Dense(d) => d.forward_ws(x, ws),
+            Layer::Conv2d(c) => c.forward_ws(x, ws),
+            Layer::Relu => {
+                let mut buf = ws.take_empty(x.len());
+                buf.extend(x.data().iter().map(|&v| v.max(0.0)));
+                (Tensor::from_vec(buf, x.shape()), Cache::None)
+            }
+            Layer::Sigmoid => {
+                let mut buf = ws.take_empty(x.len());
+                buf.extend(x.data().iter().map(|&v| 1.0 / (1.0 + (-v).exp())));
+                (Tensor::from_vec(buf, x.shape()), Cache::None)
+            }
+            Layer::Tanh => {
+                let mut buf = ws.take_empty(x.len());
+                buf.extend(x.data().iter().map(|&v| v.tanh()));
+                (Tensor::from_vec(buf, x.shape()), Cache::None)
+            }
+            Layer::Softmax => (activation::softmax_forward_ws(x, ws), Cache::None),
+            Layer::Flatten => {
+                let n = x.shape()[0];
+                let rest: usize = x.shape()[1..].iter().product();
+                let buf = ws.take_copy(x.data());
+                (Tensor::from_vec(buf, &[n, rest]), Cache::Shape(x.shape().to_vec()))
+            }
+            Layer::Dropout(_) => (Tensor::from_vec(ws.take_copy(x.data()), x.shape()), Cache::None),
+            other => other.forward(x),
         }
     }
 

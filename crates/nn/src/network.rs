@@ -1,6 +1,6 @@
 //! Sequential networks with recorded forward passes and input gradients.
 
-use dx_tensor::{rng::Rng, Tensor};
+use dx_tensor::{rng::Rng, Tensor, Workspace};
 
 use crate::layer::{Cache, Layer};
 
@@ -25,6 +25,90 @@ impl ForwardPass {
     /// The input the pass was computed from.
     pub fn input(&self) -> &Tensor {
         &self.activations[0]
+    }
+
+    /// Batch size of the pass.
+    pub fn batch_size(&self) -> usize {
+        self.activations[0].shape()[0]
+    }
+
+    /// Extracts one sample of a batched pass as a batch-1 pass.
+    ///
+    /// Every activation's `row`-th slice is copied out with a leading
+    /// dimension of 1. Caches are **not** extracted (they come back as
+    /// [`Cache::None`]), so the result supports activation readers — the
+    /// coverage trackers, which assert batch size 1 — but not backward
+    /// passes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    pub fn row_pass(&self, row: usize) -> ForwardPass {
+        let activations = self
+            .activations
+            .iter()
+            .map(|a| {
+                let n = a.shape()[0];
+                assert!(row < n, "row {row} out of range for batch {n}");
+                let per = a.len() / n;
+                let mut shape = a.shape().to_vec();
+                shape[0] = 1;
+                Tensor::from_vec(a.data()[row * per..(row + 1) * per].to_vec(), &shape)
+            })
+            .collect();
+        ForwardPass { activations, caches: vec![Cache::None; self.caches.len()] }
+    }
+
+    /// [`ForwardPass::row_pass`] with the row copies drawn from the
+    /// workspace (recycle the result to return them).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    pub fn row_pass_ws(&self, row: usize, ws: &mut Workspace) -> ForwardPass {
+        let activations = self
+            .activations
+            .iter()
+            .map(|a| {
+                let n = a.shape()[0];
+                assert!(row < n, "row {row} out of range for batch {n}");
+                let per = a.len() / n;
+                let mut shape = a.shape().to_vec();
+                shape[0] = 1;
+                Tensor::from_vec(ws.take_copy(&a.data()[row * per..(row + 1) * per]), &shape)
+            })
+            .collect();
+        ForwardPass { activations, caches: vec![Cache::None; self.caches.len()] }
+    }
+
+    /// Returns every buffer the pass owns (activations plus any cached
+    /// tensors) to the workspace for reuse by the next pass.
+    pub fn recycle(self, ws: &mut Workspace) {
+        for a in self.activations {
+            ws.put_tensor(a);
+        }
+        for c in self.caches {
+            recycle_cache(c, ws);
+        }
+    }
+}
+
+fn recycle_cache(cache: Cache, ws: &mut Workspace) {
+    match cache {
+        Cache::Input(t) | Cache::Output(t) | Cache::Mask(t) => ws.put_tensor(t),
+        Cache::BatchNorm { xhat, inv_std, .. } => {
+            ws.put_tensor(xhat);
+            ws.put_tensor(inv_std);
+        }
+        Cache::Residual { inner, proj } => {
+            for c in inner {
+                recycle_cache(c, ws);
+            }
+            if let Some(p) = proj {
+                recycle_cache(*p, ws);
+            }
+        }
+        Cache::ArgMax { .. } | Cache::Shape(_) | Cache::None => {}
     }
 }
 
@@ -124,6 +208,32 @@ impl Network {
             caches.push(cache);
             activations.push(y.clone());
             cur = y;
+        }
+        ForwardPass { activations, caches }
+    }
+
+    /// Evaluation-mode forward pass drawing every intermediate activation
+    /// from the workspace, with lite caches.
+    ///
+    /// Bit-identical activations to [`Network::forward`], but steady-state
+    /// allocation-free: buffers come from (and should return to, via
+    /// [`ForwardPass::recycle`]) the arena, and no derivative caches are
+    /// materialized. The resulting pass supports coverage reads and
+    /// [`Network::input_gradient_ws`] — not [`Network::backward_params`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` (sans batch) does not match the network input shape.
+    pub fn forward_lite(&self, x: &Tensor, ws: &mut Workspace) -> ForwardPass {
+        self.check_batched_input(x);
+        let mut activations = Vec::with_capacity(self.layers.len() + 1);
+        let mut caches = Vec::with_capacity(self.layers.len());
+        activations.push(Tensor::from_vec(ws.take_copy(x.data()), x.shape()));
+        for layer in &self.layers {
+            let cur = activations.last().expect("at least the input");
+            let (y, cache) = layer.forward_lite(cur, ws);
+            caches.push(cache);
+            activations.push(y);
         }
         ForwardPass { activations, caches }
     }
@@ -240,6 +350,140 @@ impl Network {
         grad
     }
 
+    /// Workspace-backed variant of [`Network::input_gradient`] for passes
+    /// produced by [`Network::forward_lite`].
+    ///
+    /// Gradient buffers are drawn from and returned to the arena as the
+    /// backward sweep walks the layers, and lite caches are differentiated
+    /// by re-deriving what the layer needs from the recorded activations
+    /// (ReLU's mask from its input, sigmoid/tanh/softmax's output from the
+    /// next activation). Passes from [`Network::forward`] also work — their
+    /// full caches hit the fallback arm. Results are bit-identical to
+    /// [`Network::input_gradient`] up to the sign of zeros (the dense
+    /// backward's transposed-rhs kernel; see `Tensor::matmul_bt`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an injection index is out of range or its gradient shape
+    /// does not match the activation.
+    pub fn input_gradient_ws(
+        &self,
+        pass: &ForwardPass,
+        injections: &[(usize, Tensor)],
+        ws: &mut Workspace,
+    ) -> Tensor {
+        let l = self.layers.len();
+        for (idx, g) in injections {
+            assert!((1..=l).contains(idx), "injection index {idx} out of range 1..={l}");
+            assert_eq!(
+                g.shape(),
+                pass.activations[*idx].shape(),
+                "injection at {idx}: gradient shape {:?} does not match activation {:?}",
+                g.shape(),
+                pass.activations[*idx].shape()
+            );
+        }
+        let mut grad = ws.take_tensor(pass.activations[l].shape());
+        for (idx, g) in injections {
+            if *idx == l {
+                grad += g;
+            }
+        }
+        for i in (0..l).rev() {
+            grad = self.backward_input_step(i, pass, grad, ws);
+            for (idx, g) in injections {
+                if *idx == i {
+                    grad += g;
+                }
+            }
+        }
+        grad
+    }
+
+    /// One layer of the workspace backward sweep: consumes the incoming
+    /// gradient (its buffer is recycled or, for flatten, reshaped in place)
+    /// and returns the gradient with respect to the layer input.
+    fn backward_input_step(
+        &self,
+        i: usize,
+        pass: &ForwardPass,
+        grad: Tensor,
+        ws: &mut Workspace,
+    ) -> Tensor {
+        match (&self.layers[i], &pass.caches[i]) {
+            (Layer::Dense(d), Cache::None) => {
+                let out = d.backward_input_ws(&grad, ws);
+                ws.put_tensor(grad);
+                out
+            }
+            (Layer::Conv2d(c), Cache::Shape(in_shape)) => {
+                let out = c.backward_input_ws(in_shape, &grad, ws);
+                ws.put_tensor(grad);
+                out
+            }
+            (Layer::Relu, Cache::None) => {
+                // The 0/1 mask is re-derived from the recorded layer input;
+                // `g * 0.0` (not a literal 0) keeps the historical
+                // mask-multiply bit pattern on negative-side gradients.
+                let x = &pass.activations[i];
+                let mut buf = ws.take_empty(grad.len());
+                buf.extend(grad.data().iter().zip(x.data().iter()).map(|(&g, &xv)| {
+                    if xv > 0.0 {
+                        g
+                    } else {
+                        g * 0.0
+                    }
+                }));
+                let out = Tensor::from_vec(buf, grad.shape());
+                ws.put_tensor(grad);
+                out
+            }
+            (Layer::Sigmoid, Cache::None) => {
+                let y = &pass.activations[i + 1];
+                let mut buf = ws.take_empty(grad.len());
+                buf.extend(
+                    grad.data().iter().zip(y.data().iter()).map(|(&g, &yv)| g * yv * (1.0 - yv)),
+                );
+                let out = Tensor::from_vec(buf, grad.shape());
+                ws.put_tensor(grad);
+                out
+            }
+            (Layer::Tanh, Cache::None) => {
+                let y = &pass.activations[i + 1];
+                let mut buf = ws.take_empty(grad.len());
+                buf.extend(
+                    grad.data().iter().zip(y.data().iter()).map(|(&g, &yv)| g * (1.0 - yv * yv)),
+                );
+                let out = Tensor::from_vec(buf, grad.shape());
+                ws.put_tensor(grad);
+                out
+            }
+            (Layer::Softmax, Cache::None) => {
+                let y = &pass.activations[i + 1];
+                let (n, k) = (y.shape()[0], y.shape()[1]);
+                let mut buf = ws.take(n * k);
+                for r in 0..n {
+                    let yr = &y.data()[r * k..(r + 1) * k];
+                    let gr = &grad.data()[r * k..(r + 1) * k];
+                    let dot: f32 = yr.iter().zip(gr.iter()).map(|(&a, &b)| a * b).sum();
+                    let dr = &mut buf[r * k..(r + 1) * k];
+                    for j in 0..k {
+                        dr[j] = yr[j] * (gr[j] - dot);
+                    }
+                }
+                let out = Tensor::from_vec(buf, grad.shape());
+                ws.put_tensor(grad);
+                out
+            }
+            (Layer::Flatten, Cache::Shape(in_shape)) => grad.into_reshaped(in_shape),
+            _ => {
+                let (gin, _) = self.layers[i].backward(&pass.caches[i], &grad, false);
+                ws.put_tensor(grad);
+                gin
+            }
+        }
+    }
+
     /// Gradient of `output[0, class]` with respect to the input — the
     /// building block of DeepXplore's differential objective.
     ///
@@ -318,7 +562,7 @@ impl Network {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dx_tensor::rng;
+    use dx_tensor::{rng, Workspace};
 
     fn tiny_mlp(seed: u64) -> Network {
         let mut net = Network::new(
@@ -475,6 +719,170 @@ mod tests {
         let net = tiny_mlp(17);
         // dense(4,6): 24+6; dense(6,3): 18+3.
         assert_eq!(net.param_count(), 24 + 6 + 18 + 3);
+    }
+
+    fn assert_bits_eq_mod_zero_sign(got: &Tensor, want: &Tensor, what: &str) {
+        assert_eq!(got.shape(), want.shape(), "{what}: shape mismatch");
+        for (i, (g, w)) in got.data().iter().zip(want.data().iter()).enumerate() {
+            assert!(
+                g.to_bits() == w.to_bits() || (*g == 0.0 && *w == 0.0),
+                "{what}: element {i} differs: {g} ({:#010x}) vs {w} ({:#010x})",
+                g.to_bits(),
+                w.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn forward_lite_matches_forward_bitwise() {
+        for seed in [21, 22, 23] {
+            let net = tiny_cnn(seed);
+            let x = rng::uniform(&mut rng::rng(seed + 100), &[3, 1, 8, 8], 0.0, 1.0);
+            let full = net.forward(&x);
+            let mut ws = Workspace::new();
+            let lite = net.forward_lite(&x, &mut ws);
+            assert_eq!(full.activations.len(), lite.activations.len());
+            for (a, b) in full.activations.iter().zip(lite.activations.iter()) {
+                assert_eq!(a.shape(), b.shape());
+                for (va, vb) in a.data().iter().zip(b.data().iter()) {
+                    assert_eq!(va.to_bits(), vb.to_bits());
+                }
+            }
+            // Second pass reuses pooled buffers and must stay identical.
+            lite.recycle(&mut ws);
+            let again = net.forward_lite(&x, &mut ws);
+            for (a, b) in full.activations.iter().zip(again.activations.iter()) {
+                assert_eq!(a.data(), b.data());
+            }
+        }
+    }
+
+    #[test]
+    fn forward_lite_matches_forward_on_mlp_activations() {
+        // Covers sigmoid/tanh lite paths not present in the CNN.
+        let mut net = Network::new(
+            &[5],
+            vec![
+                Layer::dense(5, 7),
+                Layer::sigmoid(),
+                Layer::dense(7, 7),
+                Layer::tanh(),
+                Layer::dense(7, 3),
+                Layer::softmax(),
+            ],
+        );
+        net.init_weights(&mut rng::rng(31));
+        let x = rng::uniform(&mut rng::rng(32), &[4, 5], -1.0, 1.0);
+        let full = net.forward(&x);
+        let mut ws = Workspace::new();
+        let lite = net.forward_lite(&x, &mut ws);
+        for (a, b) in full.activations.iter().zip(lite.activations.iter()) {
+            for (va, vb) in a.data().iter().zip(b.data().iter()) {
+                assert_eq!(va.to_bits(), vb.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn input_gradient_ws_matches_reference() {
+        let net = tiny_cnn(25);
+        let x = rng::uniform(&mut rng::rng(26), &[1, 1, 8, 8], 0.0, 1.0);
+        let full = net.forward(&x);
+        let mut ws = Workspace::new();
+        let lite = net.forward_lite(&x, &mut ws);
+        let mut seed = Tensor::zeros(&[1, 4]);
+        seed.set(&[0, 1], 1.0);
+        let mut hidden = Tensor::zeros(full.activations[2].shape());
+        hidden.set(&[0, 0, 0, 0], 0.5);
+        let want = net.input_gradient(&full, &[(6, seed.clone()), (2, hidden.clone())]);
+        let got = net.input_gradient_ws(&lite, &[(6, seed), (2, hidden)], &mut ws);
+        assert_bits_eq_mod_zero_sign(&got, &want, "cnn joint gradient");
+    }
+
+    #[test]
+    fn input_gradient_ws_accepts_full_cache_passes() {
+        // The fallback arms let a `forward` pass be differentiated too.
+        let net = tiny_mlp(27);
+        let x = rng::uniform(&mut rng::rng(28), &[1, 4], 0.0, 1.0);
+        let full = net.forward(&x);
+        let mut seed = Tensor::zeros(&[1, 3]);
+        seed.set(&[0, 2], 1.0);
+        let want = net.input_gradient(&full, &[(4, seed.clone())]);
+        let mut ws = Workspace::new();
+        let got = net.input_gradient_ws(&full, &[(4, seed)], &mut ws);
+        assert_bits_eq_mod_zero_sign(&got, &want, "full-cache gradient");
+    }
+
+    #[test]
+    fn batched_forward_rows_match_scalar_exactly() {
+        let net = tiny_cnn(33);
+        let samples: Vec<Tensor> =
+            (0..4).map(|i| rng::uniform(&mut rng::rng(40 + i), &[1, 8, 8], 0.0, 1.0)).collect();
+        let batched_x = crate::util::stack(&samples);
+        let mut ws = Workspace::new();
+        let batched = net.forward_lite(&batched_x, &mut ws);
+        for (i, s) in samples.iter().enumerate() {
+            let single = net.forward_lite(&crate::util::batch_of_one(s), &mut ws);
+            let brow = batched.row_pass(i);
+            assert_eq!(brow.activations.len(), single.activations.len());
+            for (a, b) in brow.activations.iter().zip(single.activations.iter()) {
+                assert_eq!(a.shape(), b.shape());
+                for (va, vb) in a.data().iter().zip(b.data().iter()) {
+                    assert_eq!(va.to_bits(), vb.to_bits(), "row {i}");
+                }
+            }
+            single.recycle(&mut ws);
+        }
+    }
+
+    #[test]
+    fn batched_gradient_rows_match_scalar_exactly() {
+        // The batch-width-invariance cornerstone: the gradient of a per-row
+        // objective, computed in an [N, ...] pass, must equal the gradient
+        // computed in a batch-1 pass of that row alone.
+        let net = tiny_cnn(50);
+        let samples: Vec<Tensor> =
+            (0..3).map(|i| rng::uniform(&mut rng::rng(60 + i), &[1, 8, 8], 0.0, 1.0)).collect();
+        let batched_x = crate::util::stack(&samples);
+        let mut ws = Workspace::new();
+        let batched = net.forward_lite(&batched_x, &mut ws);
+        // Per-row output-class seeds plus a hidden injection on row 1.
+        let mut out_seed = Tensor::zeros(&[3, 4]);
+        for (i, c) in [1usize, 3, 0].iter().enumerate() {
+            out_seed.set(&[i, *c], 1.0);
+        }
+        let mut hidden = Tensor::zeros(batched.activations[2].shape());
+        hidden.set(&[1, 0, 2, 2], 0.25);
+        let got = net.input_gradient_ws(&batched, &[(6, out_seed), (2, hidden)], &mut ws);
+        for (i, s) in samples.iter().enumerate() {
+            let single = net.forward_lite(&crate::util::batch_of_one(s), &mut ws);
+            let mut seed1 = Tensor::zeros(&[1, 4]);
+            seed1.set(&[0, [1usize, 3, 0][i]], 1.0);
+            let mut injections = vec![(6, seed1)];
+            if i == 1 {
+                let mut h1 = Tensor::zeros(single.activations[2].shape());
+                h1.set(&[0, 0, 2, 2], 0.25);
+                injections.push((2, h1));
+            }
+            let want = net.input_gradient_ws(&single, &injections, &mut ws);
+            let got_row = crate::util::gather_rows(&got, &[i]);
+            assert_bits_eq_mod_zero_sign(&got_row, &want, &format!("gradient row {i}"));
+            single.recycle(&mut ws);
+        }
+    }
+
+    #[test]
+    fn row_pass_extracts_rows() {
+        let net = tiny_mlp(70);
+        let x = rng::uniform(&mut rng::rng(71), &[3, 4], 0.0, 1.0);
+        let pass = net.forward(&x);
+        assert_eq!(pass.batch_size(), 3);
+        let r1 = pass.row_pass(1);
+        for (full, one) in pass.activations.iter().zip(r1.activations.iter()) {
+            assert_eq!(one.shape()[0], 1);
+            let per = full.len() / 3;
+            assert_eq!(&full.data()[per..2 * per], one.data());
+        }
     }
 
     #[test]

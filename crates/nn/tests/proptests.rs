@@ -4,7 +4,7 @@ use dx_nn::layer::Layer;
 use dx_nn::network::Network;
 use dx_nn::util::{gather_rows, one_hot, stack};
 use dx_nn::{loss, optim::Optimizer};
-use dx_tensor::Tensor;
+use dx_tensor::{Tensor, Workspace};
 use proptest::prelude::*;
 
 /// Strategy: a batched `[n, f]` tensor with bounded entries.
@@ -133,6 +133,94 @@ proptest! {
         let batch = stack(&tensors);
         for (i, t) in tensors.iter().enumerate() {
             prop_assert_eq!(&dx_nn::util::row(&batch, i), t);
+        }
+    }
+}
+
+/// A small conv stack covering every lite-pass layer kind: conv, relu,
+/// maxpool (full-forward fallback), flatten, dense, softmax.
+fn convnet(seed: u64) -> Network {
+    let mut net = Network::new(
+        &[1, 6, 6],
+        vec![
+            Layer::conv2d(1, 2, 3, 1, 0),
+            Layer::relu(),
+            Layer::maxpool2d(2),
+            Layer::flatten(),
+            Layer::dense(2 * 2 * 2, 3),
+            Layer::softmax(),
+        ],
+    );
+    net.init_weights(&mut dx_tensor::rng::rng(seed));
+    net
+}
+
+/// Strategy: a batched `[n, 1, 6, 6]` image tensor.
+fn images(n: usize) -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(-1.0f32..1.0, n * 36)
+        .prop_map(move |v| Tensor::from_vec(v, &[n, 1, 6, 6]))
+}
+
+// Batched-path pins: the workspace-backed lite forward and backward must
+// be bit-identical to the cache-carrying reference path (the dense
+// backward's transposed-rhs kernel may flip a zero's sign, which nothing
+// downstream observes), at every batch width.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn lite_forward_is_bitwise_equal_to_cached_forward(x in images(4)) {
+        let net = convnet(11);
+        let mut ws = Workspace::new();
+        let full = net.forward(&x);
+        let lite = net.forward_lite(&x, &mut ws);
+        prop_assert_eq!(full.activations.len(), lite.activations.len());
+        for (f, l) in full.activations.iter().zip(lite.activations.iter()) {
+            prop_assert_eq!(f.shape(), l.shape());
+            for (a, b) in f.data().iter().zip(l.data().iter()) {
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "{} vs {}", a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn batched_lite_forward_matches_per_row_lite_forward(x in images(5)) {
+        // Batch width is pure execution tiling: every row of a batched
+        // lite pass must be bit-identical to running that row alone.
+        let net = convnet(12);
+        let mut ws = Workspace::new();
+        let batched = net.forward_lite(&x, &mut ws);
+        for i in 0..5 {
+            let alone = net.forward_lite(&gather_rows(&x, &[i]), &mut ws);
+            for (b, a) in batched.activations.iter().zip(alone.activations.iter()) {
+                let per = a.len();
+                let brow = &b.data()[i * per..(i + 1) * per];
+                for (x_, y_) in brow.iter().zip(a.data().iter()) {
+                    prop_assert_eq!(x_.to_bits(), y_.to_bits(), "{} vs {}", x_, y_);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn workspace_input_gradient_matches_reference_up_to_zero_sign(x in images(3)) {
+        let net = convnet(13);
+        let mut ws = Workspace::new();
+        let full = net.forward(&x);
+        let lite = net.forward_lite(&x, &mut ws);
+        let mut seed = Tensor::zeros(&[3, 3]);
+        for i in 0..3 {
+            seed.set(&[i, i % 3], 1.0);
+        }
+        let inj = vec![(net.num_layers(), seed)];
+        let want = net.input_gradient(&full, &inj);
+        let got = net.input_gradient_ws(&lite, &inj, &mut ws);
+        prop_assert_eq!(want.shape(), got.shape());
+        for (w, g) in want.data().iter().zip(got.data().iter()) {
+            prop_assert!(
+                w.to_bits() == g.to_bits() || (*w == 0.0 && *g == 0.0),
+                "{} vs {}", w, g
+            );
         }
     }
 }

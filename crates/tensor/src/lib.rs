@@ -13,11 +13,19 @@
 //! - [`metrics`]: distances (L1/L2/L∞) and structural similarity (SSIM),
 //!   used by the diversity experiment (Table 5 of the paper) and the
 //!   training-data pollution detector (§7.3).
+//! - [`kernels`]: blocked / transposed / fused matmul kernels over raw
+//!   `&[f32]` slices — the autovectorization-friendly hot path behind
+//!   [`Tensor::matmul`] and the batched campaign pipeline.
+//! - [`workspace`]: a free-list buffer arena ([`Workspace`]) that lets the
+//!   per-iterate forward/backward passes reuse intermediate activation and
+//!   gradient buffers instead of allocating.
 //!
-//! The design goal is *auditability* over raw speed: everything is plain
+//! The design goal is *auditability first, then speed*: everything is plain
 //! safe Rust over contiguous `Vec<f32>` buffers, with shape errors reported
 //! as panics carrying both offending shapes (they are programmer errors, not
-//! runtime conditions).
+//! runtime conditions). The kernels get their speed from cache blocking,
+//! bounds-check-free iterator loops and buffer reuse — never from changing
+//! float semantics (results stay bit-identical to the naive reference).
 //!
 //! # Examples
 //!
@@ -34,9 +42,13 @@
 #![warn(missing_docs)]
 
 pub mod image;
+pub mod kernels;
 pub mod metrics;
 pub mod rng;
 pub mod tensor;
+pub mod workspace;
 
 pub use image::Image;
+pub use kernels::FusedAct;
 pub use tensor::Tensor;
+pub use workspace::Workspace;

@@ -3,6 +3,8 @@
 use std::fmt;
 use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
 
+use crate::kernels;
+
 /// A dense, row-major, N-dimensional `f32` tensor.
 ///
 /// `Tensor` is deliberately simple: a contiguous `Vec<f32>` plus a shape.
@@ -137,6 +139,25 @@ impl Tensor {
             numel(shape)
         );
         Self { data: self.data.clone(), shape: shape.to_vec() }
+    }
+
+    /// Consumes the tensor, returning one with a new shape over the *same*
+    /// buffer (no copy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element counts differ.
+    pub fn into_reshaped(self, shape: &[usize]) -> Self {
+        assert_eq!(
+            self.len(),
+            numel(shape),
+            "cannot reshape {:?} ({} values) into {:?} ({} values)",
+            self.shape,
+            self.len(),
+            shape,
+            numel(shape)
+        );
+        Self { data: self.data, shape: shape.to_vec() }
     }
 
     /// Computes the flat offset of a multi-index.
@@ -303,8 +324,9 @@ impl Tensor {
 
     /// Matrix multiplication of two rank-2 tensors.
     ///
-    /// Computes `self (m×k) · other (k×n) -> (m×n)` with a cache-friendly
-    /// ikj loop order.
+    /// Computes `self (m×k) · other (k×n) -> (m×n)` with the blocked,
+    /// autovectorization-friendly kernel in [`crate::kernels`] — bit-identical
+    /// to the historical naive ikj loop (see the kernel's docs).
     ///
     /// # Panics
     ///
@@ -316,19 +338,32 @@ impl Tensor {
         let (k2, n) = (other.shape[0], other.shape[1]);
         assert_eq!(k, k2, "matmul inner dimension mismatch: {:?} vs {:?}", self.shape, other.shape);
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let o_row = &mut out[i * n..(i + 1) * n];
-            for (p, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[p * n..(p + 1) * n];
-                for (o, &b) in o_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
-                }
-            }
-        }
+        kernels::matmul_acc(&self.data, &other.data, m, k, n, &mut out);
+        Self { data: out, shape: vec![m, n] }
+    }
+
+    /// Matrix product with a transposed rhs: `self (m×k) · otherᵀ -> (m×n)`
+    /// where `other` is stored `n×k`.
+    ///
+    /// Equivalent to `self.matmul(&other.transpose())` without materializing
+    /// the transpose — each output element is a dot product of two
+    /// contiguous rows. Used by the dense backward pass (`dx = g · Wᵀ`).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both tensors are rank-2 with matching `k` dimension.
+    pub fn matmul_bt(&self, other: &Self) -> Self {
+        assert_eq!(self.rank(), 2, "matmul_bt lhs must be rank-2, got {:?}", self.shape);
+        assert_eq!(other.rank(), 2, "matmul_bt rhs must be rank-2, got {:?}", other.shape);
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (n, k2) = (other.shape[0], other.shape[1]);
+        assert_eq!(
+            k, k2,
+            "matmul_bt inner dimension mismatch: {:?} vs {:?}",
+            self.shape, other.shape
+        );
+        let mut out = vec![0.0f32; m * n];
+        kernels::matmul_bt_acc(&self.data, &other.data, m, k, n, &mut out);
         Self { data: out, shape: vec![m, n] }
     }
 
@@ -527,6 +562,27 @@ mod tests {
         let c = a.matmul(&b);
         assert_eq!(c.shape(), &[2, 2]);
         assert_eq!(c.data(), &[5.0, 1.0, 4.0, 2.0]);
+    }
+
+    #[test]
+    fn matmul_bt_matches_transpose_matmul() {
+        let a = Tensor::from_vec(vec![1.0, 0.0, 2.0, -1.0, 3.0, 1.0], &[2, 3]);
+        let b = Tensor::from_vec(vec![3.0, 2.0, 1.0, 1.0, 1.0, 0.0], &[2, 3]);
+        let got = a.matmul_bt(&b);
+        let want = a.matmul(&b.transpose());
+        assert_eq!(got.shape(), want.shape());
+        for (g, w) in got.data().iter().zip(want.data().iter()) {
+            assert!(g.to_bits() == w.to_bits() || (*g == 0.0 && *w == 0.0));
+        }
+    }
+
+    #[test]
+    fn into_reshaped_is_zero_copy() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let ptr = t.data().as_ptr();
+        let r = t.into_reshaped(&[4]);
+        assert_eq!(r.shape(), &[4]);
+        assert_eq!(r.data().as_ptr(), ptr);
     }
 
     #[test]

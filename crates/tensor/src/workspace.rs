@@ -1,0 +1,168 @@
+//! Reusable buffer arena for intermediate activations and gradients.
+//!
+//! The campaign hot loop historically allocated (and dropped) every
+//! intermediate activation, mask, and gradient tensor on every iterate of
+//! every seed. [`Workspace`] replaces that churn with a free-list of
+//! `Vec<f32>` buffers: a finished pass returns its buffers to the pool and
+//! the next iterate draws the same allocations back out. This is the CPU
+//! analogue of a tile-pool in accelerator runtimes — buffers are recycled
+//! by capacity, not identity, so steady-state iterates allocate nothing.
+//!
+//! Buffers handed out by [`Workspace::take`] are always zero-filled to the
+//! requested length, so kernels that accumulate (`matmul_acc`) can use them
+//! directly and bit-compatibility with freshly-allocated `Tensor::zeros`
+//! buffers is preserved.
+
+use crate::Tensor;
+
+/// Upper bound on pooled buffers; beyond this, returned buffers are freed.
+///
+/// A forward+backward pass over the deepest zoo model holds ~2 buffers per
+/// layer across a handful of models, so 64 covers the steady state while
+/// bounding worst-case retention.
+const MAX_POOLED: usize = 64;
+
+/// A free-list arena of reusable `f32` buffers.
+///
+/// Not thread-safe by design: each campaign worker owns one workspace, the
+/// same way each worker owns its RNG lane.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    pool: Vec<Vec<f32>>,
+}
+
+impl Workspace {
+    /// Creates an empty workspace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes an empty buffer with at least the given capacity.
+    ///
+    /// Reuses the pooled buffer whose capacity fits most tightly (best-fit
+    /// keeps big buffers available for big requests); allocates only when no
+    /// pooled buffer is large enough. The buffer comes back cleared so the
+    /// caller can `extend`/`push` without touching stale contents.
+    pub fn take_empty(&mut self, capacity: usize) -> Vec<f32> {
+        let mut best: Option<usize> = None;
+        for (i, buf) in self.pool.iter().enumerate() {
+            if buf.capacity() >= capacity
+                && best.is_none_or(|b| buf.capacity() < self.pool[b].capacity())
+            {
+                best = Some(i);
+            }
+        }
+        match best {
+            Some(i) => {
+                let mut buf = self.pool.swap_remove(i);
+                buf.clear();
+                buf
+            }
+            None => Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Takes a zero-filled buffer of exactly `len` elements.
+    pub fn take(&mut self, len: usize) -> Vec<f32> {
+        let mut buf = self.take_empty(len);
+        buf.resize(len, 0.0);
+        buf
+    }
+
+    /// Takes a buffer holding a copy of `src` (single write pass, no
+    /// intermediate zero fill).
+    pub fn take_copy(&mut self, src: &[f32]) -> Vec<f32> {
+        let mut buf = self.take_empty(src.len());
+        buf.extend_from_slice(src);
+        buf
+    }
+
+    /// Returns a buffer to the pool for reuse.
+    pub fn put(&mut self, buf: Vec<f32>) {
+        if buf.capacity() > 0 && self.pool.len() < MAX_POOLED {
+            self.pool.push(buf);
+        }
+    }
+
+    /// Takes a zero-filled tensor of the given shape, backed by a pooled buffer.
+    pub fn take_tensor(&mut self, shape: &[usize]) -> Tensor {
+        let len = shape.iter().product();
+        Tensor::from_vec(self.take(len), shape)
+    }
+
+    /// Returns a tensor's backing buffer to the pool.
+    pub fn put_tensor(&mut self, t: Tensor) {
+        self.put(t.into_vec());
+    }
+
+    /// Number of buffers currently pooled (for tests and diagnostics).
+    pub fn pooled(&self) -> usize {
+        self.pool.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_reuses_returned_buffers() {
+        let mut ws = Workspace::new();
+        let buf = ws.take(100);
+        let ptr = buf.as_ptr();
+        ws.put(buf);
+        assert_eq!(ws.pooled(), 1);
+        let buf2 = ws.take(80);
+        assert_eq!(buf2.as_ptr(), ptr, "smaller request should reuse the pooled buffer");
+        assert_eq!(buf2.len(), 80);
+        assert!(buf2.iter().all(|&v| v == 0.0));
+        assert_eq!(ws.pooled(), 0);
+    }
+
+    #[test]
+    fn take_zeroes_dirty_buffers() {
+        let mut ws = Workspace::new();
+        let mut buf = ws.take(4);
+        buf.fill(7.0);
+        ws.put(buf);
+        let buf2 = ws.take(4);
+        assert!(buf2.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn best_fit_prefers_tightest_capacity() {
+        let mut ws = Workspace::new();
+        ws.put(vec![0.0; 1000]);
+        ws.put(vec![0.0; 10]);
+        let buf = ws.take(8);
+        assert!(buf.capacity() < 1000, "should pick the 10-capacity buffer");
+        assert_eq!(ws.pooled(), 1);
+    }
+
+    #[test]
+    fn take_copy_reuses_and_copies() {
+        let mut ws = Workspace::new();
+        ws.put(vec![9.0; 16]);
+        let buf = ws.take_copy(&[1.0, 2.0, 3.0]);
+        assert_eq!(buf, vec![1.0, 2.0, 3.0]);
+        assert_eq!(ws.pooled(), 0);
+    }
+
+    #[test]
+    fn tensor_round_trip() {
+        let mut ws = Workspace::new();
+        let t = ws.take_tensor(&[2, 3]);
+        assert_eq!(t.shape(), &[2, 3]);
+        ws.put_tensor(t);
+        assert_eq!(ws.pooled(), 1);
+    }
+
+    #[test]
+    fn pool_is_bounded() {
+        let mut ws = Workspace::new();
+        for _ in 0..200 {
+            ws.put(vec![0.0; 8]);
+        }
+        assert!(ws.pooled() <= 64);
+    }
+}

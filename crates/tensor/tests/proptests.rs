@@ -1,6 +1,6 @@
 //! Property-based tests for tensor algebra and metric invariants.
 
-use dx_tensor::{metrics, Tensor};
+use dx_tensor::{kernels, metrics, Tensor};
 use proptest::prelude::*;
 
 /// Strategy producing a tensor of the given length with bounded values.
@@ -115,5 +115,145 @@ proptest! {
     fn hadamard_with_ones_is_identity(a in tensor_of(16)) {
         let ones = Tensor::ones(&[16]);
         prop_assert_eq!(a.hadamard(&ones), a);
+    }
+}
+
+/// The unblocked ikj reference (ascending `k`, zero-skip) the blocked
+/// kernel pins itself to. Mirrors the in-crate unit-test reference but
+/// feeds on proptest-sampled shapes and contents.
+fn matmul_naive(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let o_row = &mut out[i * n..(i + 1) * n];
+        for (p, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            for (o, &bv) in o_row.iter_mut().zip(b_row.iter()) {
+                *o += av * bv;
+            }
+        }
+    }
+    out
+}
+
+/// Sparsifies sampled data in place so the kernels' zero-skip path is
+/// exercised: roughly one element in five becomes an exact zero.
+fn with_zeros(mut v: Vec<f32>) -> Vec<f32> {
+    for (i, x) in v.iter_mut().enumerate() {
+        if i.wrapping_mul(2654435761).is_multiple_of(5) {
+            *x = 0.0;
+        }
+    }
+    v
+}
+
+// Kernel pins: the blocked / transposed / fused kernels against the naive
+// scalar reference, on shapes that straddle the KB=64 / JB=256 block
+// boundaries. The contract is bit-exactness per element (the transposed
+// kernel may flip the sign of a zero, which nothing downstream observes),
+// and NaN poisoning must stay detectable through the accumulate path.
+// Few cases, big shapes: each case covers thousands of output elements.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn blocked_matmul_matches_naive_bitwise(
+        m in 1usize..6,
+        k in 1usize..130,
+        n in 1usize..300,
+        a_raw in proptest::collection::vec(-3.0f32..3.0, 5 * 129),
+        b_raw in proptest::collection::vec(-3.0f32..3.0, 129 * 299),
+    ) {
+        let a = with_zeros(a_raw[..m * k].to_vec());
+        let b = with_zeros(b_raw[..k * n].to_vec());
+        let want = matmul_naive(&a, &b, m, k, n);
+        let mut got = vec![0.0f32; m * n];
+        kernels::matmul_acc(&a, &b, m, k, n, &mut got);
+        for (g, w) in got.iter().zip(want.iter()) {
+            prop_assert_eq!(g.to_bits(), w.to_bits(), "{} vs {} at {}x{}x{}", g, w, m, k, n);
+        }
+    }
+
+    #[test]
+    fn transposed_matmul_matches_naive_up_to_zero_sign(
+        m in 1usize..6,
+        k in 1usize..130,
+        n in 1usize..40,
+        a_raw in proptest::collection::vec(-3.0f32..3.0, 5 * 129),
+        b_raw in proptest::collection::vec(-3.0f32..3.0, 39 * 129),
+    ) {
+        let a = with_zeros(a_raw[..m * k].to_vec());
+        let b = with_zeros(b_raw[..n * k].to_vec()); // stored [n, k]
+        let mut bt = vec![0.0f32; k * n];
+        for j in 0..n {
+            for p in 0..k {
+                bt[p * n + j] = b[j * k + p];
+            }
+        }
+        let want = matmul_naive(&a, &bt, m, k, n);
+        let mut got = vec![0.0f32; m * n];
+        kernels::matmul_bt_acc(&a, &b, m, k, n, &mut got);
+        for (g, w) in got.iter().zip(want.iter()) {
+            prop_assert!(
+                g.to_bits() == w.to_bits() || (*g == 0.0 && *w == 0.0),
+                "{} vs {} at {}x{}x{}", g, w, m, k, n
+            );
+        }
+    }
+
+    #[test]
+    fn fused_matmul_bias_act_matches_unfused_bitwise(
+        m in 1usize..6,
+        k in 1usize..130,
+        n in 1usize..300,
+        a_raw in proptest::collection::vec(-3.0f32..3.0, 5 * 129),
+        b_raw in proptest::collection::vec(-3.0f32..3.0, 129 * 299),
+        bias_raw in proptest::collection::vec(-2.0f32..2.0, 299),
+    ) {
+        let a = with_zeros(a_raw[..m * k].to_vec());
+        let b = with_zeros(b_raw[..k * n].to_vec());
+        let bias = &bias_raw[..n];
+        for act in [kernels::FusedAct::Identity, kernels::FusedAct::Relu] {
+            let mut want = matmul_naive(&a, &b, m, k, n);
+            for row in want.chunks_exact_mut(n) {
+                for (o, &bv) in row.iter_mut().zip(bias.iter()) {
+                    *o += bv;
+                    if act == kernels::FusedAct::Relu {
+                        *o = o.max(0.0);
+                    }
+                }
+            }
+            let mut got = vec![f32::NAN; m * n]; // pre-poison: fused must overwrite
+            kernels::matmul_bias_act(&a, &b, bias, m, k, n, act, &mut got);
+            for (g, w) in got.iter().zip(want.iter()) {
+                prop_assert_eq!(g.to_bits(), w.to_bits(), "{} vs {} at {}x{}x{} {:?}", g, w, m, k, n, act);
+            }
+        }
+    }
+
+    #[test]
+    fn nan_poisoning_stays_detectable_through_matmul(
+        m in 1usize..5,
+        k in 1usize..80,
+        n in 1usize..80,
+        a_raw in proptest::collection::vec(-3.0f32..3.0, 4 * 79),
+        b_raw in proptest::collection::vec(-3.0f32..3.0, 79 * 79),
+        poison in 0usize..1000,
+    ) {
+        // A NaN anywhere in the lhs row must surface in that output row —
+        // the zero-skip may not silently drop it (NaN != 0.0), so the
+        // downstream has_non_finite rejection keeps working.
+        let mut a = a_raw[..m * k].to_vec();
+        let row = poison % m;
+        a[row * k + poison % k] = f32::NAN;
+        let b = with_zeros(b_raw[..k * n].to_vec());
+        let mut got = vec![0.0f32; m * n];
+        kernels::matmul_acc(&a, &b, m, k, n, &mut got);
+        let out = Tensor::from_vec(got, &[m, n]);
+        prop_assert!(out.has_non_finite(), "NaN at row {} was lost", row);
+        prop_assert!(out.data()[row * n..(row + 1) * n].iter().any(|v| v.is_nan()));
     }
 }
